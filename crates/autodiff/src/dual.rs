@@ -1,0 +1,380 @@
+//! Forward-mode automatic differentiation with dual numbers.
+//!
+//! [`Dual`] carries `(value, first derivative)`; [`Dual2`] carries
+//! `(value, first, second derivative)` along a single input direction.
+//! Forward mode is the cheapest way to obtain one Jacobian/Hessian column
+//! of a low-dimensional function, and serves as an independent oracle for
+//! the reverse-mode tape and the hand-coded MLP propagation.
+
+/// First-order dual number `a + b ε` with `ε² = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dual {
+    /// Primal value.
+    pub v: f64,
+    /// Derivative (tangent).
+    pub d: f64,
+}
+
+impl Dual {
+    /// A constant (zero tangent).
+    pub fn constant(v: f64) -> Self {
+        Dual { v, d: 0.0 }
+    }
+
+    /// The seeded variable (unit tangent).
+    pub fn variable(v: f64) -> Self {
+        Dual { v, d: 1.0 }
+    }
+
+    /// Sine.
+    pub fn sin(self) -> Self {
+        Dual {
+            v: self.v.sin(),
+            d: self.d * self.v.cos(),
+        }
+    }
+    /// Cosine.
+    pub fn cos(self) -> Self {
+        Dual {
+            v: self.v.cos(),
+            d: -self.d * self.v.sin(),
+        }
+    }
+    /// Exponential.
+    pub fn exp(self) -> Self {
+        let e = self.v.exp();
+        Dual {
+            v: e,
+            d: self.d * e,
+        }
+    }
+    /// Natural logarithm.
+    pub fn ln(self) -> Self {
+        Dual {
+            v: self.v.ln(),
+            d: self.d / self.v,
+        }
+    }
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Self {
+        let t = self.v.tanh();
+        Dual {
+            v: t,
+            d: self.d * (1.0 - t * t),
+        }
+    }
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Self {
+        let s = 1.0 / (1.0 + (-self.v).exp());
+        Dual {
+            v: s,
+            d: self.d * s * (1.0 - s),
+        }
+    }
+    /// SiLU: `x σ(x)`.
+    pub fn silu(self) -> Self {
+        self * self.sigmoid()
+    }
+    /// Square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.v.sqrt();
+        Dual {
+            v: r,
+            d: self.d * 0.5 / r,
+        }
+    }
+    /// Integer power.
+    pub fn powi(self, n: i32) -> Self {
+        Dual {
+            v: self.v.powi(n),
+            d: self.d * n as f64 * self.v.powi(n - 1),
+        }
+    }
+}
+
+impl std::ops::Add for Dual {
+    type Output = Dual;
+    fn add(self, o: Dual) -> Dual {
+        Dual {
+            v: self.v + o.v,
+            d: self.d + o.d,
+        }
+    }
+}
+impl std::ops::Sub for Dual {
+    type Output = Dual;
+    fn sub(self, o: Dual) -> Dual {
+        Dual {
+            v: self.v - o.v,
+            d: self.d - o.d,
+        }
+    }
+}
+impl std::ops::Mul for Dual {
+    type Output = Dual;
+    fn mul(self, o: Dual) -> Dual {
+        Dual {
+            v: self.v * o.v,
+            d: self.d * o.v + self.v * o.d,
+        }
+    }
+}
+impl std::ops::Div for Dual {
+    type Output = Dual;
+    fn div(self, o: Dual) -> Dual {
+        Dual {
+            v: self.v / o.v,
+            d: (self.d * o.v - self.v * o.d) / (o.v * o.v),
+        }
+    }
+}
+impl std::ops::Neg for Dual {
+    type Output = Dual;
+    fn neg(self) -> Dual {
+        Dual {
+            v: -self.v,
+            d: -self.d,
+        }
+    }
+}
+impl std::ops::Mul<f64> for Dual {
+    type Output = Dual;
+    fn mul(self, s: f64) -> Dual {
+        Dual {
+            v: self.v * s,
+            d: self.d * s,
+        }
+    }
+}
+impl std::ops::Add<f64> for Dual {
+    type Output = Dual;
+    fn add(self, s: f64) -> Dual {
+        Dual {
+            v: self.v + s,
+            d: self.d,
+        }
+    }
+}
+
+/// Second-order dual `a + b ε + c ε²/2`: tracks value, first and second
+/// derivative along one direction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Dual2 {
+    /// Primal value.
+    pub v: f64,
+    /// First derivative.
+    pub d: f64,
+    /// Second derivative.
+    pub dd: f64,
+}
+
+impl Dual2 {
+    /// A constant.
+    pub fn constant(v: f64) -> Self {
+        Dual2 { v, d: 0.0, dd: 0.0 }
+    }
+
+    /// The seeded variable.
+    pub fn variable(v: f64) -> Self {
+        Dual2 { v, d: 1.0, dd: 0.0 }
+    }
+
+    fn chain(self, f: f64, f1: f64, f2: f64) -> Self {
+        Dual2 {
+            v: f,
+            d: f1 * self.d,
+            dd: f2 * self.d * self.d + f1 * self.dd,
+        }
+    }
+
+    /// Sine.
+    pub fn sin(self) -> Self {
+        self.chain(self.v.sin(), self.v.cos(), -self.v.sin())
+    }
+    /// Cosine.
+    pub fn cos(self) -> Self {
+        self.chain(self.v.cos(), -self.v.sin(), -self.v.cos())
+    }
+    /// Exponential.
+    pub fn exp(self) -> Self {
+        let e = self.v.exp();
+        self.chain(e, e, e)
+    }
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Self {
+        let t = self.v.tanh();
+        let s = 1.0 - t * t;
+        self.chain(t, s, -2.0 * t * s)
+    }
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Self {
+        let s = 1.0 / (1.0 + (-self.v).exp());
+        self.chain(s, s * (1.0 - s), s * (1.0 - s) * (1.0 - 2.0 * s))
+    }
+    /// SiLU.
+    pub fn silu(self) -> Self {
+        self * self.sigmoid()
+    }
+    /// Integer power.
+    pub fn powi(self, n: i32) -> Self {
+        let nf = n as f64;
+        self.chain(
+            self.v.powi(n),
+            nf * self.v.powi(n - 1),
+            nf * (nf - 1.0) * self.v.powi(n - 2),
+        )
+    }
+    /// Square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.v.sqrt();
+        self.chain(r, 0.5 / r, -0.25 / (r * r * r))
+    }
+}
+
+impl std::ops::Add for Dual2 {
+    type Output = Dual2;
+    fn add(self, o: Dual2) -> Dual2 {
+        Dual2 {
+            v: self.v + o.v,
+            d: self.d + o.d,
+            dd: self.dd + o.dd,
+        }
+    }
+}
+impl std::ops::Sub for Dual2 {
+    type Output = Dual2;
+    fn sub(self, o: Dual2) -> Dual2 {
+        Dual2 {
+            v: self.v - o.v,
+            d: self.d - o.d,
+            dd: self.dd - o.dd,
+        }
+    }
+}
+impl std::ops::Mul for Dual2 {
+    type Output = Dual2;
+    fn mul(self, o: Dual2) -> Dual2 {
+        Dual2 {
+            v: self.v * o.v,
+            d: self.d * o.v + self.v * o.d,
+            dd: self.dd * o.v + 2.0 * self.d * o.d + self.v * o.dd,
+        }
+    }
+}
+impl std::ops::Neg for Dual2 {
+    type Output = Dual2;
+    fn neg(self) -> Dual2 {
+        Dual2 {
+            v: -self.v,
+            d: -self.d,
+            dd: -self.dd,
+        }
+    }
+}
+impl std::ops::Mul<f64> for Dual2 {
+    type Output = Dual2;
+    fn mul(self, s: f64) -> Dual2 {
+        Dual2 {
+            v: self.v * s,
+            d: self.d * s,
+            dd: self.dd * s,
+        }
+    }
+}
+impl std::ops::Add<f64> for Dual2 {
+    type Output = Dual2;
+    fn add(self, s: f64) -> Dual2 {
+        Dual2 {
+            v: self.v + s,
+            d: self.d,
+            dd: self.dd,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10 * (1.0 + a.abs() + b.abs())
+    }
+
+    #[test]
+    fn dual_product_rule() {
+        let x = Dual::variable(3.0);
+        let f = x * x * x; // x³, f' = 3x² = 27
+        assert!(close(f.v, 27.0));
+        assert!(close(f.d, 27.0));
+    }
+
+    #[test]
+    fn dual_quotient_rule() {
+        let x = Dual::variable(2.0);
+        let f = Dual::constant(1.0) / x;
+        assert!(close(f.d, -0.25));
+    }
+
+    #[test]
+    fn dual_transcendentals() {
+        let x = Dual::variable(0.6);
+        assert!(close(x.sin().d, 0.6f64.cos()));
+        assert!(close(x.exp().d, 0.6f64.exp()));
+        assert!(close(x.ln().d, 1.0 / 0.6));
+        assert!(close(x.tanh().d, 1.0 - 0.6f64.tanh().powi(2)));
+        assert!(close(x.sqrt().d, 0.5 / 0.6f64.sqrt()));
+    }
+
+    #[test]
+    fn dual_silu_matches_formula() {
+        let x = Dual::variable(1.1);
+        let s = 1.0 / (1.0 + (-1.1f64).exp());
+        assert!(close(x.silu().d, s + 1.1 * s * (1.0 - s)));
+    }
+
+    #[test]
+    fn dual2_second_derivatives() {
+        let x = Dual2::variable(0.8);
+        let f = x.powi(4); // f'' = 12 x² = 7.68
+        assert!(close(f.dd, 12.0 * 0.64));
+        assert!(close(x.sin().dd, -(0.8f64.sin())));
+        assert!(close(x.exp().dd, 0.8f64.exp()));
+    }
+
+    #[test]
+    fn dual2_product_second_derivative() {
+        // f = x² · sin(x); f'' = 2 sin x + 4x cos x − x² sin x.
+        let xv = 0.9;
+        let x = Dual2::variable(xv);
+        let f = x * x * x.sin();
+        let expect = 2.0 * xv.sin() + 4.0 * xv * xv.cos() - xv * xv * xv.sin();
+        assert!(close(f.dd, expect), "{} vs {expect}", f.dd);
+    }
+
+    #[test]
+    fn dual2_tanh_second_derivative() {
+        let xv = 0.35;
+        let x = Dual2::variable(xv);
+        let t = xv.tanh();
+        let expect = -2.0 * t * (1.0 - t * t);
+        assert!(close(x.tanh().dd, expect));
+    }
+
+    #[test]
+    fn dual2_matches_finite_difference_for_silu() {
+        let xv = -0.4;
+        let silu = |x: f64| x / (1.0 + (-x).exp());
+        let h = 1e-5;
+        let fd2 = (silu(xv + h) - 2.0 * silu(xv) + silu(xv - h)) / (h * h);
+        let x = Dual2::variable(xv);
+        assert!((x.silu().dd - fd2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constants_have_zero_derivatives() {
+        let c = Dual2::constant(5.0);
+        let f = c.sin() * c;
+        assert_eq!(f.d, 0.0);
+        assert_eq!(f.dd, 0.0);
+    }
+}

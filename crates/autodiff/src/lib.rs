@@ -1,0 +1,41 @@
+//! # sgm-autodiff
+//!
+//! A self-contained automatic-differentiation engine.
+//!
+//! PINNs need derivatives of the network output with respect to its
+//! *inputs* (to form PDE residuals) and then derivatives of the resulting
+//! loss with respect to the network *parameters*. Mature GPU autodiff
+//! frameworks provide this out of the box; this crate is the pure-Rust
+//! substrate the reproduction builds on:
+//!
+//! * [`tape`] — reverse-mode AD over a [`tape::Tape`] of scalar operations.
+//!   Crucially, [`tape::Var::grad`] builds the derivative *as new tape
+//!   nodes*, so gradients can be differentiated again — second and third
+//!   order derivatives (needed for Navier–Stokes residuals and their
+//!   parameter gradients) come for free.
+//! * [`dual`] — forward-mode dual numbers ([`dual::Dual`]) and second-order
+//!   duals ([`dual::Dual2`]) used as independent oracles in tests, and for
+//!   cheap Jacobian columns of low-dimensional functions.
+//!
+//! The fast batched MLP in `sgm-nn` hand-codes its derivative propagation
+//! for speed; its correctness is property-tested against this crate.
+//!
+//! # Example: third derivative of `sin`
+//!
+//! ```
+//! use sgm_autodiff::tape::Tape;
+//!
+//! let tape = Tape::new();
+//! let x = tape.input(0.7);
+//! let y = x.sin();
+//! let d1 = y.grad(&[x.clone()])[0].clone(); // cos x
+//! let d2 = d1.grad(&[x.clone()])[0].clone(); // -sin x
+//! let d3 = d2.grad(&[x.clone()])[0].clone(); // -cos x
+//! assert!((d3.value() + 0.7f64.cos()).abs() < 1e-12);
+//! ```
+
+pub mod dual;
+pub mod tape;
+
+pub use dual::{Dual, Dual2};
+pub use tape::{Tape, Var};

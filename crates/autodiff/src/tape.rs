@@ -1,0 +1,551 @@
+//! Reverse-mode automatic differentiation on a shared tape, with
+//! higher-order support.
+//!
+//! Every [`Var`] is a handle to a node on a [`Tape`] (Wengert list). The
+//! backward pass of [`Var::grad`] does not accumulate raw floats: it emits
+//! *new tape nodes* expressing the adjoints, so the resulting gradient
+//! variables can themselves be differentiated. This is how the test oracles
+//! obtain exact second/third derivatives of MLP outputs with respect to
+//! inputs and parameters simultaneously.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// Leaf: independent variable.
+    Input,
+    /// Leaf: constant (no gradient flows).
+    Const,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Div(usize, usize),
+    Neg(usize),
+    Sin(usize),
+    Cos(usize),
+    Exp(usize),
+    Ln(usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    Sqrt(usize),
+    Powi(usize, i32),
+    Abs(usize),
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: f64,
+}
+
+#[derive(Debug, Default)]
+struct TapeInner {
+    nodes: Vec<Node>,
+}
+
+/// A growable record of scalar operations.
+///
+/// Cloning the handle is cheap; all clones share the same underlying
+/// storage. Tapes are single-threaded by design (`Rc`); each worker thread
+/// builds its own tape.
+#[derive(Clone, Default)]
+pub struct Tape {
+    inner: Rc<RefCell<TapeInner>>,
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tape({} nodes)", self.len())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&self, op: Op, value: f64) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        inner.nodes.push(Node { op, value });
+        Var {
+            tape: self.clone(),
+            idx: inner.nodes.len() - 1,
+        }
+    }
+
+    /// Records an independent (differentiable) input variable.
+    pub fn input(&self, value: f64) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// Records a constant (gradient does not flow into it).
+    pub fn constant(&self, value: f64) -> Var {
+        self.push(Op::Const, value)
+    }
+
+    fn same_tape(&self, other: &Tape) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// A differentiable scalar variable living on a [`Tape`].
+#[derive(Clone)]
+pub struct Var {
+    tape: Tape,
+    idx: usize,
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var[{}]={}", self.idx, self.value())
+    }
+}
+
+macro_rules! unary {
+    ($name:ident, $op:ident, $f:expr) => {
+        /// Elementwise transcendental/unary operation.
+        pub fn $name(&self) -> Var {
+            let v = self.value();
+            #[allow(clippy::redundant_closure_call)]
+            self.tape.push(Op::$op(self.idx), ($f)(v))
+        }
+    };
+}
+
+impl Var {
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.tape.inner.borrow().nodes[self.idx].value
+    }
+
+    /// The tape this variable lives on.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    fn binary(&self, other: &Var, make: impl Fn(usize, usize) -> Op, value: f64) -> Var {
+        assert!(
+            self.tape.same_tape(&other.tape),
+            "variables from different tapes"
+        );
+        self.tape.push(make(self.idx, other.idx), value)
+    }
+
+    /// Addition.
+    pub fn add_v(&self, o: &Var) -> Var {
+        self.binary(o, Op::Add, self.value() + o.value())
+    }
+    /// Subtraction.
+    pub fn sub_v(&self, o: &Var) -> Var {
+        self.binary(o, Op::Sub, self.value() - o.value())
+    }
+    /// Multiplication.
+    pub fn mul_v(&self, o: &Var) -> Var {
+        self.binary(o, Op::Mul, self.value() * o.value())
+    }
+    /// Division.
+    pub fn div_v(&self, o: &Var) -> Var {
+        self.binary(o, Op::Div, self.value() / o.value())
+    }
+
+    unary!(neg_v, Neg, |v: f64| -v);
+    unary!(sin, Sin, f64::sin);
+    unary!(cos, Cos, f64::cos);
+    unary!(exp, Exp, f64::exp);
+    unary!(ln, Ln, f64::ln);
+    unary!(tanh, Tanh, f64::tanh);
+    unary!(sqrt, Sqrt, f64::sqrt);
+    unary!(abs, Abs, f64::abs);
+
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&self) -> Var {
+        let v = self.value();
+        let s = 1.0 / (1.0 + (-v).exp());
+        self.tape.push(Op::Sigmoid(self.idx), s)
+    }
+
+    /// SiLU (a.k.a. swish): `x · sigmoid(x)` — the activation used by the
+    /// paper's networks.
+    pub fn silu(&self) -> Var {
+        self.mul_v(&self.sigmoid())
+    }
+
+    /// Integer power.
+    pub fn powi(&self, n: i32) -> Var {
+        self.tape.push(Op::Powi(self.idx, n), self.value().powi(n))
+    }
+
+    /// Squared value.
+    pub fn square(&self) -> Var {
+        self.powi(2)
+    }
+
+    /// Adds a plain constant.
+    pub fn add_c(&self, c: f64) -> Var {
+        let cv = self.tape.constant(c);
+        self.add_v(&cv)
+    }
+
+    /// Multiplies by a plain constant.
+    pub fn mul_c(&self, c: f64) -> Var {
+        let cv = self.tape.constant(c);
+        self.mul_v(&cv)
+    }
+
+    /// Reverse-mode gradient of `self` with respect to each variable in
+    /// `wrt`, returned in the same order.
+    ///
+    /// The adjoints are emitted as new nodes on the same tape, so the
+    /// returned variables can be differentiated again (higher-order AD).
+    ///
+    /// # Panics
+    /// Panics if any `wrt` variable lives on a different tape.
+    pub fn grad(&self, wrt: &[Var]) -> Vec<Var> {
+        for w in wrt {
+            assert!(self.tape.same_tape(&w.tape), "wrt on a different tape");
+        }
+        let n = self.idx + 1;
+        // Adjoint per node, represented lazily: None = structurally zero.
+        let mut adj: Vec<Option<Var>> = vec![None; n];
+        adj[self.idx] = Some(self.tape.constant(1.0));
+
+        // Snapshot the ops up to self.idx: backward emission appends nodes,
+        // but those new nodes have indices > self.idx and are never visited.
+        let ops: Vec<Op> = {
+            let inner = self.tape.inner.borrow();
+            inner.nodes[..n].iter().map(|nd| nd.op).collect()
+        };
+
+        let accumulate = |slot: &mut Option<Var>, contrib: Var| {
+            *slot = Some(match slot.take() {
+                None => contrib,
+                Some(existing) => existing.add_v(&contrib),
+            });
+        };
+
+        for i in (0..n).rev() {
+            let Some(gi) = adj[i].clone() else { continue };
+            let var_at = |idx: usize| Var {
+                tape: self.tape.clone(),
+                idx,
+            };
+            match ops[i] {
+                Op::Input | Op::Const => {}
+                Op::Add(a, b) => {
+                    accumulate(&mut adj[a], gi.clone());
+                    accumulate(&mut adj[b], gi);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut adj[a], gi.clone());
+                    accumulate(&mut adj[b], gi.neg_v());
+                }
+                Op::Mul(a, b) => {
+                    let va = var_at(a);
+                    let vb = var_at(b);
+                    accumulate(&mut adj[a], gi.mul_v(&vb));
+                    accumulate(&mut adj[b], gi.mul_v(&va));
+                }
+                Op::Div(a, b) => {
+                    let va = var_at(a);
+                    let vb = var_at(b);
+                    accumulate(&mut adj[a], gi.div_v(&vb));
+                    // d/db (a/b) = -a / b²
+                    let term = gi.mul_v(&va).div_v(&vb.mul_v(&vb)).neg_v();
+                    accumulate(&mut adj[b], term);
+                }
+                Op::Neg(a) => accumulate(&mut adj[a], gi.neg_v()),
+                Op::Sin(a) => {
+                    let va = var_at(a);
+                    accumulate(&mut adj[a], gi.mul_v(&va.cos()));
+                }
+                Op::Cos(a) => {
+                    let va = var_at(a);
+                    accumulate(&mut adj[a], gi.mul_v(&va.sin()).neg_v());
+                }
+                Op::Exp(a) => {
+                    let vi = var_at(i);
+                    accumulate(&mut adj[a], gi.mul_v(&vi));
+                }
+                Op::Ln(a) => {
+                    let va = var_at(a);
+                    accumulate(&mut adj[a], gi.div_v(&va));
+                }
+                Op::Tanh(a) => {
+                    // d tanh = 1 - tanh²
+                    let vi = var_at(i);
+                    let one = self.tape.constant(1.0);
+                    let d = one.sub_v(&vi.mul_v(&vi));
+                    accumulate(&mut adj[a], gi.mul_v(&d));
+                }
+                Op::Sigmoid(a) => {
+                    // d σ = σ (1 - σ)
+                    let vi = var_at(i);
+                    let one = self.tape.constant(1.0);
+                    let d = vi.mul_v(&one.sub_v(&vi));
+                    accumulate(&mut adj[a], gi.mul_v(&d));
+                }
+                Op::Sqrt(a) => {
+                    // d √x = 1 / (2 √x)
+                    let vi = var_at(i);
+                    let half = self.tape.constant(0.5);
+                    accumulate(&mut adj[a], gi.mul_v(&half).div_v(&vi));
+                }
+                Op::Powi(a, p) => {
+                    let va = var_at(a);
+                    let coeff = self.tape.constant(p as f64);
+                    let d = coeff.mul_v(&va.powi(p - 1));
+                    accumulate(&mut adj[a], gi.mul_v(&d));
+                }
+                Op::Abs(a) => {
+                    // Subgradient: sign(x), 0 at 0.
+                    let s = self.tape.constant(var_at(a).value().signum());
+                    accumulate(&mut adj[a], gi.mul_v(&s));
+                }
+            }
+        }
+
+        wrt.iter()
+            .map(|w| adj[w.idx].clone().unwrap_or_else(|| self.tape.constant(0.0)))
+            .collect()
+    }
+}
+
+impl std::ops::Add for &Var {
+    type Output = Var;
+    fn add(self, rhs: &Var) -> Var {
+        self.add_v(rhs)
+    }
+}
+impl std::ops::Sub for &Var {
+    type Output = Var;
+    fn sub(self, rhs: &Var) -> Var {
+        self.sub_v(rhs)
+    }
+}
+impl std::ops::Mul for &Var {
+    type Output = Var;
+    fn mul(self, rhs: &Var) -> Var {
+        self.mul_v(rhs)
+    }
+}
+impl std::ops::Div for &Var {
+    type Output = Var;
+    fn div(self, rhs: &Var) -> Var {
+        self.div_v(rhs)
+    }
+}
+impl std::ops::Neg for &Var {
+    type Output = Var;
+    fn neg(self) -> Var {
+        self.neg_v()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10 * (1.0 + a.abs() + b.abs())
+    }
+
+    #[test]
+    fn first_order_polynomial() {
+        // f(x, y) = x²y + 3x
+        let t = Tape::new();
+        let x = t.input(2.0);
+        let y = t.input(5.0);
+        let f = &x.square().mul_v(&y) + &x.mul_c(3.0);
+        let g = f.grad(&[x.clone(), y.clone()]);
+        assert!(close(g[0].value(), 2.0 * 2.0 * 5.0 + 3.0)); // 2xy + 3
+        assert!(close(g[1].value(), 4.0)); // x²
+    }
+
+    #[test]
+    fn division_rule() {
+        let t = Tape::new();
+        let x = t.input(3.0);
+        let y = t.input(7.0);
+        let f = x.div_v(&y);
+        let g = f.grad(&[x.clone(), y.clone()]);
+        assert!(close(g[0].value(), 1.0 / 7.0));
+        assert!(close(g[1].value(), -3.0 / 49.0));
+    }
+
+    #[test]
+    fn transcendentals() {
+        let t = Tape::new();
+        let x = t.input(0.4);
+        for (f, expect) in [
+            (x.sin().grad(&[x.clone()])[0].value(), 0.4f64.cos()),
+            (x.cos().grad(&[x.clone()])[0].value(), -(0.4f64.sin())),
+            (x.exp().grad(&[x.clone()])[0].value(), 0.4f64.exp()),
+            (x.ln().grad(&[x.clone()])[0].value(), 1.0 / 0.4),
+            (x.sqrt().grad(&[x.clone()])[0].value(), 0.5 / 0.4f64.sqrt()),
+            (
+                x.tanh().grad(&[x.clone()])[0].value(),
+                1.0 - 0.4f64.tanh().powi(2),
+            ),
+        ] {
+            assert!(close(f, expect), "{f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_and_silu() {
+        let t = Tape::new();
+        let x = t.input(1.2);
+        let s = 1.0 / (1.0 + (-1.2f64).exp());
+        assert!(close(x.sigmoid().value(), s));
+        let dsilu = x.silu().grad(&[x.clone()])[0].value();
+        // d silu = σ(x) + x σ(x)(1-σ(x))
+        assert!(close(dsilu, s + 1.2 * s * (1.0 - s)));
+    }
+
+    #[test]
+    fn second_derivative_of_square() {
+        let t = Tape::new();
+        let x = t.input(3.0);
+        let f = x.square();
+        let d1 = f.grad(&[x.clone()])[0].clone();
+        assert!(close(d1.value(), 6.0));
+        let d2 = d1.grad(&[x.clone()])[0].clone();
+        assert!(close(d2.value(), 2.0));
+    }
+
+    #[test]
+    fn third_derivative_of_exp() {
+        let t = Tape::new();
+        let x = t.input(0.3);
+        let f = x.exp();
+        let d1 = f.grad(&[x.clone()])[0].clone();
+        let d2 = d1.grad(&[x.clone()])[0].clone();
+        let d3 = d2.grad(&[x.clone()])[0].clone();
+        assert!(close(d3.value(), 0.3f64.exp()));
+    }
+
+    #[test]
+    fn mixed_partial_symmetry() {
+        // f = x² y³ ⇒ f_xy = 6 x y²
+        let t = Tape::new();
+        let x = t.input(1.5);
+        let y = t.input(0.8);
+        let f = x.square().mul_v(&y.powi(3));
+        let fx = f.grad(&[x.clone()])[0].clone();
+        let fxy = fx.grad(&[y.clone()])[0].clone();
+        let fy = f.grad(&[y.clone()])[0].clone();
+        let fyx = fy.grad(&[x.clone()])[0].clone();
+        let expect = 6.0 * 1.5 * 0.8 * 0.8;
+        assert!(close(fxy.value(), expect));
+        assert!(close(fyx.value(), expect));
+    }
+
+    #[test]
+    fn grad_of_unused_variable_is_zero() {
+        let t = Tape::new();
+        let x = t.input(1.0);
+        let y = t.input(2.0);
+        let f = x.square();
+        let g = f.grad(&[y.clone()]);
+        assert_eq!(g[0].value(), 0.0);
+    }
+
+    #[test]
+    fn constants_block_gradient() {
+        let t = Tape::new();
+        let x = t.input(2.0);
+        let c = t.constant(10.0);
+        let f = x.mul_v(&c);
+        let g = f.grad(&[x.clone()]);
+        assert!(close(g[0].value(), 10.0));
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // f = x·x + x (x used three times)
+        let t = Tape::new();
+        let x = t.input(4.0);
+        let f = &x.mul_v(&x) + &x;
+        let g = f.grad(&[x.clone()]);
+        assert!(close(g[0].value(), 9.0));
+    }
+
+    #[test]
+    fn laplacian_of_harmonic_function_is_zero() {
+        // u = x² - y² is harmonic: u_xx + u_yy = 0.
+        let t = Tape::new();
+        let x = t.input(1.3);
+        let y = t.input(-0.7);
+        let u = &x.square() - &y.square();
+        let ux = u.grad(&[x.clone()])[0].clone();
+        let uxx = ux.grad(&[x.clone()])[0].clone();
+        let uy = u.grad(&[y.clone()])[0].clone();
+        let uyy = uy.grad(&[y.clone()])[0].clone();
+        assert!(close(uxx.value() + uyy.value(), 0.0));
+    }
+
+    #[test]
+    fn tiny_mlp_parameter_gradient_matches_finite_difference() {
+        // One hidden neuron: f(x) = w2 · tanh(w1 x + b1) + b2, loss = f².
+        let eval = |w1: f64, b1: f64, w2: f64, b2: f64, xv: f64| -> f64 {
+            let f = w2 * (w1 * xv + b1).tanh() + b2;
+            f * f
+        };
+        let (w1v, b1v, w2v, b2v, xv) = (0.7, -0.2, 1.3, 0.1, 0.5);
+        let t = Tape::new();
+        let w1 = t.input(w1v);
+        let b1 = t.input(b1v);
+        let w2 = t.input(w2v);
+        let b2 = t.input(b2v);
+        let x = t.constant(xv);
+        let f = &w2.mul_v(&w1.mul_v(&x).add_v(&b1).tanh()) + &b2;
+        let loss = f.square();
+        let g = loss.grad(&[w1, b1, w2, b2]);
+        let h = 1e-6;
+        let fd = [
+            (eval(w1v + h, b1v, w2v, b2v, xv) - eval(w1v - h, b1v, w2v, b2v, xv)) / (2.0 * h),
+            (eval(w1v, b1v + h, w2v, b2v, xv) - eval(w1v, b1v - h, w2v, b2v, xv)) / (2.0 * h),
+            (eval(w1v, b1v, w2v + h, b2v, xv) - eval(w1v, b1v, w2v - h, b2v, xv)) / (2.0 * h),
+            (eval(w1v, b1v, w2v, b2v + h, xv) - eval(w1v, b1v, w2v, b2v - h, xv)) / (2.0 * h),
+        ];
+        for i in 0..4 {
+            assert!(
+                (g[i].value() - fd[i]).abs() < 1e-5,
+                "param {i}: {} vs {}",
+                g[i].value(),
+                fd[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn cross_tape_operations_panic() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.input(1.0);
+        let b = t2.input(2.0);
+        let _ = a.add_v(&b);
+    }
+
+    #[test]
+    fn abs_subgradient() {
+        let t = Tape::new();
+        let x = t.input(-2.0);
+        let g = x.abs().grad(&[x.clone()])[0].value();
+        assert_eq!(g, -1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Criterion micro-benchmarks backing the paper's §3.6 complexity claims:
+//!
+//! * kNN construction is `O(N log N)` (HNSW) / near-linear (grid);
+//! * effective-resistance estimation and LRD are `O(kN)`;
+//! * the ISR solve is cheap on probe-sized sets;
+//! * SGM's refresh cost (r·N probes) is far below MIS's (N probes);
+//! * the MLP derivative-propagating forward/backward scales linearly in
+//!   batch size.
+//!
+//! Run with `cargo bench -p sgm-bench`. Sizes are kept modest so the
+//! whole suite finishes in a few minutes; the *scaling ratios* between
+//! size points are what the claims rest on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+use sgm_graph::lrd::{decompose, ErSource, LrdConfig};
+use sgm_graph::points::PointCloud;
+use sgm_graph::resistance::{approx_edge_resistances, ApproxErOptions};
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{BatchDerivatives, Mlp, MlpConfig};
+use sgm_stability::{spade_scores, SpadeConfig};
+use std::time::Duration;
+
+fn cloud(n: usize, seed: u64) -> PointCloud {
+    let mut rng = Rng64::new(seed);
+    PointCloud::uniform_box(n, 2, 0.0, 1.0, &mut rng)
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knn_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[1000usize, 4000, 16000] {
+        let pts = cloud(n, 1);
+        for (name, strategy) in [("grid", KnnStrategy::Grid), ("hnsw", KnnStrategy::Hnsw)] {
+            g.bench_with_input(BenchmarkId::new(name, n), &pts, |b, pts| {
+                b.iter(|| {
+                    build_knn_graph(
+                        pts,
+                        &KnnConfig {
+                            k: 8,
+                            strategy,
+                            ..KnnConfig::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_er_and_lrd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("er_lrd_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[1000usize, 4000, 16000] {
+        let pts = cloud(n, 2);
+        let graph = build_knn_graph(
+            &pts,
+            &KnnConfig {
+                k: 8,
+                strategy: KnnStrategy::Grid,
+                ..KnnConfig::default()
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("approx_er", n), &graph, |b, graph| {
+            b.iter(|| approx_edge_resistances(graph, &ApproxErOptions::default()))
+        });
+        let er = approx_edge_resistances(&graph, &ApproxErOptions::default());
+        g.bench_with_input(BenchmarkId::new("lrd", n), &graph, |b, graph| {
+            b.iter(|| {
+                decompose(
+                    graph,
+                    &LrdConfig {
+                        level: 6,
+                        er: ErSource::Provided(er.clone()),
+                        min_clusters: 32,
+                        max_cluster_frac: 0.02,
+                        budget_scale: 1.0,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_isr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isr_probe");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 128, 256] {
+        let mut rng = Rng64::new(3);
+        let inputs = PointCloud::uniform_box(n, 3, 0.0, 1.0, &mut rng);
+        let outputs = {
+            let mut flat = Vec::with_capacity(n * 2);
+            for i in 0..n {
+                let p = inputs.point(i);
+                flat.push((3.0 * p[0]).sin() + p[2]);
+                flat.push(p[0] * p[1]);
+            }
+            PointCloud::from_flat(2, flat)
+        };
+        g.bench_with_input(
+            BenchmarkId::new("spade", n),
+            &(inputs, outputs),
+            |b, (i, o)| b.iter(|| spade_scores(i, o, &SpadeConfig::default())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlp_fwd_bwd");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let cfg = MlpConfig {
+        input_dim: 3,
+        output_dim: 4,
+        hidden_width: 48,
+        hidden_layers: 4,
+        activation: Activation::SiLu,
+        fourier: None,
+    };
+    let mut rng = Rng64::new(4);
+    let net = Mlp::new(&cfg, &mut rng);
+    for &b_sz in &[128usize, 512, 2048] {
+        let x = Matrix::gaussian(b_sz, 3, &mut rng);
+        g.bench_with_input(BenchmarkId::new("fwd_derivs_bwd", b_sz), &x, |b, x| {
+            b.iter(|| {
+                let (full, cache) = net.forward_with_derivs(x, &[0, 1]);
+                let adj = BatchDerivatives::zeros_like(&full);
+                net.backward(&cache, &adj)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fwd_values_only", b_sz), &x, |b, x| {
+            b.iter(|| net.forward(x))
+        });
+    }
+    g.finish();
+}
+
+fn bench_refresh_overhead(c: &mut Criterion) {
+    use sgm_core::{MisConfig, MisSampler, SgmConfig, SgmSampler};
+    use sgm_physics::geometry::{Cavity, FillStrategy};
+    use sgm_physics::pde::{Pde, PoissonConfig};
+    use sgm_physics::problem::{Problem, TrainSet};
+    use sgm_physics::train::{Probe, Sampler};
+
+    let mut g = c.benchmark_group("sampler_refresh");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 8000;
+    let problem = Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: |p: &[f64]| (5.0 * p[0]).sin(),
+    }));
+    let mut rng = Rng64::new(5);
+    let interior = Cavity::default().sample_interior(n, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: Matrix::zeros(1, 1),
+    };
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 32,
+            hidden_layers: 3,
+            activation: Activation::SiLu,
+            fourier: None,
+        },
+        &mut Rng64::new(6),
+    );
+    // SGM probes r·N per refresh; MIS probes the full N. The ratio of
+    // these two timings is the overhead reduction claimed in §3.1(3).
+    g.bench_function("sgm_refresh_r15", |b| {
+        let mut s = SgmSampler::new(
+            &data.interior,
+            SgmConfig {
+                tau_e: 1,
+                tau_g: 0,
+                background: false,
+                min_clusters: 32,
+                ..SgmConfig::default()
+            },
+        );
+        let probe = Probe {
+            net: &net,
+            problem: &problem,
+            data: &data,
+        };
+        let mut rng = Rng64::new(7);
+        let mut iter = 0usize;
+        b.iter(|| {
+            s.refresh(iter, &probe, &mut rng);
+            iter += 1;
+        })
+    });
+    g.bench_function("mis_refresh_full", |b| {
+        let mut s = MisSampler::new(
+            n,
+            MisConfig {
+                tau_e: 1,
+                ..MisConfig::default()
+            },
+        );
+        let probe = Probe {
+            net: &net,
+            problem: &problem,
+            data: &data,
+        };
+        let mut rng = Rng64::new(8);
+        let mut iter = 0usize;
+        b.iter(|| {
+            s.refresh(iter, &probe, &mut rng);
+            iter += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    use sgm_graph::partition::{parallel_decompose, GridPartitionConfig};
+    let mut g = c.benchmark_group("rebuild_threads");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let pts = cloud(24_000, 9);
+    for &threads in &[1usize, 2, 4] {
+        let cfg = GridPartitionConfig {
+            tiles_per_axis: 4,
+            threads,
+            knn: KnnConfig {
+                k: 8,
+                strategy: KnnStrategy::Grid,
+                ..KnnConfig::default()
+            },
+            lrd: LrdConfig {
+                min_clusters: 8,
+                ..LrdConfig::default()
+            },
+        };
+        g.bench_with_input(BenchmarkId::new("s1_s2", threads), &cfg, |b, cfg| {
+            b.iter(|| parallel_decompose(&pts, cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_knn,
+    bench_er_and_lrd,
+    bench_isr,
+    bench_mlp,
+    bench_refresh_overhead,
+    bench_thread_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation sweeps over SGM-PINN's hyper-parameters (the sensitivities
+//! the paper's §5 calls out: `k`, `𝕃`, plus the probe ratio `r`, the
+//! score→ratio mapping and the floor-one rule).
+//!
+//! Each configuration trains the LDC problem for a short, equal wall
+//! budget (`SGM_ABLATION_SECS`, default 12 s) starting from one factor's
+//! variations around a base configuration. Prints best-`v` error and
+//! refresh overhead per configuration, and writes
+//! `target/experiments/ablation.csv`.
+
+use sgm_bench::experiments::{build_ldc, run_sgm_with_config, sgm_config, Scale};
+use sgm_bench::report::experiments_dir;
+use sgm_core::score::ScoreMapping;
+use std::io::Write;
+
+fn main() {
+    let budget: f64 = std::env::var("SGM_ABLATION_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12.0);
+    let mut scale = Scale::ldc_default();
+    scale.budget_seconds = budget;
+    scale.n_small = 8_000;
+    scale.tau_e = 200;
+    eprintln!("[ablation] building LDC experiment...");
+    let exp = build_ldc(&scale);
+    let base = sgm_config(&exp, &scale, false);
+
+    let mut jobs: Vec<(String, sgm_core::SgmConfig)> = Vec::new();
+    for k in [5usize, 15, 30] {
+        let mut c = base.clone();
+        c.k = k;
+        jobs.push((format!("k={k}"), c));
+    }
+    for level in [2usize, 6, 10] {
+        let mut c = base.clone();
+        c.lrd_level = level;
+        jobs.push((format!("L={level}"), c));
+    }
+    for r in [0.05f64, 0.15, 0.30] {
+        let mut c = base.clone();
+        c.probe_ratio = r;
+        jobs.push((format!("r={r}"), c));
+    }
+    for (name, mapping) in [
+        ("map=linear", ScoreMapping::Linear { lo: 0.05, hi: 0.5 }),
+        (
+            "map=softmax",
+            ScoreMapping::Softmax {
+                temp: 0.5,
+                lo: 0.05,
+                hi: 0.5,
+            },
+        ),
+        ("map=rank", ScoreMapping::Rank { lo: 0.05, hi: 0.5 }),
+    ] {
+        let mut c = base.clone();
+        c.mapping = mapping;
+        jobs.push((name.to_string(), c));
+    }
+    for floor in [true, false] {
+        let mut c = base.clone();
+        c.floor_one = floor;
+        jobs.push((format!("floor_one={floor}"), c));
+    }
+
+    let csv_path = experiments_dir().join("ablation.csv");
+    let mut csv = std::fs::File::create(&csv_path).expect("create ablation.csv");
+    writeln!(csv, "config,best_v_error,best_u_error,iterations,refresh_seconds").unwrap();
+    println!(
+        "{:<18}{:>12}{:>12}{:>10}{:>12}",
+        "config", "best v err", "best u err", "iters", "overhead s"
+    );
+    for (name, cfg) in jobs {
+        let run = run_sgm_with_config(&exp, &scale, cfg, name.clone());
+        let v = run.result.min_error(1).map_or(f64::NAN, |(e, _)| e);
+        let u = run.result.min_error(0).map_or(f64::NAN, |(e, _)| e);
+        let overhead = run.sgm_stats.map_or(0.0, |s| s.refresh_seconds);
+        println!(
+            "{:<18}{:>12.4}{:>12.4}{:>10}{:>12.2}",
+            name, v, u, run.iterations_done, overhead
+        );
+        writeln!(
+            csv,
+            "{name},{v:.6},{u:.6},{},{overhead:.3}",
+            run.iterations_done
+        )
+        .unwrap();
+    }
+    println!("\ncsv: {}", csv_path.display());
+}

@@ -1,0 +1,36 @@
+//! Reproduces **Figure 2** — validation error of `v` versus wall time for
+//! the LDC example, all four sampling methods.
+//!
+//! Reuses `target/experiments/ldc.json` when present (run `table1` first);
+//! otherwise trains the suite itself. Emits `target/experiments/fig2.csv`
+//! and an ASCII rendering.
+
+use sgm_bench::experiments::{build_ldc, run_suite, Method, Scale};
+use sgm_bench::report::{ascii_curves, experiments_dir, load_suite, save_suite, write_curves_csv};
+
+fn main() {
+    let dump = load_suite("ldc").unwrap_or_else(|| {
+        eprintln!("[fig2] no cached ldc.json — running the LDC suite");
+        let scale = Scale::ldc_default();
+        let exp = build_ldc(&scale);
+        let dump = run_suite(
+            "ldc",
+            &exp,
+            &scale,
+            &[
+                Method::UniformSmall,
+                Method::UniformLarge,
+                Method::Mis,
+                Method::Sgm,
+            ],
+        );
+        save_suite(&dump, "ldc");
+        dump
+    });
+    // v is validated output column 1 (u, v, nu).
+    let csv = experiments_dir().join("fig2.csv");
+    write_curves_csv(&dump, 1, &csv);
+    println!("=== Figure 2: LDC validation error of v vs wall time ===\n");
+    println!("{}", ascii_curves(&dump, 1, 78, 20));
+    println!("curves: {}", csv.display());
+}

@@ -1,0 +1,35 @@
+//! Reproduces **Figure 3** — validation error of `v` versus wall time for
+//! the parameterised annular ring, including plain `SGM` (which the paper
+//! shows *degrading* without the stability term) and `SGM-S`.
+//!
+//! Reuses `target/experiments/ar.json` when present (run `table2` first).
+
+use sgm_bench::experiments::{build_ar, run_suite, Method, Scale};
+use sgm_bench::report::{ascii_curves, experiments_dir, load_suite, save_suite, write_curves_csv};
+
+fn main() {
+    let dump = load_suite("ar").unwrap_or_else(|| {
+        eprintln!("[fig3] no cached ar.json — running the AR suite");
+        let scale = Scale::ar_default();
+        let exp = build_ar(&scale);
+        let dump = run_suite(
+            "ar",
+            &exp,
+            &scale,
+            &[
+                Method::UniformSmall,
+                Method::UniformLarge,
+                Method::Mis,
+                Method::Sgm,
+                Method::SgmS,
+            ],
+        );
+        save_suite(&dump, "ar");
+        dump
+    });
+    let csv = experiments_dir().join("fig3.csv");
+    write_curves_csv(&dump, 1, &csv);
+    println!("=== Figure 3: AR validation error of v vs wall time ===\n");
+    println!("{}", ascii_curves(&dump, 1, 78, 20));
+    println!("curves: {}", csv.display());
+}

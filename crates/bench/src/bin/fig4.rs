@@ -1,0 +1,86 @@
+//! Reproduces **Figure 4** — visualised absolute error of the pressure
+//! field `p` at `r_i = 1.0` for every method's trained model.
+//!
+//! Loads the trained networks from `target/experiments/ar.json` (run
+//! `table2` first), evaluates `|p_pred − p_exact|` on a polar grid, writes
+//! one CSV per method (`fig4_<label>.csv`: `x,y,abs_err`) and prints an
+//! ASCII heatmap plus summary statistics.
+
+use sgm_bench::experiments::{build_ar, net_from_dump, run_suite, Method, Scale};
+use sgm_bench::report::{experiments_dir, load_suite, save_suite, SuiteDump};
+use sgm_physics::geometry::AnnulusChannel;
+use std::io::Write;
+
+fn load_or_run() -> SuiteDump {
+    load_suite("ar").unwrap_or_else(|| {
+        eprintln!("[fig4] no cached ar.json — running the AR suite");
+        let scale = Scale::ar_default();
+        let exp = build_ar(&scale);
+        let dump = run_suite(
+            "ar",
+            &exp,
+            &scale,
+            &[
+                Method::UniformSmall,
+                Method::UniformLarge,
+                Method::Mis,
+                Method::Sgm,
+                Method::SgmS,
+            ],
+        );
+        save_suite(&dump, "ar");
+        dump
+    })
+}
+
+fn main() {
+    let dump = load_or_run();
+    let ring = AnnulusChannel::default();
+    let r_i = 1.0;
+    let (nr, nth) = (16, 48);
+    let (pts, exact) = ring.validation_grid(r_i, nr, nth);
+    println!("=== Figure 4: |p error| at r_i = {r_i} ===\n");
+    for run in &dump.runs {
+        if run.params.is_empty() {
+            continue;
+        }
+        let net = net_from_dump(&dump.arch, &run.params);
+        let pred = net.forward(&pts);
+        let mut errs = Vec::with_capacity(pts.rows());
+        for i in 0..pts.rows() {
+            errs.push((pred.get(i, 2) - exact.get(i, 2)).abs());
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let max = errs.iter().cloned().fold(0.0f64, f64::max);
+        // CSV dump.
+        let safe_label = run.label.replace(['/', ' '], "_");
+        let path = experiments_dir().join(format!("fig4_{safe_label}.csv"));
+        let mut f = std::fs::File::create(&path).expect("create fig4 csv");
+        writeln!(f, "x,y,abs_p_error").unwrap();
+        for i in 0..pts.rows() {
+            writeln!(
+                f,
+                "{:.4},{:.4},{:.6}",
+                pts.get(i, 0),
+                pts.get(i, 1),
+                errs[i]
+            )
+            .unwrap();
+        }
+        // ASCII heatmap: rows = radius bins (inner at bottom), cols = angle.
+        println!("{}  mean |Δp| = {mean:.4}, max = {max:.4}", run.label);
+        let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let emax = max.max(1e-12);
+        for ir in (0..nr).rev() {
+            print!("  ");
+            for it in 0..nth {
+                let e = errs[ir * nth + it];
+                let level = ((e / emax) * (shades.len() - 1) as f64).round() as usize;
+                print!("{}", shades[level.min(shades.len() - 1)]);
+            }
+            println!();
+        }
+        println!("  (bottom row = inner radius; columns = angle 0..2π)");
+        println!("  csv: {}\n", path.display());
+    }
+}

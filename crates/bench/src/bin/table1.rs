@@ -1,0 +1,41 @@
+//! Reproduces **Table 1** — minimum validation errors and time-to-achieve
+//! for the LDC (zero-equation turbulence) example, comparing
+//! `U_small`, `U_large` (baseline), `MIS_small` and `SGM_small`.
+//!
+//! Usage: `cargo run --release -p sgm-bench --bin table1`
+//! (`SGM_BUDGET_SECS` overrides the per-method wall budget, default 60).
+
+use sgm_bench::experiments::{build_ldc, run_suite, Method, Scale};
+use sgm_bench::report::{render_table, save_suite};
+
+fn main() {
+    let scale = Scale::ldc_default();
+    eprintln!("[table1] solving LDC reference field (FDM)...");
+    let exp = build_ldc(&scale);
+    let methods = [
+        Method::UniformSmall,
+        Method::UniformLarge,
+        Method::Mis,
+        Method::Sgm,
+    ];
+    let dump = run_suite("ldc", &exp, &scale, &methods);
+    let path = save_suite(&dump, "ldc");
+    println!("\n=== Table 1 (LDC, zero-eq turbulence; scaled reproduction) ===\n");
+    println!("{}", render_table(&dump));
+    // Speedup summary: time for SGM to reach the baseline's best error.
+    let baseline = &dump.runs[1]; // U_large
+    let sgm = &dump.runs[3];
+    for (col, name) in dump.output_names.iter().enumerate() {
+        if let Some((best, t_base)) = baseline.min_error(col) {
+            if let Some(t_sgm) = sgm.time_to(col, best) {
+                println!(
+                    "speedup to baseline-best {name} ({best:.4}): {:.2}x  ({t_base:.1}s -> {t_sgm:.1}s)",
+                    t_base / t_sgm.max(1e-9)
+                );
+            } else {
+                println!("SGM did not reach baseline-best {name} ({best:.4}) in budget");
+            }
+        }
+    }
+    println!("\nartifacts: {}", path.display());
+}

@@ -1,0 +1,24 @@
+//! # sgm-bench
+//!
+//! The experiment harness that regenerates every table and figure in the
+//! paper's evaluation section (§4), plus Criterion micro-benchmarks of
+//! each subsystem.
+//!
+//! Reproduction binaries (see DESIGN.md's per-experiment index):
+//!
+//! | binary    | paper artifact |
+//! |-----------|----------------|
+//! | `table1`  | Table 1 — LDC min validation errors + time-to-target    |
+//! | `fig2`    | Figure 2 — LDC error-vs-wall-time curves for `v`        |
+//! | `table2`  | Table 2 — parameterised AR errors + time-to-target      |
+//! | `fig3`    | Figure 3 — AR error-vs-time curves incl. plain SGM      |
+//! | `fig4`    | Figure 4 — absolute error field of `p` at `r_i = 1.0`   |
+//! | `ablation`| §5 hyper-parameter sensitivity (`k`, `𝕃`, `r`, mapping) |
+//!
+//! All binaries share the scaled experiment configurations in
+//! [`experiments`] (the substitutions are documented in DESIGN.md §2) and
+//! write machine-readable results under `target/experiments/`. Budgets are
+//! tunable via the `SGM_BUDGET_SECS` environment variable.
+
+pub mod experiments;
+pub mod report;

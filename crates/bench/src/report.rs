@@ -1,0 +1,367 @@
+//! Result persistence and table rendering.
+//!
+//! Every reproduction binary dumps its runs to JSON under
+//! `target/experiments/` (so figures can be regenerated without
+//! retraining) and prints paper-style tables to stdout.
+
+use crate::experiments::MethodRun;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Serialisable mirror of a training history record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecordDump {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Seconds since the run started.
+    pub seconds: f64,
+    /// Training loss.
+    pub loss: f64,
+    /// Validation errors per output.
+    pub errors: Vec<f64>,
+}
+
+/// Serialisable mirror of one method run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunDump {
+    /// Paper-style label.
+    pub label: String,
+    /// History records.
+    pub records: Vec<RecordDump>,
+    /// Total seconds trained.
+    pub total_seconds: f64,
+    /// Iterations completed.
+    pub iterations: usize,
+    /// Final network parameters.
+    pub params: Vec<f64>,
+    /// Refresh overhead seconds (SGM only).
+    pub refresh_seconds: Option<f64>,
+    /// Loss-probe evaluations (SGM / MIS).
+    pub probe_evals: Option<usize>,
+}
+
+/// Network architecture needed to rebuild trained models from a dump.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+pub struct ArchDump {
+    /// Input dimension.
+    pub input_dim: usize,
+    /// Output dimension.
+    pub output_dim: usize,
+    /// Hidden width.
+    pub width: usize,
+    /// Hidden depth.
+    pub depth: usize,
+    /// Fourier features (0 = no encoding).
+    #[serde(default)]
+    pub fourier_features: usize,
+    /// Fourier frequency scale.
+    #[serde(default)]
+    pub fourier_sigma: f64,
+    /// RNG seed used at construction (regenerates the frozen Fourier
+    /// frequency matrix, which is not part of the trainable parameters).
+    #[serde(default)]
+    pub init_seed: u64,
+}
+
+/// A whole experiment dump (one per binary).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteDump {
+    /// Experiment id (`ldc` or `ar`).
+    pub experiment: String,
+    /// Validated output names.
+    pub output_names: Vec<String>,
+    /// Network architecture used for every run.
+    pub arch: ArchDump,
+    /// All method runs.
+    pub runs: Vec<RunDump>,
+}
+
+impl RunDump {
+    /// Converts a live [`MethodRun`].
+    pub fn from_run(run: &MethodRun) -> Self {
+        RunDump {
+            label: run.label.clone(),
+            records: run
+                .result
+                .history
+                .iter()
+                .map(|r| RecordDump {
+                    iteration: r.iteration,
+                    seconds: r.seconds,
+                    loss: r.train_loss,
+                    errors: r.val_errors.clone(),
+                })
+                .collect(),
+            total_seconds: run.result.total_seconds,
+            iterations: run.iterations_done,
+            params: run.params.clone(),
+            refresh_seconds: run.sgm_stats.map(|s| s.refresh_seconds),
+            probe_evals: run
+                .sgm_stats
+                .map(|s| s.probe_evals)
+                .or(run.mis_probe_evals),
+        }
+    }
+
+    /// Minimum error and the time it was reached for output `col`.
+    pub fn min_error(&self, col: usize) -> Option<(f64, f64)> {
+        self.records
+            .iter()
+            .filter(|r| col < r.errors.len())
+            .map(|r| (r.errors[col], r.seconds))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+    }
+
+    /// Error of output `col_read` at the record where `col_min` attains
+    /// its minimum (the paper's "p at Min(v)" rows).
+    pub fn error_at_min_of(&self, col_min: usize, col_read: usize) -> Option<f64> {
+        self.records
+            .iter()
+            .filter(|r| col_min < r.errors.len() && col_read < r.errors.len())
+            .min_by(|a, b| a.errors[col_min].partial_cmp(&b.errors[col_min]).unwrap())
+            .map(|r| r.errors[col_read])
+    }
+
+    /// First time the error for `col` reached `target`.
+    pub fn time_to(&self, col: usize, target: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| col < r.errors.len() && r.errors[col] <= target)
+            .map(|r| r.seconds)
+    }
+}
+
+/// Directory where experiment artifacts are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a suite dump as JSON.
+///
+/// # Panics
+/// Panics on I/O failure (experiment binaries want loud failures).
+pub fn save_suite(dump: &SuiteDump, name: &str) -> PathBuf {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string(dump).expect("serialise suite");
+    std::fs::write(&path, json).expect("write suite dump");
+    path
+}
+
+/// Loads a previously saved suite dump, if present.
+pub fn load_suite(name: &str) -> Option<SuiteDump> {
+    let path = experiments_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Writes the error-vs-time curves of one output as CSV
+/// (`label,iteration,seconds,error`).
+///
+/// # Panics
+/// Panics on I/O failure.
+pub fn write_curves_csv(dump: &SuiteDump, col: usize, path: &Path) {
+    let mut f = std::fs::File::create(path).expect("create csv");
+    writeln!(f, "method,iteration,seconds,error").unwrap();
+    for run in &dump.runs {
+        for r in &run.records {
+            if col < r.errors.len() {
+                writeln!(f, "{},{},{:.3},{:.6}", run.label, r.iteration, r.seconds, r.errors[col])
+                    .unwrap();
+            }
+        }
+    }
+}
+
+/// Renders the paper's table layout: one `Min(out)` row per output, then
+/// the time-to-target matrix `T(label_out)` — the time each column method
+/// needed to reach each row method's best error.
+pub fn render_table(dump: &SuiteDump) -> String {
+    let mut out = String::new();
+    let labels: Vec<&str> = dump.runs.iter().map(|r| r.label.as_str()).collect();
+    out.push_str(&format!("{:<18}", "Label"));
+    for l in &labels {
+        out.push_str(&format!("{l:>14}"));
+    }
+    out.push('\n');
+    for (col, name) in dump.output_names.iter().enumerate() {
+        out.push_str(&format!("{:<18}", format!("Min({name})")));
+        for run in &dump.runs {
+            match run.min_error(col) {
+                Some((e, _)) => out.push_str(&format!("{e:>14.4}")),
+                None => out.push_str(&format!("{:>14}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    for (col, name) in dump.output_names.iter().enumerate() {
+        for target_run in &dump.runs {
+            let Some((best, _)) = target_run.min_error(col) else {
+                continue;
+            };
+            out.push_str(&format!(
+                "{:<18}",
+                format!("T({}_{})", target_run.label, name)
+            ));
+            for run in &dump.runs {
+                match run.time_to(col, best) {
+                    Some(t) => out.push_str(&format!("{t:>13.1}s")),
+                    None => out.push_str(&format!("{:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// ASCII rendering of error-vs-time curves (log-y), for terminal output.
+pub fn ascii_curves(dump: &SuiteDump, col: usize, width: usize, height: usize) -> String {
+    let mut max_t: f64 = 0.0;
+    let (mut min_e, mut max_e) = (f64::MAX, f64::MIN);
+    for run in &dump.runs {
+        for r in &run.records {
+            if col < r.errors.len() && r.errors[col] > 0.0 {
+                max_t = max_t.max(r.seconds);
+                min_e = min_e.min(r.errors[col]);
+                max_e = max_e.max(r.errors[col]);
+            }
+        }
+    }
+    if max_t <= 0.0 || min_e >= max_e {
+        return String::from("(no data)\n");
+    }
+    let (lmin, lmax) = (min_e.ln(), max_e.ln());
+    let mut grid = vec![vec![' '; width]; height];
+    let glyphs = ['U', 'B', 'M', 'S', 'Z', '*'];
+    for (ri, run) in dump.runs.iter().enumerate() {
+        let g = glyphs[ri.min(glyphs.len() - 1)];
+        for r in &run.records {
+            if col >= r.errors.len() || r.errors[col] <= 0.0 {
+                continue;
+            }
+            let x = ((r.seconds / max_t) * (width - 1) as f64) as usize;
+            let y = (((r.errors[col].ln() - lmin) / (lmax - lmin)) * (height - 1) as f64) as usize;
+            let row = height - 1 - y;
+            grid[row][x] = g;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "error (log) from {:.4} (bottom) to {:.4} (top), time 0..{:.0}s\n",
+        min_e, max_e, max_t
+    ));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat('-').take(width));
+    out.push('\n');
+    for (ri, run) in dump.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "  {} = {}\n",
+            glyphs[ri.min(glyphs.len() - 1)],
+            run.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump() -> SuiteDump {
+        SuiteDump {
+            experiment: "test".into(),
+            output_names: vec!["u".into()],
+            arch: ArchDump::default(),
+            runs: vec![
+                RunDump {
+                    label: "U_8".into(),
+                    records: vec![
+                        RecordDump {
+                            iteration: 0,
+                            seconds: 1.0,
+                            loss: 1.0,
+                            errors: vec![0.5],
+                        },
+                        RecordDump {
+                            iteration: 10,
+                            seconds: 2.0,
+                            loss: 0.5,
+                            errors: vec![0.3],
+                        },
+                    ],
+                    total_seconds: 2.0,
+                    iterations: 11,
+                    params: vec![],
+                    refresh_seconds: None,
+                    probe_evals: None,
+                },
+                RunDump {
+                    label: "SGM_8".into(),
+                    records: vec![
+                        RecordDump {
+                            iteration: 0,
+                            seconds: 0.5,
+                            loss: 1.0,
+                            errors: vec![0.4],
+                        },
+                        RecordDump {
+                            iteration: 10,
+                            seconds: 1.0,
+                            loss: 0.2,
+                            errors: vec![0.1],
+                        },
+                    ],
+                    total_seconds: 1.0,
+                    iterations: 11,
+                    params: vec![],
+                    refresh_seconds: Some(0.1),
+                    probe_evals: Some(100),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn min_and_time_to() {
+        let d = dump();
+        assert_eq!(d.runs[0].min_error(0), Some((0.3, 2.0)));
+        assert_eq!(d.runs[1].time_to(0, 0.3), Some(1.0));
+        assert_eq!(d.runs[0].time_to(0, 0.05), None);
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let d = dump();
+        let t = render_table(&d);
+        assert!(t.contains("Min(u)"));
+        assert!(t.contains("T(U_8_u)"));
+        assert!(t.contains("T(SGM_8_u)"));
+        // SGM reached U's best (0.3) at 1.0s.
+        assert!(t.contains("1.0s"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = dump();
+        let s = serde_json::to_string(&d).unwrap();
+        let back: SuiteDump = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.runs.len(), 2);
+        assert_eq!(back.runs[1].label, "SGM_8");
+    }
+
+    #[test]
+    fn ascii_curves_render() {
+        let d = dump();
+        let a = ascii_curves(&d, 0, 40, 10);
+        assert!(a.contains("U = U_8"));
+        assert!(a.contains('S'));
+    }
+}

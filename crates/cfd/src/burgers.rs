@@ -1,0 +1,164 @@
+//! Exact reference solution of the viscous Burgers benchmark via the
+//! Cole–Hopf transformation.
+//!
+//! The standard PINN benchmark (Raissi et al.) solves
+//! `u_t + u u_x = ν u_xx` on `x ∈ [−1, 1]`, `t ∈ [0, 1]` with
+//! `u(x, 0) = −sin(πx)` and `u(±1, t) = 0`, `ν = 0.01/π`. Cole–Hopf gives
+//! the closed form
+//!
+//! ```text
+//! u(x, t) = −∫ sin(π(x − η)) f(x − η) G(η) dη / ∫ f(x − η) G(η) dη
+//! f(y) = exp(−cos(πy)/(2πν)),  G(η) = exp(−η²/(4νt))
+//! ```
+//!
+//! evaluated here with Gauss–Hermite quadrature (substituting
+//! `η = 2√(νt)·z` turns `G` into `e^{−z²}`).
+
+use sgm_linalg::dense::Matrix;
+use sgm_physics::validate::ValidationSet;
+
+/// 32-point Gauss–Hermite nodes (positive half; symmetric).
+const GH_NODES: [f64; 16] = [
+    0.194840741569, 0.584978765436, 0.976500463590, 1.370376410953,
+    1.767654109463, 2.169499183606, 2.577249537732, 2.992490825002,
+    3.417167492819, 3.853755485471, 4.305547953351, 4.777164503503,
+    5.275550986516, 5.812225949516, 6.409498149270, 7.125813909830,
+];
+/// Matching weights.
+const GH_WEIGHTS: [f64; 16] = [
+    3.75238352593e-1, 2.77458142303e-1, 1.51269734077e-1, 6.04581309559e-2,
+    1.75534288315e-2, 3.65489032665e-3, 5.36268365527e-4, 5.41658406181e-5,
+    3.65058512956e-6, 1.57416779254e-7, 4.09883216477e-9, 5.93329146339e-11,
+    4.21501021132e-13, 1.19734401709e-15, 9.23173653651e-19, 7.31067642738e-23,
+];
+
+/// The benchmark's viscosity.
+pub const BENCH_NU: f64 = 0.01 / std::f64::consts::PI;
+
+/// Exact solution `u(x, t)` of the benchmark problem via Cole–Hopf +
+/// Gauss–Hermite quadrature. At `t = 0` returns the initial condition.
+///
+/// # Panics
+/// Panics for `t < 0`.
+pub fn exact_solution(x: f64, t: f64, nu: f64) -> f64 {
+    assert!(t >= 0.0, "negative time");
+    let pi = std::f64::consts::PI;
+    if t < 1e-12 {
+        return -(pi * x).sin();
+    }
+    let c = 2.0 * (nu * t).sqrt();
+    let f = |y: f64| (-((pi * y).cos()) / (2.0 * pi * nu)).exp();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for k in 0..GH_NODES.len() {
+        for sign in [-1.0, 1.0] {
+            let z = sign * GH_NODES[k];
+            let w = GH_WEIGHTS[k];
+            let y = x - c * z;
+            let fv = f(y);
+            num += w * (pi * y).sin() * fv;
+            den += w * fv;
+        }
+    }
+    if den.abs() < 1e-300 {
+        0.0
+    } else {
+        -num / den
+    }
+}
+
+/// Validation grid over `(x, t) ∈ [−1, 1] × (0, t_max]` with exact
+/// targets (output 0 = u).
+pub fn burgers_validation_set(nx: usize, nt: usize, t_max: f64, nu: f64) -> ValidationSet {
+    let n = nx * nt;
+    let mut points = Matrix::zeros(n, 2);
+    let mut targets = Matrix::zeros(n, 1);
+    let mut row = 0;
+    for it in 0..nt {
+        let t = t_max * (it as f64 + 1.0) / nt as f64;
+        for ix in 0..nx {
+            let x = -1.0 + 2.0 * (ix as f64 + 0.5) / nx as f64;
+            points.set(row, 0, x);
+            points.set(row, 1, t);
+            targets.set(row, 0, exact_solution(x, t, nu));
+            row += 1;
+        }
+    }
+    ValidationSet {
+        points,
+        targets,
+        output_indices: vec![0],
+        names: vec!["u".into()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_condition_is_minus_sine() {
+        let pi = std::f64::consts::PI;
+        for &x in &[-0.8, -0.3, 0.0, 0.4, 0.9] {
+            let u = exact_solution(x, 0.0, BENCH_NU);
+            assert!((u + (pi * x).sin()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn odd_symmetry_in_x() {
+        for &t in &[0.1, 0.5, 0.9] {
+            for &x in &[0.2, 0.5, 0.8] {
+                let up = exact_solution(x, t, BENCH_NU);
+                let um = exact_solution(-x, t, BENCH_NU);
+                assert!((up + um).abs() < 1e-8, "u({x},{t})={up}, u(−{x},{t})={um}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_at_origin_and_boundaries() {
+        for &t in &[0.05, 0.25, 0.75] {
+            assert!(exact_solution(0.0, t, BENCH_NU).abs() < 1e-10);
+            assert!(exact_solution(1.0, t, BENCH_NU).abs() < 1e-6);
+            assert!(exact_solution(-1.0, t, BENCH_NU).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn shock_steepens_at_origin() {
+        // |du/dx| at x=0 grows sharply as the shock forms near t ≈ 0.3–0.5.
+        let slope = |t: f64| {
+            let h = 1e-3;
+            (exact_solution(h, t, BENCH_NU) - exact_solution(-h, t, BENCH_NU)) / (2.0 * h)
+        };
+        let early = slope(0.05).abs();
+        let late = slope(0.6).abs();
+        assert!(late > 5.0 * early, "shock did not steepen: {early} -> {late}");
+    }
+
+    #[test]
+    fn satisfies_pde_by_finite_difference() {
+        // Check u_t + u u_x − ν u_xx ≈ 0 away from the shock.
+        let (x, t) = (0.5, 0.3);
+        let nu = BENCH_NU;
+        let h = 1e-4;
+        let u = exact_solution(x, t, nu);
+        let ux = (exact_solution(x + h, t, nu) - exact_solution(x - h, t, nu)) / (2.0 * h);
+        let uxx = (exact_solution(x + h, t, nu) - 2.0 * u + exact_solution(x - h, t, nu)) / (h * h);
+        let ut = (exact_solution(x, t + h, nu) - exact_solution(x, t - h, nu)) / (2.0 * h);
+        let r = ut + u * ux - nu * uxx;
+        assert!(r.abs() < 5e-3, "residual {r}");
+    }
+
+    #[test]
+    fn validation_grid_shape() {
+        let vs = burgers_validation_set(16, 4, 1.0, BENCH_NU);
+        assert_eq!(vs.len(), 64);
+        assert_eq!(vs.names, vec!["u"]);
+        for r in 0..vs.len() {
+            assert!(vs.targets.get(r, 0).is_finite());
+            assert!(vs.targets.get(r, 0).abs() <= 1.0 + 1e-9);
+        }
+    }
+}

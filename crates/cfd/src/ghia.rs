@@ -1,0 +1,108 @@
+//! Ghia–Ghia–Shin (1982) benchmark data for the lid-driven cavity.
+//!
+//! The canonical validation table for LDC solvers: u-velocity along the
+//! vertical centreline `x = 0.5` at selected `y` stations. Used to verify
+//! the FDM solver in [`crate::ldc`], which in turn validates the PINN.
+
+/// `(y, u)` stations for Re = 100.
+pub const RE100_CENTERLINE_U: &[(f64, f64)] = &[
+    (0.0000, 0.00000),
+    (0.0547, -0.03717),
+    (0.0625, -0.04192),
+    (0.0703, -0.04775),
+    (0.1016, -0.06434),
+    (0.1719, -0.10150),
+    (0.2813, -0.15662),
+    (0.4531, -0.21090),
+    (0.5000, -0.20581),
+    (0.6172, -0.13641),
+    (0.7344, 0.00332),
+    (0.8516, 0.23151),
+    (0.9531, 0.68717),
+    (0.9609, 0.73722),
+    (0.9688, 0.78871),
+    (0.9766, 0.84123),
+    (1.0000, 1.00000),
+];
+
+/// `(y, u)` stations for Re = 1000.
+pub const RE1000_CENTERLINE_U: &[(f64, f64)] = &[
+    (0.0000, 0.00000),
+    (0.0547, -0.08186),
+    (0.0625, -0.09266),
+    (0.0703, -0.10338),
+    (0.1016, -0.14612),
+    (0.1719, -0.24299),
+    (0.2813, -0.32726),
+    (0.4531, -0.38289),
+    (0.5000, -0.31966),
+    (0.6172, -0.18109),
+    (0.7344, -0.06205),
+    (0.8516, 0.10885),
+    (0.9531, 0.39188),
+    (0.9609, 0.47476),
+    (0.9688, 0.57492),
+    (0.9766, 0.65928),
+    (1.0000, 1.00000),
+];
+
+/// Root-mean-square deviation of a computed centreline profile from the
+/// benchmark stations (profile given as `(y, u)` samples; nearest-sample
+/// lookup).
+///
+/// # Panics
+/// Panics if the profile is empty.
+pub fn rms_deviation(profile: &[(f64, f64)], reference: &[(f64, f64)]) -> f64 {
+    assert!(!profile.is_empty(), "empty profile");
+    let mut s = 0.0;
+    for &(y, u_ref) in reference {
+        let u = profile
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - y)
+                    .abs()
+                    .partial_cmp(&(b.0 - y).abs())
+                    .unwrap()
+            })
+            .map(|&(_, u)| u)
+            .unwrap();
+        s += (u - u_ref) * (u - u_ref);
+    }
+    (s / reference.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldc::LdcSolver;
+
+    #[test]
+    fn tables_are_monotone_in_y() {
+        for table in [RE100_CENTERLINE_U, RE1000_CENTERLINE_U] {
+            for w in table.windows(2) {
+                assert!(w[1].0 > w[0].0);
+            }
+            assert_eq!(table.first().unwrap().1, 0.0);
+            assert_eq!(table.last().unwrap().1, 1.0);
+        }
+    }
+
+    #[test]
+    fn fdm_solver_matches_ghia_re100() {
+        let f = LdcSolver {
+            n: 48,
+            re: 100.0,
+            max_steps: 40_000,
+            ..LdcSolver::default()
+        }
+        .solve();
+        let rms = rms_deviation(&f.centerline_u(), RE100_CENTERLINE_U);
+        assert!(rms < 0.03, "RMS deviation from Ghia Re=100: {rms}");
+    }
+
+    #[test]
+    fn rms_deviation_zero_on_reference_itself() {
+        let d = rms_deviation(RE100_CENTERLINE_U, RE100_CENTERLINE_U);
+        assert_eq!(d, 0.0);
+    }
+}

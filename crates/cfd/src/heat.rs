@@ -1,0 +1,348 @@
+//! Chip-scale steady heat conduction: a floorplan of power blocks and a
+//! finite-volume reference solver.
+//!
+//! The paper's introduction motivates PINN PDE solvers with CAD workloads
+//! — "chip thermal analysis" among them. This module supplies that
+//! workload: a [`ChipLayout`] describes rectangular power blocks (heat
+//! sources) and material regions (conductivity map) on the unit die;
+//! [`HeatSolver`] solves `∇·(κ∇T) + q = 0` with Dirichlet edges
+//! (heat-sink boundary) by Gauss–Seidel on a finite-volume stencil with
+//! harmonic-mean face conductivities, providing the validation targets
+//! for the PINN version of the same problem.
+
+use sgm_linalg::dense::Matrix;
+use sgm_physics::validate::ValidationSet;
+
+/// A rectangular block on the die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Block {
+    /// Lower-left corner.
+    pub x0: f64,
+    /// Lower-left corner.
+    pub y0: f64,
+    /// Upper-right corner.
+    pub x1: f64,
+    /// Upper-right corner.
+    pub y1: f64,
+    /// Power density added inside the block.
+    pub power: f64,
+    /// Conductivity multiplier inside the block (1.0 = substrate).
+    pub conductivity_scale: f64,
+}
+
+impl Block {
+    /// Whether `(x, y)` lies inside the block.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        (self.x0..=self.x1).contains(&x) && (self.y0..=self.y1).contains(&y)
+    }
+}
+
+/// A floorplan on the unit die `[0,1]²`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipLayout {
+    /// Substrate conductivity.
+    pub kappa0: f64,
+    /// Power/material blocks (later blocks win on overlap).
+    pub blocks: Vec<Block>,
+    /// Boundary (heat-sink) temperature.
+    pub sink_temperature: f64,
+}
+
+impl Default for ChipLayout {
+    /// A small demonstrative floorplan: two hot cores, one low-κ cache
+    /// region.
+    fn default() -> Self {
+        ChipLayout {
+            kappa0: 1.0,
+            blocks: vec![
+                Block {
+                    x0: 0.15,
+                    y0: 0.55,
+                    x1: 0.40,
+                    y1: 0.85,
+                    power: 40.0,
+                    conductivity_scale: 1.0,
+                },
+                Block {
+                    x0: 0.60,
+                    y0: 0.15,
+                    x1: 0.85,
+                    y1: 0.45,
+                    power: 25.0,
+                    conductivity_scale: 1.0,
+                },
+                Block {
+                    x0: 0.55,
+                    y0: 0.60,
+                    x1: 0.90,
+                    y1: 0.90,
+                    power: 0.0,
+                    conductivity_scale: 0.3,
+                },
+            ],
+            sink_temperature: 0.0,
+        }
+    }
+}
+
+impl ChipLayout {
+    /// Conductivity at a point.
+    pub fn conductivity(&self, x: f64, y: f64) -> f64 {
+        let mut k = self.kappa0;
+        for b in &self.blocks {
+            if b.contains(x, y) {
+                k = self.kappa0 * b.conductivity_scale;
+            }
+        }
+        k
+    }
+
+    /// Power density at a point.
+    pub fn power(&self, x: f64, y: f64) -> f64 {
+        let mut q = 0.0;
+        for b in &self.blocks {
+            if b.contains(x, y) {
+                q = b.power;
+            }
+        }
+        q
+    }
+}
+
+/// Finite-volume Gauss–Seidel solver for the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatSolver {
+    /// Cells per side.
+    pub n: usize,
+    /// Maximum Gauss–Seidel sweeps.
+    pub max_sweeps: usize,
+    /// Convergence threshold on max |ΔT| per sweep.
+    pub tol: f64,
+}
+
+impl Default for HeatSolver {
+    fn default() -> Self {
+        HeatSolver {
+            n: 64,
+            max_sweeps: 20_000,
+            tol: 1e-9,
+        }
+    }
+}
+
+/// The solved temperature field.
+#[derive(Debug, Clone)]
+pub struct HeatField {
+    /// Nodes per side.
+    pub nodes: usize,
+    /// Grid spacing.
+    pub h: f64,
+    /// Temperatures (row-major `j * nodes + i`).
+    pub t: Vec<f64>,
+    /// Sweeps used.
+    pub sweeps: usize,
+}
+
+impl HeatSolver {
+    /// Solves the layout to steady state.
+    ///
+    /// # Panics
+    /// Panics if `n < 8`.
+    pub fn solve(&self, layout: &ChipLayout) -> HeatField {
+        assert!(self.n >= 8, "grid too coarse");
+        let n = self.n;
+        let m = n + 1;
+        let h = 1.0 / n as f64;
+        let idx = |i: usize, j: usize| j * m + i;
+        let mut t = vec![layout.sink_temperature; m * m];
+        // Per-node conductivity and source.
+        let kappa: Vec<f64> = (0..m * m)
+            .map(|p| {
+                let (i, j) = (p % m, p / m);
+                layout.conductivity(i as f64 * h, j as f64 * h)
+            })
+            .collect();
+        let source: Vec<f64> = (0..m * m)
+            .map(|p| {
+                let (i, j) = (p % m, p / m);
+                layout.power(i as f64 * h, j as f64 * h)
+            })
+            .collect();
+        let harmonic = |a: f64, b: f64| 2.0 * a * b / (a + b).max(1e-300);
+        let mut sweeps = 0;
+        for sweep in 0..self.max_sweeps {
+            sweeps = sweep + 1;
+            let mut max_delta = 0.0f64;
+            for j in 1..n {
+                for i in 1..n {
+                    let kc = kappa[idx(i, j)];
+                    let ke = harmonic(kc, kappa[idx(i + 1, j)]);
+                    let kw = harmonic(kc, kappa[idx(i - 1, j)]);
+                    let kn = harmonic(kc, kappa[idx(i, j + 1)]);
+                    let ks = harmonic(kc, kappa[idx(i, j - 1)]);
+                    let denom = ke + kw + kn + ks;
+                    let new = (ke * t[idx(i + 1, j)]
+                        + kw * t[idx(i - 1, j)]
+                        + kn * t[idx(i, j + 1)]
+                        + ks * t[idx(i, j - 1)]
+                        + h * h * source[idx(i, j)])
+                        / denom;
+                    max_delta = max_delta.max((new - t[idx(i, j)]).abs());
+                    t[idx(i, j)] = new;
+                }
+            }
+            if max_delta < self.tol && sweep > 10 {
+                break;
+            }
+        }
+        HeatField {
+            nodes: m,
+            h,
+            t,
+            sweeps,
+        }
+    }
+}
+
+impl HeatField {
+    /// Bilinear interpolation of the temperature at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics outside the unit die.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y),
+            "outside die"
+        );
+        let n = self.nodes - 1;
+        let fx = (x / self.h).min(n as f64 - 1e-12);
+        let fy = (y / self.h).min(n as f64 - 1e-12);
+        let (i, j) = (fx as usize, fy as usize);
+        let (tx, ty) = (fx - i as f64, fy - j as f64);
+        let at = |ii: usize, jj: usize| self.t[jj * self.nodes + ii];
+        let a = at(i, j) * (1.0 - tx) + at(i + 1, j) * tx;
+        let b = at(i, j + 1) * (1.0 - tx) + at(i + 1, j + 1) * tx;
+        a * (1.0 - ty) + b * ty
+    }
+
+    /// Peak temperature (the quantity thermal sign-off cares about).
+    pub fn peak(&self) -> f64 {
+        self.t.iter().cloned().fold(f64::MIN, f64::max)
+    }
+
+    /// Builds a [`ValidationSet`] on an interior sub-grid (output 0 = T).
+    pub fn validation_set(&self, stride: usize) -> ValidationSet {
+        let n = self.nodes - 1;
+        let mut rows = Vec::new();
+        let mut j = stride.max(1);
+        while j < n {
+            let mut i = stride.max(1);
+            while i < n {
+                rows.push((i as f64 * self.h, j as f64 * self.h, self.t[j * self.nodes + i]));
+                i += stride;
+            }
+            j += stride;
+        }
+        let mut points = Matrix::zeros(rows.len(), 2);
+        let mut targets = Matrix::zeros(rows.len(), 1);
+        for (r, &(x, y, tv)) in rows.iter().enumerate() {
+            points.set(r, 0, x);
+            points.set(r, 1, y);
+            targets.set(r, 0, tv);
+        }
+        ValidationSet {
+            points,
+            targets,
+            output_indices: vec![0],
+            names: vec!["T".into()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_source_matches_poisson_series() {
+        // κ = 1, q = 1 on the whole die with zero Dirichlet edges: the
+        // centre temperature of −∇²T = 1 is ≈ 0.0736713 (series solution).
+        let layout = ChipLayout {
+            kappa0: 1.0,
+            blocks: vec![Block {
+                x0: 0.0,
+                y0: 0.0,
+                x1: 1.0,
+                y1: 1.0,
+                power: 1.0,
+                conductivity_scale: 1.0,
+            }],
+            sink_temperature: 0.0,
+        };
+        let f = HeatSolver {
+            n: 48,
+            ..HeatSolver::default()
+        }
+        .solve(&layout);
+        let centre = f.sample(0.5, 0.5);
+        assert!(
+            (centre - 0.0736713).abs() < 2e-3,
+            "centre T {centre} vs series 0.0736713"
+        );
+    }
+
+    #[test]
+    fn hot_blocks_are_hotter() {
+        let layout = ChipLayout::default();
+        let f = HeatSolver::default().solve(&layout);
+        let in_core = f.sample(0.27, 0.7); // inside the 40 W/mm² core
+        let idle = f.sample(0.8, 0.05); // near the sink, no power
+        assert!(in_core > 3.0 * idle.max(1e-9), "core {in_core} vs idle {idle}");
+        assert!(f.peak() >= in_core);
+    }
+
+    #[test]
+    fn low_conductivity_region_raises_upstream_temperature() {
+        // Same power map, but once with the low-κ cache and once without:
+        // the blocked heat path should raise the hot core's temperature.
+        let with_cache = ChipLayout::default();
+        let mut without = ChipLayout::default();
+        without.blocks[2].conductivity_scale = 1.0;
+        let f1 = HeatSolver::default().solve(&with_cache);
+        let f2 = HeatSolver::default().solve(&without);
+        assert!(f1.peak() > f2.peak());
+    }
+
+    #[test]
+    fn dirichlet_edges_pinned() {
+        let f = HeatSolver::default().solve(&ChipLayout::default());
+        for i in 0..f.nodes {
+            assert_eq!(f.t[i], 0.0); // bottom row
+            assert_eq!(f.t[(f.nodes - 1) * f.nodes + i], 0.0); // top row
+        }
+    }
+
+    #[test]
+    fn validation_set_is_interior_only() {
+        let f = HeatSolver {
+            n: 32,
+            ..HeatSolver::default()
+        }
+        .solve(&ChipLayout::default());
+        let vs = f.validation_set(4);
+        assert!(!vs.is_empty());
+        for r in 0..vs.len() {
+            let (x, y) = (vs.points.get(r, 0), vs.points.get(r, 1));
+            assert!(x > 0.0 && x < 1.0 && y > 0.0 && y < 1.0);
+        }
+    }
+
+    #[test]
+    fn layout_maps_are_consistent() {
+        let l = ChipLayout::default();
+        assert_eq!(l.power(0.27, 0.7), 40.0);
+        assert_eq!(l.power(0.05, 0.05), 0.0);
+        assert!((l.conductivity(0.7, 0.75) - 0.3).abs() < 1e-12);
+        assert_eq!(l.conductivity(0.05, 0.05), 1.0);
+    }
+}

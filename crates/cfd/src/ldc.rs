@@ -1,0 +1,379 @@
+//! Finite-difference lid-driven cavity solver.
+//!
+//! Vorticity–streamfunction formulation on a uniform `(n+1)²` grid over
+//! the unit cavity:
+//!
+//! ```text
+//! ∇²ψ = −ω,   u = ψ_y,  v = −ψ_x
+//! ω_t + u ω_x + v ω_y = ν ∇²ω
+//! ```
+//!
+//! The Poisson equation is relaxed with SOR between explicit vorticity
+//! steps; wall vorticity uses Thom's first-order formula with the moving
+//! lid. Marching continues until the vorticity field is stationary.
+//!
+//! This solver plays the role of the paper's OpenFOAM validation data for
+//! the LDC example (§4.1): its `(u, v)` fields — and the zero-equation
+//! effective viscosity derived from them — are the targets the PINN's
+//! validation errors are measured against.
+
+use sgm_linalg::dense::Matrix;
+use sgm_physics::validate::ValidationSet;
+
+/// Solver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdcSolver {
+    /// Cells per side (grid is `(n+1) × (n+1)` nodes).
+    pub n: usize,
+    /// Reynolds number (`ν = 1/Re` with unit lid speed and cavity size).
+    pub re: f64,
+    /// Lid speed.
+    pub lid: f64,
+    /// Maximum pseudo-time steps.
+    pub max_steps: usize,
+    /// Convergence threshold on max |Δω| per step.
+    pub tol: f64,
+    /// Use the corner-regularised lid profile `lid·(4x(1−x))^{1/4}` —
+    /// matching the PINN boundary condition — instead of a sharp uniform
+    /// lid. The Ghia benchmark uses the sharp lid.
+    pub regularized_lid: bool,
+}
+
+impl Default for LdcSolver {
+    fn default() -> Self {
+        LdcSolver {
+            n: 64,
+            re: 100.0,
+            lid: 1.0,
+            max_steps: 50_000,
+            tol: 1e-7,
+            regularized_lid: false,
+        }
+    }
+}
+
+/// The converged flow field on the grid.
+#[derive(Debug, Clone)]
+pub struct LdcField {
+    /// Nodes per side.
+    pub nodes: usize,
+    /// Grid spacing.
+    pub h: f64,
+    /// x-velocity at nodes (row-major, `j * nodes + i`, `i` along x).
+    pub u: Vec<f64>,
+    /// y-velocity at nodes.
+    pub v: Vec<f64>,
+    /// Streamfunction.
+    pub psi: Vec<f64>,
+    /// Vorticity.
+    pub omega: Vec<f64>,
+    /// Pseudo-time steps actually taken.
+    pub steps: usize,
+}
+
+impl LdcSolver {
+    /// Runs the solver to (approximate) steady state.
+    ///
+    /// # Panics
+    /// Panics if `n < 8`.
+    pub fn solve(&self) -> LdcField {
+        assert!(self.n >= 8, "grid too coarse");
+        let n = self.n;
+        let m = n + 1; // nodes per side
+        let h = 1.0 / n as f64;
+        let nu = self.lid / self.re;
+        let mut psi = vec![0.0; m * m];
+        let mut omega = vec![0.0; m * m];
+        let mut omega_new = vec![0.0; m * m];
+        let idx = |i: usize, j: usize| j * m + i;
+
+        // Stable explicit step: diffusion + advection limits.
+        let dt_diff = 0.2 * h * h / nu;
+        let dt_adv = 0.5 * h / self.lid.max(1e-9);
+        let dt = dt_diff.min(dt_adv);
+
+        let lid_at = |i: usize| -> f64 {
+            if self.regularized_lid {
+                let x = i as f64 * h;
+                let ramp = (4.0 * x * (1.0 - x)).min(1.0);
+                self.lid * ramp.powf(0.25)
+            } else {
+                self.lid
+            }
+        };
+        let sor_omega = 2.0 / (1.0 + (std::f64::consts::PI / m as f64).sin());
+        let mut steps = 0;
+        for step in 0..self.max_steps {
+            steps = step + 1;
+            // (1) SOR sweeps for ∇²ψ = −ω (ψ = 0 on all walls).
+            for _ in 0..4 {
+                for j in 1..n {
+                    for i in 1..n {
+                        let rhs = 0.25
+                            * (psi[idx(i + 1, j)]
+                                + psi[idx(i - 1, j)]
+                                + psi[idx(i, j + 1)]
+                                + psi[idx(i, j - 1)]
+                                + h * h * omega[idx(i, j)]);
+                        psi[idx(i, j)] += sor_omega * (rhs - psi[idx(i, j)]);
+                    }
+                }
+            }
+            // (2) Wall vorticity (Thom). Top lid moves at `lid`.
+            for i in 0..m {
+                // bottom j=0, top j=n
+                omega[idx(i, 0)] = -2.0 * psi[idx(i, 1)] / (h * h);
+                omega[idx(i, n)] = -2.0 * psi[idx(i, n - 1)] / (h * h) - 2.0 * lid_at(i) / h;
+            }
+            for j in 0..m {
+                omega[idx(0, j)] = -2.0 * psi[idx(1, j)] / (h * h);
+                omega[idx(n, j)] = -2.0 * psi[idx(n - 1, j)] / (h * h);
+            }
+            // (3) Explicit vorticity transport step.
+            let mut max_delta = 0.0f64;
+            for j in 1..n {
+                for i in 1..n {
+                    let u = (psi[idx(i, j + 1)] - psi[idx(i, j - 1)]) / (2.0 * h);
+                    let v = -(psi[idx(i + 1, j)] - psi[idx(i - 1, j)]) / (2.0 * h);
+                    let wx = (omega[idx(i + 1, j)] - omega[idx(i - 1, j)]) / (2.0 * h);
+                    let wy = (omega[idx(i, j + 1)] - omega[idx(i, j - 1)]) / (2.0 * h);
+                    let lap = (omega[idx(i + 1, j)]
+                        + omega[idx(i - 1, j)]
+                        + omega[idx(i, j + 1)]
+                        + omega[idx(i, j - 1)]
+                        - 4.0 * omega[idx(i, j)])
+                        / (h * h);
+                    let dw = dt * (nu * lap - u * wx - v * wy);
+                    omega_new[idx(i, j)] = omega[idx(i, j)] + dw;
+                    max_delta = max_delta.max(dw.abs());
+                }
+            }
+            for j in 1..n {
+                for i in 1..n {
+                    omega[idx(i, j)] = omega_new[idx(i, j)];
+                }
+            }
+            if max_delta < self.tol && step > 100 {
+                break;
+            }
+        }
+        // Velocities from ψ (one-sided at walls; lid BC exact).
+        let mut u = vec![0.0; m * m];
+        let mut v = vec![0.0; m * m];
+        for j in 1..n {
+            for i in 1..n {
+                u[idx(i, j)] = (psi[idx(i, j + 1)] - psi[idx(i, j - 1)]) / (2.0 * h);
+                v[idx(i, j)] = -(psi[idx(i + 1, j)] - psi[idx(i - 1, j)]) / (2.0 * h);
+            }
+        }
+        for i in 0..m {
+            u[idx(i, n)] = if self.regularized_lid {
+                let x = i as f64 * h;
+                let ramp = (4.0 * x * (1.0 - x)).min(1.0_f64);
+                self.lid * ramp.powf(0.25)
+            } else {
+                self.lid
+            };
+        }
+        LdcField {
+            nodes: m,
+            h,
+            u,
+            v,
+            psi,
+            omega,
+            steps,
+        }
+    }
+}
+
+impl LdcField {
+    fn at(&self, buf: &[f64], i: usize, j: usize) -> f64 {
+        buf[j * self.nodes + i]
+    }
+
+    /// Bilinear interpolation of `(u, v)` at an arbitrary point.
+    ///
+    /// # Panics
+    /// Panics if `(x, y)` is outside `[0, 1]²`.
+    pub fn sample(&self, x: f64, y: f64) -> (f64, f64) {
+        assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y), "outside cavity");
+        let n = self.nodes - 1;
+        let fx = (x / self.h).min(n as f64 - 1e-12);
+        let fy = (y / self.h).min(n as f64 - 1e-12);
+        let (i, j) = (fx as usize, fy as usize);
+        let (tx, ty) = (fx - i as f64, fy - j as f64);
+        let lerp = |buf: &[f64]| {
+            let a = self.at(buf, i, j) * (1.0 - tx) + self.at(buf, i + 1, j) * tx;
+            let b = self.at(buf, i, j + 1) * (1.0 - tx) + self.at(buf, i + 1, j + 1) * tx;
+            a * (1.0 - ty) + b * ty
+        };
+        (lerp(&self.u), lerp(&self.v))
+    }
+
+    /// u along the vertical centreline (`x = 0.5`), bottom to top — the
+    /// profile the Ghia benchmark tabulates.
+    pub fn centerline_u(&self) -> Vec<(f64, f64)> {
+        let m = self.nodes;
+        (0..m)
+            .map(|j| {
+                let y = j as f64 * self.h;
+                (y, self.sample(0.5, y).0)
+            })
+            .collect()
+    }
+
+    /// Zero-equation effective viscosity at a grid node, computed from the
+    /// FDM velocity gradients: `ν = ν_mol + l(x)²·√(2(u_x²+v_y²)+(u_y+v_x)²)`
+    /// with `l = min(κ·d_wall, cap)` — the reference for the PINN's `ν`
+    /// output (paper Table 1's `nu` row).
+    pub fn zero_eq_nu(&self, i: usize, j: usize, nu_mol: f64, karman: f64, cap: f64) -> f64 {
+        let n = self.nodes - 1;
+        let (i, j) = (i.clamp(1, n - 1), j.clamp(1, n - 1));
+        let h2 = 2.0 * self.h;
+        let u_x = (self.at(&self.u, i + 1, j) - self.at(&self.u, i - 1, j)) / h2;
+        let u_y = (self.at(&self.u, i, j + 1) - self.at(&self.u, i, j - 1)) / h2;
+        let v_x = (self.at(&self.v, i + 1, j) - self.at(&self.v, i - 1, j)) / h2;
+        let v_y = (self.at(&self.v, i, j + 1) - self.at(&self.v, i, j - 1)) / h2;
+        let g = 2.0 * u_x * u_x + 2.0 * v_y * v_y + (u_y + v_x) * (u_y + v_x);
+        let (x, y) = (i as f64 * self.h, j as f64 * self.h);
+        let d = x.min(1.0 - x).min(y).min(1.0 - y);
+        let l = (karman * d).min(cap);
+        nu_mol + l * l * g.sqrt()
+    }
+
+    /// Builds a [`ValidationSet`] on an interior sub-grid with targets
+    /// `(u, v, ν)` mapped to network outputs `(0, 1, 3)` — the LDC
+    /// zero-equation network layout (`u, v, p, ν`).
+    pub fn validation_set(&self, stride: usize, nu_mol: f64, karman: f64, cap: f64) -> ValidationSet {
+        let n = self.nodes - 1;
+        let mut rows = Vec::new();
+        let mut vals = Vec::new();
+        let mut j = stride.max(1);
+        while j < n {
+            let mut i = stride.max(1);
+            while i < n {
+                rows.push((i as f64 * self.h, j as f64 * self.h));
+                vals.push((
+                    self.at(&self.u, i, j),
+                    self.at(&self.v, i, j),
+                    self.zero_eq_nu(i, j, nu_mol, karman, cap),
+                ));
+                i += stride;
+            }
+            j += stride;
+        }
+        let mut points = Matrix::zeros(rows.len(), 2);
+        let mut targets = Matrix::zeros(rows.len(), 3);
+        for (r, (&(x, y), &(u, v, nu))) in rows.iter().zip(&vals).enumerate() {
+            points.set(r, 0, x);
+            points.set(r, 1, y);
+            targets.set(r, 0, u);
+            targets.set(r, 1, v);
+            targets.set(r, 2, nu);
+        }
+        ValidationSet {
+            points,
+            targets,
+            output_indices: vec![0, 1, 3],
+            names: vec!["u".into(), "v".into(), "nu".into()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_field() -> LdcField {
+        LdcSolver {
+            n: 32,
+            re: 100.0,
+            max_steps: 20_000,
+            ..LdcSolver::default()
+        }
+        .solve()
+    }
+
+    #[test]
+    fn converges_and_conserves_no_slip() {
+        let f = small_field();
+        assert!(f.steps < 20_000, "did not converge early ({} steps)", f.steps);
+        // No-slip at bottom wall.
+        for i in 0..f.nodes {
+            assert_eq!(f.u[i], 0.0);
+        }
+        // Lid moves at 1.
+        let top = (f.nodes - 1) * f.nodes;
+        for i in 0..f.nodes {
+            assert_eq!(f.u[top + i], 1.0);
+        }
+    }
+
+    #[test]
+    fn primary_vortex_rotates_clockwise() {
+        let f = small_field();
+        // Lid drives flow rightward at the top ⇒ u < 0 somewhere below
+        // centre (return flow), and ψ has a single dominant sign.
+        let (u_mid, _) = f.sample(0.5, 0.3);
+        assert!(u_mid < 0.0, "expected return flow, got {u_mid}");
+    }
+
+    #[test]
+    fn centerline_matches_ghia_re100_roughly() {
+        let f = small_field();
+        // Ghia et al. Re=100: u(0.5, 0.4531) ≈ −0.21090 (minimum region).
+        let (u, _) = f.sample(0.5, 0.4531);
+        assert!(
+            (u - (-0.2109)).abs() < 0.05,
+            "centerline u {u} vs Ghia −0.2109"
+        );
+        // And the global minimum should be close to it.
+        let min_u = f
+            .centerline_u()
+            .iter()
+            .map(|&(_, u)| u)
+            .fold(f64::MAX, f64::min);
+        assert!((min_u - (-0.2109)).abs() < 0.05, "min u {min_u}");
+    }
+
+    #[test]
+    fn sample_interpolates_continuously() {
+        let f = small_field();
+        let (a, _) = f.sample(0.5, 0.5);
+        let (b, _) = f.sample(0.5 + 1e-4, 0.5);
+        assert!((a - b).abs() < 1e-2);
+    }
+
+    #[test]
+    fn validation_set_shapes_and_indices() {
+        let f = small_field();
+        let vs = f.validation_set(4, 0.01, 0.419, 0.045);
+        assert!(vs.len() > 0);
+        assert_eq!(vs.output_indices, vec![0, 1, 3]);
+        assert_eq!(vs.names, vec!["u", "v", "nu"]);
+        // ν targets must be at least molecular viscosity.
+        for r in 0..vs.len() {
+            assert!(vs.targets.get(r, 2) >= 0.01);
+        }
+    }
+
+    #[test]
+    fn mass_conservation_streamfunction() {
+        // Continuity is exact by construction (u, v from ψ); check the
+        // discrete divergence is small in the interior.
+        let f = small_field();
+        let n = f.nodes - 1;
+        let h2 = 2.0 * f.h;
+        let mut max_div = 0.0f64;
+        for j in 2..n - 1 {
+            for i in 2..n - 1 {
+                let at = |b: &Vec<f64>, ii: usize, jj: usize| b[jj * f.nodes + ii];
+                let div = (at(&f.u, i + 1, j) - at(&f.u, i - 1, j)) / h2
+                    + (at(&f.v, i, j + 1) - at(&f.v, i, j - 1)) / h2;
+                max_div = max_div.max(div.abs());
+            }
+        }
+        assert!(max_div < 0.5, "divergence too large: {max_div}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # sgm-cfd
+//!
+//! Reference CFD solutions standing in for the paper's OpenFOAM validation
+//! data (which we do not have):
+//!
+//! * [`ldc`] — a finite-difference **lid-driven cavity** solver
+//!   (vorticity–streamfunction formulation, explicit pseudo-time marching
+//!   with SOR Poisson solves), validated against the Ghia–Ghia–Shin
+//!   benchmark profiles in [`ghia`]. Supplies `(u, v)` reference fields and
+//!   the zero-equation effective viscosity `ν` derived from the velocity
+//!   gradients — the three outputs the paper's Table 1 scores.
+//! * [`ring`] — validation grids for the parameterised annular ring, built
+//!   from the **exact** potential-flow Navier–Stokes solution implemented
+//!   in `sgm-physics` (radial source flow is an exact steady solution for
+//!   every viscosity, so no numerical solve is needed).
+//! * [`ghia`] — the classic benchmark centreline values used to verify the
+//!   FDM solver itself.
+//! * [`heat`] — chip-floorplan steady heat conduction (the paper's intro
+//!   motivation "chip thermal analysis"): power-block layouts plus a
+//!   finite-volume Gauss–Seidel reference solver.
+//! * [`burgers`] — the Cole–Hopf closed-form solution of the viscous
+//!   Burgers benchmark, evaluated with Gauss–Hermite quadrature.
+
+pub mod burgers;
+pub mod ghia;
+pub mod heat;
+pub mod ldc;
+pub mod ring;
+
+pub use heat::{ChipLayout, HeatField, HeatSolver};
+pub use ldc::{LdcField, LdcSolver};

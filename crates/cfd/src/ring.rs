@@ -1,0 +1,78 @@
+//! Validation grids for the parameterised annular ring.
+//!
+//! The radial source flow through the annulus is an exact steady
+//! incompressible Navier–Stokes solution (see
+//! [`sgm_physics::geometry::AnnulusChannel::exact_solution`]), so the
+//! validation fields the paper obtains from OpenFOAM are available here in
+//! closed form, at any parameter value.
+
+use sgm_physics::geometry::AnnulusChannel;
+use sgm_physics::validate::ValidationSet;
+
+/// Validation sets at the given inner radii (the paper uses
+/// `r_i ∈ {1.0, 0.875, 0.75}`), each a polar grid of `nr × nth` points
+/// with exact `(u, v, p)` targets.
+pub fn ring_validation_sets(
+    ring: &AnnulusChannel,
+    radii: &[f64],
+    nr: usize,
+    nth: usize,
+) -> Vec<ValidationSet> {
+    radii
+        .iter()
+        .map(|&r_i| {
+            let (points, targets) = ring.validation_grid(r_i, nr, nth);
+            ValidationSet {
+                points,
+                targets,
+                output_indices: vec![0, 1, 2],
+                names: vec!["u".into(), "v".into(), "p".into()],
+            }
+        })
+        .collect()
+}
+
+/// The paper's validation radii for the AR example.
+pub const PAPER_VALIDATION_RADII: [f64; 3] = [1.0, 0.875, 0.75];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_have_expected_shapes() {
+        let ring = AnnulusChannel::default();
+        let sets = ring_validation_sets(&ring, &PAPER_VALIDATION_RADII, 6, 12);
+        assert_eq!(sets.len(), 3);
+        for s in &sets {
+            assert_eq!(s.len(), 72);
+            assert_eq!(s.output_indices, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn targets_satisfy_mass_flux() {
+        // Total radial flux through any circle equals 2π r_i U_in.
+        let ring = AnnulusChannel::default();
+        let sets = ring_validation_sets(&ring, &[1.0], 4, 64);
+        let s = &sets[0];
+        // Points come in rings of 64; flux of first ring:
+        let r0 = {
+            let (x, y) = (s.points.get(0, 0), s.points.get(0, 1));
+            (x * x + y * y).sqrt()
+        };
+        let mut flux = 0.0;
+        for i in 0..64 {
+            let (x, y) = (s.points.get(i, 0), s.points.get(i, 1));
+            let (u, v) = (s.targets.get(i, 0), s.targets.get(i, 1));
+            let r = (x * x + y * y).sqrt();
+            // radial component u·x/r + v·y/r
+            flux += (u * x / r + v * y / r) * (2.0 * std::f64::consts::PI * r0 / 64.0);
+        }
+        let expect = 2.0 * std::f64::consts::PI * 1.0 * ring.inlet_velocity;
+        assert!(
+            (flux - expect).abs() < 1e-6 * expect.abs(),
+            "flux {flux} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Background S1+S2 rebuilds.
+//!
+//! Paper §3.3: "we also decompose the dataset into grids and perform S1
+//! and S2 in independent sub-processes while training continues either
+//! with uniform sampling, or a previously calculated distribution."
+//!
+//! [`BackgroundBuilder`] owns a worker thread fed through crossbeam
+//! channels: the trainer requests a rebuild every `τ_G` iterations and
+//! keeps sampling from the previous clustering until the new one arrives
+//! (`S ← S_new` in Algorithm 1, lines 14–18). The GPU-side training loop
+//! therefore never blocks on graph work.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use sgm_graph::knn::{build_knn_graph, KnnConfig};
+use sgm_graph::lrd::{decompose, Clustering, LrdConfig};
+use sgm_graph::points::PointCloud;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A rebuild job: construct the kNN PGM over `cloud` and decompose it.
+#[derive(Debug, Clone)]
+pub struct RebuildRequest {
+    /// Point cloud to build the PGM over (spatial coordinates, optionally
+    /// augmented with output features — paper §3.2's later-stage rebuild).
+    pub cloud: Arc<PointCloud>,
+    /// kNN configuration (S1).
+    pub knn: KnnConfig,
+    /// LRD configuration (S2).
+    pub lrd: LrdConfig,
+}
+
+/// Runs a rebuild synchronously (shared by the worker and the
+/// non-threaded fallback).
+pub fn run_rebuild(req: &RebuildRequest) -> Clustering {
+    let g = build_knn_graph(&req.cloud, &req.knn);
+    decompose(&g, &req.lrd)
+}
+
+/// Worker thread handle for asynchronous PGM rebuilds.
+#[derive(Debug)]
+pub struct BackgroundBuilder {
+    tx: Option<Sender<RebuildRequest>>,
+    rx: Receiver<Clustering>,
+    handle: Option<JoinHandle<()>>,
+    pending: usize,
+}
+
+impl BackgroundBuilder {
+    /// Spawns the worker thread.
+    pub fn spawn() -> Self {
+        let (tx_req, rx_req) = unbounded::<RebuildRequest>();
+        let (tx_res, rx_res) = unbounded::<Clustering>();
+        let handle = std::thread::Builder::new()
+            .name("sgm-rebuild".into())
+            .spawn(move || {
+                for req in rx_req.iter() {
+                    let clustering = run_rebuild(&req);
+                    if tx_res.send(clustering).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn rebuild worker");
+        BackgroundBuilder {
+            tx: Some(tx_req),
+            rx: rx_res,
+            handle: Some(handle),
+            pending: 0,
+        }
+    }
+
+    /// Enqueues a rebuild unless one is already in flight. Returns whether
+    /// the request was accepted.
+    pub fn request(&mut self, req: RebuildRequest) -> bool {
+        if self.pending > 0 {
+            return false;
+        }
+        if let Some(tx) = &self.tx {
+            if tx.send(req).is_ok() {
+                self.pending += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Non-blocking poll for a finished clustering.
+    pub fn try_take(&mut self) -> Option<Clustering> {
+        match self.rx.try_recv() {
+            Ok(c) => {
+                self.pending = self.pending.saturating_sub(1);
+                Some(c)
+            }
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking wait for a finished clustering (used by tests and by
+    /// shutdown paths).
+    pub fn take_blocking(&mut self) -> Option<Clustering> {
+        match self.rx.recv() {
+            Ok(c) => {
+                self.pending = self.pending.saturating_sub(1);
+                Some(c)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Whether a rebuild is currently in flight.
+    pub fn is_pending(&self) -> bool {
+        self.pending > 0
+    }
+}
+
+impl Drop for BackgroundBuilder {
+    fn drop(&mut self) {
+        // Close the request channel so the worker exits, then join.
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_graph::knn::KnnStrategy;
+    use sgm_linalg::rng::Rng64;
+
+    fn cloud(n: usize, seed: u64) -> Arc<PointCloud> {
+        let mut rng = Rng64::new(seed);
+        Arc::new(PointCloud::uniform_box(n, 2, 0.0, 1.0, &mut rng))
+    }
+
+    fn req(c: Arc<PointCloud>) -> RebuildRequest {
+        RebuildRequest {
+            cloud: c,
+            knn: KnnConfig {
+                k: 5,
+                strategy: KnnStrategy::Grid,
+                ..KnnConfig::default()
+            },
+            lrd: LrdConfig::default(),
+        }
+    }
+
+    #[test]
+    fn background_rebuild_roundtrip() {
+        let mut b = BackgroundBuilder::spawn();
+        let c = cloud(200, 1);
+        assert!(b.request(req(c.clone())));
+        let clustering = b.take_blocking().expect("worker result");
+        assert_eq!(clustering.num_nodes(), 200);
+        assert!(clustering.num_clusters() >= 2);
+        assert!(!b.is_pending());
+    }
+
+    #[test]
+    fn only_one_request_in_flight() {
+        let mut b = BackgroundBuilder::spawn();
+        let c = cloud(500, 2);
+        assert!(b.request(req(c.clone())));
+        assert!(!b.request(req(c.clone())), "second request must be refused");
+        let _ = b.take_blocking();
+        assert!(b.request(req(c)));
+        let _ = b.take_blocking();
+    }
+
+    #[test]
+    fn matches_synchronous_rebuild() {
+        let c = cloud(150, 3);
+        let sync = run_rebuild(&req(c.clone()));
+        let mut b = BackgroundBuilder::spawn();
+        b.request(req(c));
+        let asynch = b.take_blocking().unwrap();
+        assert_eq!(sync.assignment(), asynch.assignment());
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_pending_work() {
+        let mut b = BackgroundBuilder::spawn();
+        b.request(req(cloud(300, 4)));
+        drop(b); // must not hang or panic
+    }
+}

@@ -1,0 +1,50 @@
+//! # sgm-core
+//!
+//! The paper's contribution: **SGM-PINN**, a graph-based importance
+//! sampling framework for training physics-informed neural networks
+//! (Algorithm 1), plus the baselines it is evaluated against.
+//!
+//! Pipeline per the paper's Figure 1:
+//!
+//! * **S1** — estimate a probabilistic graphical model of the collocation
+//!   cloud as a kNN graph over the spatial coordinates (`sgm-graph::knn`).
+//! * **S2** — partition the PGM into clusters of bounded
+//!   effective-resistance diameter (`sgm-graph::lrd`), so that samples in a
+//!   cluster are strongly conditionally dependent and share importance.
+//! * **S3** — for parameterised problems, score cluster *stability* with
+//!   the spectral ISR metric (`sgm-stability`), catching regions whose
+//!   outputs change fastest with the inputs — the signal pure
+//!   loss-proportional sampling misses.
+//! * **S4** — probe the PDE loss on only `r`% of each cluster, rank
+//!   clusters by (normalised loss + ISR), map ranks to per-cluster sampling
+//!   ratios with a floor of one sample per cluster, and assemble the next
+//!   epoch.
+//!
+//! Modules:
+//!
+//! * [`score`] — cluster score assembly and score→ratio mappings (S4).
+//! * [`sgm`] — [`sgm::SgmSampler`], the full Algorithm 1 with `τ_e` score
+//!   refreshes and `τ_G` graph rebuilds (optionally on a background
+//!   thread, [`background`]).
+//! * [`mis`] — [`mis::MisSampler`], the loss-proportional importance
+//!   sampling baseline (Nabian et al., as shipped in Modulus).
+//! * [`rar`] — [`rar::RarSampler`], the residual-based adaptive refinement
+//!   baseline (DeepXDE-style, paper §1 ref [16]).
+//! * [`background`] — crossbeam-based worker that rebuilds S1+S2 while
+//!   training continues (paper §3.3's parallel rebuild).
+//!
+//! The uniform baseline lives in `sgm-physics::train::UniformSampler` and
+//! is re-exported here so experiment code imports every sampler from one
+//! place.
+
+pub mod background;
+pub mod mis;
+pub mod rar;
+pub mod score;
+pub mod sgm;
+
+pub use mis::{MisConfig, MisSampler};
+pub use rar::{RarConfig, RarSampler};
+pub use score::{ClusterRatios, ScoreMapping};
+pub use sgm::{SgmConfig, SgmSampler, SgmStats};
+pub use sgm_physics::train::UniformSampler;

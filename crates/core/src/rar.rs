@@ -1,0 +1,266 @@
+//! Residual-based adaptive refinement (RAR) — the other prior-art
+//! baseline the paper discusses (§1, DeepXDE's method, ref [16]).
+//!
+//! RAR trains on a growing *active set*: it starts from a seed subset of
+//! the collocation cloud and periodically evaluates residuals on a random
+//! candidate pool, promoting the worst offenders into the active set.
+//! Compared to SGM-PINN it (a) pays loss evaluations on candidates every
+//! refresh, (b) never *removes* points, so the active set only grows, and
+//! (c) has no notion of cluster-level correlation — the weaknesses §1
+//! cites ("high computational complexity and overhead … and can lead to
+//! poor retention of the solution on low-residual parts of the domain").
+
+use sgm_linalg::rng::Rng64;
+use sgm_physics::train::{Probe, Sampler};
+
+/// Configuration for [`RarSampler`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RarConfig {
+    /// Initial active-set size (fraction of N).
+    pub initial_fraction: f64,
+    /// Refresh period in iterations.
+    pub tau: usize,
+    /// Candidates scored per refresh.
+    pub candidates: usize,
+    /// Worst candidates promoted per refresh.
+    pub add_per_refresh: usize,
+}
+
+impl Default for RarConfig {
+    fn default() -> Self {
+        RarConfig {
+            initial_fraction: 0.1,
+            tau: 300,
+            candidates: 1000,
+            add_per_refresh: 50,
+        }
+    }
+}
+
+/// The RAR baseline sampler (implements [`Sampler`]).
+#[derive(Debug, Clone)]
+pub struct RarSampler {
+    cfg: RarConfig,
+    n: usize,
+    active: Vec<usize>,
+    in_active: Vec<bool>,
+    probe_evals: usize,
+}
+
+impl RarSampler {
+    /// Creates the sampler over `n` interior points with a random seed
+    /// subset.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, cfg: RarConfig, rng: &mut Rng64) -> Self {
+        assert!(n > 0, "empty dataset");
+        let k = ((n as f64 * cfg.initial_fraction).ceil() as usize).clamp(1, n);
+        let active = rng.sample_indices(n, k);
+        let mut in_active = vec![false; n];
+        for &i in &active {
+            in_active[i] = true;
+        }
+        RarSampler {
+            cfg,
+            n,
+            active,
+            in_active,
+            probe_evals: 0,
+        }
+    }
+
+    /// Current active-set size.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Loss evaluations consumed by refreshes so far.
+    pub fn probe_evals(&self) -> usize {
+        self.probe_evals
+    }
+}
+
+impl Sampler for RarSampler {
+    fn name(&self) -> &str {
+        "rar"
+    }
+
+    fn next_batch(&mut self, batch_size: usize, rng: &mut Rng64) -> Vec<usize> {
+        (0..batch_size)
+            .map(|_| self.active[rng.below(self.active.len())])
+            .collect()
+    }
+
+    fn refresh(&mut self, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
+        if iter == 0 || iter % self.cfg.tau != 0 || self.active.len() == self.n {
+            return;
+        }
+        // Score a random candidate pool drawn from the *inactive* points.
+        let inactive: Vec<usize> = (0..self.n).filter(|&i| !self.in_active[i]).collect();
+        if inactive.is_empty() {
+            return;
+        }
+        let m = self.cfg.candidates.min(inactive.len());
+        let picks = rng.sample_indices(inactive.len(), m);
+        let cands: Vec<usize> = picks.into_iter().map(|p| inactive[p]).collect();
+        let losses = probe.sample_losses(&cands);
+        self.probe_evals += cands.len();
+        // Promote the worst `add_per_refresh`.
+        let mut order: Vec<usize> = (0..cands.len()).collect();
+        order.sort_by(|&a, &b| losses[b].partial_cmp(&losses[a]).unwrap());
+        for &ci in order.iter().take(self.cfg.add_per_refresh) {
+            let idx = cands[ci];
+            if !self.in_active[idx] {
+                self.in_active[idx] = true;
+                self.active.push(idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_graph::points::PointCloud;
+    use sgm_linalg::dense::Matrix;
+    use sgm_nn::activation::Activation;
+    use sgm_nn::mlp::{Mlp, MlpConfig};
+    use sgm_physics::geometry::{Cavity, FillStrategy};
+    use sgm_physics::pde::{Pde, PoissonConfig};
+    use sgm_physics::problem::{Problem, TrainSet};
+
+    fn setup(n: usize) -> (Mlp, Problem, TrainSet) {
+        let problem = Problem::new(Pde::Poisson(PoissonConfig {
+            forcing: |p: &[f64]| if p[0] < 0.5 { 100.0 } else { 0.01 },
+        }));
+        let mut rng = Rng64::new(5);
+        let interior = Cavity::default().sample_interior(n, FillStrategy::Halton, &mut rng);
+        let data = TrainSet {
+            interior,
+            boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+            boundary_targets: Matrix::zeros(1, 1),
+        };
+        let net = Mlp::new(
+            &MlpConfig {
+                input_dim: 2,
+                output_dim: 1,
+                hidden_width: 6,
+                hidden_layers: 1,
+                activation: Activation::Tanh,
+                fourier: None,
+            },
+            &mut Rng64::new(6),
+        );
+        (net, problem, data)
+    }
+
+    #[test]
+    fn starts_at_initial_fraction() {
+        let mut rng = Rng64::new(1);
+        let s = RarSampler::new(1000, RarConfig::default(), &mut rng);
+        assert_eq!(s.active_len(), 100);
+    }
+
+    #[test]
+    fn active_set_grows_monotonically() {
+        let (net, prob, data) = setup(600);
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(2);
+        let mut s = RarSampler::new(
+            600,
+            RarConfig {
+                tau: 10,
+                candidates: 100,
+                add_per_refresh: 20,
+                ..RarConfig::default()
+            },
+            &mut rng,
+        );
+        let mut last = s.active_len();
+        for iter in 1..=50 {
+            s.refresh(iter, &probe, &mut rng);
+            assert!(s.active_len() >= last);
+            last = s.active_len();
+        }
+        assert!(last > 60, "active set did not grow: {last}");
+        assert!(s.probe_evals() > 0);
+    }
+
+    #[test]
+    fn promotes_high_loss_region() {
+        // Forcing is huge on the left half; promoted points should be
+        // predominantly there.
+        let (net, prob, data) = setup(800);
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(3);
+        let mut s = RarSampler::new(
+            800,
+            RarConfig {
+                initial_fraction: 0.05,
+                tau: 10,
+                candidates: 400,
+                add_per_refresh: 40,
+            },
+            &mut rng,
+        );
+        let before = s.active.clone();
+        for iter in 1..=40 {
+            s.refresh(iter, &probe, &mut rng);
+        }
+        let added: Vec<usize> = s.active[before.len()..].to_vec();
+        assert!(!added.is_empty());
+        let left = added
+            .iter()
+            .filter(|&&i| data.interior.point(i)[0] < 0.5)
+            .count();
+        let frac = left as f64 / added.len() as f64;
+        assert!(frac > 0.9, "only {frac} of promoted points on the left");
+    }
+
+    #[test]
+    fn batches_come_from_active_set() {
+        let mut rng = Rng64::new(4);
+        let mut s = RarSampler::new(500, RarConfig::default(), &mut rng);
+        let active: std::collections::HashSet<usize> = s.active.iter().copied().collect();
+        for i in s.next_batch(200, &mut rng) {
+            assert!(active.contains(&i));
+        }
+    }
+
+    #[test]
+    fn saturates_at_full_dataset() {
+        let (net, prob, data) = setup(120);
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(7);
+        let mut s = RarSampler::new(
+            120,
+            RarConfig {
+                initial_fraction: 0.5,
+                tau: 1,
+                candidates: 200,
+                add_per_refresh: 50,
+            },
+            &mut rng,
+        );
+        for iter in 1..=10 {
+            s.refresh(iter, &probe, &mut rng);
+        }
+        assert_eq!(s.active_len(), 120);
+        // No duplicates.
+        let set: std::collections::HashSet<usize> = s.active.iter().copied().collect();
+        assert_eq!(set.len(), 120);
+    }
+}

@@ -1,0 +1,314 @@
+//! Cluster scoring and score→sampling-ratio mapping (Algorithm 1, lines
+//! 8–10).
+//!
+//! After the loss probe (and optionally the ISR pass) every cluster has a
+//! scalar score. The mapping turns scores into per-cluster sampling
+//! ratios `P_i`, and the epoch assembler draws `P_i · S_i` samples from
+//! cluster `i` — with a floor of **one sample per cluster**, the paper's
+//! guard against "forgetting" low-residual regions (§3.5, citing the R3
+//! failure mode).
+
+use sgm_linalg::rng::Rng64;
+
+/// How cluster scores map to sampling ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreMapping {
+    /// Min–max normalise scores, then interpolate ratios linearly in
+    /// `[lo, hi]`.
+    Linear {
+        /// Ratio given to the lowest-scoring cluster.
+        lo: f64,
+        /// Ratio given to the highest-scoring cluster.
+        hi: f64,
+    },
+    /// Softmax over scores with temperature `temp`, rescaled to `[lo, hi]`.
+    Softmax {
+        /// Temperature (smaller = sharper).
+        temp: f64,
+        /// Ratio floor.
+        lo: f64,
+        /// Ratio ceiling.
+        hi: f64,
+    },
+    /// Rank-based: ratios interpolate `[lo, hi]` by score rank, ignoring
+    /// magnitudes (robust to outlier losses).
+    Rank {
+        /// Ratio for the lowest rank.
+        lo: f64,
+        /// Ratio for the highest rank.
+        hi: f64,
+    },
+}
+
+impl Default for ScoreMapping {
+    fn default() -> Self {
+        ScoreMapping::Linear { lo: 0.05, hi: 0.5 }
+    }
+}
+
+/// Per-cluster sampling plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterRatios {
+    /// Sampling ratio per cluster (`P_i` in the paper).
+    pub ratios: Vec<f64>,
+    /// Number of samples to draw from each cluster this epoch
+    /// (`max(1, round(P_i · S_i))` when the floor is enabled).
+    pub counts: Vec<usize>,
+}
+
+/// Combines normalised loss and ISR scores into one score per cluster:
+/// `score = norm(loss) + isr_weight · norm(isr)` (paper §3.5: the ISR is
+/// "normalized with the other PDE losses").
+///
+/// Either input may be empty (treated as zeros). Normalisation is by the
+/// maximum entry; all-zero vectors stay zero.
+///
+/// # Panics
+/// Panics if both vectors are non-empty with different lengths.
+pub fn combine_scores(losses: &[f64], isr: &[f64], isr_weight: f64) -> Vec<f64> {
+    let n = losses.len().max(isr.len());
+    if !losses.is_empty() && !isr.is_empty() {
+        assert_eq!(losses.len(), isr.len(), "score length mismatch");
+    }
+    let norm = |xs: &[f64], i: usize| -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let m = xs.iter().cloned().fold(0.0f64, f64::max);
+        if m <= 0.0 {
+            0.0
+        } else {
+            (xs[i].max(0.0)) / m
+        }
+    };
+    (0..n)
+        .map(|i| norm(losses, i) + isr_weight * norm(isr, i))
+        .collect()
+}
+
+/// Maps cluster scores to sampling ratios and epoch counts.
+///
+/// # Panics
+/// Panics if `scores.len() != sizes.len()` or any size is zero.
+pub fn map_scores(
+    scores: &[f64],
+    sizes: &[usize],
+    mapping: ScoreMapping,
+    floor_one: bool,
+) -> ClusterRatios {
+    assert_eq!(scores.len(), sizes.len(), "scores/sizes mismatch");
+    assert!(sizes.iter().all(|&s| s > 0), "empty cluster");
+    let n = scores.len();
+    if n == 0 {
+        return ClusterRatios {
+            ratios: Vec::new(),
+            counts: Vec::new(),
+        };
+    }
+    let ratios: Vec<f64> = match mapping {
+        ScoreMapping::Linear { lo, hi } => {
+            let (mn, mx) = min_max(scores);
+            let span = (mx - mn).max(1e-300);
+            scores
+                .iter()
+                .map(|&s| lo + (hi - lo) * ((s - mn) / span))
+                .collect()
+        }
+        ScoreMapping::Softmax { temp, lo, hi } => {
+            let t = temp.max(1e-9);
+            let mx = scores.iter().cloned().fold(f64::MIN, f64::max);
+            let exps: Vec<f64> = scores.iter().map(|&s| ((s - mx) / t).exp()).collect();
+            let (emn, emx) = min_max(&exps);
+            let span = (emx - emn).max(1e-300);
+            exps.iter()
+                .map(|&e| lo + (hi - lo) * ((e - emn) / span))
+                .collect()
+        }
+        ScoreMapping::Rank { lo, hi } => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+            let mut ratios = vec![0.0; n];
+            for (rank, &i) in order.iter().enumerate() {
+                let t = if n == 1 {
+                    1.0
+                } else {
+                    rank as f64 / (n - 1) as f64
+                };
+                ratios[i] = lo + (hi - lo) * t;
+            }
+            ratios
+        }
+    };
+    let counts = ratios
+        .iter()
+        .zip(sizes)
+        .map(|(&p, &s)| {
+            let c = (p * s as f64).round() as usize;
+            let c = c.min(s);
+            if floor_one {
+                c.max(1)
+            } else {
+                c
+            }
+        })
+        .collect();
+    ClusterRatios { ratios, counts }
+}
+
+fn min_max(xs: &[f64]) -> (f64, f64) {
+    let mn = xs.iter().cloned().fold(f64::MAX, f64::min);
+    let mx = xs.iter().cloned().fold(f64::MIN, f64::max);
+    (mn, mx)
+}
+
+/// Assembles an epoch: draws `counts[i]` member indices from each cluster
+/// (without replacement within a cluster) and shuffles the union.
+///
+/// # Panics
+/// Panics if `counts.len() != clusters.len()`.
+pub fn assemble_epoch(
+    clusters: &[Vec<u32>],
+    counts: &[usize],
+    rng: &mut Rng64,
+) -> Vec<usize> {
+    assert_eq!(clusters.len(), counts.len(), "counts mismatch");
+    let total: usize = counts.iter().sum();
+    let mut epoch = Vec::with_capacity(total);
+    for (cluster, &c) in clusters.iter().zip(counts) {
+        let c = c.min(cluster.len());
+        if c == 0 {
+            continue;
+        }
+        let picks = rng.sample_indices(cluster.len(), c);
+        epoch.extend(picks.into_iter().map(|p| cluster[p] as usize));
+    }
+    rng.shuffle(&mut epoch);
+    epoch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_mapping_interpolates() {
+        let r = map_scores(
+            &[0.0, 5.0, 10.0],
+            &[100, 100, 100],
+            ScoreMapping::Linear { lo: 0.1, hi: 0.5 },
+            true,
+        );
+        assert!((r.ratios[0] - 0.1).abs() < 1e-12);
+        assert!((r.ratios[1] - 0.3).abs() < 1e-12);
+        assert!((r.ratios[2] - 0.5).abs() < 1e-12);
+        assert_eq!(r.counts, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn floor_one_guards_small_ratios() {
+        let r = map_scores(
+            &[0.0, 100.0],
+            &[50, 50],
+            ScoreMapping::Linear { lo: 0.0, hi: 0.5 },
+            true,
+        );
+        assert_eq!(r.counts[0], 1, "floor of one sample per cluster");
+        let r2 = map_scores(
+            &[0.0, 100.0],
+            &[50, 50],
+            ScoreMapping::Linear { lo: 0.0, hi: 0.5 },
+            false,
+        );
+        assert_eq!(r2.counts[0], 0, "floor disabled");
+    }
+
+    #[test]
+    fn equal_scores_get_equal_ratios() {
+        for mapping in [
+            ScoreMapping::default(),
+            ScoreMapping::Softmax {
+                temp: 1.0,
+                lo: 0.05,
+                hi: 0.5,
+            },
+        ] {
+            let r = map_scores(&[3.0, 3.0, 3.0], &[10, 10, 10], mapping, true);
+            let c0 = r.counts[0];
+            assert!(r.counts.iter().all(|&c| c == c0), "{mapping:?}");
+        }
+    }
+
+    #[test]
+    fn rank_mapping_ignores_magnitude() {
+        let a = map_scores(
+            &[1.0, 2.0, 3.0],
+            &[100, 100, 100],
+            ScoreMapping::Rank { lo: 0.1, hi: 0.3 },
+            true,
+        );
+        let b = map_scores(
+            &[1.0, 2.0, 1000.0],
+            &[100, 100, 100],
+            ScoreMapping::Rank { lo: 0.1, hi: 0.3 },
+            true,
+        );
+        assert_eq!(a.counts, b.counts);
+        assert!(a.counts[2] > a.counts[0]);
+    }
+
+    #[test]
+    fn counts_never_exceed_cluster_size() {
+        let r = map_scores(
+            &[10.0],
+            &[3],
+            ScoreMapping::Linear { lo: 2.0, hi: 2.0 }, // ratio > 1
+            true,
+        );
+        assert_eq!(r.counts, vec![3]);
+    }
+
+    #[test]
+    fn combine_scores_normalises_both() {
+        let s = combine_scores(&[0.0, 10.0], &[5.0, 0.0], 1.0);
+        assert!((s[0] - 1.0).abs() < 1e-12); // 0 + 1·(5/5)
+        assert!((s[1] - 1.0).abs() < 1e-12); // 10/10 + 0
+        let s2 = combine_scores(&[0.0, 10.0], &[], 1.0);
+        assert_eq!(s2, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn combine_scores_respects_weight() {
+        let s = combine_scores(&[1.0, 1.0], &[0.0, 2.0], 0.5);
+        assert!((s[1] - s[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assemble_epoch_draws_requested_counts() {
+        let clusters = vec![vec![0, 1, 2, 3], vec![4, 5], vec![6]];
+        let mut rng = Rng64::new(1);
+        let epoch = assemble_epoch(&clusters, &[2, 2, 1], &mut rng);
+        assert_eq!(epoch.len(), 5);
+        // Cluster membership respected.
+        let c0 = epoch.iter().filter(|&&i| i < 4).count();
+        let c1 = epoch.iter().filter(|&&i| (4..6).contains(&i)).count();
+        let c2 = epoch.iter().filter(|&&i| i == 6).count();
+        assert_eq!((c0, c1, c2), (2, 2, 1));
+        // No duplicates within a cluster draw.
+        let set: std::collections::HashSet<_> = epoch.iter().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn assemble_epoch_caps_at_cluster_size() {
+        let clusters = vec![vec![0, 1]];
+        let mut rng = Rng64::new(2);
+        let epoch = assemble_epoch(&clusters, &[10], &mut rng);
+        assert_eq!(epoch.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_panic() {
+        let _ = map_scores(&[1.0], &[1, 2], ScoreMapping::default(), true);
+    }
+}

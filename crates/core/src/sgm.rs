@@ -1,0 +1,629 @@
+//! The SGM-PINN sampler — Algorithm 1 of the paper.
+//!
+//! ```text
+//! 1: From X, create a kNN-graph G                      (S1)
+//! 2: Use the LRD Algorithm to split G into n_c clusters (S2)
+//! 3: S ← cluster sizes
+//! 4: while training:
+//! 5:   S* ← r · S_i points from each cluster
+//! 6:   calculate the losses for S*
+//! 7:   from S*, apply the ISR algorithm                 (S3, parameterised)
+//! 8:   L ← combined losses and ISR per cluster
+//! 9:   map L to proportional sampling ratios P
+//! 10:  create an epoch with P_i · S_i samples per cluster (floor 1)
+//! 11:  shuffle and serve the epoch until τ_e iterations pass
+//! 14:  every τ_G iterations rebuild S1–S2 in the background
+//! ```
+
+use crate::background::{run_rebuild, BackgroundBuilder, RebuildRequest};
+use crate::score::{assemble_epoch, combine_scores, map_scores, ScoreMapping};
+use sgm_graph::knn::{KnnConfig, KnnStrategy};
+use sgm_graph::lrd::{Clustering, ErSource, LrdConfig};
+use sgm_graph::points::PointCloud;
+use sgm_graph::resistance::ApproxErOptions;
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_physics::train::{Probe, Sampler};
+use sgm_stability::{spade_scores, SpadeConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the SGM-PINN sampler.
+#[derive(Debug, Clone)]
+pub struct SgmConfig {
+    /// kNN size `k` (paper: 30 for LDC, 7 for AR).
+    pub k: usize,
+    /// kNN algorithm for S1.
+    pub knn_strategy: KnnStrategy,
+    /// LRD contraction level `𝕃` (paper: 10 for LDC, 6 for AR).
+    pub lrd_level: usize,
+    /// Lower bound on cluster count.
+    pub min_clusters: usize,
+    /// Cluster size cap as a fraction of N.
+    pub max_cluster_frac: f64,
+    /// Probe ratio `r`: fraction of each cluster scored per refresh
+    /// (paper: 15%).
+    pub probe_ratio: f64,
+    /// Score refresh period `τ_e` (iterations).
+    pub tau_e: usize,
+    /// Graph rebuild period `τ_G` (iterations; 0 disables rebuilds).
+    pub tau_g: usize,
+    /// Score → ratio mapping.
+    pub mapping: ScoreMapping,
+    /// Keep ≥ 1 sample per cluster in every epoch (paper §3.5).
+    pub floor_one: bool,
+    /// Enable the ISR stability term (S3; `SGM-S` in the paper).
+    pub use_isr: bool,
+    /// Weight of the normalised ISR term when fused with losses.
+    pub isr_weight: f64,
+    /// SPADE configuration for the ISR pass.
+    pub spade: SpadeConfig,
+    /// Cap on the number of probe points entering the dense ISR solve.
+    pub isr_cap: usize,
+    /// Leading input columns used as the kNN space (spatial coordinates;
+    /// the PGM is built on these, per paper §3.2).
+    pub spatial_dims: usize,
+    /// Rebuild the PGM on a background thread (vs. inline).
+    pub background: bool,
+    /// When rebuilding at `τ_G`, append the network's current outputs as
+    /// extra kNN features (paper §3.2: "At later stages in training this
+    /// model can be re-built in parallel while incorporating additional
+    /// features from the output"). Costs one full-dataset forward pass
+    /// per rebuild.
+    pub augment_outputs: bool,
+    /// Seed for graph construction and ER probes.
+    pub seed: u64,
+}
+
+impl Default for SgmConfig {
+    fn default() -> Self {
+        SgmConfig {
+            k: 8,
+            knn_strategy: KnnStrategy::Grid,
+            lrd_level: 6,
+            min_clusters: 24,
+            max_cluster_frac: 0.05,
+            probe_ratio: 0.15,
+            tau_e: 300,
+            tau_g: 1200,
+            mapping: ScoreMapping::default(),
+            floor_one: true,
+            use_isr: false,
+            isr_weight: 1.0,
+            spade: SpadeConfig::default(),
+            isr_cap: 256,
+            spatial_dims: 2,
+            background: true,
+            augment_outputs: false,
+            seed: 0x56C1,
+        }
+    }
+}
+
+/// Overhead accounting, reported by the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SgmStats {
+    /// Completed score refreshes.
+    pub refreshes: usize,
+    /// Rebuilds requested (τ_G events).
+    pub rebuilds_requested: usize,
+    /// Rebuilds whose result was swapped in (`S ← S_new`).
+    pub rebuilds_applied: usize,
+    /// Loss-probe forward evaluations consumed.
+    pub probe_evals: usize,
+    /// Wall-clock seconds spent inside refresh (scoring + epoch assembly;
+    /// excludes background-thread graph time by construction).
+    pub refresh_seconds: f64,
+}
+
+/// The SGM-PINN sampler (implements [`Sampler`]).
+#[derive(Debug)]
+pub struct SgmSampler {
+    cfg: SgmConfig,
+    /// Spatial projection of the interior cloud the PGM is built on.
+    cloud: Arc<PointCloud>,
+    clustering: Clustering,
+    epoch: Vec<usize>,
+    cursor: usize,
+    builder: Option<BackgroundBuilder>,
+    stats: SgmStats,
+    rebuild_counter: u64,
+}
+
+impl SgmSampler {
+    /// Builds the initial PGM and clustering over `interior` and returns a
+    /// ready sampler. The first epoch (before any loss probe) is the whole
+    /// dataset shuffled — equivalent to uniform sampling, as in the paper's
+    /// warm-up while S1/S2 complete.
+    ///
+    /// # Panics
+    /// Panics if the cloud is empty or `spatial_dims` exceeds its dimension.
+    pub fn new(interior: &PointCloud, cfg: SgmConfig) -> Self {
+        assert!(!interior.is_empty(), "empty interior cloud");
+        assert!(
+            cfg.spatial_dims >= 1 && cfg.spatial_dims <= interior.dim(),
+            "bad spatial_dims"
+        );
+        let spatial = if cfg.spatial_dims < interior.dim() {
+            interior.project(cfg.spatial_dims)
+        } else {
+            interior.clone()
+        };
+        let cloud = Arc::new(spatial);
+        let req = RebuildRequest {
+            cloud: cloud.clone(),
+            knn: Self::knn_config(&cfg, cfg.seed),
+            lrd: Self::lrd_config(&cfg, cfg.seed),
+        };
+        let clustering = run_rebuild(&req);
+        let n = interior.len();
+        let mut rng = Rng64::new(cfg.seed ^ 0xE90C);
+        let mut epoch: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut epoch);
+        let builder = if cfg.background {
+            Some(BackgroundBuilder::spawn())
+        } else {
+            None
+        };
+        SgmSampler {
+            cfg,
+            cloud,
+            clustering,
+            epoch,
+            cursor: 0,
+            builder,
+            stats: SgmStats::default(),
+            rebuild_counter: 0,
+        }
+    }
+
+    fn knn_config(cfg: &SgmConfig, seed: u64) -> KnnConfig {
+        KnnConfig {
+            k: cfg.k,
+            strategy: cfg.knn_strategy,
+            weight_eps: 1e-9,
+            seed,
+        }
+    }
+
+    fn lrd_config(cfg: &SgmConfig, seed: u64) -> LrdConfig {
+        LrdConfig {
+            level: cfg.lrd_level,
+            er: ErSource::Approx(ApproxErOptions {
+                seed,
+                ..ApproxErOptions::default()
+            }),
+            budget_scale: 1.0,
+            max_cluster_frac: cfg.max_cluster_frac,
+            min_clusters: cfg.min_clusters,
+        }
+    }
+
+    /// Current clustering (for diagnostics and the cluster-explorer
+    /// example).
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Overhead statistics.
+    pub fn stats(&self) -> SgmStats {
+        self.stats
+    }
+
+    /// Selects `ceil(r · S_i)` probe members (≥ 1) from every cluster.
+    /// Returns `(probe_indices, cluster_of_probe)`.
+    fn select_probes(&self, rng: &mut Rng64) -> (Vec<usize>, Vec<usize>) {
+        let mut probe_idx = Vec::new();
+        let mut probe_cluster = Vec::new();
+        for (ci, members) in self.clustering.clusters().iter().enumerate() {
+            let want = ((members.len() as f64 * self.cfg.probe_ratio).ceil() as usize)
+                .clamp(1, members.len());
+            for p in rng.sample_indices(members.len(), want) {
+                probe_idx.push(members[p] as usize);
+                probe_cluster.push(ci);
+            }
+        }
+        (probe_idx, probe_cluster)
+    }
+
+    fn cluster_means(&self, values: &[f64], probe_cluster: &[usize]) -> Vec<f64> {
+        let nc = self.clustering.num_clusters();
+        let mut sum = vec![0.0; nc];
+        let mut cnt = vec![0usize; nc];
+        for (&v, &c) in values.iter().zip(probe_cluster) {
+            sum[c] += v;
+            cnt[c] += 1;
+        }
+        sum.iter()
+            .zip(&cnt)
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect()
+    }
+
+    /// ISR pass over a capped subset of the probes: builds input/output
+    /// clouds, runs SPADE, and averages node scores per cluster.
+    fn isr_cluster_scores(
+        &self,
+        probe: &Probe<'_>,
+        probe_idx: &[usize],
+        probe_cluster: &[usize],
+        rng: &mut Rng64,
+    ) -> Vec<f64> {
+        let m = probe_idx.len().min(self.cfg.isr_cap).max(3);
+        let chosen: Vec<usize> = if probe_idx.len() <= m {
+            (0..probe_idx.len()).collect()
+        } else {
+            rng.sample_indices(probe_idx.len(), m)
+        };
+        if chosen.len() < 3 {
+            return vec![0.0; self.clustering.num_clusters()];
+        }
+        let sel_idx: Vec<usize> = chosen.iter().map(|&i| probe_idx[i]).collect();
+        let sel_cluster: Vec<usize> = chosen.iter().map(|&i| probe_cluster[i]).collect();
+        let inputs = probe.inputs(&sel_idx);
+        let outputs = probe.outputs(&sel_idx);
+        let in_cloud = matrix_to_cloud(&inputs);
+        let out_cloud = matrix_to_cloud(&outputs);
+        let result = spade_scores(&in_cloud, &out_cloud, &self.cfg.spade);
+        self.cluster_means(&result.node_scores, &sel_cluster)
+    }
+
+    fn rebuild_due(&self, iter: usize) -> bool {
+        self.cfg.tau_g > 0 && iter > 0 && iter % self.cfg.tau_g == 0
+    }
+
+    /// Spatial coordinates concatenated with the network's current
+    /// outputs, each output column rescaled to the spatial bounding-box
+    /// scale so neither group dominates the kNN metric.
+    fn augmented_cloud(&self, probe: &Probe<'_>) -> PointCloud {
+        let n = self.cloud.len();
+        let all: Vec<usize> = (0..n).collect();
+        let outputs = probe.outputs(&all);
+        let d_sp = self.cloud.dim();
+        let d_out = outputs.cols();
+        let (mins, maxs) = self.cloud.bounds();
+        let spatial_scale = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(a, b)| b - a)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        // Per-output min/max for normalisation.
+        let mut omin = vec![f64::MAX; d_out];
+        let mut omax = vec![f64::MIN; d_out];
+        for i in 0..n {
+            for c in 0..d_out {
+                let v = outputs.get(i, c);
+                omin[c] = omin[c].min(v);
+                omax[c] = omax[c].max(v);
+            }
+        }
+        let mut flat = Vec::with_capacity(n * (d_sp + d_out));
+        for i in 0..n {
+            flat.extend_from_slice(self.cloud.point(i));
+            for c in 0..d_out {
+                let span = (omax[c] - omin[c]).max(1e-12);
+                flat.push((outputs.get(i, c) - omin[c]) / span * spatial_scale);
+            }
+        }
+        PointCloud::from_flat(d_sp + d_out, flat)
+    }
+}
+
+fn matrix_to_cloud(m: &Matrix) -> PointCloud {
+    PointCloud::from_flat(m.cols().max(1), m.as_slice().to_vec())
+}
+
+impl Sampler for SgmSampler {
+    fn name(&self) -> &str {
+        if self.cfg.use_isr {
+            "sgm-s"
+        } else {
+            "sgm"
+        }
+    }
+
+    fn next_batch(&mut self, batch_size: usize, rng: &mut Rng64) -> Vec<usize> {
+        let mut out = Vec::with_capacity(batch_size);
+        while out.len() < batch_size {
+            if self.cursor >= self.epoch.len() {
+                rng.shuffle(&mut self.epoch);
+                self.cursor = 0;
+            }
+            let take = (batch_size - out.len()).min(self.epoch.len() - self.cursor);
+            out.extend_from_slice(&self.epoch[self.cursor..self.cursor + take]);
+            self.cursor += take;
+        }
+        out
+    }
+
+    fn refresh(&mut self, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
+        // (lines 14–18) Graph rebuild scheduling.
+        if self.rebuild_due(iter) {
+            self.rebuild_counter += 1;
+            let cloud = if self.cfg.augment_outputs {
+                Arc::new(self.augmented_cloud(probe))
+            } else {
+                self.cloud.clone()
+            };
+            let req = RebuildRequest {
+                cloud,
+                knn: Self::knn_config(&self.cfg, self.cfg.seed ^ self.rebuild_counter),
+                lrd: Self::lrd_config(&self.cfg, self.cfg.seed ^ self.rebuild_counter),
+            };
+            match &mut self.builder {
+                Some(b) => {
+                    if b.request(req) {
+                        self.stats.rebuilds_requested += 1;
+                    }
+                }
+                None => {
+                    self.clustering = run_rebuild(&req);
+                    self.stats.rebuilds_requested += 1;
+                    self.stats.rebuilds_applied += 1;
+                }
+            }
+        }
+        if let Some(b) = &mut self.builder {
+            if let Some(fresh) = b.try_take() {
+                self.clustering = fresh;
+                self.stats.rebuilds_applied += 1;
+            }
+        }
+        // (lines 5–10) Score refresh every τ_e iterations.
+        if iter % self.cfg.tau_e != 0 {
+            return;
+        }
+        let t0 = Instant::now();
+        let (probe_idx, probe_cluster) = self.select_probes(rng);
+        let losses = probe.sample_losses(&probe_idx);
+        self.stats.probe_evals += probe_idx.len();
+        let cluster_losses = self.cluster_means(&losses, &probe_cluster);
+        let cluster_isr = if self.cfg.use_isr {
+            self.isr_cluster_scores(probe, &probe_idx, &probe_cluster, rng)
+        } else {
+            Vec::new()
+        };
+        let combined = combine_scores(&cluster_losses, &cluster_isr, self.cfg.isr_weight);
+        let sizes = self.clustering.sizes();
+        let plan = map_scores(&combined, &sizes, self.cfg.mapping, self.cfg.floor_one);
+        self.epoch = assemble_epoch(self.clustering.clusters(), &plan.counts, rng);
+        if self.epoch.is_empty() {
+            // Degenerate mapping (e.g. floor disabled, all-zero scores):
+            // fall back to the full dataset.
+            self.epoch = (0..probe.num_interior()).collect();
+            rng.shuffle(&mut self.epoch);
+        }
+        self.cursor = 0;
+        self.stats.refreshes += 1;
+        self.stats.refresh_seconds += t0.elapsed().as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_nn::activation::Activation;
+    use sgm_nn::mlp::{Mlp, MlpConfig};
+    use sgm_physics::geometry::{Cavity, FillStrategy};
+    use sgm_physics::pde::{Pde, PoissonConfig};
+    use sgm_physics::problem::{Problem, TrainSet};
+    use sgm_physics::train::Probe;
+
+    /// Forcing that is enormous on the left half of the cavity — an
+    /// untrained (≈ 0) network therefore has its loss concentrated there.
+    fn lopsided_problem() -> Problem {
+        Problem::new(Pde::Poisson(PoissonConfig {
+            forcing: |p: &[f64]| if p[0] < 0.5 { 100.0 } else { 0.01 },
+        }))
+    }
+
+    fn setup(n: usize, seed: u64) -> (Mlp, Problem, TrainSet) {
+        let cav = Cavity::default();
+        let mut rng = Rng64::new(seed);
+        let interior = cav.sample_interior(n, FillStrategy::Halton, &mut rng);
+        let data = TrainSet {
+            interior,
+            boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+            boundary_targets: Matrix::zeros(1, 1),
+        };
+        let cfg = MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 8,
+            hidden_layers: 1,
+            activation: Activation::Tanh,
+            fourier: None,
+        };
+        let mut nrng = Rng64::new(seed + 1);
+        (Mlp::new(&cfg, &mut nrng), lopsided_problem(), data)
+    }
+
+    fn small_cfg() -> SgmConfig {
+        SgmConfig {
+            k: 6,
+            min_clusters: 8,
+            max_cluster_frac: 0.2,
+            tau_e: 10,
+            tau_g: 0,
+            background: false,
+            ..SgmConfig::default()
+        }
+    }
+
+    #[test]
+    fn initial_epoch_covers_everything() {
+        let (_net, _prob, data) = setup(100, 1);
+        let mut s = SgmSampler::new(&data.interior, small_cfg());
+        let mut rng = Rng64::new(2);
+        let batch = s.next_batch(100, &mut rng);
+        let uniq: std::collections::HashSet<_> = batch.iter().collect();
+        assert_eq!(uniq.len(), 100, "first epoch is the shuffled dataset");
+    }
+
+    #[test]
+    fn refresh_biases_towards_high_loss_region() {
+        let (net, prob, data) = setup(400, 3);
+        let mut s = SgmSampler::new(&data.interior, small_cfg());
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(4);
+        s.refresh(0, &probe, &mut rng);
+        assert_eq!(s.stats().refreshes, 1);
+        // Draw a large batch and count how many samples fall on the
+        // high-loss (left) half.
+        let batch = s.next_batch(2000, &mut rng);
+        let left = batch
+            .iter()
+            .filter(|&&i| data.interior.point(i)[0] < 0.5)
+            .count();
+        let frac = left as f64 / batch.len() as f64;
+        assert!(frac > 0.6, "left-half fraction only {frac}");
+    }
+
+    #[test]
+    fn floor_one_keeps_every_cluster_alive() {
+        let (net, prob, data) = setup(300, 5);
+        let mut cfg = small_cfg();
+        cfg.floor_one = true;
+        let mut s = SgmSampler::new(&data.interior, cfg);
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(6);
+        s.refresh(0, &probe, &mut rng);
+        // Each cluster must contribute ≥ 1 index to the epoch.
+        let epoch: std::collections::HashSet<usize> = s.epoch.iter().copied().collect();
+        for members in s.clustering.clusters() {
+            assert!(
+                members.iter().any(|&m| epoch.contains(&(m as usize))),
+                "cluster starved"
+            );
+        }
+    }
+
+    #[test]
+    fn tau_e_schedule_respected() {
+        let (net, prob, data) = setup(200, 7);
+        let mut s = SgmSampler::new(&data.interior, small_cfg()); // tau_e = 10
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(8);
+        for iter in 0..25 {
+            s.refresh(iter, &probe, &mut rng);
+        }
+        assert_eq!(s.stats().refreshes, 3, "refreshes at iters 0, 10, 20");
+        assert!(s.stats().probe_evals > 0);
+    }
+
+    #[test]
+    fn synchronous_rebuild_applies() {
+        let (net, prob, data) = setup(200, 9);
+        let mut cfg = small_cfg();
+        cfg.tau_g = 5;
+        cfg.background = false;
+        let mut s = SgmSampler::new(&data.interior, cfg);
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(10);
+        for iter in 0..11 {
+            s.refresh(iter, &probe, &mut rng);
+        }
+        assert_eq!(s.stats().rebuilds_requested, 2);
+        assert_eq!(s.stats().rebuilds_applied, 2);
+    }
+
+    #[test]
+    fn background_rebuild_eventually_applies() {
+        let (net, prob, data) = setup(300, 11);
+        let mut cfg = small_cfg();
+        cfg.tau_g = 2;
+        cfg.background = true;
+        let mut s = SgmSampler::new(&data.interior, cfg);
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(12);
+        let mut applied = 0;
+        for iter in 0..200 {
+            s.refresh(iter, &probe, &mut rng);
+            applied = s.stats().rebuilds_applied;
+            if applied > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(applied > 0, "background rebuild never applied");
+    }
+
+    #[test]
+    fn isr_variant_runs_and_scores() {
+        let (net, prob, data) = setup(200, 13);
+        let mut cfg = small_cfg();
+        cfg.use_isr = true;
+        cfg.isr_cap = 64;
+        let mut s = SgmSampler::new(&data.interior, cfg);
+        assert_eq!(s.name(), "sgm-s");
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(14);
+        s.refresh(0, &probe, &mut rng);
+        assert_eq!(s.stats().refreshes, 1);
+        assert!(!s.epoch.is_empty());
+    }
+
+    #[test]
+    fn batches_always_full_and_in_range() {
+        let (net, prob, data) = setup(150, 15);
+        let mut s = SgmSampler::new(&data.interior, small_cfg());
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(16);
+        s.refresh(0, &probe, &mut rng);
+        for _ in 0..20 {
+            let b = s.next_batch(64, &mut rng);
+            assert_eq!(b.len(), 64);
+            assert!(b.iter().all(|&i| i < 150));
+        }
+    }
+
+    #[test]
+    fn parameterised_cloud_uses_spatial_projection() {
+        // 3-column cloud (x, y, r_i): the PGM must be built on (x, y) only.
+        let mut rng = Rng64::new(17);
+        let mut flat = Vec::new();
+        for _ in 0..120 {
+            flat.push(rng.uniform());
+            flat.push(rng.uniform());
+            flat.push(rng.uniform_in(0.75, 1.1));
+        }
+        let cloud = PointCloud::from_flat(3, flat);
+        let cfg = SgmConfig {
+            spatial_dims: 2,
+            background: false,
+            min_clusters: 6,
+            ..small_cfg()
+        };
+        let s = SgmSampler::new(&cloud, cfg);
+        assert_eq!(s.clustering().num_nodes(), 120);
+    }
+}

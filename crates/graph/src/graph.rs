@@ -1,0 +1,376 @@
+//! Undirected weighted graphs in edge-list + CSR adjacency form, plus
+//! union–find and traversal utilities.
+//!
+//! The PGM built in S1 is stored here: nodes are collocation points, edges
+//! carry similarity weights (inverse distance). The LRD decomposition (S2)
+//! consumes both the edge list (sorted by effective resistance) and the
+//! adjacency structure.
+
+/// An undirected weighted graph.
+///
+/// Edges are stored once (`u < v` canonical order); the CSR adjacency
+/// stores each edge twice for O(deg) neighbour iteration.
+///
+/// # Example
+///
+/// ```
+/// use sgm_graph::graph::Graph;
+/// let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0)]);
+/// assert_eq!(g.degree(1), 2);
+/// assert_eq!(g.weighted_degree(1), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    n: usize,
+    /// Canonical edge list: `(u, v, w)` with `u < v`.
+    edges: Vec<(u32, u32, f64)>,
+    /// CSR offsets into `adj`.
+    offsets: Vec<usize>,
+    /// `(neighbour, edge index)` pairs.
+    adj: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Builds from an edge list. Self-loops are dropped; duplicate edges
+    /// (in either orientation) are merged by summing weights.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n` or a weight is non-finite/negative.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut canon: Vec<(u32, u32, f64)> = Vec::with_capacity(edges.len());
+        for &(u, v, w) in edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            assert!(w.is_finite() && w >= 0.0, "weight must be finite & >= 0");
+            if u == v {
+                continue;
+            }
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            canon.push((a as u32, b as u32, w));
+        }
+        canon.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        // Merge duplicates.
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(canon.len());
+        for e in canon {
+            match merged.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => last.2 += e.2,
+                _ => merged.push(e),
+            }
+        }
+        // Build CSR adjacency.
+        let mut counts = vec![0usize; n + 1];
+        for &(u, v, _) in &merged {
+            counts[u as usize + 1] += 1;
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut adj = vec![(0u32, 0u32); merged.len() * 2];
+        let mut cursor = counts.clone();
+        for (ei, &(u, v, _)) in merged.iter().enumerate() {
+            adj[cursor[u as usize]] = (v, ei as u32);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = (u, ei as u32);
+            cursor[v as usize] += 1;
+        }
+        Graph {
+            n,
+            edges: merged,
+            offsets: counts,
+            adj,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge `ei` as `(u, v, w)`.
+    pub fn edge(&self, ei: usize) -> (usize, usize, f64) {
+        let (u, v, w) = self.edges[ei];
+        (u as usize, v as usize, w)
+    }
+
+    /// Iterator over all edges `(u, v, w)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.edges.iter().map(|&(u, v, w)| (u as usize, v as usize, w))
+    }
+
+    /// Iterator over `(neighbour, edge_index)` of node `u`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj[self.offsets[u]..self.offsets[u + 1]]
+            .iter()
+            .map(|&(v, e)| (v as usize, e as usize))
+    }
+
+    /// Unweighted degree.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Sum of incident edge weights.
+    pub fn weighted_degree(&self, u: usize) -> f64 {
+        self.neighbors(u).map(|(_, e)| self.edges[e].2).sum()
+    }
+
+    /// Average unweighted degree (0 for an empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.n as f64
+        }
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.2).sum()
+    }
+
+    /// Connected components: `(labels, count)`. Labels are compact in
+    /// `[0, count)`.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let mut label = vec![u32::MAX; self.n];
+        let mut count = 0u32;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if label[s] != u32::MAX {
+                continue;
+            }
+            label[s] = count;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for (v, _) in self.neighbors(u) {
+                    if label[v] == u32::MAX {
+                        label[v] = count;
+                        stack.push(v);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (label, count as usize)
+    }
+
+    /// Whether the graph is connected (an empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.n <= 1 || self.components().1 == 1
+    }
+
+    /// BFS hop distances from `src` (`usize::MAX` for unreachable).
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        dist[src] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in self.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The subgraph induced on `nodes`, with nodes re-indexed in the order
+    /// given. Returns the subgraph and the mapping `new -> old`.
+    ///
+    /// # Panics
+    /// Panics if `nodes` contains duplicates or out-of-range indices.
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut new_of = vec![usize::MAX; self.n];
+        for (ni, &o) in nodes.iter().enumerate() {
+            assert!(o < self.n, "node out of range");
+            assert!(new_of[o] == usize::MAX, "duplicate node in subset");
+            new_of[o] = ni;
+        }
+        let mut edges = Vec::new();
+        for &(u, v, w) in &self.edges {
+            let (nu, nv) = (new_of[u as usize], new_of[v as usize]);
+            if nu != usize::MAX && nv != usize::MAX {
+                edges.push((nu, nv, w));
+            }
+        }
+        (Graph::from_edges(nodes.len(), &edges), nodes.to_vec())
+    }
+}
+
+/// Disjoint-set union with union by rank and path compression.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    count: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            count: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.count -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.count
+    }
+
+    /// Compact labels in `[0, num_sets)` for every element.
+    pub fn labels(&mut self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut map = std::collections::HashMap::new();
+        let mut out = vec![0u32; n];
+        for i in 0..n {
+            let r = self.find(i);
+            let next = map.len() as u32;
+            let lbl = *map.entry(r).or_insert(next);
+            out[i] = lbl;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|i| (i, i + 1, 1.0)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn edge_canonicalisation_and_merge() {
+        let g = Graph::from_edges(3, &[(1, 0, 1.0), (0, 1, 2.0), (2, 2, 5.0), (1, 2, 1.0)]);
+        assert_eq!(g.num_edges(), 2); // self-loop dropped, duplicate merged
+        assert_eq!(g.edge(0), (0, 1, 3.0));
+    }
+
+    #[test]
+    fn degrees() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (1, 3, 3.0)]);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.weighted_degree(1), 6.0);
+        assert_eq!(g.degree(0), 1);
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_bidirectional() {
+        let g = Graph::from_edges(3, &[(0, 2, 1.5)]);
+        let n0: Vec<usize> = g.neighbors(0).map(|(v, _)| v).collect();
+        let n2: Vec<usize> = g.neighbors(2).map(|(v, _)| v).collect();
+        assert_eq!(n0, vec![2]);
+        assert_eq!(n2, vec![0]);
+    }
+
+    #[test]
+    fn components_two_blobs() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        let (labels, count) = g.components();
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(!g.is_connected());
+        assert!(path(4).is_connected());
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        let (s, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.num_sets(), 3);
+        let labels = uf.labels();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn union_find_transitivity() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.connected(0, 9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_panics() {
+        let _ = Graph::from_edges(2, &[(0, 1, -1.0)]);
+    }
+}

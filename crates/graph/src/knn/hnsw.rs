@@ -1,0 +1,343 @@
+//! Hierarchical Navigable Small World (HNSW) approximate nearest-neighbour
+//! index, after Malkov & Yashunin (2018) — the paper's reference [17] and
+//! the algorithm behind its `O(N log N)` kNN-graph construction (S1).
+//!
+//! The index is built incrementally: every point draws a geometric level;
+//! greedy search descends the upper layers, then a best-first beam search
+//! (`ef_construction` wide) selects neighbours at each of the point's
+//! layers. Queries follow the same descent with an `ef_search` beam.
+
+use crate::points::PointCloud;
+use sgm_linalg::rng::Rng64;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Tuning parameters for [`Hnsw`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HnswParams {
+    /// Max links per node on upper layers (the paper's `M`).
+    pub m: usize,
+    /// Max links on layer 0 (customarily `2M`).
+    pub m0: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during queries.
+    pub ef_search: usize,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 12,
+            m0: 24,
+            ef_construction: 64,
+            ef_search: 48,
+        }
+    }
+}
+
+/// Candidate ordered by distance (min-heap via reversed compare).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Candidate {
+    dist: f64,
+    node: u32,
+}
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap; we want nearest first.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Farthest-first wrapper (natural max-heap order).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FarCandidate {
+    dist: f64,
+    node: u32,
+}
+impl Eq for FarCandidate {}
+impl Ord for FarCandidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for FarCandidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An HNSW index over a borrowed point cloud.
+#[derive(Debug)]
+pub struct Hnsw<'a> {
+    cloud: &'a PointCloud,
+    params: HnswParams,
+    /// `links[level][node]` — neighbour lists; upper levels only store
+    /// nodes whose level ≥ that layer.
+    links: Vec<Vec<Vec<u32>>>,
+    /// Top level of each node.
+    node_level: Vec<u8>,
+    entry: u32,
+    max_level: usize,
+}
+
+impl<'a> Hnsw<'a> {
+    /// Builds an index over every point in `cloud`.
+    ///
+    /// # Panics
+    /// Panics if the cloud is empty.
+    pub fn build(cloud: &'a PointCloud, params: &HnswParams, rng: &mut Rng64) -> Self {
+        assert!(!cloud.is_empty(), "empty cloud");
+        let n = cloud.len();
+        let ml = 1.0 / (params.m as f64).ln().max(0.5);
+        let mut index = Hnsw {
+            cloud,
+            params: params.clone(),
+            links: vec![vec![Vec::new(); n]],
+            node_level: vec![0; n],
+            entry: 0,
+            max_level: 0,
+        };
+        for i in 0..n {
+            let u = rng.uniform().max(1e-300);
+            let level = ((-u.ln()) * ml).floor() as usize;
+            index.insert(i as u32, level.min(16));
+        }
+        index
+    }
+
+    fn dist(&self, a: u32, q: &[f64]) -> f64 {
+        self.cloud.dist2_to(a as usize, q)
+    }
+
+    fn ensure_level(&mut self, level: usize) {
+        while self.links.len() <= level {
+            self.links.push(vec![Vec::new(); self.cloud.len()]);
+        }
+    }
+
+    /// Greedy hill-climb on one layer toward `q`, returning the local
+    /// minimum reached from `start`.
+    fn greedy_layer(&self, q: &[f64], start: u32, layer: usize) -> u32 {
+        let mut cur = start;
+        let mut cur_d = self.dist(cur, q);
+        loop {
+            let mut improved = false;
+            for &nb in &self.links[layer][cur as usize] {
+                let d = self.dist(nb, q);
+                if d < cur_d {
+                    cur = nb;
+                    cur_d = d;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search on one layer; returns up to `ef` nearest candidates,
+    /// ascending by distance.
+    fn search_layer(&self, q: &[f64], start: u32, ef: usize, layer: usize) -> Vec<(u32, f64)> {
+        let mut visited = std::collections::HashSet::new();
+        visited.insert(start);
+        let d0 = self.dist(start, q);
+        let mut frontier = BinaryHeap::from([Candidate {
+            dist: d0,
+            node: start,
+        }]);
+        let mut best: BinaryHeap<FarCandidate> = BinaryHeap::from([FarCandidate {
+            dist: d0,
+            node: start,
+        }]);
+        while let Some(c) = frontier.pop() {
+            let worst = best.peek().map_or(f64::MAX, |f| f.dist);
+            if c.dist > worst && best.len() >= ef {
+                break;
+            }
+            for &nb in &self.links[layer][c.node as usize] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let d = self.dist(nb, q);
+                let worst = best.peek().map_or(f64::MAX, |f| f.dist);
+                if best.len() < ef || d < worst {
+                    frontier.push(Candidate { dist: d, node: nb });
+                    best.push(FarCandidate { dist: d, node: nb });
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u32, f64)> = best.into_iter().map(|f| (f.node, f.dist)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out
+    }
+
+    /// Simple neighbour selection: keep the `m` closest.
+    fn select_neighbors(cands: &[(u32, f64)], m: usize) -> Vec<u32> {
+        cands.iter().take(m).map(|&(n, _)| n).collect()
+    }
+
+    fn insert(&mut self, node: u32, level: usize) {
+        self.ensure_level(level);
+        self.node_level[node as usize] = level as u8;
+        if node == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return;
+        }
+        let q = self.cloud.point(node as usize).to_vec();
+        let mut ep = self.entry;
+        // Descend from the top to level+1 greedily.
+        let top = self.max_level;
+        for layer in (level + 1..=top).rev() {
+            ep = self.greedy_layer(&q, ep, layer);
+        }
+        // Insert at each layer from min(level, top) down to 0.
+        for layer in (0..=level.min(top)).rev() {
+            let cands = self.search_layer(&q, ep, self.params.ef_construction, layer);
+            let m_max = if layer == 0 {
+                self.params.m0
+            } else {
+                self.params.m
+            };
+            let selected = Self::select_neighbors(&cands, self.params.m);
+            for &nb in &selected {
+                self.links[layer][node as usize].push(nb);
+                self.links[layer][nb as usize].push(node);
+                // Shrink overfull neighbour lists, keeping the closest.
+                if self.links[layer][nb as usize].len() > m_max {
+                    let nb_point = self.cloud.point(nb as usize).to_vec();
+                    let mut with_d: Vec<(u32, f64)> = self.links[layer][nb as usize]
+                        .iter()
+                        .map(|&x| (x, self.dist(x, &nb_point)))
+                        .collect();
+                    with_d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                    with_d.truncate(m_max);
+                    self.links[layer][nb as usize] = with_d.into_iter().map(|(x, _)| x).collect();
+                }
+            }
+            if let Some(&(first, _)) = cands.first() {
+                ep = first;
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = node;
+        }
+    }
+
+    /// Approximate `k` nearest neighbours of an arbitrary query point,
+    /// ascending by squared distance.
+    pub fn search(&self, q: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut ep = self.entry;
+        for layer in (1..=self.max_level).rev() {
+            ep = self.greedy_layer(q, ep, layer);
+        }
+        let ef = self.params.ef_search.max(k);
+        let res = self.search_layer(q, ep, ef, 0);
+        res.into_iter()
+            .take(k)
+            .map(|(n, d)| (n as usize, d))
+            .collect()
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.cloud.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cloud.is_empty()
+    }
+
+    /// Highest occupied layer.
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{brute_knn, recall};
+
+    #[test]
+    fn finds_exact_match() {
+        let mut rng = Rng64::new(7);
+        let cloud = PointCloud::uniform_box(200, 2, 0.0, 1.0, &mut rng);
+        let mut build_rng = Rng64::new(8);
+        let idx = Hnsw::build(&cloud, &HnswParams::default(), &mut build_rng);
+        for i in (0..200).step_by(17) {
+            let res = idx.search(cloud.point(i), 1);
+            assert_eq!(res[0].0, i, "self should be nearest");
+            assert_eq!(res[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn recall_above_90_percent() {
+        let mut rng = Rng64::new(9);
+        let cloud = PointCloud::uniform_box(800, 3, -1.0, 1.0, &mut rng);
+        let mut build_rng = Rng64::new(10);
+        let idx = Hnsw::build(&cloud, &HnswParams::default(), &mut build_rng);
+        let exact = brute_knn(&cloud, 10);
+        let approx: Vec<Vec<(usize, f64)>> = (0..cloud.len())
+            .map(|i| {
+                idx.search(cloud.point(i), 11)
+                    .into_iter()
+                    .filter(|&(j, _)| j != i)
+                    .take(10)
+                    .collect()
+            })
+            .collect();
+        let r = recall(&approx, &exact);
+        assert!(r > 0.9, "recall {r}");
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let mut rng = Rng64::new(11);
+        let cloud = PointCloud::uniform_box(100, 2, 0.0, 1.0, &mut rng);
+        let mut build_rng = Rng64::new(12);
+        let idx = Hnsw::build(&cloud, &HnswParams::default(), &mut build_rng);
+        let res = idx.search(&[0.5, 0.5], 10);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn single_point_index() {
+        let cloud = PointCloud::from_flat(2, vec![1.0, 2.0]);
+        let mut rng = Rng64::new(13);
+        let idx = Hnsw::build(&cloud, &HnswParams::default(), &mut rng);
+        let res = idx.search(&[0.0, 0.0], 3);
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0].0, 0);
+    }
+
+    #[test]
+    fn layered_structure_exists_for_large_sets() {
+        let mut rng = Rng64::new(14);
+        let cloud = PointCloud::uniform_box(2000, 2, 0.0, 1.0, &mut rng);
+        let mut build_rng = Rng64::new(15);
+        let idx = Hnsw::build(&cloud, &HnswParams::default(), &mut build_rng);
+        assert!(idx.max_level() >= 1, "expected multiple layers");
+    }
+}

@@ -1,0 +1,123 @@
+//! Graph Laplacians as sparse matrices.
+//!
+//! The effective-resistance machinery (Definition 3.1 of the paper) and the
+//! ISR pencil `L_Y⁺ L_X` both operate on combinatorial Laplacians
+//! `L = D − W` of the PGM.
+
+use crate::graph::Graph;
+use sgm_linalg::sparse::Csr;
+
+/// Combinatorial Laplacian `L = D − W` of an undirected weighted graph.
+pub fn laplacian(g: &Graph) -> Csr {
+    let n = g.num_nodes();
+    let mut trips = Vec::with_capacity(g.num_edges() * 4);
+    for (u, v, w) in g.edges() {
+        trips.push((u, v, -w));
+        trips.push((v, u, -w));
+        trips.push((u, u, w));
+        trips.push((v, v, w));
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+/// Symmetric normalised Laplacian `I − D^{-1/2} W D^{-1/2}`. Isolated
+/// nodes get a unit diagonal.
+pub fn normalized_laplacian(g: &Graph) -> Csr {
+    let n = g.num_nodes();
+    let deg: Vec<f64> = (0..n).map(|u| g.weighted_degree(u)).collect();
+    let inv_sqrt: Vec<f64> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let mut trips = Vec::with_capacity(g.num_edges() * 2 + n);
+    for u in 0..n {
+        trips.push((u, u, 1.0));
+    }
+    for (u, v, w) in g.edges() {
+        let nw = w * inv_sqrt[u] * inv_sqrt[v];
+        trips.push((u, v, -nw));
+        trips.push((v, u, -nw));
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+/// A Laplacian regularised by `+ eps·I`, making it positive definite so
+/// plain CG applies (used when deflation is inconvenient, e.g. inside the
+/// ISR pencil).
+pub fn regularized_laplacian(g: &Graph, eps: f64) -> Csr {
+    let n = g.num_nodes();
+    let mut trips: Vec<(usize, usize, f64)> = Vec::with_capacity(g.num_edges() * 4 + n);
+    for (u, v, w) in g.edges() {
+        trips.push((u, v, -w));
+        trips.push((v, u, -w));
+        trips.push((u, u, w));
+        trips.push((v, v, w));
+    }
+    for u in 0..n {
+        trips.push((u, u, eps));
+    }
+    Csr::from_triplets(n, n, &trips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let l = laplacian(&triangle());
+        for r in 0..3 {
+            let s: f64 = l.row_iter(r).map(|(_, v)| v).sum();
+            assert!(s.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn laplacian_is_symmetric() {
+        let g = Graph::from_edges(4, &[(0, 1, 2.0), (1, 2, 0.5), (2, 3, 1.5), (0, 3, 1.0)]);
+        assert!(laplacian(&g).is_symmetric(1e-14));
+        assert!(normalized_laplacian(&g).is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn laplacian_quadratic_form_is_cut() {
+        // xᵀ L x = Σ_(u,v) w (x_u − x_v)²
+        let g = triangle();
+        let l = laplacian(&g);
+        let x = [1.0, 0.0, 0.0];
+        let lx = l.apply(&x);
+        let quad: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        assert!((quad - 2.0).abs() < 1e-14); // two cut edges of weight 1
+    }
+
+    #[test]
+    fn normalized_diag_is_one() {
+        let l = normalized_laplacian(&triangle());
+        for i in 0..3 {
+            assert!((l.get(i, i) - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn regularized_is_positive_definite() {
+        let g = triangle();
+        let lr = regularized_laplacian(&g, 0.1);
+        // Constant vector now has positive energy.
+        let x = [1.0, 1.0, 1.0];
+        let lx = lr.apply(&x);
+        let quad: f64 = x.iter().zip(&lx).map(|(a, b)| a * b).sum();
+        assert!((quad - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_node_handled() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]);
+        let l = normalized_laplacian(&g);
+        assert_eq!(l.get(2, 2), 1.0);
+        assert_eq!(l.get(2, 0), 0.0);
+    }
+}

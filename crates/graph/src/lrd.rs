@@ -1,0 +1,412 @@
+//! Low-resistance-diameter (LRD) decomposition — paper step **S2**.
+//!
+//! Partitions the PGM into node clusters whose internal effective-resistance
+//! diameter is bounded, following the constructive scheme of Alev et al.
+//! (ITCS'18) with scalable ER estimates (HyperEF-style; see
+//! [`crate::resistance`]).
+//!
+//! The implementation is level-based, mirroring the paper's hyper-parameter
+//! `𝕃` ("LRD level", 10 for LDC, 6 for the annular ring): each level sorts
+//! the surviving inter-cluster edges by estimated effective resistance and
+//! contracts from the low-resistance end, maintaining a per-cluster
+//! ER-diameter upper bound `diam(A ∪ B) ≤ diam(A) + diam(B) + R(e)` and
+//! refusing merges that would exceed the level budget. Higher levels relax
+//! the budget geometrically, so cluster count decays roughly as `N / 2^𝕃`
+//! until the diameter bound binds.
+
+use crate::graph::{Graph, UnionFind};
+use crate::resistance::{approx_edge_resistances, ApproxErOptions};
+
+/// How edge effective resistances are obtained for the decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErSource {
+    /// Exact dense pseudo-inverse (small graphs / tests).
+    Exact,
+    /// Scalable smoothed-random-projection estimate.
+    Approx(ApproxErOptions),
+    /// Caller-provided per-edge resistances (must match `g.num_edges()`).
+    Provided(Vec<f64>),
+}
+
+/// Configuration for [`decompose`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrdConfig {
+    /// Number of contraction levels (the paper's `𝕃`).
+    pub level: usize,
+    /// Effective-resistance source.
+    pub er: ErSource,
+    /// Base diameter budget as a multiple of the mean edge resistance.
+    /// The level-ℓ budget is `budget_scale · mean_R · 2^ℓ`.
+    pub budget_scale: f64,
+    /// Hard cap on cluster size as a fraction of `n` (guards against one
+    /// giant cluster swallowing the graph). 1.0 disables the cap.
+    pub max_cluster_frac: f64,
+    /// Optional lower bound on the number of clusters; contraction stops
+    /// once reached.
+    pub min_clusters: usize,
+}
+
+impl Default for LrdConfig {
+    fn default() -> Self {
+        LrdConfig {
+            level: 6,
+            er: ErSource::Approx(ApproxErOptions::default()),
+            budget_scale: 1.0,
+            max_cluster_frac: 0.05,
+            min_clusters: 16,
+        }
+    }
+}
+
+/// The result of an LRD decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    assignment: Vec<u32>,
+    clusters: Vec<Vec<u32>>,
+    /// Upper bound on each cluster's internal ER diameter, as tracked
+    /// during contraction (same units as the ER estimates used).
+    diam_bound: Vec<f64>,
+    /// The final level budget that merges were checked against.
+    final_budget: f64,
+}
+
+impl Clustering {
+    /// Builds a clustering directly from an assignment vector (used by
+    /// tests and by samplers that need ad-hoc groupings).
+    ///
+    /// # Panics
+    /// Panics if labels are not compact in `[0, max+1)`.
+    pub fn from_assignment(assignment: Vec<u32>) -> Self {
+        let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut clusters = vec![Vec::new(); k];
+        for (i, &c) in assignment.iter().enumerate() {
+            clusters[c as usize].push(i as u32);
+        }
+        assert!(
+            clusters.iter().all(|c| !c.is_empty()),
+            "labels must be compact"
+        );
+        Clustering {
+            assignment,
+            clusters,
+            diam_bound: vec![f64::NAN; k],
+            final_budget: f64::NAN,
+        }
+    }
+
+    /// Cluster label of each node.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Members of cluster `c`.
+    pub fn cluster(&self, c: usize) -> &[u32] {
+        &self.clusters[c]
+    }
+
+    /// All clusters.
+    pub fn clusters(&self) -> &[Vec<u32>] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Tracked ER-diameter upper bound for cluster `c` (NaN when built via
+    /// [`Clustering::from_assignment`]).
+    pub fn diameter_bound(&self, c: usize) -> f64 {
+        self.diam_bound[c]
+    }
+
+    /// The budget merges were checked against at the final level.
+    pub fn final_budget(&self) -> f64 {
+        self.final_budget
+    }
+
+    /// Cluster sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.clusters.iter().map(|c| c.len()).collect()
+    }
+}
+
+/// Runs the LRD decomposition on `g`.
+///
+/// # Panics
+/// Panics if the graph is empty, or a `Provided` ER vector has the wrong
+/// length.
+pub fn decompose(g: &Graph, cfg: &LrdConfig) -> Clustering {
+    let n = g.num_nodes();
+    assert!(n > 0, "empty graph");
+    if g.num_edges() == 0 {
+        return Clustering::from_assignment((0..n as u32).collect());
+    }
+    let er: Vec<f64> = match &cfg.er {
+        ErSource::Exact => crate::resistance::exact_edge_resistances(g),
+        ErSource::Approx(opts) => approx_edge_resistances(g, opts),
+        ErSource::Provided(v) => {
+            assert_eq!(v.len(), g.num_edges(), "provided ER length");
+            v.clone()
+        }
+    };
+    let mean_r = er.iter().sum::<f64>() / er.len() as f64;
+    let max_cluster = ((n as f64 * cfg.max_cluster_frac).ceil() as usize).max(2);
+
+    let mut uf = UnionFind::new(n);
+    let mut diam = vec![0.0f64; n]; // indexed by current root
+    let mut size = vec![1usize; n];
+
+    // Edges sorted ascending by estimated resistance, once.
+    let mut order: Vec<usize> = (0..g.num_edges()).collect();
+    order.sort_by(|&a, &b| er[a].partial_cmp(&er[b]).unwrap());
+
+    let mut budget = cfg.budget_scale * mean_r;
+    for _level in 0..cfg.level.max(1) {
+        if uf.num_sets() <= cfg.min_clusters {
+            break;
+        }
+        for &ei in &order {
+            if uf.num_sets() <= cfg.min_clusters {
+                break;
+            }
+            let (u, v, _) = g.edge(ei);
+            let (ru, rv) = (uf.find(u), uf.find(v));
+            if ru == rv {
+                continue;
+            }
+            let merged_diam = diam[ru] + diam[rv] + er[ei];
+            if merged_diam > budget {
+                continue;
+            }
+            if size[ru] + size[rv] > max_cluster {
+                continue;
+            }
+            uf.union(ru, rv);
+            let root = uf.find(ru);
+            diam[root] = merged_diam;
+            size[root] = size[ru] + size[rv];
+        }
+        budget *= 2.0;
+    }
+    budget /= 2.0; // the last budget actually used
+
+    let assignment = uf.labels();
+    let k = assignment.iter().copied().max().unwrap() as usize + 1;
+    let mut clusters = vec![Vec::new(); k];
+    let mut diam_bound = vec![0.0; k];
+    for (i, &c) in assignment.iter().enumerate() {
+        clusters[c as usize].push(i as u32);
+    }
+    for i in 0..n {
+        let root = uf.find(i);
+        diam_bound[assignment[i] as usize] = diam[root];
+    }
+    Clustering {
+        assignment,
+        clusters,
+        diam_bound,
+        final_budget: budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+    use crate::points::PointCloud;
+    use crate::resistance::exact_pair_resistance;
+    use sgm_linalg::rng::Rng64;
+
+    fn two_blob_cloud() -> PointCloud {
+        let mut data = Vec::new();
+        let mut rng = Rng64::new(21);
+        for _ in 0..30 {
+            data.push(rng.uniform());
+            data.push(rng.uniform());
+        }
+        for _ in 0..30 {
+            data.push(100.0 + rng.uniform());
+            data.push(100.0 + rng.uniform());
+        }
+        PointCloud::from_flat(2, data)
+    }
+
+    fn blob_graph() -> Graph {
+        build_knn_graph(
+            &two_blob_cloud(),
+            &KnnConfig {
+                k: 5,
+                strategy: KnnStrategy::Brute,
+                ..KnnConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn every_node_assigned_exactly_once() {
+        let g = blob_graph();
+        let c = decompose(&g, &LrdConfig::default());
+        assert_eq!(c.num_nodes(), 60);
+        let total: usize = c.sizes().iter().sum();
+        assert_eq!(total, 60);
+        for (i, &lbl) in c.assignment().iter().enumerate() {
+            assert!(c.cluster(lbl as usize).contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn clusters_never_span_blobs() {
+        let g = blob_graph();
+        let c = decompose(
+            &g,
+            &LrdConfig {
+                min_clusters: 2,
+                max_cluster_frac: 1.0,
+                level: 12,
+                ..LrdConfig::default()
+            },
+        );
+        // The two blobs are disconnected components — no cluster may mix them.
+        let (comp, _) = g.components();
+        for cl in c.clusters() {
+            let c0 = comp[cl[0] as usize];
+            assert!(cl.iter().all(|&i| comp[i as usize] == c0));
+        }
+    }
+
+    #[test]
+    fn higher_level_gives_fewer_clusters() {
+        let g = blob_graph();
+        let count = |lvl: usize| {
+            decompose(
+                &g,
+                &LrdConfig {
+                    level: lvl,
+                    min_clusters: 1,
+                    max_cluster_frac: 1.0,
+                    er: ErSource::Exact,
+                    ..LrdConfig::default()
+                },
+            )
+            .num_clusters()
+        };
+        let c1 = count(1);
+        let c4 = count(4);
+        let c10 = count(10);
+        assert!(c1 >= c4, "{c1} < {c4}");
+        assert!(c4 >= c10, "{c4} < {c10}");
+        assert!(c10 >= 2); // two components can never merge
+    }
+
+    #[test]
+    fn exact_er_diameter_within_tracked_bound() {
+        // On a small graph with exact ER inputs, the true pairwise ER inside
+        // each cluster must not exceed the tracked diameter bound.
+        let mut rng = Rng64::new(5);
+        let cloud = PointCloud::uniform_box(40, 2, 0.0, 1.0, &mut rng);
+        let g = build_knn_graph(
+            &cloud,
+            &KnnConfig {
+                k: 4,
+                strategy: KnnStrategy::Brute,
+                ..KnnConfig::default()
+            },
+        );
+        let c = decompose(
+            &g,
+            &LrdConfig {
+                level: 3,
+                er: ErSource::Exact,
+                min_clusters: 4,
+                ..LrdConfig::default()
+            },
+        );
+        for (ci, cl) in c.clusters().iter().enumerate() {
+            if cl.len() < 2 {
+                continue;
+            }
+            let bound = c.diameter_bound(ci);
+            for i in 0..cl.len() {
+                for j in i + 1..cl.len() {
+                    let r = exact_pair_resistance(&g, cl[i] as usize, cl[j] as usize);
+                    assert!(
+                        r <= bound + 1e-6,
+                        "cluster {ci}: pair ER {r} exceeds bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_clusters_respected() {
+        let g = blob_graph();
+        let c = decompose(
+            &g,
+            &LrdConfig {
+                level: 20,
+                min_clusters: 10,
+                max_cluster_frac: 1.0,
+                ..LrdConfig::default()
+            },
+        );
+        assert!(c.num_clusters() >= 10);
+    }
+
+    #[test]
+    fn max_cluster_cap_respected() {
+        let g = blob_graph();
+        let c = decompose(
+            &g,
+            &LrdConfig {
+                level: 20,
+                min_clusters: 1,
+                max_cluster_frac: 0.1, // ≤ 6 nodes each
+                ..LrdConfig::default()
+            },
+        );
+        for s in c.sizes() {
+            assert!(s <= 6, "cluster size {s}");
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_is_singletons() {
+        let g = Graph::from_edges(5, &[]);
+        let c = decompose(&g, &LrdConfig::default());
+        assert_eq!(c.num_clusters(), 5);
+    }
+
+    #[test]
+    fn provided_er_is_used() {
+        // Path 0-1-2 with fake ERs forcing only edge (0,1) to contract.
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let c = decompose(
+            &g,
+            &LrdConfig {
+                level: 1,
+                er: ErSource::Provided(vec![0.01, 100.0]),
+                budget_scale: 1.0, // budget = mean ≈ 50; both could merge…
+                max_cluster_frac: 0.67, // …but cap of 2 blocks the second merge
+                min_clusters: 1,
+            },
+        );
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.assignment()[0], c.assignment()[1]);
+        assert_ne!(c.assignment()[0], c.assignment()[2]);
+    }
+
+    #[test]
+    fn from_assignment_roundtrip() {
+        let c = Clustering::from_assignment(vec![0, 1, 0, 1, 2]);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.cluster(0), &[0, 2]);
+        assert_eq!(c.cluster(2), &[4]);
+    }
+}

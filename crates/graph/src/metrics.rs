@@ -1,0 +1,129 @@
+//! Cluster / partition quality metrics.
+//!
+//! The LRD guarantee (Alev et al.) is that bounded-ER-diameter clusters can
+//! be formed by removing only a constant fraction of edges *without
+//! significantly impacting graph conductance*. These metrics let the tests
+//! and the ablation benches check both halves of that claim.
+
+use crate::graph::Graph;
+use crate::lrd::Clustering;
+
+/// Total weight of edges crossing between `set` and its complement.
+pub fn cut_weight(g: &Graph, in_set: &[bool]) -> f64 {
+    g.edges()
+        .filter(|&(u, v, _)| in_set[u] != in_set[v])
+        .map(|(_, _, w)| w)
+        .sum()
+}
+
+/// Weighted volume (sum of weighted degrees) of a node set.
+pub fn volume(g: &Graph, in_set: &[bool]) -> f64 {
+    (0..g.num_nodes())
+        .filter(|&u| in_set[u])
+        .map(|u| g.weighted_degree(u))
+        .sum()
+}
+
+/// Conductance `φ(S) = cut(S) / min(vol(S), vol(S̄))` of a node set.
+/// Returns 0 for empty or full sets.
+pub fn conductance(g: &Graph, in_set: &[bool]) -> f64 {
+    let cut = cut_weight(g, in_set);
+    let vol_s = volume(g, in_set);
+    let vol_c = volume(g, &in_set.iter().map(|b| !b).collect::<Vec<_>>());
+    let denom = vol_s.min(vol_c);
+    if denom <= 0.0 {
+        0.0
+    } else {
+        cut / denom
+    }
+}
+
+/// The fraction of total edge weight cut by a clustering (the "constant
+/// fraction of edges removed" in the LRD theorem).
+pub fn cut_fraction(g: &Graph, clustering: &Clustering) -> f64 {
+    let total = g.total_weight();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let a = clustering.assignment();
+    let cut: f64 = g
+        .edges()
+        .filter(|&(u, v, _)| a[u] != a[v])
+        .map(|(_, _, w)| w)
+        .sum();
+    cut / total
+}
+
+/// Summary statistics of cluster sizes: `(min, median, max)`.
+///
+/// # Panics
+/// Panics if the clustering is empty.
+pub fn size_summary(clustering: &Clustering) -> (usize, usize, usize) {
+    let mut sizes = clustering.sizes();
+    assert!(!sizes.is_empty(), "empty clustering");
+    sizes.sort_unstable();
+    (
+        sizes[0],
+        sizes[sizes.len() / 2],
+        *sizes.last().expect("nonempty"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn barbell() -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..4usize {
+            for b in a + 1..4 {
+                edges.push((a, b, 1.0));
+                edges.push((a + 4, b + 4, 1.0));
+            }
+        }
+        edges.push((3, 4, 1.0));
+        Graph::from_edges(8, &edges)
+    }
+
+    #[test]
+    fn cut_and_volume_on_barbell() {
+        let g = barbell();
+        let left: Vec<bool> = (0..8).map(|i| i < 4).collect();
+        assert_eq!(cut_weight(&g, &left), 1.0);
+        // Left volume: 3 nodes of degree 3 + one of degree 4 = 13.
+        assert_eq!(volume(&g, &left), 13.0);
+    }
+
+    #[test]
+    fn conductance_of_natural_cut_is_low() {
+        let g = barbell();
+        let left: Vec<bool> = (0..8).map(|i| i < 4).collect();
+        let phi = conductance(&g, &left);
+        assert!((phi - 1.0 / 13.0).abs() < 1e-12);
+        // A bad cut (single node) has much higher conductance.
+        let single: Vec<bool> = (0..8).map(|i| i == 0).collect();
+        assert!(conductance(&g, &single) > phi);
+    }
+
+    #[test]
+    fn empty_set_conductance_zero() {
+        let g = barbell();
+        assert_eq!(conductance(&g, &[false; 8]), 0.0);
+        assert_eq!(conductance(&g, &[true; 8]), 0.0);
+    }
+
+    #[test]
+    fn cut_fraction_of_component_split_is_zero() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let c = Clustering::from_assignment(vec![0, 0, 1, 1]);
+        assert_eq!(cut_fraction(&g, &c), 0.0);
+        let c2 = Clustering::from_assignment(vec![0, 1, 0, 1]);
+        assert_eq!(cut_fraction(&g, &c2), 1.0);
+    }
+
+    #[test]
+    fn size_summary_sorted() {
+        let c = Clustering::from_assignment(vec![0, 0, 0, 1, 2, 2]);
+        assert_eq!(size_summary(&c), (1, 2, 3));
+    }
+}

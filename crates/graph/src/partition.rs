@@ -1,0 +1,196 @@
+//! Grid-partitioned parallel S1+S2.
+//!
+//! Paper §3.3: "For additional performance, we also decompose the dataset
+//! into grids and perform S1 and S2 in independent sub-processes […]
+//! Speedup is roughly linear with the number of available threads."
+//!
+//! [`parallel_decompose`] splits the cloud into spatial tiles, builds each
+//! tile's kNN PGM and LRD clustering on its own thread, and stitches the
+//! per-tile clusterings into one global [`Clustering`] (cluster ids are
+//! tile-local, so no cluster ever spans a tile — a deliberate
+//! approximation the paper accepts for the parallel path).
+
+use crate::knn::{build_knn_graph, KnnConfig};
+use crate::lrd::{decompose, Clustering, LrdConfig};
+use crate::points::PointCloud;
+
+/// Configuration for [`parallel_decompose`].
+#[derive(Debug, Clone)]
+pub struct GridPartitionConfig {
+    /// Tiles per spatial axis (total tiles = `tiles_per_axis²` in 2-D).
+    pub tiles_per_axis: usize,
+    /// Worker threads (1 = sequential but still tiled).
+    pub threads: usize,
+    /// kNN configuration applied inside each tile.
+    pub knn: KnnConfig,
+    /// LRD configuration applied inside each tile.
+    pub lrd: LrdConfig,
+}
+
+impl Default for GridPartitionConfig {
+    fn default() -> Self {
+        GridPartitionConfig {
+            tiles_per_axis: 2,
+            threads: 2,
+            knn: KnnConfig::default(),
+            lrd: LrdConfig::default(),
+        }
+    }
+}
+
+/// Tiled, multi-threaded kNN + LRD over a 2-D (or first-two-dims) cloud.
+///
+/// Deterministic for a fixed configuration regardless of thread count:
+/// work is partitioned by tile, not by scheduling order.
+///
+/// # Panics
+/// Panics if the cloud is empty or `tiles_per_axis == 0`.
+pub fn parallel_decompose(cloud: &PointCloud, cfg: &GridPartitionConfig) -> Clustering {
+    assert!(!cloud.is_empty(), "empty cloud");
+    assert!(cfg.tiles_per_axis > 0, "tiles_per_axis must be positive");
+    let n = cloud.len();
+    let t = cfg.tiles_per_axis;
+    let (mins, maxs) = cloud.bounds();
+    let span = |d: usize| (maxs[d] - mins[d]).max(1e-12);
+    // Assign points to tiles on the first two dimensions.
+    let tile_of = |i: usize| -> usize {
+        let p = cloud.point(i);
+        let tx = (((p[0] - mins[0]) / span(0) * t as f64) as usize).min(t - 1);
+        let ty = if cloud.dim() >= 2 {
+            (((p[1] - mins[1]) / span(1) * t as f64) as usize).min(t - 1)
+        } else {
+            0
+        };
+        ty * t + tx
+    };
+    let num_tiles = t * t;
+    let mut tiles: Vec<Vec<usize>> = vec![Vec::new(); num_tiles];
+    for i in 0..n {
+        tiles[tile_of(i)].push(i);
+    }
+    let tiles: Vec<Vec<usize>> = tiles.into_iter().filter(|v| !v.is_empty()).collect();
+
+    // Per-tile clustering, threads pulling tiles from a shared index.
+    let results: Vec<(Vec<usize>, Clustering)> = {
+        let mut results: Vec<Option<(Vec<usize>, Clustering)>> = vec![None; tiles.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results_mutex = std::sync::Mutex::new(&mut results);
+        std::thread::scope(|scope| {
+            for _ in 0..cfg.threads.max(1) {
+                scope.spawn(|| loop {
+                    let ti = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if ti >= tiles.len() {
+                        break;
+                    }
+                    let members = &tiles[ti];
+                    let sub = cloud.subset(members);
+                    let clustering = if sub.len() == 1 {
+                        Clustering::from_assignment(vec![0])
+                    } else {
+                        let g = build_knn_graph(&sub, &cfg.knn);
+                        decompose(&g, &cfg.lrd)
+                    };
+                    let mut guard = results_mutex.lock().expect("poisoned");
+                    guard[ti] = Some((members.clone(), clustering));
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("tile done")).collect()
+    };
+
+    // Stitch: offset each tile's labels into a global label space.
+    let mut assignment = vec![0u32; n];
+    let mut offset = 0u32;
+    for (members, clustering) in &results {
+        for (local, &global) in members.iter().enumerate() {
+            assignment[global] = offset + clustering.assignment()[local];
+        }
+        offset += clustering.num_clusters() as u32;
+    }
+    Clustering::from_assignment(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnStrategy;
+    use sgm_linalg::rng::Rng64;
+
+    fn cloud(n: usize, seed: u64) -> PointCloud {
+        let mut rng = Rng64::new(seed);
+        PointCloud::uniform_box(n, 2, 0.0, 1.0, &mut rng)
+    }
+
+    fn cfg(tiles: usize, threads: usize) -> GridPartitionConfig {
+        GridPartitionConfig {
+            tiles_per_axis: tiles,
+            threads,
+            knn: KnnConfig {
+                k: 6,
+                strategy: KnnStrategy::Grid,
+                ..KnnConfig::default()
+            },
+            lrd: LrdConfig {
+                min_clusters: 4,
+                ..LrdConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn covers_every_point_exactly_once() {
+        let c = cloud(500, 1);
+        let clustering = parallel_decompose(&c, &cfg(3, 4));
+        assert_eq!(clustering.num_nodes(), 500);
+        let total: usize = clustering.sizes().iter().sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn clusters_never_span_tiles() {
+        let c = cloud(600, 2);
+        let clustering = parallel_decompose(&c, &cfg(2, 3));
+        // Tile of a point (must match the function's partitioning).
+        let (mins, maxs) = c.bounds();
+        let tile = |i: usize| -> (usize, usize) {
+            let p = c.point(i);
+            let tx = (((p[0] - mins[0]) / (maxs[0] - mins[0]) * 2.0) as usize).min(1);
+            let ty = (((p[1] - mins[1]) / (maxs[1] - mins[1]) * 2.0) as usize).min(1);
+            (tx, ty)
+        };
+        for cl in clustering.clusters() {
+            let t0 = tile(cl[0] as usize);
+            for &m in cl {
+                assert_eq!(tile(m as usize), t0, "cluster spans tiles");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let c = cloud(400, 3);
+        let a = parallel_decompose(&c, &cfg(2, 1));
+        let b = parallel_decompose(&c, &cfg(2, 4));
+        assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn single_tile_matches_direct_decompose() {
+        let c = cloud(300, 4);
+        let tiled = parallel_decompose(&c, &cfg(1, 2));
+        let g = build_knn_graph(&c, &cfg(1, 1).knn);
+        let direct = decompose(&g, &cfg(1, 1).lrd);
+        assert_eq!(tiled.assignment(), direct.assignment());
+    }
+
+    #[test]
+    fn handles_degenerate_tiny_tiles() {
+        // Points concentrated so some tiles hold 0 or 1 points.
+        let c = PointCloud::from_flat(
+            2,
+            vec![0.01, 0.01, 0.02, 0.02, 0.03, 0.01, 0.99, 0.99],
+        );
+        let clustering = parallel_decompose(&c, &cfg(4, 2));
+        assert_eq!(clustering.num_nodes(), 4);
+    }
+}

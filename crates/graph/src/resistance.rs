@@ -1,0 +1,335 @@
+//! Effective-resistance computation (paper Definition 3.1).
+//!
+//! Three tiers, trading accuracy for scalability:
+//!
+//! 1. [`exact_edge_resistances`] — dense Laplacian pseudo-inverse, `O(n³)`.
+//!    The oracle for everything else.
+//! 2. [`cg_edge_resistance`] — one deflated-CG solve per query edge;
+//!    accurate and matrix-free.
+//! 3. [`approx_edge_resistances`] — the scalable estimator used in
+//!    production (paper §3.3, following HyperEF): draw a few random
+//!    vectors, orthogonalise against the constant vector, low-pass filter
+//!    them with weighted-Jacobi smoothing of `L x = 0`, and read edge
+//!    scores off the smoothed embedding:
+//!    `R̂(u,v) ∝ Σ_k (x_k(u) − x_k(v))²`.
+//!    The raw scores are then calibrated with **Foster's theorem**
+//!    (`Σ_e w_e R_e = n − 1` on a connected graph) so their scale matches
+//!    true resistances. Runtime is `O(q · t · |E|)` — linear in the edge
+//!    count for fixed smoothing depth `t` and probe count `q`.
+
+use crate::graph::Graph;
+use crate::laplacian::laplacian;
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_linalg::solve::{conjugate_gradient, CgOptions};
+use sgm_linalg::sparse::Csr;
+
+/// Exact effective resistance for every edge of `g` via the dense
+/// pseudo-inverse. `O(n³)` — test-oracle use only.
+///
+/// # Panics
+/// Panics if the graph has no nodes.
+pub fn exact_edge_resistances(g: &Graph) -> Vec<f64> {
+    assert!(g.num_nodes() > 0, "empty graph");
+    let l = laplacian(g).to_dense();
+    let pinv = l.sym_pinv(1e-9);
+    g.edges()
+        .map(|(u, v, _)| pair_resistance_from_pinv(&pinv, u, v))
+        .collect()
+}
+
+/// Exact effective resistance between an arbitrary node pair via the dense
+/// pseudo-inverse (`O(n³)`; oracle).
+pub fn exact_pair_resistance(g: &Graph, u: usize, v: usize) -> f64 {
+    let l = laplacian(g).to_dense();
+    let pinv = l.sym_pinv(1e-9);
+    pair_resistance_from_pinv(&pinv, u, v)
+}
+
+fn pair_resistance_from_pinv(pinv: &Matrix, u: usize, v: usize) -> f64 {
+    pinv.get(u, u) + pinv.get(v, v) - 2.0 * pinv.get(u, v)
+}
+
+/// Effective resistance of one node pair by a deflated-CG solve of
+/// `L x = e_u − e_v`; `R = (e_u − e_v)ᵀ x`.
+///
+/// # Panics
+/// Panics if `u == v` or either index is out of range.
+pub fn cg_edge_resistance(g: &Graph, u: usize, v: usize) -> f64 {
+    let n = g.num_nodes();
+    assert!(u < n && v < n && u != v, "bad node pair");
+    let l = laplacian(g);
+    let mut b = vec![0.0; n];
+    b[u] = 1.0;
+    b[v] = -1.0;
+    let opts = CgOptions {
+        deflate_constant: true,
+        max_iters: 4 * n,
+        tol: 1e-10,
+        jacobi_diag: Some(
+            l.diagonal()
+                .into_iter()
+                .map(|d| if d > 0.0 { d } else { 1.0 })
+                .collect(),
+        ),
+    };
+    let res = conjugate_gradient(&l, &b, &opts);
+    res.solution[u] - res.solution[v]
+}
+
+/// Options for [`approx_edge_resistances`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxErOptions {
+    /// Number of random probe vectors (embedding dimension).
+    pub num_probes: usize,
+    /// Weighted-Jacobi smoothing sweeps applied to each probe.
+    pub smoothing_sweeps: usize,
+    /// Jacobi damping factor.
+    pub omega: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ApproxErOptions {
+    fn default() -> Self {
+        ApproxErOptions {
+            num_probes: 12,
+            smoothing_sweeps: 40,
+            omega: 0.66,
+            seed: 0xE5,
+        }
+    }
+}
+
+/// Scalable approximate effective resistance for every edge (HyperEF-style
+/// smoothed random projections, Foster-calibrated). Linear in `|E|`.
+///
+/// The *ordering* of the returned scores is what LRD consumes; absolute
+/// accuracy is secondary but the Foster calibration keeps the scale
+/// comparable with exact resistances on connected graphs.
+///
+/// # Panics
+/// Panics if the graph has no edges.
+pub fn approx_edge_resistances(g: &Graph, opts: &ApproxErOptions) -> Vec<f64> {
+    assert!(g.num_edges() > 0, "graph has no edges");
+    let n = g.num_nodes();
+    let l = laplacian(g);
+    let zeros = vec![0.0; n];
+    let mut rng = Rng64::new(opts.seed);
+    let mut embedding: Vec<Vec<f64>> = Vec::with_capacity(opts.num_probes);
+    for _ in 0..opts.num_probes {
+        let mut x: Vec<f64> = (0..n).map(|_| rng.sign()).collect();
+        remove_mean(&mut x);
+        smooth(&l, &zeros, &mut x, opts.omega, opts.smoothing_sweeps);
+        remove_mean(&mut x);
+        embedding.push(x);
+    }
+    let mut raw: Vec<f64> = g
+        .edges()
+        .map(|(u, v, _)| {
+            embedding
+                .iter()
+                .map(|x| {
+                    let d = x[u] - x[v];
+                    d * d
+                })
+                .sum::<f64>()
+        })
+        .collect();
+    // Foster calibration: Σ_e w_e R_e = n − c (c = number of components).
+    let (_, comps) = g.components();
+    let target = (n.saturating_sub(comps)) as f64;
+    let mass: f64 = g
+        .edges()
+        .zip(raw.iter())
+        .map(|((_, _, w), &r)| w * r)
+        .sum();
+    if mass > 1e-300 && target > 0.0 {
+        let scale = target / mass;
+        for r in &mut raw {
+            *r *= scale;
+        }
+    }
+    raw
+}
+
+fn remove_mean(x: &mut [f64]) {
+    let m = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x {
+        *v -= m;
+    }
+}
+
+fn smooth(l: &Csr, b: &[f64], x: &mut [f64], omega: f64, sweeps: usize) {
+    sgm_linalg::solve::jacobi_smooth(l, b, x, omega, sweeps);
+}
+
+/// Spearman rank correlation between two score vectors — used to validate
+/// that approximate resistances preserve the ordering of exact ones.
+///
+/// # Panics
+/// Panics if lengths differ or are < 2.
+pub fn rank_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(a.len() >= 2, "need at least two entries");
+    let rank = |xs: &[f64]| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).unwrap());
+        let mut r = vec![0.0; xs.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    };
+    let ra = rank(a);
+    let rb = rank(b);
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..a.len() {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    num / (da.sqrt() * db.sqrt()).max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n - 1).map(|i| (i, i + 1, 1.0)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn exact_path_resistances() {
+        // Unit path: every edge has R = 1; ends have R = n-1.
+        let g = path(5);
+        let rs = exact_edge_resistances(&g);
+        for r in rs {
+            assert!((r - 1.0).abs() < 1e-8);
+        }
+        assert!((exact_pair_resistance(&g, 0, 4) - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn exact_triangle_resistance() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+        for r in exact_edge_resistances(&g) {
+            assert!((r - 2.0 / 3.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn weighted_parallel_edges() {
+        // Two nodes joined by weight 2 (conductance 2) => R = 1/2.
+        let g = Graph::from_edges(2, &[(0, 1, 2.0)]);
+        let rs = exact_edge_resistances(&g);
+        assert!((rs[0] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cg_matches_exact() {
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 4, 0.5),
+                (4, 5, 1.0),
+                (0, 5, 1.0),
+                (1, 4, 1.5),
+            ],
+        );
+        for (u, v, _) in g.edges() {
+            let e = exact_pair_resistance(&g, u, v);
+            let c = cg_edge_resistance(&g, u, v);
+            assert!((e - c).abs() < 1e-6, "edge ({u},{v}): {e} vs {c}");
+        }
+    }
+
+    #[test]
+    fn foster_sum_holds_exactly() {
+        let g = Graph::from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 3.0),
+                (2, 3, 1.0),
+                (3, 4, 2.0),
+                (4, 0, 1.0),
+                (1, 3, 1.0),
+            ],
+        );
+        let rs = exact_edge_resistances(&g);
+        let sum: f64 = g.edges().zip(&rs).map(|((_, _, w), r)| w * r).sum();
+        assert!((sum - 4.0).abs() < 1e-6, "Foster sum {sum}");
+    }
+
+    #[test]
+    fn approx_preserves_ordering_on_barbell() {
+        // Barbell: two K4 cliques joined by one bridge. The bridge must get
+        // the highest resistance estimate.
+        let mut edges = Vec::new();
+        for a in 0..4usize {
+            for b in a + 1..4 {
+                edges.push((a, b, 1.0));
+                edges.push((a + 4, b + 4, 1.0));
+            }
+        }
+        edges.push((3, 4, 1.0)); // bridge
+        let g = Graph::from_edges(8, &edges);
+        let approx = approx_edge_resistances(&g, &ApproxErOptions::default());
+        let bridge_idx = g
+            .edges()
+            .position(|(u, v, _)| (u, v) == (3, 4))
+            .expect("bridge present");
+        let max = approx.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            (approx[bridge_idx] - max).abs() < 1e-12,
+            "bridge {} not max {max}",
+            approx[bridge_idx]
+        );
+    }
+
+    #[test]
+    fn approx_rank_correlates_with_exact() {
+        let mut rng = Rng64::new(3);
+        let cloud = crate::points::PointCloud::uniform_box(120, 2, 0.0, 1.0, &mut rng);
+        let g = crate::knn::build_knn_graph(
+            &cloud,
+            &crate::knn::KnnConfig {
+                k: 6,
+                strategy: crate::knn::KnnStrategy::Brute,
+                ..Default::default()
+            },
+        );
+        let exact = exact_edge_resistances(&g);
+        let approx = approx_edge_resistances(&g, &ApproxErOptions::default());
+        let rho = rank_correlation(&exact, &approx);
+        assert!(rho > 0.6, "rank correlation {rho}");
+    }
+
+    #[test]
+    fn approx_foster_calibration() {
+        let g = path(40);
+        let approx = approx_edge_resistances(&g, &ApproxErOptions::default());
+        let sum: f64 = g.edges().zip(&approx).map(|((_, _, w), r)| w * r).sum();
+        assert!((sum - 39.0).abs() < 1e-9, "calibrated sum {sum}");
+    }
+
+    #[test]
+    fn rank_correlation_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((rank_correlation(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((rank_correlation(&a, &c) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! Spectral sparsification by effective-resistance sampling
+//! (Spielman–Srivastava).
+//!
+//! The same effective-resistance machinery that drives the LRD
+//! decomposition also yields spectral sparsifiers: sampling each edge with
+//! probability proportional to `w_e · R_e` (its *leverage*) and
+//! reweighting preserves the Laplacian quadratic form. SGM-PINN uses this
+//! to thin very dense PGMs (large `k`) before clustering — fewer edges
+//! means cheaper LRD at the same spectral structure.
+
+use crate::graph::Graph;
+use crate::laplacian::laplacian;
+use crate::resistance::{approx_edge_resistances, ApproxErOptions};
+use sgm_linalg::rng::Rng64;
+
+/// Options for [`sparsify`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsifyOptions {
+    /// Target number of sampled edges (with multiplicity; duplicates are
+    /// merged, so the output typically has slightly fewer).
+    pub target_edges: usize,
+    /// Effective-resistance estimation options.
+    pub er: ApproxErOptions,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for SparsifyOptions {
+    fn default() -> Self {
+        SparsifyOptions {
+            target_edges: 0, // 0 = 4·n·ln(n)
+            er: ApproxErOptions::default(),
+            seed: 0x5BA5,
+        }
+    }
+}
+
+/// Spectral sparsification: samples `q` edges with probability
+/// `p_e ∝ w_e · R̂_e` and reweights each picked edge by `w_e / (q p_e)`
+/// (summing multiplicities), so the sampled part satisfies
+/// `E[L_H] = L_G`. A BFS spanning forest is always retained at its
+/// original weight (the standard practical backbone: finite sample
+/// budgets can otherwise disconnect low-leverage nodes, which would break
+/// downstream LRD clustering).
+///
+/// # Panics
+/// Panics if the graph has no edges.
+pub fn sparsify(g: &Graph, opts: &SparsifyOptions) -> Graph {
+    assert!(g.num_edges() > 0, "no edges to sparsify");
+    let n = g.num_nodes();
+    let q = if opts.target_edges == 0 {
+        ((4.0 * n as f64 * (n as f64).ln().max(1.0)) as usize).min(g.num_edges() * 4)
+    } else {
+        opts.target_edges
+    };
+    let er = approx_edge_resistances(g, &opts.er);
+    let leverage: Vec<f64> = g
+        .edges()
+        .zip(&er)
+        .map(|((_, _, w), &r)| (w * r).max(1e-15))
+        .collect();
+    let total: f64 = leverage.iter().sum();
+    // Cumulative distribution for O(log m) sampling.
+    let mut cdf = Vec::with_capacity(leverage.len());
+    let mut acc = 0.0;
+    for &l in &leverage {
+        acc += l / total;
+        cdf.push(acc);
+    }
+    let mut rng = Rng64::new(opts.seed);
+    let mut weight_acc = vec![0.0f64; g.num_edges()];
+    for _ in 0..q {
+        let u = rng.uniform();
+        let ei = match cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => (i + 1).min(cdf.len() - 1),
+            Err(i) => i.min(cdf.len() - 1),
+        };
+        let p = leverage[ei] / total;
+        let (_, _, w) = g.edge(ei);
+        weight_acc[ei] += w / (q as f64 * p);
+    }
+    // Spanning-forest backbone: BFS over each component, marking tree
+    // edges so they survive with at least their original weight.
+    let mut visited = vec![false; n];
+    let mut backbone = vec![false; g.num_edges()];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for (v, ei) in g.neighbors(u) {
+                if !visited[v] {
+                    visited[v] = true;
+                    backbone[ei] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    let edges: Vec<(usize, usize, f64)> = g
+        .edges()
+        .enumerate()
+        .filter(|(ei, _)| weight_acc[*ei] > 0.0 || backbone[*ei])
+        .map(|(ei, (u, v, w))| {
+            let wt = if backbone[ei] {
+                weight_acc[ei].max(w)
+            } else {
+                weight_acc[ei]
+            };
+            (u, v, wt)
+        })
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Relative deviation of the sparsifier's Laplacian quadratic form from
+/// the original, maximised over a set of random test vectors:
+/// `max_x |xᵀL_H x − xᵀL_G x| / xᵀL_G x`.
+pub fn quadratic_form_deviation(g: &Graph, h: &Graph, probes: usize, seed: u64) -> f64 {
+    let lg = laplacian(g);
+    let lh = laplacian(h);
+    let n = g.num_nodes();
+    let mut rng = Rng64::new(seed);
+    let mut worst = 0.0f64;
+    for _ in 0..probes {
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = x.iter().sum::<f64>() / n as f64;
+        for v in &mut x {
+            *v -= mean;
+        }
+        let qg: f64 = lg.apply(&x).iter().zip(&x).map(|(a, b)| a * b).sum();
+        let qh: f64 = lh.apply(&x).iter().zip(&x).map(|(a, b)| a * b).sum();
+        if qg > 1e-12 {
+            worst = worst.max(((qh - qg) / qg).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+    use crate::points::PointCloud;
+
+    fn dense_graph() -> Graph {
+        let mut rng = Rng64::new(11);
+        let cloud = PointCloud::uniform_box(150, 2, 0.0, 1.0, &mut rng);
+        build_knn_graph(
+            &cloud,
+            &KnnConfig {
+                k: 20,
+                strategy: KnnStrategy::Brute,
+                ..KnnConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn reduces_edge_count() {
+        let g = dense_graph();
+        let h = sparsify(
+            &g,
+            &SparsifyOptions {
+                target_edges: g.num_edges() / 3,
+                ..SparsifyOptions::default()
+            },
+        );
+        assert!(h.num_edges() < g.num_edges() / 2, "{} vs {}", h.num_edges(), g.num_edges());
+        assert_eq!(h.num_nodes(), g.num_nodes());
+    }
+
+    #[test]
+    fn preserves_quadratic_form_approximately() {
+        let g = dense_graph();
+        let h = sparsify(
+            &g,
+            &SparsifyOptions {
+                target_edges: g.num_edges(), // generous sample budget
+                ..SparsifyOptions::default()
+            },
+        );
+        let dev = quadratic_form_deviation(&g, &h, 20, 3);
+        assert!(dev < 0.6, "quadratic form deviates by {dev}");
+    }
+
+    #[test]
+    fn preserves_connectivity_with_generous_budget() {
+        let g = dense_graph();
+        assert!(g.is_connected());
+        let h = sparsify(
+            &g,
+            &SparsifyOptions {
+                target_edges: g.num_edges() * 2,
+                ..SparsifyOptions::default()
+            },
+        );
+        assert!(h.is_connected(), "sparsifier disconnected the graph");
+    }
+
+    #[test]
+    fn total_weight_is_roughly_preserved() {
+        // E[L_H] = L_G implies E[total weight] = total weight.
+        let g = dense_graph();
+        let h = sparsify(
+            &g,
+            &SparsifyOptions {
+                target_edges: g.num_edges() * 2,
+                ..SparsifyOptions::default()
+            },
+        );
+        let ratio = h.total_weight() / g.total_weight();
+        assert!((0.7..1.3).contains(&ratio), "weight ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = dense_graph();
+        let opts = SparsifyOptions {
+            target_edges: 500,
+            ..SparsifyOptions::default()
+        };
+        let h1 = sparsify(&g, &opts);
+        let h2 = sparsify(&g, &opts);
+        assert_eq!(h1.num_edges(), h2.num_edges());
+    }
+}

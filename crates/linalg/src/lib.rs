@@ -1,0 +1,44 @@
+//! # sgm-linalg
+//!
+//! Self-contained numerical linear algebra for the SGM-PINN reproduction.
+//!
+//! This crate deliberately avoids BLAS/LAPACK bindings so the whole
+//! reproduction builds offline on any machine. It provides exactly the
+//! primitives the upper layers need:
+//!
+//! * [`dense`] — row-major dense matrices, GEMM/GEMV, small-matrix helpers.
+//! * [`sparse`] — compressed sparse row (CSR) matrices and SpMV.
+//! * [`solve`] — conjugate gradient, Jacobi / Gauss–Seidel / SOR smoothers.
+//! * [`eigen`] — symmetric Lanczos with full reorthogonalisation and a
+//!   tridiagonal QL eigensolver, plus power iteration.
+//! * [`rng`] — deterministic, seedable xoshiro256** RNG with Gaussian and
+//!   shuffling helpers (no external dependency, bit-reproducible runs).
+//! * [`stats`] — norms, relative errors, summary statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use sgm_linalg::dense::Matrix;
+//! use sgm_linalg::solve::{conjugate_gradient, CgOptions};
+//! use sgm_linalg::sparse::Csr;
+//!
+//! // Solve a tiny SPD system A x = b with CG.
+//! let a = Csr::from_triplets(2, 2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)]);
+//! let b = vec![1.0, 2.0];
+//! let x = conjugate_gradient(&a, &b, &CgOptions::default());
+//! let mut ax = vec![0.0; 2];
+//! a.mul_vec(&x.solution, &mut ax);
+//! assert!((ax[0] - b[0]).abs() < 1e-8 && (ax[1] - b[1]).abs() < 1e-8);
+//! let _ = Matrix::identity(3);
+//! ```
+
+pub mod dense;
+pub mod eigen;
+pub mod rng;
+pub mod solve;
+pub mod sparse;
+pub mod stats;
+
+pub use dense::Matrix;
+pub use rng::Rng64;
+pub use sparse::Csr;

@@ -1,0 +1,304 @@
+//! Deterministic, dependency-free random number generation.
+//!
+//! All stochastic components of the reproduction (point-cloud generation,
+//! mini-batch selection, network initialisation, random projections for
+//! effective-resistance estimation) draw from [`Rng64`], a xoshiro256**
+//! generator seeded through SplitMix64. Runs are bit-reproducible for a
+//! given seed, which the test suite and the experiment harness rely on.
+
+/// A seedable xoshiro256** pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use sgm_linalg::rng::Rng64;
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rng64 {
+    state: [u64; 4],
+    /// Cached second Gaussian deviate from Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Rng64 {
+            state,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator (for worker threads).
+    pub fn fork(&mut self) -> Self {
+        Rng64::new(self.next_u64() ^ 0xA5A5_A5A5_5A5A_5A5A)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi && lo.is_finite() && hi.is_finite(), "bad range");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        // Lemire-style rejection-free (bias negligible for n << 2^64).
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard Gaussian deviate (Box–Muller, cached pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(g) = self.gauss_spare.take() {
+            return g;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Rademacher deviate: ±1 with equal probability.
+    pub fn sign(&mut self) -> f64 {
+        if self.next_u64() & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `[0, n)` (floyd's algorithm for
+    /// small `k`, shuffle for large `k`).
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        if k * 3 > n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            return all;
+        }
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in n - k..n {
+            let t = self.below(j + 1);
+            let pick = if chosen.contains(&t) { j } else { t };
+            chosen.insert(pick);
+            out.push(pick);
+        }
+        out
+    }
+
+    /// Samples an index from an unnormalised non-negative weight vector.
+    ///
+    /// # Panics
+    /// Panics if all weights are zero/negative or the slice is empty.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        assert!(total > 0.0, "weighted_index needs positive mass");
+        let mut t = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w.is_finite() && w > 0.0 {
+                t -= w;
+                if t <= 0.0 {
+                    return i;
+                }
+            }
+        }
+        // Floating point slack: return last positive entry.
+        weights
+            .iter()
+            .rposition(|w| w.is_finite() && *w > 0.0)
+            .expect("positive entry exists")
+    }
+}
+
+impl Default for Rng64 {
+    fn default() -> Self {
+        Rng64::new(0x5EED_0F_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Rng64::new(3);
+        for _ in 0..10_000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = Rng64::new(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng64::new(5);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn below_in_range_and_covers() {
+        let mut r = Rng64::new(6);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let i = r.below(10);
+            assert!(i < 10);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng64::new(8);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Rng64::new(9);
+        for &(n, k) in &[(100usize, 5usize), (10, 10), (1000, 400)] {
+            let s = r.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k);
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = Rng64::new(10);
+        let w = [0.0, 1.0, 0.0, 3.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        let ratio = counts[3] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_index_rejects_zero_mass() {
+        let mut r = Rng64::new(11);
+        r.weighted_index(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = Rng64::new(12);
+        let mut f = a.fork();
+        assert_ne!(a.next_u64(), f.next_u64());
+    }
+
+    #[test]
+    fn sign_is_plus_minus_one() {
+        let mut r = Rng64::new(13);
+        let mut pos = 0;
+        for _ in 0..1000 {
+            let s = r.sign();
+            assert!(s == 1.0 || s == -1.0);
+            if s > 0.0 {
+                pos += 1;
+            }
+        }
+        assert!(pos > 400 && pos < 600);
+    }
+}

@@ -1,0 +1,207 @@
+//! Norms, error metrics and summary statistics used by validators and the
+//! experiment harness.
+
+/// Mean of a slice (0.0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance (0.0 for slices shorter than 2).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Maximum absolute value (0.0 for an empty slice).
+pub fn max_abs(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, &x| a.max(x.abs()))
+}
+
+/// Relative L2 error ‖a − b‖₂ / ‖b‖₂.
+///
+/// This is the validation metric the paper reports ("validation error"
+/// against OpenFOAM fields). A zero reference falls back to the absolute
+/// L2 norm of `a`.
+///
+/// # Panics
+/// Panics if slices differ in length.
+pub fn relative_l2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let num: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|y| y * y).sum::<f64>().sqrt();
+    if den < 1e-300 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Mean squared error.
+///
+/// # Panics
+/// Panics if slices differ in length or are empty.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty input");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+/// The `q`-th quantile (linear interpolation) of the data, `q ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q out of range");
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (s.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        let t = pos - lo as f64;
+        s[lo] * (1.0 - t) + s[hi] * t
+    }
+}
+
+/// Normalises a non-negative score vector to sum to 1; uniform fallback if
+/// the total mass is zero. Negative entries are clamped to zero.
+pub fn normalize_distribution(scores: &[f64]) -> Vec<f64> {
+    let clamped: Vec<f64> = scores
+        .iter()
+        .map(|&s| if s.is_finite() && s > 0.0 { s } else { 0.0 })
+        .collect();
+    let total: f64 = clamped.iter().sum();
+    if total <= 0.0 {
+        let u = 1.0 / scores.len().max(1) as f64;
+        return vec![u; scores.len()];
+    }
+    clamped.into_iter().map(|s| s / total).collect()
+}
+
+/// An online exponential moving average.
+///
+/// # Example
+///
+/// ```
+/// use sgm_linalg::stats::Ema;
+/// let mut e = Ema::new(0.5);
+/// e.update(2.0);
+/// e.update(4.0);
+/// assert!((e.value() - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ema {
+    /// New EMA with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics for alpha outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
+        Ema { alpha, value: None }
+    }
+
+    /// Feeds a new observation.
+    pub fn update(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current smoothed value (0.0 before the first observation).
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_var() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn relative_l2_basic() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 0.0];
+        assert_eq!(relative_l2(&a, &b), 1.0); // zero reference → absolute
+        let c = [2.0, 0.0];
+        let d = [1.0, 0.0];
+        assert_eq!(relative_l2(&c, &d), 1.0);
+        assert_eq!(relative_l2(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn mse_known() {
+        assert_eq!(mse(&[1.0, 3.0], &[0.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    fn normalize_distribution_sums_to_one() {
+        let p = normalize_distribution(&[1.0, 3.0, 0.0, -2.0, f64::NAN]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p[3], 0.0);
+        assert_eq!(p[4], 0.0);
+        assert!((p[1] / p[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_distribution_zero_mass_uniform() {
+        let p = normalize_distribution(&[0.0, 0.0]);
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn ema_tracks() {
+        let mut e = Ema::new(1.0);
+        e.update(5.0);
+        e.update(7.0);
+        assert_eq!(e.value(), 7.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Activation functions with their first three derivatives.
+//!
+//! The Hessian-diagonal forward propagation needs σ' and σ''; its adjoint
+//! (parameter-gradient) pass additionally needs σ''' — see the recurrences
+//! in the crate docs. All derivatives here are closed-form and unit-tested
+//! against second-order dual numbers.
+
+/// Supported nonlinearities. The paper's networks use SiLU (ref [6]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// `x · sigmoid(x)` (swish) — smooth, unbounded above; the paper's
+    /// choice for all experiments.
+    #[default]
+    SiLu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Sine — useful for periodic PDE solutions (SIREN-style nets).
+    Sin,
+    /// Identity (linear layer).
+    Identity,
+}
+
+/// Value and first three derivatives of the activation at `z`:
+/// `(σ, σ', σ'', σ''')`.
+#[inline]
+pub fn eval3(act: Activation, z: f64) -> (f64, f64, f64, f64) {
+    match act {
+        Activation::SiLu => {
+            let s = 1.0 / (1.0 + (-z).exp());
+            let s1 = s * (1.0 - s);
+            let s2 = s1 * (1.0 - 2.0 * s);
+            let s3 = s1 * (1.0 - 2.0 * s) * (1.0 - 2.0 * s) - 2.0 * s1 * s1;
+            // f = z·s
+            let f = z * s;
+            let f1 = s + z * s1;
+            let f2 = 2.0 * s1 + z * s2;
+            let f3 = 3.0 * s2 + z * s3;
+            (f, f1, f2, f3)
+        }
+        Activation::Tanh => {
+            let t = z.tanh();
+            let u = 1.0 - t * t;
+            (t, u, -2.0 * t * u, -2.0 * u * (1.0 - 3.0 * t * t))
+        }
+        Activation::Sin => (z.sin(), z.cos(), -z.sin(), -z.cos()),
+        Activation::Identity => (z, 1.0, 0.0, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_autodiff::dual::Dual2;
+
+    fn check_first_two(act: Activation, apply: impl Fn(Dual2) -> Dual2) {
+        for &z in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let d = apply(Dual2::variable(z));
+            let (f, f1, f2, _f3) = eval3(act, z);
+            assert!((f - d.v).abs() < 1e-12, "{act:?} value at {z}");
+            assert!((f1 - d.d).abs() < 1e-10, "{act:?} f' at {z}: {f1} vs {}", d.d);
+            assert!(
+                (f2 - d.dd).abs() < 1e-10,
+                "{act:?} f'' at {z}: {f2} vs {}",
+                d.dd
+            );
+        }
+    }
+
+    #[test]
+    fn silu_matches_dual2() {
+        check_first_two(Activation::SiLu, |d| d.silu());
+    }
+
+    #[test]
+    fn tanh_matches_dual2() {
+        check_first_two(Activation::Tanh, |d| d.tanh());
+    }
+
+    #[test]
+    fn sin_matches_dual2() {
+        check_first_two(Activation::Sin, |d| d.sin());
+    }
+
+    #[test]
+    fn third_derivative_by_finite_difference_of_second() {
+        let h = 1e-5;
+        for act in [Activation::SiLu, Activation::Tanh, Activation::Sin] {
+            for &z in &[-1.1, 0.2, 0.9] {
+                let (_, _, f2p, _) = eval3(act, z + h);
+                let (_, _, f2m, _) = eval3(act, z - h);
+                let fd3 = (f2p - f2m) / (2.0 * h);
+                let (_, _, _, f3) = eval3(act, z);
+                assert!(
+                    (f3 - fd3).abs() < 1e-6,
+                    "{act:?} f''' at {z}: {f3} vs {fd3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_linear() {
+        assert_eq!(eval3(Activation::Identity, 3.7), (3.7, 1.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,783 @@
+//! Batched MLP with analytic propagation of values, input Jacobians and
+//! diagonal input Hessians, and the exact adjoint (backward) pass for
+//! parameter gradients of losses built from all three.
+//!
+//! Layouts: batches are row-major [`Matrix`] values with one sample per
+//! row. A network with hidden width `w` and `L` hidden layers is
+//! `enc → (Linear(w) ∘ σ)^L → Linear(out)`, where `enc` is either the
+//! identity or a frozen Fourier-feature encoding (the paper's `φ_E`).
+
+use crate::activation::{eval3, Activation};
+use sgm_linalg::dense::{gemm, Matrix};
+use sgm_linalg::rng::Rng64;
+
+/// Frozen random Fourier-feature encoding `φ_E` (Tancik-style): maps `x`
+/// to `[x, sin(2π B x), cos(2π B x)]` with `B ~ N(0, σ²)` fixed at
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FourierConfig {
+    /// Number of random frequencies (output gains `2 × num_features` dims).
+    pub num_features: usize,
+    /// Frequency scale σ.
+    pub sigma: f64,
+}
+
+/// Architecture description for [`Mlp::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Raw input dimension (spatial coordinates + design parameters).
+    pub input_dim: usize,
+    /// Number of outputs (e.g. `u, v, p` or `u, v, p, ν`).
+    pub output_dim: usize,
+    /// Hidden width (the paper uses 512; the scaled reproduction 32–64).
+    pub hidden_width: usize,
+    /// Number of hidden (activated) layers (paper depth 6).
+    pub hidden_layers: usize,
+    /// Nonlinearity.
+    pub activation: Activation,
+    /// Optional input encoding.
+    pub fourier: Option<FourierConfig>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct DenseLayer {
+    /// `out × in` weights.
+    w: Matrix,
+    b: Vec<f64>,
+}
+
+/// Values and input derivatives of a batch forward pass.
+///
+/// `jac[d]` and `hess[d]` are `B × out` matrices holding `∂y/∂x_{dd[d]}`
+/// and `∂²y/∂x_{dd[d]}²` where `dd` is the `diff_dims` list passed to
+/// [`Mlp::forward_with_derivs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchDerivatives {
+    /// Network outputs, `B × out`.
+    pub values: Matrix,
+    /// First input derivatives per requested dimension.
+    pub jac: Vec<Matrix>,
+    /// Second (diagonal) input derivatives per requested dimension.
+    pub hess: Vec<Matrix>,
+}
+
+impl BatchDerivatives {
+    /// All-zero derivatives with the same shapes — the canonical starting
+    /// point for building adjoints.
+    pub fn zeros_like(other: &BatchDerivatives) -> Self {
+        BatchDerivatives {
+            values: Matrix::zeros(other.values.rows(), other.values.cols()),
+            jac: other
+                .jac
+                .iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect(),
+            hess: other
+                .hess
+                .iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LayerCache {
+    a_in: Matrix,
+    j_in: Vec<Matrix>,
+    h_in: Vec<Matrix>,
+    z: Matrix,
+    zj: Vec<Matrix>,
+    zh: Vec<Matrix>,
+    activated: bool,
+}
+
+/// Opaque forward-pass state consumed by [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    layers: Vec<LayerCache>,
+    batch: usize,
+}
+
+impl ForwardCache {
+    /// Batch size of the pass that produced this cache.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+/// Parameter gradients, shaped like the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    w: Vec<Matrix>,
+    b: Vec<Vec<f64>>,
+}
+
+impl Gradients {
+    /// Flattens in the same order as [`Mlp::for_each_param_mut`].
+    pub fn flat(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (w, b) in self.w.iter().zip(&self.b) {
+            out.extend_from_slice(w.as_slice());
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Adds another gradient in place.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Gradients) {
+        for (a, b) in self.w.iter_mut().zip(&other.w) {
+            a.axpy(1.0, b);
+        }
+        for (a, b) in self.b.iter_mut().zip(&other.b) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scales all entries.
+    pub fn scale(&mut self, s: f64) {
+        for w in &mut self.w {
+            w.scale(s);
+        }
+        for b in &mut self.b {
+            for x in b {
+                *x *= s;
+            }
+        }
+    }
+
+    /// Euclidean norm over all entries.
+    pub fn l2_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for w in &self.w {
+            for v in w.as_slice() {
+                s += v * v;
+            }
+        }
+        for b in &self.b {
+            for v in b {
+                s += v * v;
+            }
+        }
+        s.sqrt()
+    }
+}
+
+/// The network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    cfg: MlpConfig,
+    /// Frozen Fourier frequency matrix (`num_features × input_dim`),
+    /// pre-scaled by 2π.
+    freq: Option<Matrix>,
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Initialises with Xavier-uniform weights.
+    ///
+    /// # Panics
+    /// Panics if any dimension in the config is zero.
+    pub fn new(cfg: &MlpConfig, rng: &mut Rng64) -> Self {
+        assert!(
+            cfg.input_dim > 0
+                && cfg.output_dim > 0
+                && cfg.hidden_width > 0
+                && cfg.hidden_layers > 0,
+            "zero dimension in MlpConfig"
+        );
+        let freq = cfg.fourier.as_ref().map(|f| {
+            let mut m = Matrix::gaussian(f.num_features, cfg.input_dim, rng);
+            m.scale(2.0 * std::f64::consts::PI * f.sigma);
+            m
+        });
+        let enc_dim = cfg.input_dim
+            + cfg
+                .fourier
+                .as_ref()
+                .map_or(0, |f| 2 * f.num_features);
+        let mut sizes = vec![(enc_dim, cfg.hidden_width)];
+        for _ in 1..cfg.hidden_layers {
+            sizes.push((cfg.hidden_width, cfg.hidden_width));
+        }
+        sizes.push((cfg.hidden_width, cfg.output_dim));
+        let layers = sizes
+            .into_iter()
+            .map(|(fan_in, fan_out)| {
+                let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
+                let mut w = Matrix::zeros(fan_out, fan_in);
+                for v in w.as_mut_slice() {
+                    *v = rng.uniform_in(-bound, bound);
+                }
+                DenseLayer {
+                    w,
+                    b: vec![0.0; fan_out],
+                }
+            })
+            .collect();
+        Mlp {
+            cfg: cfg.clone(),
+            freq,
+            layers,
+        }
+    }
+
+    /// The architecture this network was built with.
+    pub fn config(&self) -> &MlpConfig {
+        &self.cfg
+    }
+
+    /// The frozen Fourier frequency matrix (`num_features × input_dim`,
+    /// already scaled by 2πσ), if the network uses an encoding.
+    pub fn fourier_frequencies(&self) -> Option<&Matrix> {
+        self.freq.as_ref()
+    }
+
+    /// Overwrites the frozen Fourier frequency matrix (checkpoint
+    /// restore).
+    ///
+    /// # Errors
+    /// Returns a message if the buffer size does not match the
+    /// configuration.
+    pub fn set_fourier_frequencies(&mut self, flat: &[f64]) -> Result<(), String> {
+        match (&mut self.freq, self.cfg.fourier.as_ref()) {
+            (Some(m), Some(_)) => {
+                if flat.len() != m.rows() * m.cols() {
+                    return Err(format!(
+                        "frequency buffer {} != {}×{}",
+                        flat.len(),
+                        m.rows(),
+                        m.cols()
+                    ));
+                }
+                m.as_mut_slice().copy_from_slice(flat);
+                Ok(())
+            }
+            _ => Err("network has no Fourier encoding".into()),
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
+    }
+
+    /// Visits every trainable parameter in a stable order (matching
+    /// [`Gradients::flat`]).
+    pub fn for_each_param_mut(&mut self, mut f: impl FnMut(usize, &mut f64)) {
+        let mut idx = 0;
+        for layer in &mut self.layers {
+            for v in layer.w.as_mut_slice() {
+                f(idx, v);
+                idx += 1;
+            }
+            for v in &mut layer.b {
+                f(idx, v);
+                idx += 1;
+            }
+        }
+    }
+
+    /// Snapshot of all parameters (checkpointing).
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &self.layers {
+            out.extend_from_slice(layer.w.as_slice());
+            out.extend_from_slice(&layer.b);
+        }
+        out
+    }
+
+    /// Restores parameters from [`Mlp::params`] output.
+    ///
+    /// # Panics
+    /// Panics if the length does not match `num_params()`.
+    pub fn set_params(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.num_params(), "param count mismatch");
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let nw = layer.w.rows() * layer.w.cols();
+            layer.w.as_mut_slice().copy_from_slice(&flat[off..off + nw]);
+            off += nw;
+            let nb = layer.b.len();
+            layer.b.copy_from_slice(&flat[off..off + nb]);
+            off += nb;
+        }
+    }
+
+    /// Zero-initialised gradients shaped like this network.
+    pub fn zero_gradients(&self) -> Gradients {
+        Gradients {
+            w: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+                .collect(),
+            b: self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    fn encode(&self, x: &Matrix, diff_dims: &[usize]) -> (Matrix, Vec<Matrix>, Vec<Matrix>) {
+        let b = x.rows();
+        let in_dim = self.cfg.input_dim;
+        assert_eq!(x.cols(), in_dim, "input dim mismatch");
+        for &d in diff_dims {
+            assert!(d < in_dim, "diff dim {d} out of range");
+        }
+        let Some(freq) = &self.freq else {
+            // Identity encoding: J is a constant one-hot, H is zero.
+            let mut jac = Vec::with_capacity(diff_dims.len());
+            for &d in diff_dims {
+                let mut j = Matrix::zeros(b, in_dim);
+                for r in 0..b {
+                    j.set(r, d, 1.0);
+                }
+                jac.push(j);
+            }
+            let hess = vec![Matrix::zeros(b, in_dim); diff_dims.len()];
+            return (x.clone(), jac, hess);
+        };
+        let nf = freq.rows();
+        let enc_dim = in_dim + 2 * nf;
+        let mut e = Matrix::zeros(b, enc_dim);
+        let mut jac = vec![Matrix::zeros(b, enc_dim); diff_dims.len()];
+        let mut hess = vec![Matrix::zeros(b, enc_dim); diff_dims.len()];
+        for r in 0..b {
+            let xr = x.row(r);
+            for c in 0..in_dim {
+                e.set(r, c, xr[c]);
+            }
+            for (di, &d) in diff_dims.iter().enumerate() {
+                jac[di].set(r, d, 1.0);
+            }
+            for s in 0..nf {
+                let w = freq.row(s);
+                let phase: f64 = w.iter().zip(xr).map(|(a, b)| a * b).sum();
+                let (sn, cs) = phase.sin_cos();
+                e.set(r, in_dim + s, sn);
+                e.set(r, in_dim + nf + s, cs);
+                for (di, &d) in diff_dims.iter().enumerate() {
+                    let wd = w[d];
+                    jac[di].set(r, in_dim + s, wd * cs);
+                    jac[di].set(r, in_dim + nf + s, -wd * sn);
+                    hess[di].set(r, in_dim + s, -wd * wd * sn);
+                    hess[di].set(r, in_dim + nf + s, -wd * wd * cs);
+                }
+            }
+        }
+        (e, jac, hess)
+    }
+
+    /// Values-only forward pass (`B × out`), the cheap path for inference
+    /// and validation sweeps.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let (mut a, _, _) = self.encode(x, &[]);
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let wt = layer.w.transposed();
+            let mut z = Matrix::zeros(a.rows(), layer.w.rows());
+            gemm(1.0, &a, &wt, 0.0, &mut z);
+            for r in 0..z.rows() {
+                let row = z.row_mut(r);
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += layer.b[c];
+                    if li != last {
+                        *v = eval3(self.cfg.activation, *v).0;
+                    }
+                }
+            }
+            a = z;
+        }
+        a
+    }
+
+    /// Forward pass propagating values, Jacobian columns and diagonal
+    /// Hessian columns for the requested input dimensions, returning the
+    /// cache needed by [`Mlp::backward`].
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != input_dim` or a diff dim is out of range.
+    pub fn forward_with_derivs(
+        &self,
+        x: &Matrix,
+        diff_dims: &[usize],
+    ) -> (BatchDerivatives, ForwardCache) {
+        let batch = x.rows();
+        let nd = diff_dims.len();
+        let (mut a, mut j, mut h) = self.encode(x, diff_dims);
+        let last = self.layers.len() - 1;
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let activated = li != last;
+            let wt = layer.w.transposed();
+            let out_w = layer.w.rows();
+            let mut z = Matrix::zeros(batch, out_w);
+            gemm(1.0, &a, &wt, 0.0, &mut z);
+            for r in 0..batch {
+                let row = z.row_mut(r);
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += layer.b[c];
+                }
+            }
+            let mut zj = Vec::with_capacity(nd);
+            let mut zh = Vec::with_capacity(nd);
+            for d in 0..nd {
+                let mut m = Matrix::zeros(batch, out_w);
+                gemm(1.0, &j[d], &wt, 0.0, &mut m);
+                zj.push(m);
+                let mut m = Matrix::zeros(batch, out_w);
+                gemm(1.0, &h[d], &wt, 0.0, &mut m);
+                zh.push(m);
+            }
+            // Activation.
+            let (a_out, j_out, h_out) = if activated {
+                let mut a_out = Matrix::zeros(batch, out_w);
+                let mut j_out = vec![Matrix::zeros(batch, out_w); nd];
+                let mut h_out = vec![Matrix::zeros(batch, out_w); nd];
+                for i in 0..batch * out_w {
+                    let (s, s1, s2, _s3) = eval3(self.cfg.activation, z.as_slice()[i]);
+                    a_out.as_mut_slice()[i] = s;
+                    for d in 0..nd {
+                        let zjv = zj[d].as_slice()[i];
+                        let zhv = zh[d].as_slice()[i];
+                        j_out[d].as_mut_slice()[i] = s1 * zjv;
+                        h_out[d].as_mut_slice()[i] = s2 * zjv * zjv + s1 * zhv;
+                    }
+                }
+                (a_out, j_out, h_out)
+            } else {
+                (z.clone(), zj.clone(), zh.clone())
+            };
+            caches.push(LayerCache {
+                a_in: a,
+                j_in: j,
+                h_in: h,
+                z,
+                zj,
+                zh,
+                activated,
+            });
+            a = a_out;
+            j = j_out;
+            h = h_out;
+        }
+        (
+            BatchDerivatives {
+                values: a,
+                jac: j,
+                hess: h,
+            },
+            ForwardCache {
+                layers: caches,
+                batch,
+            },
+        )
+    }
+
+    /// Backward pass: given adjoints (∂L/∂values, ∂L/∂jac, ∂L/∂hess) on the
+    /// outputs of a [`Mlp::forward_with_derivs`] call, returns exact
+    /// parameter gradients ∂L/∂θ.
+    ///
+    /// # Panics
+    /// Panics if adjoint shapes do not match the cached forward pass.
+    pub fn backward(&self, cache: &ForwardCache, adjoints: &BatchDerivatives) -> Gradients {
+        let nd = cache.layers[0].zj.len();
+        assert_eq!(adjoints.jac.len(), nd, "jac adjoint count");
+        assert_eq!(adjoints.hess.len(), nd, "hess adjoint count");
+        let mut grads = self.zero_gradients();
+        let mut ga = adjoints.values.clone();
+        let mut gj: Vec<Matrix> = adjoints.jac.clone();
+        let mut gh: Vec<Matrix> = adjoints.hess.clone();
+
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            let lc = &cache.layers[li];
+            let batch = cache.batch;
+            let out_w = layer.w.rows();
+            // Activation adjoints → pre-activation adjoints.
+            let (gz, gzj, gzh) = if lc.activated {
+                let mut gz = Matrix::zeros(batch, out_w);
+                let mut gzj = vec![Matrix::zeros(batch, out_w); nd];
+                let mut gzh = vec![Matrix::zeros(batch, out_w); nd];
+                for i in 0..batch * out_w {
+                    let (_s, s1, s2, s3) = eval3(self.cfg.activation, lc.z.as_slice()[i]);
+                    let mut g = ga.as_slice()[i] * s1;
+                    for d in 0..nd {
+                        let zjv = lc.zj[d].as_slice()[i];
+                        let zhv = lc.zh[d].as_slice()[i];
+                        let gjv = gj[d].as_slice()[i];
+                        let ghv = gh[d].as_slice()[i];
+                        g += gjv * s2 * zjv + ghv * (s3 * zjv * zjv + s2 * zhv);
+                        gzj[d].as_mut_slice()[i] = gjv * s1 + ghv * 2.0 * s2 * zjv;
+                        gzh[d].as_mut_slice()[i] = ghv * s1;
+                    }
+                    gz.as_mut_slice()[i] = g;
+                }
+                (gz, gzj, gzh)
+            } else {
+                (ga.clone(), gj.clone(), gh.clone())
+            };
+            // Linear adjoints.
+            // gW += gzᵀ a_in + Σ_d (gzjᵀ j_in + gzhᵀ h_in)
+            let gzt = gz.transposed();
+            gemm(1.0, &gzt, &lc.a_in, 1.0, &mut grads.w[li]);
+            for d in 0..nd {
+                let t = gzj[d].transposed();
+                gemm(1.0, &t, &lc.j_in[d], 1.0, &mut grads.w[li]);
+                let t = gzh[d].transposed();
+                gemm(1.0, &t, &lc.h_in[d], 1.0, &mut grads.w[li]);
+            }
+            // gb += column sums of gz (bias enters only the value path).
+            for r in 0..batch {
+                for (c, gbc) in grads.b[li].iter_mut().enumerate() {
+                    *gbc += gz.get(r, c);
+                }
+            }
+            if li == 0 {
+                break; // inputs are not trainable
+            }
+            // Propagate to layer inputs: gA = gz W, etc.
+            let mut new_ga = Matrix::zeros(batch, layer.w.cols());
+            gemm(1.0, &gz, &layer.w, 0.0, &mut new_ga);
+            let mut new_gj = Vec::with_capacity(nd);
+            let mut new_gh = Vec::with_capacity(nd);
+            for d in 0..nd {
+                let mut m = Matrix::zeros(batch, layer.w.cols());
+                gemm(1.0, &gzj[d], &layer.w, 0.0, &mut m);
+                new_gj.push(m);
+                let mut m = Matrix::zeros(batch, layer.w.cols());
+                gemm(1.0, &gzh[d], &layer.w, 0.0, &mut m);
+                new_gh.push(m);
+            }
+            ga = new_ga;
+            gj = new_gj;
+            gh = new_gh;
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net(seed: u64, fourier: bool) -> Mlp {
+        let cfg = MlpConfig {
+            input_dim: 2,
+            output_dim: 2,
+            hidden_width: 8,
+            hidden_layers: 2,
+            activation: Activation::SiLu,
+            fourier: if fourier {
+                Some(FourierConfig {
+                    num_features: 3,
+                    sigma: 0.5,
+                })
+            } else {
+                None
+            },
+        };
+        let mut rng = Rng64::new(seed);
+        Mlp::new(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn forward_matches_forward_with_derivs() {
+        let net = tiny_net(1, false);
+        let x = Matrix::from_rows(&[&[0.3, -0.2], &[1.1, 0.4]]);
+        let plain = net.forward(&x);
+        let (full, _) = net.forward_with_derivs(&x, &[0, 1]);
+        for i in 0..plain.as_slice().len() {
+            assert!((plain.as_slice()[i] - full.values.as_slice()[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference() {
+        for fourier in [false, true] {
+            let net = tiny_net(2, fourier);
+            let x = Matrix::from_rows(&[&[0.25, 0.6]]);
+            let (full, _) = net.forward_with_derivs(&x, &[0, 1]);
+            let h = 1e-6;
+            for d in 0..2 {
+                let mut xp = x.clone();
+                xp.add_at(0, d, h);
+                let mut xm = x.clone();
+                xm.add_at(0, d, -h);
+                let fp = net.forward(&xp);
+                let fm = net.forward(&xm);
+                for o in 0..2 {
+                    let fd = (fp.get(0, o) - fm.get(0, o)) / (2.0 * h);
+                    let an = full.jac[d].get(0, o);
+                    assert!(
+                        (fd - an).abs() < 1e-6 * (1.0 + fd.abs()),
+                        "fourier={fourier} d={d} o={o}: {an} vs {fd}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hessian_matches_finite_difference() {
+        for fourier in [false, true] {
+            let net = tiny_net(3, fourier);
+            let x = Matrix::from_rows(&[&[-0.4, 0.9]]);
+            let (full, _) = net.forward_with_derivs(&x, &[0, 1]);
+            let h = 1e-4;
+            for d in 0..2 {
+                let mut xp = x.clone();
+                xp.add_at(0, d, h);
+                let mut xm = x.clone();
+                xm.add_at(0, d, -h);
+                let fp = net.forward(&xp);
+                let f0 = net.forward(&x);
+                let fm = net.forward(&xm);
+                for o in 0..2 {
+                    let fd = (fp.get(0, o) - 2.0 * f0.get(0, o) + fm.get(0, o)) / (h * h);
+                    let an = full.hess[d].get(0, o);
+                    assert!(
+                        (fd - an).abs() < 1e-4 * (1.0 + fd.abs()),
+                        "fourier={fourier} d={d} o={o}: {an} vs {fd}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Composite loss touching values, jacobians and hessians:
+    /// L = Σ_batch Σ_out (y² + 2·y_x·y_y + y_xx² + 0.5·y_yy)
+    fn composite_loss(net: &Mlp, x: &Matrix) -> f64 {
+        let (full, _) = net.forward_with_derivs(x, &[0, 1]);
+        let mut l = 0.0;
+        let n = full.values.as_slice().len();
+        for i in 0..n {
+            let y = full.values.as_slice()[i];
+            let yx = full.jac[0].as_slice()[i];
+            let yy = full.jac[1].as_slice()[i];
+            let yxx = full.hess[0].as_slice()[i];
+            let yyy = full.hess[1].as_slice()[i];
+            l += y * y + 2.0 * yx * yy + yxx * yxx + 0.5 * yyy;
+        }
+        l
+    }
+
+    fn composite_adjoints(full: &BatchDerivatives) -> BatchDerivatives {
+        let mut adj = BatchDerivatives::zeros_like(full);
+        let n = full.values.as_slice().len();
+        for i in 0..n {
+            adj.values.as_mut_slice()[i] = 2.0 * full.values.as_slice()[i];
+            adj.jac[0].as_mut_slice()[i] = 2.0 * full.jac[1].as_slice()[i];
+            adj.jac[1].as_mut_slice()[i] = 2.0 * full.jac[0].as_slice()[i];
+            adj.hess[0].as_mut_slice()[i] = 2.0 * full.hess[0].as_slice()[i];
+            adj.hess[1].as_mut_slice()[i] = 0.5;
+        }
+        adj
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_difference() {
+        for fourier in [false, true] {
+            let mut net = tiny_net(4, fourier);
+            let x = Matrix::from_rows(&[&[0.2, -0.5], &[0.7, 0.1], &[-0.3, 0.8]]);
+            let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
+            let adj = composite_adjoints(&full);
+            let grads = net.backward(&cache, &adj);
+            let flat = grads.flat();
+
+            let params = net.params();
+            let h = 1e-6;
+            // Spot-check a spread of parameters (full sweep is slow).
+            let np = params.len();
+            for &pi in &[0usize, 1, np / 3, np / 2, 2 * np / 3, np - 2, np - 1] {
+                let mut pp = params.clone();
+                pp[pi] += h;
+                net.set_params(&pp);
+                let lp = composite_loss(&net, &x);
+                pp[pi] -= 2.0 * h;
+                net.set_params(&pp);
+                let lm = composite_loss(&net, &x);
+                net.set_params(&params);
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (flat[pi] - fd).abs() < 2e-4 * (1.0 + fd.abs()),
+                    "fourier={fourier} param {pi}: {} vs {fd}",
+                    flat[pi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_flat_order_matches_for_each_param() {
+        let mut net = tiny_net(5, false);
+        let n = net.num_params();
+        let mut count = 0;
+        net.for_each_param_mut(|idx, _| {
+            assert_eq!(idx, count);
+            count += 1;
+        });
+        assert_eq!(count, n);
+        assert_eq!(net.zero_gradients().flat().len(), n);
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut net = tiny_net(6, true);
+        let p = net.params();
+        let mut p2 = p.clone();
+        for v in &mut p2 {
+            *v += 1.0;
+        }
+        net.set_params(&p2);
+        assert_eq!(net.params(), p2);
+        net.set_params(&p);
+        assert_eq!(net.params(), p);
+    }
+
+    #[test]
+    fn gradients_arithmetic() {
+        let net = tiny_net(7, false);
+        let mut g = net.zero_gradients();
+        let x = Matrix::from_rows(&[&[0.1, 0.2]]);
+        let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
+        let adj = composite_adjoints(&full);
+        let g1 = net.backward(&cache, &adj);
+        g.add_assign(&g1);
+        g.add_assign(&g1);
+        g.scale(0.5);
+        let a = g.flat();
+        let b = g1.flat();
+        for i in 0..a.len() {
+            assert!((a[i] - b[i]).abs() < 1e-12);
+        }
+        assert!(g.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn empty_diff_dims_supported() {
+        let net = tiny_net(8, false);
+        let x = Matrix::from_rows(&[&[0.3, 0.4]]);
+        let (full, cache) = net.forward_with_derivs(&x, &[]);
+        assert!(full.jac.is_empty());
+        let mut adj = BatchDerivatives::zeros_like(&full);
+        adj.values.set(0, 0, 1.0);
+        let g = net.backward(&cache, &adj);
+        assert!(g.l2_norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_dim_panics() {
+        let net = tiny_net(9, false);
+        let x = Matrix::from_rows(&[&[0.3, 0.4, 0.5]]);
+        let _ = net.forward(&x);
+    }
+}

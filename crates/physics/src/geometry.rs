@@ -1,0 +1,366 @@
+//! Problem geometries and collocation-point generation.
+//!
+//! Two domains from the paper:
+//!
+//! * [`Cavity`] — the unit lid-driven cavity (§4.1), lid moving at
+//!   `u = 1 m/s` along the top wall.
+//! * [`AnnulusChannel`] — the annular ring (§4.2): flow from an inner
+//!   inlet circle of parameterised radius `r_i` to the outer circle.
+//!   Samples carry the design parameter as a third input column, so one
+//!   network learns the whole family of geometries.
+//!
+//! Interior clouds can be drawn uniformly or from a Halton
+//! low-discrepancy sequence (PINN practice favours the latter for
+//! coverage at small N).
+
+use sgm_graph::points::PointCloud;
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+
+/// Deterministic Halton sequence value (base `b`, index `i ≥ 1`).
+pub fn halton(mut i: usize, b: usize) -> f64 {
+    let mut f = 1.0;
+    let mut r = 0.0;
+    while i > 0 {
+        f /= b as f64;
+        r += f * (i % b) as f64;
+        i /= b;
+    }
+    r
+}
+
+/// How interior points are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillStrategy {
+    /// i.i.d. uniform.
+    Uniform,
+    /// Halton low-discrepancy sequence (deterministic given the offset).
+    Halton,
+}
+
+/// The unit lid-driven cavity `[0,1]²` with a moving top lid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cavity {
+    /// Lid velocity (paper: 1 m/s).
+    pub lid_velocity: f64,
+}
+
+impl Default for Cavity {
+    fn default() -> Self {
+        Cavity { lid_velocity: 1.0 }
+    }
+}
+
+impl Cavity {
+    /// Interior collocation points (2 columns: x, y).
+    pub fn sample_interior(&self, n: usize, fill: FillStrategy, rng: &mut Rng64) -> PointCloud {
+        let mut data = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            let (x, y) = match fill {
+                FillStrategy::Uniform => (rng.uniform(), rng.uniform()),
+                FillStrategy::Halton => (halton(i + 1, 2), halton(i + 1, 3)),
+            };
+            data.push(x);
+            data.push(y);
+        }
+        PointCloud::from_flat(2, data)
+    }
+
+    /// Boundary points with Dirichlet targets for `(u, v)`.
+    ///
+    /// Returns `(points, targets)` where `targets` has one row per point
+    /// and `output_dim` columns; entries beyond `u, v` are NaN
+    /// (unconstrained). The lid profile is regularised near the corners
+    /// (`u = lid · x(1−x)·4` capped at lid) — standard practice to avoid
+    /// the corner singularity dominating training.
+    pub fn sample_boundary(&self, n_per_side: usize, output_dim: usize, rng: &mut Rng64) -> (PointCloud, Matrix) {
+        assert!(output_dim >= 2, "need at least u, v outputs");
+        let n = n_per_side * 4;
+        let mut pts = Vec::with_capacity(n * 2);
+        let mut tgt = Matrix::zeros(n, output_dim);
+        for r in 0..n {
+            for c in 0..output_dim {
+                tgt.set(r, c, f64::NAN);
+            }
+        }
+        let mut row = 0;
+        for side in 0..4 {
+            for _ in 0..n_per_side {
+                let t = rng.uniform();
+                let (x, y, u) = match side {
+                    0 => (t, 0.0, 0.0),                       // bottom
+                    1 => (t, 1.0, self.lid_profile(t)),       // lid
+                    2 => (0.0, t, 0.0),                       // left
+                    _ => (1.0, t, 0.0),                       // right
+                };
+                pts.push(x);
+                pts.push(y);
+                tgt.set(row, 0, u);
+                tgt.set(row, 1, 0.0); // v = 0 everywhere on the boundary
+                row += 1;
+            }
+        }
+        (PointCloud::from_flat(2, pts), tgt)
+    }
+
+    /// Corner-regularised lid velocity profile.
+    pub fn lid_profile(&self, x: f64) -> f64 {
+        let ramp = (4.0 * x * (1.0 - x)).min(1.0);
+        self.lid_velocity * ramp.powf(0.25)
+    }
+
+    /// Distance to the nearest wall (for the zero-eq mixing length).
+    pub fn wall_distance(p: &[f64]) -> f64 {
+        let (x, y) = (p[0], p[1]);
+        x.min(1.0 - x).min(y).min(1.0 - y).max(0.0)
+    }
+}
+
+/// Annular channel: annulus `r_i ≤ r ≤ r_o` around the origin, flow
+/// injected radially at the inner circle. The inner radius is a *design
+/// parameter*: every sample is `(x, y, r_i)` with `r_i` drawn from
+/// `param_range`, so one network amortises the whole family (paper §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnulusChannel {
+    /// Outer radius (fixed).
+    pub r_outer: f64,
+    /// Range of the parameterised inner radius (paper: `[0.75, 1.1]`).
+    pub param_range: (f64, f64),
+    /// Radial inlet speed at the inner circle (paper: 1.5 m/s).
+    pub inlet_velocity: f64,
+}
+
+impl Default for AnnulusChannel {
+    fn default() -> Self {
+        AnnulusChannel {
+            r_outer: 2.0,
+            param_range: (0.75, 1.1),
+            inlet_velocity: 1.5,
+        }
+    }
+}
+
+impl AnnulusChannel {
+    /// Exact steady incompressible Navier–Stokes solution of the radial
+    /// source flow at parameter `r_i`: `u = C x/r²`, `v = C y/r²`,
+    /// `p = p∞ − C²/(2 r²)` with `C = U_in · r_i` (potential flow ⇒ the
+    /// viscous term vanishes identically, so this is exact for every ν).
+    /// This plays the role of the paper's OpenFOAM validation data.
+    pub fn exact_solution(&self, x: f64, y: f64, r_i: f64) -> (f64, f64, f64) {
+        let r2 = (x * x + y * y).max(1e-12);
+        let c = self.inlet_velocity * r_i;
+        let u = c * x / r2;
+        let v = c * y / r2;
+        let p = -c * c / (2.0 * r2);
+        (u, v, p)
+    }
+
+    /// Interior collocation points, 3 columns `(x, y, r_i)`. Spatial
+    /// positions are drawn inside the annulus *for that sample's* `r_i`.
+    pub fn sample_interior(&self, n: usize, fill: FillStrategy, rng: &mut Rng64) -> PointCloud {
+        let mut data = Vec::with_capacity(n * 3);
+        let (plo, phi) = self.param_range;
+        let mut i = 0usize;
+        while data.len() < n * 3 {
+            i += 1;
+            let (a, b, c) = match fill {
+                FillStrategy::Uniform => (rng.uniform(), rng.uniform(), rng.uniform()),
+                FillStrategy::Halton => (halton(i, 2), halton(i, 3), halton(i, 5)),
+            };
+            let r_i = plo + (phi - plo) * c;
+            // Area-uniform radius in [r_i, r_o].
+            let r = (r_i * r_i + (self.r_outer * self.r_outer - r_i * r_i) * a).sqrt();
+            let th = 2.0 * std::f64::consts::PI * b;
+            data.push(r * th.cos());
+            data.push(r * th.sin());
+            data.push(r_i);
+        }
+        PointCloud::from_flat(3, data)
+    }
+
+    /// Boundary points (inner + outer circles) with Dirichlet targets for
+    /// `(u, v, p)` taken from the exact solution. Rows alternate between
+    /// circles; each row carries its own sampled `r_i`.
+    pub fn sample_boundary(&self, n_per_circle: usize, output_dim: usize, rng: &mut Rng64) -> (PointCloud, Matrix) {
+        assert!(output_dim >= 3, "need u, v, p outputs");
+        let n = n_per_circle * 2;
+        let mut pts = Vec::with_capacity(n * 3);
+        let mut tgt = Matrix::zeros(n, output_dim);
+        for r in 0..n {
+            for c in 0..output_dim {
+                tgt.set(r, c, f64::NAN);
+            }
+        }
+        let (plo, phi) = self.param_range;
+        for row in 0..n {
+            let r_i = rng.uniform_in(plo, phi);
+            let inner = row % 2 == 0;
+            let radius = if inner { r_i } else { self.r_outer };
+            let th = rng.uniform_in(0.0, 2.0 * std::f64::consts::PI);
+            let (x, y) = (radius * th.cos(), radius * th.sin());
+            pts.push(x);
+            pts.push(y);
+            pts.push(r_i);
+            let (u, v, p) = self.exact_solution(x, y, r_i);
+            tgt.set(row, 0, u);
+            tgt.set(row, 1, v);
+            tgt.set(row, 2, p);
+        }
+        (PointCloud::from_flat(3, pts), tgt)
+    }
+
+    /// A validation grid at a fixed `r_i`: polar grid over the annulus.
+    /// Returns `(points (x, y, r_i), exact (u, v, p))`.
+    pub fn validation_grid(&self, r_i: f64, nr: usize, nth: usize) -> (Matrix, Matrix) {
+        let n = nr * nth;
+        let mut pts = Matrix::zeros(n, 3);
+        let mut exact = Matrix::zeros(n, 3);
+        let mut row = 0;
+        for ir in 0..nr {
+            let r = r_i + (self.r_outer - r_i) * (ir as f64 + 0.5) / nr as f64;
+            for it in 0..nth {
+                let th = 2.0 * std::f64::consts::PI * it as f64 / nth as f64;
+                let (x, y) = (r * th.cos(), r * th.sin());
+                pts.set(row, 0, x);
+                pts.set(row, 1, y);
+                pts.set(row, 2, r_i);
+                let (u, v, p) = self.exact_solution(x, y, r_i);
+                exact.set(row, 0, u);
+                exact.set(row, 1, v);
+                exact.set(row, 2, p);
+                row += 1;
+            }
+        }
+        (pts, exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halton_is_low_discrepancy() {
+        // First few base-2 Halton values.
+        assert!((halton(1, 2) - 0.5).abs() < 1e-12);
+        assert!((halton(2, 2) - 0.25).abs() < 1e-12);
+        assert!((halton(3, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cavity_interior_inside_unit_square() {
+        let c = Cavity::default();
+        let mut rng = Rng64::new(1);
+        for fill in [FillStrategy::Uniform, FillStrategy::Halton] {
+            let pts = c.sample_interior(200, fill, &mut rng);
+            for i in 0..pts.len() {
+                let p = pts.point(i);
+                assert!((0.0..=1.0).contains(&p[0]) && (0.0..=1.0).contains(&p[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn cavity_boundary_targets() {
+        let c = Cavity::default();
+        let mut rng = Rng64::new(2);
+        let (pts, tgt) = c.sample_boundary(25, 4, &mut rng);
+        assert_eq!(pts.len(), 100);
+        for i in 0..100 {
+            let p = pts.point(i);
+            let on_edge = p[0] == 0.0 || p[0] == 1.0 || p[1] == 0.0 || p[1] == 1.0;
+            assert!(on_edge, "point {p:?} not on boundary");
+            // v target always 0; u target 0 except on the lid.
+            assert_eq!(tgt.get(i, 1), 0.0);
+            if p[1] != 1.0 {
+                assert_eq!(tgt.get(i, 0), 0.0);
+            }
+            // p and nu unconstrained
+            assert!(tgt.get(i, 2).is_nan());
+            assert!(tgt.get(i, 3).is_nan());
+        }
+    }
+
+    #[test]
+    fn lid_profile_vanishes_at_corners() {
+        let c = Cavity::default();
+        assert_eq!(c.lid_profile(0.0), 0.0);
+        assert_eq!(c.lid_profile(1.0), 0.0);
+        assert!((c.lid_profile(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_distance_center_and_edge() {
+        assert!((Cavity::wall_distance(&[0.5, 0.5]) - 0.5).abs() < 1e-12);
+        assert_eq!(Cavity::wall_distance(&[0.0, 0.3]), 0.0);
+        assert!((Cavity::wall_distance(&[0.1, 0.9]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annulus_interior_respects_radii() {
+        let a = AnnulusChannel::default();
+        let mut rng = Rng64::new(3);
+        let pts = a.sample_interior(300, FillStrategy::Uniform, &mut rng);
+        assert_eq!(pts.dim(), 3);
+        for i in 0..pts.len() {
+            let p = pts.point(i);
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            let r_i = p[2];
+            assert!((0.75..=1.1).contains(&r_i));
+            assert!(r >= r_i - 1e-9 && r <= a.r_outer + 1e-9, "r={r}, r_i={r_i}");
+        }
+    }
+
+    #[test]
+    fn exact_solution_is_divergence_free_and_unforced() {
+        // Finite-difference check of continuity and x-momentum (ν arbitrary).
+        let a = AnnulusChannel::default();
+        let r_i = 0.9;
+        let h = 1e-5;
+        let nu = 0.1;
+        let at = |x: f64, y: f64| a.exact_solution(x, y, r_i);
+        let (x0, y0) = (1.2, 0.4);
+        let (u, _v, _) = at(x0, y0);
+        let (up, _, pp) = at(x0 + h, y0);
+        let (um, _, pm) = at(x0 - h, y0);
+        let (u_n, vn, _) = at(x0, y0 + h);
+        let (u_s, vs, _) = at(x0, y0 - h);
+        let u_x = (up - um) / (2.0 * h);
+        let v_y = (vn - vs) / (2.0 * h);
+        assert!((u_x + v_y).abs() < 1e-6, "continuity {}", u_x + v_y);
+        let u_y = (u_n - u_s) / (2.0 * h);
+        let p_x = (pp - pm) / (2.0 * h);
+        let (uc, vc, _) = at(x0, y0);
+        let u_xx = (up - 2.0 * u + um) / (h * h);
+        let u_yy = (u_n - 2.0 * u + u_s) / (h * h);
+        let mom_x = uc * u_x + vc * u_y + p_x - nu * (u_xx + u_yy);
+        assert!(mom_x.abs() < 1e-4, "momentum-x residual {mom_x}");
+    }
+
+    #[test]
+    fn annulus_boundary_targets_match_exact() {
+        let a = AnnulusChannel::default();
+        let mut rng = Rng64::new(4);
+        let (pts, tgt) = a.sample_boundary(50, 3, &mut rng);
+        for i in 0..pts.len() {
+            let p = pts.point(i);
+            let (u, v, pr) = a.exact_solution(p[0], p[1], p[2]);
+            assert!((tgt.get(i, 0) - u).abs() < 1e-12);
+            assert!((tgt.get(i, 1) - v).abs() < 1e-12);
+            assert!((tgt.get(i, 2) - pr).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation_grid_shapes() {
+        let a = AnnulusChannel::default();
+        let (pts, exact) = a.validation_grid(1.0, 8, 16);
+        assert_eq!(pts.rows(), 128);
+        assert_eq!(exact.cols(), 3);
+        // All grid points inside the annulus for r_i = 1.
+        for i in 0..pts.rows() {
+            let r = (pts.get(i, 0).powi(2) + pts.get(i, 1).powi(2)).sqrt();
+            assert!(r >= 1.0 && r <= 2.0);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # sgm-physics
+//!
+//! The PINN problem layer: geometries and collocation sampling, PDE
+//! residuals with exact adjoints, loss assembly, a sampler-pluggable
+//! training loop, and validation against reference fields.
+//!
+//! * [`geometry`] — the paper's two domains: the unit lid-driven cavity
+//!   (LDC, §4.1) and the annular ring with parameterised inner radius
+//!   (AR, §4.2), plus Halton low-discrepancy interior sampling and wall
+//!   distances for the zero-equation turbulence closure.
+//! * [`pde`] — residual definitions: 2-D steady incompressible
+//!   Navier–Stokes (optionally with the zero-equation mixing-length
+//!   turbulence model, outputs `u, v, p, ν` as in Modulus's LDC example)
+//!   and a Poisson equation for quickstarts. Each PDE also provides the
+//!   exact partial derivatives of its residuals with respect to every
+//!   network quantity it reads (values / first / second derivatives), so
+//!   the `sgm-nn` backward pass yields exact parameter gradients.
+//! * [`problem`] — bundles a PDE, a training set (interior + boundary
+//!   clouds) and loss weights; computes batch losses, gradients and
+//!   per-sample loss probes (what importance samplers consume).
+//! * [`train`] — the [`train::Sampler`] trait (implemented by the
+//!   uniform / MIS / SGM samplers in `sgm-core`) and the wall-clock
+//!   instrumented training loop.
+//! * [`validate`] — reference grids and relative-L2 validation errors
+//!   (the metric reported in the paper's tables).
+
+pub mod geometry;
+pub mod pde;
+pub mod problem;
+pub mod train;
+pub mod validate;
+
+pub use pde::{NsConfig, Pde, PoissonConfig, ZeroEqConfig};
+pub use problem::{Problem, TrainSet};
+pub use train::{Sampler, TrainOptions, Trainer};
+pub use validate::ValidationSet;

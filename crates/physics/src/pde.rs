@@ -1,0 +1,720 @@
+//! PDE residual definitions with exact adjoints.
+//!
+//! A PINN loss is `Σ_k w_k · mean_b r_k(q_b)²`, where each residual `r_k`
+//! is an algebraic function of the network *quantities* at sample `b`:
+//! output values, first input derivatives and (diagonal) second input
+//! derivatives, all delivered by [`sgm_nn::mlp::BatchDerivatives`]. Every
+//! PDE here therefore implements two things:
+//!
+//! * [`Pde::residuals`] — the residual values `r_k(q_b)`;
+//! * [`Pde::accumulate_adjoints`] — given upstream factors
+//!   `f_{b,k} = ∂L/∂r_{b,k}`, accumulate `f · ∂r/∂q` into an adjoint
+//!   [`sgm_nn::mlp::BatchDerivatives`], which the `sgm-nn` backward pass turns into
+//!   exact parameter gradients.
+//!
+//! Implemented systems:
+//!
+//! * [`Pde::NavierStokes`] — 2-D steady incompressible Navier–Stokes in
+//!   the variable-viscosity form used by Modulus's LDC example:
+//!   continuity, x/y momentum, optionally the **zero-equation turbulence
+//!   closure** (Prandtl mixing length) that makes total viscosity `ν` a
+//!   fourth network output constrained by
+//!   `ν = ν_mol + l(x)²·√(2(u_x²+v_y²)+(u_y+v_x)²)`.
+//! * [`Pde::Poisson`] — `−∇²u = f`, the quickstart example.
+
+use sgm_linalg::dense::Matrix;
+use sgm_nn::mlp::BatchDerivatives;
+
+/// Zero-equation (mixing-length) turbulence closure configuration.
+#[derive(Debug, Clone)]
+pub struct ZeroEqConfig {
+    /// Von Kármán constant (Modulus default 0.419).
+    pub karman: f64,
+    /// Mixing-length cap (Modulus: `0.09 × max wall distance`).
+    pub mixing_cap: f64,
+    /// Wall-distance function of the domain.
+    pub wall_distance: fn(&[f64]) -> f64,
+    /// Smoothing floor inside the strain-rate square root.
+    pub sqrt_eps: f64,
+}
+
+/// 2-D steady incompressible Navier–Stokes configuration.
+///
+/// Outputs are `[u, v, p]`, plus `ν` (total kinematic viscosity) when the
+/// zero-equation closure is enabled.
+#[derive(Debug, Clone)]
+pub struct NsConfig {
+    /// Molecular kinematic viscosity (1/Re for unit scales).
+    pub nu: f64,
+    /// Optional zero-equation turbulence closure.
+    pub zero_eq: Option<ZeroEqConfig>,
+}
+
+/// Poisson problem `−∇²u = f` with caller-supplied forcing.
+#[derive(Debug, Clone)]
+pub struct PoissonConfig {
+    /// Forcing term `f(x)` (receives the full input row).
+    pub forcing: fn(&[f64]) -> f64,
+}
+
+/// Viscous Burgers equation `u_t + u u_x = ν u_xx` on inputs `(x, t)`
+/// — the classic PINN benchmark (Raissi et al.). Input column 0 is space,
+/// column 1 is time.
+#[derive(Debug, Clone)]
+pub struct BurgersConfig {
+    /// Viscosity ν (the standard benchmark uses `0.01/π`).
+    pub nu: f64,
+}
+
+/// Steady heat conduction `∇·(κ∇T) + q = 0` with spatially varying
+/// conductivity — the chip-thermal-analysis workload from the paper's
+/// introduction. Conductivity and power-density maps are data (closures of
+/// position), the temperature `T` is the single network output.
+#[derive(Debug, Clone)]
+pub struct HeatConfig {
+    /// Thermal conductivity `κ(x)`.
+    pub conductivity: fn(&[f64]) -> f64,
+    /// Gradient `(κ_x, κ_y)` of the conductivity map.
+    pub conductivity_grad: fn(&[f64]) -> [f64; 2],
+    /// Volumetric heat source `q(x)` (power density).
+    pub source: fn(&[f64]) -> f64,
+}
+
+/// Helmholtz equation `∇²u + k² u = f` — the frequency-domain
+/// computational-electromagnetics workload from the paper's introduction.
+#[derive(Debug, Clone)]
+pub struct HelmholtzConfig {
+    /// Wavenumber `k`.
+    pub wavenumber: f64,
+    /// Forcing `f(x)`.
+    pub forcing: fn(&[f64]) -> f64,
+}
+
+/// A PDE system the trainer can minimise.
+#[derive(Debug, Clone)]
+pub enum Pde {
+    /// 2-D steady incompressible Navier–Stokes (optionally turbulent).
+    NavierStokes(NsConfig),
+    /// Scalar Poisson equation.
+    Poisson(PoissonConfig),
+    /// 1-D viscous Burgers in `(x, t)`.
+    Burgers(BurgersConfig),
+    /// Steady heat conduction with varying conductivity (chip thermal).
+    Heat(HeatConfig),
+    /// Helmholtz equation (CEM).
+    Helmholtz(HelmholtzConfig),
+}
+
+impl Pde {
+    /// Number of network outputs this PDE expects.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            Pde::NavierStokes(c) => {
+                if c.zero_eq.is_some() {
+                    4
+                } else {
+                    3
+                }
+            }
+            Pde::Poisson(_) | Pde::Burgers(_) | Pde::Heat(_) | Pde::Helmholtz(_) => 1,
+        }
+    }
+
+    /// Number of residual equations.
+    pub fn num_residuals(&self) -> usize {
+        match self {
+            Pde::NavierStokes(c) => {
+                if c.zero_eq.is_some() {
+                    4
+                } else {
+                    3
+                }
+            }
+            Pde::Poisson(_) | Pde::Burgers(_) | Pde::Heat(_) | Pde::Helmholtz(_) => 1,
+        }
+    }
+
+    /// Human-readable residual names, aligned with residual indices.
+    pub fn residual_names(&self) -> Vec<&'static str> {
+        match self {
+            Pde::NavierStokes(c) => {
+                let mut v = vec!["continuity", "momentum_x", "momentum_y"];
+                if c.zero_eq.is_some() {
+                    v.push("zero_eq");
+                }
+                v
+            }
+            Pde::Poisson(_) => vec!["poisson"],
+            Pde::Burgers(_) => vec!["burgers"],
+            Pde::Heat(_) => vec!["heat"],
+            Pde::Helmholtz(_) => vec!["helmholtz"],
+        }
+    }
+
+    /// Input dimensions to differentiate (always the two spatial
+    /// coordinates; design parameters like `r_i` are extra columns that
+    /// enter the network but not the differential operators).
+    pub fn diff_dims(&self) -> Vec<usize> {
+        vec![0, 1]
+    }
+
+    /// Residual values, `B × num_residuals`.
+    ///
+    /// # Panics
+    /// Panics if `d` does not carry both spatial derivative sets or the
+    /// output dimension mismatches.
+    pub fn residuals(&self, x: &Matrix, d: &BatchDerivatives) -> Matrix {
+        let b = d.values.rows();
+        assert!(d.jac.len() >= 2 && d.hess.len() >= 2, "need x,y derivatives");
+        assert_eq!(d.values.cols(), self.output_dim(), "output dim mismatch");
+        let mut r = Matrix::zeros(b, self.num_residuals());
+        match self {
+            Pde::NavierStokes(cfg) => {
+                for i in 0..b {
+                    let q = NsQuantities::read(cfg, x, d, i);
+                    let (rc, ru, rv, rnu) = q.residuals(cfg);
+                    r.set(i, 0, rc);
+                    r.set(i, 1, ru);
+                    r.set(i, 2, rv);
+                    if cfg.zero_eq.is_some() {
+                        r.set(i, 3, rnu);
+                    }
+                }
+            }
+            Pde::Poisson(cfg) => {
+                for i in 0..b {
+                    let u_xx = d.hess[0].get(i, 0);
+                    let u_yy = d.hess[1].get(i, 0);
+                    r.set(i, 0, u_xx + u_yy + (cfg.forcing)(x.row(i)));
+                }
+            }
+            Pde::Burgers(cfg) => {
+                // Inputs are (x, t): jac[0] = ∂/∂x, jac[1] = ∂/∂t.
+                for i in 0..b {
+                    let u = d.values.get(i, 0);
+                    let u_x = d.jac[0].get(i, 0);
+                    let u_t = d.jac[1].get(i, 0);
+                    let u_xx = d.hess[0].get(i, 0);
+                    r.set(i, 0, u_t + u * u_x - cfg.nu * u_xx);
+                }
+            }
+            Pde::Heat(cfg) => {
+                for i in 0..b {
+                    let p = x.row(i);
+                    let k = (cfg.conductivity)(p);
+                    let [kx, ky] = (cfg.conductivity_grad)(p);
+                    let t_x = d.jac[0].get(i, 0);
+                    let t_y = d.jac[1].get(i, 0);
+                    let t_xx = d.hess[0].get(i, 0);
+                    let t_yy = d.hess[1].get(i, 0);
+                    r.set(
+                        i,
+                        0,
+                        k * (t_xx + t_yy) + kx * t_x + ky * t_y + (cfg.source)(p),
+                    );
+                }
+            }
+            Pde::Helmholtz(cfg) => {
+                let k2 = cfg.wavenumber * cfg.wavenumber;
+                for i in 0..b {
+                    let u = d.values.get(i, 0);
+                    let u_xx = d.hess[0].get(i, 0);
+                    let u_yy = d.hess[1].get(i, 0);
+                    r.set(i, 0, u_xx + u_yy + k2 * u - (cfg.forcing)(x.row(i)));
+                }
+            }
+        }
+        r
+    }
+
+    /// Accumulates `factors[b][k] · ∂r_k/∂q` into `adj` for every network
+    /// quantity `q` the residuals read.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn accumulate_adjoints(
+        &self,
+        x: &Matrix,
+        d: &BatchDerivatives,
+        factors: &Matrix,
+        adj: &mut BatchDerivatives,
+    ) {
+        let b = d.values.rows();
+        assert_eq!(factors.rows(), b, "factor rows");
+        assert_eq!(factors.cols(), self.num_residuals(), "factor cols");
+        match self {
+            Pde::NavierStokes(cfg) => {
+                for i in 0..b {
+                    let q = NsQuantities::read(cfg, x, d, i);
+                    q.accumulate(cfg, factors.row(i), i, adj);
+                }
+            }
+            Pde::Poisson(_) => {
+                for i in 0..b {
+                    let f = factors.get(i, 0);
+                    adj.hess[0].add_at(i, 0, f);
+                    adj.hess[1].add_at(i, 0, f);
+                }
+            }
+            Pde::Burgers(cfg) => {
+                for i in 0..b {
+                    let f = factors.get(i, 0);
+                    let u = d.values.get(i, 0);
+                    let u_x = d.jac[0].get(i, 0);
+                    adj.values.add_at(i, 0, f * u_x);
+                    adj.jac[0].add_at(i, 0, f * u);
+                    adj.jac[1].add_at(i, 0, f);
+                    adj.hess[0].add_at(i, 0, -f * cfg.nu);
+                }
+            }
+            Pde::Heat(cfg) => {
+                for i in 0..b {
+                    let f = factors.get(i, 0);
+                    let p = x.row(i);
+                    let k = (cfg.conductivity)(p);
+                    let [kx, ky] = (cfg.conductivity_grad)(p);
+                    adj.jac[0].add_at(i, 0, f * kx);
+                    adj.jac[1].add_at(i, 0, f * ky);
+                    adj.hess[0].add_at(i, 0, f * k);
+                    adj.hess[1].add_at(i, 0, f * k);
+                }
+            }
+            Pde::Helmholtz(cfg) => {
+                let k2 = cfg.wavenumber * cfg.wavenumber;
+                for i in 0..b {
+                    let f = factors.get(i, 0);
+                    adj.values.add_at(i, 0, f * k2);
+                    adj.hess[0].add_at(i, 0, f);
+                    adj.hess[1].add_at(i, 0, f);
+                }
+            }
+        }
+    }
+}
+
+/// All per-sample quantities the NS residuals read, gathered once.
+#[derive(Debug, Clone, Copy)]
+struct NsQuantities {
+    u: f64,
+    v: f64,
+    u_x: f64,
+    u_y: f64,
+    v_x: f64,
+    v_y: f64,
+    p_x: f64,
+    p_y: f64,
+    u_xx: f64,
+    u_yy: f64,
+    v_xx: f64,
+    v_yy: f64,
+    nu_val: f64,
+    nu_x: f64,
+    nu_y: f64,
+    /// Mixing length at this sample (zero-eq only).
+    l_mix: f64,
+}
+
+impl NsQuantities {
+    fn read(cfg: &NsConfig, x: &Matrix, d: &BatchDerivatives, i: usize) -> Self {
+        let turbulent = cfg.zero_eq.is_some();
+        let l_mix = cfg.zero_eq.as_ref().map_or(0.0, |z| {
+            ((z.wall_distance)(x.row(i)) * z.karman).min(z.mixing_cap)
+        });
+        NsQuantities {
+            u: d.values.get(i, 0),
+            v: d.values.get(i, 1),
+            u_x: d.jac[0].get(i, 0),
+            u_y: d.jac[1].get(i, 0),
+            v_x: d.jac[0].get(i, 1),
+            v_y: d.jac[1].get(i, 1),
+            p_x: d.jac[0].get(i, 2),
+            p_y: d.jac[1].get(i, 2),
+            u_xx: d.hess[0].get(i, 0),
+            u_yy: d.hess[1].get(i, 0),
+            v_xx: d.hess[0].get(i, 1),
+            v_yy: d.hess[1].get(i, 1),
+            nu_val: if turbulent { d.values.get(i, 3) } else { cfg.nu },
+            nu_x: if turbulent { d.jac[0].get(i, 3) } else { 0.0 },
+            nu_y: if turbulent { d.jac[1].get(i, 3) } else { 0.0 },
+            l_mix,
+        }
+    }
+
+    fn strain(&self, cfg: &NsConfig) -> (f64, f64) {
+        let eps = cfg.zero_eq.as_ref().map_or(1e-10, |z| z.sqrt_eps);
+        let g = 2.0 * self.u_x * self.u_x
+            + 2.0 * self.v_y * self.v_y
+            + (self.u_y + self.v_x) * (self.u_y + self.v_x);
+        ((g + eps).sqrt(), g)
+    }
+
+    fn residuals(&self, cfg: &NsConfig) -> (f64, f64, f64, f64) {
+        let rc = self.u_x + self.v_y;
+        let ru = self.u * self.u_x + self.v * self.u_y + self.p_x
+            - self.nu_val * (self.u_xx + self.u_yy)
+            - self.nu_x * self.u_x
+            - self.nu_y * self.u_y;
+        let rv = self.u * self.v_x + self.v * self.v_y + self.p_y
+            - self.nu_val * (self.v_xx + self.v_yy)
+            - self.nu_x * self.v_x
+            - self.nu_y * self.v_y;
+        let rnu = if cfg.zero_eq.is_some() {
+            let (s, _) = self.strain(cfg);
+            self.nu_val - cfg.nu - self.l_mix * self.l_mix * s
+        } else {
+            0.0
+        };
+        (rc, ru, rv, rnu)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn accumulate(&self, cfg: &NsConfig, f: &[f64], i: usize, adj: &mut BatchDerivatives) {
+        let turbulent = cfg.zero_eq.is_some();
+        let (fc, fu, fv) = (f[0], f[1], f[2]);
+        // Continuity: r = u_x + v_y.
+        adj.jac[0].add_at(i, 0, fc);
+        adj.jac[1].add_at(i, 1, fc);
+        // Momentum x.
+        adj.values.add_at(i, 0, fu * self.u_x);
+        adj.values.add_at(i, 1, fu * self.u_y);
+        adj.jac[0].add_at(i, 0, fu * (self.u - self.nu_x));
+        adj.jac[1].add_at(i, 0, fu * (self.v - self.nu_y));
+        adj.jac[0].add_at(i, 2, fu);
+        adj.hess[0].add_at(i, 0, -fu * self.nu_val);
+        adj.hess[1].add_at(i, 0, -fu * self.nu_val);
+        // Momentum y.
+        adj.values.add_at(i, 0, fv * self.v_x);
+        adj.values.add_at(i, 1, fv * self.v_y);
+        adj.jac[0].add_at(i, 1, fv * (self.u - self.nu_x));
+        adj.jac[1].add_at(i, 1, fv * (self.v - self.nu_y));
+        adj.jac[1].add_at(i, 2, fv);
+        adj.hess[0].add_at(i, 1, -fv * self.nu_val);
+        adj.hess[1].add_at(i, 1, -fv * self.nu_val);
+        if turbulent {
+            // ν-dependence of the momentum equations.
+            adj.values.add_at(i, 3, -fu * (self.u_xx + self.u_yy));
+            adj.jac[0].add_at(i, 3, -fu * self.u_x);
+            adj.jac[1].add_at(i, 3, -fu * self.u_y);
+            adj.values.add_at(i, 3, -fv * (self.v_xx + self.v_yy));
+            adj.jac[0].add_at(i, 3, -fv * self.v_x);
+            adj.jac[1].add_at(i, 3, -fv * self.v_y);
+            // Zero-equation residual: r = ν − ν_mol − l²√(G+ε).
+            let fnu = f[3];
+            let (s, _g) = self.strain(cfg);
+            let l2 = self.l_mix * self.l_mix;
+            adj.values.add_at(i, 3, fnu);
+            adj.jac[0].add_at(i, 0, -fnu * l2 * 2.0 * self.u_x / s);
+            adj.jac[1].add_at(i, 1, -fnu * l2 * 2.0 * self.v_y / s);
+            let cross = -fnu * l2 * (self.u_y + self.v_x) / s;
+            adj.jac[1].add_at(i, 0, cross);
+            adj.jac[0].add_at(i, 1, cross);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_autodiff::dual::Dual2;
+    use crate::geometry::{AnnulusChannel, Cavity};
+
+    /// Builds BatchDerivatives for an analytic field (u,v,p[,nu]) via
+    /// second-order duals — an NN-free way to exercise the residuals.
+    fn derivs_of(
+        fields: &[&dyn Fn(Dual2, Dual2) -> Dual2],
+        pts: &[(f64, f64)],
+    ) -> BatchDerivatives {
+        let b = pts.len();
+        let o = fields.len();
+        let mut out = BatchDerivatives {
+            values: Matrix::zeros(b, o),
+            jac: vec![Matrix::zeros(b, o), Matrix::zeros(b, o)],
+            hess: vec![Matrix::zeros(b, o), Matrix::zeros(b, o)],
+        };
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            for (k, f) in fields.iter().enumerate() {
+                let fx = f(Dual2::variable(x), Dual2::constant(y));
+                let fy = f(Dual2::constant(x), Dual2::variable(y));
+                out.values.set(i, k, fx.v);
+                out.jac[0].set(i, k, fx.d);
+                out.jac[1].set(i, k, fy.d);
+                out.hess[0].set(i, k, fx.dd);
+                out.hess[1].set(i, k, fy.dd);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn poisson_residual_zero_on_harmonic() {
+        fn zero(_: &[f64]) -> f64 {
+            0.0
+        }
+        let pde = Pde::Poisson(PoissonConfig { forcing: zero });
+        let u = |x: Dual2, y: Dual2| x * x - y * y;
+        let pts = [(0.3, 0.7), (-1.0, 0.2)];
+        let d = derivs_of(&[&u], &pts);
+        let x = Matrix::from_rows(&[&[0.3, 0.7], &[-1.0, 0.2]]);
+        let r = pde.residuals(&x, &d);
+        for i in 0..2 {
+            assert!(r.get(i, 0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn poisson_manufactured_forcing() {
+        // u = sin(πx)sin(πy) solves −∇²u = 2π² u.
+        fn f(p: &[f64]) -> f64 {
+            let pi = std::f64::consts::PI;
+            2.0 * pi * pi * (pi * p[0]).sin() * (pi * p[1]).sin()
+        }
+        let pde = Pde::Poisson(PoissonConfig { forcing: f });
+        let pi = std::f64::consts::PI;
+        let u = move |x: Dual2, y: Dual2| (x * pi).sin() * (y * pi).sin();
+        let pts = [(0.25, 0.6), (0.8, 0.1)];
+        let d = derivs_of(&[&u], &pts);
+        let x = Matrix::from_rows(&[&[0.25, 0.6], &[0.8, 0.1]]);
+        let r = pde.residuals(&x, &d);
+        for i in 0..2 {
+            assert!(r.get(i, 0).abs() < 1e-10, "residual {}", r.get(i, 0));
+        }
+    }
+
+    #[test]
+    fn ns_residuals_vanish_on_exact_annulus_flow() {
+        let ring = AnnulusChannel::default();
+        let c = ring.inlet_velocity * 0.9; // r_i = 0.9
+        let u = move |x: Dual2, y: Dual2| {
+            let r2 = x * x + y * y;
+            // C x / r² — implement division via multiplication by r^{-2}
+            // using the identity a/b = a·b^{-1}; Dual2 has no div, so use
+            // powi on a reciprocal trick: r2.powi(-1).
+            x * r2.powi(-1) * c
+        };
+        let v = move |x: Dual2, y: Dual2| y * (x * x + y * y).powi(-1) * c;
+        let p = move |x: Dual2, y: Dual2| (x * x + y * y).powi(-1) * (-c * c / 2.0);
+        let pde = Pde::NavierStokes(NsConfig {
+            nu: 0.1,
+            zero_eq: None,
+        });
+        let pts = [(1.2, 0.3), (0.9, -1.0), (-1.5, 0.5)];
+        let d = derivs_of(&[&u, &v, &p], &pts);
+        let x = Matrix::from_rows(&[&[1.2, 0.3], &[0.9, -1.0], &[-1.5, 0.5]]);
+        let r = pde.residuals(&x, &d);
+        for i in 0..3 {
+            for k in 0..3 {
+                assert!(
+                    r.get(i, k).abs() < 1e-9,
+                    "residual[{i}][{k}] = {}",
+                    r.get(i, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_eq_residual_consistent() {
+        // Constant shear u = y, v = 0: G = 1, so ν must equal
+        // ν_mol + l². Use a constant ν output field with that value.
+        let zcfg = ZeroEqConfig {
+            karman: 0.419,
+            mixing_cap: 0.045,
+            wall_distance: Cavity::wall_distance,
+            sqrt_eps: 0.0,
+        };
+        let nu_mol = 0.01;
+        let pde = Pde::NavierStokes(NsConfig {
+            nu: nu_mol,
+            zero_eq: Some(zcfg),
+        });
+        let pt = (0.5, 0.9); // wall distance 0.1 ⇒ l = min(0.0419, 0.045)
+        let l = (0.1f64 * 0.419).min(0.045);
+        let nu_tot = nu_mol + l * l; // since √G = 1
+        let u = |_x: Dual2, y: Dual2| y;
+        let v = |_x: Dual2, _y: Dual2| Dual2::constant(0.0);
+        let p = |_x: Dual2, _y: Dual2| Dual2::constant(0.0);
+        let nu = move |_x: Dual2, _y: Dual2| Dual2::constant(nu_tot);
+        let d = derivs_of(&[&u, &v, &p, &nu], &[pt]);
+        let x = Matrix::from_rows(&[&[pt.0, pt.1]]);
+        let r = pde.residuals(&x, &d);
+        assert!(r.get(0, 3).abs() < 1e-12, "zero-eq residual {}", r.get(0, 3));
+    }
+
+    /// Finite-difference check of every adjoint entry: perturb each network
+    /// quantity and compare dL/dq with the accumulated adjoint, where
+    /// L = Σ_k w_k r_k² at a single sample.
+    #[test]
+    fn adjoints_match_finite_difference() {
+        let zcfg = ZeroEqConfig {
+            karman: 0.419,
+            mixing_cap: 0.045,
+            wall_distance: Cavity::wall_distance,
+            sqrt_eps: 1e-6,
+        };
+        for pde in [
+            Pde::NavierStokes(NsConfig {
+                nu: 0.02,
+                zero_eq: None,
+            }),
+            Pde::NavierStokes(NsConfig {
+                nu: 0.02,
+                zero_eq: Some(zcfg),
+            }),
+            Pde::Poisson(PoissonConfig {
+                forcing: |p: &[f64]| p[0] + p[1],
+            }),
+            Pde::Burgers(BurgersConfig { nu: 0.01 }),
+            Pde::Heat(HeatConfig {
+                conductivity: |p: &[f64]| 1.0 + 0.5 * p[0],
+                conductivity_grad: |_p: &[f64]| [0.5, 0.0],
+                source: |p: &[f64]| p[0] * p[1],
+            }),
+            Pde::Helmholtz(HelmholtzConfig {
+                wavenumber: 2.0,
+                forcing: |p: &[f64]| (p[0] + p[1]).sin(),
+            }),
+        ] {
+            let o = pde.output_dim();
+            let nr = pde.num_residuals();
+            let x = Matrix::from_rows(&[&[0.4, 0.7]]);
+            let weights: Vec<f64> = (0..nr).map(|k| 1.0 + 0.5 * k as f64).collect();
+            // Arbitrary quantity values.
+            let mut seed = 0.3;
+            let mut next = || {
+                seed = (seed * 7.77 + 0.1) % 1.3;
+                seed - 0.5
+            };
+            let mut d = BatchDerivatives {
+                values: Matrix::zeros(1, o),
+                jac: vec![Matrix::zeros(1, o), Matrix::zeros(1, o)],
+                hess: vec![Matrix::zeros(1, o), Matrix::zeros(1, o)],
+            };
+            for k in 0..o {
+                d.values.set(0, k, next());
+                d.jac[0].set(0, k, next());
+                d.jac[1].set(0, k, next());
+                d.hess[0].set(0, k, next());
+                d.hess[1].set(0, k, next());
+            }
+            let loss = |d: &BatchDerivatives| -> f64 {
+                let r = pde.residuals(&x, d);
+                (0..nr).map(|k| weights[k] * r.get(0, k).powi(2)).sum()
+            };
+            // Adjoints via accumulate.
+            let r = pde.residuals(&x, &d);
+            let mut factors = Matrix::zeros(1, nr);
+            for k in 0..nr {
+                factors.set(0, k, 2.0 * weights[k] * r.get(0, k));
+            }
+            let mut adj = BatchDerivatives::zeros_like(&d);
+            pde.accumulate_adjoints(&x, &d, &factors, &mut adj);
+            // Compare against FD for every quantity.
+            let h = 1e-6;
+            let check = |get: &dyn Fn(&BatchDerivatives) -> f64,
+                             set: &dyn Fn(&mut BatchDerivatives, f64),
+                             adj_v: f64,
+                             tag: &str| {
+                let orig = get(&d);
+                let mut dp = d.clone();
+                set(&mut dp, orig + h);
+                let lp = loss(&dp);
+                set(&mut dp, orig - h);
+                let lm = loss(&dp);
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (fd - adj_v).abs() < 1e-5 * (1.0 + fd.abs()),
+                    "{tag}: adj {adj_v} vs fd {fd}"
+                );
+            };
+            for k in 0..o {
+                check(
+                    &|d| d.values.get(0, k),
+                    &|d, v| d.values.set(0, k, v),
+                    adj.values.get(0, k),
+                    &format!("val[{k}]"),
+                );
+                for dim in 0..2 {
+                    check(
+                        &|d| d.jac[dim].get(0, k),
+                        &|d, v| d.jac[dim].set(0, k, v),
+                        adj.jac[dim].get(0, k),
+                        &format!("jac{dim}[{k}]"),
+                    );
+                    check(
+                        &|d| d.hess[dim].get(0, k),
+                        &|d, v| d.hess[dim].set(0, k, v),
+                        adj.hess[dim].get(0, k),
+                        &format!("hess{dim}[{k}]"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn burgers_residual_on_travelling_wave() {
+        // u(x, t) = tanh((x − t)/(2ν))·(−1) form; simpler: the stationary
+        // viscous shock u = −tanh(x/(2ν)) solves Burgers with u_t = 0:
+        // u u_x = ν u_xx.
+        let nu = 0.1;
+        let pde = Pde::Burgers(BurgersConfig { nu });
+        let u = move |x: Dual2, _t: Dual2| -(x * (1.0 / (2.0 * nu))).tanh();
+        let pts = [(0.2, 0.5), (-0.3, 1.0), (0.0, 0.1)];
+        // Need t-derivatives too: derivs_of differentiates dim 0 = x and
+        // dim 1 = t separately, which matches Burgers' diff_dims.
+        let d = derivs_of(&[&u], &pts);
+        let x = Matrix::from_rows(&[&[0.2, 0.5], &[-0.3, 1.0], &[0.0, 0.1]]);
+        let r = pde.residuals(&x, &d);
+        for i in 0..3 {
+            assert!(r.get(i, 0).abs() < 1e-9, "residual {}", r.get(i, 0));
+        }
+    }
+
+    #[test]
+    fn heat_residual_with_uniform_conductivity_reduces_to_poisson() {
+        let pde = Pde::Heat(HeatConfig {
+            conductivity: |_| 2.0,
+            conductivity_grad: |_| [0.0, 0.0],
+            source: |_| 0.0,
+        });
+        // Harmonic T ⇒ residual 0.
+        let t_field = |x: Dual2, y: Dual2| x * y;
+        let d = derivs_of(&[&t_field], &[(0.4, 0.9)]);
+        let x = Matrix::from_rows(&[&[0.4, 0.9]]);
+        let r = pde.residuals(&x, &d);
+        assert!(r.get(0, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn helmholtz_residual_on_plane_wave() {
+        // u = sin(kx) solves ∇²u + k²u = 0.
+        let k = 3.0;
+        let pde = Pde::Helmholtz(HelmholtzConfig {
+            wavenumber: k,
+            forcing: |_| 0.0,
+        });
+        let u = move |x: Dual2, _y: Dual2| (x * k).sin();
+        let d = derivs_of(&[&u], &[(0.3, 0.8), (1.2, -0.5)]);
+        let x = Matrix::from_rows(&[&[0.3, 0.8], &[1.2, -0.5]]);
+        let r = pde.residuals(&x, &d);
+        for i in 0..2 {
+            assert!(r.get(i, 0).abs() < 1e-9, "residual {}", r.get(i, 0));
+        }
+    }
+
+    #[test]
+    fn output_dims_and_names() {
+        let lam = Pde::NavierStokes(NsConfig {
+            nu: 0.1,
+            zero_eq: None,
+        });
+        assert_eq!(lam.output_dim(), 3);
+        assert_eq!(lam.num_residuals(), 3);
+        assert_eq!(lam.residual_names().len(), 3);
+        let pois = Pde::Poisson(PoissonConfig {
+            forcing: |_| 0.0,
+        });
+        assert_eq!(pois.output_dim(), 1);
+        assert_eq!(pois.diff_dims(), vec![0, 1]);
+    }
+}

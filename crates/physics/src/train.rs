@@ -1,0 +1,433 @@
+//! The training loop and the sampler interface.
+//!
+//! The trainer is deliberately sampler-agnostic: every iteration it asks a
+//! [`Sampler`] for the interior mini-batch indices and offers it a
+//! [`Probe`] through which the sampler may (on its own schedule, e.g.
+//! every `τ_e` iterations) evaluate per-sample losses or network outputs
+//! on subsets of the dataset. The uniform / MIS / SGM-PINN samplers in
+//! `sgm-core` all implement this trait, so the experiment harness compares
+//! them under identical training mechanics — exactly the paper's setup on
+//! Modulus.
+
+use crate::problem::{Problem, TrainSet};
+use crate::validate::ValidationSet;
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::mlp::Mlp;
+use sgm_nn::optimizer::{Adam, AdamConfig};
+use std::time::Instant;
+
+/// Read-only view the trainer lends to samplers so they can score samples.
+#[derive(Debug)]
+pub struct Probe<'a> {
+    /// Current network.
+    pub net: &'a Mlp,
+    /// The problem (for loss evaluation).
+    pub problem: &'a Problem,
+    /// The full training set.
+    pub data: &'a TrainSet,
+}
+
+impl Probe<'_> {
+    /// Per-sample interior losses at the given indices (paper: the
+    /// `r × N` loss calculations every `τ_e` iterations).
+    pub fn sample_losses(&self, idx: &[usize]) -> Vec<f64> {
+        self.problem.interior_sample_losses(self.net, self.data, idx)
+    }
+
+    /// Network outputs at the given interior indices (the ISR stage
+    /// builds its output graph from these).
+    pub fn outputs(&self, idx: &[usize]) -> Matrix {
+        self.problem.interior_outputs(self.net, self.data, idx)
+    }
+
+    /// Input rows at the given interior indices.
+    pub fn inputs(&self, idx: &[usize]) -> Matrix {
+        Problem::gather(&self.data.interior, idx)
+    }
+
+    /// Size of the interior dataset.
+    pub fn num_interior(&self) -> usize {
+        self.data.num_interior()
+    }
+}
+
+/// Chooses interior mini-batches; may maintain internal importance state.
+pub trait Sampler {
+    /// Short display name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Indices of the next interior mini-batch.
+    fn next_batch(&mut self, batch_size: usize, rng: &mut Rng64) -> Vec<usize>;
+
+    /// Called once per iteration *before* the batch is drawn; samplers
+    /// refresh importance state here on their own schedule.
+    fn refresh(&mut self, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
+        let _ = (iter, probe, rng);
+    }
+}
+
+/// Trivial uniform sampler (the `U_β` baselines).
+#[derive(Debug, Clone, Default)]
+pub struct UniformSampler {
+    n: usize,
+}
+
+impl UniformSampler {
+    /// Uniform sampler over `n` interior points.
+    pub fn new(n: usize) -> Self {
+        UniformSampler { n }
+    }
+}
+
+impl Sampler for UniformSampler {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+    fn next_batch(&mut self, batch_size: usize, rng: &mut Rng64) -> Vec<usize> {
+        (0..batch_size).map(|_| rng.below(self.n)).collect()
+    }
+}
+
+/// Training-loop options.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// SGD iterations.
+    pub iterations: usize,
+    /// Interior mini-batch size (the paper's β).
+    pub batch_interior: usize,
+    /// Boundary mini-batch size.
+    pub batch_boundary: usize,
+    /// Optimiser configuration.
+    pub adam: AdamConfig,
+    /// RNG seed for batching.
+    pub seed: u64,
+    /// Record loss/validation every this many iterations.
+    pub record_every: usize,
+    /// Optional wall-clock budget in seconds; training stops at the first
+    /// iteration boundary past it (how the experiment harness gives every
+    /// sampler the same time budget, as in the paper's wall-time plots).
+    pub max_seconds: Option<f64>,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            iterations: 1000,
+            batch_interior: 128,
+            batch_boundary: 64,
+            adam: AdamConfig::default(),
+            seed: 7,
+            record_every: 100,
+            max_seconds: None,
+        }
+    }
+}
+
+/// One history record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Wall-clock seconds since training started.
+    pub seconds: f64,
+    /// Total training loss (interior + boundary) at this iteration's batch.
+    pub train_loss: f64,
+    /// Validation errors per validated output (averaged over validation
+    /// sets), empty when no validation set was provided.
+    pub val_errors: Vec<f64>,
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Periodic records, oldest first.
+    pub history: Vec<Record>,
+    /// Wall-clock duration of the whole run in seconds.
+    pub total_seconds: f64,
+    /// Sampler name used.
+    pub sampler: String,
+}
+
+impl TrainResult {
+    /// Minimum validation error and the wall-clock time it was reached,
+    /// for validated output column `col`.
+    pub fn min_error(&self, col: usize) -> Option<(f64, f64)> {
+        self.history
+            .iter()
+            .filter(|r| col < r.val_errors.len())
+            .map(|r| (r.val_errors[col], r.seconds))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+    }
+
+    /// First wall-clock time at which the error for `col` dropped to
+    /// `target` or below (the paper's `T(M_β_j)` entries).
+    pub fn time_to_error(&self, col: usize, target: f64) -> Option<f64> {
+        self.history
+            .iter()
+            .find(|r| col < r.val_errors.len() && r.val_errors[col] <= target)
+            .map(|r| r.seconds)
+    }
+}
+
+/// Runs training with the given sampler.
+#[derive(Debug)]
+pub struct Trainer<'a> {
+    /// The network being trained.
+    pub net: &'a mut Mlp,
+    /// Problem definition.
+    pub problem: &'a Problem,
+    /// Collocation data.
+    pub data: &'a TrainSet,
+}
+
+impl Trainer<'_> {
+    /// Runs the loop; validation errors are averaged over `validation`
+    /// sets at every recording point.
+    ///
+    /// # Panics
+    /// Panics if batch sizes are zero or exceed the dataset sizes.
+    pub fn run(
+        &mut self,
+        sampler: &mut dyn Sampler,
+        validation: &[ValidationSet],
+        opts: &TrainOptions,
+    ) -> TrainResult {
+        assert!(opts.batch_interior > 0, "batch_interior must be positive");
+        assert!(
+            opts.batch_interior <= self.data.num_interior(),
+            "batch larger than dataset"
+        );
+        let mut rng = Rng64::new(opts.seed);
+        let mut adam = Adam::new(self.net, opts.adam.clone());
+        let n_boundary = self.data.num_boundary();
+        let mut history = Vec::new();
+        let start = Instant::now();
+        for iter in 0..opts.iterations {
+            if let Some(budget) = opts.max_seconds {
+                if start.elapsed().as_secs_f64() >= budget {
+                    break;
+                }
+            }
+            {
+                let probe = Probe {
+                    net: self.net,
+                    problem: self.problem,
+                    data: self.data,
+                };
+                sampler.refresh(iter, &probe, &mut rng);
+            }
+            let idx = sampler.next_batch(opts.batch_interior, &mut rng);
+            let x = Problem::gather(&self.data.interior, &idx);
+            let (li, mut grads, _per) = self.problem.interior_loss_and_grads(self.net, &x);
+            let mut total = li;
+            if opts.batch_boundary > 0 && n_boundary > 0 {
+                let bidx: Vec<usize> = (0..opts.batch_boundary.min(n_boundary))
+                    .map(|_| rng.below(n_boundary))
+                    .collect();
+                let (lb, gb) = self.problem.boundary_loss_and_grads(self.net, self.data, &bidx);
+                grads.add_assign(&gb);
+                total += lb;
+            }
+            adam.step(self.net, &grads);
+
+            if iter % opts.record_every == 0 || iter + 1 == opts.iterations {
+                let val_errors = if validation.is_empty() {
+                    Vec::new()
+                } else {
+                    ValidationSet::average_errors(validation, self.net)
+                };
+                history.push(Record {
+                    iteration: iter,
+                    seconds: start.elapsed().as_secs_f64(),
+                    train_loss: total,
+                    val_errors,
+                });
+            }
+        }
+        TrainResult {
+            history,
+            total_seconds: start.elapsed().as_secs_f64(),
+            sampler: sampler.name().to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Cavity, FillStrategy};
+    use crate::pde::{Pde, PoissonConfig};
+    use sgm_nn::activation::Activation;
+    use sgm_nn::mlp::MlpConfig;
+    use sgm_nn::optimizer::LrSchedule;
+
+    fn poisson_setup(seed: u64) -> (Mlp, Problem, TrainSet, ValidationSet) {
+        let pde = Pde::Poisson(PoissonConfig {
+            forcing: |p: &[f64]| {
+                let pi = std::f64::consts::PI;
+                2.0 * pi * pi * (pi * p[0]).sin() * (pi * p[1]).sin()
+            },
+        });
+        let problem = Problem::new(pde);
+        let cav = Cavity::default();
+        let mut rng = Rng64::new(seed);
+        let interior = cav.sample_interior(512, FillStrategy::Halton, &mut rng);
+        // Dirichlet u = 0 on all walls.
+        let n_b = 64;
+        let mut bpts = Vec::new();
+        let mut tgt = Matrix::zeros(n_b, 1);
+        for i in 0..n_b {
+            let t = rng.uniform();
+            let (x, y) = match i % 4 {
+                0 => (t, 0.0),
+                1 => (t, 1.0),
+                2 => (0.0, t),
+                _ => (1.0, t),
+            };
+            bpts.push(x);
+            bpts.push(y);
+            tgt.set(i, 0, 0.0);
+        }
+        let data = TrainSet {
+            interior,
+            boundary: sgm_graph::points::PointCloud::from_flat(2, bpts),
+            boundary_targets: tgt,
+        };
+        // Validation grid with exact solution.
+        let g = 12;
+        let mut pts = Matrix::zeros(g * g, 2);
+        let mut targets = Matrix::zeros(g * g, 1);
+        let pi = std::f64::consts::PI;
+        for i in 0..g {
+            for j in 0..g {
+                let (x, y) = ((i as f64 + 0.5) / g as f64, (j as f64 + 0.5) / g as f64);
+                pts.set(i * g + j, 0, x);
+                pts.set(i * g + j, 1, y);
+                targets.set(i * g + j, 0, (pi * x).sin() * (pi * y).sin());
+            }
+        }
+        let val = ValidationSet {
+            points: pts,
+            targets,
+            output_indices: vec![0],
+            names: vec!["u".into()],
+        };
+        let cfg = MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 24,
+            hidden_layers: 2,
+            activation: Activation::Tanh,
+            fourier: None,
+        };
+        let mut nrng = Rng64::new(seed + 1);
+        (Mlp::new(&cfg, &mut nrng), problem, data, val)
+    }
+
+    #[test]
+    fn training_reduces_validation_error() {
+        let (mut net, problem, data, val) = poisson_setup(11);
+        let mut sampler = UniformSampler::new(data.num_interior());
+        let opts = TrainOptions {
+            iterations: 800,
+            batch_interior: 64,
+            batch_boundary: 32,
+            adam: AdamConfig {
+                lr: 5e-3,
+                schedule: LrSchedule::Constant,
+                ..AdamConfig::default()
+            },
+            seed: 3,
+            record_every: 100,
+            max_seconds: None,
+        };
+        let result = {
+            let mut tr = Trainer {
+                net: &mut net,
+                problem: &problem,
+                data: &data,
+            };
+            tr.run(&mut sampler, std::slice::from_ref(&val), &opts)
+        };
+        let first = result.history.first().unwrap().val_errors[0];
+        let (best, _t) = result.min_error(0).unwrap();
+        assert!(
+            best < 0.5 * first,
+            "validation error did not improve: {first} -> {best}"
+        );
+        assert_eq!(result.sampler, "uniform");
+    }
+
+    #[test]
+    fn history_timestamps_monotone() {
+        let (mut net, problem, data, val) = poisson_setup(12);
+        let mut sampler = UniformSampler::new(data.num_interior());
+        let opts = TrainOptions {
+            iterations: 50,
+            batch_interior: 16,
+            batch_boundary: 8,
+            record_every: 10,
+            ..TrainOptions::default()
+        };
+        let result = {
+            let mut tr = Trainer {
+                net: &mut net,
+                problem: &problem,
+                data: &data,
+            };
+            tr.run(&mut sampler, std::slice::from_ref(&val), &opts)
+        };
+        for w in result.history.windows(2) {
+            assert!(w[1].seconds >= w[0].seconds);
+            assert!(w[1].iteration > w[0].iteration);
+        }
+        assert!(result.total_seconds >= result.history.last().unwrap().seconds);
+    }
+
+    #[test]
+    fn time_to_error_finds_first_crossing() {
+        let result = TrainResult {
+            history: vec![
+                Record {
+                    iteration: 0,
+                    seconds: 1.0,
+                    train_loss: 1.0,
+                    val_errors: vec![0.5],
+                },
+                Record {
+                    iteration: 10,
+                    seconds: 2.0,
+                    train_loss: 0.5,
+                    val_errors: vec![0.2],
+                },
+                Record {
+                    iteration: 20,
+                    seconds: 3.0,
+                    train_loss: 0.4,
+                    val_errors: vec![0.25],
+                },
+            ],
+            total_seconds: 3.0,
+            sampler: "test".into(),
+        };
+        assert_eq!(result.time_to_error(0, 0.2), Some(2.0));
+        assert_eq!(result.time_to_error(0, 0.1), None);
+        let (best, at) = result.min_error(0).unwrap();
+        assert_eq!((best, at), (0.2, 2.0));
+    }
+
+    #[test]
+    fn uniform_sampler_covers_dataset() {
+        let mut s = UniformSampler::new(20);
+        let mut rng = Rng64::new(1);
+        let mut seen = vec![false; 20];
+        for _ in 0..50 {
+            for i in s.next_batch(10, &mut rng) {
+                assert!(i < 20);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

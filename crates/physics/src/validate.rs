@@ -1,0 +1,145 @@
+//! Validation against reference solution fields.
+//!
+//! The paper reports relative L2 "validation errors" of each output
+//! (`u, v, ν` for LDC; `u, v, p` for the annular ring) against OpenFOAM
+//! fields. Here the reference comes from `sgm-cfd` (FDM solve or exact
+//! solution) but the metric is identical.
+
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::stats::relative_l2;
+use sgm_nn::mlp::Mlp;
+
+/// A set of reference points and target fields to validate against.
+#[derive(Debug, Clone)]
+pub struct ValidationSet {
+    /// Evaluation points, `N × input_dim`.
+    pub points: Matrix,
+    /// Reference values, `N × num_targets`.
+    pub targets: Matrix,
+    /// Which network output each target column corresponds to.
+    pub output_indices: Vec<usize>,
+    /// Display names aligned with `output_indices` (e.g. `["u","v","nu"]`).
+    pub names: Vec<String>,
+}
+
+impl ValidationSet {
+    /// Relative L2 error of each validated output.
+    ///
+    /// # Panics
+    /// Panics if the network output dimension is smaller than the largest
+    /// validated index.
+    pub fn errors(&self, net: &Mlp) -> Vec<f64> {
+        let pred = net.forward(&self.points);
+        self.output_indices
+            .iter()
+            .enumerate()
+            .map(|(col, &oi)| {
+                assert!(oi < pred.cols(), "output index {oi} out of range");
+                let n = self.points.rows();
+                let a: Vec<f64> = (0..n).map(|r| pred.get(r, oi)).collect();
+                let b: Vec<f64> = (0..n).map(|r| self.targets.get(r, col)).collect();
+                relative_l2(&a, &b)
+            })
+            .collect()
+    }
+
+    /// Number of validation points.
+    pub fn len(&self) -> usize {
+        self.points.rows()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.rows() == 0
+    }
+
+    /// Merges several validation sets by averaging their errors — the
+    /// paper's AR table averages validation errors over
+    /// `r_i ∈ {1.0, 0.875, 0.75}`.
+    pub fn average_errors(sets: &[ValidationSet], net: &Mlp) -> Vec<f64> {
+        assert!(!sets.is_empty(), "no validation sets");
+        let per: Vec<Vec<f64>> = sets.iter().map(|s| s.errors(net)).collect();
+        let k = per[0].len();
+        (0..k)
+            .map(|i| per.iter().map(|e| e[i]).sum::<f64>() / per.len() as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_linalg::rng::Rng64;
+    use sgm_nn::activation::Activation;
+    use sgm_nn::mlp::MlpConfig;
+
+    fn net() -> Mlp {
+        let cfg = MlpConfig {
+            input_dim: 2,
+            output_dim: 2,
+            hidden_width: 6,
+            hidden_layers: 1,
+            activation: Activation::Tanh,
+            fourier: None,
+        };
+        let mut rng = Rng64::new(3);
+        Mlp::new(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn zero_error_when_targets_match_predictions() {
+        let net = net();
+        let pts = Matrix::from_rows(&[&[0.1, 0.2], &[0.5, 0.6], &[0.9, 0.1]]);
+        let pred = net.forward(&pts);
+        let mut targets = Matrix::zeros(3, 2);
+        for r in 0..3 {
+            targets.set(r, 0, pred.get(r, 0));
+            targets.set(r, 1, pred.get(r, 1));
+        }
+        let vs = ValidationSet {
+            points: pts,
+            targets,
+            output_indices: vec![0, 1],
+            names: vec!["u".into(), "v".into()],
+        };
+        for e in vs.errors(&net) {
+            assert!(e < 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_is_relative() {
+        let net = net();
+        let pts = Matrix::from_rows(&[&[0.3, 0.3]]);
+        let pred = net.forward(&pts);
+        // Target = 2 × prediction ⇒ relative error |p − 2p| / |2p| = 0.5.
+        let targets = Matrix::from_rows(&[&[2.0 * pred.get(0, 0)]]);
+        let vs = ValidationSet {
+            points: pts,
+            targets,
+            output_indices: vec![0],
+            names: vec!["u".into()],
+        };
+        let e = vs.errors(&net);
+        assert!((e[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_over_sets() {
+        let net = net();
+        let mk = |scale: f64| {
+            let pts = Matrix::from_rows(&[&[0.3, 0.3]]);
+            let pred = net.forward(&pts);
+            ValidationSet {
+                points: pts,
+                targets: Matrix::from_rows(&[&[scale * pred.get(0, 0)]]),
+                output_indices: vec![0],
+                names: vec!["u".into()],
+            }
+        };
+        // errors: |1-2|/2 = 0.5 and |1-4|/4 = 0.75 ⇒ mean 0.625
+        let sets = [mk(2.0), mk(4.0)];
+        let avg = ValidationSet::average_errors(&sets, &net);
+        assert!((avg[0] - 0.625).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Parameterised annular ring (paper §4.2): one network learns the flow
+//! for every inner radius `r_i ∈ [0.75, 1.1]`, trained with SGM-S
+//! (SGM-PINN + the ISR stability term).
+//!
+//! ```sh
+//! cargo run --release -p sgm-core --example annular_ring_param
+//! ```
+//!
+//! After training, the model is evaluated at three radii it was never
+//! specifically fitted to, demonstrating the amortised "solve a whole
+//! design family once" workflow that motivates parameterised PINNs.
+
+use sgm_cfd::ring::{ring_validation_sets, PAPER_VALIDATION_RADII};
+use sgm_core::{SgmConfig, SgmSampler};
+use sgm_graph::knn::KnnStrategy;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_nn::optimizer::{AdamConfig, LrSchedule};
+use sgm_physics::geometry::{AnnulusChannel, FillStrategy};
+use sgm_physics::pde::{NsConfig, Pde};
+use sgm_physics::problem::{Problem, TrainSet};
+use sgm_physics::train::{TrainOptions, Trainer};
+
+fn main() {
+    let ring = AnnulusChannel::default();
+    let mut problem = Problem::new(Pde::NavierStokes(NsConfig {
+        nu: 0.1,
+        zero_eq: None,
+    }));
+    problem.bc_weight = 10.0;
+
+    let mut rng = Rng64::new(21);
+    let interior = ring.sample_interior(8192, FillStrategy::Halton, &mut rng);
+    let (boundary, boundary_targets) = ring.sample_boundary(512, 3, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary,
+        boundary_targets,
+    };
+    let validation = ring_validation_sets(&ring, &PAPER_VALIDATION_RADII, 8, 24);
+
+    let mut net = Mlp::new(
+        &MlpConfig {
+            input_dim: 3, // (x, y, r_i)
+            output_dim: 3, // (u, v, p)
+            hidden_width: 40,
+            hidden_layers: 3,
+            activation: Activation::SiLu,
+            fourier: None,
+        },
+        &mut Rng64::new(31),
+    );
+    // SGM-S: the PGM is built on the spatial coordinates only (paper
+    // §3.2), while the ISR term senses sensitivity to the full input —
+    // including the design parameter (paper §3.4, §4.2).
+    let mut sampler = SgmSampler::new(
+        &data.interior,
+        SgmConfig {
+            k: 7,
+            knn_strategy: KnnStrategy::Grid,
+            lrd_level: 6,
+            min_clusters: 48,
+            tau_e: 300,
+            tau_g: 2000,
+            use_isr: true,
+            isr_weight: 1.0,
+            spatial_dims: 2,
+            ..SgmConfig::default()
+        },
+    );
+
+    let opts = TrainOptions {
+        iterations: usize::MAX / 2,
+        batch_interior: 128,
+        batch_boundary: 64,
+        adam: AdamConfig {
+            lr: 2e-3,
+            schedule: LrSchedule::Exponential {
+                gamma: 0.9,
+                decay_steps: 2000,
+            },
+            ..AdamConfig::default()
+        },
+        seed: 3,
+        record_every: 100,
+        max_seconds: Some(30.0),
+    };
+    println!("training SGM-S on the parameterised annulus (30s)...");
+    let result = {
+        let mut tr = Trainer {
+            net: &mut net,
+            problem: &problem,
+            data: &data,
+        };
+        tr.run(&mut sampler, &validation, &opts)
+    };
+    let last = result.history.last().unwrap();
+    println!(
+        "finished {} iterations; averaged errors u={:.4} v={:.4} p={:.4}",
+        last.iteration, last.val_errors[0], last.val_errors[1], last.val_errors[2]
+    );
+
+    // Inference across the design family: centreline speed at y = 0.
+    println!("\ninstant design sweep (u at (x, 0) for three radii):");
+    for &r_i in &PAPER_VALIDATION_RADII {
+        print!("  r_i={r_i:<6}");
+        for ix in 0..5 {
+            let x = r_i + (ring.r_outer - r_i) * (ix as f64 + 0.5) / 5.0;
+            let q = sgm_linalg::dense::Matrix::from_rows(&[&[x, 0.0, r_i]]);
+            let out = net.forward(&q);
+            let (u_exact, _, _) = ring.exact_solution(x, 0.0, r_i);
+            print!(" u({x:.2})={:.3}(exact {:.3})", out.get(0, 0), u_exact);
+        }
+        println!();
+    }
+    let stats = sampler.stats();
+    println!(
+        "\nsampler: {} refreshes, {} probes, {:.2}s overhead, {} rebuilds",
+        stats.refreshes, stats.probe_evals, stats.refresh_seconds, stats.rebuilds_applied
+    );
+}

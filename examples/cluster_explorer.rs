@@ -1,0 +1,84 @@
+//! Inspect what the S1/S2 pipeline actually produces: build the PGM over
+//! a collocation cloud, run the LRD decomposition at several levels, and
+//! print cluster statistics plus an ASCII map of the clustering.
+//!
+//! ```sh
+//! cargo run --release -p sgm-core --example cluster_explorer
+//! ```
+
+use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+use sgm_graph::lrd::{decompose, ErSource, LrdConfig};
+use sgm_graph::metrics::{cut_fraction, size_summary};
+use sgm_graph::resistance::ApproxErOptions;
+use sgm_linalg::rng::Rng64;
+use sgm_physics::geometry::{Cavity, FillStrategy};
+
+fn main() {
+    let mut rng = Rng64::new(2024);
+    let cloud = Cavity::default().sample_interior(4000, FillStrategy::Halton, &mut rng);
+    println!("cloud: {} points in 2-D", cloud.len());
+
+    let graph = build_knn_graph(
+        &cloud,
+        &KnnConfig {
+            k: 12,
+            strategy: KnnStrategy::Grid,
+            ..KnnConfig::default()
+        },
+    );
+    println!(
+        "PGM: {} nodes, {} edges, avg degree {:.1}, connected = {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.average_degree(),
+        graph.is_connected()
+    );
+
+    for level in [2usize, 4, 6, 8, 10] {
+        let clustering = decompose(
+            &graph,
+            &LrdConfig {
+                level,
+                er: ErSource::Approx(ApproxErOptions::default()),
+                budget_scale: 1.0,
+                max_cluster_frac: 0.02,
+                min_clusters: 16,
+            },
+        );
+        let (mn, med, mx) = size_summary(&clustering);
+        println!(
+            "L={level:>2}: {:>5} clusters | sizes min/med/max = {mn}/{med}/{mx} | cut fraction = {:.3}",
+            clustering.num_clusters(),
+            cut_fraction(&graph, &clustering)
+        );
+        if level == 8 {
+            // ASCII map: each cell shows (cluster id % 10) of the nearest
+            // sample — neighbouring cells sharing digits = spatially
+            // coherent clusters.
+            println!("\n  cluster map at L=8 (digit = cluster id mod 10):");
+            let grid = 48;
+            for gy in (0..grid / 2).rev() {
+                print!("  ");
+                for gx in 0..grid {
+                    let (x, y) = (
+                        (gx as f64 + 0.5) / grid as f64,
+                        (gy as f64 + 0.5) / (grid / 2) as f64,
+                    );
+                    let mut best = (f64::MAX, 0usize);
+                    for i in 0..cloud.len() {
+                        let p = cloud.point(i);
+                        let d = (p[0] - x).powi(2) + (p[1] - y).powi(2);
+                        if d < best.0 {
+                            best = (d, i);
+                        }
+                    }
+                    let c = clustering.assignment()[best.1] % 10;
+                    print!("{c}");
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+    println!("higher L ⇒ coarser clustering; the cut fraction stays bounded (LRD theorem).");
+}

@@ -1,0 +1,15 @@
+#!/bin/bash
+# Regenerates every experiment artifact sequentially (single-core safe).
+cd /root/repo
+export SGM_BUDGET_SECS=${SGM_BUDGET_SECS:-75}
+export SGM_ABLATION_SECS=${SGM_ABLATION_SECS:-10}
+set -x
+cargo build --release --workspace 2>&1 | tail -3
+cargo test --release -p sgm-core -p sgm-nn 2>&1 | grep -E "test result|FAILED|error\[" 
+cargo run --release -p sgm-bench --bin table1   > target/table1_output.txt 2>&1
+cargo run --release -p sgm-bench --bin table2   > target/table2_output.txt 2>&1
+cargo run --release -p sgm-bench --bin fig2     > target/fig2_output.txt 2>&1
+cargo run --release -p sgm-bench --bin fig3     > target/fig3_output.txt 2>&1
+cargo run --release -p sgm-bench --bin fig4     > target/fig4_output.txt 2>&1
+cargo run --release -p sgm-bench --bin ablation > target/ablation_output.txt 2>&1
+echo "PIPELINE_COMPLETE"

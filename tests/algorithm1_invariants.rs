@@ -1,0 +1,179 @@
+//! Invariants of Algorithm 1 (the SGM-PINN sampling loop) checked across
+//! the crate boundary with a real problem, network and trainer.
+
+use sgm_core::score::{assemble_epoch, combine_scores, map_scores, ScoreMapping};
+use sgm_core::{MisConfig, MisSampler, SgmConfig, SgmSampler};
+use sgm_graph::points::PointCloud;
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_physics::geometry::{Cavity, FillStrategy};
+use sgm_physics::pde::{Pde, PoissonConfig};
+use sgm_physics::problem::{Problem, TrainSet};
+use sgm_physics::train::{Probe, Sampler};
+
+fn setup(n: usize, seed: u64) -> (Mlp, Problem, TrainSet) {
+    let problem = Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: |p: &[f64]| 10.0 * (3.0 * p[0]).sin() * (3.0 * p[1]).cos(),
+    }));
+    let mut rng = Rng64::new(seed);
+    let interior = Cavity::default().sample_interior(n, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: Matrix::zeros(1, 1),
+    };
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 8,
+            hidden_layers: 1,
+            activation: Activation::Tanh,
+            fourier: None,
+        },
+        &mut Rng64::new(seed + 1),
+    );
+    (net, problem, data)
+}
+
+fn cfg() -> SgmConfig {
+    SgmConfig {
+        k: 6,
+        min_clusters: 10,
+        max_cluster_frac: 0.2,
+        tau_e: 50,
+        tau_g: 0,
+        background: false,
+        ..SgmConfig::default()
+    }
+}
+
+/// Line 5 of Algorithm 1: the probe set holds ~r·S_i points per cluster.
+#[test]
+fn probe_budget_matches_r() {
+    let (net, prob, data) = setup(500, 1);
+    let mut s = SgmSampler::new(&data.interior, cfg());
+    let probe = Probe {
+        net: &net,
+        problem: &prob,
+        data: &data,
+    };
+    let mut rng = Rng64::new(2);
+    s.refresh(0, &probe, &mut rng);
+    let expected: usize = s
+        .clustering()
+        .sizes()
+        .iter()
+        .map(|&sz| ((sz as f64 * 0.15).ceil() as usize).clamp(1, sz))
+        .sum();
+    assert_eq!(s.stats().probe_evals, expected);
+}
+
+/// Same seed ⇒ identical batch streams (bit-reproducible experiments).
+#[test]
+fn sampling_is_deterministic() {
+    let (net, prob, data) = setup(300, 3);
+    let mk = || {
+        let mut s = SgmSampler::new(&data.interior, cfg());
+        let probe = Probe {
+            net: &net,
+            problem: &prob,
+            data: &data,
+        };
+        let mut rng = Rng64::new(7);
+        s.refresh(0, &probe, &mut rng);
+        (0..5).flat_map(|_| s.next_batch(32, &mut rng)).collect::<Vec<_>>()
+    };
+    assert_eq!(mk(), mk());
+}
+
+/// The floor-one rule means a full epoch pass touches every cluster; with
+/// it disabled and extreme score spread, some clusters may receive zero
+/// samples (the ablation scenario behind "forgetting").
+#[test]
+fn floor_one_contrast() {
+    let clusters = vec![vec![0u32, 1], vec![2, 3], vec![4, 5]];
+    let sizes = [2usize, 2, 2];
+    let scores = [0.0, 0.0, 100.0];
+    let with_floor = map_scores(
+        &scores,
+        &sizes,
+        ScoreMapping::Linear { lo: 0.0, hi: 1.0 },
+        true,
+    );
+    let without = map_scores(
+        &scores,
+        &sizes,
+        ScoreMapping::Linear { lo: 0.0, hi: 1.0 },
+        false,
+    );
+    assert!(with_floor.counts.iter().all(|&c| c >= 1));
+    assert_eq!(without.counts[0], 0);
+    let mut rng = Rng64::new(1);
+    let epoch = assemble_epoch(&clusters, &with_floor.counts, &mut rng);
+    for cl in &clusters {
+        assert!(epoch.iter().any(|i| cl.contains(&(*i as u32))));
+    }
+}
+
+/// The combined score is scale-invariant in each component (normalised
+/// before fusion, paper §3.5).
+#[test]
+fn score_fusion_scale_invariant() {
+    let a = combine_scores(&[1.0, 2.0, 4.0], &[0.5, 0.25, 1.0], 1.0);
+    let b = combine_scores(&[10.0, 20.0, 40.0], &[5.0, 2.5, 10.0], 1.0);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-12);
+    }
+}
+
+/// MIS refresh scores the whole dataset (the overhead the paper contrasts
+/// with SGM's r%-per-cluster probes).
+#[test]
+fn mis_scores_full_dataset_sgm_scores_fraction() {
+    let (net, prob, data) = setup(400, 5);
+    let probe = Probe {
+        net: &net,
+        problem: &prob,
+        data: &data,
+    };
+    let mut rng = Rng64::new(6);
+    let mut mis = MisSampler::new(400, MisConfig::default());
+    mis.refresh(0, &probe, &mut rng);
+    assert_eq!(mis.probe_evals(), 400);
+
+    let mut sgm = SgmSampler::new(&data.interior, cfg());
+    sgm.refresh(0, &probe, &mut rng);
+    let sgm_evals = sgm.stats().probe_evals;
+    assert!(
+        sgm_evals < 400 / 2,
+        "SGM probed {sgm_evals} of 400 — should be far below N"
+    );
+}
+
+/// Batches never index out of range, for all samplers, across refreshes.
+#[test]
+fn batches_in_range_across_lifecycle() {
+    let (net, prob, data) = setup(250, 8);
+    let probe = Probe {
+        net: &net,
+        problem: &prob,
+        data: &data,
+    };
+    let mut rng = Rng64::new(9);
+    let mut sgm = SgmSampler::new(&data.interior, cfg());
+    let mut mis = MisSampler::new(250, MisConfig { tau_e: 40, ..MisConfig::default() });
+    for iter in 0..120 {
+        sgm.refresh(iter, &probe, &mut rng);
+        mis.refresh(iter, &probe, &mut rng);
+        for i in sgm.next_batch(17, &mut rng) {
+            assert!(i < 250);
+        }
+        for i in mis.next_batch(17, &mut rng) {
+            assert!(i < 250);
+        }
+    }
+    assert!(sgm.stats().refreshes >= 2);
+}

@@ -1,0 +1,180 @@
+//! Integration tests of the extension systems: spectral sparsification
+//! feeding LRD, tiled parallel rebuilds feeding the sampler, RAR-vs-SGM
+//! overhead accounting, and model checkpointing end-to-end.
+
+use sgm_core::{RarConfig, RarSampler, SgmConfig, SgmSampler};
+use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+use sgm_graph::lrd::{decompose, ErSource, LrdConfig};
+use sgm_graph::partition::{parallel_decompose, GridPartitionConfig};
+use sgm_graph::points::PointCloud;
+use sgm_graph::sparsify::{quadratic_form_deviation, sparsify, SparsifyOptions};
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::checkpoint::Checkpoint;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_physics::geometry::{Cavity, FillStrategy};
+use sgm_physics::pde::{Pde, PoissonConfig};
+use sgm_physics::problem::{Problem, TrainSet};
+use sgm_physics::train::{Probe, Sampler};
+
+fn cloud(n: usize, seed: u64) -> PointCloud {
+    let mut rng = Rng64::new(seed);
+    PointCloud::uniform_box(n, 2, 0.0, 1.0, &mut rng)
+}
+
+/// Sparsify a dense PGM, then cluster the sparsifier: the clustering must
+/// stay valid and the graph spectrally close.
+#[test]
+fn sparsified_pgm_still_clusters() {
+    let pts = cloud(400, 1);
+    let dense = build_knn_graph(
+        &pts,
+        &KnnConfig {
+            k: 24,
+            strategy: KnnStrategy::Grid,
+            ..KnnConfig::default()
+        },
+    );
+    let sparse = sparsify(
+        &dense,
+        &SparsifyOptions {
+            target_edges: dense.num_edges() / 2,
+            ..SparsifyOptions::default()
+        },
+    );
+    assert!(sparse.num_edges() < dense.num_edges());
+    assert!(sparse.is_connected());
+    let dev = quadratic_form_deviation(&dense, &sparse, 10, 2);
+    assert!(dev < 1.0, "spectral deviation {dev}");
+    let clustering = decompose(
+        &sparse,
+        &LrdConfig {
+            min_clusters: 16,
+            ..LrdConfig::default()
+        },
+    );
+    assert_eq!(clustering.num_nodes(), 400);
+    assert!(clustering.num_clusters() >= 16);
+}
+
+/// The tiled parallel decomposition yields clusters usable by the
+/// score→epoch pipeline (every node covered, compact labels).
+#[test]
+fn parallel_decomposition_feeds_epoch_assembly() {
+    use sgm_core::score::{assemble_epoch, map_scores, ScoreMapping};
+    let pts = cloud(600, 3);
+    let clustering = parallel_decompose(
+        &pts,
+        &GridPartitionConfig {
+            tiles_per_axis: 3,
+            threads: 2,
+            knn: KnnConfig {
+                k: 6,
+                strategy: KnnStrategy::Grid,
+                ..KnnConfig::default()
+            },
+            lrd: LrdConfig {
+                min_clusters: 4,
+                ..LrdConfig::default()
+            },
+        },
+    );
+    let sizes = clustering.sizes();
+    let scores: Vec<f64> = (0..sizes.len()).map(|i| i as f64).collect();
+    let plan = map_scores(&scores, &sizes, ScoreMapping::default(), true);
+    let mut rng = Rng64::new(4);
+    let epoch = assemble_epoch(clustering.clusters(), &plan.counts, &mut rng);
+    assert!(!epoch.is_empty());
+    assert!(epoch.iter().all(|&i| i < 600));
+}
+
+/// RAR scores only candidates; SGM scores r% of every cluster; both are
+/// far below MIS's full-N — and the accounting reflects it.
+#[test]
+fn overhead_ordering_rar_sgm() {
+    let problem = Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: |p: &[f64]| (4.0 * p[0]).sin() + p[1],
+    }));
+    let mut rng = Rng64::new(5);
+    let interior = Cavity::default().sample_interior(2000, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: Matrix::zeros(1, 1),
+    };
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 8,
+            hidden_layers: 1,
+            activation: Activation::Tanh,
+            fourier: None,
+        },
+        &mut Rng64::new(6),
+    );
+    let probe = Probe {
+        net: &net,
+        problem: &problem,
+        data: &data,
+    };
+    let mut sgm = SgmSampler::new(
+        &data.interior,
+        SgmConfig {
+            tau_e: 10,
+            tau_g: 0,
+            background: false,
+            min_clusters: 16,
+            ..SgmConfig::default()
+        },
+    );
+    let mut rar = RarSampler::new(
+        2000,
+        RarConfig {
+            tau: 10,
+            candidates: 200,
+            add_per_refresh: 20,
+            ..RarConfig::default()
+        },
+        &mut rng,
+    );
+    for iter in 0..30 {
+        sgm.refresh(iter, &probe, &mut rng);
+        rar.refresh(iter, &probe, &mut rng);
+    }
+    // 3 refreshes each: SGM ≈ 3 · 0.15·N = 900; RAR ≈ 2 · 200 = 400
+    // (RAR skips iter 0); both ≪ MIS's 3 · 2000 = 6000.
+    assert!(sgm.stats().probe_evals < 1200, "sgm {}", sgm.stats().probe_evals);
+    assert!(rar.probe_evals() <= 600, "rar {}", rar.probe_evals());
+}
+
+/// Checkpoint a trained model and verify the restored surrogate produces
+/// identical predictions — the "train once, ship the surrogate" flow.
+#[test]
+fn checkpoint_roundtrip_preserves_predictions() {
+    let mut rng = Rng64::new(7);
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 3,
+            hidden_width: 14,
+            hidden_layers: 2,
+            activation: Activation::SiLu,
+            fourier: Some(sgm_nn::mlp::FourierConfig {
+                num_features: 4,
+                sigma: 0.8,
+            }),
+        },
+        &mut rng,
+    );
+    let json = Checkpoint::capture(&net).to_json().expect("serialise");
+    let restored = Checkpoint::from_json(&json)
+        .expect("parse")
+        .restore()
+        .expect("restore");
+    let x = Matrix::gaussian(8, 2, &mut rng);
+    let a = net.forward(&x);
+    let b = restored.forward(&x);
+    assert_eq!(a.as_slice(), b.as_slice());
+}
