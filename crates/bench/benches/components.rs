@@ -1,59 +1,93 @@
-//! Criterion micro-benchmarks backing the paper's §3.6 complexity claims:
+//! Micro-benchmarks backing the paper's §3.6 complexity claims plus the
+//! parallel-runtime speedups:
 //!
 //! * kNN construction is `O(N log N)` (HNSW) / near-linear (grid);
 //! * effective-resistance estimation and LRD are `O(kN)`;
 //! * the ISR solve is cheap on probe-sized sets;
 //! * SGM's refresh cost (r·N probes) is far below MIS's (N probes);
 //! * the MLP derivative-propagating forward/backward scales linearly in
-//!   batch size.
+//!   batch size;
+//! * the blocked GEMM beats the naive reference kernel, and the
+//!   `*_threads` groups record how the pooled paths scale with the
+//!   `sgm-par` thread count.
 //!
-//! Run with `cargo bench -p sgm-bench`. Sizes are kept modest so the
-//! whole suite finishes in a few minutes; the *scaling ratios* between
-//! size points are what the claims rest on.
+//! Run with `cargo bench -p sgm-bench`; `-- --test` dry-runs every case
+//! once (tier-1), `-- --json <path>` writes a machine-readable report.
+//! Sizes are kept modest so the whole suite finishes in minutes; the
+//! *ratios* between size points and thread counts are what the claims
+//! rest on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+use sgm_bench::microbench::Runner;
+use sgm_graph::knn::{brute_knn, build_knn_graph, KnnConfig, KnnStrategy};
 use sgm_graph::lrd::{decompose, ErSource, LrdConfig};
 use sgm_graph::points::PointCloud;
 use sgm_graph::resistance::{approx_edge_resistances, ApproxErOptions};
-use sgm_linalg::dense::Matrix;
+use sgm_linalg::dense::{gemm, gemm_reference, Matrix};
 use sgm_linalg::rng::Rng64;
 use sgm_nn::activation::Activation;
 use sgm_nn::mlp::{BatchDerivatives, Mlp, MlpConfig};
+use sgm_par::Parallelism;
 use sgm_stability::{spade_scores, SpadeConfig};
-use std::time::Duration;
 
 fn cloud(n: usize, seed: u64) -> PointCloud {
     let mut rng = Rng64::new(seed);
     PointCloud::uniform_box(n, 2, 0.0, 1.0, &mut rng)
 }
 
-fn bench_knn(c: &mut Criterion) {
-    let mut g = c.benchmark_group("knn_scaling");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+/// Thread counts exercised by the `*_threads` groups; 1 maps to the
+/// serial oracle path.
+const THREAD_POINTS: [usize; 3] = [1, 2, 4];
+
+fn parallelism_for(threads: usize) -> Parallelism {
+    if threads <= 1 {
+        Parallelism::Serial
+    } else {
+        Parallelism::Threads(threads)
+    }
+}
+
+fn bench_gemm(r: &mut Runner) {
+    let mut rng = Rng64::new(11);
+    for &n in &[128usize, 256, 384] {
+        let a = Matrix::gaussian(n, n, &mut rng);
+        let b = Matrix::gaussian(n, n, &mut rng);
+        let mut c = Matrix::zeros(n, n);
+        r.bench("gemm_blocked", &format!("naive_{n}"), || {
+            gemm_reference(1.0, &a, &b, 0.0, &mut c);
+            c.get(0, 0)
+        });
+        r.bench("gemm_blocked", &format!("blocked_serial_{n}"), || {
+            sgm_par::with_parallelism(Parallelism::Serial, || {
+                gemm(1.0, &a, &b, 0.0, &mut c);
+                c.get(0, 0)
+            })
+        });
+        r.bench("gemm_blocked", &format!("blocked_auto_{n}"), || {
+            gemm(1.0, &a, &b, 0.0, &mut c);
+            c.get(0, 0)
+        });
+    }
+}
+
+fn bench_knn(r: &mut Runner) {
     for &n in &[1000usize, 4000, 16000] {
         let pts = cloud(n, 1);
         for (name, strategy) in [("grid", KnnStrategy::Grid), ("hnsw", KnnStrategy::Hnsw)] {
-            g.bench_with_input(BenchmarkId::new(name, n), &pts, |b, pts| {
-                b.iter(|| {
-                    build_knn_graph(
-                        pts,
-                        &KnnConfig {
-                            k: 8,
-                            strategy,
-                            ..KnnConfig::default()
-                        },
-                    )
-                })
+            r.bench("knn_scaling", &format!("{name}_{n}"), || {
+                build_knn_graph(
+                    &pts,
+                    &KnnConfig {
+                        k: 8,
+                        strategy,
+                        ..KnnConfig::default()
+                    },
+                )
             });
         }
     }
-    g.finish();
 }
 
-fn bench_er_and_lrd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("er_lrd_scaling");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+fn bench_er_and_lrd(r: &mut Runner) {
     for &n in &[1000usize, 4000, 16000] {
         let pts = cloud(n, 2);
         let graph = build_knn_graph(
@@ -64,31 +98,26 @@ fn bench_er_and_lrd(c: &mut Criterion) {
                 ..KnnConfig::default()
             },
         );
-        g.bench_with_input(BenchmarkId::new("approx_er", n), &graph, |b, graph| {
-            b.iter(|| approx_edge_resistances(graph, &ApproxErOptions::default()))
+        r.bench("er_lrd_scaling", &format!("approx_er_{n}"), || {
+            approx_edge_resistances(&graph, &ApproxErOptions::default())
         });
         let er = approx_edge_resistances(&graph, &ApproxErOptions::default());
-        g.bench_with_input(BenchmarkId::new("lrd", n), &graph, |b, graph| {
-            b.iter(|| {
-                decompose(
-                    graph,
-                    &LrdConfig {
-                        level: 6,
-                        er: ErSource::Provided(er.clone()),
-                        min_clusters: 32,
-                        max_cluster_frac: 0.02,
-                        budget_scale: 1.0,
-                    },
-                )
-            })
+        r.bench("er_lrd_scaling", &format!("lrd_{n}"), || {
+            decompose(
+                &graph,
+                &LrdConfig {
+                    level: 6,
+                    er: ErSource::Provided(er.clone()),
+                    min_clusters: 32,
+                    max_cluster_frac: 0.02,
+                    budget_scale: 1.0,
+                },
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_isr(c: &mut Criterion) {
-    let mut g = c.benchmark_group("isr_probe");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
+fn bench_isr(r: &mut Runner) {
     for &n in &[64usize, 128, 256] {
         let mut rng = Rng64::new(3);
         let inputs = PointCloud::uniform_box(n, 3, 0.0, 1.0, &mut rng);
@@ -101,53 +130,129 @@ fn bench_isr(c: &mut Criterion) {
             }
             PointCloud::from_flat(2, flat)
         };
-        g.bench_with_input(
-            BenchmarkId::new("spade", n),
-            &(inputs, outputs),
-            |b, (i, o)| b.iter(|| spade_scores(i, o, &SpadeConfig::default())),
-        );
+        r.bench("isr_probe", &format!("spade_{n}"), || {
+            spade_scores(&inputs, &outputs, &SpadeConfig::default())
+        });
     }
-    g.finish();
 }
 
-fn bench_mlp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mlp_fwd_bwd");
-    g.sample_size(10).measurement_time(Duration::from_secs(2));
-    let cfg = MlpConfig {
-        input_dim: 3,
-        output_dim: 4,
-        hidden_width: 48,
-        hidden_layers: 4,
-        activation: Activation::SiLu,
-        fourier: None,
-    };
+fn mlp_48x4(rng: &mut Rng64) -> Mlp {
+    Mlp::new(
+        &MlpConfig {
+            input_dim: 3,
+            output_dim: 4,
+            hidden_width: 48,
+            hidden_layers: 4,
+            activation: Activation::SiLu,
+            fourier: None,
+        },
+        rng,
+    )
+}
+
+fn bench_mlp(r: &mut Runner) {
     let mut rng = Rng64::new(4);
-    let net = Mlp::new(&cfg, &mut rng);
+    let net = mlp_48x4(&mut rng);
     for &b_sz in &[128usize, 512, 2048] {
         let x = Matrix::gaussian(b_sz, 3, &mut rng);
-        g.bench_with_input(BenchmarkId::new("fwd_derivs_bwd", b_sz), &x, |b, x| {
-            b.iter(|| {
-                let (full, cache) = net.forward_with_derivs(x, &[0, 1]);
+        r.bench("mlp_fwd_bwd", &format!("fwd_derivs_bwd_{b_sz}"), || {
+            let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
+            let adj = BatchDerivatives::zeros_like(&full);
+            net.backward(&cache, &adj)
+        });
+        r.bench("mlp_fwd_bwd", &format!("fwd_values_only_{b_sz}"), || {
+            net.forward(&x)
+        });
+    }
+}
+
+fn bench_mlp_threads(r: &mut Runner) {
+    let mut rng = Rng64::new(12);
+    let net = mlp_48x4(&mut rng);
+    let x = Matrix::gaussian(2048, 3, &mut rng);
+    for &t in &THREAD_POINTS {
+        let p = parallelism_for(t);
+        r.bench("mlp_fwd_threads", &format!("fwd_derivs_bwd_2048_t{t}"), || {
+            sgm_par::with_parallelism(p, || {
+                let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
                 let adj = BatchDerivatives::zeros_like(&full);
                 net.backward(&cache, &adj)
             })
         });
-        g.bench_with_input(BenchmarkId::new("fwd_values_only", b_sz), &x, |b, x| {
-            b.iter(|| net.forward(x))
-        });
     }
-    g.finish();
 }
 
-fn bench_refresh_overhead(c: &mut Criterion) {
+fn bench_knn_threads(r: &mut Runner) {
+    let pts = cloud(8192, 13);
+    for &t in &THREAD_POINTS {
+        let p = parallelism_for(t);
+        r.bench("knn_threads", &format!("brute_8192_t{t}"), || {
+            sgm_par::with_parallelism(p, || brute_knn(&pts, 8))
+        });
+    }
+}
+
+fn bench_refresh_overhead(r: &mut Runner) {
     use sgm_core::{MisConfig, MisSampler, SgmConfig, SgmSampler};
+    use sgm_physics::train::{Probe, Sampler};
+
+    let (net, problem, data) = refresh_fixture();
+    // SGM probes r·N per refresh; MIS probes the full N. The ratio of
+    // these two timings is the overhead reduction claimed in §3.1(3).
+    {
+        let mut s = SgmSampler::new(
+            &data.interior,
+            SgmConfig {
+                tau_e: 1,
+                tau_g: 0,
+                background: false,
+                min_clusters: 32,
+                ..SgmConfig::default()
+            },
+        );
+        let probe = Probe {
+            net: &net,
+            problem: &problem,
+            data: &data,
+        };
+        let mut rng = Rng64::new(7);
+        let mut iter = 0usize;
+        r.bench("sampler_refresh", "sgm_refresh_r15", || {
+            s.refresh(iter, &probe, &mut rng);
+            iter += 1;
+        });
+    }
+    {
+        let mut s = MisSampler::new(
+            data.interior.len(),
+            MisConfig {
+                tau_e: 1,
+                ..MisConfig::default()
+            },
+        );
+        let probe = Probe {
+            net: &net,
+            problem: &problem,
+            data: &data,
+        };
+        let mut rng = Rng64::new(8);
+        let mut iter = 0usize;
+        r.bench("sampler_refresh", "mis_refresh_full", || {
+            s.refresh(iter, &probe, &mut rng);
+            iter += 1;
+        });
+    }
+}
+
+fn refresh_fixture() -> (
+    Mlp,
+    sgm_physics::problem::Problem,
+    sgm_physics::problem::TrainSet,
+) {
     use sgm_physics::geometry::{Cavity, FillStrategy};
     use sgm_physics::pde::{Pde, PoissonConfig};
     use sgm_physics::problem::{Problem, TrainSet};
-    use sgm_physics::train::{Probe, Sampler};
 
-    let mut g = c.benchmark_group("sampler_refresh");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
     let n = 8000;
     let problem = Problem::new(Pde::Poisson(PoissonConfig {
         forcing: |p: &[f64]| (5.0 * p[0]).sin(),
@@ -170,9 +275,16 @@ fn bench_refresh_overhead(c: &mut Criterion) {
         },
         &mut Rng64::new(6),
     );
-    // SGM probes r·N per refresh; MIS probes the full N. The ratio of
-    // these two timings is the overhead reduction claimed in §3.1(3).
-    g.bench_function("sgm_refresh_r15", |b| {
+    (net, problem, data)
+}
+
+fn bench_probe_refresh_threads(r: &mut Runner) {
+    use sgm_core::{SgmConfig, SgmSampler};
+    use sgm_physics::train::{Probe, Sampler};
+
+    let (net, problem, data) = refresh_fixture();
+    for &t in &THREAD_POINTS {
+        let p = parallelism_for(t);
         let mut s = SgmSampler::new(
             &data.interior,
             SgmConfig {
@@ -190,38 +302,17 @@ fn bench_refresh_overhead(c: &mut Criterion) {
         };
         let mut rng = Rng64::new(7);
         let mut iter = 0usize;
-        b.iter(|| {
-            s.refresh(iter, &probe, &mut rng);
-            iter += 1;
-        })
-    });
-    g.bench_function("mis_refresh_full", |b| {
-        let mut s = MisSampler::new(
-            n,
-            MisConfig {
-                tau_e: 1,
-                ..MisConfig::default()
-            },
-        );
-        let probe = Probe {
-            net: &net,
-            problem: &problem,
-            data: &data,
-        };
-        let mut rng = Rng64::new(8);
-        let mut iter = 0usize;
-        b.iter(|| {
-            s.refresh(iter, &probe, &mut rng);
-            iter += 1;
-        })
-    });
-    g.finish();
+        r.bench("probe_refresh_threads", &format!("sgm_r15_8000_t{t}"), || {
+            sgm_par::with_parallelism(p, || {
+                s.refresh(iter, &probe, &mut rng);
+                iter += 1;
+            })
+        });
+    }
 }
 
-fn bench_thread_scaling(c: &mut Criterion) {
+fn bench_thread_scaling(r: &mut Runner) {
     use sgm_graph::partition::{parallel_decompose, GridPartitionConfig};
-    let mut g = c.benchmark_group("rebuild_threads");
-    g.sample_size(10).measurement_time(Duration::from_secs(3));
     let pts = cloud(24_000, 9);
     for &threads in &[1usize, 2, 4] {
         let cfg = GridPartitionConfig {
@@ -237,20 +328,23 @@ fn bench_thread_scaling(c: &mut Criterion) {
                 ..LrdConfig::default()
             },
         };
-        g.bench_with_input(BenchmarkId::new("s1_s2", threads), &cfg, |b, cfg| {
-            b.iter(|| parallel_decompose(&pts, cfg))
+        r.bench("rebuild_threads", &format!("s1_s2_t{threads}"), || {
+            parallel_decompose(&pts, &cfg)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_knn,
-    bench_er_and_lrd,
-    bench_isr,
-    bench_mlp,
-    bench_refresh_overhead,
-    bench_thread_scaling
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_args().with_iters(1, 5);
+    bench_gemm(&mut r);
+    bench_knn(&mut r);
+    bench_er_and_lrd(&mut r);
+    bench_isr(&mut r);
+    bench_mlp(&mut r);
+    bench_mlp_threads(&mut r);
+    bench_knn_threads(&mut r);
+    bench_refresh_overhead(&mut r);
+    bench_probe_refresh_threads(&mut r);
+    bench_thread_scaling(&mut r);
+    r.finish();
+}

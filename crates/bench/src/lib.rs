@@ -1,8 +1,8 @@
 //! # sgm-bench
 //!
 //! The experiment harness that regenerates every table and figure in the
-//! paper's evaluation section (§4), plus Criterion micro-benchmarks of
-//! each subsystem.
+//! paper's evaluation section (§4), plus hand-rolled micro-benchmarks of
+//! each subsystem (see [`microbench`]).
 //!
 //! Reproduction binaries (see DESIGN.md's per-experiment index):
 //!
@@ -21,4 +21,5 @@
 //! tunable via the `SGM_BUDGET_SECS` environment variable.
 
 pub mod experiments;
+pub mod microbench;
 pub mod report;

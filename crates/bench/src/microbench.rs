@@ -1,0 +1,223 @@
+//! Hand-rolled micro-benchmark harness (criterion replacement that
+//! builds offline).
+//!
+//! A bench binary (`harness = false`) constructs a [`Runner`] from CLI
+//! args and registers closures with [`Runner::bench`]. Supported flags:
+//!
+//! * `--test` — dry-run every benchmark once (no timing); used by the
+//!   tier-1 script so benches can't bit-rot.
+//! * `--json <path>` — write results as a JSON array of
+//!   `{group, name, mean_ns, ...}` objects.
+//! * `<filter>` — any other positional argument selects benchmarks whose
+//!   `group/name` id contains it as a substring.
+//!
+//! Timing model: `warmup_iters` untimed runs, then `sample_iters` timed
+//! runs; the mean, min and max per-iteration wall time are reported. No
+//! statistics beyond that — the suite exists for *ratios* between size
+//! points and thread counts, not absolute precision.
+
+use sgm_json::{obj, Value};
+use std::time::Instant;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group label (e.g. `gemm`).
+    pub group: String,
+    /// Case label within the group (e.g. `blocked_256`).
+    pub name: String,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    fn to_value(&self) -> Value {
+        obj([
+            ("group", Value::Str(self.group.clone())),
+            ("name", Value::Str(self.name.clone())),
+            ("iters", Value::Num(self.iters as f64)),
+            ("mean_ns", Value::Num(self.mean_ns)),
+            ("min_ns", Value::Num(self.min_ns)),
+            ("max_ns", Value::Num(self.max_ns)),
+        ])
+    }
+}
+
+/// Collects and runs registered benchmarks according to CLI flags.
+#[derive(Debug)]
+pub struct Runner {
+    dry_run: bool,
+    json_path: Option<String>,
+    filter: Option<String>,
+    warmup_iters: usize,
+    sample_iters: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// Builds a runner from `std::env::args` (skips the binary name; also
+    /// tolerates cargo's `--bench` passthrough).
+    pub fn from_args() -> Self {
+        let mut dry_run = false;
+        let mut json_path = None;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => dry_run = true,
+                "--json" => match args.next() {
+                    Some(p) if !p.starts_with('-') => json_path = Some(p),
+                    _ => {
+                        eprintln!("error: --json requires a path argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--bench" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Runner {
+            dry_run,
+            json_path,
+            filter,
+            warmup_iters: 2,
+            sample_iters: 8,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides iteration counts (per-benchmark tuning).
+    pub fn with_iters(mut self, warmup: usize, samples: usize) -> Self {
+        self.warmup_iters = warmup;
+        self.sample_iters = samples.max(1);
+        self
+    }
+
+    /// Whether this invocation is a `--test` dry run.
+    pub fn is_dry_run(&self) -> bool {
+        self.dry_run
+    }
+
+    /// Runs (or dry-runs) one benchmark. The closure's return value is
+    /// passed through `std::hint::black_box` so work isn't optimized out.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, group: &str, name: &str, mut f: F) {
+        let id = format!("{group}/{name}");
+        if let Some(filt) = &self.filter {
+            if !id.contains(filt.as_str()) {
+                return;
+            }
+        }
+        if self.dry_run {
+            std::hint::black_box(f());
+            println!("ok (dry run): {id}");
+            return;
+        }
+        for _ in 0..self.warmup_iters {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.sample_iters);
+        for _ in 0..self.sample_iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        println!(
+            "{id:<44} mean {:>12} min {:>12} ({} iters)",
+            format_ns(mean),
+            format_ns(min),
+            samples.len()
+        );
+        self.results.push(BenchResult {
+            group: group.to_string(),
+            name: name.to_string(),
+            iters: samples.len(),
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+        });
+    }
+
+    /// All results so far (empty in dry runs).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the JSON report if `--json` was given. Call once at the end
+    /// of `main`.
+    pub fn finish(&self) {
+        if let Some(path) = &self.json_path {
+            let v = Value::Arr(self.results.iter().map(BenchResult::to_value).collect());
+            std::fs::write(path, v.to_string_pretty()).expect("write bench json");
+            println!("wrote {path}");
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner(dry: bool) -> Runner {
+        Runner {
+            dry_run: dry,
+            json_path: None,
+            filter: None,
+            warmup_iters: 1,
+            sample_iters: 3,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn records_results() {
+        let mut r = runner(false);
+        r.bench("g", "case", || (0..1000).sum::<usize>());
+        assert_eq!(r.results().len(), 1);
+        let res = &r.results()[0];
+        assert_eq!(res.iters, 3);
+        assert!(res.min_ns <= res.mean_ns && res.mean_ns <= res.max_ns);
+    }
+
+    #[test]
+    fn dry_run_skips_timing() {
+        let mut r = runner(true);
+        let mut calls = 0;
+        r.bench("g", "case", || calls += 1);
+        assert_eq!(calls, 1);
+        assert!(r.results().is_empty());
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let mut r = runner(false);
+        r.filter = Some("keep".into());
+        let mut kept = 0;
+        let mut dropped = 0;
+        r.bench("g", "keep_me", || kept += 1);
+        r.bench("g", "skip_me", || dropped += 1);
+        assert!(kept > 0);
+        assert_eq!(dropped, 0);
+    }
+}

@@ -5,12 +5,12 @@
 //! retraining) and prints paper-style tables to stdout.
 
 use crate::experiments::MethodRun;
-use serde::{Deserialize, Serialize};
+use sgm_json::{num_arr, obj, JsonError, Value};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Serialisable mirror of a training history record.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RecordDump {
     /// Iteration index.
     pub iteration: usize,
@@ -23,7 +23,7 @@ pub struct RecordDump {
 }
 
 /// Serialisable mirror of one method run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunDump {
     /// Paper-style label.
     pub label: String,
@@ -42,7 +42,7 @@ pub struct RunDump {
 }
 
 /// Network architecture needed to rebuild trained models from a dump.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ArchDump {
     /// Input dimension.
     pub input_dim: usize,
@@ -53,19 +53,16 @@ pub struct ArchDump {
     /// Hidden depth.
     pub depth: usize,
     /// Fourier features (0 = no encoding).
-    #[serde(default)]
     pub fourier_features: usize,
     /// Fourier frequency scale.
-    #[serde(default)]
     pub fourier_sigma: f64,
     /// RNG seed used at construction (regenerates the frozen Fourier
     /// frequency matrix, which is not part of the trainable parameters).
-    #[serde(default)]
     pub init_seed: u64,
 }
 
 /// A whole experiment dump (one per binary).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SuiteDump {
     /// Experiment id (`ldc` or `ar`).
     pub experiment: String,
@@ -132,6 +129,168 @@ impl RunDump {
     }
 }
 
+// ---------------------------------------------------------------------
+// JSON encoding (sgm-json) — optional fields serialize as `null` and
+// absent fields decode to defaults, matching the old schema.
+// ---------------------------------------------------------------------
+
+fn opt_num(x: Option<f64>) -> Value {
+    match x {
+        Some(v) => Value::Num(v),
+        None => Value::Null,
+    }
+}
+
+impl RecordDump {
+    fn to_value(&self) -> Value {
+        obj([
+            ("iteration", Value::Num(self.iteration as f64)),
+            ("seconds", Value::Num(self.seconds)),
+            ("loss", Value::Num(self.loss)),
+            ("errors", num_arr(&self.errors)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(RecordDump {
+            iteration: v.req_usize("iteration")?,
+            seconds: v.req_f64("seconds")?,
+            loss: v.req_f64("loss")?,
+            errors: v.req_f64_arr("errors")?,
+        })
+    }
+}
+
+impl RunDump {
+    fn to_value(&self) -> Value {
+        obj([
+            ("label", Value::Str(self.label.clone())),
+            (
+                "records",
+                Value::Arr(self.records.iter().map(RecordDump::to_value).collect()),
+            ),
+            ("total_seconds", Value::Num(self.total_seconds)),
+            ("iterations", Value::Num(self.iterations as f64)),
+            ("params", num_arr(&self.params)),
+            ("refresh_seconds", opt_num(self.refresh_seconds)),
+            (
+                "probe_evals",
+                opt_num(self.probe_evals.map(|n| n as f64)),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let records = v
+            .req("records")?
+            .as_arr()
+            .ok_or_else(|| JsonError::access("`records` is not an array"))?
+            .iter()
+            .map(RecordDump::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunDump {
+            label: v.req_str("label")?.to_string(),
+            records,
+            total_seconds: v.req_f64("total_seconds")?,
+            iterations: v.req_usize("iterations")?,
+            params: v.req_f64_arr("params")?,
+            refresh_seconds: v.get("refresh_seconds").and_then(Value::as_f64),
+            probe_evals: v
+                .get("probe_evals")
+                .and_then(Value::as_u64)
+                .map(|n| n as usize),
+        })
+    }
+}
+
+impl ArchDump {
+    fn to_value(&self) -> Value {
+        obj([
+            ("input_dim", Value::Num(self.input_dim as f64)),
+            ("output_dim", Value::Num(self.output_dim as f64)),
+            ("width", Value::Num(self.width as f64)),
+            ("depth", Value::Num(self.depth as f64)),
+            (
+                "fourier_features",
+                Value::Num(self.fourier_features as f64),
+            ),
+            ("fourier_sigma", Value::Num(self.fourier_sigma)),
+            ("init_seed", Value::Num(self.init_seed as f64)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(ArchDump {
+            input_dim: v.req_usize("input_dim")?,
+            output_dim: v.req_usize("output_dim")?,
+            width: v.req_usize("width")?,
+            depth: v.req_usize("depth")?,
+            fourier_features: v
+                .get("fourier_features")
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as usize,
+            fourier_sigma: v.get("fourier_sigma").and_then(Value::as_f64).unwrap_or(0.0),
+            init_seed: v.get("init_seed").and_then(Value::as_u64).unwrap_or(0),
+        })
+    }
+}
+
+impl SuiteDump {
+    /// Encodes the suite as a JSON string.
+    pub fn to_json(&self) -> String {
+        obj([
+            ("experiment", Value::Str(self.experiment.clone())),
+            (
+                "output_names",
+                Value::Arr(
+                    self.output_names
+                        .iter()
+                        .map(|s| Value::Str(s.clone()))
+                        .collect(),
+                ),
+            ),
+            ("arch", self.arch.to_value()),
+            (
+                "runs",
+                Value::Arr(self.runs.iter().map(RunDump::to_value).collect()),
+            ),
+        ])
+        .to_string_compact()
+    }
+
+    /// Decodes a suite from a JSON string.
+    ///
+    /// # Errors
+    /// Returns a [`JsonError`] on malformed input or schema mismatch.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Value::parse(text)?;
+        let output_names = v
+            .req("output_names")?
+            .as_arr()
+            .ok_or_else(|| JsonError::access("`output_names` is not an array"))?
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| JsonError::access("output name is not a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let runs = v
+            .req("runs")?
+            .as_arr()
+            .ok_or_else(|| JsonError::access("`runs` is not an array"))?
+            .iter()
+            .map(RunDump::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SuiteDump {
+            experiment: v.req_str("experiment")?.to_string(),
+            output_names,
+            arch: ArchDump::from_value(v.req("arch")?)?,
+            runs,
+        })
+    }
+}
+
 /// Directory where experiment artifacts are written.
 pub fn experiments_dir() -> PathBuf {
     let dir = PathBuf::from("target/experiments");
@@ -145,8 +304,7 @@ pub fn experiments_dir() -> PathBuf {
 /// Panics on I/O failure (experiment binaries want loud failures).
 pub fn save_suite(dump: &SuiteDump, name: &str) -> PathBuf {
     let path = experiments_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string(dump).expect("serialise suite");
-    std::fs::write(&path, json).expect("write suite dump");
+    std::fs::write(&path, dump.to_json()).expect("write suite dump");
     path
 }
 
@@ -154,7 +312,7 @@ pub fn save_suite(dump: &SuiteDump, name: &str) -> PathBuf {
 pub fn load_suite(name: &str) -> Option<SuiteDump> {
     let path = experiments_dir().join(format!("{name}.json"));
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    SuiteDump::from_json(&text).ok()
 }
 
 /// Writes the error-vs-time curves of one output as CSV
@@ -351,10 +509,14 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let d = dump();
-        let s = serde_json::to_string(&d).unwrap();
-        let back: SuiteDump = serde_json::from_str(&s).unwrap();
+        let s = d.to_json();
+        let back = SuiteDump::from_json(&s).unwrap();
         assert_eq!(back.runs.len(), 2);
         assert_eq!(back.runs[1].label, "SGM_8");
+        assert_eq!(back.runs[1].refresh_seconds, Some(0.1));
+        assert_eq!(back.runs[1].probe_evals, Some(100));
+        assert_eq!(back.runs[0].refresh_seconds, None);
+        assert_eq!(back.runs[0].records[1].errors, vec![0.3]);
     }
 
     #[test]

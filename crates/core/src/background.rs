@@ -4,13 +4,13 @@
 //! and S2 in independent sub-processes while training continues either
 //! with uniform sampling, or a previously calculated distribution."
 //!
-//! [`BackgroundBuilder`] owns a worker thread fed through crossbeam
+//! [`BackgroundBuilder`] owns a worker thread fed through std mpsc
 //! channels: the trainer requests a rebuild every `τ_G` iterations and
 //! keeps sampling from the previous clustering until the new one arrives
 //! (`S ← S_new` in Algorithm 1, lines 14–18). The GPU-side training loop
 //! therefore never blocks on graph work.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use sgm_graph::knn::{build_knn_graph, KnnConfig};
 use sgm_graph::lrd::{decompose, Clustering, LrdConfig};
 use sgm_graph::points::PointCloud;
@@ -48,12 +48,12 @@ pub struct BackgroundBuilder {
 impl BackgroundBuilder {
     /// Spawns the worker thread.
     pub fn spawn() -> Self {
-        let (tx_req, rx_req) = unbounded::<RebuildRequest>();
-        let (tx_res, rx_res) = unbounded::<Clustering>();
+        let (tx_req, rx_req) = channel::<RebuildRequest>();
+        let (tx_res, rx_res) = channel::<Clustering>();
         let handle = std::thread::Builder::new()
             .name("sgm-rebuild".into())
             .spawn(move || {
-                for req in rx_req.iter() {
+                while let Ok(req) = rx_req.recv() {
                     let clustering = run_rebuild(&req);
                     if tx_res.send(clustering).is_err() {
                         break;

@@ -30,7 +30,7 @@
 //!   sampling baseline (Nabian et al., as shipped in Modulus).
 //! * [`rar`] — [`rar::RarSampler`], the residual-based adaptive refinement
 //!   baseline (DeepXDE-style, paper §1 ref [16]).
-//! * [`background`] — crossbeam-based worker that rebuilds S1+S2 while
+//! * [`background`] — channel-fed worker thread that rebuilds S1+S2 while
 //!   training continues (paper §3.3's parallel rebuild).
 //!
 //! The uniform baseline lives in `sgm-physics::train::UniformSampler` and

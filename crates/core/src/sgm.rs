@@ -28,6 +28,36 @@ use sgm_stability::{spade_scores, SpadeConfig};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Minimum probe points per parallel chunk in the τ_e loss refresh.
+const PROBE_PAR_MIN: usize = 32;
+
+/// Auto-mode work cutoff (≈ probe count × per-point forward cost proxy)
+/// for fanning the refresh loss evaluations out to the pool.
+const PROBE_PAR_WORK: usize = 1 << 18;
+
+/// Evaluates `probe.sample_losses` over `idx`, fanning out to the pool in
+/// chunks when the batch is large. Each per-point loss depends only on
+/// its own input row, so the chunked result is bit-identical to the
+/// one-shot serial call.
+fn probe_losses(probe: &Probe<'_>, idx: &[usize]) -> Vec<f64> {
+    let m = idx.len();
+    match sgm_par::current().pool(m.saturating_mul(1024), PROBE_PAR_WORK) {
+        Some(pool) => {
+            let chunk = sgm_par::chunk_len(m, PROBE_PAR_MIN);
+            let ranges: Vec<(usize, usize)> = (0..m)
+                .step_by(chunk)
+                .map(|r0| (r0, (r0 + chunk).min(m)))
+                .collect();
+            let parts = pool.par_map_indexed(ranges.len(), 1, |ci| {
+                let (r0, r1) = ranges[ci];
+                probe.sample_losses(&idx[r0..r1])
+            });
+            parts.concat()
+        }
+        None => probe.sample_losses(idx),
+    }
+}
+
 /// Configuration of the SGM-PINN sampler.
 #[derive(Debug, Clone)]
 pub struct SgmConfig {
@@ -376,7 +406,7 @@ impl Sampler for SgmSampler {
         }
         let t0 = Instant::now();
         let (probe_idx, probe_cluster) = self.select_probes(rng);
-        let losses = probe.sample_losses(&probe_idx);
+        let losses = probe_losses(probe, &probe_idx);
         self.stats.probe_evals += probe_idx.len();
         let cluster_losses = self.cluster_means(&losses, &probe_cluster);
         let cluster_isr = if self.cfg.use_isr {

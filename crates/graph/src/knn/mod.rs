@@ -19,6 +19,11 @@ use crate::graph::Graph;
 use crate::points::{dist2, PointCloud};
 use sgm_linalg::rng::Rng64;
 
+/// Auto-mode work cutoff (≈ distance evaluations) above which per-query
+/// kNN fans out to the pool. Each query row is independent, so the
+/// parallel result is bit-identical to the serial scan.
+const KNN_PAR_WORK: usize = 1 << 18;
+
 /// Which kNN algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KnnStrategy {
@@ -64,16 +69,22 @@ pub fn knn_lists(cloud: &PointCloud, cfg: &KnnConfig) -> Vec<Vec<(usize, f64)>> 
         KnnStrategy::Hnsw => {
             let mut rng = Rng64::new(cfg.seed);
             let index = hnsw::Hnsw::build(cloud, &hnsw::HnswParams::default(), &mut rng);
-            (0..cloud.len())
-                .map(|i| {
-                    index
-                        .search(cloud.point(i), cfg.k + 1)
-                        .into_iter()
-                        .filter(|&(j, _)| j != i)
-                        .take(cfg.k)
-                        .collect()
-                })
-                .collect()
+            let n = cloud.len();
+            let query = |i: usize| -> Vec<(usize, f64)> {
+                index
+                    .search(cloud.point(i), cfg.k + 1)
+                    .into_iter()
+                    .filter(|&(j, _)| j != i)
+                    .take(cfg.k)
+                    .collect()
+            };
+            // Construction is inherently sequential (each insert reads the
+            // links of previous ones) but the bulk query phase is not.
+            let work = n.saturating_mul((cfg.k + 1) * 512);
+            match sgm_par::current().pool(work, KNN_PAR_WORK) {
+                Some(pool) => pool.par_map_indexed(n, 8, query),
+                None => (0..n).map(query).collect(),
+            }
         }
     }
 }
@@ -113,20 +124,26 @@ pub fn build_knn_graph(cloud: &PointCloud, cfg: &KnnConfig) -> Graph {
     Graph::from_edges(cloud.len(), &final_edges)
 }
 
-/// Exact O(N²) kNN.
+/// Exact O(N²) kNN. Query rows are independent, so the pooled path
+/// returns exactly what the serial scan does.
 pub fn brute_knn(cloud: &PointCloud, k: usize) -> Vec<Vec<(usize, f64)>> {
     let n = cloud.len();
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
+    let query = |i: usize| -> Vec<(usize, f64)> {
         let mut cands: Vec<(usize, f64)> = (0..n)
             .filter(|&j| j != i)
             .map(|j| (j, cloud.dist2(i, j)))
             .collect();
         cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         cands.truncate(k);
-        out.push(cands);
+        cands
+    };
+    let work = n
+        .saturating_mul(n)
+        .saturating_mul(cloud.dim().max(1));
+    match sgm_par::current().pool(work, KNN_PAR_WORK) {
+        Some(pool) => pool.par_map_indexed(n, 8, query),
+        None => (0..n).map(query).collect(),
     }
-    out
 }
 
 /// Exact kNN using a uniform bucket grid over the bounding box. Efficient

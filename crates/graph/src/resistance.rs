@@ -24,6 +24,10 @@ use sgm_linalg::rng::Rng64;
 use sgm_linalg::solve::{conjugate_gradient, CgOptions};
 use sgm_linalg::sparse::Csr;
 
+/// Auto-mode work cutoff (≈ probe-sweep edge touches) for the parallel
+/// paths of [`approx_edge_resistances`].
+const ER_PAR_WORK: usize = 1 << 18;
+
 /// Exact effective resistance for every edge of `g` via the dense
 /// pseudo-inverse. `O(n³)` — test-oracle use only.
 ///
@@ -115,27 +119,44 @@ pub fn approx_edge_resistances(g: &Graph, opts: &ApproxErOptions) -> Vec<f64> {
     let n = g.num_nodes();
     let l = laplacian(g);
     let zeros = vec![0.0; n];
-    let mut rng = Rng64::new(opts.seed);
-    let mut embedding: Vec<Vec<f64>> = Vec::with_capacity(opts.num_probes);
-    for _ in 0..opts.num_probes {
+    // Each probe draws from its own RNG forked (serially) from the seed,
+    // so probes are independent work items: the smoothing — the dominant
+    // O(t·|E|) cost per probe — fans out to the pool and the embedding
+    // is bit-identical for every thread count.
+    let mut root = Rng64::new(opts.seed);
+    let probe_rngs: Vec<Rng64> = (0..opts.num_probes).map(|_| root.fork()).collect();
+    let probe = |p: usize| -> Vec<f64> {
+        let mut rng = probe_rngs[p].clone();
         let mut x: Vec<f64> = (0..n).map(|_| rng.sign()).collect();
         remove_mean(&mut x);
         smooth(&l, &zeros, &mut x, opts.omega, opts.smoothing_sweeps);
         remove_mean(&mut x);
-        embedding.push(x);
-    }
-    let mut raw: Vec<f64> = g
-        .edges()
-        .map(|(u, v, _)| {
-            embedding
-                .iter()
-                .map(|x| {
-                    let d = x[u] - x[v];
-                    d * d
-                })
-                .sum::<f64>()
-        })
-        .collect();
+        x
+    };
+    let probe_work = opts
+        .num_probes
+        .saturating_mul(opts.smoothing_sweeps.max(1))
+        .saturating_mul(g.num_edges().max(n));
+    let embedding: Vec<Vec<f64>> = match sgm_par::current().pool(probe_work, ER_PAR_WORK) {
+        Some(pool) => pool.par_map_indexed(opts.num_probes, 1, probe),
+        None => (0..opts.num_probes).map(probe).collect(),
+    };
+    let edge_ends: Vec<(usize, usize)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+    let score = |ei: usize| -> f64 {
+        let (u, v) = edge_ends[ei];
+        embedding
+            .iter()
+            .map(|x| {
+                let d = x[u] - x[v];
+                d * d
+            })
+            .sum::<f64>()
+    };
+    let score_work = edge_ends.len().saturating_mul(opts.num_probes);
+    let mut raw: Vec<f64> = match sgm_par::current().pool(score_work, ER_PAR_WORK) {
+        Some(pool) => pool.par_map_indexed(edge_ends.len(), 64, score),
+        None => (0..edge_ends.len()).map(score).collect(),
+    };
     // Foster calibration: Σ_e w_e R_e = n − c (c = number of components).
     let (_, comps) = g.components();
     let target = (n.saturating_sub(comps)) as f64;

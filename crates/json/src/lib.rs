@@ -1,0 +1,607 @@
+//! # sgm-json
+//!
+//! A minimal JSON value model, recursive-descent parser and writer used
+//! for checkpoint and benchmark-report serialization. Std only.
+//!
+//! Numbers are `f64` throughout. Writing uses Rust's shortest-roundtrip
+//! `Display` for `f64` and parsing uses `str::parse::<f64>` (correctly
+//! rounded), so a write→parse cycle restores every finite `f64`
+//! **bit-exactly** — the property the `sgm-nn` checkpoint tests rely on.
+//! Non-finite numbers serialize as `null` (JSON has no NaN/Inf).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Object keys are kept sorted (BTreeMap) so output is canonical.
+    Obj(BTreeMap<String, Value>),
+}
+
+/// Parse or access error with a short human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+    /// Byte offset in the input where the error was detected (0 for
+    /// access errors).
+    pub offset: usize,
+}
+
+impl JsonError {
+    fn new(msg: impl Into<String>, offset: usize) -> Self {
+        JsonError {
+            msg: msg.into(),
+            offset,
+        }
+    }
+
+    /// Builds an access error (e.g. "missing field") not tied to input text.
+    pub fn access(msg: impl Into<String>) -> Self {
+        JsonError::new(msg, 0)
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(JsonError::new("trailing characters", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, &mut out, Some(2), 0);
+        out
+    }
+
+    // -- typed accessors -------------------------------------------------
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj().and_then(|m| m.get(key))
+    }
+
+    // -- required-field helpers (for struct decoding) --------------------
+
+    pub fn req(&self, key: &str) -> Result<&Value, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::access(format!("missing field `{key}`")))
+    }
+
+    pub fn req_f64(&self, key: &str) -> Result<f64, JsonError> {
+        self.req(key)?
+            .as_f64()
+            .ok_or_else(|| JsonError::access(format!("field `{key}` is not a number")))
+    }
+
+    pub fn req_usize(&self, key: &str) -> Result<usize, JsonError> {
+        self.req(key)?
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| JsonError::access(format!("field `{key}` is not a non-negative integer")))
+    }
+
+    pub fn req_str(&self, key: &str) -> Result<&str, JsonError> {
+        self.req(key)?
+            .as_str()
+            .ok_or_else(|| JsonError::access(format!("field `{key}` is not a string")))
+    }
+
+    pub fn req_f64_arr(&self, key: &str) -> Result<Vec<f64>, JsonError> {
+        let arr = self
+            .req(key)?
+            .as_arr()
+            .ok_or_else(|| JsonError::access(format!("field `{key}` is not an array")))?;
+        arr.iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| JsonError::access(format!("`{key}` element is not a number")))
+            })
+            .collect()
+    }
+}
+
+/// Convenience builder for objects: `obj([("a", Value::Num(1.0))])`.
+pub fn obj<I: IntoIterator<Item = (&'static str, Value)>>(fields: I) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Convenience builder for `f64` arrays.
+pub fn num_arr(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| Value::Num(x)).collect())
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(x) => write_num(*x, out),
+        Value::Str(s) => write_str(s, out),
+        Value::Arr(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Obj(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_str(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_num(x: f64, out: &mut String) {
+    use fmt::Write;
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's Display for f64 is the shortest string that round-trips,
+    // but it prints integers without a decimal point or exponent — which
+    // is still valid JSON, so emit it directly.
+    let _ = write!(out, "{x}");
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal(b"null", Value::Null),
+            Some(b't') => self.literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.literal(b"false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => Err(JsonError::new("unexpected character", self.pos)),
+            None => Err(JsonError::new("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, text: &[u8], v: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(JsonError::new("invalid literal", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number bytes", start))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| JsonError::new("invalid number", start))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling for completeness.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(JsonError::new("lone surrogate", self.pos));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(JsonError::new("lone surrogate", self.pos));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(JsonError::new("bad low surrogate", self.pos));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                                    .ok_or_else(|| JsonError::new("bad surrogate pair", self.pos))?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| JsonError::new("bad code point", self.pos))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(JsonError::new("bad escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 char (input is a &str so boundaries
+                    // are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError::new("invalid utf8", self.pos))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        // Called with self.pos at 'u'; consumes 'u' + 4 hex digits and
+        // leaves pos just past the last digit.
+        self.pos += 1;
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| JsonError::new("bad \\u escape", self.pos))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(JsonError::new("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(JsonError::new("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        let v = obj([
+            ("a", Value::Num(1.5)),
+            ("b", Value::Str("hi \"there\"\n".into())),
+            ("c", Value::Arr(vec![Value::Bool(true), Value::Null])),
+            ("d", obj([("nested", Value::Num(-0.0))])),
+        ]);
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            let back = Value::parse(&text).unwrap();
+            assert_eq!(back, v, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        let mut xs = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            std::f64::consts::PI,
+            1e-308,
+            2.2250738585072014e-308, // smallest normal
+            5e-324,                  // smallest subnormal
+            1.7976931348623157e308,  // f64::MAX
+            0.1,
+            1.0 / 3.0,
+            -123456789.123456789,
+            1e20,
+            3.0000000000000004,
+        ];
+        // A deterministic pseudo-random sweep for good measure.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = f64::from_bits(s);
+            if x.is_finite() {
+                xs.push(x);
+            }
+        }
+        for &x in &xs {
+            let text = Value::Num(x).to_string_compact();
+            let back = Value::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(
+                back.to_bits(),
+                x.to_bits(),
+                "x={x:e} text={text} back={back:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_standard_syntax() {
+        let v = Value::parse(
+            r#" { "k": [1, -2.5, 3e2, 0.5e-1], "s": "aAb", "t": true, "n": null } "#,
+        )
+        .unwrap();
+        assert_eq!(v.req_f64_arr("k").unwrap(), vec![1.0, -2.5, 300.0, 0.05]);
+        assert_eq!(v.req_str("s").unwrap(), "aAb");
+        assert_eq!(v.get("t").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("n"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        // \u escapes, including a surrogate pair for 😀 (U+1F600).
+        assert_eq!(
+            Value::parse("\"\\u0041\\u00e9x\\ud83d\\ude00\"").unwrap(),
+            Value::Str("Aéx😀".into())
+        );
+        // Raw UTF-8 passes through unescaped.
+        assert_eq!(Value::parse("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+        assert!(Value::parse(r#""\ud83d""#).is_err()); // lone high surrogate
+        assert!(Value::parse(r#""\uZZZZ""#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("1 2").is_err());
+        assert!(Value::parse("\"unterminated").is_err());
+        assert!(Value::parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn accessors_and_errors() {
+        let v = Value::parse(r#"{"n": 3, "s": "x"}"#).unwrap();
+        assert_eq!(v.req_usize("n").unwrap(), 3);
+        assert!(v.req_usize("s").is_err());
+        assert!(v.req_f64("missing").is_err());
+        let e = v.req("missing").unwrap_err();
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Value::Num(f64::NAN).to_string_compact(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+}

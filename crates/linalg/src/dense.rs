@@ -1,7 +1,23 @@
 //! Row-major dense matrices and the handful of BLAS-like kernels the
 //! reproduction needs (GEMM, GEMV, transpose, small solves).
+//!
+//! GEMM and both GEMV variants run through a cache-blocked kernel and,
+//! above a flop-count cutoff, split into row/column bands on the shared
+//! [`sgm_par`] pool (selected by [`sgm_par::current`], default auto).
+//! Banding never reorders any scalar accumulation — per output element
+//! the k/row sums stay in ascending order — so results are bit-identical
+//! across thread counts, and identical to the serial reference kernels
+//! kept below as oracles ([`gemm_reference`]).
 
 use crate::rng::Rng64;
+
+/// Mul-add count above which GEMM parallelizes under `Parallelism::Auto`.
+const GEMM_PAR_FLOPS: usize = 64 * 64 * 64;
+/// Mul-add count above which GEMV parallelizes under `Parallelism::Auto`.
+const GEMV_PAR_FLOPS: usize = 64 * 1024;
+/// k-panel length of the blocked GEMM kernel: one panel of B
+/// (`GEMM_KC × n` elements) stays cache-hot across all rows of a band.
+const GEMM_KC: usize = 64;
 
 /// A row-major dense `rows × cols` matrix of `f64`.
 ///
@@ -109,12 +125,14 @@ impl Matrix {
     /// Borrow of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows, "row index out of bounds");
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable borrow of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows, "row index out of bounds");
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -155,31 +173,59 @@ impl Matrix {
         out
     }
 
-    /// Dense GEMV: `y = self * x`.
+    /// Dense GEMV: `y = self * x`. Rows are independent dot products, so
+    /// the parallel path is bit-identical to the serial one.
     ///
     /// # Panics
     /// Panics if `x.len() != cols`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "gemv dim");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            y[r] = dot(self.row(r), x);
+        match sgm_par::current().pool(self.rows * self.cols, GEMV_PAR_FLOPS) {
+            Some(pool) => {
+                pool.par_chunks_mut(&mut y, 16, |r0, band| {
+                    for (off, v) in band.iter_mut().enumerate() {
+                        *v = dot(self.row(r0 + off), x);
+                    }
+                });
+            }
+            None => {
+                for r in 0..self.rows {
+                    y[r] = dot(self.row(r), x);
+                }
+            }
         }
         y
     }
 
-    /// Transposed GEMV: `y = selfᵀ * x`.
+    /// Transposed GEMV: `y = selfᵀ * x`, accumulated with an unconditional
+    /// fused loop (a skip-on-zero branch mispredicts on dense inputs).
+    /// The parallel path splits `y` into column bands; each column's sum
+    /// over rows stays in ascending row order, so results are
+    /// bit-identical to serial.
     ///
     /// # Panics
     /// Panics if `x.len() != rows`.
     pub fn mul_vec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "gemv-t dim");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
-            if xr != 0.0 {
-                for (yc, arc) in y.iter_mut().zip(self.row(r)) {
-                    *yc += arc * xr;
+        match sgm_par::current().pool(self.rows * self.cols, GEMV_PAR_FLOPS) {
+            Some(pool) => {
+                pool.par_chunks_mut(&mut y, 32, |c0, band| {
+                    for (r, &xr) in x.iter().enumerate() {
+                        let base = r * self.cols + c0;
+                        let arow = &self.data[base..base + band.len()];
+                        for (yc, arc) in band.iter_mut().zip(arow) {
+                            *yc += arc * xr;
+                        }
+                    }
+                });
+            }
+            None => {
+                for (r, &xr) in x.iter().enumerate() {
+                    for (yc, arc) in y.iter_mut().zip(self.row(r)) {
+                        *yc += arc * xr;
+                    }
                 }
             }
         }
@@ -424,11 +470,89 @@ impl Matrix {
     }
 }
 
-/// `c = alpha * a * b + beta * c` with a cache-friendly ikj loop order.
+/// `c = alpha * a * b + beta * c`.
+///
+/// Dispatches to the cache-blocked, register-tiled kernel
+/// ([`gemm_band`]); above [`GEMM_PAR_FLOPS`] mul-adds the output rows
+/// split into bands on the shared pool. Per output element the k-sum
+/// stays in ascending order in every path, so `gemm` is bit-identical
+/// across thread counts and to the naive [`gemm_reference`] oracle.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols, b.rows, "gemm inner dim");
+    assert_eq!(c.rows, a.rows, "gemm out rows");
+    assert_eq!(c.cols, b.cols, "gemm out cols");
+    if beta != 1.0 {
+        for v in &mut c.data {
+            *v *= beta;
+        }
+    }
+    let n = b.cols;
+    if a.rows == 0 || n == 0 || a.cols == 0 {
+        return;
+    }
+    match sgm_par::current().pool(a.rows * a.cols * n, GEMM_PAR_FLOPS) {
+        Some(pool) => {
+            pool.par_rows_mut(&mut c.data, n, 1, |row0, cband| {
+                gemm_band(alpha, a, b, row0, cband);
+            });
+        }
+        None => gemm_band(alpha, a, b, 0, &mut c.data),
+    }
+}
+
+/// Blocked kernel over one horizontal band of `c` (rows
+/// `row0..row0 + cband.len()/n`): the k loop is cut into [`GEMM_KC`]
+/// panels so a `GEMM_KC × n` slab of B stays cache-hot across every row
+/// of the band, and the innermost update is 4-way register-tiled over k.
+/// The fused update expression evaluates left-to-right, preserving the
+/// sequential-k association of the naive kernel bit-for-bit.
+fn gemm_band(alpha: f64, a: &Matrix, b: &Matrix, row0: usize, cband: &mut [f64]) {
+    let kdim = a.cols;
+    let n = b.cols;
+    debug_assert_eq!(cband.len() % n, 0);
+    let rows = cband.len() / n;
+    let mut k0 = 0;
+    while k0 < kdim {
+        let kend = (k0 + GEMM_KC).min(kdim);
+        for ri in 0..rows {
+            let arow = &a.data[(row0 + ri) * kdim..(row0 + ri + 1) * kdim];
+            let crow = &mut cband[ri * n..(ri + 1) * n];
+            let mut k = k0;
+            while k + 4 <= kend {
+                let f0 = alpha * arow[k];
+                let f1 = alpha * arow[k + 1];
+                let f2 = alpha * arow[k + 2];
+                let f3 = alpha * arow[k + 3];
+                let (b0, rest) = b.data[k * n..(k + 4) * n].split_at(n);
+                let (b1, rest) = rest.split_at(n);
+                let (b2, b3) = rest.split_at(n);
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv = *cv + f0 * b0[j] + f1 * b1[j] + f2 * b2[j] + f3 * b3[j];
+                }
+                k += 4;
+            }
+            while k < kend {
+                let f = alpha * arow[k];
+                let brow = &b.data[k * n..(k + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += f * bv;
+                }
+                k += 1;
+            }
+        }
+        k0 = kend;
+    }
+}
+
+/// Serial reference GEMM (naive ikj loop) — the oracle the blocked and
+/// banded paths are property-tested against. `c = alpha*a*b + beta*c`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm_reference(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     assert_eq!(a.cols, b.rows, "gemm inner dim");
     assert_eq!(c.rows, a.rows, "gemm out rows");
     assert_eq!(c.cols, b.cols, "gemm out cols");
@@ -443,9 +567,6 @@ pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
         let crow = &mut c.data[i * n..(i + 1) * n];
         for (k, &aik) in arow.iter().enumerate() {
             let f = alpha * aik;
-            if f == 0.0 {
-                continue;
-            }
             let brow = &b.data[k * n..(k + 1) * n];
             for (cv, bv) in crow.iter_mut().zip(brow) {
                 *cv += f * bv;
@@ -637,6 +758,47 @@ mod tests {
         gemm(2.0, &a, &b, 0.5, &mut c);
         assert_eq!(c.get(0, 0), 2.5);
         assert_eq!(c.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn gemm_matches_reference_bit_exactly() {
+        use sgm_par::{with_parallelism, Parallelism};
+        let mut rng = Rng64::new(7);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 2), (17, 33, 9), (70, 70, 70)] {
+            let a = Matrix::gaussian(m, k, &mut rng);
+            let b = Matrix::gaussian(k, n, &mut rng);
+            let c0 = Matrix::gaussian(m, n, &mut rng);
+            let mut expect = c0.clone();
+            gemm_reference(0.7, &a, &b, 0.3, &mut expect);
+            for p in [
+                Parallelism::Serial,
+                Parallelism::Threads(2),
+                Parallelism::Threads(8),
+            ] {
+                let mut c = c0.clone();
+                with_parallelism(p, || gemm(0.7, &a, &b, 0.3, &mut c));
+                for (x, y) in c.as_slice().iter().zip(expect.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_parallel_matches_serial_bit_exactly() {
+        use sgm_par::{with_parallelism, Parallelism};
+        let mut rng = Rng64::new(8);
+        let a = Matrix::gaussian(65, 41, &mut rng);
+        let x: Vec<f64> = (0..41).map(|_| rng.gaussian()).collect();
+        let xt: Vec<f64> = (0..65).map(|_| rng.gaussian()).collect();
+        let y0 = with_parallelism(Parallelism::Serial, || a.mul_vec(&x));
+        let z0 = with_parallelism(Parallelism::Serial, || a.mul_vec_t(&xt));
+        for threads in [2usize, 8] {
+            let y = with_parallelism(Parallelism::Threads(threads), || a.mul_vec(&x));
+            let z = with_parallelism(Parallelism::Threads(threads), || a.mul_vec_t(&xt));
+            assert!(y.iter().zip(&y0).all(|(p, q)| p.to_bits() == q.to_bits()));
+            assert!(z.iter().zip(&z0).all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
     }
 
     #[test]

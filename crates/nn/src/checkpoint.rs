@@ -8,10 +8,10 @@
 
 use crate::activation::Activation;
 use crate::mlp::{FourierConfig, Mlp, MlpConfig};
-use serde::{Deserialize, Serialize};
+use sgm_json::{num_arr, obj, JsonError, Value};
 
 /// Serialisable snapshot of a network.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -63,7 +63,7 @@ pub enum CheckpointError {
     /// Parameter/frequency buffer sizes inconsistent with the shape.
     Shape(String),
     /// Underlying JSON error.
-    Json(serde_json::Error),
+    Json(JsonError),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -79,8 +79,8 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-impl From<serde_json::Error> for CheckpointError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for CheckpointError {
+    fn from(e: JsonError) -> Self {
         CheckpointError::Json(e)
     }
 }
@@ -155,20 +155,47 @@ impl Checkpoint {
         Ok(net)
     }
 
-    /// JSON serialisation.
+    /// JSON serialisation. Floats are written with Rust's
+    /// shortest-roundtrip formatting, so `from_json(to_json())` restores
+    /// every parameter bit-exactly.
     ///
     /// # Errors
-    /// Propagates serde errors.
+    /// Infallible in practice; kept as `Result` for API stability.
     pub fn to_json(&self) -> Result<String, CheckpointError> {
-        Ok(serde_json::to_string(self)?)
+        let v = obj([
+            ("version", Value::Num(self.version as f64)),
+            ("input_dim", Value::Num(self.input_dim as f64)),
+            ("output_dim", Value::Num(self.output_dim as f64)),
+            ("hidden_width", Value::Num(self.hidden_width as f64)),
+            ("hidden_layers", Value::Num(self.hidden_layers as f64)),
+            ("activation", Value::Str(self.activation.clone())),
+            ("fourier_freq", num_arr(&self.fourier_freq)),
+            (
+                "fourier_features",
+                Value::Num(self.fourier_features as f64),
+            ),
+            ("params", num_arr(&self.params)),
+        ]);
+        Ok(v.to_string_compact())
     }
 
     /// JSON deserialisation.
     ///
     /// # Errors
-    /// Propagates serde errors.
+    /// Propagates parse/shape errors.
     pub fn from_json(s: &str) -> Result<Self, CheckpointError> {
-        Ok(serde_json::from_str(s)?)
+        let v = Value::parse(s)?;
+        Ok(Checkpoint {
+            version: v.req_usize("version")? as u32,
+            input_dim: v.req_usize("input_dim")?,
+            output_dim: v.req_usize("output_dim")?,
+            hidden_width: v.req_usize("hidden_width")?,
+            hidden_layers: v.req_usize("hidden_layers")?,
+            activation: v.req_str("activation")?.to_string(),
+            fourier_freq: v.req_f64_arr("fourier_freq")?,
+            fourier_features: v.req_usize("fourier_features")?,
+            params: v.req_f64_arr("params")?,
+        })
     }
 }
 

@@ -11,6 +11,50 @@ use crate::activation::{eval3, Activation};
 use sgm_linalg::dense::{gemm, Matrix};
 use sgm_linalg::rng::Rng64;
 
+/// Minimum batch rows per parallel chunk. The chunk layout is a function
+/// of the batch size only (never the thread count), so per-chunk gradient
+/// accumulation merges identically for every [`sgm_par::Parallelism`]
+/// setting — including `Serial`, which walks the same chunks in order.
+const MLP_PAR_MIN_ROWS: usize = 16;
+
+/// Auto-mode work cutoff (≈ batch × params × derivative-paths) below
+/// which chunking to the pool costs more than it saves.
+const MLP_PAR_WORK: usize = 1 << 16;
+
+/// Copies rows `r0..r1` of `x` into a fresh matrix.
+fn rows_band(x: &Matrix, r0: usize, r1: usize) -> Matrix {
+    debug_assert!(r0 <= r1 && r1 <= x.rows());
+    let cols = x.cols();
+    let mut out = Matrix::zeros(r1 - r0, cols);
+    out.as_mut_slice()
+        .copy_from_slice(&x.as_slice()[r0 * cols..r1 * cols]);
+    out
+}
+
+/// Writes `band` into `dst` starting at row `r0`.
+fn scatter_band(dst: &mut Matrix, r0: usize, band: &Matrix) {
+    debug_assert_eq!(dst.cols(), band.cols());
+    let cols = dst.cols();
+    dst.as_mut_slice()[r0 * cols..(r0 + band.rows()) * cols]
+        .copy_from_slice(band.as_slice());
+}
+
+/// Chunk row ranges for a batch: boundaries depend only on `batch`.
+fn batch_chunks(batch: usize) -> Vec<(usize, usize)> {
+    if batch == 0 {
+        return vec![(0, 0)];
+    }
+    let chunk = sgm_par::chunk_len(batch, MLP_PAR_MIN_ROWS);
+    let mut out = Vec::with_capacity(batch.div_ceil(chunk));
+    let mut r0 = 0;
+    while r0 < batch {
+        let r1 = (r0 + chunk).min(batch);
+        out.push((r0, r1));
+        r0 = r1;
+    }
+    out
+}
+
 /// Frozen random Fourier-feature encoding `φ_E` (Tancik-style): maps `x`
 /// to `[x, sin(2π B x), cos(2π B x)]` with `B ~ N(0, σ²)` fixed at
 /// construction.
@@ -92,10 +136,19 @@ struct LayerCache {
     activated: bool,
 }
 
+#[derive(Debug, Clone)]
+struct ChunkCache {
+    row0: usize,
+    layers: Vec<LayerCache>,
+}
+
 /// Opaque forward-pass state consumed by [`Mlp::backward`].
+///
+/// Internally held per batch chunk so the backward pass can fan out over
+/// the same row ranges the forward pass used.
 #[derive(Debug, Clone)]
 pub struct ForwardCache {
-    layers: Vec<LayerCache>,
+    chunks: Vec<ChunkCache>,
     batch: usize,
 }
 
@@ -376,9 +429,15 @@ impl Mlp {
         (e, jac, hess)
     }
 
-    /// Values-only forward pass (`B × out`), the cheap path for inference
-    /// and validation sweeps.
-    pub fn forward(&self, x: &Matrix) -> Matrix {
+    /// Rough per-call work estimate steering the Auto parallel cutoff.
+    fn par_work(&self, batch: usize, nd: usize) -> usize {
+        batch
+            .saturating_mul(self.num_params())
+            .saturating_mul(1 + 2 * nd)
+    }
+
+    /// Values-only forward body over one row band of the input.
+    fn forward_values_band(&self, x: &Matrix) -> Matrix {
         let (mut a, _, _) = self.encode(x, &[]);
         let last = self.layers.len() - 1;
         for (li, layer) in self.layers.iter().enumerate() {
@@ -399,17 +458,42 @@ impl Mlp {
         a
     }
 
-    /// Forward pass propagating values, Jacobian columns and diagonal
-    /// Hessian columns for the requested input dimensions, returning the
-    /// cache needed by [`Mlp::backward`].
+    /// Values-only forward pass (`B × out`), the cheap path for inference
+    /// and validation sweeps.
+    ///
+    /// Every output row depends only on its own input row, so the
+    /// parallel row-banded path is bit-identical to the serial full-batch
+    /// pass.
     ///
     /// # Panics
-    /// Panics if `x.cols() != input_dim` or a diff dim is out of range.
-    pub fn forward_with_derivs(
+    /// Panics if `x.cols() != input_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.cfg.input_dim, "input dim mismatch");
+        let batch = x.rows();
+        match sgm_par::current().pool(self.par_work(batch, 0), MLP_PAR_WORK) {
+            Some(pool) => {
+                let ranges = batch_chunks(batch);
+                let bands = pool.par_map_indexed(ranges.len(), 1, |ci| {
+                    let (r0, r1) = ranges[ci];
+                    self.forward_values_band(&rows_band(x, r0, r1))
+                });
+                let mut out = Matrix::zeros(batch, self.cfg.output_dim);
+                for ((r0, _), band) in ranges.iter().zip(&bands) {
+                    scatter_band(&mut out, *r0, band);
+                }
+                out
+            }
+            None => self.forward_values_band(x),
+        }
+    }
+
+    /// Forward body over one row band: returns the band's derivatives and
+    /// layer caches.
+    fn forward_derivs_band(
         &self,
         x: &Matrix,
         diff_dims: &[usize],
-    ) -> (BatchDerivatives, ForwardCache) {
+    ) -> (BatchDerivatives, Vec<LayerCache>) {
         let batch = x.rows();
         let nd = diff_dims.len();
         let (mut a, mut j, mut h) = self.encode(x, diff_dims);
@@ -475,31 +559,78 @@ impl Mlp {
                 jac: j,
                 hess: h,
             },
-            ForwardCache {
-                layers: caches,
-                batch,
-            },
+            caches,
         )
     }
 
-    /// Backward pass: given adjoints (∂L/∂values, ∂L/∂jac, ∂L/∂hess) on the
-    /// outputs of a [`Mlp::forward_with_derivs`] call, returns exact
-    /// parameter gradients ∂L/∂θ.
+    /// Forward pass propagating values, Jacobian columns and diagonal
+    /// Hessian columns for the requested input dimensions, returning the
+    /// cache needed by [`Mlp::backward`].
+    ///
+    /// The batch is always processed in chunks whose boundaries depend
+    /// only on the batch size; the [`sgm_par::Parallelism`] setting picks
+    /// who runs each chunk, so results are bit-identical for every thread
+    /// count (serial included).
     ///
     /// # Panics
-    /// Panics if adjoint shapes do not match the cached forward pass.
-    pub fn backward(&self, cache: &ForwardCache, adjoints: &BatchDerivatives) -> Gradients {
-        let nd = cache.layers[0].zj.len();
-        assert_eq!(adjoints.jac.len(), nd, "jac adjoint count");
-        assert_eq!(adjoints.hess.len(), nd, "hess adjoint count");
+    /// Panics if `x.cols() != input_dim` or a diff dim is out of range.
+    pub fn forward_with_derivs(
+        &self,
+        x: &Matrix,
+        diff_dims: &[usize],
+    ) -> (BatchDerivatives, ForwardCache) {
+        assert_eq!(x.cols(), self.cfg.input_dim, "input dim mismatch");
+        let batch = x.rows();
+        let nd = diff_dims.len();
+        let ranges = batch_chunks(batch);
+        let work = self.par_work(batch, nd);
+        let results: Vec<(BatchDerivatives, Vec<LayerCache>)> =
+            match sgm_par::current().pool(work, MLP_PAR_WORK) {
+                Some(pool) => pool.par_map_indexed(ranges.len(), 1, |ci| {
+                    let (r0, r1) = ranges[ci];
+                    self.forward_derivs_band(&rows_band(x, r0, r1), diff_dims)
+                }),
+                None => ranges
+                    .iter()
+                    .map(|&(r0, r1)| self.forward_derivs_band(&rows_band(x, r0, r1), diff_dims))
+                    .collect(),
+            };
+        let out_dim = self.cfg.output_dim;
+        let mut values = Matrix::zeros(batch, out_dim);
+        let mut jac = vec![Matrix::zeros(batch, out_dim); nd];
+        let mut hess = vec![Matrix::zeros(batch, out_dim); nd];
+        let mut chunks = Vec::with_capacity(ranges.len());
+        for (&(r0, _), (band, layers)) in ranges.iter().zip(results) {
+            scatter_band(&mut values, r0, &band.values);
+            for d in 0..nd {
+                scatter_band(&mut jac[d], r0, &band.jac[d]);
+                scatter_band(&mut hess[d], r0, &band.hess[d]);
+            }
+            chunks.push(ChunkCache { row0: r0, layers });
+        }
+        (
+            BatchDerivatives { values, jac, hess },
+            ForwardCache { chunks, batch },
+        )
+    }
+
+    /// Backward body for one cached chunk: adjoint row bands in, exact
+    /// per-chunk parameter gradients out.
+    fn backward_chunk(&self, chunk: &ChunkCache, adjoints: &BatchDerivatives) -> Gradients {
+        let nd = chunk.layers[0].zj.len();
+        let batch = chunk.layers[0].z.rows();
+        let r0 = chunk.row0;
         let mut grads = self.zero_gradients();
-        let mut ga = adjoints.values.clone();
-        let mut gj: Vec<Matrix> = adjoints.jac.clone();
-        let mut gh: Vec<Matrix> = adjoints.hess.clone();
+        let mut ga = rows_band(&adjoints.values, r0, r0 + batch);
+        let mut gj: Vec<Matrix> = (0..nd)
+            .map(|d| rows_band(&adjoints.jac[d], r0, r0 + batch))
+            .collect();
+        let mut gh: Vec<Matrix> = (0..nd)
+            .map(|d| rows_band(&adjoints.hess[d], r0, r0 + batch))
+            .collect();
 
         for (li, layer) in self.layers.iter().enumerate().rev() {
-            let lc = &cache.layers[li];
-            let batch = cache.batch;
+            let lc = &chunk.layers[li];
             let out_w = layer.w.rows();
             // Activation adjoints → pre-activation adjoints.
             let (gz, gzj, gzh) = if lc.activated {
@@ -559,6 +690,38 @@ impl Mlp {
             ga = new_ga;
             gj = new_gj;
             gh = new_gh;
+        }
+        grads
+    }
+
+    /// Backward pass: given adjoints (∂L/∂values, ∂L/∂jac, ∂L/∂hess) on the
+    /// outputs of a [`Mlp::forward_with_derivs`] call, returns exact
+    /// parameter gradients ∂L/∂θ.
+    ///
+    /// Per-chunk gradients are merged in chunk order, so the result is
+    /// bit-identical for every [`sgm_par::Parallelism`] setting.
+    ///
+    /// # Panics
+    /// Panics if adjoint shapes do not match the cached forward pass.
+    pub fn backward(&self, cache: &ForwardCache, adjoints: &BatchDerivatives) -> Gradients {
+        let nd = cache.chunks[0].layers[0].zj.len();
+        assert_eq!(adjoints.jac.len(), nd, "jac adjoint count");
+        assert_eq!(adjoints.hess.len(), nd, "hess adjoint count");
+        assert_eq!(adjoints.values.rows(), cache.batch, "adjoint batch mismatch");
+        let work = self.par_work(cache.batch, nd);
+        let per_chunk: Vec<Gradients> = match sgm_par::current().pool(work, MLP_PAR_WORK) {
+            Some(pool) => pool.par_map_indexed(cache.chunks.len(), 1, |ci| {
+                self.backward_chunk(&cache.chunks[ci], adjoints)
+            }),
+            None => cache
+                .chunks
+                .iter()
+                .map(|c| self.backward_chunk(c, adjoints))
+                .collect(),
+        };
+        let mut grads = self.zero_gradients();
+        for g in &per_chunk {
+            grads.add_assign(g);
         }
         grads
     }
@@ -771,6 +934,50 @@ mod tests {
         adj.values.set(0, 0, 1.0);
         let g = net.backward(&cache, &adj);
         assert!(g.l2_norm() > 0.0);
+    }
+
+    /// Serial and pooled execution agree to the bit for the values path,
+    /// the derivative-carrying forward pass and the merged gradients —
+    /// the Parallelism setting must only change who computes each chunk.
+    #[test]
+    fn parallel_paths_bit_identical() {
+        use sgm_par::Parallelism;
+        for fourier in [false, true] {
+            let net = tiny_net(11, fourier);
+            let mut rng = Rng64::new(42);
+            let x = Matrix::gaussian(70, 2, &mut rng);
+            let run = |p: Parallelism| {
+                sgm_par::with_parallelism(p, || {
+                    let v = net.forward(&x);
+                    let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
+                    let adj = composite_adjoints(&full);
+                    let g = net.backward(&cache, &adj).flat();
+                    (v, full, g)
+                })
+            };
+            let (v0, f0, g0) = run(Parallelism::Serial);
+            for p in [
+                Parallelism::Threads(1),
+                Parallelism::Threads(2),
+                Parallelism::Threads(8),
+            ] {
+                let (v, f, g) = run(p);
+                for (a, b) in v0.as_slice().iter().zip(v.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{p:?} values");
+                }
+                for d in 0..2 {
+                    for (a, b) in f0.jac[d].as_slice().iter().zip(f.jac[d].as_slice()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{p:?} jac[{d}]");
+                    }
+                    for (a, b) in f0.hess[d].as_slice().iter().zip(f.hess[d].as_slice()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{p:?} hess[{d}]");
+                    }
+                }
+                for (i, (a, b)) in g0.iter().zip(&g).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{p:?} grad[{i}]");
+                }
+            }
+        }
     }
 
     #[test]

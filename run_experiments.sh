@@ -1,11 +1,23 @@
 #!/bin/bash
 # Regenerates every experiment artifact sequentially (single-core safe).
+#
+# Usage: ./run_experiments.sh [--quick]
+#   --quick  smoke mode: tiny wall budgets + bench dry-run, just proves
+#            the whole pipeline still executes end to end.
 cd /root/repo
-export SGM_BUDGET_SECS=${SGM_BUDGET_SECS:-75}
-export SGM_ABLATION_SECS=${SGM_ABLATION_SECS:-10}
+if [ "$1" = "--quick" ]; then
+    export SGM_BUDGET_SECS=${SGM_BUDGET_SECS:-3}
+    export SGM_ABLATION_SECS=${SGM_ABLATION_SECS:-1}
+    BENCH_ARGS="--test"
+else
+    export SGM_BUDGET_SECS=${SGM_BUDGET_SECS:-75}
+    export SGM_ABLATION_SECS=${SGM_ABLATION_SECS:-10}
+    BENCH_ARGS=""
+fi
 set -x
 cargo build --release --workspace 2>&1 | tail -3
-cargo test --release -p sgm-core -p sgm-nn 2>&1 | grep -E "test result|FAILED|error\[" 
+cargo test --release -p sgm-core -p sgm-nn 2>&1 | grep -E "test result|FAILED|error\["
+cargo bench -p sgm-bench --bench components -- $BENCH_ARGS > target/bench_output.txt 2>&1 || exit 1
 cargo run --release -p sgm-bench --bin table1   > target/table1_output.txt 2>&1
 cargo run --release -p sgm-bench --bin table2   > target/table2_output.txt 2>&1
 cargo run --release -p sgm-bench --bin fig2     > target/fig2_output.txt 2>&1

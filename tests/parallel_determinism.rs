@@ -1,0 +1,179 @@
+//! Cross-crate determinism contract of the `sgm-par` runtime: with a
+//! fixed seed, every pooled code path must produce *bit-identical*
+//! results for thread counts 1, 2 and 8 — and match the serial oracle.
+//!
+//! Chunk boundaries are derived from problem sizes only and per-chunk
+//! results merge in chunk order, so the thread count may only change who
+//! computes each chunk, never what is computed.
+
+use sgm_core::{SgmConfig, SgmSampler};
+use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+use sgm_graph::points::PointCloud;
+use sgm_graph::resistance::{approx_edge_resistances, ApproxErOptions};
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{BatchDerivatives, Mlp, MlpConfig};
+use sgm_par::Parallelism;
+use sgm_physics::geometry::{Cavity, FillStrategy};
+use sgm_physics::pde::{Pde, PoissonConfig};
+use sgm_physics::problem::{Problem, TrainSet};
+use sgm_physics::train::{Probe, Sampler};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn run_per_thread_count<T>(f: impl Fn() -> T) -> Vec<T> {
+    let mut out = vec![sgm_par::with_parallelism(Parallelism::Serial, &f)];
+    for &t in &THREAD_COUNTS {
+        out.push(sgm_par::with_parallelism(Parallelism::Threads(t), &f));
+    }
+    out
+}
+
+fn assert_all_bits_equal(runs: &[Vec<f64>], what: &str) {
+    for (ri, run) in runs.iter().enumerate().skip(1) {
+        assert_eq!(runs[0].len(), run.len(), "{what}: length mismatch run {ri}");
+        for (i, (a, b)) in runs[0].iter().zip(run).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{what}[{i}]: serial {a} vs run {ri} {b}"
+            );
+        }
+    }
+}
+
+/// MLP forward values, input derivatives and parameter gradients are
+/// bit-identical for every thread count.
+#[test]
+fn mlp_gradients_bit_identical_across_thread_counts() {
+    let cfg = MlpConfig {
+        input_dim: 2,
+        output_dim: 2,
+        hidden_width: 24,
+        hidden_layers: 3,
+        activation: Activation::SiLu,
+        fourier: None,
+    };
+    let mut rng = Rng64::new(901);
+    let net = Mlp::new(&cfg, &mut rng);
+    let x = Matrix::gaussian(300, 2, &mut rng);
+    let runs = run_per_thread_count(|| {
+        let values = net.forward(&x);
+        let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
+        let mut adj = BatchDerivatives::zeros_like(&full);
+        for (dst, src) in adj
+            .values
+            .as_mut_slice()
+            .iter_mut()
+            .zip(full.values.as_slice())
+        {
+            *dst = 2.0 * src;
+        }
+        for d in 0..2 {
+            for (dst, src) in adj.jac[d]
+                .as_mut_slice()
+                .iter_mut()
+                .zip(full.jac[d].as_slice())
+            {
+                *dst = 2.0 * src;
+            }
+        }
+        let grads = net.backward(&cache, &adj);
+        let mut flat = values.as_slice().to_vec();
+        for d in 0..2 {
+            flat.extend_from_slice(full.jac[d].as_slice());
+            flat.extend_from_slice(full.hess[d].as_slice());
+        }
+        flat.extend_from_slice(&grads.flat());
+        flat
+    });
+    assert_all_bits_equal(&runs, "mlp");
+}
+
+/// Brute and HNSW kNN graphs (edges, weights) and the approximate
+/// effective resistances are bit-identical for every thread count.
+#[test]
+fn knn_graph_and_er_bit_identical_across_thread_counts() {
+    let mut rng = Rng64::new(902);
+    let pts = PointCloud::uniform_box(600, 2, 0.0, 1.0, &mut rng);
+    for strategy in [KnnStrategy::Brute, KnnStrategy::Hnsw] {
+        let runs = run_per_thread_count(|| {
+            let g = build_knn_graph(
+                &pts,
+                &KnnConfig {
+                    k: 6,
+                    strategy,
+                    ..KnnConfig::default()
+                },
+            );
+            let er = approx_edge_resistances(&g, &ApproxErOptions::default());
+            let mut flat: Vec<f64> = Vec::new();
+            for ((u, v, w), r) in g.edges().zip(&er) {
+                flat.push(u as f64);
+                flat.push(v as f64);
+                flat.push(w);
+                flat.push(*r);
+            }
+            flat
+        });
+        assert_all_bits_equal(&runs, &format!("knn/{strategy:?}"));
+    }
+}
+
+/// A full SGM refresh + epoch draw — probe selection, pooled loss
+/// probes, score mapping, epoch assembly — yields identical epochs for
+/// every thread count.
+#[test]
+fn sgm_sampler_epoch_bit_identical_across_thread_counts() {
+    let problem = Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: |p: &[f64]| if p[0] < 0.5 { 50.0 } else { 0.1 },
+    }));
+    let mut rng = Rng64::new(903);
+    let interior = Cavity::default().sample_interior(500, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: Matrix::zeros(1, 1),
+    };
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 12,
+            hidden_layers: 2,
+            activation: Activation::Tanh,
+            fourier: None,
+        },
+        &mut Rng64::new(904),
+    );
+    let runs = run_per_thread_count(|| {
+        let mut s = SgmSampler::new(
+            &data.interior,
+            SgmConfig {
+                k: 6,
+                min_clusters: 8,
+                max_cluster_frac: 0.2,
+                tau_e: 1,
+                tau_g: 0,
+                background: false,
+                ..SgmConfig::default()
+            },
+        );
+        let probe = Probe {
+            net: &net,
+            problem: &problem,
+            data: &data,
+        };
+        let mut rng = Rng64::new(905);
+        let mut flat: Vec<f64> = Vec::new();
+        for iter in 0..3 {
+            s.refresh(iter, &probe, &mut rng);
+            for i in s.next_batch(200, &mut rng) {
+                flat.push(i as f64);
+            }
+        }
+        flat
+    });
+    assert_all_bits_equal(&runs, "sgm epoch");
+}
