@@ -318,7 +318,11 @@ impl Var {
         }
 
         wrt.iter()
-            .map(|w| adj[w.idx].clone().unwrap_or_else(|| self.tape.constant(0.0)))
+            .map(|w| {
+                adj[w.idx]
+                    .clone()
+                    .unwrap_or_else(|| self.tape.constant(0.0))
+            })
             .collect()
     }
 }
@@ -390,13 +394,25 @@ mod tests {
         let t = Tape::new();
         let x = t.input(0.4);
         for (f, expect) in [
-            (x.sin().grad(&[x.clone()])[0].value(), 0.4f64.cos()),
-            (x.cos().grad(&[x.clone()])[0].value(), -(0.4f64.sin())),
-            (x.exp().grad(&[x.clone()])[0].value(), 0.4f64.exp()),
-            (x.ln().grad(&[x.clone()])[0].value(), 1.0 / 0.4),
-            (x.sqrt().grad(&[x.clone()])[0].value(), 0.5 / 0.4f64.sqrt()),
             (
-                x.tanh().grad(&[x.clone()])[0].value(),
+                x.sin().grad(std::slice::from_ref(&x))[0].value(),
+                0.4f64.cos(),
+            ),
+            (
+                x.cos().grad(std::slice::from_ref(&x))[0].value(),
+                -(0.4f64.sin()),
+            ),
+            (
+                x.exp().grad(std::slice::from_ref(&x))[0].value(),
+                0.4f64.exp(),
+            ),
+            (x.ln().grad(std::slice::from_ref(&x))[0].value(), 1.0 / 0.4),
+            (
+                x.sqrt().grad(std::slice::from_ref(&x))[0].value(),
+                0.5 / 0.4f64.sqrt(),
+            ),
+            (
+                x.tanh().grad(std::slice::from_ref(&x))[0].value(),
                 1.0 - 0.4f64.tanh().powi(2),
             ),
         ] {
@@ -410,7 +426,7 @@ mod tests {
         let x = t.input(1.2);
         let s = 1.0 / (1.0 + (-1.2f64).exp());
         assert!(close(x.sigmoid().value(), s));
-        let dsilu = x.silu().grad(&[x.clone()])[0].value();
+        let dsilu = x.silu().grad(std::slice::from_ref(&x))[0].value();
         // d silu = σ(x) + x σ(x)(1-σ(x))
         assert!(close(dsilu, s + 1.2 * s * (1.0 - s)));
     }
@@ -420,9 +436,9 @@ mod tests {
         let t = Tape::new();
         let x = t.input(3.0);
         let f = x.square();
-        let d1 = f.grad(&[x.clone()])[0].clone();
+        let d1 = f.grad(std::slice::from_ref(&x))[0].clone();
         assert!(close(d1.value(), 6.0));
-        let d2 = d1.grad(&[x.clone()])[0].clone();
+        let d2 = d1.grad(std::slice::from_ref(&x))[0].clone();
         assert!(close(d2.value(), 2.0));
     }
 
@@ -431,9 +447,9 @@ mod tests {
         let t = Tape::new();
         let x = t.input(0.3);
         let f = x.exp();
-        let d1 = f.grad(&[x.clone()])[0].clone();
-        let d2 = d1.grad(&[x.clone()])[0].clone();
-        let d3 = d2.grad(&[x.clone()])[0].clone();
+        let d1 = f.grad(std::slice::from_ref(&x))[0].clone();
+        let d2 = d1.grad(std::slice::from_ref(&x))[0].clone();
+        let d3 = d2.grad(std::slice::from_ref(&x))[0].clone();
         assert!(close(d3.value(), 0.3f64.exp()));
     }
 
@@ -444,10 +460,10 @@ mod tests {
         let x = t.input(1.5);
         let y = t.input(0.8);
         let f = x.square().mul_v(&y.powi(3));
-        let fx = f.grad(&[x.clone()])[0].clone();
-        let fxy = fx.grad(&[y.clone()])[0].clone();
-        let fy = f.grad(&[y.clone()])[0].clone();
-        let fyx = fy.grad(&[x.clone()])[0].clone();
+        let fx = f.grad(std::slice::from_ref(&x))[0].clone();
+        let fxy = fx.grad(std::slice::from_ref(&y))[0].clone();
+        let fy = f.grad(std::slice::from_ref(&y))[0].clone();
+        let fyx = fy.grad(std::slice::from_ref(&x))[0].clone();
         let expect = 6.0 * 1.5 * 0.8 * 0.8;
         assert!(close(fxy.value(), expect));
         assert!(close(fyx.value(), expect));
@@ -459,7 +475,7 @@ mod tests {
         let x = t.input(1.0);
         let y = t.input(2.0);
         let f = x.square();
-        let g = f.grad(&[y.clone()]);
+        let g = f.grad(std::slice::from_ref(&y));
         assert_eq!(g[0].value(), 0.0);
     }
 
@@ -469,7 +485,7 @@ mod tests {
         let x = t.input(2.0);
         let c = t.constant(10.0);
         let f = x.mul_v(&c);
-        let g = f.grad(&[x.clone()]);
+        let g = f.grad(std::slice::from_ref(&x));
         assert!(close(g[0].value(), 10.0));
     }
 
@@ -479,7 +495,7 @@ mod tests {
         let t = Tape::new();
         let x = t.input(4.0);
         let f = &x.mul_v(&x) + &x;
-        let g = f.grad(&[x.clone()]);
+        let g = f.grad(std::slice::from_ref(&x));
         assert!(close(g[0].value(), 9.0));
     }
 
@@ -490,10 +506,10 @@ mod tests {
         let x = t.input(1.3);
         let y = t.input(-0.7);
         let u = &x.square() - &y.square();
-        let ux = u.grad(&[x.clone()])[0].clone();
-        let uxx = ux.grad(&[x.clone()])[0].clone();
-        let uy = u.grad(&[y.clone()])[0].clone();
-        let uyy = uy.grad(&[y.clone()])[0].clone();
+        let ux = u.grad(std::slice::from_ref(&x))[0].clone();
+        let uxx = ux.grad(std::slice::from_ref(&x))[0].clone();
+        let uy = u.grad(std::slice::from_ref(&y))[0].clone();
+        let uyy = uy.grad(std::slice::from_ref(&y))[0].clone();
         assert!(close(uxx.value() + uyy.value(), 0.0));
     }
 
@@ -545,7 +561,7 @@ mod tests {
     fn abs_subgradient() {
         let t = Tape::new();
         let x = t.input(-2.0);
-        let g = x.abs().grad(&[x.clone()])[0].value();
+        let g = x.abs().grad(std::slice::from_ref(&x))[0].value();
         assert_eq!(g, -1.0);
     }
 }

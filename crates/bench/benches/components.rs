@@ -18,6 +18,38 @@
 //! rest on.
 
 use sgm_bench::microbench::Runner;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counting allocator so the trainer-overhead group can report heap
+/// allocations per iteration alongside wall-clock (one relaxed atomic
+/// per alloc; negligible against the kernels measured here).
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
 use sgm_graph::knn::{brute_knn, build_knn_graph, KnnConfig, KnnStrategy};
 use sgm_graph::lrd::{decompose, ErSource, LrdConfig};
 use sgm_graph::points::PointCloud;
@@ -172,13 +204,17 @@ fn bench_mlp_threads(r: &mut Runner) {
     let x = Matrix::gaussian(2048, 3, &mut rng);
     for &t in &THREAD_POINTS {
         let p = parallelism_for(t);
-        r.bench("mlp_fwd_threads", &format!("fwd_derivs_bwd_2048_t{t}"), || {
-            sgm_par::with_parallelism(p, || {
-                let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
-                let adj = BatchDerivatives::zeros_like(&full);
-                net.backward(&cache, &adj)
-            })
-        });
+        r.bench(
+            "mlp_fwd_threads",
+            &format!("fwd_derivs_bwd_2048_t{t}"),
+            || {
+                sgm_par::with_parallelism(p, || {
+                    let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
+                    let adj = BatchDerivatives::zeros_like(&full);
+                    net.backward(&cache, &adj)
+                })
+            },
+        );
     }
 }
 
@@ -194,7 +230,8 @@ fn bench_knn_threads(r: &mut Runner) {
 
 fn bench_refresh_overhead(r: &mut Runner) {
     use sgm_core::{MisConfig, MisSampler, SgmConfig, SgmSampler};
-    use sgm_physics::train::{Probe, Sampler};
+    use sgm_physics::PinnModel;
+    use sgm_train::{Probe, Sampler};
 
     let (net, problem, data) = refresh_fixture();
     // SGM probes r·N per refresh; MIS probes the full N. The ratio of
@@ -210,10 +247,10 @@ fn bench_refresh_overhead(r: &mut Runner) {
                 ..SgmConfig::default()
             },
         );
+        let model = PinnModel::new(&problem, &data);
         let probe = Probe {
             net: &net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(7);
         let mut iter = 0usize;
@@ -230,10 +267,10 @@ fn bench_refresh_overhead(r: &mut Runner) {
                 ..MisConfig::default()
             },
         );
+        let model = PinnModel::new(&problem, &data);
         let probe = Probe {
             net: &net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(8);
         let mut iter = 0usize;
@@ -280,7 +317,8 @@ fn refresh_fixture() -> (
 
 fn bench_probe_refresh_threads(r: &mut Runner) {
     use sgm_core::{SgmConfig, SgmSampler};
-    use sgm_physics::train::{Probe, Sampler};
+    use sgm_physics::PinnModel;
+    use sgm_train::{Probe, Sampler};
 
     let (net, problem, data) = refresh_fixture();
     for &t in &THREAD_POINTS {
@@ -295,20 +333,121 @@ fn bench_probe_refresh_threads(r: &mut Runner) {
                 ..SgmConfig::default()
             },
         );
+        let model = PinnModel::new(&problem, &data);
         let probe = Probe {
             net: &net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(7);
         let mut iter = 0usize;
-        r.bench("probe_refresh_threads", &format!("sgm_r15_8000_t{t}"), || {
-            sgm_par::with_parallelism(p, || {
-                s.refresh(iter, &probe, &mut rng);
-                iter += 1;
-            })
-        });
+        r.bench(
+            "probe_refresh_threads",
+            &format!("sgm_r15_8000_t{t}"),
+            || {
+                sgm_par::with_parallelism(p, || {
+                    s.refresh(iter, &probe, &mut rng);
+                    iter += 1;
+                })
+            },
+        );
     }
+}
+
+/// Old-style allocating training loop vs the staged workspace engine
+/// (`sgm-train`), both serial, interior-only, identical batch sizes.
+/// Each case runs `K` Adam iterations per timed call; the eprinted
+/// alloc/iter figures feed BENCH_PR2.json.
+fn bench_trainer_overhead(r: &mut Runner) {
+    use sgm_nn::optimizer::{Adam, AdamConfig};
+    use sgm_physics::PinnModel;
+    use sgm_train::{TrainOptions, Trainer, UniformSampler};
+
+    const K: usize = 20;
+    let batch = 256usize;
+    let (_, problem, data) = refresh_fixture();
+    let n = data.interior.len();
+    let mk_net = || {
+        Mlp::new(
+            &MlpConfig {
+                input_dim: 2,
+                output_dim: 1,
+                hidden_width: 32,
+                hidden_layers: 3,
+                activation: Activation::SiLu,
+                fourier: None,
+            },
+            &mut Rng64::new(6),
+        )
+    };
+    sgm_par::with_parallelism(Parallelism::Serial, || {
+        {
+            let mut net = mk_net();
+            let mut adam = Adam::new(&net, AdamConfig::default());
+            let mut rng = Rng64::new(77);
+            let mut allocs = 0usize;
+            let mut calls = 0usize;
+            r.bench(
+                "trainer_overhead",
+                &format!("alloc_loop_{K}x_b{batch}"),
+                || {
+                    let a0 = alloc_count();
+                    for _ in 0..K {
+                        let idx: Vec<usize> = (0..batch).map(|_| rng.below(n)).collect();
+                        let mut x = Matrix::zeros(batch, 2);
+                        for (row, &i) in idx.iter().enumerate() {
+                            let p = data.interior.point(i);
+                            x.set(row, 0, p[0]);
+                            x.set(row, 1, p[1]);
+                        }
+                        let (_loss, grads, _per) = problem.interior_loss_and_grads(&net, &x);
+                        adam.step(&mut net, &grads);
+                    }
+                    allocs += alloc_count() - a0;
+                    calls += 1;
+                },
+            );
+            eprintln!(
+                "[trainer_overhead] alloc_loop: {:.1} allocs/iter",
+                allocs as f64 / (calls * K) as f64
+            );
+        }
+        {
+            let mut net = mk_net();
+            let model = PinnModel::new(&problem, &data);
+            let mut sampler = UniformSampler::new(n);
+            let opts = TrainOptions {
+                iterations: K,
+                batch_interior: batch,
+                batch_boundary: 0,
+                adam: AdamConfig::default(),
+                seed: 78,
+                record_every: 10 * K,
+                max_seconds: None,
+                synthetic_dt: None,
+            };
+            let mut allocs = 0usize;
+            let mut calls = 0usize;
+            r.bench(
+                "trainer_overhead",
+                &format!("engine_run_{K}x_b{batch}"),
+                || {
+                    let a0 = alloc_count();
+                    let mut tr = Trainer {
+                        net: &mut net,
+                        model: &model,
+                    };
+                    tr.run(&mut sampler, None, &opts);
+                    allocs += alloc_count() - a0;
+                    calls += 1;
+                },
+            );
+            eprintln!(
+                "[trainer_overhead] engine_run: {:.1} allocs/iter (includes per-run \
+                 workspace construction; steady-state is 0 — see train_zero_alloc)",
+                allocs as f64 / (calls * K) as f64
+            );
+        }
+    });
 }
 
 fn bench_thread_scaling(r: &mut Runner) {
@@ -344,6 +483,7 @@ fn main() {
     bench_mlp_threads(&mut r);
     bench_knn_threads(&mut r);
     bench_refresh_overhead(&mut r);
+    bench_trainer_overhead(&mut r);
     bench_probe_refresh_threads(&mut r);
     bench_thread_scaling(&mut r);
     r.finish();

@@ -66,7 +66,11 @@ fn main() {
 
     let csv_path = experiments_dir().join("ablation.csv");
     let mut csv = std::fs::File::create(&csv_path).expect("create ablation.csv");
-    writeln!(csv, "config,best_v_error,best_u_error,iterations,refresh_seconds").unwrap();
+    writeln!(
+        csv,
+        "config,best_v_error,best_u_error,iterations,refresh_seconds"
+    )
+    .unwrap();
     println!(
         "{:<18}{:>12}{:>12}{:>10}{:>12}",
         "config", "best v err", "best u err", "iters", "overhead s"

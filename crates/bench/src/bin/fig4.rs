@@ -57,15 +57,8 @@ fn main() {
         let path = experiments_dir().join(format!("fig4_{safe_label}.csv"));
         let mut f = std::fs::File::create(&path).expect("create fig4 csv");
         writeln!(f, "x,y,abs_p_error").unwrap();
-        for i in 0..pts.rows() {
-            writeln!(
-                f,
-                "{:.4},{:.4},{:.6}",
-                pts.get(i, 0),
-                pts.get(i, 1),
-                errs[i]
-            )
-            .unwrap();
+        for (i, e) in errs.iter().enumerate() {
+            writeln!(f, "{:.4},{:.4},{:.6}", pts.get(i, 0), pts.get(i, 1), e).unwrap();
         }
         // ASCII heatmap: rows = radius bins (inner at bottom), cols = angle.
         println!("{}  mean |Δp| = {mean:.4}, max = {max:.4}", run.label);

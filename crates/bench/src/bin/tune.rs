@@ -3,11 +3,22 @@ use sgm_bench::experiments::{build_ldc, run_method, Method, Scale};
 
 fn main() {
     let mut scale = Scale::ldc_default();
-    scale.budget_seconds = std::env::var("T").ok().and_then(|s| s.parse().ok()).unwrap_or(45.0);
+    scale.budget_seconds = std::env::var("T")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(45.0);
     let exp = build_ldc(&scale);
     let run = run_method(&exp, &scale, Method::UniformSmall);
     for r in run.result.history.iter().step_by(4) {
-        eprintln!("it {:>6} t {:>6.1} loss {:>9.2e} errs {:?}", r.iteration, r.seconds, r.train_loss,
-            r.val_errors.iter().map(|e| (e*1e3).round()/1e3).collect::<Vec<_>>());
+        eprintln!(
+            "it {:>6} t {:>6.1} loss {:>9.2e} errs {:?}",
+            r.iteration,
+            r.seconds,
+            r.train_loss,
+            r.val_errors
+                .iter()
+                .map(|e| (e * 1e3).round() / 1e3)
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -20,9 +20,10 @@ use sgm_nn::optimizer::{AdamConfig, LrSchedule};
 use sgm_physics::geometry::{AnnulusChannel, Cavity, FillStrategy};
 use sgm_physics::pde::{NsConfig, Pde, ZeroEqConfig};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{Sampler, TrainOptions, TrainResult, Trainer};
 use sgm_physics::validate::ValidationSet;
+use sgm_physics::{AveragedValidation, PinnModel};
 use sgm_stability::SpadeConfig;
+use sgm_train::{Sampler, TrainOptions, TrainResult, Trainer};
 
 /// Scale knobs shared by both experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,8 +205,7 @@ pub fn build_ldc(scale: &Scale) -> Experiment {
     problem.bc_weight = 50.0;
     let mk_data = |n: usize, rng: &mut Rng64| {
         let interior = cavity.sample_interior(n, FillStrategy::Halton, rng);
-        let (boundary, boundary_targets) =
-            cavity.sample_boundary(scale.n_boundary / 4, 4, rng);
+        let (boundary, boundary_targets) = cavity.sample_boundary(scale.n_boundary / 4, 4, rng);
         TrainSet {
             interior,
             boundary,
@@ -303,7 +303,7 @@ fn net_config(input_dim: usize, output_dim: usize, width: usize, depth: usize) -
         hidden_width: width,
         hidden_layers: depth,
         activation: Activation::SiLu,
-        fourier: if FOURIER_FEATURES > 0 {
+        fourier: if FOURIER_FEATURES != 0 {
             Some(FourierConfig {
                 num_features: FOURIER_FEATURES,
                 sigma: FOURIER_SIGMA,
@@ -394,14 +394,16 @@ pub fn run_method(exp: &Experiment, scale: &Scale, method: Method) -> MethodRun 
         seed: scale.seed ^ 0xBA7C4,
         record_every: scale.record_every,
         max_seconds: Some(scale.budget_seconds),
+        synthetic_dt: None,
     };
     let result = {
+        let model = PinnModel::new(&exp.problem, data);
+        let validator = AveragedValidation(&exp.validation);
         let mut trainer = Trainer {
             net: &mut net,
-            problem: &exp.problem,
-            data,
+            model: &model,
         };
-        trainer.run(sampler, &exp.validation, &opts)
+        trainer.run(sampler, Some(&validator), &opts)
     };
     let iterations_done = result.history.last().map_or(0, |r| r.iteration + 1);
     MethodRun {
@@ -439,14 +441,16 @@ pub fn run_sgm_with_config(
         seed: scale.seed ^ 0xBA7C4,
         record_every: scale.record_every,
         max_seconds: Some(scale.budget_seconds),
+        synthetic_dt: None,
     };
     let result = {
+        let model = PinnModel::new(&exp.problem, data);
+        let validator = AveragedValidation(&exp.validation);
         let mut trainer = Trainer {
             net: &mut net,
-            problem: &exp.problem,
-            data,
+            model: &model,
         };
-        trainer.run(&mut sampler, &exp.validation, &opts)
+        trainer.run(&mut sampler, Some(&validator), &opts)
     };
     let iterations_done = result.history.last().map_or(0, |r| r.iteration + 1);
     MethodRun {
@@ -535,9 +539,18 @@ mod tests {
     fn smoke_ldc_suite_runs_all_methods() {
         let scale = Scale::smoke();
         let exp = build_ldc(&scale);
-        for method in [Method::UniformSmall, Method::UniformLarge, Method::Mis, Method::Sgm] {
+        for method in [
+            Method::UniformSmall,
+            Method::UniformLarge,
+            Method::Mis,
+            Method::Sgm,
+        ] {
             let run = run_method(&exp, &scale, method);
-            assert!(!run.result.history.is_empty(), "{:?} produced no history", method);
+            assert!(
+                !run.result.history.is_empty(),
+                "{:?} produced no history",
+                method
+            );
             assert!(run.iterations_done > 10, "{:?} too few iterations", method);
             // Errors are finite and present for u, v, nu.
             let last = run.result.history.last().unwrap();

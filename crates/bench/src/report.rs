@@ -94,10 +94,7 @@ impl RunDump {
             iterations: run.iterations_done,
             params: run.params.clone(),
             refresh_seconds: run.sgm_stats.map(|s| s.refresh_seconds),
-            probe_evals: run
-                .sgm_stats
-                .map(|s| s.probe_evals)
-                .or(run.mis_probe_evals),
+            probe_evals: run.sgm_stats.map(|s| s.probe_evals).or(run.mis_probe_evals),
         }
     }
 
@@ -173,10 +170,7 @@ impl RunDump {
             ("iterations", Value::Num(self.iterations as f64)),
             ("params", num_arr(&self.params)),
             ("refresh_seconds", opt_num(self.refresh_seconds)),
-            (
-                "probe_evals",
-                opt_num(self.probe_evals.map(|n| n as f64)),
-            ),
+            ("probe_evals", opt_num(self.probe_evals.map(|n| n as f64))),
         ])
     }
 
@@ -204,16 +198,13 @@ impl RunDump {
 }
 
 impl ArchDump {
-    fn to_value(&self) -> Value {
+    fn to_value(self) -> Value {
         obj([
             ("input_dim", Value::Num(self.input_dim as f64)),
             ("output_dim", Value::Num(self.output_dim as f64)),
             ("width", Value::Num(self.width as f64)),
             ("depth", Value::Num(self.depth as f64)),
-            (
-                "fourier_features",
-                Value::Num(self.fourier_features as f64),
-            ),
+            ("fourier_features", Value::Num(self.fourier_features as f64)),
             ("fourier_sigma", Value::Num(self.fourier_sigma)),
             ("init_seed", Value::Num(self.init_seed as f64)),
         ])
@@ -229,7 +220,10 @@ impl ArchDump {
                 .get("fourier_features")
                 .and_then(Value::as_u64)
                 .unwrap_or(0) as usize,
-            fourier_sigma: v.get("fourier_sigma").and_then(Value::as_f64).unwrap_or(0.0),
+            fourier_sigma: v
+                .get("fourier_sigma")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
             init_seed: v.get("init_seed").and_then(Value::as_u64).unwrap_or(0),
         })
     }
@@ -326,8 +320,12 @@ pub fn write_curves_csv(dump: &SuiteDump, col: usize, path: &Path) {
     for run in &dump.runs {
         for r in &run.records {
             if col < r.errors.len() {
-                writeln!(f, "{},{},{:.3},{:.6}", run.label, r.iteration, r.seconds, r.errors[col])
-                    .unwrap();
+                writeln!(
+                    f,
+                    "{},{},{:.3},{:.6}",
+                    run.label, r.iteration, r.seconds, r.errors[col]
+                )
+                .unwrap();
             }
         }
     }
@@ -417,7 +415,7 @@ pub fn ascii_curves(dump: &SuiteDump, col: usize, width: usize, height: usize) -
         out.push('\n');
     }
     out.push('+');
-    out.extend(std::iter::repeat('-').take(width));
+    out.extend(std::iter::repeat_n('-', width));
     out.push('\n');
     for (ri, run) in dump.runs.iter().enumerate() {
         out.push_str(&format!(

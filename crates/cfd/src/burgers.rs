@@ -19,17 +19,41 @@ use sgm_physics::validate::ValidationSet;
 
 /// 32-point Gauss–Hermite nodes (positive half; symmetric).
 const GH_NODES: [f64; 16] = [
-    0.194840741569, 0.584978765436, 0.976500463590, 1.370376410953,
-    1.767654109463, 2.169499183606, 2.577249537732, 2.992490825002,
-    3.417167492819, 3.853755485471, 4.305547953351, 4.777164503503,
-    5.275550986516, 5.812225949516, 6.409498149270, 7.125813909830,
+    0.194840741569,
+    0.584978765436,
+    0.976500463590,
+    1.370376410953,
+    1.767654109463,
+    2.169499183606,
+    2.577249537732,
+    2.992490825002,
+    3.417167492819,
+    3.853755485471,
+    4.305547953351,
+    4.777164503503,
+    5.275550986516,
+    5.812225949516,
+    6.409498149270,
+    7.125813909830,
 ];
 /// Matching weights.
 const GH_WEIGHTS: [f64; 16] = [
-    3.75238352593e-1, 2.77458142303e-1, 1.51269734077e-1, 6.04581309559e-2,
-    1.75534288315e-2, 3.65489032665e-3, 5.36268365527e-4, 5.41658406181e-5,
-    3.65058512956e-6, 1.57416779254e-7, 4.09883216477e-9, 5.93329146339e-11,
-    4.21501021132e-13, 1.19734401709e-15, 9.23173653651e-19, 7.31067642738e-23,
+    3.75238352593e-1,
+    2.77458142303e-1,
+    1.51269734077e-1,
+    6.04581309559e-2,
+    1.75534288315e-2,
+    3.65489032665e-3,
+    5.36268365527e-4,
+    5.41658406181e-5,
+    3.65058512956e-6,
+    1.57416779254e-7,
+    4.09883216477e-9,
+    5.93329146339e-11,
+    4.21501021132e-13,
+    1.19734401709e-15,
+    9.23173653651e-19,
+    7.31067642738e-23,
 ];
 
 /// The benchmark's viscosity.
@@ -134,7 +158,10 @@ mod tests {
         };
         let early = slope(0.05).abs();
         let late = slope(0.6).abs();
-        assert!(late > 5.0 * early, "shock did not steepen: {early} -> {late}");
+        assert!(
+            late > 5.0 * early,
+            "shock did not steepen: {early} -> {late}"
+        );
     }
 
     #[test]

@@ -58,12 +58,7 @@ pub fn rms_deviation(profile: &[(f64, f64)], reference: &[(f64, f64)]) -> f64 {
     for &(y, u_ref) in reference {
         let u = profile
             .iter()
-            .min_by(|a, b| {
-                (a.0 - y)
-                    .abs()
-                    .partial_cmp(&(b.0 - y).abs())
-                    .unwrap()
-            })
+            .min_by(|a, b| (a.0 - y).abs().partial_cmp(&(b.0 - y).abs()).unwrap())
             .map(|&(_, u)| u)
             .unwrap();
         s += (u - u_ref) * (u - u_ref);

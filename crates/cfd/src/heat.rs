@@ -238,7 +238,11 @@ impl HeatField {
         while j < n {
             let mut i = stride.max(1);
             while i < n {
-                rows.push((i as f64 * self.h, j as f64 * self.h, self.t[j * self.nodes + i]));
+                rows.push((
+                    i as f64 * self.h,
+                    j as f64 * self.h,
+                    self.t[j * self.nodes + i],
+                ));
                 i += stride;
             }
             j += stride;
@@ -297,7 +301,10 @@ mod tests {
         let f = HeatSolver::default().solve(&layout);
         let in_core = f.sample(0.27, 0.7); // inside the 40 W/mm² core
         let idle = f.sample(0.8, 0.05); // near the sink, no power
-        assert!(in_core > 3.0 * idle.max(1e-9), "core {in_core} vs idle {idle}");
+        assert!(
+            in_core > 3.0 * idle.max(1e-9),
+            "core {in_core} vs idle {idle}"
+        );
         assert!(f.peak() >= in_core);
     }
 

@@ -197,7 +197,10 @@ impl LdcField {
     /// # Panics
     /// Panics if `(x, y)` is outside `[0, 1]²`.
     pub fn sample(&self, x: f64, y: f64) -> (f64, f64) {
-        assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y), "outside cavity");
+        assert!(
+            (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y),
+            "outside cavity"
+        );
         let n = self.nodes - 1;
         let fx = (x / self.h).min(n as f64 - 1e-12);
         let fy = (y / self.h).min(n as f64 - 1e-12);
@@ -245,7 +248,13 @@ impl LdcField {
     /// Builds a [`ValidationSet`] on an interior sub-grid with targets
     /// `(u, v, ν)` mapped to network outputs `(0, 1, 3)` — the LDC
     /// zero-equation network layout (`u, v, p, ν`).
-    pub fn validation_set(&self, stride: usize, nu_mol: f64, karman: f64, cap: f64) -> ValidationSet {
+    pub fn validation_set(
+        &self,
+        stride: usize,
+        nu_mol: f64,
+        karman: f64,
+        cap: f64,
+    ) -> ValidationSet {
         let n = self.nodes - 1;
         let mut rows = Vec::new();
         let mut vals = Vec::new();
@@ -298,7 +307,11 @@ mod tests {
     #[test]
     fn converges_and_conserves_no_slip() {
         let f = small_field();
-        assert!(f.steps < 20_000, "did not converge early ({} steps)", f.steps);
+        assert!(
+            f.steps < 20_000,
+            "did not converge early ({} steps)",
+            f.steps
+        );
         // No-slip at bottom wall.
         for i in 0..f.nodes {
             assert_eq!(f.u[i], 0.0);
@@ -349,7 +362,7 @@ mod tests {
     fn validation_set_shapes_and_indices() {
         let f = small_field();
         let vs = f.validation_set(4, 0.01, 0.419, 0.045);
-        assert!(vs.len() > 0);
+        assert!(!vs.is_empty());
         assert_eq!(vs.output_indices, vec![0, 1, 3]);
         assert_eq!(vs.names, vec!["u", "v", "nu"]);
         // ν targets must be at least molecular viscosity.

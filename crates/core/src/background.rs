@@ -10,10 +10,10 @@
 //! (`S ← S_new` in Algorithm 1, lines 14–18). The GPU-side training loop
 //! therefore never blocks on graph work.
 
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use sgm_graph::knn::{build_knn_graph, KnnConfig};
 use sgm_graph::lrd::{decompose, Clustering, LrdConfig};
 use sgm_graph::points::PointCloud;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 

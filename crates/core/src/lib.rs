@@ -33,9 +33,11 @@
 //! * [`background`] — channel-fed worker thread that rebuilds S1+S2 while
 //!   training continues (paper §3.3's parallel rebuild).
 //!
-//! The uniform baseline lives in `sgm-physics::train::UniformSampler` and
-//! is re-exported here so experiment code imports every sampler from one
-//! place.
+//! Every sampler implements `sgm_train::Sampler`, the interface defined
+//! by the staged training engine; the uniform baseline lives in
+//! `sgm-train` itself and is re-exported here so experiment code imports
+//! every sampler from one place. This crate depends only on the sampler
+//! interface, not on any particular physics problem.
 
 pub mod background;
 pub mod mis;
@@ -47,4 +49,4 @@ pub use mis::{MisConfig, MisSampler};
 pub use rar::{RarConfig, RarSampler};
 pub use score::{ClusterRatios, ScoreMapping};
 pub use sgm::{SgmConfig, SgmSampler, SgmStats};
-pub use sgm_physics::train::UniformSampler;
+pub use sgm_train::UniformSampler;

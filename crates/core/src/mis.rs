@@ -11,8 +11,10 @@
 //! overhead: `N` forward passes per refresh).
 
 use sgm_graph::points::PointCloud;
+use sgm_json::Value;
 use sgm_linalg::rng::Rng64;
-use sgm_physics::train::{Probe, Sampler};
+use sgm_train::{Probe, Sampler};
+use std::collections::BTreeMap;
 
 /// Configuration for [`MisSampler`].
 #[derive(Debug, Clone, PartialEq)]
@@ -113,26 +115,26 @@ impl Sampler for MisSampler {
         "mis"
     }
 
-    fn next_batch(&mut self, batch_size: usize, rng: &mut Rng64) -> Vec<usize> {
+    fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+        out.clear();
         if !self.initialized {
-            return (0..batch_size).map(|_| rng.below(self.n)).collect();
+            out.extend((0..batch_size).map(|_| rng.below(self.n)));
+            return;
         }
-        (0..batch_size)
-            .map(|_| {
-                let u = rng.uniform();
-                match self
-                    .cumulative
-                    .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-                {
-                    Ok(i) => (i + 1).min(self.n - 1),
-                    Err(i) => i.min(self.n - 1),
-                }
-            })
-            .collect()
+        out.extend((0..batch_size).map(|_| {
+            let u = rng.uniform();
+            match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+            {
+                Ok(i) => (i + 1).min(self.n - 1),
+                Err(i) => i.min(self.n - 1),
+            }
+        }));
     }
 
     fn refresh(&mut self, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
-        if iter % self.cfg.tau_e != 0 {
+        if !iter.is_multiple_of(self.cfg.tau_e) {
             return;
         }
         let frac = self.cfg.seed_fraction.clamp(0.0, 1.0);
@@ -184,6 +186,48 @@ impl Sampler for MisSampler {
         }
         self.rebuild_cumulative(&weights);
     }
+
+    fn save_state(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "cumulative".to_string(),
+            Value::Arr(self.cumulative.iter().map(|&c| Value::Num(c)).collect()),
+        );
+        obj.insert("initialized".to_string(), Value::Bool(self.initialized));
+        obj.insert(
+            "probe_evals".to_string(),
+            Value::Num(self.probe_evals as f64),
+        );
+        Value::Obj(obj)
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), String> {
+        let cum = state
+            .get("cumulative")
+            .and_then(Value::as_arr)
+            .ok_or("mis state: missing cumulative")?;
+        let cumulative: Vec<f64> = cum
+            .iter()
+            .map(|v| v.as_f64().ok_or("mis state: non-numeric cumulative"))
+            .collect::<Result<_, _>>()?;
+        if !cumulative.is_empty() && cumulative.len() != self.n {
+            return Err(format!(
+                "mis state: {} cumulative entries for n = {}",
+                cumulative.len(),
+                self.n
+            ));
+        }
+        self.initialized = state
+            .get("initialized")
+            .and_then(Value::as_bool)
+            .ok_or("mis state: missing initialized")?;
+        self.probe_evals = state
+            .get("probe_evals")
+            .and_then(Value::as_u64)
+            .ok_or("mis state: missing probe_evals")? as usize;
+        self.cumulative = cumulative;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -210,11 +254,14 @@ mod tests {
 
     #[test]
     fn weighted_after_rebuild() {
-        let mut s = MisSampler::new(4, MisConfig {
-            uniform_mix: 0.0,
-            power: 1.0, // plain Eq. 7 for an exact ratio check
-            ..MisConfig::default()
-        });
+        let mut s = MisSampler::new(
+            4,
+            MisConfig {
+                uniform_mix: 0.0,
+                power: 1.0, // plain Eq. 7 for an exact ratio check
+                ..MisConfig::default()
+            },
+        );
         s.rebuild_cumulative(&[0.0, 1.0, 3.0, 0.0]);
         let counts = draws_histogram(&mut s, 40_000, 2);
         assert_eq!(counts[0], 0);
@@ -225,10 +272,13 @@ mod tests {
 
     #[test]
     fn uniform_mix_keeps_everything_reachable() {
-        let mut s = MisSampler::new(4, MisConfig {
-            uniform_mix: 0.2,
-            ..MisConfig::default()
-        });
+        let mut s = MisSampler::new(
+            4,
+            MisConfig {
+                uniform_mix: 0.2,
+                ..MisConfig::default()
+            },
+        );
         s.rebuild_cumulative(&[0.0, 0.0, 1.0, 0.0]);
         let counts = draws_histogram(&mut s, 20_000, 3);
         assert!(counts[0] > 500, "zero-loss sample starved: {}", counts[0]);
@@ -243,6 +293,30 @@ mod tests {
         for &c in &counts {
             assert!(c > 1500 && c < 2500);
         }
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_draws() {
+        let mut a = MisSampler::new(6, MisConfig::default());
+        a.rebuild_cumulative(&[1.0, 2.0, 0.5, 4.0, 0.0, 1.5]);
+        let saved = a.save_state();
+        // Through JSON text, as the run-state checkpoint stores it.
+        let saved = Value::parse(&saved.to_string_compact()).unwrap();
+        let mut b = MisSampler::new(6, MisConfig::default());
+        b.load_state(&saved).unwrap();
+        assert_eq!(b.probe_evals(), a.probe_evals());
+        let mut ra = Rng64::new(9);
+        let mut rb = Rng64::new(9);
+        assert_eq!(a.next_batch(100, &mut ra), b.next_batch(100, &mut rb));
+    }
+
+    #[test]
+    fn state_rejects_wrong_length() {
+        let mut a = MisSampler::new(6, MisConfig::default());
+        a.rebuild_cumulative(&[1.0; 6]);
+        let saved = a.save_state();
+        let mut b = MisSampler::new(7, MisConfig::default());
+        assert!(b.load_state(&saved).is_err());
     }
 
     #[test]

@@ -166,11 +166,7 @@ fn min_max(xs: &[f64]) -> (f64, f64) {
 ///
 /// # Panics
 /// Panics if `counts.len() != clusters.len()`.
-pub fn assemble_epoch(
-    clusters: &[Vec<u32>],
-    counts: &[usize],
-    rng: &mut Rng64,
-) -> Vec<usize> {
+pub fn assemble_epoch(clusters: &[Vec<u32>], counts: &[usize], rng: &mut Rng64) -> Vec<usize> {
     assert_eq!(clusters.len(), counts.len(), "counts mismatch");
     let total: usize = counts.iter().sum();
     let mut epoch = Vec::with_capacity(total);

@@ -21,10 +21,12 @@ use sgm_graph::knn::{KnnConfig, KnnStrategy};
 use sgm_graph::lrd::{Clustering, ErSource, LrdConfig};
 use sgm_graph::points::PointCloud;
 use sgm_graph::resistance::ApproxErOptions;
+use sgm_json::Value;
 use sgm_linalg::dense::Matrix;
 use sgm_linalg::rng::Rng64;
-use sgm_physics::train::{Probe, Sampler};
 use sgm_stability::{spade_scores, SpadeConfig};
+use sgm_train::{Probe, Sampler};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -299,7 +301,7 @@ impl SgmSampler {
     }
 
     fn rebuild_due(&self, iter: usize) -> bool {
-        self.cfg.tau_g > 0 && iter > 0 && iter % self.cfg.tau_g == 0
+        self.cfg.tau_g > 0 && iter > 0 && iter.is_multiple_of(self.cfg.tau_g)
     }
 
     /// Spatial coordinates concatenated with the network's current
@@ -353,8 +355,8 @@ impl Sampler for SgmSampler {
         }
     }
 
-    fn next_batch(&mut self, batch_size: usize, rng: &mut Rng64) -> Vec<usize> {
-        let mut out = Vec::with_capacity(batch_size);
+    fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+        out.clear();
         while out.len() < batch_size {
             if self.cursor >= self.epoch.len() {
                 rng.shuffle(&mut self.epoch);
@@ -364,7 +366,6 @@ impl Sampler for SgmSampler {
             out.extend_from_slice(&self.epoch[self.cursor..self.cursor + take]);
             self.cursor += take;
         }
-        out
     }
 
     fn refresh(&mut self, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
@@ -401,7 +402,7 @@ impl Sampler for SgmSampler {
             }
         }
         // (lines 5–10) Score refresh every τ_e iterations.
-        if iter % self.cfg.tau_e != 0 {
+        if !iter.is_multiple_of(self.cfg.tau_e) {
             return;
         }
         let t0 = Instant::now();
@@ -428,6 +429,102 @@ impl Sampler for SgmSampler {
         self.stats.refreshes += 1;
         self.stats.refresh_seconds += t0.elapsed().as_secs_f64();
     }
+
+    /// Serialises the clustering assignment, current epoch and overhead
+    /// stats. A rebuild in flight on the background thread is *not*
+    /// captured — after a restore the next `τ_G` event requests it again.
+    fn save_state(&self) -> Value {
+        let num = |v: f64| Value::Num(v);
+        let arr_usize = |it: &[usize]| Value::Arr(it.iter().map(|&i| num(i as f64)).collect());
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "assignment".to_string(),
+            Value::Arr(
+                self.clustering
+                    .assignment()
+                    .iter()
+                    .map(|&c| num(c as f64))
+                    .collect(),
+            ),
+        );
+        obj.insert("epoch".to_string(), arr_usize(&self.epoch));
+        obj.insert("cursor".to_string(), num(self.cursor as f64));
+        obj.insert(
+            "rebuild_counter".to_string(),
+            num(self.rebuild_counter as f64),
+        );
+        obj.insert("refreshes".to_string(), num(self.stats.refreshes as f64));
+        obj.insert(
+            "rebuilds_requested".to_string(),
+            num(self.stats.rebuilds_requested as f64),
+        );
+        obj.insert(
+            "rebuilds_applied".to_string(),
+            num(self.stats.rebuilds_applied as f64),
+        );
+        obj.insert(
+            "probe_evals".to_string(),
+            num(self.stats.probe_evals as f64),
+        );
+        obj.insert(
+            "refresh_seconds".to_string(),
+            num(self.stats.refresh_seconds),
+        );
+        Value::Obj(obj)
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), String> {
+        let get_usize = |key: &str| -> Result<usize, String> {
+            state
+                .get(key)
+                .and_then(Value::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("sgm state: missing {key}"))
+        };
+        let get_arr = |key: &str| -> Result<Vec<usize>, String> {
+            state
+                .get(key)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("sgm state: missing {key}"))?
+                .iter()
+                .map(|v| {
+                    v.as_u64()
+                        .map(|i| i as usize)
+                        .ok_or_else(|| format!("sgm state: non-integer in {key}"))
+                })
+                .collect()
+        };
+        let n = self.cloud.len();
+        let assignment = get_arr("assignment")?;
+        if assignment.len() != n {
+            return Err(format!(
+                "sgm state: {} assignment labels for {n} points",
+                assignment.len()
+            ));
+        }
+        let epoch = get_arr("epoch")?;
+        if epoch.iter().any(|&i| i >= n) {
+            return Err("sgm state: epoch index out of range".to_string());
+        }
+        let cursor = get_usize("cursor")?;
+        if cursor > epoch.len() {
+            return Err("sgm state: cursor past epoch end".to_string());
+        }
+        self.clustering =
+            Clustering::from_assignment(assignment.iter().map(|&c| c as u32).collect());
+        self.epoch = epoch;
+        self.cursor = cursor;
+        self.rebuild_counter = get_usize("rebuild_counter")? as u64;
+        self.stats.refreshes = get_usize("refreshes")?;
+        self.stats.rebuilds_requested = get_usize("rebuilds_requested")?;
+        self.stats.rebuilds_applied = get_usize("rebuilds_applied")?;
+        self.stats.probe_evals = get_usize("probe_evals")?;
+        self.stats.refresh_seconds = state
+            .get("refresh_seconds")
+            .and_then(Value::as_f64)
+            .ok_or("sgm state: missing refresh_seconds")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -438,7 +535,7 @@ mod tests {
     use sgm_physics::geometry::{Cavity, FillStrategy};
     use sgm_physics::pde::{Pde, PoissonConfig};
     use sgm_physics::problem::{Problem, TrainSet};
-    use sgm_physics::train::Probe;
+    use sgm_physics::PinnModel;
 
     /// Forcing that is enormous on the left half of the cavity — an
     /// untrained (≈ 0) network therefore has its loss concentrated there.
@@ -495,10 +592,10 @@ mod tests {
     fn refresh_biases_towards_high_loss_region() {
         let (net, prob, data) = setup(400, 3);
         let mut s = SgmSampler::new(&data.interior, small_cfg());
+        let model = PinnModel::new(&prob, &data);
         let probe = Probe {
             net: &net,
-            problem: &prob,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(4);
         s.refresh(0, &probe, &mut rng);
@@ -520,10 +617,10 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.floor_one = true;
         let mut s = SgmSampler::new(&data.interior, cfg);
+        let model = PinnModel::new(&prob, &data);
         let probe = Probe {
             net: &net,
-            problem: &prob,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(6);
         s.refresh(0, &probe, &mut rng);
@@ -541,10 +638,10 @@ mod tests {
     fn tau_e_schedule_respected() {
         let (net, prob, data) = setup(200, 7);
         let mut s = SgmSampler::new(&data.interior, small_cfg()); // tau_e = 10
+        let model = PinnModel::new(&prob, &data);
         let probe = Probe {
             net: &net,
-            problem: &prob,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(8);
         for iter in 0..25 {
@@ -561,10 +658,10 @@ mod tests {
         cfg.tau_g = 5;
         cfg.background = false;
         let mut s = SgmSampler::new(&data.interior, cfg);
+        let model = PinnModel::new(&prob, &data);
         let probe = Probe {
             net: &net,
-            problem: &prob,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(10);
         for iter in 0..11 {
@@ -581,10 +678,10 @@ mod tests {
         cfg.tau_g = 2;
         cfg.background = true;
         let mut s = SgmSampler::new(&data.interior, cfg);
+        let model = PinnModel::new(&prob, &data);
         let probe = Probe {
             net: &net,
-            problem: &prob,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(12);
         let mut applied = 0;
@@ -607,10 +704,10 @@ mod tests {
         cfg.isr_cap = 64;
         let mut s = SgmSampler::new(&data.interior, cfg);
         assert_eq!(s.name(), "sgm-s");
+        let model = PinnModel::new(&prob, &data);
         let probe = Probe {
             net: &net,
-            problem: &prob,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(14);
         s.refresh(0, &probe, &mut rng);
@@ -622,10 +719,10 @@ mod tests {
     fn batches_always_full_and_in_range() {
         let (net, prob, data) = setup(150, 15);
         let mut s = SgmSampler::new(&data.interior, small_cfg());
+        let model = PinnModel::new(&prob, &data);
         let probe = Probe {
             net: &net,
-            problem: &prob,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(16);
         s.refresh(0, &probe, &mut rng);
@@ -634,6 +731,43 @@ mod tests {
             assert_eq!(b.len(), 64);
             assert!(b.iter().all(|&i| i < 150));
         }
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_epoch_and_stats() {
+        let (net, prob, data) = setup(250, 21);
+        let model = PinnModel::new(&prob, &data);
+        let probe = Probe {
+            net: &net,
+            model: &model,
+        };
+        let mut a = SgmSampler::new(&data.interior, small_cfg());
+        let mut rng = Rng64::new(22);
+        a.refresh(0, &probe, &mut rng);
+        a.next_batch(64, &mut rng); // advance the cursor mid-epoch
+        let saved = Value::parse(&a.save_state().to_string_compact()).unwrap();
+        // Rebuild from scratch (fresh clustering/epoch) and restore.
+        let mut b = SgmSampler::new(&data.interior, small_cfg());
+        b.load_state(&saved).unwrap();
+        assert_eq!(b.clustering.assignment(), a.clustering.assignment());
+        assert_eq!(b.epoch, a.epoch);
+        assert_eq!(b.cursor, a.cursor);
+        assert_eq!(b.stats(), a.stats());
+        let mut ra = Rng64::new(23);
+        let mut rb = Rng64::new(23);
+        for _ in 0..5 {
+            assert_eq!(a.next_batch(64, &mut ra), b.next_batch(64, &mut rb));
+        }
+    }
+
+    #[test]
+    fn state_rejects_mismatched_cloud() {
+        let (_net, _prob, data) = setup(100, 24);
+        let a = SgmSampler::new(&data.interior, small_cfg());
+        let saved = a.save_state();
+        let (_n2, _p2, data2) = setup(120, 25);
+        let mut b = SgmSampler::new(&data2.interior, small_cfg());
+        assert!(b.load_state(&saved).is_err());
     }
 
     #[test]

@@ -99,7 +99,9 @@ impl Graph {
 
     /// Iterator over all edges `(u, v, w)`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.edges.iter().map(|&(u, v, w)| (u as usize, v as usize, w))
+        self.edges
+            .iter()
+            .map(|&(u, v, w)| (u as usize, v as usize, w))
     }
 
     /// Iterator over `(neighbour, edge_index)` of node `u`.
@@ -270,11 +272,10 @@ impl UnionFind {
         let n = self.parent.len();
         let mut map = std::collections::HashMap::new();
         let mut out = vec![0u32; n];
-        for i in 0..n {
+        for (i, o) in out.iter_mut().enumerate() {
             let r = self.find(i);
             let next = map.len() as u32;
-            let lbl = *map.entry(r).or_insert(next);
-            out[i] = lbl;
+            *o = *map.entry(r).or_insert(next);
         }
         out
     }

@@ -114,7 +114,8 @@ pub fn build_knn_graph(cloud: &PointCloud, cfg: &KnnConfig) -> Graph {
             seen.insert(key);
         }
     }
-    let mut dedup: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    let mut dedup: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
     for (i, j, w) in edges {
         let key = if i < j { (i, j) } else { (j, i) };
         dedup.entry(key).or_insert(w);
@@ -137,9 +138,7 @@ pub fn brute_knn(cloud: &PointCloud, k: usize) -> Vec<Vec<(usize, f64)>> {
         cands.truncate(k);
         cands
     };
-    let work = n
-        .saturating_mul(n)
-        .saturating_mul(cloud.dim().max(1));
+    let work = n.saturating_mul(n).saturating_mul(cloud.dim().max(1));
     match sgm_par::current().pool(work, KNN_PAR_WORK) {
         Some(pool) => pool.par_map_indexed(n, 8, query),
         None => (0..n).map(query).collect(),
@@ -170,8 +169,8 @@ pub fn grid_knn(cloud: &PointCloud, k: usize) -> Vec<Vec<(usize, f64)>> {
     };
     let linear = |c: &[usize]| -> usize {
         let mut idx = 0;
-        for d in 0..dim {
-            idx = idx * per_axis + c[d];
+        for &cd in c.iter().take(dim) {
+            idx = idx * per_axis + cd;
         }
         idx
     };

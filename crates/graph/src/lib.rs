@@ -55,8 +55,8 @@ pub mod lrd;
 pub mod metrics;
 pub mod partition;
 pub mod points;
-pub mod sparsify;
 pub mod resistance;
+pub mod sparsify;
 
 pub use graph::Graph;
 pub use lrd::Clustering;

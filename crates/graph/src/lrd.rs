@@ -77,7 +77,11 @@ impl Clustering {
     /// # Panics
     /// Panics if labels are not compact in `[0, max+1)`.
     pub fn from_assignment(assignment: Vec<u32>) -> Self {
-        let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let k = assignment
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
         let mut clusters = vec![Vec::new(); k];
         for (i, &c) in assignment.iter().enumerate() {
             clusters[c as usize].push(i as u32);
@@ -392,7 +396,7 @@ mod tests {
             &LrdConfig {
                 level: 1,
                 er: ErSource::Provided(vec![0.01, 100.0]),
-                budget_scale: 1.0, // budget = mean ≈ 50; both could merge…
+                budget_scale: 1.0,      // budget = mean ≈ 50; both could merge…
                 max_cluster_frac: 0.67, // …but cap of 2 blocks the second merge
                 min_clusters: 1,
             },

@@ -186,10 +186,7 @@ mod tests {
     #[test]
     fn handles_degenerate_tiny_tiles() {
         // Points concentrated so some tiles hold 0 or 1 points.
-        let c = PointCloud::from_flat(
-            2,
-            vec![0.01, 0.01, 0.02, 0.02, 0.03, 0.01, 0.99, 0.99],
-        );
+        let c = PointCloud::from_flat(2, vec![0.01, 0.01, 0.02, 0.02, 0.03, 0.01, 0.99, 0.99]);
         let clustering = parallel_decompose(&c, &cfg(4, 2));
         assert_eq!(clustering.num_nodes(), 4);
     }

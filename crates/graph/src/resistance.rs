@@ -160,11 +160,7 @@ pub fn approx_edge_resistances(g: &Graph, opts: &ApproxErOptions) -> Vec<f64> {
     // Foster calibration: Σ_e w_e R_e = n − c (c = number of components).
     let (_, comps) = g.components();
     let target = (n.saturating_sub(comps)) as f64;
-    let mass: f64 = g
-        .edges()
-        .zip(raw.iter())
-        .map(|((_, _, w), &r)| w * r)
-        .sum();
+    let mass: f64 = g.edges().zip(raw.iter()).map(|((_, _, w), &r)| w * r).sum();
     if mass > 1e-300 && target > 0.0 {
         let scale = target / mass;
         for r in &mut raw {

@@ -168,7 +168,12 @@ mod tests {
                 ..SparsifyOptions::default()
             },
         );
-        assert!(h.num_edges() < g.num_edges() / 2, "{} vs {}", h.num_edges(), g.num_edges());
+        assert!(
+            h.num_edges() < g.num_edges() / 2,
+            "{} vs {}",
+            h.num_edges(),
+            g.num_edges()
+        );
         assert_eq!(h.num_nodes(), g.num_nodes());
     }
 

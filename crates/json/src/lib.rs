@@ -149,10 +149,9 @@ impl Value {
     }
 
     pub fn req_usize(&self, key: &str) -> Result<usize, JsonError> {
-        self.req(key)?
-            .as_u64()
-            .map(|v| v as usize)
-            .ok_or_else(|| JsonError::access(format!("field `{key}` is not a non-negative integer")))
+        self.req(key)?.as_u64().map(|v| v as usize).ok_or_else(|| {
+            JsonError::access(format!("field `{key}` is not a non-negative integer"))
+        })
     }
 
     pub fn req_str(&self, key: &str) -> Result<&str, JsonError> {
@@ -310,7 +309,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(JsonError::new(format!("expected `{}`", b as char), self.pos))
+            Err(JsonError::new(
+                format!("expected `{}`", b as char),
+                self.pos,
+            ))
         }
     }
 
@@ -530,14 +532,16 @@ mod tests {
             1.7976931348623157e308,  // f64::MAX
             0.1,
             1.0 / 3.0,
-            -123456789.123456789,
+            -123456789.12345679,
             1e20,
             3.0000000000000004,
         ];
         // A deterministic pseudo-random sweep for good measure.
         let mut s = 0x9e3779b97f4a7c15u64;
         for _ in 0..2000 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = f64::from_bits(s);
             if x.is_finite() {
                 xs.push(x);
@@ -556,10 +560,9 @@ mod tests {
 
     #[test]
     fn parses_standard_syntax() {
-        let v = Value::parse(
-            r#" { "k": [1, -2.5, 3e2, 0.5e-1], "s": "aAb", "t": true, "n": null } "#,
-        )
-        .unwrap();
+        let v =
+            Value::parse(r#" { "k": [1, -2.5, 3e2, 0.5e-1], "s": "aAb", "t": true, "n": null } "#)
+                .unwrap();
         assert_eq!(v.req_f64_arr("k").unwrap(), vec![1.0, -2.5, 300.0, 0.05]);
         assert_eq!(v.req_str("s").unwrap(), "aAb");
         assert_eq!(v.get("t").unwrap().as_bool(), Some(true));
@@ -574,7 +577,10 @@ mod tests {
             Value::Str("Aéx😀".into())
         );
         // Raw UTF-8 passes through unescaped.
-        assert_eq!(Value::parse("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+        assert_eq!(
+            Value::parse("\"héllo\"").unwrap(),
+            Value::Str("héllo".into())
+        );
         assert!(Value::parse(r#""\ud83d""#).is_err()); // lone high surrogate
         assert!(Value::parse(r#""\uZZZZ""#).is_err());
     }

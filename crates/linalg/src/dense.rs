@@ -68,7 +68,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds from a flat row-major buffer.
@@ -162,12 +166,54 @@ impl Matrix {
         t
     }
 
+    /// Writes the transpose of `self` into `dst` without allocating —
+    /// the hot-loop variant of [`Matrix::transposed`].
+    ///
+    /// # Panics
+    /// Panics if `dst` is not `cols × rows`.
+    pub fn transpose_into(&self, dst: &mut Matrix) {
+        assert_eq!(
+            (dst.rows, dst.cols),
+            (self.cols, self.rows),
+            "transpose_into shape mismatch"
+        );
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                dst.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+    }
+
+    /// Overwrites every entry with `v` (buffer reuse in workspaces).
+    pub fn fill(&mut self, v: f64) {
+        for x in &mut self.data {
+            *x = v;
+        }
+    }
+
+    /// Copies another matrix of identical shape into `self`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "copy_from shape mismatch"
+        );
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Dense GEMM: `self * other`.
     ///
     /// # Panics
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "gemm dims {}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols);
+        assert_eq!(
+            self.cols, other.rows,
+            "gemm dims {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         gemm(1.0, self, other, 0.0, &mut out);
         out
@@ -190,8 +236,8 @@ impl Matrix {
                 });
             }
             None => {
-                for r in 0..self.rows {
-                    y[r] = dot(self.row(r), x);
+                for (r, yr) in y.iter_mut().enumerate() {
+                    *yr = dot(self.row(r), x);
                 }
             }
         }
@@ -249,7 +295,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy shape");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy shape"
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -322,9 +372,9 @@ impl Matrix {
         let n = self.rows;
         let lmax = vals.iter().cloned().fold(0.0, f64::max).max(1e-300);
         let mut out = Matrix::zeros(n, n);
-        for k in 0..n {
-            if vals[k] > tol * lmax {
-                let inv = 1.0 / vals[k];
+        for (k, &vk) in vals.iter().enumerate() {
+            if vk > tol * lmax {
+                let inv = 1.0 / vk;
                 for i in 0..n {
                     let vik = vecs.get(i, k);
                     if vik == 0.0 {
@@ -379,8 +429,8 @@ impl Matrix {
         let mut x = vec![0.0; n];
         for i in 0..n {
             let mut s = b[i];
-            for j in 0..i {
-                s -= self.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                s -= self.get(i, j) * xj;
             }
             let d = self.get(i, i);
             assert!(d != 0.0, "zero diagonal");
@@ -401,8 +451,8 @@ impl Matrix {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = b[i];
-            for j in i + 1..n {
-                s -= self.get(j, i) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.get(j, i) * xj;
             }
             let d = self.get(i, i);
             assert!(d != 0.0, "zero diagonal");
@@ -643,8 +693,8 @@ mod tests {
         let y = a.mul_vec(&x);
         let xm = Matrix::from_vec(3, 1, x);
         let ym = a.matmul(&xm);
-        for i in 0..5 {
-            assert!((y[i] - ym.get(i, 0)).abs() < 1e-12);
+        for (i, yi) in y.iter().enumerate() {
+            assert!((yi - ym.get(i, 0)).abs() < 1e-12);
         }
     }
 
@@ -691,11 +741,11 @@ mod tests {
         let a = g.matmul(&g.transposed()); // SPD
         let (vals, vecs) = a.sym_eig();
         // A v_k = λ_k v_k
-        for k in 0..n {
+        for (k, &lk) in vals.iter().enumerate() {
             let vk: Vec<f64> = (0..n).map(|i| vecs.get(i, k)).collect();
             let av = a.mul_vec(&vk);
-            for i in 0..n {
-                assert!((av[i] - vals[k] * vk[i]).abs() < 1e-7, "eigpair {k}");
+            for (avi, vki) in av.iter().zip(&vk) {
+                assert!((avi - lk * vki).abs() < 1e-7, "eigpair {k}");
             }
         }
     }
@@ -764,7 +814,12 @@ mod tests {
     fn gemm_matches_reference_bit_exactly() {
         use sgm_par::{with_parallelism, Parallelism};
         let mut rng = Rng64::new(7);
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 5, 2), (17, 33, 9), (70, 70, 70)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (17, 33, 9),
+            (70, 70, 70),
+        ] {
             let a = Matrix::gaussian(m, k, &mut rng);
             let b = Matrix::gaussian(k, n, &mut rng);
             let c0 = Matrix::gaussian(m, n, &mut rng);

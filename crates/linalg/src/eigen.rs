@@ -258,11 +258,8 @@ mod tests {
     use crate::sparse::Csr;
 
     fn diag_op(values: &[f64]) -> Csr {
-        let trips: Vec<(usize, usize, f64)> = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (i, i, v))
-            .collect();
+        let trips: Vec<(usize, usize, f64)> =
+            values.iter().enumerate().map(|(i, &v)| (i, i, v)).collect();
         Csr::from_triplets(values.len(), values.len(), &trips)
     }
 
@@ -337,11 +334,8 @@ mod tests {
         );
         for p in &pairs {
             let av = a.mul_vec(&p.vector);
-            for i in 0..12 {
-                assert!(
-                    (av[i] - p.value * p.vector[i]).abs() < 1e-6,
-                    "residual too large"
-                );
+            for (avi, vi) in av.iter().zip(&p.vector) {
+                assert!((avi - p.value * vi).abs() < 1e-6, "residual too large");
             }
         }
     }

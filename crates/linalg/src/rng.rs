@@ -47,6 +47,18 @@ impl Rng64 {
         }
     }
 
+    /// Raw generator state — the four xoshiro256** words plus the cached
+    /// Box–Muller spare — for run-state checkpointing. Restoring with
+    /// [`Rng64::from_state`] continues the stream bit-identically.
+    pub fn state(&self) -> ([u64; 4], Option<f64>) {
+        (self.state, self.gauss_spare)
+    }
+
+    /// Rebuilds a generator from [`Rng64::state`] output.
+    pub fn from_state(state: [u64; 4], gauss_spare: Option<f64>) -> Self {
+        Rng64 { state, gauss_spare }
+    }
+
     /// Derives an independent child generator (for worker threads).
     pub fn fork(&mut self) -> Self {
         Rng64::new(self.next_u64() ^ 0xA5A5_A5A5_5A5A_5A5A)
@@ -174,7 +186,7 @@ impl Rng64 {
 
 impl Default for Rng64 {
     fn default() -> Self {
-        Rng64::new(0x5EED_0F_5EED)
+        Rng64::new(0x005E_ED0F_5EED)
     }
 }
 

@@ -73,7 +73,10 @@ pub fn conjugate_gradient<A: LinOp + ?Sized>(a: &A, b: &[f64], opts: &CgOptions)
     let n = a.dim();
     assert_eq!(b.len(), n, "rhs dimension");
     if let Some(d) = &opts.jacobi_diag {
-        assert!(d.iter().all(|&x| x > 0.0), "preconditioner must be positive");
+        assert!(
+            d.iter().all(|&x| x > 0.0),
+            "preconditioner must be positive"
+        );
     }
     let precond = |r: &[f64], z: &mut Vec<f64>| {
         z.clear();
@@ -206,8 +209,8 @@ mod tests {
         let (a, x_true, b) = spd_system(50, 1);
         let res = conjugate_gradient(&a, &b, &CgOptions::default());
         assert!(res.converged, "residual {}", res.residual);
-        for i in 0..50 {
-            assert!((res.solution[i] - x_true[i]).abs() < 1e-6);
+        for (si, ti) in res.solution.iter().zip(&x_true) {
+            assert!((si - ti).abs() < 1e-6);
         }
     }
 
@@ -220,8 +223,8 @@ mod tests {
         };
         let res = conjugate_gradient(&a, &b, &opts);
         assert!(res.converged);
-        for i in 0..50 {
-            assert!((res.solution[i] - x_true[i]).abs() < 1e-6);
+        for (si, ti) in res.solution.iter().zip(&x_true) {
+            assert!((si - ti).abs() < 1e-6);
         }
     }
 
@@ -281,7 +284,12 @@ mod tests {
         let resid = |x: &[f64]| {
             let mut ax = vec![0.0; 30];
             a.mul_vec(x, &mut ax);
-            norm2(&b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect::<Vec<_>>())
+            norm2(
+                &b.iter()
+                    .zip(&ax)
+                    .map(|(bi, ai)| bi - ai)
+                    .collect::<Vec<_>>(),
+            )
         };
         assert!(resid(&xg) < resid(&xj));
     }

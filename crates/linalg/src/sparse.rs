@@ -131,12 +131,12 @@ impl Csr {
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv x dim");
         assert_eq!(y.len(), self.rows, "spmv y dim");
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut s = 0.0;
             for p in self.row_ptr[r]..self.row_ptr[r + 1] {
                 s += self.values[p] * x[self.col_idx[p] as usize];
             }
-            y[r] = s;
+            *yr = s;
         }
     }
 

@@ -86,11 +86,8 @@ fn cg_matches_direct() {
         let direct = a.solve(&b).unwrap();
         let cg = conjugate_gradient(&sp, &b, &CgOptions::default());
         assert!(cg.converged, "seed={seed} n={n}");
-        for i in 0..n {
-            assert!(
-                (cg.solution[i] - direct[i]).abs() < 1e-6,
-                "seed={seed} n={n} i={i}"
-            );
+        for (i, (cgi, di)) in cg.solution.iter().zip(&direct).enumerate() {
+            assert!((cgi - di).abs() < 1e-6, "seed={seed} n={n} i={i}");
         }
     }
 }
@@ -183,7 +180,10 @@ fn normalized_is_probability() {
         let xs = random_vec(&mut rng, 1, 20, 5.0);
         let p = normalize_distribution(&xs);
         assert_eq!(p.len(), xs.len());
-        assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)), "seed={seed}");
+        assert!(
+            p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)),
+            "seed={seed}"
+        );
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "seed={seed}");
     }
 }

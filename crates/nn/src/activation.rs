@@ -57,7 +57,11 @@ mod tests {
             let d = apply(Dual2::variable(z));
             let (f, f1, f2, _f3) = eval3(act, z);
             assert!((f - d.v).abs() < 1e-12, "{act:?} value at {z}");
-            assert!((f1 - d.d).abs() < 1e-10, "{act:?} f' at {z}: {f1} vs {}", d.d);
+            assert!(
+                (f1 - d.d).abs() < 1e-10,
+                "{act:?} f' at {z}: {f1} vs {}",
+                d.d
+            );
             assert!(
                 (f2 - d.dd).abs() < 1e-10,
                 "{act:?} f'' at {z}: {f2} vs {}",

@@ -142,7 +142,8 @@ impl Checkpoint {
         let mut rng = sgm_linalg::rng::Rng64::new(0);
         let mut net = Mlp::new(&cfg, &mut rng);
         if self.fourier_features > 0 {
-            net.set_fourier_frequencies(&self.fourier_freq).map_err(CheckpointError::Shape)?;
+            net.set_fourier_frequencies(&self.fourier_freq)
+                .map_err(CheckpointError::Shape)?;
         }
         if self.params.len() != net.num_params() {
             return Err(CheckpointError::Shape(format!(
@@ -170,10 +171,7 @@ impl Checkpoint {
             ("hidden_layers", Value::Num(self.hidden_layers as f64)),
             ("activation", Value::Str(self.activation.clone())),
             ("fourier_freq", num_arr(&self.fourier_freq)),
-            (
-                "fourier_features",
-                Value::Num(self.fourier_features as f64),
-            ),
+            ("fourier_features", Value::Num(self.fourier_features as f64)),
             ("params", num_arr(&self.params)),
         ]);
         Ok(v.to_string_compact())

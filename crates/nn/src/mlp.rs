@@ -35,8 +35,7 @@ fn rows_band(x: &Matrix, r0: usize, r1: usize) -> Matrix {
 fn scatter_band(dst: &mut Matrix, r0: usize, band: &Matrix) {
     debug_assert_eq!(dst.cols(), band.cols());
     let cols = dst.cols();
-    dst.as_mut_slice()[r0 * cols..(r0 + band.rows()) * cols]
-        .copy_from_slice(band.as_slice());
+    dst.as_mut_slice()[r0 * cols..(r0 + band.rows()) * cols].copy_from_slice(band.as_slice());
 }
 
 /// Chunk row ranges for a batch: boundaries depend only on `batch`.
@@ -123,6 +122,27 @@ impl BatchDerivatives {
                 .collect(),
         }
     }
+
+    /// All-zero derivatives with explicit shapes (`batch × out`, `nd`
+    /// derivative dimensions).
+    pub fn zeros(batch: usize, out: usize, nd: usize) -> Self {
+        BatchDerivatives {
+            values: Matrix::zeros(batch, out),
+            jac: vec![Matrix::zeros(batch, out); nd],
+            hess: vec![Matrix::zeros(batch, out); nd],
+        }
+    }
+
+    /// Resets every entry to zero in place (workspace reuse).
+    pub fn zero(&mut self) {
+        self.values.fill(0.0);
+        for m in &mut self.jac {
+            m.fill(0.0);
+        }
+        for m in &mut self.hess {
+            m.fill(0.0);
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -175,6 +195,45 @@ impl Gradients {
             out.extend_from_slice(b);
         }
         out
+    }
+
+    /// Total number of entries (equals the owning network's
+    /// `num_params()`).
+    pub fn num_entries(&self) -> usize {
+        self.w
+            .iter()
+            .zip(&self.b)
+            .map(|(w, b)| w.rows() * w.cols() + b.len())
+            .sum()
+    }
+
+    /// Writes the flattened gradient into a caller-owned buffer — the
+    /// allocation-free sibling of [`Gradients::flat`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != num_entries()`.
+    pub fn write_flat(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.num_entries(), "flat buffer size mismatch");
+        let mut off = 0;
+        for (w, b) in self.w.iter().zip(&self.b) {
+            let nw = w.rows() * w.cols();
+            out[off..off + nw].copy_from_slice(w.as_slice());
+            off += nw;
+            out[off..off + b.len()].copy_from_slice(b);
+            off += b.len();
+        }
+    }
+
+    /// Resets all entries to zero in place (accumulator reuse).
+    pub fn zero(&mut self) {
+        for w in &mut self.w {
+            w.fill(0.0);
+        }
+        for b in &mut self.b {
+            for x in b {
+                *x = 0.0;
+            }
+        }
     }
 
     /// Adds another gradient in place.
@@ -249,11 +308,7 @@ impl Mlp {
             m.scale(2.0 * std::f64::consts::PI * f.sigma);
             m
         });
-        let enc_dim = cfg.input_dim
-            + cfg
-                .fourier
-                .as_ref()
-                .map_or(0, |f| 2 * f.num_features);
+        let enc_dim = cfg.input_dim + cfg.fourier.as_ref().map_or(0, |f| 2 * f.num_features);
         let mut sizes = vec![(enc_dim, cfg.hidden_width)];
         for _ in 1..cfg.hidden_layers {
             sizes.push((cfg.hidden_width, cfg.hidden_width));
@@ -405,8 +460,8 @@ impl Mlp {
         let mut hess = vec![Matrix::zeros(b, enc_dim); diff_dims.len()];
         for r in 0..b {
             let xr = x.row(r);
-            for c in 0..in_dim {
-                e.set(r, c, xr[c]);
+            for (c, &xc) in xr.iter().enumerate().take(in_dim) {
+                e.set(r, c, xc);
             }
             for (di, &d) in diff_dims.iter().enumerate() {
                 jac[di].set(r, d, 1.0);
@@ -707,7 +762,11 @@ impl Mlp {
         let nd = cache.chunks[0].layers[0].zj.len();
         assert_eq!(adjoints.jac.len(), nd, "jac adjoint count");
         assert_eq!(adjoints.hess.len(), nd, "hess adjoint count");
-        assert_eq!(adjoints.values.rows(), cache.batch, "adjoint batch mismatch");
+        assert_eq!(
+            adjoints.values.rows(),
+            cache.batch,
+            "adjoint batch mismatch"
+        );
         let work = self.par_work(cache.batch, nd);
         let per_chunk: Vec<Gradients> = match sgm_par::current().pool(work, MLP_PAR_WORK) {
             Some(pool) => pool.par_map_indexed(cache.chunks.len(), 1, |ci| {
@@ -724,6 +783,439 @@ impl Mlp {
             grads.add_assign(g);
         }
         grads
+    }
+}
+
+/// Per-layer buffers of one batch chunk: the forward cache (mirroring
+/// [`LayerCache`]) plus every backward scratch matrix, all preallocated.
+#[derive(Debug, Clone)]
+struct LayerWs {
+    /// Layer input activations, `chunk × in_w` (written by the previous
+    /// layer's activation or the encoder).
+    a_in: Matrix,
+    j_in: Vec<Matrix>,
+    h_in: Vec<Matrix>,
+    /// Pre-activations and their derivative carries, `chunk × out_w`.
+    z: Matrix,
+    zj: Vec<Matrix>,
+    zh: Vec<Matrix>,
+    /// Backward carry: gradient w.r.t. this layer's *output*.
+    gout: Matrix,
+    goutj: Vec<Matrix>,
+    gouth: Vec<Matrix>,
+    /// Pre-activation adjoints.
+    gz: Matrix,
+    gzj: Vec<Matrix>,
+    gzh: Vec<Matrix>,
+    /// Transpose scratch (`out_w × chunk`) shared by gz/gzj/gzh.
+    gt: Matrix,
+    activated: bool,
+}
+
+/// All buffers of one batch chunk. Chunks are fully independent, so the
+/// pool may hand each to any worker without changing results.
+#[derive(Debug, Clone)]
+struct ChunkWs {
+    r0: usize,
+    r1: usize,
+    layers: Vec<LayerWs>,
+    /// Final network outputs of this chunk, `chunk × out`.
+    out_v: Matrix,
+    out_j: Vec<Matrix>,
+    out_h: Vec<Matrix>,
+    /// Per-chunk gradient accumulator, merged in chunk order.
+    grads: Gradients,
+}
+
+/// Preallocated scratch for repeated derivative-carrying forward/backward
+/// passes over a fixed batch shape — the steady-state allocation-free
+/// training path.
+///
+/// The chunk layout equals [`batch_chunks`]`(batch)`, i.e. exactly the
+/// layout the allocating [`Mlp::forward_with_derivs`] path uses, so the
+/// workspace path is bit-identical to it for every
+/// [`sgm_par::Parallelism`] setting. Under `Parallelism::Serial` a
+/// forward + backward pair performs **zero** heap allocations; pooled
+/// execution allocates only the small per-task boxes inside `sgm-par`.
+#[derive(Debug, Clone)]
+pub struct MlpWorkspace {
+    batch: usize,
+    nd: usize,
+    /// Transposed weights, refreshed from the network at the start of
+    /// every forward pass (weights change each optimiser step).
+    wt: Vec<Matrix>,
+    chunks: Vec<ChunkWs>,
+    /// Assembled full-batch outputs of the last forward pass.
+    derivs: BatchDerivatives,
+}
+
+impl MlpWorkspace {
+    /// Batch size this workspace was built for.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Number of derivative dimensions this workspace was built for.
+    pub fn num_diff_dims(&self) -> usize {
+        self.nd
+    }
+
+    /// Outputs of the most recent [`Mlp::forward_with_derivs_ws`] call.
+    pub fn derivs(&self) -> &BatchDerivatives {
+        &self.derivs
+    }
+}
+
+impl Mlp {
+    /// Builds a reusable workspace for batches of exactly `batch` rows
+    /// with `nd` derivative dimensions. All buffers the staged training
+    /// loop needs are allocated here, once per run.
+    pub fn make_workspace(&self, batch: usize, nd: usize) -> MlpWorkspace {
+        let ranges = if batch == 0 {
+            Vec::new()
+        } else {
+            batch_chunks(batch)
+        };
+        let chunks = ranges
+            .iter()
+            .map(|&(r0, r1)| {
+                let chunk = r1 - r0;
+                let layers = self
+                    .layers
+                    .iter()
+                    .enumerate()
+                    .map(|(li, layer)| {
+                        let in_w = layer.w.cols();
+                        let out_w = layer.w.rows();
+                        LayerWs {
+                            a_in: Matrix::zeros(chunk, in_w),
+                            j_in: vec![Matrix::zeros(chunk, in_w); nd],
+                            h_in: vec![Matrix::zeros(chunk, in_w); nd],
+                            z: Matrix::zeros(chunk, out_w),
+                            zj: vec![Matrix::zeros(chunk, out_w); nd],
+                            zh: vec![Matrix::zeros(chunk, out_w); nd],
+                            gout: Matrix::zeros(chunk, out_w),
+                            goutj: vec![Matrix::zeros(chunk, out_w); nd],
+                            gouth: vec![Matrix::zeros(chunk, out_w); nd],
+                            gz: Matrix::zeros(chunk, out_w),
+                            gzj: vec![Matrix::zeros(chunk, out_w); nd],
+                            gzh: vec![Matrix::zeros(chunk, out_w); nd],
+                            gt: Matrix::zeros(out_w, chunk),
+                            activated: li != self.layers.len() - 1,
+                        }
+                    })
+                    .collect();
+                ChunkWs {
+                    r0,
+                    r1,
+                    layers,
+                    out_v: Matrix::zeros(chunk, self.cfg.output_dim),
+                    out_j: vec![Matrix::zeros(chunk, self.cfg.output_dim); nd],
+                    out_h: vec![Matrix::zeros(chunk, self.cfg.output_dim); nd],
+                    grads: self.zero_gradients(),
+                }
+            })
+            .collect();
+        MlpWorkspace {
+            batch,
+            nd,
+            wt: self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.w.cols(), l.w.rows()))
+                .collect(),
+            chunks,
+            derivs: BatchDerivatives::zeros(batch, self.cfg.output_dim, nd),
+        }
+    }
+
+    /// Encoder writing straight into the chunk's layer-0 input buffers
+    /// (rows `r0..r1` of `x`) — the allocation-free twin of `encode`.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_chunk(
+        &self,
+        x: &Matrix,
+        r0: usize,
+        r1: usize,
+        diff_dims: &[usize],
+        a: &mut Matrix,
+        jac: &mut [Matrix],
+        hess: &mut [Matrix],
+    ) {
+        let in_dim = self.cfg.input_dim;
+        for m in jac.iter_mut() {
+            m.fill(0.0);
+        }
+        for m in hess.iter_mut() {
+            m.fill(0.0);
+        }
+        let Some(freq) = &self.freq else {
+            // Identity encoding: copy the band, one-hot Jacobian.
+            a.as_mut_slice()
+                .copy_from_slice(&x.as_slice()[r0 * in_dim..r1 * in_dim]);
+            for (di, &d) in diff_dims.iter().enumerate() {
+                for r in 0..r1 - r0 {
+                    jac[di].set(r, d, 1.0);
+                }
+            }
+            return;
+        };
+        let nf = freq.rows();
+        for r in 0..r1 - r0 {
+            let xr = x.row(r0 + r);
+            for (c, &xc) in xr.iter().enumerate().take(in_dim) {
+                a.set(r, c, xc);
+            }
+            for (di, &d) in diff_dims.iter().enumerate() {
+                jac[di].set(r, d, 1.0);
+            }
+            for s in 0..nf {
+                let w = freq.row(s);
+                let phase: f64 = w.iter().zip(xr).map(|(a, b)| a * b).sum();
+                let (sn, cs) = phase.sin_cos();
+                a.set(r, in_dim + s, sn);
+                a.set(r, in_dim + nf + s, cs);
+                for (di, &d) in diff_dims.iter().enumerate() {
+                    let wd = w[d];
+                    jac[di].set(r, in_dim + s, wd * cs);
+                    jac[di].set(r, in_dim + nf + s, -wd * sn);
+                    hess[di].set(r, in_dim + s, -wd * wd * sn);
+                    hess[di].set(r, in_dim + nf + s, -wd * wd * cs);
+                }
+            }
+        }
+    }
+
+    /// Forward body for one preallocated chunk; mirrors
+    /// `forward_derivs_band` operation for operation so results stay
+    /// bit-identical to the allocating path.
+    fn forward_chunk_ws(&self, cw: &mut ChunkWs, wt: &[Matrix], x: &Matrix, diff_dims: &[usize]) {
+        let nd = diff_dims.len();
+        let ChunkWs {
+            r0,
+            r1,
+            layers: lws,
+            out_v,
+            out_j,
+            out_h,
+            ..
+        } = cw;
+        let (r0, r1) = (*r0, *r1);
+        let batch = r1 - r0;
+        {
+            let l0 = &mut lws[0];
+            self.encode_chunk(
+                x,
+                r0,
+                r1,
+                diff_dims,
+                &mut l0.a_in,
+                &mut l0.j_in,
+                &mut l0.h_in,
+            );
+        }
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (cur, rest) = lws[li..].split_first_mut().expect("layer buffers");
+            gemm(1.0, &cur.a_in, &wt[li], 0.0, &mut cur.z);
+            for r in 0..batch {
+                let row = cur.z.row_mut(r);
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += layer.b[c];
+                }
+            }
+            for d in 0..nd {
+                gemm(1.0, &cur.j_in[d], &wt[li], 0.0, &mut cur.zj[d]);
+                gemm(1.0, &cur.h_in[d], &wt[li], 0.0, &mut cur.zh[d]);
+            }
+            let out_w = layer.w.rows();
+            if li != last {
+                let nxt = &mut rest[0];
+                for i in 0..batch * out_w {
+                    let (s, s1, s2, _s3) = eval3(self.cfg.activation, cur.z.as_slice()[i]);
+                    nxt.a_in.as_mut_slice()[i] = s;
+                    for d in 0..nd {
+                        let zjv = cur.zj[d].as_slice()[i];
+                        let zhv = cur.zh[d].as_slice()[i];
+                        nxt.j_in[d].as_mut_slice()[i] = s1 * zjv;
+                        nxt.h_in[d].as_mut_slice()[i] = s2 * zjv * zjv + s1 * zhv;
+                    }
+                }
+            } else {
+                out_v.copy_from(&cur.z);
+                for d in 0..nd {
+                    out_j[d].copy_from(&cur.zj[d]);
+                    out_h[d].copy_from(&cur.zh[d]);
+                }
+            }
+        }
+    }
+
+    /// Derivative-carrying forward pass into a preallocated workspace.
+    /// Outputs land in [`MlpWorkspace::derivs`]; the per-chunk caches stay
+    /// in place for [`Mlp::backward_ws`].
+    ///
+    /// Bit-identical to [`Mlp::forward_with_derivs`] for every
+    /// [`sgm_par::Parallelism`] setting, and allocation-free in serial
+    /// mode.
+    ///
+    /// # Panics
+    /// Panics if `x` or `diff_dims` disagree with the workspace shape.
+    pub fn forward_with_derivs_ws(&self, x: &Matrix, diff_dims: &[usize], ws: &mut MlpWorkspace) {
+        assert_eq!(x.cols(), self.cfg.input_dim, "input dim mismatch");
+        assert_eq!(x.rows(), ws.batch, "workspace batch mismatch");
+        assert_eq!(diff_dims.len(), ws.nd, "workspace diff-dim mismatch");
+        for &d in diff_dims {
+            assert!(d < self.cfg.input_dim, "diff dim {d} out of range");
+        }
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.w.transpose_into(&mut ws.wt[li]);
+        }
+        let MlpWorkspace {
+            chunks, wt, derivs, ..
+        } = ws;
+        let work = self.par_work(x.rows(), diff_dims.len());
+        match sgm_par::current().pool(work, MLP_PAR_WORK) {
+            Some(pool) => pool.par_chunks_mut(chunks, 1, |_base, slice| {
+                for cw in slice {
+                    self.forward_chunk_ws(cw, wt, x, diff_dims);
+                }
+            }),
+            None => {
+                for cw in chunks.iter_mut() {
+                    self.forward_chunk_ws(cw, wt, x, diff_dims);
+                }
+            }
+        }
+        for cw in chunks.iter() {
+            scatter_band(&mut derivs.values, cw.r0, &cw.out_v);
+            for d in 0..diff_dims.len() {
+                scatter_band(&mut derivs.jac[d], cw.r0, &cw.out_j[d]);
+                scatter_band(&mut derivs.hess[d], cw.r0, &cw.out_h[d]);
+            }
+        }
+    }
+
+    /// Backward body for one workspace chunk; mirrors `backward_chunk`.
+    fn backward_chunk_ws(&self, cw: &mut ChunkWs, adjoints: &BatchDerivatives) {
+        let nd = cw.layers[0].zj.len();
+        let ChunkWs {
+            r0,
+            r1,
+            layers: lws,
+            grads,
+            ..
+        } = cw;
+        let (r0, r1) = (*r0, *r1);
+        let batch = r1 - r0;
+        grads.zero();
+        {
+            let top = lws.last_mut().expect("layer buffers");
+            let cols = adjoints.values.cols();
+            top.gout
+                .as_mut_slice()
+                .copy_from_slice(&adjoints.values.as_slice()[r0 * cols..r1 * cols]);
+            for d in 0..nd {
+                top.goutj[d]
+                    .as_mut_slice()
+                    .copy_from_slice(&adjoints.jac[d].as_slice()[r0 * cols..r1 * cols]);
+                top.gouth[d]
+                    .as_mut_slice()
+                    .copy_from_slice(&adjoints.hess[d].as_slice()[r0 * cols..r1 * cols]);
+            }
+        }
+        for (li, layer) in self.layers.iter().enumerate().rev() {
+            let (below, from_li) = lws.split_at_mut(li);
+            let l = &mut from_li[0];
+            let out_w = layer.w.rows();
+            // Activation adjoints → pre-activation adjoints.
+            if l.activated {
+                for i in 0..batch * out_w {
+                    let (_s, s1, s2, s3) = eval3(self.cfg.activation, l.z.as_slice()[i]);
+                    let mut g = l.gout.as_slice()[i] * s1;
+                    for d in 0..nd {
+                        let zjv = l.zj[d].as_slice()[i];
+                        let zhv = l.zh[d].as_slice()[i];
+                        let gjv = l.goutj[d].as_slice()[i];
+                        let ghv = l.gouth[d].as_slice()[i];
+                        g += gjv * s2 * zjv + ghv * (s3 * zjv * zjv + s2 * zhv);
+                        l.gzj[d].as_mut_slice()[i] = gjv * s1 + ghv * 2.0 * s2 * zjv;
+                        l.gzh[d].as_mut_slice()[i] = ghv * s1;
+                    }
+                    l.gz.as_mut_slice()[i] = g;
+                }
+            } else {
+                l.gz.copy_from(&l.gout);
+                for d in 0..nd {
+                    l.gzj[d].copy_from(&l.goutj[d]);
+                    l.gzh[d].copy_from(&l.gouth[d]);
+                }
+            }
+            // gW += gzᵀ a_in + Σ_d (gzjᵀ j_in + gzhᵀ h_in)
+            l.gz.transpose_into(&mut l.gt);
+            gemm(1.0, &l.gt, &l.a_in, 1.0, &mut grads.w[li]);
+            for d in 0..nd {
+                l.gzj[d].transpose_into(&mut l.gt);
+                gemm(1.0, &l.gt, &l.j_in[d], 1.0, &mut grads.w[li]);
+                l.gzh[d].transpose_into(&mut l.gt);
+                gemm(1.0, &l.gt, &l.h_in[d], 1.0, &mut grads.w[li]);
+            }
+            // gb += column sums of gz (bias enters only the value path).
+            for r in 0..batch {
+                for (c, gbc) in grads.b[li].iter_mut().enumerate() {
+                    *gbc += l.gz.get(r, c);
+                }
+            }
+            if li == 0 {
+                break; // inputs are not trainable
+            }
+            // Propagate to layer inputs: carry for the layer below.
+            let prev = below.last_mut().expect("previous layer buffers");
+            gemm(1.0, &l.gz, &layer.w, 0.0, &mut prev.gout);
+            for d in 0..nd {
+                gemm(1.0, &l.gzj[d], &layer.w, 0.0, &mut prev.goutj[d]);
+                gemm(1.0, &l.gzh[d], &layer.w, 0.0, &mut prev.gouth[d]);
+            }
+        }
+    }
+
+    /// Backward pass over the caches left by
+    /// [`Mlp::forward_with_derivs_ws`], **accumulating** exact parameter
+    /// gradients into `out` (callers zero `out` once per iteration and
+    /// may stack interior + boundary contributions).
+    ///
+    /// Per-chunk gradients merge in chunk order, so results are
+    /// bit-identical for every [`sgm_par::Parallelism`] setting;
+    /// allocation-free in serial mode.
+    ///
+    /// # Panics
+    /// Panics if adjoint shapes do not match the workspace.
+    pub fn backward_ws(
+        &self,
+        ws: &mut MlpWorkspace,
+        adjoints: &BatchDerivatives,
+        out: &mut Gradients,
+    ) {
+        assert_eq!(adjoints.jac.len(), ws.nd, "jac adjoint count");
+        assert_eq!(adjoints.hess.len(), ws.nd, "hess adjoint count");
+        assert_eq!(adjoints.values.rows(), ws.batch, "adjoint batch mismatch");
+        let work = self.par_work(ws.batch, ws.nd);
+        let chunks = &mut ws.chunks;
+        match sgm_par::current().pool(work, MLP_PAR_WORK) {
+            Some(pool) => pool.par_chunks_mut(chunks, 1, |_base, slice| {
+                for cw in slice {
+                    self.backward_chunk_ws(cw, adjoints);
+                }
+            }),
+            None => {
+                for cw in chunks.iter_mut() {
+                    self.backward_chunk_ws(cw, adjoints);
+                }
+            }
+        }
+        for cw in chunks.iter() {
+            out.add_assign(&cw.grads);
+        }
     }
 }
 
@@ -977,6 +1469,91 @@ mod tests {
                     assert_eq!(a.to_bits(), b.to_bits(), "{p:?} grad[{i}]");
                 }
             }
+        }
+    }
+
+    /// The preallocated-workspace forward/backward path must be
+    /// bit-identical to the allocating path, for every parallelism
+    /// setting, with and without Fourier features, and across repeated
+    /// reuse of the same workspace.
+    #[test]
+    fn workspace_path_matches_allocating_path() {
+        use sgm_par::Parallelism;
+        for fourier in [false, true] {
+            let net = tiny_net(17, fourier);
+            let mut rng = Rng64::new(99);
+            let xs: Vec<Matrix> = (0..3).map(|_| Matrix::gaussian(70, 2, &mut rng)).collect();
+            for p in [
+                Parallelism::Serial,
+                Parallelism::Threads(1),
+                Parallelism::Threads(8),
+            ] {
+                sgm_par::with_parallelism(p, || {
+                    let mut ws = net.make_workspace(70, 2);
+                    for x in &xs {
+                        let (full, cache) = net.forward_with_derivs(x, &[0, 1]);
+                        let adj = composite_adjoints(&full);
+                        let g_ref = net.backward(&cache, &adj).flat();
+
+                        net.forward_with_derivs_ws(x, &[0, 1], &mut ws);
+                        let got = ws.derivs();
+                        for (a, b) in full.values.as_slice().iter().zip(got.values.as_slice()) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "{p:?} values");
+                        }
+                        for d in 0..2 {
+                            for (a, b) in full.jac[d].as_slice().iter().zip(got.jac[d].as_slice()) {
+                                assert_eq!(a.to_bits(), b.to_bits(), "{p:?} jac[{d}]");
+                            }
+                            for (a, b) in full.hess[d].as_slice().iter().zip(got.hess[d].as_slice())
+                            {
+                                assert_eq!(a.to_bits(), b.to_bits(), "{p:?} hess[{d}]");
+                            }
+                        }
+                        let mut grads = net.zero_gradients();
+                        net.backward_ws(&mut ws, &adj, &mut grads);
+                        let g = grads.flat();
+                        for (i, (a, b)) in g_ref.iter().zip(&g).enumerate() {
+                            assert_eq!(a.to_bits(), b.to_bits(), "{p:?} grad[{i}]");
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    /// Value-only workspaces (`nd == 0`, the boundary path) agree with
+    /// the allocating path too.
+    #[test]
+    fn workspace_value_only_path_matches() {
+        let net = tiny_net(23, false);
+        let mut rng = Rng64::new(7);
+        let x = Matrix::gaussian(40, 2, &mut rng);
+        let (full, cache) = net.forward_with_derivs(&x, &[]);
+        let mut adj = BatchDerivatives::zeros_like(&full);
+        for (dst, src) in adj
+            .values
+            .as_mut_slice()
+            .iter_mut()
+            .zip(full.values.as_slice())
+        {
+            *dst = 2.0 * src;
+        }
+        let g_ref = net.backward(&cache, &adj).flat();
+
+        let mut ws = net.make_workspace(40, 0);
+        net.forward_with_derivs_ws(&x, &[], &mut ws);
+        for (a, b) in full
+            .values
+            .as_slice()
+            .iter()
+            .zip(ws.derivs().values.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "values");
+        }
+        let mut grads = net.zero_gradients();
+        net.backward_ws(&mut ws, &adj, &mut grads);
+        for (a, b) in g_ref.iter().zip(&grads.flat()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "grads");
         }
     }
 

@@ -68,6 +68,9 @@ pub struct Adam {
     m: Vec<f64>,
     v: Vec<f64>,
     t: usize,
+    /// Flat-gradient scratch so `step` never allocates after the first
+    /// call (the steady-state zero-allocation training path).
+    scratch: Vec<f64>,
 }
 
 impl Adam {
@@ -79,6 +82,7 @@ impl Adam {
             m: vec![0.0; n],
             v: vec![0.0; n],
             t: 0,
+            scratch: vec![0.0; n],
         }
     }
 
@@ -92,13 +96,32 @@ impl Adam {
         self.cfg.lr * self.cfg.schedule.factor(self.t)
     }
 
+    /// Optimiser state (step count, first and second moments) for run
+    /// checkpointing.
+    pub fn state(&self) -> (usize, &[f64], &[f64]) {
+        (self.t, &self.m, &self.v)
+    }
+
+    /// Restores state captured by [`Adam::state`].
+    ///
+    /// # Panics
+    /// Panics if the moment vectors do not match this optimiser's size.
+    pub fn restore_state(&mut self, t: usize, m: &[f64], v: &[f64]) {
+        assert_eq!(m.len(), self.m.len(), "first-moment size mismatch");
+        assert_eq!(v.len(), self.v.len(), "second-moment size mismatch");
+        self.t = t;
+        self.m.copy_from_slice(m);
+        self.v.copy_from_slice(v);
+    }
+
     /// Applies one Adam update in place.
     ///
     /// # Panics
     /// Panics if the gradient does not match the network's parameter count.
     pub fn step(&mut self, net: &mut Mlp, grads: &Gradients) {
-        let g = grads.flat();
-        assert_eq!(g.len(), self.m.len(), "gradient size mismatch");
+        assert_eq!(grads.num_entries(), self.m.len(), "gradient size mismatch");
+        grads.write_flat(&mut self.scratch);
+        let g = &self.scratch;
         self.t += 1;
         let lr = self.current_lr();
         let b1 = self.cfg.beta1;
@@ -167,8 +190,8 @@ mod tests {
         for _ in 0..400 {
             let (full, cache) = net.forward_with_derivs(&x, &[]);
             let mut adj = BatchDerivatives::zeros_like(&full);
-            for i in 0..n {
-                let d = 2.0 * (full.values.get(i, 0) - targets[i]) / n as f64;
+            for (i, &t) in targets.iter().enumerate().take(n) {
+                let d = 2.0 * (full.values.get(i, 0) - t) / n as f64;
                 adj.values.set(i, 0, d);
             }
             let g = net.backward(&cache, &adj);

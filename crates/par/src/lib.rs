@@ -236,9 +236,8 @@ impl ThreadPool {
                 // SAFETY: `run` blocks on `latch.wait()` until every job has
                 // executed, so the borrowed environment outlives all uses of
                 // the erased-lifetime closure.
-                let job: Job = unsafe {
-                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
-                };
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
                 q.push_back(job);
             }
             self.shared.work_cv.notify_all();
@@ -246,7 +245,12 @@ impl ThreadPool {
         // The caller participates until the queue drains, then waits for
         // stragglers still running on workers.
         loop {
-            let job = self.shared.queue.lock().expect("queue poisoned").pop_front();
+            let job = self
+                .shared
+                .queue
+                .lock()
+                .expect("queue poisoned")
+                .pop_front();
             match job {
                 Some(j) => j(),
                 None => break,
@@ -330,7 +334,10 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize, &mut [T]) + Sync,
     {
-        assert!(row_len > 0 && data.len() % row_len == 0, "band shape");
+        assert!(
+            row_len > 0 && data.len().is_multiple_of(row_len),
+            "band shape"
+        );
         let rows = data.len() / row_len;
         if rows == 0 {
             return;
@@ -484,15 +491,12 @@ mod tests {
     fn reduce_is_deterministic_across_thread_counts() {
         // Floating-point sum: association is fixed by chunk order, so the
         // result must be bit-identical for every thread count.
-        let xs: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 101) as f64 * 0.1 - 3.7).collect();
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.1 - 3.7)
+            .collect();
         let sum = |pool: &ThreadPool| {
-            pool.par_reduce(
-                xs.len(),
-                16,
-                |r| xs[r].iter().sum::<f64>(),
-                |a, b| a + b,
-            )
-            .unwrap()
+            pool.par_reduce(xs.len(), 16, |r| xs[r].iter().sum::<f64>(), |a, b| a + b)
+                .unwrap()
         };
         let s1 = sum(&ThreadPool::new(1));
         let s2 = sum(&ThreadPool::new(2));
@@ -527,7 +531,12 @@ mod tests {
         let outer = pool.par_map_indexed(8, 1, |i| {
             // Nested use of the *global* pool from inside a worker task.
             global()
-                .par_reduce(100, 8, |r| r.map(|j| (i * j) as u64).sum::<u64>(), |a, b| a + b)
+                .par_reduce(
+                    100,
+                    8,
+                    |r| r.map(|j| (i * j) as u64).sum::<u64>(),
+                    |a, b| a + b,
+                )
                 .unwrap_or(0)
         });
         for (i, v) in outer.iter().enumerate() {
@@ -549,7 +558,7 @@ mod tests {
     fn chunk_len_ignores_thread_count_and_respects_floor() {
         assert_eq!(chunk_len(10, 32), 10);
         assert_eq!(chunk_len(64_000, 1), 1000);
-        assert_eq!(chunk_len(0, 4), 1.max(4).min(1));
+        assert_eq!(chunk_len(0, 4), 1);
         assert!(chunk_len(100, 8) >= 8);
     }
 
@@ -582,9 +591,8 @@ mod tests {
         });
         assert_eq!(nested, Parallelism::Serial);
         // Restored even when the body panics.
-        let _ = std::panic::catch_unwind(|| {
-            with_parallelism(Parallelism::Serial, || panic!("boom"))
-        });
+        let _ =
+            std::panic::catch_unwind(|| with_parallelism(Parallelism::Serial, || panic!("boom")));
         assert_eq!(current(), Parallelism::Auto);
     }
 
@@ -592,7 +600,9 @@ mod tests {
     fn parallelism_pool_selection() {
         assert!(Parallelism::Serial.pool(1 << 30, 0).is_none());
         assert!(Parallelism::Threads(1).pool(1 << 30, 0).is_none());
-        let p = Parallelism::Threads(3).pool(1, 1 << 30).expect("fixed pool");
+        let p = Parallelism::Threads(3)
+            .pool(1, 1 << 30)
+            .expect("fixed pool");
         assert_eq!(p.threads(), 3);
         // Auto honours the cutoff.
         if global().threads() > 1 {

@@ -73,7 +73,12 @@ impl Cavity {
     /// (unconstrained). The lid profile is regularised near the corners
     /// (`u = lid · x(1−x)·4` capped at lid) — standard practice to avoid
     /// the corner singularity dominating training.
-    pub fn sample_boundary(&self, n_per_side: usize, output_dim: usize, rng: &mut Rng64) -> (PointCloud, Matrix) {
+    pub fn sample_boundary(
+        &self,
+        n_per_side: usize,
+        output_dim: usize,
+        rng: &mut Rng64,
+    ) -> (PointCloud, Matrix) {
         assert!(output_dim >= 2, "need at least u, v outputs");
         let n = n_per_side * 4;
         let mut pts = Vec::with_capacity(n * 2);
@@ -88,10 +93,10 @@ impl Cavity {
             for _ in 0..n_per_side {
                 let t = rng.uniform();
                 let (x, y, u) = match side {
-                    0 => (t, 0.0, 0.0),                       // bottom
-                    1 => (t, 1.0, self.lid_profile(t)),       // lid
-                    2 => (0.0, t, 0.0),                       // left
-                    _ => (1.0, t, 0.0),                       // right
+                    0 => (t, 0.0, 0.0),                 // bottom
+                    1 => (t, 1.0, self.lid_profile(t)), // lid
+                    2 => (0.0, t, 0.0),                 // left
+                    _ => (1.0, t, 0.0),                 // right
                 };
                 pts.push(x);
                 pts.push(y);
@@ -181,7 +186,12 @@ impl AnnulusChannel {
     /// Boundary points (inner + outer circles) with Dirichlet targets for
     /// `(u, v, p)` taken from the exact solution. Rows alternate between
     /// circles; each row carries its own sampled `r_i`.
-    pub fn sample_boundary(&self, n_per_circle: usize, output_dim: usize, rng: &mut Rng64) -> (PointCloud, Matrix) {
+    pub fn sample_boundary(
+        &self,
+        n_per_circle: usize,
+        output_dim: usize,
+        rng: &mut Rng64,
+    ) -> (PointCloud, Matrix) {
         assert!(output_dim >= 3, "need u, v, p outputs");
         let n = n_per_circle * 2;
         let mut pts = Vec::with_capacity(n * 3);
@@ -360,7 +370,7 @@ mod tests {
         // All grid points inside the annulus for r_i = 1.
         for i in 0..pts.rows() {
             let r = (pts.get(i, 0).powi(2) + pts.get(i, 1).powi(2)).sqrt();
-            assert!(r >= 1.0 && r <= 2.0);
+            assert!((1.0..=2.0).contains(&r));
         }
     }
 }

@@ -18,19 +18,21 @@
 //! * [`problem`] — bundles a PDE, a training set (interior + boundary
 //!   clouds) and loss weights; computes batch losses, gradients and
 //!   per-sample loss probes (what importance samplers consume).
-//! * [`train`] — the [`train::Sampler`] trait (implemented by the
-//!   uniform / MIS / SGM samplers in `sgm-core`) and the wall-clock
-//!   instrumented training loop.
+//! * [`model`] — the `sgm-train` [`sgm_train::LossModel`] implementation
+//!   ([`PinnModel`]) that plugs a problem into the staged training
+//!   engine with preallocated workspaces. The training loop itself
+//!   lives in `sgm-train`; this crate only describes the objective.
 //! * [`validate`] — reference grids and relative-L2 validation errors
-//!   (the metric reported in the paper's tables).
+//!   (the metric reported in the paper's tables), usable as
+//!   `sgm-train` validators.
 
 pub mod geometry;
+pub mod model;
 pub mod pde;
 pub mod problem;
-pub mod train;
 pub mod validate;
 
+pub use model::{PinnModel, PinnWorkspace};
 pub use pde::{NsConfig, Pde, PoissonConfig, ZeroEqConfig};
 pub use problem::{Problem, TrainSet};
-pub use train::{Sampler, TrainOptions, Trainer};
-pub use validate::ValidationSet;
+pub use validate::{AveragedValidation, ValidationSet};

@@ -164,10 +164,29 @@ impl Pde {
     /// Panics if `d` does not carry both spatial derivative sets or the
     /// output dimension mismatches.
     pub fn residuals(&self, x: &Matrix, d: &BatchDerivatives) -> Matrix {
+        let mut r = Matrix::zeros(d.values.rows(), self.num_residuals());
+        self.residuals_into(x, d, &mut r);
+        r
+    }
+
+    /// Like [`Pde::residuals`], writing into a preallocated
+    /// `B × num_residuals` buffer (the zero-allocation training path).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn residuals_into(&self, x: &Matrix, d: &BatchDerivatives, r: &mut Matrix) {
         let b = d.values.rows();
-        assert!(d.jac.len() >= 2 && d.hess.len() >= 2, "need x,y derivatives");
+        assert!(
+            d.jac.len() >= 2 && d.hess.len() >= 2,
+            "need x,y derivatives"
+        );
         assert_eq!(d.values.cols(), self.output_dim(), "output dim mismatch");
-        let mut r = Matrix::zeros(b, self.num_residuals());
+        assert_eq!(
+            (r.rows(), r.cols()),
+            (b, self.num_residuals()),
+            "residual buffer shape"
+        );
+        r.fill(0.0);
         match self {
             Pde::NavierStokes(cfg) => {
                 for i in 0..b {
@@ -224,7 +243,6 @@ impl Pde {
                 }
             }
         }
-        r
     }
 
     /// Accumulates `factors[b][k] · ∂r_k/∂q` into `adj` for every network
@@ -333,7 +351,11 @@ impl NsQuantities {
             u_yy: d.hess[1].get(i, 0),
             v_xx: d.hess[0].get(i, 1),
             v_yy: d.hess[1].get(i, 1),
-            nu_val: if turbulent { d.values.get(i, 3) } else { cfg.nu },
+            nu_val: if turbulent {
+                d.values.get(i, 3)
+            } else {
+                cfg.nu
+            },
             nu_x: if turbulent { d.jac[0].get(i, 3) } else { 0.0 },
             nu_y: if turbulent { d.jac[1].get(i, 3) } else { 0.0 },
             l_mix,
@@ -415,8 +437,8 @@ impl NsQuantities {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sgm_autodiff::dual::Dual2;
     use crate::geometry::{AnnulusChannel, Cavity};
+    use sgm_autodiff::dual::Dual2;
 
     /// Builds BatchDerivatives for an analytic field (u,v,p[,nu]) via
     /// second-order duals — an NN-free way to exercise the residuals.
@@ -537,7 +559,11 @@ mod tests {
         let d = derivs_of(&[&u, &v, &p, &nu], &[pt]);
         let x = Matrix::from_rows(&[&[pt.0, pt.1]]);
         let r = pde.residuals(&x, &d);
-        assert!(r.get(0, 3).abs() < 1e-12, "zero-eq residual {}", r.get(0, 3));
+        assert!(
+            r.get(0, 3).abs() < 1e-12,
+            "zero-eq residual {}",
+            r.get(0, 3)
+        );
     }
 
     /// Finite-difference check of every adjoint entry: perturb each network
@@ -603,17 +629,17 @@ mod tests {
             // Adjoints via accumulate.
             let r = pde.residuals(&x, &d);
             let mut factors = Matrix::zeros(1, nr);
-            for k in 0..nr {
-                factors.set(0, k, 2.0 * weights[k] * r.get(0, k));
+            for (k, &wk) in weights.iter().enumerate().take(nr) {
+                factors.set(0, k, 2.0 * wk * r.get(0, k));
             }
             let mut adj = BatchDerivatives::zeros_like(&d);
             pde.accumulate_adjoints(&x, &d, &factors, &mut adj);
             // Compare against FD for every quantity.
             let h = 1e-6;
             let check = |get: &dyn Fn(&BatchDerivatives) -> f64,
-                             set: &dyn Fn(&mut BatchDerivatives, f64),
-                             adj_v: f64,
-                             tag: &str| {
+                         set: &dyn Fn(&mut BatchDerivatives, f64),
+                         adj_v: f64,
+                         tag: &str| {
                 let orig = get(&d);
                 let mut dp = d.clone();
                 set(&mut dp, orig + h);
@@ -711,9 +737,7 @@ mod tests {
         assert_eq!(lam.output_dim(), 3);
         assert_eq!(lam.num_residuals(), 3);
         assert_eq!(lam.residual_names().len(), 3);
-        let pois = Pde::Poisson(PoissonConfig {
-            forcing: |_| 0.0,
-        });
+        let pois = Pde::Poisson(PoissonConfig { forcing: |_| 0.0 });
         assert_eq!(pois.output_dim(), 1);
         assert_eq!(pois.diff_dims(), vec![0, 1]);
     }

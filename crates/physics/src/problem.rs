@@ -55,10 +55,48 @@ impl Problem {
     /// Gathers rows `idx` of a cloud into a batch matrix.
     pub fn gather(cloud: &PointCloud, idx: &[usize]) -> Matrix {
         let mut m = Matrix::zeros(idx.len(), cloud.dim());
+        Self::gather_into(cloud, idx, &mut m);
+        m
+    }
+
+    /// Like [`Problem::gather`], writing into a preallocated
+    /// `idx.len() × dim` buffer (the zero-allocation training path).
+    ///
+    /// # Panics
+    /// Panics if the buffer shape does not match.
+    pub fn gather_into(cloud: &PointCloud, idx: &[usize], m: &mut Matrix) {
+        assert_eq!(
+            (m.rows(), m.cols()),
+            (idx.len(), cloud.dim()),
+            "gather buffer shape"
+        );
         for (r, &i) in idx.iter().enumerate() {
             m.row_mut(r).copy_from_slice(cloud.point(i));
         }
-        m
+    }
+
+    /// Boundary (Dirichlet) loss alone at batch rows `idx` — no
+    /// gradients; the record-path evaluation.
+    pub fn boundary_loss(&self, net: &Mlp, data: &TrainSet, idx: &[usize]) -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        let x = Self::gather(&data.boundary, idx);
+        let vals = net.forward(&x);
+        let o = vals.cols();
+        let inv_b = 1.0 / idx.len() as f64;
+        let mut total = 0.0;
+        for (row, &i) in idx.iter().enumerate() {
+            for k in 0..o {
+                let t = data.boundary_targets.get(i, k);
+                if t.is_nan() {
+                    continue;
+                }
+                let r = vals.get(row, k) - t;
+                total += self.bc_weight * r * r * inv_b;
+            }
+        }
+        total
     }
 
     /// Interior PDE loss and parameter gradients for a batch `x`.
@@ -74,11 +112,11 @@ impl Problem {
         let mut factors = Matrix::zeros(b, nr);
         let inv_b = 1.0 / b as f64;
         let mut total = 0.0;
-        for i in 0..b {
+        for (i, ps) in per_sample.iter_mut().enumerate() {
             for k in 0..nr {
                 let w = self.residual_weights[k];
                 let rv = r.get(i, k);
-                per_sample[i] += w * rv * rv;
+                *ps += w * rv * rv;
                 total += w * rv * rv * inv_b;
                 factors.set(i, k, 2.0 * w * rv * inv_b);
             }
@@ -112,8 +150,7 @@ impl Problem {
                 }
                 let r = d.values.get(row, k) - t;
                 total += self.bc_weight * r * r * inv_b;
-                adj.values
-                    .set(row, k, 2.0 * self.bc_weight * r * inv_b);
+                adj.values.set(row, k, 2.0 * self.bc_weight * r * inv_b);
             }
         }
         let grads = net.backward(&cache, &adj);
@@ -123,12 +160,7 @@ impl Problem {
     /// Per-sample interior losses for arbitrary indices — the **loss
     /// probe** importance samplers call on small subsets (no gradients,
     /// values + derivatives forward pass only).
-    pub fn interior_sample_losses(
-        &self,
-        net: &Mlp,
-        data: &TrainSet,
-        idx: &[usize],
-    ) -> Vec<f64> {
+    pub fn interior_sample_losses(&self, net: &Mlp, data: &TrainSet, idx: &[usize]) -> Vec<f64> {
         if idx.is_empty() {
             return Vec::new();
         }

@@ -66,6 +66,28 @@ impl ValidationSet {
     }
 }
 
+impl sgm_train::Validator for ValidationSet {
+    fn val_errors(&self, net: &Mlp) -> Vec<f64> {
+        self.errors(net)
+    }
+}
+
+/// A slice of validation sets viewed as one `sgm-train` validator:
+/// errors are averaged across sets (the paper's AR table averages over
+/// `r_i ∈ {1.0, 0.875, 0.75}`); an empty slice reports no errors.
+#[derive(Debug, Clone, Copy)]
+pub struct AveragedValidation<'a>(pub &'a [ValidationSet]);
+
+impl sgm_train::Validator for AveragedValidation<'_> {
+    fn val_errors(&self, net: &Mlp) -> Vec<f64> {
+        if self.0.is_empty() {
+            Vec::new()
+        } else {
+            ValidationSet::average_errors(self.0, net)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -134,8 +134,8 @@ pub fn spade_scores_from_graphs(gx: &Graph, gy: &Graph, cfg: &SpadeConfig) -> Sp
         let cinv_t = c.back_substitute_t(&e);
         let lx_c = lx.mul_vec(&cinv_t);
         let a_col = c.forward_substitute(&lx_c);
-        for row in 0..n {
-            a.set(row, col, a_col[row]);
+        for (row, &v) in a_col.iter().enumerate() {
+            a.set(row, col, v);
         }
     }
     // Symmetrise against round-off.

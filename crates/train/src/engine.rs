@@ -1,0 +1,615 @@
+//! The staged training loop.
+//!
+//! Each iteration runs the fixed stage sequence
+//! `Refresh → Draw → Gather → LossGrad → Step` (+ an off-clock `Record`
+//! stage at recording points). All per-iteration buffers live in
+//! run-scoped workspaces created before the first iteration, so a
+//! steady-state iteration performs no heap allocations under serial
+//! parallelism.
+//!
+//! # Time accounting
+//!
+//! Two clocks are kept. The **training clock** advances by the measured
+//! duration of the five training stages (or by
+//! [`TrainOptions::synthetic_dt`] when set); it is what
+//! [`Record::seconds`], [`TrainOptions::max_seconds`] and
+//! [`TrainResult::time_to_error`] read. The **recording clock**
+//! accumulates post-step loss evaluation and validation time, which the
+//! paper's wall-time comparisons deliberately exclude.
+
+use crate::hooks::{Hook, Stage};
+use crate::model::{LossModel, Validator};
+use crate::result::{Record, TrainResult};
+use crate::runstate::RunState;
+use crate::sampler::{Probe, Sampler};
+use sgm_linalg::rng::Rng64;
+use sgm_nn::checkpoint::Checkpoint;
+use sgm_nn::mlp::Mlp;
+use sgm_nn::optimizer::{Adam, AdamConfig};
+use std::time::Instant;
+
+/// Training-loop options.
+#[derive(Debug, Clone)]
+pub struct TrainOptions {
+    /// SGD iterations.
+    pub iterations: usize,
+    /// Interior mini-batch size (the paper's β).
+    pub batch_interior: usize,
+    /// Boundary mini-batch size.
+    pub batch_boundary: usize,
+    /// Optimiser configuration.
+    pub adam: AdamConfig,
+    /// RNG seed for batching.
+    pub seed: u64,
+    /// Record loss/validation every this many iterations.
+    pub record_every: usize,
+    /// Optional training-clock budget in seconds; training stops at the
+    /// first iteration boundary past it (how the experiment harness
+    /// gives every sampler the same time budget, as in the paper's
+    /// wall-time plots). Recording time does not count against it.
+    pub max_seconds: Option<f64>,
+    /// When set, the training clock advances by exactly this many
+    /// seconds per iteration instead of measured wall time, and the
+    /// recording clock stays at zero. This makes every timestamp in the
+    /// run deterministic — the resume tests rely on it to compare
+    /// histories bit-for-bit.
+    pub synthetic_dt: Option<f64>,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            iterations: 1000,
+            batch_interior: 128,
+            batch_boundary: 64,
+            adam: AdamConfig::default(),
+            seed: 7,
+            record_every: 100,
+            max_seconds: None,
+            synthetic_dt: None,
+        }
+    }
+}
+
+/// Runs training with the given sampler.
+pub struct Trainer<'a> {
+    /// The network being trained.
+    pub net: &'a mut Mlp,
+    /// The training objective.
+    pub model: &'a (dyn LossModel + 'a),
+}
+
+impl std::fmt::Debug for Trainer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trainer").finish_non_exhaustive()
+    }
+}
+
+impl Trainer<'_> {
+    /// Runs the loop from iteration 0.
+    ///
+    /// # Panics
+    /// Panics if batch sizes are zero or exceed the dataset sizes.
+    pub fn run(
+        &mut self,
+        sampler: &mut dyn Sampler,
+        validator: Option<&dyn Validator>,
+        opts: &TrainOptions,
+    ) -> TrainResult {
+        self.run_hooked(sampler, validator, opts, &mut [])
+    }
+
+    /// Like [`Trainer::run`] with per-stage instrumentation hooks.
+    ///
+    /// # Panics
+    /// Panics if batch sizes are zero or exceed the dataset sizes.
+    pub fn run_hooked(
+        &mut self,
+        sampler: &mut dyn Sampler,
+        validator: Option<&dyn Validator>,
+        opts: &TrainOptions,
+        hooks: &mut [&mut dyn Hook],
+    ) -> TrainResult {
+        self.run_core(sampler, validator, opts, hooks, None, None)
+            .expect("fresh run cannot fail to restore")
+            .0
+    }
+
+    /// Trains for exactly `stop_after` iterations and returns the full
+    /// run state at that point (records produced on the way are kept
+    /// inside the state). Feeding the state to [`Trainer::resume`] —
+    /// against fresh net/sampler instances, even in another process —
+    /// continues the run bit-identically.
+    ///
+    /// # Panics
+    /// Panics if `stop_after` is 0, exceeds `opts.iterations`, or lies
+    /// beyond the `opts.max_seconds` budget (there is no state to
+    /// return then), or on bad batch sizes.
+    pub fn run_until(
+        &mut self,
+        sampler: &mut dyn Sampler,
+        validator: Option<&dyn Validator>,
+        opts: &TrainOptions,
+        stop_after: usize,
+    ) -> RunState {
+        assert!(
+            stop_after >= 1 && stop_after <= opts.iterations,
+            "stop_after {stop_after} outside 1..={}",
+            opts.iterations
+        );
+        self.run_core(sampler, validator, opts, &mut [], None, Some(stop_after))
+            .expect("fresh run cannot fail to restore")
+            .1
+            .expect("stopped before reaching stop_after (budget exhausted?)")
+    }
+
+    /// Resumes a run captured by [`Trainer::run_until`] (or a
+    /// JSON-round-tripped copy) and trains to completion. The network
+    /// behind `self.net` is overwritten with the checkpointed
+    /// parameters and `sampler` is restored from the saved sampler
+    /// state, so both may be fresh instances.
+    ///
+    /// # Errors
+    /// Returns a message when the state does not match the network
+    /// architecture or the sampler.
+    pub fn resume(
+        &mut self,
+        sampler: &mut dyn Sampler,
+        validator: Option<&dyn Validator>,
+        opts: &TrainOptions,
+        state: &RunState,
+    ) -> Result<TrainResult, String> {
+        Ok(self
+            .run_core(sampler, validator, opts, &mut [], Some(state), None)?
+            .0)
+    }
+
+    fn run_core(
+        &mut self,
+        sampler: &mut dyn Sampler,
+        validator: Option<&dyn Validator>,
+        opts: &TrainOptions,
+        hooks: &mut [&mut dyn Hook],
+        start: Option<&RunState>,
+        stop_after: Option<usize>,
+    ) -> Result<(TrainResult, Option<RunState>), String> {
+        assert!(opts.batch_interior > 0, "batch_interior must be positive");
+        assert!(
+            opts.batch_interior <= self.model.num_interior(),
+            "batch larger than dataset"
+        );
+        let mut start_iter = 0usize;
+        let mut train_clock = 0.0;
+        let mut record_clock = 0.0;
+        let mut history: Vec<Record> = Vec::new();
+        let mut rng = Rng64::new(opts.seed);
+        if let Some(st) = start {
+            if st.sampler_name != sampler.name() {
+                return Err(format!(
+                    "state saved with sampler {:?}, resuming with {:?}",
+                    st.sampler_name,
+                    sampler.name()
+                ));
+            }
+            let restored = st.net.restore().map_err(|e| format!("net restore: {e}"))?;
+            if restored.num_params() != self.net.num_params() {
+                return Err(format!(
+                    "state has {} parameters, network has {}",
+                    restored.num_params(),
+                    self.net.num_params()
+                ));
+            }
+            *self.net = restored;
+            rng = Rng64::from_state(st.rng_state, st.rng_gauss_spare);
+            sampler.load_state(&st.sampler_state)?;
+            history = st.history.clone();
+            train_clock = st.train_seconds;
+            record_clock = st.record_seconds;
+            start_iter = st.iteration;
+        }
+        let mut adam = Adam::new(self.net, opts.adam.clone());
+        if let Some(st) = start {
+            if st.adam_m.len() != self.net.num_params() {
+                return Err(format!(
+                    "state has {} Adam moments, network has {} parameters",
+                    st.adam_m.len(),
+                    self.net.num_params()
+                ));
+            }
+            adam.restore_state(st.adam_t, &st.adam_m, &st.adam_v);
+        }
+        let n_boundary = self.model.num_boundary();
+        let bb = if n_boundary > 0 {
+            opts.batch_boundary.min(n_boundary)
+        } else {
+            0
+        };
+        // Per-run workspaces: everything the hot loop touches is
+        // allocated here, once.
+        let mut ws = self.model.make_workspace(self.net, opts.batch_interior, bb);
+        let mut grads = self.net.zero_gradients();
+        let mut idx: Vec<usize> = Vec::with_capacity(opts.batch_interior);
+        let mut bidx: Vec<usize> = Vec::with_capacity(bb);
+        let mut saved: Option<RunState> = None;
+
+        for iter in start_iter..opts.iterations {
+            if let Some(budget) = opts.max_seconds {
+                if train_clock >= budget {
+                    break;
+                }
+            }
+            let t0 = Instant::now();
+            {
+                let probe = Probe {
+                    net: self.net,
+                    model: self.model,
+                };
+                sampler.refresh(iter, &probe, &mut rng);
+            }
+            let t1 = Instant::now();
+            sampler.fill_batch(opts.batch_interior, &mut idx, &mut rng);
+            bidx.clear();
+            for _ in 0..bb {
+                bidx.push(rng.below(n_boundary));
+            }
+            let t2 = Instant::now();
+            self.model.gather(&idx, &bidx, &mut *ws);
+            let t3 = Instant::now();
+            grads.zero();
+            self.model.loss_and_grad(self.net, &mut *ws, &mut grads);
+            let t4 = Instant::now();
+            adam.step(self.net, &grads);
+            let t5 = Instant::now();
+            for h in hooks.iter_mut() {
+                h.on_stage(iter, Stage::Refresh, (t1 - t0).as_secs_f64());
+                h.on_stage(iter, Stage::Draw, (t2 - t1).as_secs_f64());
+                h.on_stage(iter, Stage::Gather, (t3 - t2).as_secs_f64());
+                h.on_stage(iter, Stage::LossGrad, (t4 - t3).as_secs_f64());
+                h.on_stage(iter, Stage::Step, (t5 - t4).as_secs_f64());
+                h.on_iteration(iter);
+            }
+            train_clock += opts.synthetic_dt.unwrap_or_else(|| (t5 - t0).as_secs_f64());
+
+            if iter % opts.record_every == 0 || iter + 1 == opts.iterations {
+                let r0 = Instant::now();
+                // Post-step loss: the record pairs this loss with the
+                // weights it was computed with (and with val_errors).
+                let train_loss = self.model.batch_loss(self.net, &idx, &bidx);
+                let val_errors = match validator {
+                    Some(v) => v.val_errors(self.net),
+                    None => Vec::new(),
+                };
+                let record = Record {
+                    iteration: iter,
+                    seconds: train_clock,
+                    train_loss,
+                    val_errors,
+                };
+                let rec_dt = r0.elapsed().as_secs_f64();
+                for h in hooks.iter_mut() {
+                    h.on_stage(iter, Stage::Record, rec_dt);
+                    h.on_record(&record);
+                }
+                if opts.synthetic_dt.is_none() {
+                    record_clock += rec_dt;
+                }
+                history.push(record);
+            }
+
+            if stop_after == Some(iter + 1) {
+                let (rng_state, rng_gauss_spare) = rng.state();
+                let (adam_t, adam_m, adam_v) = adam.state();
+                saved = Some(RunState {
+                    version: 1,
+                    iteration: iter + 1,
+                    train_seconds: train_clock,
+                    record_seconds: record_clock,
+                    net: Checkpoint::capture(self.net),
+                    adam_t,
+                    adam_m: adam_m.to_vec(),
+                    adam_v: adam_v.to_vec(),
+                    rng_state,
+                    rng_gauss_spare,
+                    history: history.clone(),
+                    sampler_name: sampler.name().to_string(),
+                    sampler_state: sampler.save_state(),
+                });
+                break;
+            }
+        }
+        Ok((
+            TrainResult {
+                history,
+                train_seconds: train_clock,
+                record_seconds: record_clock,
+                total_seconds: train_clock + record_clock,
+                sampler: sampler.name().to_string(),
+            },
+            saved,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelWorkspace;
+    use crate::sampler::UniformSampler;
+    use sgm_linalg::dense::Matrix;
+    use sgm_nn::activation::Activation;
+    use sgm_nn::mlp::{BatchDerivatives, Gradients, MlpConfig, MlpWorkspace};
+    use sgm_nn::optimizer::LrSchedule;
+    use std::any::Any;
+
+    /// Minimal engine-level model: mean-squared regression of the
+    /// network against fixed targets (no PDE machinery).
+    struct Regression {
+        x: Matrix,
+        y: Vec<f64>,
+    }
+
+    struct RegressionWs {
+        xb: Matrix,
+        nn: MlpWorkspace,
+        adj: BatchDerivatives,
+        idx: Vec<usize>,
+    }
+
+    impl ModelWorkspace for RegressionWs {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    impl Regression {
+        fn loss_at(&self, net: &Mlp, idx: &[usize]) -> f64 {
+            let mut x = Matrix::zeros(idx.len(), self.x.cols());
+            for (r, &i) in idx.iter().enumerate() {
+                for c in 0..self.x.cols() {
+                    x.set(r, c, self.x.get(i, c));
+                }
+            }
+            let out = net.forward(&x);
+            idx.iter()
+                .enumerate()
+                .map(|(r, &i)| (out.get(r, 0) - self.y[i]).powi(2))
+                .sum::<f64>()
+                / idx.len().max(1) as f64
+        }
+    }
+
+    impl LossModel for Regression {
+        fn num_interior(&self) -> usize {
+            self.x.rows()
+        }
+        fn num_boundary(&self) -> usize {
+            0
+        }
+        fn make_workspace(
+            &self,
+            net: &Mlp,
+            batch_interior: usize,
+            _batch_boundary: usize,
+        ) -> Box<dyn ModelWorkspace> {
+            Box::new(RegressionWs {
+                xb: Matrix::zeros(batch_interior, self.x.cols()),
+                nn: net.make_workspace(batch_interior, 0),
+                adj: BatchDerivatives::zeros(batch_interior, 1, 0),
+                idx: Vec::with_capacity(batch_interior),
+            })
+        }
+        fn gather(
+            &self,
+            interior_idx: &[usize],
+            _boundary_idx: &[usize],
+            ws: &mut dyn ModelWorkspace,
+        ) {
+            let ws: &mut RegressionWs = ws.as_any_mut().downcast_mut().unwrap();
+            for (r, &i) in interior_idx.iter().enumerate() {
+                for c in 0..self.x.cols() {
+                    ws.xb.set(r, c, self.x.get(i, c));
+                }
+            }
+            ws.idx.clear();
+            ws.idx.extend_from_slice(interior_idx);
+        }
+        fn loss_and_grad(
+            &self,
+            net: &Mlp,
+            ws: &mut dyn ModelWorkspace,
+            grads: &mut Gradients,
+        ) -> f64 {
+            let ws: &mut RegressionWs = ws.as_any_mut().downcast_mut().unwrap();
+            net.forward_with_derivs_ws(&ws.xb, &[], &mut ws.nn);
+            let b = ws.xb.rows();
+            let inv = 1.0 / b as f64;
+            let mut loss = 0.0;
+            for r in 0..b {
+                let d = ws.nn.derivs().values.get(r, 0) - self.y[ws.idx[r]];
+                loss += d * d * inv;
+                ws.adj.values.set(r, 0, 2.0 * d * inv);
+            }
+            net.backward_ws(&mut ws.nn, &ws.adj, grads);
+            loss
+        }
+        fn batch_loss(&self, net: &Mlp, interior_idx: &[usize], _boundary_idx: &[usize]) -> f64 {
+            self.loss_at(net, interior_idx)
+        }
+        fn sample_losses(&self, net: &Mlp, idx: &[usize]) -> Vec<f64> {
+            idx.iter().map(|&i| self.loss_at(net, &[i])).collect()
+        }
+        fn outputs(&self, net: &Mlp, idx: &[usize]) -> Matrix {
+            net.forward(&self.inputs(idx))
+        }
+        fn inputs(&self, idx: &[usize]) -> Matrix {
+            let mut m = Matrix::zeros(idx.len(), self.x.cols());
+            for (r, &i) in idx.iter().enumerate() {
+                for c in 0..self.x.cols() {
+                    m.set(r, c, self.x.get(i, c));
+                }
+            }
+            m
+        }
+    }
+
+    fn setup(seed: u64) -> (Mlp, Regression) {
+        let mut rng = Rng64::new(seed);
+        let n = 64;
+        let x = Matrix::gaussian(n, 1, &mut rng);
+        let y = (0..n).map(|i| (2.0 * x.get(i, 0)).sin()).collect();
+        let net = Mlp::new(
+            &MlpConfig {
+                input_dim: 1,
+                output_dim: 1,
+                hidden_width: 12,
+                hidden_layers: 2,
+                activation: Activation::Tanh,
+                fourier: None,
+            },
+            &mut Rng64::new(seed + 1),
+        );
+        (net, Regression { x, y })
+    }
+
+    /// Exactly representable synthetic step so accumulated clocks are
+    /// exact in the assertions below.
+    const DT: f64 = 1.0 / 1024.0;
+
+    fn opts(iterations: usize) -> TrainOptions {
+        TrainOptions {
+            iterations,
+            batch_interior: 16,
+            batch_boundary: 0,
+            adam: AdamConfig {
+                lr: 1e-2,
+                schedule: LrSchedule::Constant,
+                ..AdamConfig::default()
+            },
+            seed: 3,
+            record_every: 20,
+            max_seconds: None,
+            synthetic_dt: Some(DT),
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_hooks_see_all_stages() {
+        let (mut net, model) = setup(40);
+        let mut sampler = UniformSampler::new(model.num_interior());
+        let mut times = crate::hooks::StageTimes::new();
+        let o = opts(200);
+        let result = {
+            let mut hooks: [&mut dyn Hook; 1] = [&mut times];
+            Trainer {
+                net: &mut net,
+                model: &model,
+            }
+            .run_hooked(&mut sampler, None, &o, &mut hooks)
+        };
+        let first = result.history.first().unwrap().train_loss;
+        let last = result.history.last().unwrap().train_loss;
+        assert!(last < 0.5 * first, "loss did not drop: {first} -> {last}");
+        assert_eq!(times.iterations(), 200);
+        // With a synthetic clock the result's clocks are deterministic.
+        assert_eq!(result.train_seconds, 200.0 * DT);
+        assert_eq!(result.record_seconds, 0.0);
+        assert_eq!(result.total_seconds, result.train_seconds);
+        assert_eq!(result.history.last().unwrap().iteration, 199);
+    }
+
+    #[test]
+    fn record_seconds_use_training_clock_only() {
+        let (mut net, model) = setup(41);
+        let mut sampler = UniformSampler::new(model.num_interior());
+        let o = opts(50);
+        let result = Trainer {
+            net: &mut net,
+            model: &model,
+        }
+        .run(&mut sampler, None, &o);
+        for r in &result.history {
+            assert_eq!(r.seconds, (r.iteration + 1) as f64 * DT);
+        }
+    }
+
+    #[test]
+    fn budget_counts_training_time() {
+        let (mut net, model) = setup(42);
+        let mut sampler = UniformSampler::new(model.num_interior());
+        let o = TrainOptions {
+            max_seconds: Some(10.5 * DT),
+            record_every: 1,
+            ..opts(1000)
+        };
+        let result = Trainer {
+            net: &mut net,
+            model: &model,
+        }
+        .run(&mut sampler, None, &o);
+        // Iteration k starts only while the clock (k·DT) is below the
+        // 10.5·DT budget, so iterations 0..=10 run and 11 does not.
+        assert_eq!(result.history.last().unwrap().iteration, 10);
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run() {
+        let o = opts(60);
+        let (mut net_a, model) = setup(43);
+        let mut sampler_a = UniformSampler::new(model.num_interior());
+        let full = Trainer {
+            net: &mut net_a,
+            model: &model,
+        }
+        .run(&mut sampler_a, None, &o);
+
+        let (mut net_b, _) = setup(43);
+        let mut sampler_b = UniformSampler::new(model.num_interior());
+        let state = Trainer {
+            net: &mut net_b,
+            model: &model,
+        }
+        .run_until(&mut sampler_b, None, &o, 23);
+        let state = RunState::from_json(&state.to_json().unwrap()).unwrap();
+
+        let (mut net_c, _) = setup(43);
+        let mut sampler_c = UniformSampler::new(model.num_interior());
+        let resumed = Trainer {
+            net: &mut net_c,
+            model: &model,
+        }
+        .resume(&mut sampler_c, None, &o, &state)
+        .unwrap();
+
+        assert_eq!(full.history.len(), resumed.history.len());
+        for (a, b) in full.history.iter().zip(&resumed.history) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        }
+        for (a, b) in net_a.params().iter().zip(&net_c.params()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_rejects_wrong_sampler() {
+        let o = opts(30);
+        let (mut net, model) = setup(44);
+        let mut sampler = UniformSampler::new(model.num_interior());
+        let mut state = Trainer {
+            net: &mut net,
+            model: &model,
+        }
+        .run_until(&mut sampler, None, &o, 5);
+        state.sampler_name = "other".into();
+        let err = Trainer {
+            net: &mut net,
+            model: &model,
+        }
+        .resume(&mut sampler, None, &o, &state);
+        assert!(err.is_err());
+    }
+}

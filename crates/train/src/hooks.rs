@@ -1,0 +1,152 @@
+//! Per-stage instrumentation of the training pipeline.
+//!
+//! Every iteration the engine runs the same staged sequence; a [`Hook`]
+//! observes stage boundaries without touching the hot path's allocation
+//! behaviour (hook methods receive plain values and `&`-references
+//! only). The bundled [`StageTimes`] hook aggregates per-stage wall
+//! time — the "sampler overhead" columns of the paper's comparisons fall
+//! out of its `Refresh`/`Draw` buckets.
+
+use crate::result::Record;
+
+/// The stages of one training iteration, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Sampler importance-state refresh (the `τ_e` probe work).
+    Refresh,
+    /// Mini-batch index draw (interior + boundary).
+    Draw,
+    /// Gathering batch rows into the workspace.
+    Gather,
+    /// Loss evaluation and backward pass.
+    LossGrad,
+    /// Optimiser update.
+    Step,
+    /// Off-clock recording: post-step batch loss + validation. Not part
+    /// of training time.
+    Record,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 6;
+
+    /// Dense index (execution order).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Refresh => 0,
+            Stage::Draw => 1,
+            Stage::Gather => 2,
+            Stage::LossGrad => 3,
+            Stage::Step => 4,
+            Stage::Record => 5,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Refresh => "refresh",
+            Stage::Draw => "draw",
+            Stage::Gather => "gather",
+            Stage::LossGrad => "loss_grad",
+            Stage::Step => "step",
+            Stage::Record => "record",
+        }
+    }
+}
+
+/// Observer of the staged training pipeline. All methods default to
+/// no-ops so hooks implement only what they need.
+pub trait Hook {
+    /// Called after each stage with its measured wall time in seconds
+    /// (measured even when the engine runs on a synthetic clock).
+    fn on_stage(&mut self, iter: usize, stage: Stage, seconds: f64) {
+        let _ = (iter, stage, seconds);
+    }
+
+    /// Called once per iteration after the optimiser step (before any
+    /// recording).
+    fn on_iteration(&mut self, iter: usize) {
+        let _ = iter;
+    }
+
+    /// Called for every history record as it is produced.
+    fn on_record(&mut self, record: &Record) {
+        let _ = record;
+    }
+}
+
+/// Aggregating hook: total seconds per stage and iteration count.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimes {
+    totals: [f64; Stage::COUNT],
+    iterations: usize,
+}
+
+impl StageTimes {
+    /// Fresh aggregator.
+    pub fn new() -> Self {
+        StageTimes::default()
+    }
+
+    /// Total seconds spent in `stage` so far.
+    pub fn total(&self, stage: Stage) -> f64 {
+        self.totals[stage.index()]
+    }
+
+    /// Iterations observed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Total *training* seconds (all stages except `Record`).
+    pub fn train_total(&self) -> f64 {
+        self.totals[..Stage::Record.index()].iter().sum()
+    }
+}
+
+impl Hook for StageTimes {
+    fn on_stage(&mut self, _iter: usize, stage: Stage, seconds: f64) {
+        self.totals[stage.index()] += seconds;
+    }
+
+    fn on_iteration(&mut self, _iter: usize) {
+        self.iterations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_are_dense_and_ordered() {
+        let stages = [
+            Stage::Refresh,
+            Stage::Draw,
+            Stage::Gather,
+            Stage::LossGrad,
+            Stage::Step,
+            Stage::Record,
+        ];
+        for (i, s) in stages.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert!(!s.name().is_empty());
+        }
+        assert_eq!(stages.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn stage_times_aggregate() {
+        let mut t = StageTimes::new();
+        t.on_stage(0, Stage::Refresh, 1.0);
+        t.on_stage(0, Stage::Step, 2.0);
+        t.on_stage(1, Stage::Record, 4.0);
+        t.on_iteration(0);
+        t.on_iteration(1);
+        assert_eq!(t.total(Stage::Refresh), 1.0);
+        assert_eq!(t.train_total(), 3.0);
+        assert_eq!(t.iterations(), 2);
+    }
+}

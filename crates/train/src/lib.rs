@@ -1,0 +1,43 @@
+//! The training engine of the SGM-PINN reproduction.
+//!
+//! Every experiment in the paper (Tables 1–2, Figures 2–4) is a
+//! wall-clock race between samplers, so the training loop is the
+//! measurement instrument. This crate makes it a first-class subsystem:
+//!
+//! * **Staged pipeline** — each iteration runs an explicit
+//!   `refresh → draw → gather → loss/grad → step → record` sequence
+//!   (see [`Stage`]), instrumentable per stage through the [`Hook`]
+//!   trait.
+//! * **Clean layering** — the engine knows nothing about PDEs. Physics
+//!   crates implement [`LossModel`]; sampler crates implement
+//!   [`Sampler`]. Both traits are defined *here*, so `sgm-core` and
+//!   `sgm-physics` depend on `sgm-train` rather than on each other.
+//! * **Zero-allocation hot path** — all per-iteration buffers (batch
+//!   indices, gather matrices, network scratch, gradient accumulators,
+//!   optimiser scratch) are preallocated once per run; under
+//!   `Parallelism::Serial` a steady-state iteration performs no heap
+//!   allocations at all.
+//! * **Honest clocks** — training time and recording/validation time
+//!   are accounted separately; [`Record::seconds`] and
+//!   [`TrainResult::time_to_error`] measure only training, which is
+//!   what the paper's `T(M_β_j)` columns measure.
+//! * **Resumable runs** — [`RunState`] captures network, Adam moments,
+//!   RNG state, sampler state, clocks and history; a killed run resumes
+//!   bit-identically (see [`Trainer::run_until`] / [`Trainer::resume`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod hooks;
+pub mod model;
+pub mod result;
+pub mod runstate;
+pub mod sampler;
+
+pub use engine::{TrainOptions, Trainer};
+pub use hooks::{Hook, Stage, StageTimes};
+pub use model::{LossModel, ModelWorkspace, Validator};
+pub use result::{Record, TrainResult};
+pub use runstate::{RunState, RunStateError};
+pub use sampler::{Probe, Sampler, UniformSampler};

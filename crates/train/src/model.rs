@@ -1,0 +1,84 @@
+//! The problem-side interface of the engine.
+//!
+//! A [`LossModel`] is everything the trainer needs to know about the
+//! thing being optimised: dataset sizes, how to gather a batch into a
+//! preallocated workspace, and how to turn the gathered batch into a
+//! loss value and exact parameter gradients. `sgm-physics` implements it
+//! for PINN problems; the engine itself stays PDE-agnostic.
+
+use sgm_linalg::dense::Matrix;
+use sgm_nn::mlp::{Gradients, Mlp};
+use std::any::Any;
+
+/// Opaque per-run scratch owned by the engine but understood only by the
+/// [`LossModel`] that created it. Models downcast through [`Any`] to
+/// their concrete workspace type.
+pub trait ModelWorkspace: Any {
+    /// Upcast for downcasting in model implementations.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast for downcasting in model implementations.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// A differentiable training objective over an indexed collocation set.
+///
+/// The hot-path contract: [`LossModel::gather`] and
+/// [`LossModel::loss_and_grad`] must not allocate once the workspace
+/// returned by [`LossModel::make_workspace`] exists (under serial
+/// parallelism) — the engine's zero-allocation guarantee is only as
+/// good as the model's. The probe-path methods ([`LossModel::batch_loss`],
+/// [`LossModel::sample_losses`], [`LossModel::outputs`],
+/// [`LossModel::inputs`]) run off the training clock and may allocate.
+pub trait LossModel: Sync {
+    /// Number of interior collocation points.
+    fn num_interior(&self) -> usize;
+
+    /// Number of boundary points (0 when the problem has no boundary
+    /// term).
+    fn num_boundary(&self) -> usize;
+
+    /// Builds the per-run workspace for fixed batch shapes
+    /// (`batch_boundary` is the *effective* boundary batch, already
+    /// clamped by the engine to the boundary set size).
+    fn make_workspace(
+        &self,
+        net: &Mlp,
+        batch_interior: usize,
+        batch_boundary: usize,
+    ) -> Box<dyn ModelWorkspace>;
+
+    /// Copies the rows selected by `interior_idx` / `boundary_idx` into
+    /// the workspace. Index slice lengths always equal the batch shapes
+    /// the workspace was built for.
+    fn gather(&self, interior_idx: &[usize], boundary_idx: &[usize], ws: &mut dyn ModelWorkspace);
+
+    /// Loss of the gathered batch under `net`, with exact parameter
+    /// gradients **accumulated** into `grads` (the engine zeroes `grads`
+    /// beforehand).
+    fn loss_and_grad(&self, net: &Mlp, ws: &mut dyn ModelWorkspace, grads: &mut Gradients) -> f64;
+
+    /// Batch loss alone (no gradients) at the given indices — the
+    /// record-path evaluation, charged to the recording clock.
+    fn batch_loss(&self, net: &Mlp, interior_idx: &[usize], boundary_idx: &[usize]) -> f64;
+
+    /// Per-sample interior losses at the given indices (the paper's
+    /// `r × N` probe evaluations every `τ_e` iterations).
+    fn sample_losses(&self, net: &Mlp, idx: &[usize]) -> Vec<f64>;
+
+    /// Network outputs at the given interior indices (the ISR stage
+    /// builds its output graph from these).
+    fn outputs(&self, net: &Mlp, idx: &[usize]) -> Matrix;
+
+    /// Input rows at the given interior indices.
+    fn inputs(&self, idx: &[usize]) -> Matrix;
+}
+
+/// Off-clock validation evaluated at recording points.
+///
+/// Implemented by `sgm-physics`' validation sets; the engine only needs
+/// the per-output error vector.
+pub trait Validator {
+    /// Relative errors per validated output, empty when nothing is
+    /// validated.
+    fn val_errors(&self, net: &Mlp) -> Vec<f64>;
+}

@@ -1,0 +1,122 @@
+//! Training history and result queries.
+
+/// One history record.
+///
+/// `train_loss` is the batch loss of this iteration's mini-batch
+/// evaluated **after** the optimiser step, i.e. against the same weights
+/// `val_errors` is measured with — losses and validation errors in one
+/// record always describe one set of weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Training-clock seconds at this record: time spent in the
+    /// refresh/draw/gather/loss/step stages only. Recording and
+    /// validation time is excluded (tracked separately in
+    /// [`TrainResult::record_seconds`]).
+    pub seconds: f64,
+    /// Post-step total training loss (interior + boundary) on this
+    /// iteration's batch.
+    pub train_loss: f64,
+    /// Validation errors per validated output (averaged over validation
+    /// sets), empty when no validation set was provided.
+    pub val_errors: Vec<f64>,
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Periodic records, oldest first.
+    pub history: Vec<Record>,
+    /// Seconds spent in the training stages (the paper's clock).
+    pub train_seconds: f64,
+    /// Seconds spent recording (post-step loss + validation).
+    pub record_seconds: f64,
+    /// Wall-clock duration of the whole run:
+    /// `train_seconds + record_seconds`.
+    pub total_seconds: f64,
+    /// Sampler name used.
+    pub sampler: String,
+}
+
+impl TrainResult {
+    /// Minimum validation error and the training-clock time it was
+    /// reached, for validated output column `col`. Non-finite errors
+    /// (diverged records) are skipped.
+    pub fn min_error(&self, col: usize) -> Option<(f64, f64)> {
+        self.history
+            .iter()
+            .filter(|r| col < r.val_errors.len() && r.val_errors[col].is_finite())
+            .map(|r| (r.val_errors[col], r.seconds))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+    }
+
+    /// First training-clock time at which the error for `col` dropped
+    /// to `target` or below (the paper's `T(M_β_j)` entries).
+    pub fn time_to_error(&self, col: usize, target: f64) -> Option<f64> {
+        self.history
+            .iter()
+            .find(|r| col < r.val_errors.len() && r.val_errors[col] <= target)
+            .map(|r| r.seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(iteration: usize, seconds: f64, err: f64) -> Record {
+        Record {
+            iteration,
+            seconds,
+            train_loss: err,
+            val_errors: vec![err],
+        }
+    }
+
+    #[test]
+    fn time_to_error_finds_first_crossing() {
+        let result = TrainResult {
+            history: vec![rec(0, 1.0, 0.5), rec(10, 2.0, 0.2), rec(20, 3.0, 0.25)],
+            train_seconds: 3.0,
+            record_seconds: 0.0,
+            total_seconds: 3.0,
+            sampler: "test".into(),
+        };
+        assert_eq!(result.time_to_error(0, 0.2), Some(2.0));
+        assert_eq!(result.time_to_error(0, 0.1), None);
+        let (best, at) = result.min_error(0).unwrap();
+        assert_eq!((best, at), (0.2, 2.0));
+    }
+
+    #[test]
+    fn min_error_skips_non_finite_records() {
+        let result = TrainResult {
+            history: vec![
+                rec(0, 1.0, f64::NAN),
+                rec(10, 2.0, 0.3),
+                rec(20, 3.0, f64::INFINITY),
+                rec(30, 4.0, 0.4),
+            ],
+            train_seconds: 4.0,
+            record_seconds: 0.0,
+            total_seconds: 4.0,
+            sampler: "test".into(),
+        };
+        // NaN / inf entries must neither win nor panic.
+        assert_eq!(result.min_error(0), Some((0.3, 2.0)));
+    }
+
+    #[test]
+    fn min_error_none_when_all_non_finite_or_missing() {
+        let result = TrainResult {
+            history: vec![rec(0, 1.0, f64::NAN)],
+            train_seconds: 1.0,
+            record_seconds: 0.0,
+            total_seconds: 1.0,
+            sampler: "test".into(),
+        };
+        assert_eq!(result.min_error(0), None);
+        assert_eq!(result.min_error(3), None);
+    }
+}

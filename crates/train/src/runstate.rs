@@ -1,0 +1,343 @@
+//! Full-run checkpointing: everything needed to resume a killed run
+//! bit-identically.
+//!
+//! A [`RunState`] extends the network checkpoint (`sgm-nn::checkpoint`)
+//! with the optimiser moments, the batching RNG state, both clocks, the
+//! history so far and the sampler's importance state. Restoring it and
+//! continuing produces the same weights and the same history records,
+//! bit for bit, as the uninterrupted run (timestamps included when the
+//! engine runs on a synthetic clock, see
+//! [`TrainOptions::synthetic_dt`](crate::TrainOptions)).
+//!
+//! The RNG words are 64-bit integers, which `f64`-backed JSON numbers
+//! cannot hold exactly, so they serialise as fixed-width hex strings.
+
+use crate::result::Record;
+use sgm_json::{num_arr, obj, JsonError, Value};
+use sgm_nn::checkpoint::{Checkpoint, CheckpointError};
+
+/// Serialisable snapshot of a training run after some iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunState {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Iterations completed; resuming continues at this iteration index.
+    pub iteration: usize,
+    /// Training-clock seconds accumulated so far.
+    pub train_seconds: f64,
+    /// Recording-clock seconds accumulated so far.
+    pub record_seconds: f64,
+    /// Network snapshot (architecture + parameters, bit-exact).
+    pub net: Checkpoint,
+    /// Adam step count.
+    pub adam_t: usize,
+    /// Adam first moments.
+    pub adam_m: Vec<f64>,
+    /// Adam second moments.
+    pub adam_v: Vec<f64>,
+    /// Batching RNG: the four xoshiro256** words.
+    pub rng_state: [u64; 4],
+    /// Batching RNG: cached Box–Muller spare.
+    pub rng_gauss_spare: Option<f64>,
+    /// History records produced so far.
+    pub history: Vec<Record>,
+    /// Name of the sampler that produced `sampler_state`.
+    pub sampler_name: String,
+    /// Sampler importance state ([`Value::Null`] for stateless samplers).
+    pub sampler_state: Value,
+}
+
+/// Errors from run-state restore.
+#[derive(Debug)]
+pub enum RunStateError {
+    /// Unknown format version.
+    Version(u32),
+    /// Underlying JSON error.
+    Json(JsonError),
+    /// Embedded network checkpoint error.
+    Checkpoint(CheckpointError),
+    /// Malformed or missing field.
+    Field(String),
+}
+
+impl std::fmt::Display for RunStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunStateError::Version(v) => write!(f, "unsupported run-state version {v}"),
+            RunStateError::Json(e) => write!(f, "json error: {e}"),
+            RunStateError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            RunStateError::Field(s) => write!(f, "bad field: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RunStateError {}
+
+impl From<JsonError> for RunStateError {
+    fn from(e: JsonError) -> Self {
+        RunStateError::Json(e)
+    }
+}
+
+impl From<CheckpointError> for RunStateError {
+    fn from(e: CheckpointError) -> Self {
+        RunStateError::Checkpoint(e)
+    }
+}
+
+/// Reads a number that may have been serialised as `null` (non-finite
+/// floats — a diverged run's loss — round-trip as NaN).
+fn f64_or_nan(v: &Value, what: &str) -> Result<f64, RunStateError> {
+    match v {
+        Value::Null => Ok(f64::NAN),
+        _ => v
+            .as_f64()
+            .ok_or_else(|| RunStateError::Field(format!("{what}: expected number"))),
+    }
+}
+
+fn record_to_value(r: &Record) -> Value {
+    obj([
+        ("iteration", Value::Num(r.iteration as f64)),
+        ("seconds", Value::Num(r.seconds)),
+        ("train_loss", Value::Num(r.train_loss)),
+        ("val_errors", num_arr(&r.val_errors)),
+    ])
+}
+
+fn record_from_value(v: &Value) -> Result<Record, RunStateError> {
+    let errs = v
+        .get("val_errors")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| RunStateError::Field("record val_errors".into()))?;
+    Ok(Record {
+        iteration: v.req_usize("iteration")?,
+        seconds: v.req_f64("seconds")?,
+        train_loss: f64_or_nan(
+            v.get("train_loss")
+                .ok_or_else(|| RunStateError::Field("record train_loss".into()))?,
+            "train_loss",
+        )?,
+        val_errors: errs
+            .iter()
+            .map(|e| f64_or_nan(e, "val_errors"))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+impl RunState {
+    /// JSON serialisation. Floats use shortest-roundtrip formatting and
+    /// RNG words hex strings, so `from_json(to_json())` is bit-exact.
+    ///
+    /// # Errors
+    /// Infallible in practice; kept as `Result` for API stability.
+    pub fn to_json(&self) -> Result<String, RunStateError> {
+        let net = Value::parse(&self.net.to_json()?)?;
+        let v = obj([
+            ("version", Value::Num(self.version as f64)),
+            ("iteration", Value::Num(self.iteration as f64)),
+            ("train_seconds", Value::Num(self.train_seconds)),
+            ("record_seconds", Value::Num(self.record_seconds)),
+            ("net", net),
+            ("adam_t", Value::Num(self.adam_t as f64)),
+            ("adam_m", num_arr(&self.adam_m)),
+            ("adam_v", num_arr(&self.adam_v)),
+            (
+                "rng_state",
+                Value::Arr(
+                    self.rng_state
+                        .iter()
+                        .map(|w| Value::Str(format!("{w:016x}")))
+                        .collect(),
+                ),
+            ),
+            (
+                "rng_gauss_spare",
+                match self.rng_gauss_spare {
+                    Some(g) => Value::Num(g),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "history",
+                Value::Arr(self.history.iter().map(record_to_value).collect()),
+            ),
+            ("sampler_name", Value::Str(self.sampler_name.clone())),
+            ("sampler_state", self.sampler_state.clone()),
+        ]);
+        Ok(v.to_string_compact())
+    }
+
+    /// JSON deserialisation.
+    ///
+    /// # Errors
+    /// Propagates parse/shape errors.
+    pub fn from_json(s: &str) -> Result<Self, RunStateError> {
+        let v = Value::parse(s)?;
+        let version = v.req_usize("version")? as u32;
+        if version != 1 {
+            return Err(RunStateError::Version(version));
+        }
+        let net = Checkpoint::from_json(
+            &v.get("net")
+                .ok_or_else(|| RunStateError::Field("net".into()))?
+                .to_string_compact(),
+        )?;
+        let words = v
+            .get("rng_state")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| RunStateError::Field("rng_state".into()))?;
+        if words.len() != 4 {
+            return Err(RunStateError::Field(format!(
+                "rng_state: expected 4 words, got {}",
+                words.len()
+            )));
+        }
+        let mut rng_state = [0u64; 4];
+        for (dst, w) in rng_state.iter_mut().zip(words) {
+            let s = w
+                .as_str()
+                .ok_or_else(|| RunStateError::Field("rng_state word".into()))?;
+            *dst = u64::from_str_radix(s, 16)
+                .map_err(|e| RunStateError::Field(format!("rng_state word {s:?}: {e}")))?;
+        }
+        let rng_gauss_spare = match v.get("rng_gauss_spare") {
+            None | Some(Value::Null) => None,
+            Some(g) => Some(
+                g.as_f64()
+                    .ok_or_else(|| RunStateError::Field("rng_gauss_spare".into()))?,
+            ),
+        };
+        let history = v
+            .get("history")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| RunStateError::Field("history".into()))?
+            .iter()
+            .map(record_from_value)
+            .collect::<Result<_, _>>()?;
+        Ok(RunState {
+            version,
+            iteration: v.req_usize("iteration")?,
+            train_seconds: v.req_f64("train_seconds")?,
+            record_seconds: v.req_f64("record_seconds")?,
+            net,
+            adam_t: v.req_usize("adam_t")?,
+            adam_m: v.req_f64_arr("adam_m")?,
+            adam_v: v.req_f64_arr("adam_v")?,
+            rng_state,
+            rng_gauss_spare,
+            history,
+            sampler_name: v.req_str("sampler_name")?.to_string(),
+            sampler_state: v
+                .get("sampler_state")
+                .cloned()
+                .ok_or_else(|| RunStateError::Field("sampler_state".into()))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_linalg::rng::Rng64;
+    use sgm_nn::activation::Activation;
+    use sgm_nn::mlp::{Mlp, MlpConfig};
+
+    fn sample_state() -> RunState {
+        let net = Mlp::new(
+            &MlpConfig {
+                input_dim: 2,
+                output_dim: 1,
+                hidden_width: 6,
+                hidden_layers: 1,
+                activation: Activation::Tanh,
+                fourier: None,
+            },
+            &mut Rng64::new(3),
+        );
+        let mut rng = Rng64::new(0xDEAD_BEEF_0123_4567);
+        for _ in 0..7 {
+            rng.next_u64();
+        }
+        rng.gaussian(); // populate the Box–Muller spare
+        let (rng_state, rng_gauss_spare) = rng.state();
+        RunState {
+            version: 1,
+            iteration: 23,
+            train_seconds: 1.5,
+            record_seconds: 0.25,
+            net: Checkpoint::capture(&net),
+            adam_t: 23,
+            adam_m: vec![0.1, -0.25e-17, 3.0],
+            adam_v: vec![1e-300, 2.0, 0.5],
+            rng_state,
+            rng_gauss_spare,
+            history: vec![Record {
+                iteration: 20,
+                seconds: 1.3,
+                train_loss: f64::NAN,
+                val_errors: vec![0.5, f64::INFINITY],
+            }],
+            sampler_name: "sgm".into(),
+            sampler_state: obj([("cursor", Value::Num(12.0))]),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bit_exact() {
+        let st = sample_state();
+        let back = RunState::from_json(&st.to_json().unwrap()).unwrap();
+        assert_eq!(back.version, st.version);
+        assert_eq!(back.iteration, st.iteration);
+        assert_eq!(back.train_seconds.to_bits(), st.train_seconds.to_bits());
+        assert_eq!(back.net, st.net);
+        assert_eq!(back.adam_t, st.adam_t);
+        for (a, b) in st.adam_m.iter().zip(&back.adam_m) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in st.adam_v.iter().zip(&back.adam_v) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.rng_state, st.rng_state);
+        assert_eq!(
+            back.rng_gauss_spare.map(f64::to_bits),
+            st.rng_gauss_spare.map(f64::to_bits)
+        );
+        assert_eq!(back.sampler_name, st.sampler_name);
+        assert_eq!(back.sampler_state, st.sampler_state);
+        // Non-finite history entries round-trip as NaN (JSON null).
+        assert!(back.history[0].train_loss.is_nan());
+        assert!(back.history[0].val_errors[1].is_nan());
+        assert_eq!(back.history[0].val_errors[0], 0.5);
+        // Restored RNG continues the stream identically.
+        let mut a = Rng64::from_state(st.rng_state, st.rng_gauss_spare);
+        let mut b = Rng64::from_state(back.rng_state, back.rng_gauss_spare);
+        for _ in 0..8 {
+            assert_eq!(a.gaussian().to_bits(), b.gaussian().to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut st = sample_state();
+        st.version = 9;
+        let json = st.to_json().unwrap();
+        assert!(matches!(
+            RunState::from_json(&json),
+            Err(RunStateError::Version(9))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_rng_words() {
+        let st = sample_state();
+        let json = st
+            .to_json()
+            .unwrap()
+            .replacen(&format!("{:016x}", st.rng_state[0]), "zz", 1);
+        assert!(matches!(
+            RunState::from_json(&json),
+            Err(RunStateError::Field(_))
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! The sampler interface and the uniform baseline.
+//!
+//! The trainer is deliberately sampler-agnostic: every iteration it asks
+//! a [`Sampler`] to fill the interior mini-batch index buffer and offers
+//! it a [`Probe`] through which the sampler may (on its own schedule,
+//! e.g. every `τ_e` iterations) evaluate per-sample losses or network
+//! outputs on subsets of the dataset. The uniform / MIS / RAR / SGM-PINN
+//! samplers all implement this trait, so the experiment harness compares
+//! them under identical training mechanics — exactly the paper's setup
+//! on Modulus.
+
+use crate::model::LossModel;
+use sgm_json::Value;
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::mlp::Mlp;
+
+/// Read-only view the trainer lends to samplers so they can score
+/// samples.
+pub struct Probe<'a> {
+    /// Current network.
+    pub net: &'a Mlp,
+    /// The training objective (for loss/output evaluation).
+    pub model: &'a (dyn LossModel + 'a),
+}
+
+impl std::fmt::Debug for Probe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe").finish_non_exhaustive()
+    }
+}
+
+impl Probe<'_> {
+    /// Per-sample interior losses at the given indices (paper: the
+    /// `r × N` loss calculations every `τ_e` iterations).
+    pub fn sample_losses(&self, idx: &[usize]) -> Vec<f64> {
+        self.model.sample_losses(self.net, idx)
+    }
+
+    /// Network outputs at the given interior indices (the ISR stage
+    /// builds its output graph from these).
+    pub fn outputs(&self, idx: &[usize]) -> Matrix {
+        self.model.outputs(self.net, idx)
+    }
+
+    /// Input rows at the given interior indices.
+    pub fn inputs(&self, idx: &[usize]) -> Matrix {
+        self.model.inputs(idx)
+    }
+
+    /// Size of the interior dataset.
+    pub fn num_interior(&self) -> usize {
+        self.model.num_interior()
+    }
+}
+
+/// Chooses interior mini-batches; may maintain internal importance
+/// state.
+pub trait Sampler {
+    /// Short display name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Writes the indices of the next interior mini-batch into `out`
+    /// (clearing it first). The engine reuses one buffer for the whole
+    /// run, so implementations must not allocate here in steady state.
+    fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64);
+
+    /// Allocating convenience wrapper around [`Sampler::fill_batch`].
+    fn next_batch(&mut self, batch_size: usize, rng: &mut Rng64) -> Vec<usize> {
+        let mut out = Vec::with_capacity(batch_size);
+        self.fill_batch(batch_size, &mut out, rng);
+        out
+    }
+
+    /// Called once per iteration *before* the batch is drawn; samplers
+    /// refresh importance state here on their own schedule.
+    fn refresh(&mut self, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
+        let _ = (iter, probe, rng);
+    }
+
+    /// Serialisable importance state for run checkpointing. Stateless
+    /// samplers return [`Value::Null`].
+    fn save_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Restores state captured by [`Sampler::save_state`]. The default
+    /// accepts only [`Value::Null`] (stateless samplers).
+    ///
+    /// # Errors
+    /// Returns a message when the payload does not match this sampler.
+    fn load_state(&mut self, state: &Value) -> Result<(), String> {
+        match state {
+            Value::Null => Ok(()),
+            _ => Err(format!(
+                "sampler {:?} does not accept saved state",
+                self.name()
+            )),
+        }
+    }
+}
+
+/// Trivial uniform sampler (the `U_β` baselines).
+#[derive(Debug, Clone, Default)]
+pub struct UniformSampler {
+    n: usize,
+}
+
+impl UniformSampler {
+    /// Uniform sampler over `n` interior points.
+    pub fn new(n: usize) -> Self {
+        UniformSampler { n }
+    }
+}
+
+impl Sampler for UniformSampler {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+        out.clear();
+        for _ in 0..batch_size {
+            out.push(rng.below(self.n));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sampler_covers_dataset() {
+        let mut s = UniformSampler::new(20);
+        let mut rng = Rng64::new(1);
+        let mut seen = [false; 20];
+        for _ in 0..50 {
+            for i in s.next_batch(10, &mut rng) {
+                assert!(i < 20);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn fill_batch_clears_and_matches_next_batch() {
+        let mut a = UniformSampler::new(33);
+        let mut b = UniformSampler::new(33);
+        let mut ra = Rng64::new(5);
+        let mut rb = Rng64::new(5);
+        let mut buf = vec![999usize; 4];
+        a.fill_batch(7, &mut buf, &mut ra);
+        assert_eq!(buf, b.next_batch(7, &mut rb));
+    }
+
+    #[test]
+    fn default_state_roundtrip() {
+        let mut s = UniformSampler::new(5);
+        let saved = s.save_state();
+        assert!(matches!(saved, Value::Null));
+        assert!(s.load_state(&saved).is_ok());
+        assert!(s.load_state(&Value::Num(1.0)).is_err());
+    }
+}

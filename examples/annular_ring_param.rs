@@ -20,7 +20,8 @@ use sgm_nn::optimizer::{AdamConfig, LrSchedule};
 use sgm_physics::geometry::{AnnulusChannel, FillStrategy};
 use sgm_physics::pde::{NsConfig, Pde};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{TrainOptions, Trainer};
+use sgm_physics::{AveragedValidation, PinnModel};
+use sgm_train::{TrainOptions, Trainer};
 
 fn main() {
     let ring = AnnulusChannel::default();
@@ -42,7 +43,7 @@ fn main() {
 
     let mut net = Mlp::new(
         &MlpConfig {
-            input_dim: 3, // (x, y, r_i)
+            input_dim: 3,  // (x, y, r_i)
             output_dim: 3, // (u, v, p)
             hidden_width: 40,
             hidden_layers: 3,
@@ -85,15 +86,16 @@ fn main() {
         seed: 3,
         record_every: 100,
         max_seconds: Some(30.0),
+        synthetic_dt: None,
     };
     println!("training SGM-S on the parameterised annulus (30s)...");
     let result = {
+        let model = PinnModel::new(&problem, &data);
         let mut tr = Trainer {
             net: &mut net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
-        tr.run(&mut sampler, &validation, &opts)
+        tr.run(&mut sampler, Some(&AveragedValidation(&validation)), &opts)
     };
     let last = result.history.last().unwrap();
     println!(

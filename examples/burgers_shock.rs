@@ -21,7 +21,8 @@ use sgm_nn::mlp::{Mlp, MlpConfig};
 use sgm_nn::optimizer::{AdamConfig, LrSchedule};
 use sgm_physics::pde::{BurgersConfig, Pde};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{Sampler, TrainOptions, Trainer};
+use sgm_physics::{AveragedValidation, PinnModel};
+use sgm_train::{Sampler, TrainOptions, Trainer};
 
 fn main() {
     let mut problem = Problem::new(Pde::Burgers(BurgersConfig { nu: BENCH_NU }));
@@ -79,6 +80,7 @@ fn main() {
         seed: 24,
         record_every: 200,
         max_seconds: Some(25.0),
+        synthetic_dt: None,
     };
     let net_cfg = MlpConfig {
         input_dim: 2,
@@ -92,12 +94,12 @@ fn main() {
     let run = |label: &str, sampler: &mut dyn Sampler| {
         let mut net = Mlp::new(&net_cfg, &mut Rng64::new(42));
         let result = {
+            let model = PinnModel::new(&problem, &data);
             let mut tr = Trainer {
                 net: &mut net,
-                problem: &problem,
-                data: &data,
+                model: &model,
             };
-            tr.run(sampler, &validation, &opts)
+            tr.run(sampler, Some(&AveragedValidation(&validation)), &opts)
         };
         let (best, at) = result.min_error(0).unwrap();
         println!("{label:>8}: best rel-L2(u) = {best:.4} at {at:.1}s");

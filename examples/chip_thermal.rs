@@ -23,7 +23,8 @@ use sgm_nn::optimizer::{AdamConfig, LrSchedule};
 use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{HeatConfig, Pde};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{Sampler, TrainOptions, Trainer};
+use sgm_physics::{AveragedValidation, PinnModel};
+use sgm_train::{Sampler, TrainOptions, Trainer};
 
 /// The layout the PDE closures read (fn pointers need a static source).
 fn layout() -> ChipLayout {
@@ -122,15 +123,16 @@ fn main() {
         seed: 19,
         record_every: 200,
         max_seconds: Some(30.0),
+        synthetic_dt: None,
     };
     println!("training the thermal PINN with SGM sampling (30s)...");
     let result = {
+        let model = PinnModel::new(&problem, &data);
         let mut tr = Trainer {
             net: &mut net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
-        tr.run(&mut sampler, &validation, &opts)
+        tr.run(&mut sampler, Some(&AveragedValidation(&validation)), &opts)
     };
     let (best, at) = result.min_error(0).expect("history");
     println!("best relative L2 error of T: {best:.4} at {at:.1}s");
@@ -162,9 +164,5 @@ fn main() {
             peak = peak.max(net.forward(&q).get(0, 0));
         }
     }
-    println!(
-        "peak T: PINN {:.3} vs reference {:.3}",
-        peak,
-        field.peak()
-    );
+    println!("peak T: PINN {:.3} vs reference {:.3}", peak, field.peak());
 }

@@ -19,7 +19,8 @@ use sgm_nn::optimizer::{AdamConfig, LrSchedule};
 use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{NsConfig, Pde, ZeroEqConfig};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{Sampler, TrainOptions, Trainer};
+use sgm_physics::{AveragedValidation, PinnModel};
+use sgm_train::{Sampler, TrainOptions, Trainer};
 
 fn main() {
     let budget = 25.0; // seconds per method
@@ -83,17 +84,18 @@ fn main() {
         seed: 5,
         record_every: 100,
         max_seconds: Some(budget),
+        synthetic_dt: None,
     };
 
     let run = |name: &str, sampler: &mut dyn Sampler| {
         let mut net = Mlp::new(&net_cfg, &mut Rng64::new(42));
         let result = {
+            let model = PinnModel::new(&problem, &data);
             let mut tr = Trainer {
                 net: &mut net,
-                problem: &problem,
-                data: &data,
+                model: &model,
             };
-            tr.run(sampler, &validation, &opts)
+            tr.run(sampler, Some(&AveragedValidation(&validation)), &opts)
         };
         let last = result.history.last().unwrap();
         println!(

@@ -19,8 +19,9 @@ use sgm_nn::optimizer::{AdamConfig, LrSchedule};
 use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{Pde, PoissonConfig};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{TrainOptions, Trainer};
 use sgm_physics::validate::ValidationSet;
+use sgm_physics::PinnModel;
+use sgm_train::{TrainOptions, Trainer};
 
 fn main() {
     let pi = std::f64::consts::PI;
@@ -110,14 +111,15 @@ fn main() {
         seed: 1,
         record_every: 250,
         max_seconds: Some(30.0),
+        synthetic_dt: None,
     };
     let result = {
+        let model = PinnModel::new(&problem, &data);
         let mut trainer = Trainer {
             net: &mut net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
-        trainer.run(&mut sampler, std::slice::from_ref(&validation), &opts)
+        trainer.run(&mut sampler, Some(&validation), &opts)
     };
 
     for r in &result.history {

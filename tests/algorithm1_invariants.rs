@@ -11,7 +11,8 @@ use sgm_nn::mlp::{Mlp, MlpConfig};
 use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{Pde, PoissonConfig};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{Probe, Sampler};
+use sgm_physics::PinnModel;
+use sgm_train::{Probe, Sampler};
 
 fn setup(n: usize, seed: u64) -> (Mlp, Problem, TrainSet) {
     let problem = Problem::new(Pde::Poisson(PoissonConfig {
@@ -55,10 +56,10 @@ fn cfg() -> SgmConfig {
 fn probe_budget_matches_r() {
     let (net, prob, data) = setup(500, 1);
     let mut s = SgmSampler::new(&data.interior, cfg());
+    let model = PinnModel::new(&prob, &data);
     let probe = Probe {
         net: &net,
-        problem: &prob,
-        data: &data,
+        model: &model,
     };
     let mut rng = Rng64::new(2);
     s.refresh(0, &probe, &mut rng);
@@ -77,14 +78,16 @@ fn sampling_is_deterministic() {
     let (net, prob, data) = setup(300, 3);
     let mk = || {
         let mut s = SgmSampler::new(&data.interior, cfg());
+        let model = PinnModel::new(&prob, &data);
         let probe = Probe {
             net: &net,
-            problem: &prob,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(7);
         s.refresh(0, &probe, &mut rng);
-        (0..5).flat_map(|_| s.next_batch(32, &mut rng)).collect::<Vec<_>>()
+        (0..5)
+            .flat_map(|_| s.next_batch(32, &mut rng))
+            .collect::<Vec<_>>()
     };
     assert_eq!(mk(), mk());
 }
@@ -134,10 +137,10 @@ fn score_fusion_scale_invariant() {
 #[test]
 fn mis_scores_full_dataset_sgm_scores_fraction() {
     let (net, prob, data) = setup(400, 5);
+    let model = PinnModel::new(&prob, &data);
     let probe = Probe {
         net: &net,
-        problem: &prob,
-        data: &data,
+        model: &model,
     };
     let mut rng = Rng64::new(6);
     let mut mis = MisSampler::new(400, MisConfig::default());
@@ -157,14 +160,20 @@ fn mis_scores_full_dataset_sgm_scores_fraction() {
 #[test]
 fn batches_in_range_across_lifecycle() {
     let (net, prob, data) = setup(250, 8);
+    let model = PinnModel::new(&prob, &data);
     let probe = Probe {
         net: &net,
-        problem: &prob,
-        data: &data,
+        model: &model,
     };
     let mut rng = Rng64::new(9);
     let mut sgm = SgmSampler::new(&data.interior, cfg());
-    let mut mis = MisSampler::new(250, MisConfig { tau_e: 40, ..MisConfig::default() });
+    let mut mis = MisSampler::new(
+        250,
+        MisConfig {
+            tau_e: 40,
+            ..MisConfig::default()
+        },
+    );
     for iter in 0..120 {
         sgm.refresh(iter, &probe, &mut rng);
         mis.refresh(iter, &probe, &mut rng);

@@ -14,13 +14,7 @@ use sgm_nn::mlp::{BatchDerivatives, Mlp, MlpConfig};
 /// Scalar re-evaluation of an `sgm-nn` MLP with Dual2 along one input
 /// dimension — an implementation-independent oracle for value, ∂/∂x_d and
 /// ∂²/∂x_d².
-fn dual2_eval(
-    net: &Mlp,
-    cfg: &MlpConfig,
-    x: &[f64],
-    diff_dim: usize,
-    output: usize,
-) -> Dual2 {
+fn dual2_eval(net: &Mlp, cfg: &MlpConfig, x: &[f64], diff_dim: usize, output: usize) -> Dual2 {
     let params = net.params();
     let mut off = 0;
     let mut act: Vec<Dual2> = x
@@ -96,12 +90,24 @@ fn batched_derivs_match_dual_oracle() {
             for o in 0..2 {
                 let oracle = dual2_eval(&net, &cfg, &[x0, x1], d, o);
                 let tol = 1e-8 * (1.0 + oracle.v.abs() + oracle.d.abs() + oracle.dd.abs());
-                assert!((full.values.get(0, o) - oracle.v).abs() < tol,
-                    "case={case} value o={o}: {} vs {}", full.values.get(0, o), oracle.v);
-                assert!((full.jac[d].get(0, o) - oracle.d).abs() < tol,
-                    "case={case} jac d={d} o={o}: {} vs {}", full.jac[d].get(0, o), oracle.d);
-                assert!((full.hess[d].get(0, o) - oracle.dd).abs() < tol,
-                    "case={case} hess d={d} o={o}: {} vs {}", full.hess[d].get(0, o), oracle.dd);
+                assert!(
+                    (full.values.get(0, o) - oracle.v).abs() < tol,
+                    "case={case} value o={o}: {} vs {}",
+                    full.values.get(0, o),
+                    oracle.v
+                );
+                assert!(
+                    (full.jac[d].get(0, o) - oracle.d).abs() < tol,
+                    "case={case} jac d={d} o={o}: {} vs {}",
+                    full.jac[d].get(0, o),
+                    oracle.d
+                );
+                assert!(
+                    (full.hess[d].get(0, o) - oracle.dd).abs() < tol,
+                    "case={case} hess d={d} o={o}: {} vs {}",
+                    full.hess[d].get(0, o),
+                    oracle.dd
+                );
             }
         }
     }

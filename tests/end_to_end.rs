@@ -11,8 +11,9 @@ use sgm_nn::optimizer::{AdamConfig, LrSchedule};
 use sgm_physics::geometry::{AnnulusChannel, Cavity, FillStrategy};
 use sgm_physics::pde::{NsConfig, Pde, PoissonConfig};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{Sampler, TrainOptions, Trainer};
 use sgm_physics::validate::ValidationSet;
+use sgm_physics::PinnModel;
+use sgm_train::{Sampler, TrainOptions, Trainer};
 
 fn poisson_setup(seed: u64) -> (Problem, TrainSet, ValidationSet) {
     let pi = std::f64::consts::PI;
@@ -85,14 +86,15 @@ fn train_poisson(sampler: &mut dyn Sampler, seed: u64) -> (f64, f64) {
         seed,
         record_every: 100,
         max_seconds: None,
+        synthetic_dt: None,
     };
     let result = {
+        let model = PinnModel::new(&problem, &data);
         let mut tr = Trainer {
             net: &mut net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
-        tr.run(sampler, std::slice::from_ref(&val), &opts)
+        tr.run(sampler, Some(&val), &opts)
     };
     let first = result.history.first().unwrap().val_errors[0];
     let best = result.min_error(0).unwrap().0;
@@ -200,14 +202,15 @@ fn sgm_s_trains_parameterised_navier_stokes() {
         seed: 33,
         record_every: 100,
         max_seconds: None,
+        synthetic_dt: None,
     };
     let result = {
+        let model = PinnModel::new(&problem, &data);
         let mut tr = Trainer {
             net: &mut net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
-        tr.run(&mut sampler, std::slice::from_ref(&val), &opts)
+        tr.run(&mut sampler, Some(&val), &opts)
     };
     let first_u = result.history.first().unwrap().val_errors[0];
     let best_u = result.min_error(0).unwrap().0;

@@ -4,7 +4,7 @@
 
 use sgm_core::{RarConfig, RarSampler, SgmConfig, SgmSampler};
 use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
-use sgm_graph::lrd::{decompose, ErSource, LrdConfig};
+use sgm_graph::lrd::{decompose, LrdConfig};
 use sgm_graph::partition::{parallel_decompose, GridPartitionConfig};
 use sgm_graph::points::PointCloud;
 use sgm_graph::sparsify::{quadratic_form_deviation, sparsify, SparsifyOptions};
@@ -16,7 +16,8 @@ use sgm_nn::mlp::{Mlp, MlpConfig};
 use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{Pde, PoissonConfig};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{Probe, Sampler};
+use sgm_physics::PinnModel;
+use sgm_train::{Probe, Sampler};
 
 fn cloud(n: usize, seed: u64) -> PointCloud {
     let mut rng = Rng64::new(seed);
@@ -114,10 +115,10 @@ fn overhead_ordering_rar_sgm() {
         },
         &mut Rng64::new(6),
     );
+    let model = PinnModel::new(&problem, &data);
     let probe = Probe {
         net: &net,
-        problem: &problem,
-        data: &data,
+        model: &model,
     };
     let mut sgm = SgmSampler::new(
         &data.interior,
@@ -145,7 +146,11 @@ fn overhead_ordering_rar_sgm() {
     }
     // 3 refreshes each: SGM ≈ 3 · 0.15·N = 900; RAR ≈ 2 · 200 = 400
     // (RAR skips iter 0); both ≪ MIS's 3 · 2000 = 6000.
-    assert!(sgm.stats().probe_evals < 1200, "sgm {}", sgm.stats().probe_evals);
+    assert!(
+        sgm.stats().probe_evals < 1200,
+        "sgm {}",
+        sgm.stats().probe_evals
+    );
     assert!(rar.probe_evals() <= 600, "rar {}", rar.probe_evals());
 }
 

@@ -55,21 +55,27 @@ fn approx_er_ranks_bridges_highest() {
             flat.extend_from_slice(&[8.0 + rng.uniform(), rng.uniform()]);
         }
         let cloud = PointCloud::from_flat(2, flat);
-        let g = build_knn_graph(&cloud, &KnnConfig {
-            k: 5,
-            strategy: KnnStrategy::Brute,
-            ..KnnConfig::default()
-        });
+        let g = build_knn_graph(
+            &cloud,
+            &KnnConfig {
+                k: 5,
+                strategy: KnnStrategy::Brute,
+                ..KnnConfig::default()
+            },
+        );
         // The kNN graph of two distant blobs has no cross edges; add two
         // explicit bridges.
         let mut edges: Vec<(usize, usize, f64)> = g.edges().collect();
         edges.push((0, 1, 1.0));
         edges.push((2, 3, 1.0));
         let g = Graph::from_edges(g.num_nodes(), &edges);
-        let approx = approx_edge_resistances(&g, &ApproxErOptions {
-            seed: seed ^ 0xE5,
-            ..ApproxErOptions::default()
-        });
+        let approx = approx_edge_resistances(
+            &g,
+            &ApproxErOptions {
+                seed: seed ^ 0xE5,
+                ..ApproxErOptions::default()
+            },
+        );
         // Bridge edges are node pairs 0-1 and 2-3. LRD contracts edges in
         // ascending ER order, so what matters is that bridges land in the
         // top tail of the estimate — never among the early contractions.
@@ -80,7 +86,10 @@ fn approx_er_ranks_bridges_highest() {
         for ((u, v, _), &r) in g.edges().zip(&approx) {
             if (u, v) == (0, 1) || (u, v) == (2, 3) {
                 bridges_found += 1;
-                assert!(r >= q90, "case={case} bridge ER {r} below the 90th percentile {q90}");
+                assert!(
+                    r >= q90,
+                    "case={case} bridge ER {r} below the 90th percentile {q90}"
+                );
             }
         }
         assert_eq!(bridges_found, 2, "case={case}");
@@ -99,11 +108,14 @@ fn approx_er_foster_calibrated() {
         let seed = case_rng.below(200) as u64;
         let n = 30 + case_rng.below(90);
         let cloud = random_cloud(n, 2, seed);
-        let g = build_knn_graph(&cloud, &KnnConfig {
-            k: 4,
-            strategy: KnnStrategy::Brute,
-            ..KnnConfig::default()
-        });
+        let g = build_knn_graph(
+            &cloud,
+            &KnnConfig {
+                k: 4,
+                strategy: KnnStrategy::Brute,
+                ..KnnConfig::default()
+            },
+        );
         let approx = approx_edge_resistances(&g, &ApproxErOptions::default());
         let (_, comps) = g.components();
         let target = (g.num_nodes() - comps) as f64;
@@ -123,18 +135,27 @@ fn lrd_partition_is_valid() {
         let seed = case_rng.below(200) as u64;
         let level = 1 + case_rng.below(7);
         let cloud = random_cloud(150, 2, seed);
-        let g = build_knn_graph(&cloud, &KnnConfig {
-            k: 6,
-            strategy: KnnStrategy::Grid,
-            ..KnnConfig::default()
-        });
-        let c = decompose(&g, &LrdConfig {
-            level,
-            er: ErSource::Approx(ApproxErOptions { seed, ..ApproxErOptions::default() }),
-            min_clusters: 4,
-            max_cluster_frac: 0.2,
-            budget_scale: 1.0,
-        });
+        let g = build_knn_graph(
+            &cloud,
+            &KnnConfig {
+                k: 6,
+                strategy: KnnStrategy::Grid,
+                ..KnnConfig::default()
+            },
+        );
+        let c = decompose(
+            &g,
+            &LrdConfig {
+                level,
+                er: ErSource::Approx(ApproxErOptions {
+                    seed,
+                    ..ApproxErOptions::default()
+                }),
+                min_clusters: 4,
+                max_cluster_frac: 0.2,
+                budget_scale: 1.0,
+            },
+        );
         // Partition covers everything exactly once.
         assert_eq!(c.num_nodes(), 150, "case={case}");
         let total: usize = c.sizes().iter().sum();

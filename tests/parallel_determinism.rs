@@ -14,11 +14,13 @@ use sgm_linalg::dense::Matrix;
 use sgm_linalg::rng::Rng64;
 use sgm_nn::activation::Activation;
 use sgm_nn::mlp::{BatchDerivatives, Mlp, MlpConfig};
+use sgm_nn::optimizer::AdamConfig;
 use sgm_par::Parallelism;
 use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{Pde, PoissonConfig};
 use sgm_physics::problem::{Problem, TrainSet};
-use sgm_physics::train::{Probe, Sampler};
+use sgm_physics::PinnModel;
+use sgm_train::{Probe, RunState, Sampler, TrainOptions, Trainer};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -160,10 +162,10 @@ fn sgm_sampler_epoch_bit_identical_across_thread_counts() {
                 ..SgmConfig::default()
             },
         );
+        let model = PinnModel::new(&problem, &data);
         let probe = Probe {
             net: &net,
-            problem: &problem,
-            data: &data,
+            model: &model,
         };
         let mut rng = Rng64::new(905);
         let mut flat: Vec<f64> = Vec::new();
@@ -176,4 +178,111 @@ fn sgm_sampler_epoch_bit_identical_across_thread_counts() {
         flat
     });
     assert_all_bits_equal(&runs, "sgm epoch");
+}
+
+/// A full SGM training run killed at iteration 23 and resumed from its
+/// JSON run state reproduces the uninterrupted run bit-for-bit — same
+/// history, same final weights — for every thread count. The synthetic
+/// clock makes the recorded timestamps part of the contract too.
+#[test]
+fn training_resume_bit_identical_across_thread_counts() {
+    let problem = Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: |p: &[f64]| if p[0] < 0.5 { 50.0 } else { 0.1 },
+    }));
+    let mut rng = Rng64::new(906);
+    let interior = Cavity::default().sample_interior(400, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: Matrix::zeros(1, 1),
+    };
+    let net_cfg = MlpConfig {
+        input_dim: 2,
+        output_dim: 1,
+        hidden_width: 10,
+        hidden_layers: 2,
+        activation: Activation::Tanh,
+        fourier: None,
+    };
+    let mk_net = || Mlp::new(&net_cfg, &mut Rng64::new(907));
+    let mk_sampler = |interior: &PointCloud| {
+        SgmSampler::new(
+            interior,
+            SgmConfig {
+                k: 6,
+                min_clusters: 8,
+                max_cluster_frac: 0.2,
+                tau_e: 10,
+                tau_g: 0,
+                background: false,
+                ..SgmConfig::default()
+            },
+        )
+    };
+    let opts = TrainOptions {
+        iterations: 60,
+        batch_interior: 48,
+        batch_boundary: 1,
+        adam: AdamConfig::default(),
+        seed: 908,
+        record_every: 10,
+        max_seconds: None,
+        synthetic_dt: Some(1.0 / 1024.0),
+    };
+    let runs = run_per_thread_count(|| {
+        let model = PinnModel::new(&problem, &data);
+        // Uninterrupted reference run.
+        let mut net_full = mk_net();
+        let full = {
+            let mut sampler = mk_sampler(&data.interior);
+            let mut tr = Trainer {
+                net: &mut net_full,
+                model: &model,
+            };
+            tr.run(&mut sampler, None, &opts)
+        };
+        // Kill at iteration 23, round-trip the state through JSON text,
+        // resume with freshly constructed net + sampler.
+        let state = {
+            let mut net = mk_net();
+            let mut sampler = mk_sampler(&data.interior);
+            let mut tr = Trainer {
+                net: &mut net,
+                model: &model,
+            };
+            tr.run_until(&mut sampler, None, &opts, 23)
+        };
+        let state =
+            RunState::from_json(&state.to_json().expect("serialise")).expect("parse run state");
+        let mut net_res = mk_net();
+        let resumed = {
+            let mut sampler = mk_sampler(&data.interior);
+            let mut tr = Trainer {
+                net: &mut net_res,
+                model: &model,
+            };
+            tr.resume(&mut sampler, None, &opts, &state)
+                .expect("resume")
+        };
+        assert_eq!(full.history.len(), resumed.history.len());
+        for (a, b) in full.history.iter().zip(&resumed.history) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        }
+        let pf = net_full.params();
+        let pr = net_res.params();
+        for (a, b) in pf.iter().zip(&pr) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resumed weights diverged");
+        }
+        let mut flat: Vec<f64> = Vec::new();
+        for r in &full.history {
+            flat.push(r.iteration as f64);
+            flat.push(r.seconds);
+            flat.push(r.train_loss);
+        }
+        flat.extend_from_slice(&pf);
+        flat
+    });
+    assert_all_bits_equal(&runs, "resumed training");
 }
