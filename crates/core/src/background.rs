@@ -9,6 +9,11 @@
 //! keeps sampling from the previous clustering until the new one arrives
 //! (`S ← S_new` in Algorithm 1, lines 14–18). The GPU-side training loop
 //! therefore never blocks on graph work.
+//!
+//! A worker that dies (panics) is *detected*, not silently absorbed:
+//! every channel operation reports [`WorkerDied`] once the worker is
+//! gone, so the trainer can fall back to inline rebuilds instead of
+//! waiting forever on a result that will never come.
 
 use sgm_graph::knn::{build_knn_graph, KnnConfig};
 use sgm_graph::lrd::{decompose, Clustering, LrdConfig};
@@ -36,6 +41,26 @@ pub fn run_rebuild(req: &RebuildRequest) -> Clustering {
     decompose(&g, &req.lrd)
 }
 
+/// The rebuild worker thread terminated (panicked) while results were
+/// still expected. Carries the panic message when one could be
+/// recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerDied {
+    /// Panic payload, if the worker panicked with a string message.
+    pub panic: Option<String>,
+}
+
+impl std::fmt::Display for WorkerDied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.panic {
+            Some(msg) => write!(f, "background rebuild worker died: {msg}"),
+            None => write!(f, "background rebuild worker died"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerDied {}
+
 /// Worker thread handle for asynchronous PGM rebuilds.
 #[derive(Debug)]
 pub struct BackgroundBuilder {
@@ -43,20 +68,35 @@ pub struct BackgroundBuilder {
     rx: Receiver<Clustering>,
     handle: Option<JoinHandle<()>>,
     pending: usize,
+    died: Option<WorkerDied>,
 }
 
 impl BackgroundBuilder {
-    /// Spawns the worker thread.
+    /// Spawns the standard worker thread (kNN + LRD per request).
     pub fn spawn() -> Self {
+        Self::spawn_with_worker(|req| Some(run_rebuild(req)))
+    }
+
+    /// Spawns a worker running `work` per request. Returning `None`
+    /// drops the result (no message is sent back); panicking inside
+    /// `work` kills the worker thread, which the owner observes as
+    /// [`WorkerDied`]. Production code uses [`BackgroundBuilder::spawn`];
+    /// this hook exists so test harnesses can inject delays, drops and
+    /// panics deterministically.
+    pub fn spawn_with_worker<F>(work: F) -> Self
+    where
+        F: Fn(&RebuildRequest) -> Option<Clustering> + Send + 'static,
+    {
         let (tx_req, rx_req) = channel::<RebuildRequest>();
         let (tx_res, rx_res) = channel::<Clustering>();
         let handle = std::thread::Builder::new()
             .name("sgm-rebuild".into())
             .spawn(move || {
                 while let Ok(req) = rx_req.recv() {
-                    let clustering = run_rebuild(&req);
-                    if tx_res.send(clustering).is_err() {
-                        break;
+                    if let Some(clustering) = work(&req) {
+                        if tx_res.send(clustering).is_err() {
+                            break;
+                        }
                     }
                 }
             })
@@ -66,44 +106,90 @@ impl BackgroundBuilder {
             rx: rx_res,
             handle: Some(handle),
             pending: 0,
+            died: None,
         }
     }
 
-    /// Enqueues a rebuild unless one is already in flight. Returns whether
-    /// the request was accepted.
-    pub fn request(&mut self, req: RebuildRequest) -> bool {
+    /// Records the worker's death: joins the thread to recover the panic
+    /// message, clears in-flight state and caches the error so every
+    /// later call keeps reporting it.
+    fn mark_dead(&mut self) -> WorkerDied {
+        if let Some(d) = &self.died {
+            return d.clone();
+        }
+        self.tx.take();
+        self.pending = 0;
+        let panic = self.handle.take().and_then(|h| match h.join() {
+            Ok(()) => None,
+            Err(payload) => payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned()),
+        });
+        let d = WorkerDied { panic };
+        self.died = Some(d.clone());
+        d
+    }
+
+    /// Enqueues a rebuild unless one is already in flight. Returns
+    /// `Ok(true)` when the request was accepted, `Ok(false)` when one is
+    /// already pending.
+    ///
+    /// # Errors
+    /// Returns [`WorkerDied`] when the worker thread is gone — the
+    /// request can never be served.
+    pub fn request(&mut self, req: RebuildRequest) -> Result<bool, WorkerDied> {
+        if let Some(d) = &self.died {
+            return Err(d.clone());
+        }
         if self.pending > 0 {
-            return false;
+            return Ok(false);
         }
-        if let Some(tx) = &self.tx {
-            if tx.send(req).is_ok() {
+        match &self.tx {
+            Some(tx) if tx.send(req).is_ok() => {
                 self.pending += 1;
-                return true;
+                Ok(true)
             }
+            _ => Err(self.mark_dead()),
         }
-        false
     }
 
-    /// Non-blocking poll for a finished clustering.
-    pub fn try_take(&mut self) -> Option<Clustering> {
+    /// Non-blocking poll for a finished clustering. `Ok(None)` means no
+    /// result is ready yet (the worker may still be computing).
+    ///
+    /// # Errors
+    /// Returns [`WorkerDied`] when the worker thread is gone, so callers
+    /// never spin forever waiting on a dead worker.
+    pub fn try_take(&mut self) -> Result<Option<Clustering>, WorkerDied> {
+        if let Some(d) = &self.died {
+            return Err(d.clone());
+        }
         match self.rx.try_recv() {
             Ok(c) => {
                 self.pending = self.pending.saturating_sub(1);
-                Some(c)
+                Ok(Some(c))
             }
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(self.mark_dead()),
         }
     }
 
     /// Blocking wait for a finished clustering (used by tests and by
     /// shutdown paths).
-    pub fn take_blocking(&mut self) -> Option<Clustering> {
+    ///
+    /// # Errors
+    /// Returns [`WorkerDied`] when the worker thread exits without
+    /// producing a result.
+    pub fn take_blocking(&mut self) -> Result<Clustering, WorkerDied> {
+        if let Some(d) = &self.died {
+            return Err(d.clone());
+        }
         match self.rx.recv() {
             Ok(c) => {
                 self.pending = self.pending.saturating_sub(1);
-                Some(c)
+                Ok(c)
             }
-            Err(_) => None,
+            Err(_) => Err(self.mark_dead()),
         }
     }
 
@@ -111,11 +197,19 @@ impl BackgroundBuilder {
     pub fn is_pending(&self) -> bool {
         self.pending > 0
     }
+
+    /// Whether the worker thread has been observed dead.
+    pub fn is_dead(&self) -> bool {
+        self.died.is_some()
+    }
 }
 
 impl Drop for BackgroundBuilder {
     fn drop(&mut self) {
-        // Close the request channel so the worker exits, then join.
+        // Close the request channel so the worker exits, then join. A
+        // worker that panicked already poisoned the join handle; ignore
+        // the payload — death was (or would have been) reported through
+        // the channel API.
         self.tx.take();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
@@ -150,7 +244,7 @@ mod tests {
     fn background_rebuild_roundtrip() {
         let mut b = BackgroundBuilder::spawn();
         let c = cloud(200, 1);
-        assert!(b.request(req(c.clone())));
+        assert!(b.request(req(c.clone())).unwrap());
         let clustering = b.take_blocking().expect("worker result");
         assert_eq!(clustering.num_nodes(), 200);
         assert!(clustering.num_clusters() >= 2);
@@ -161,10 +255,13 @@ mod tests {
     fn only_one_request_in_flight() {
         let mut b = BackgroundBuilder::spawn();
         let c = cloud(500, 2);
-        assert!(b.request(req(c.clone())));
-        assert!(!b.request(req(c.clone())), "second request must be refused");
+        assert!(b.request(req(c.clone())).unwrap());
+        assert!(
+            !b.request(req(c.clone())).unwrap(),
+            "second request must be refused"
+        );
         let _ = b.take_blocking();
-        assert!(b.request(req(c)));
+        assert!(b.request(req(c)).unwrap());
         let _ = b.take_blocking();
     }
 
@@ -173,7 +270,7 @@ mod tests {
         let c = cloud(150, 3);
         let sync = run_rebuild(&req(c.clone()));
         let mut b = BackgroundBuilder::spawn();
-        b.request(req(c));
+        b.request(req(c)).unwrap();
         let asynch = b.take_blocking().unwrap();
         assert_eq!(sync.assignment(), asynch.assignment());
     }
@@ -181,7 +278,55 @@ mod tests {
     #[test]
     fn drop_joins_cleanly_with_pending_work() {
         let mut b = BackgroundBuilder::spawn();
-        b.request(req(cloud(300, 4)));
+        b.request(req(cloud(300, 4))).unwrap();
         drop(b); // must not hang or panic
+    }
+
+    #[test]
+    fn panicking_worker_is_reported_not_hung() {
+        let mut b = BackgroundBuilder::spawn_with_worker(|_req| -> Option<Clustering> {
+            panic!("injected rebuild failure")
+        });
+        assert!(b.request(req(cloud(50, 5))).unwrap());
+        // Blocking take must return the error, not hang.
+        let err = b.take_blocking().unwrap_err();
+        assert_eq!(err.panic.as_deref(), Some("injected rebuild failure"));
+        assert!(b.is_dead());
+        assert!(!b.is_pending(), "death clears in-flight state");
+        // Every later call keeps reporting the death (the pre-fix bug
+        // left `pending` stuck, silently refusing all future requests).
+        assert!(b.try_take().is_err());
+        assert!(b.request(req(cloud(50, 6))).is_err());
+        let msg = b.take_blocking().unwrap_err().to_string();
+        assert!(msg.contains("injected rebuild failure"), "{msg}");
+    }
+
+    #[test]
+    fn dropping_worker_skips_result_but_stays_alive() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc as StdArc;
+        let calls = StdArc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let mut b = BackgroundBuilder::spawn_with_worker(move |r| {
+            let n = calls2.fetch_add(1, Ordering::SeqCst);
+            if n == 0 {
+                None // drop the first result
+            } else {
+                Some(run_rebuild(r))
+            }
+        });
+        let c = cloud(80, 7);
+        assert!(b.request(req(c.clone())).unwrap());
+        // The dropped result never arrives; the builder still reports
+        // pending until we observe something. Re-requesting is refused
+        // while the (orphaned) request counts as in flight, which is the
+        // documented single-slot policy — so poll until the drop has
+        // happened, then verify no result is pending and the worker is
+        // still alive.
+        while calls.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert!(b.try_take().unwrap().is_none());
+        assert!(!b.is_dead());
     }
 }

@@ -143,6 +143,9 @@ pub struct SgmStats {
     pub rebuilds_applied: usize,
     /// Loss-probe forward evaluations consumed.
     pub probe_evals: usize,
+    /// Background rebuild workers observed dead (the sampler falls back
+    /// to inline rebuilds after the first death).
+    pub worker_deaths: usize,
     /// Wall-clock seconds spent inside refresh (scoring + epoch assembly;
     /// excludes background-thread graph time by construction).
     pub refresh_seconds: f64,
@@ -171,6 +174,26 @@ impl SgmSampler {
     /// # Panics
     /// Panics if the cloud is empty or `spatial_dims` exceeds its dimension.
     pub fn new(interior: &PointCloud, cfg: SgmConfig) -> Self {
+        let builder = if cfg.background {
+            Some(BackgroundBuilder::spawn())
+        } else {
+            None
+        };
+        Self::build(interior, cfg, builder)
+    }
+
+    /// Like [`SgmSampler::new`] but with a caller-supplied background
+    /// builder (e.g. one spawned through
+    /// [`BackgroundBuilder::spawn_with_worker`] by a fault-injection
+    /// harness). Ignores `cfg.background`.
+    ///
+    /// # Panics
+    /// Panics if the cloud is empty or `spatial_dims` exceeds its dimension.
+    pub fn with_builder(interior: &PointCloud, cfg: SgmConfig, builder: BackgroundBuilder) -> Self {
+        Self::build(interior, cfg, Some(builder))
+    }
+
+    fn build(interior: &PointCloud, cfg: SgmConfig, builder: Option<BackgroundBuilder>) -> Self {
         assert!(!interior.is_empty(), "empty interior cloud");
         assert!(
             cfg.spatial_dims >= 1 && cfg.spatial_dims <= interior.dim(),
@@ -192,11 +215,6 @@ impl SgmSampler {
         let mut rng = Rng64::new(cfg.seed ^ 0xE90C);
         let mut epoch: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut epoch);
-        let builder = if cfg.background {
-            Some(BackgroundBuilder::spawn())
-        } else {
-            None
-        };
         SgmSampler {
             cfg,
             cloud,
@@ -383,11 +401,20 @@ impl Sampler for SgmSampler {
                 lrd: Self::lrd_config(&self.cfg, self.cfg.seed ^ self.rebuild_counter),
             };
             match &mut self.builder {
-                Some(b) => {
-                    if b.request(req) {
+                Some(b) => match b.request(req.clone()) {
+                    Ok(true) => self.stats.rebuilds_requested += 1,
+                    Ok(false) => {}
+                    Err(_died) => {
+                        // The worker is gone; run this rebuild inline and
+                        // retire the builder so future τ_G events rebuild
+                        // synchronously instead of waiting forever.
+                        self.stats.worker_deaths += 1;
+                        self.builder = None;
+                        self.clustering = run_rebuild(&req);
                         self.stats.rebuilds_requested += 1;
+                        self.stats.rebuilds_applied += 1;
                     }
-                }
+                },
                 None => {
                     self.clustering = run_rebuild(&req);
                     self.stats.rebuilds_requested += 1;
@@ -396,9 +423,18 @@ impl Sampler for SgmSampler {
             }
         }
         if let Some(b) = &mut self.builder {
-            if let Some(fresh) = b.try_take() {
-                self.clustering = fresh;
-                self.stats.rebuilds_applied += 1;
+            match b.try_take() {
+                Ok(Some(fresh)) => {
+                    self.clustering = fresh;
+                    self.stats.rebuilds_applied += 1;
+                }
+                Ok(None) => {}
+                Err(_died) => {
+                    // Keep sampling from the stale clustering; inline
+                    // rebuilds take over at the next τ_G event.
+                    self.stats.worker_deaths += 1;
+                    self.builder = None;
+                }
             }
         }
         // (lines 5–10) Score refresh every τ_e iterations.
@@ -467,6 +503,10 @@ impl Sampler for SgmSampler {
             num(self.stats.probe_evals as f64),
         );
         obj.insert(
+            "worker_deaths".to_string(),
+            num(self.stats.worker_deaths as f64),
+        );
+        obj.insert(
             "refresh_seconds".to_string(),
             num(self.stats.refresh_seconds),
         );
@@ -519,6 +559,11 @@ impl Sampler for SgmSampler {
         self.stats.rebuilds_requested = get_usize("rebuilds_requested")?;
         self.stats.rebuilds_applied = get_usize("rebuilds_applied")?;
         self.stats.probe_evals = get_usize("probe_evals")?;
+        // Absent in checkpoints written before worker-death tracking.
+        self.stats.worker_deaths = state
+            .get("worker_deaths")
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as usize;
         self.stats.refresh_seconds = state
             .get("refresh_seconds")
             .and_then(Value::as_f64)

@@ -1,0 +1,41 @@
+//! Regression guard wiring `sgm-testkit`'s fault injection into the
+//! crate that owns `BackgroundBuilder`: a scripted worker crash must
+//! surface as `WorkerDied` with the panic message, never a hang.
+
+use sgm_core::background::RebuildRequest;
+use sgm_graph::knn::{KnnConfig, KnnStrategy};
+use sgm_graph::lrd::LrdConfig;
+use sgm_graph::points::PointCloud;
+use sgm_linalg::rng::Rng64;
+use sgm_testkit::fault::{FaultAction, FaultPlan};
+use std::sync::Arc;
+
+#[test]
+fn scripted_crash_is_surfaced_with_its_message() {
+    let mut rng = Rng64::new(0x1CE);
+    let req = RebuildRequest {
+        cloud: Arc::new(PointCloud::uniform_box(100, 2, 0.0, 1.0, &mut rng)),
+        knn: KnnConfig {
+            k: 5,
+            strategy: KnnStrategy::Grid,
+            ..KnnConfig::default()
+        },
+        lrd: LrdConfig::default(),
+    };
+    let mut b = FaultPlan::new([
+        FaultAction::Compute,
+        FaultAction::Panic("wedged in rebuild".into()),
+    ])
+    .spawn();
+
+    // First request computes normally...
+    assert!(b.request(req.clone()).unwrap());
+    let c = b.take_blocking().expect("healthy rebuild");
+    assert_eq!(c.num_nodes(), 100);
+
+    // ...the second crashes, and the crash is reported, not swallowed.
+    assert!(b.request(req).unwrap());
+    let err = b.take_blocking().unwrap_err();
+    assert_eq!(err.panic.as_deref(), Some("wedged in rebuild"));
+    assert!(b.is_dead());
+}

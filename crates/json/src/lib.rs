@@ -166,11 +166,80 @@ impl Value {
             .as_arr()
             .ok_or_else(|| JsonError::access(format!("field `{key}` is not an array")))?;
         arr.iter()
-            .map(|v| {
+            .enumerate()
+            .map(|(i, v)| {
                 v.as_f64()
-                    .ok_or_else(|| JsonError::access(format!("`{key}` element is not a number")))
+                    .ok_or_else(|| JsonError::access(format!("`{key}[{i}]` is not a number")))
             })
             .collect()
+    }
+
+    /// Like [`Value::as_f64`] but also decodes the `"f64:<16 hex digits>"`
+    /// string form produced by [`lossless_num`] for non-finite values, so
+    /// NaN payloads and infinity signs survive a write→parse cycle
+    /// bit-exactly.
+    pub fn as_lossless_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            Value::Str(s) => {
+                let hex = s.strip_prefix("f64:")?;
+                if hex.len() != 16 {
+                    return None;
+                }
+                u64::from_str_radix(hex, 16).ok().map(f64::from_bits)
+            }
+            _ => None,
+        }
+    }
+
+    /// Required-field accessor for arrays written by [`lossless_num_arr`];
+    /// plain JSON numbers are also accepted, so finite-only arrays decode
+    /// identically to [`Value::req_f64_arr`].
+    pub fn req_lossless_f64_arr(&self, key: &str) -> Result<Vec<f64>, JsonError> {
+        let arr = self
+            .req(key)?
+            .as_arr()
+            .ok_or_else(|| JsonError::access(format!("field `{key}` is not an array")))?;
+        arr.iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.as_lossless_f64().ok_or_else(|| {
+                    JsonError::access(format!(
+                        "`{key}[{i}]` is neither a number nor an `f64:` hex string"
+                    ))
+                })
+            })
+            .collect()
+    }
+
+    /// Searches the tree for a non-finite [`Value::Num`] — a value that
+    /// would silently serialize as `null` — and returns the path of the
+    /// first one found (e.g. `"epoch[3]"` or `"stats.loss"`), depth
+    /// first. `None` means the tree serializes losslessly.
+    pub fn find_non_finite(&self) -> Option<String> {
+        fn walk(v: &Value, path: &str) -> Option<String> {
+            match v {
+                Value::Num(x) if !x.is_finite() => Some(if path.is_empty() {
+                    "<root>".to_string()
+                } else {
+                    path.to_string()
+                }),
+                Value::Arr(a) => a
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, item)| walk(item, &format!("{path}[{i}]"))),
+                Value::Obj(m) => m.iter().find_map(|(k, item)| {
+                    let p = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    walk(item, &p)
+                }),
+                _ => None,
+            }
+        }
+        walk(self, "")
     }
 }
 
@@ -187,6 +256,24 @@ pub fn obj<I: IntoIterator<Item = (&'static str, Value)>>(fields: I) -> Value {
 /// Convenience builder for `f64` arrays.
 pub fn num_arr(xs: &[f64]) -> Value {
     Value::Arr(xs.iter().map(|&x| Value::Num(x)).collect())
+}
+
+/// A single `f64` encoded so that *every* bit pattern survives a
+/// write→parse cycle: finite values stay plain JSON numbers (shortest
+/// roundtrip), non-finite values become the string `"f64:<16 hex>"`
+/// holding the raw bits. Decode with [`Value::as_lossless_f64`].
+pub fn lossless_num(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Num(x)
+    } else {
+        Value::Str(format!("f64:{:016x}", x.to_bits()))
+    }
+}
+
+/// Builder for `f64` arrays using the [`lossless_num`] encoding; decode
+/// with [`Value::req_lossless_f64_arr`].
+pub fn lossless_num_arr(xs: &[f64]) -> Value {
+    Value::Arr(xs.iter().map(|&x| lossless_num(x)).collect())
 }
 
 // ---------------------------------------------------------------------
@@ -609,5 +696,78 @@ mod tests {
     fn non_finite_numbers_become_null() {
         assert_eq!(Value::Num(f64::NAN).to_string_compact(), "null");
         assert_eq!(Value::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn lossless_num_roundtrips_every_bit_pattern() {
+        let specials = [
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+            0.0,
+            -0.0,
+            1.5,
+            5e-324,
+        ];
+        for &x in &specials {
+            let text = obj([("v", lossless_num(x))]).to_string_compact();
+            let back = Value::parse(&text).unwrap();
+            let y = back.get("v").unwrap().as_lossless_f64().unwrap();
+            assert_eq!(y.to_bits(), x.to_bits(), "x={x:?} text={text}");
+        }
+        // Arrays too, including mixed finite/non-finite.
+        let xs = [1.0, f64::NAN, -0.0, f64::NEG_INFINITY];
+        let text = obj([("a", lossless_num_arr(&xs))]).to_string_compact();
+        let back = Value::parse(&text).unwrap();
+        let ys = back.req_lossless_f64_arr("a").unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The lossless reader still accepts plain finite arrays.
+        let plain = obj([("a", num_arr(&[1.0, 2.0]))]);
+        assert_eq!(plain.req_lossless_f64_arr("a").unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn lossless_decode_rejects_malformed_strings() {
+        assert_eq!(Value::Str("f64:123".into()).as_lossless_f64(), None);
+        assert_eq!(
+            Value::Str("f64:zzzzzzzzzzzzzzzz".into()).as_lossless_f64(),
+            None
+        );
+        assert_eq!(Value::Str("not-a-float".into()).as_lossless_f64(), None);
+        assert_eq!(Value::Null.as_lossless_f64(), None);
+        let v = obj([("a", Value::Arr(vec![Value::Num(1.0), Value::Null]))]);
+        let e = v.req_lossless_f64_arr("a").unwrap_err();
+        assert!(e.to_string().contains("a[1]"), "{e}");
+    }
+
+    #[test]
+    fn find_non_finite_reports_path() {
+        let clean = obj([
+            ("a", num_arr(&[1.0, 2.0])),
+            ("b", obj([("c", Value::Num(0.5))])),
+        ]);
+        assert_eq!(clean.find_non_finite(), None);
+        let dirty = obj([("a", num_arr(&[1.0, f64::NAN])), ("b", Value::Num(3.0))]);
+        assert_eq!(dirty.find_non_finite().as_deref(), Some("a[1]"));
+        let nested = obj([("outer", obj([("inner", num_arr(&[f64::INFINITY]))]))]);
+        assert_eq!(nested.find_non_finite().as_deref(), Some("outer.inner[0]"));
+        assert_eq!(
+            Value::Num(f64::NAN).find_non_finite().as_deref(),
+            Some("<root>")
+        );
+    }
+
+    #[test]
+    fn f64_arr_errors_name_the_element() {
+        let v = obj([(
+            "xs",
+            Value::Arr(vec![Value::Num(1.0), Value::Str("x".into())]),
+        )]);
+        let e = v.req_f64_arr("xs").unwrap_err();
+        assert!(e.to_string().contains("xs[1]"), "{e}");
     }
 }

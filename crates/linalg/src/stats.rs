@@ -98,6 +98,211 @@ pub fn normalize_distribution(scores: &[f64]) -> Vec<f64> {
     clamped.into_iter().map(|s| s / total).collect()
 }
 
+/// Natural log of the gamma function, `ln Γ(x)` for `x > 0`.
+///
+/// Lanczos approximation (g = 7, 9 coefficients), accurate to roughly
+/// 1e-13 relative error over the positive reals — ample for the p-value
+/// computations in the statistical acceptance tests.
+///
+/// # Panics
+/// Panics for `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    // Published Lanczos(g=7, n=9) coefficients, digits kept verbatim.
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, Lentz continued fraction otherwise
+/// (Numerical Recipes §6.2). Both converge to ~1e-14.
+///
+/// # Panics
+/// Panics for `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series: P(a,x) = e^{-x} x^a / Γ(a) · Σ_{n≥0} x^n / (a(a+1)…(a+n)).
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-16 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularised upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    assert!(x >= 0.0, "gamma_q requires x >= 0");
+    if x < a + 1.0 {
+        1.0 - gamma_p(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Continued-fraction evaluation of `Q(a, x)`, valid for `x >= a + 1`
+/// (modified Lentz algorithm).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Pearson chi-square statistic `Σ (observed − expected)² / expected`.
+///
+/// `expected` entries must be strictly positive; `observed` are raw
+/// counts (not frequencies). Categories with expected mass below ~5 are
+/// the caller's responsibility to pool.
+///
+/// # Panics
+/// Panics on length mismatch, empty input, or a non-positive expected
+/// count.
+pub fn chi_square_stat(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(!observed.is_empty(), "empty input");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected count must be positive, got {e}");
+            let d = o - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Upper-tail p-value of a chi-square statistic with `dof` degrees of
+/// freedom: `Q(dof/2, stat/2)`.
+///
+/// # Panics
+/// Panics for `dof == 0` or a negative statistic.
+pub fn chi_square_pvalue(stat: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "dof must be positive");
+    assert!(stat >= 0.0, "statistic must be non-negative");
+    gamma_q(dof as f64 / 2.0, stat / 2.0)
+}
+
+/// One-sample Kolmogorov–Smirnov statistic `D = sup |F_n(x) − F(x)|`.
+///
+/// `sorted` must be ascending; `cdf` is the hypothesised continuous CDF.
+///
+/// # Panics
+/// Panics on an empty or unsorted sample.
+pub fn ks_statistic(sorted: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        if i > 0 {
+            assert!(sorted[i - 1] <= x, "sample must be sorted ascending");
+        }
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Asymptotic p-value for the one-sample KS statistic `d` at sample size
+/// `n`, using the Kolmogorov distribution
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}` with the standard
+/// small-sample correction `λ = (√n + 0.12 + 0.11/√n) · d`.
+///
+/// # Panics
+/// Panics for `n == 0` or `d < 0`.
+pub fn ks_pvalue(d: f64, n: usize) -> f64 {
+    assert!(n > 0, "n must be positive");
+    assert!(d >= 0.0, "statistic must be non-negative");
+    let sn = (n as f64).sqrt();
+    let lambda = (sn + 0.12 + 0.11 / sn) * d;
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let t = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * t;
+        if t < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Standard normal CDF `Φ(x)` via the regularised incomplete gamma
+/// (`erf(x) = P(1/2, x²)` for `x ≥ 0`).
+pub fn normal_cdf(x: f64) -> f64 {
+    let half_erf = 0.5 * gamma_p(0.5, 0.5 * x * x);
+    if x >= 0.0 {
+        0.5 + half_erf
+    } else {
+        0.5 - half_erf
+    }
+}
+
 /// An online exponential moving average.
 ///
 /// # Example
@@ -203,5 +408,86 @@ mod tests {
         e.update(5.0);
         e.update(7.0);
         assert_eq!(e.value(), 7.0);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(1/2) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+        let half = 0.5 * std::f64::consts::PI.ln();
+        assert!((ln_gamma(0.5) - half).abs() < 1e-12);
+        // Recurrence Γ(x+1) = x Γ(x) across the series/reflection split.
+        for &x in &[0.1, 0.4, 0.9, 1.5, 3.7, 10.0] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-11, "recurrence failed at {x}");
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_complements() {
+        for &(a, x) in &[(0.5, 0.2), (1.0, 1.0), (2.5, 1.0), (2.5, 8.0), (10.0, 3.0)] {
+            let p = gamma_p(a, x);
+            let q = gamma_q(a, x);
+            assert!((p + q - 1.0).abs() < 1e-12, "P+Q != 1 at a={a}, x={x}");
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // P(1, x) = 1 − e^{−x} exactly.
+        for &x in &[0.1, 0.5, 2.0, 5.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn chi_square_critical_values() {
+        // Textbook 5% critical values: χ²(1) = 3.841, χ²(2) = 5.991,
+        // χ²(10) = 18.307.
+        assert!((chi_square_pvalue(3.841, 1) - 0.05).abs() < 5e-4);
+        assert!((chi_square_pvalue(5.991, 2) - 0.05).abs() < 5e-4);
+        assert!((chi_square_pvalue(18.307, 10) - 0.05).abs() < 5e-4);
+        // Exact dof=2 case: Q = e^{−x/2}.
+        assert!((chi_square_pvalue(4.0, 2) - (-2.0f64).exp()).abs() < 1e-12);
+        assert_eq!(chi_square_pvalue(0.0, 3), 1.0);
+    }
+
+    #[test]
+    fn chi_square_stat_known() {
+        let obs = [8.0, 12.0];
+        let exp = [10.0, 10.0];
+        assert!((chi_square_stat(&obs, &exp) - 0.8).abs() < 1e-12);
+        assert_eq!(chi_square_stat(&exp, &exp), 0.0);
+    }
+
+    #[test]
+    fn ks_statistic_and_pvalue() {
+        // Perfectly uniform grid points have D = 1/(2n) against U(0,1).
+        let n = 100;
+        let sorted: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&sorted, |x| x);
+        assert!((d - 0.5 / n as f64).abs() < 1e-12);
+        assert!(ks_pvalue(d, n) > 0.999);
+        // Known Kolmogorov value: Q(1.36) ≈ 0.049 at large n (the 5%
+        // critical point). Use big n so the correction term vanishes.
+        let big = 1_000_000;
+        let d136 = 1.36 / (big as f64).sqrt();
+        let p = ks_pvalue(d136, big);
+        assert!((p - 0.049).abs() < 2e-3, "p = {p}");
+        // A sample concentrated at 0 is decisively rejected.
+        let bad = vec![1e-9; 50];
+        assert!(ks_pvalue(ks_statistic(&bad, |x| x), 50) < 1e-10);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-14);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 5e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 5e-4);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-14);
+        // Symmetry.
+        for &x in &[0.3, 1.1, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-13);
+        }
     }
 }

@@ -164,4 +164,93 @@ mod tests {
         let avg = ValidationSet::average_errors(&sets, &net);
         assert!((avg[0] - 0.625).abs() < 1e-12);
     }
+
+    #[test]
+    fn zero_norm_reference_falls_back_to_absolute_error() {
+        // An all-zero reference field (e.g. a quiescent region) must not
+        // divide by zero: the metric degrades to the absolute L2 norm of
+        // the prediction, which is finite and positive for a generic net.
+        let net = net();
+        let pts = Matrix::from_rows(&[&[0.2, 0.4], &[0.7, 0.3]]);
+        let vs = ValidationSet {
+            points: pts.clone(),
+            targets: Matrix::zeros(2, 1),
+            output_indices: vec![0],
+            names: vec!["u".into()],
+        };
+        let e = vs.errors(&net)[0];
+        assert!(e.is_finite(), "zero-norm reference produced {e}");
+        let pred = net.forward(&pts);
+        let abs = (pred.get(0, 0).powi(2) + pred.get(1, 0).powi(2)).sqrt();
+        assert!(
+            (e - abs).abs() < 1e-12,
+            "expected absolute norm {abs}, got {e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "output index 5 out of range")]
+    fn mismatched_output_index_panics_with_context() {
+        let net = net(); // 2 outputs; index 5 is invalid
+        let vs = ValidationSet {
+            points: Matrix::from_rows(&[&[0.1, 0.1]]),
+            targets: Matrix::zeros(1, 1),
+            output_indices: vec![5],
+            names: vec!["bogus".into()],
+        };
+        let _ = vs.errors(&net);
+    }
+
+    #[test]
+    fn single_point_set_matches_scalar_relative_error() {
+        let net = net();
+        let pts = Matrix::from_rows(&[&[0.4, 0.8]]);
+        let pred = net.forward(&pts);
+        let t = pred.get(0, 1) + 0.3;
+        let vs = ValidationSet {
+            points: pts,
+            targets: Matrix::from_rows(&[&[t]]),
+            output_indices: vec![1],
+            names: vec!["v".into()],
+        };
+        assert_eq!(vs.len(), 1);
+        assert!(!vs.is_empty());
+        let e = vs.errors(&net)[0];
+        assert!((e - 0.3 / t.abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_reports_empty_and_zero_errors() {
+        let net = net();
+        let vs = ValidationSet {
+            points: Matrix::zeros(0, 2),
+            targets: Matrix::zeros(0, 1),
+            output_indices: vec![0],
+            names: vec!["u".into()],
+        };
+        assert!(vs.is_empty());
+        assert_eq!(vs.len(), 0);
+        // No points: numerator and denominator are both empty sums, so
+        // the error is exactly zero rather than NaN.
+        assert_eq!(vs.errors(&net), vec![0.0]);
+    }
+
+    #[test]
+    fn validated_subset_of_outputs_uses_target_columns_in_order() {
+        // Validating only output 1 against target column 0 exercises the
+        // (col, output_index) mapping.
+        let net = net();
+        let pts = Matrix::from_rows(&[&[0.25, 0.75], &[0.5, 0.5]]);
+        let pred = net.forward(&pts);
+        let mut targets = Matrix::zeros(2, 1);
+        targets.set(0, 0, pred.get(0, 1));
+        targets.set(1, 0, pred.get(1, 1));
+        let vs = ValidationSet {
+            points: pts,
+            targets,
+            output_indices: vec![1],
+            names: vec!["v".into()],
+        };
+        assert!(vs.errors(&net)[0] < 1e-12);
+    }
 }

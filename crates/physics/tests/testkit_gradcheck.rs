@@ -1,0 +1,64 @@
+//! Regression guard wiring the testkit's finite-difference checker into
+//! the crate that owns `PinnModel`: the optimiser-facing gradient must
+//! match central differences of the batch loss.
+
+use sgm_graph::points::PointCloud;
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_physics::geometry::{Cavity, FillStrategy};
+use sgm_physics::pde::{Pde, PoissonConfig};
+use sgm_physics::problem::{Problem, TrainSet};
+use sgm_physics::PinnModel;
+use sgm_testkit::gradcheck::{central_diff_grad, max_rel_err};
+use sgm_train::LossModel;
+
+fn smooth_forcing(p: &[f64]) -> f64 {
+    (3.0 * p[0]).sin() * (2.0 * p[1]).cos()
+}
+
+#[test]
+fn pinn_gradient_matches_central_differences() {
+    let mut rng = Rng64::new(0xFD);
+    let interior = Cavity::default().sample_interior(64, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: Matrix::zeros(1, 1),
+    };
+    let prob = Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: smooth_forcing,
+    }));
+    let model = PinnModel::new(&prob, &data);
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 6,
+            hidden_layers: 1,
+            activation: Activation::Tanh,
+            fourier: None,
+        },
+        &mut Rng64::new(0xFE),
+    );
+
+    let bi: Vec<usize> = (0..32).collect();
+    let bb = vec![0];
+    let mut ws = model.make_workspace(&net, bi.len(), bb.len());
+    model.gather(&bi, &bb, &mut *ws);
+    let mut grads = net.zero_gradients();
+    model.loss_and_grad(&net, &mut *ws, &mut grads);
+
+    let fd = central_diff_grad(
+        |p| {
+            let mut probe = net.clone();
+            probe.set_params(p);
+            model.batch_loss(&probe, &bi, &bb)
+        },
+        &net.params(),
+        6e-6,
+    );
+    let e = max_rel_err(&fd, &grads.flat());
+    assert!(e < 1e-6, "fd vs analytic gradient: {e:e}");
+}

@@ -1,0 +1,403 @@
+//! Finite-difference gradient checking and scalar-generic network
+//! evaluation.
+//!
+//! The production path (`sgm-nn`'s batched forward/backward) and the
+//! reverse tape (`sgm-autodiff::tape`) are two implementations; a
+//! correctness argument needs a third that shares code with neither.
+//! This module provides it: a [`Scalar`] abstraction over plain floats,
+//! dual numbers and the forward-over-forward pair [`Lift`], plus a
+//! textbook central-difference differentiator. An MLP evaluated with
+//! `Lift<Dual2>` yields `∂/∂θ_j` of `(u, u_x, u_xx)` in a single scalar
+//! pass — the "nested dual" path used by the gradient-check suite.
+
+use sgm_autodiff::dual::Dual2;
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+
+/// Central-difference gradient of `f` at `x`, with per-coordinate step
+/// `h_i = rel_h · (1 + |x_i|)`.
+///
+/// `rel_h ≈ 6e-6` balances truncation against cancellation for
+/// double-precision smooth functions (error ~1e-10 relative).
+pub fn central_diff_grad(mut f: impl FnMut(&[f64]) -> f64, x: &[f64], rel_h: f64) -> Vec<f64> {
+    let mut xp = x.to_vec();
+    (0..x.len())
+        .map(|i| {
+            let h = rel_h * (1.0 + x[i].abs());
+            xp[i] = x[i] + h;
+            let fp = f(&xp);
+            xp[i] = x[i] - h;
+            let fm = f(&xp);
+            xp[i] = x[i];
+            (fp - fm) / (2.0 * h)
+        })
+        .collect()
+}
+
+/// Maximum semi-relative error `max_i |a_i − b_i| / (1 + |b_i|)` — the
+/// metric the acceptance criteria's "≤ 1e-6 relative" refers to (the
+/// `1 +` guards against zero crossings).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / (1.0 + y.abs()))
+        .fold(0.0, f64::max)
+}
+
+/// The scalar field an MLP can be evaluated over. Only the primitives
+/// the network needs: ring operations, mixing with `f64` constants, and
+/// the transcendental kernels behind every [`Activation`] (`silu` is
+/// derived via `σ(z) = (1 + tanh(z/2))/2`, `cos` via `sin(x + π/2)`).
+pub trait Scalar: Copy {
+    /// Lifts a constant.
+    fn from_f64(v: f64) -> Self;
+    /// Primal value (for diagnostics and result extraction).
+    fn value(&self) -> f64;
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn neg(self) -> Self;
+    /// `self · c` for a plain constant `c`.
+    fn scale(self, c: f64) -> Self;
+    /// `self + c` for a plain constant `c`.
+    fn shift(self, c: f64) -> Self;
+    fn tanh_s(self) -> Self;
+    fn sin_s(self) -> Self;
+    fn exp_s(self) -> Self;
+}
+
+impl Scalar for f64 {
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn value(&self) -> f64 {
+        *self
+    }
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    fn sub(self, o: Self) -> Self {
+        self - o
+    }
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+    fn neg(self) -> Self {
+        -self
+    }
+    fn scale(self, c: f64) -> Self {
+        self * c
+    }
+    fn shift(self, c: f64) -> Self {
+        self + c
+    }
+    fn tanh_s(self) -> Self {
+        self.tanh()
+    }
+    fn sin_s(self) -> Self {
+        self.sin()
+    }
+    fn exp_s(self) -> Self {
+        self.exp()
+    }
+}
+
+impl Scalar for Dual2 {
+    fn from_f64(v: f64) -> Self {
+        Dual2::constant(v)
+    }
+    fn value(&self) -> f64 {
+        self.v
+    }
+    fn add(self, o: Self) -> Self {
+        self + o
+    }
+    fn sub(self, o: Self) -> Self {
+        self - o
+    }
+    fn mul(self, o: Self) -> Self {
+        self * o
+    }
+    fn neg(self) -> Self {
+        -self
+    }
+    fn scale(self, c: f64) -> Self {
+        self * c
+    }
+    fn shift(self, c: f64) -> Self {
+        self + c
+    }
+    fn tanh_s(self) -> Self {
+        self.tanh()
+    }
+    fn sin_s(self) -> Self {
+        self.sin()
+    }
+    fn exp_s(self) -> Self {
+        self.exp()
+    }
+}
+
+/// A forward-mode pair `(v, dv/ds)` over any [`Scalar`] base — nesting
+/// `Lift<Dual2>` differentiates in a parameter direction *while* the
+/// inner dual differentiates twice in an input direction, so one
+/// evaluation yields `∂/∂θ (u, u_x, u_xx)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Lift<T> {
+    /// Primal component.
+    pub v: T,
+    /// Tangent component (derivative in the lifted direction).
+    pub d: T,
+}
+
+impl<T: Scalar> Lift<T> {
+    /// A value with zero tangent.
+    pub fn constant(v: T) -> Self {
+        Lift {
+            v,
+            d: T::from_f64(0.0),
+        }
+    }
+
+    /// The differentiation variable (unit tangent).
+    pub fn variable(v: T) -> Self {
+        Lift {
+            v,
+            d: T::from_f64(1.0),
+        }
+    }
+}
+
+impl<T: Scalar> Scalar for Lift<T> {
+    fn from_f64(v: f64) -> Self {
+        Lift::constant(T::from_f64(v))
+    }
+    fn value(&self) -> f64 {
+        self.v.value()
+    }
+    fn add(self, o: Self) -> Self {
+        Lift {
+            v: self.v.add(o.v),
+            d: self.d.add(o.d),
+        }
+    }
+    fn sub(self, o: Self) -> Self {
+        Lift {
+            v: self.v.sub(o.v),
+            d: self.d.sub(o.d),
+        }
+    }
+    fn mul(self, o: Self) -> Self {
+        Lift {
+            v: self.v.mul(o.v),
+            d: self.v.mul(o.d).add(self.d.mul(o.v)),
+        }
+    }
+    fn neg(self) -> Self {
+        Lift {
+            v: self.v.neg(),
+            d: self.d.neg(),
+        }
+    }
+    fn scale(self, c: f64) -> Self {
+        Lift {
+            v: self.v.scale(c),
+            d: self.d.scale(c),
+        }
+    }
+    fn shift(self, c: f64) -> Self {
+        Lift {
+            v: self.v.shift(c),
+            d: self.d,
+        }
+    }
+    fn tanh_s(self) -> Self {
+        let t = self.v.tanh_s();
+        // d tanh = 1 − tanh².
+        Lift {
+            v: t,
+            d: self.d.mul(t.mul(t).neg().shift(1.0)),
+        }
+    }
+    fn sin_s(self) -> Self {
+        // cos(x) = sin(x + π/2).
+        Lift {
+            v: self.v.sin_s(),
+            d: self
+                .d
+                .mul(self.v.shift(std::f64::consts::FRAC_PI_2).sin_s()),
+        }
+    }
+    fn exp_s(self) -> Self {
+        let e = self.v.exp_s();
+        Lift {
+            v: e,
+            d: self.d.mul(e),
+        }
+    }
+}
+
+/// Applies an activation using only [`Scalar`] primitives.
+pub fn apply_act<T: Scalar>(act: Activation, z: T) -> T {
+    match act {
+        Activation::Tanh => z.tanh_s(),
+        Activation::Sin => z.sin_s(),
+        // silu(z) = z · σ(z), σ(z) = (1 + tanh(z/2)) / 2.
+        Activation::SiLu => z.mul(z.scale(0.5).tanh_s().shift(1.0).scale(0.5)),
+        Activation::Identity => z,
+    }
+}
+
+/// `(fan_in, fan_out)` per layer for a plain (non-Fourier) MLP.
+pub fn layer_sizes(cfg: &MlpConfig) -> Vec<(usize, usize)> {
+    let mut sizes = vec![(cfg.input_dim, cfg.hidden_width)];
+    for _ in 1..cfg.hidden_layers {
+        sizes.push((cfg.hidden_width, cfg.hidden_width));
+    }
+    sizes.push((cfg.hidden_width, cfg.output_dim));
+    sizes
+}
+
+/// Scalar-generic MLP forward pass: weights stored row-major per layer
+/// (`w[o·fan_in + i]`) followed by biases, matching `Mlp::params()`.
+/// Fourier features are not supported (assert).
+///
+/// # Panics
+/// Panics on Fourier configs or mismatched `params`/`x` lengths.
+pub fn eval_mlp<T: Scalar>(cfg: &MlpConfig, params: &[T], x: &[T]) -> Vec<T> {
+    assert!(cfg.fourier.is_none(), "fourier nets not supported");
+    assert_eq!(x.len(), cfg.input_dim, "input length");
+    let sizes = layer_sizes(cfg);
+    let mut act: Vec<T> = x.to_vec();
+    let mut off = 0;
+    for (li, &(fan_in, fan_out)) in sizes.iter().enumerate() {
+        let w = &params[off..off + fan_in * fan_out];
+        let b = &params[off + fan_in * fan_out..off + fan_in * fan_out + fan_out];
+        off += fan_in * fan_out + fan_out;
+        let mut next = Vec::with_capacity(fan_out);
+        for o in 0..fan_out {
+            let mut z = b[o];
+            for (i, &a) in act.iter().enumerate() {
+                z = z.add(w[o * fan_in + i].mul(a));
+            }
+            next.push(if li + 1 == sizes.len() {
+                z
+            } else {
+                apply_act(cfg.activation, z)
+            });
+        }
+        act = next;
+    }
+    assert_eq!(off, params.len(), "param length");
+    act
+}
+
+/// Nested forward-over-forward evaluation: returns
+/// `(u, ∂u/∂θ_j)` as `Dual2` triples `(val, ∂/∂x_d, ∂²/∂x_d²)` for one
+/// output, one input diff dimension and one parameter index — the fully
+/// independent oracle for parameter gradients of derivative-dependent
+/// (PINN) losses.
+pub fn nested_param_derivs(
+    net: &Mlp,
+    x: &[f64],
+    diff_dim: usize,
+    output: usize,
+    param_j: usize,
+) -> (Dual2, Dual2) {
+    let cfg = net.config();
+    let params: Vec<Lift<Dual2>> = net
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            if k == param_j {
+                Lift::variable(Dual2::constant(p))
+            } else {
+                Lift::constant(Dual2::constant(p))
+            }
+        })
+        .collect();
+    let xs: Vec<Lift<Dual2>> = x
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            Lift::constant(if i == diff_dim {
+                Dual2::variable(v)
+            } else {
+                Dual2::constant(v)
+            })
+        })
+        .collect();
+    let out = eval_mlp(cfg, &params, &xs);
+    (out[output].v, out[output].d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_linalg::dense::Matrix;
+    use sgm_linalg::rng::Rng64;
+
+    #[test]
+    fn lift_over_f64_matches_closed_forms() {
+        for &x in &[-1.3, -0.2, 0.0, 0.7, 2.1] {
+            let v = Lift::<f64>::variable(x);
+            let s = v.sin_s();
+            assert!((s.v - x.sin()).abs() < 1e-15);
+            assert!((s.d - x.cos()).abs() < 1e-12);
+            let t = v.tanh_s();
+            assert!((t.d - (1.0 - x.tanh().powi(2))).abs() < 1e-14);
+            let e = v.exp_s();
+            assert!((e.d - x.exp()).abs() < 1e-12);
+            // Product rule through silu.
+            let si = apply_act(Activation::SiLu, v);
+            let sig = 1.0 / (1.0 + (-x).exp());
+            let dsilu = sig * (1.0 + x * (1.0 - sig));
+            assert!((si.d - dsilu).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn eval_mlp_matches_production_forward() {
+        for act in [
+            Activation::SiLu,
+            Activation::Tanh,
+            Activation::Sin,
+            Activation::Identity,
+        ] {
+            let cfg = MlpConfig {
+                input_dim: 2,
+                output_dim: 2,
+                hidden_width: 5,
+                hidden_layers: 2,
+                activation: act,
+                fourier: None,
+            };
+            let mut rng = Rng64::new(9);
+            let net = Mlp::new(&cfg, &mut rng);
+            let x = [0.4, -0.3];
+            let want = net.forward(&Matrix::from_rows(&[&x]));
+            let params: Vec<f64> = net.params();
+            let got = eval_mlp(&cfg, &params, &x);
+            for (o, &g) in got.iter().enumerate() {
+                assert!((g - want.get(0, o)).abs() < 1e-12, "{act:?} output {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn central_diff_matches_analytic_gradient() {
+        let f = |p: &[f64]| p[0].sin() * p[1].exp() + p[0] * p[0];
+        let x = [0.8, -0.4];
+        let g = central_diff_grad(f, &x, 6e-6);
+        let want = [
+            x[0].cos() * x[1].exp() + 2.0 * x[0],
+            x[0].sin() * x[1].exp(),
+        ];
+        assert!(max_rel_err(&g, &want) < 1e-9);
+    }
+}

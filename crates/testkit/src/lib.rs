@@ -1,0 +1,40 @@
+//! # sgm-testkit
+//!
+//! Workspace-wide correctness tooling for the SGM-PINN reproduction —
+//! a *dev-dependency only* crate, never linked into release artefacts.
+//!
+//! The paper's claims rest on three numerical pillars: autodiff-exact
+//! PDE residuals, effective-resistance estimates driving LRD clustering,
+//! and Algorithm 1's proportional cluster sampling. Each pillar gets a
+//! dedicated oracle here:
+//!
+//! * [`mms`] — method-of-manufactured-solutions oracles: closed-form
+//!   fields with symbolically known residuals for every PDE in
+//!   `sgm-physics`, so losses are checked *to tolerance*, not just
+//!   "decreases".
+//! * [`gradcheck`] — central-difference gradient checking plus a
+//!   scalar-generic MLP evaluator ([`gradcheck::Scalar`]) usable with
+//!   `f64`, dual numbers and nested forward-over-forward pairs
+//!   ([`gradcheck::Lift`]), giving an autodiff path fully independent of
+//!   both the production batched backward pass and the reverse tape.
+//! * [`fault`] — deterministic fault injection for the background
+//!   rebuild worker: scripted delay / drop / panic actions behind the
+//!   production `BackgroundBuilder` API.
+//! * [`sweep`] — seeded property sweeps over `Rng64` with automatic
+//!   greedy failure-case shrinking (the workspace's offline stand-in for
+//!   proptest).
+//!
+//! Statistical acceptance tests (chi-square / KS) build on the
+//! `sgm_linalg::stats` utilities; the integration suites under
+//! `crates/testkit/tests/` assert the empirical SGM / MIS / RAR draw
+//! frequencies against Algorithm 1's proportional ratios at fixed seeds.
+
+pub mod fault;
+pub mod gradcheck;
+pub mod mms;
+pub mod sweep;
+
+pub use fault::{FaultAction, FaultPlan};
+pub use gradcheck::{central_diff_grad, max_rel_err, Lift, Scalar};
+pub use mms::MmsCase;
+pub use sweep::Sweep;

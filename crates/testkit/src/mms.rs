@@ -1,0 +1,339 @@
+//! Method-of-manufactured-solutions (MMS) oracles.
+//!
+//! Each [`MmsCase`] pairs a PDE from `sgm-physics` with closed-form
+//! fields whose residuals are *symbolically* known — either an exact
+//! solution (residual ≡ 0) or a manufactured field with a hand-derived
+//! nonzero residual. The fields are pushed through second-order dual
+//! numbers (`Dual2`), so the derivative sets handed to
+//! [`Pde::residuals`] are exact to machine precision and the comparison
+//! checks the residual *algebra*, not an approximation of it.
+
+use sgm_autodiff::dual::Dual2;
+use sgm_linalg::dense::Matrix;
+use sgm_nn::mlp::BatchDerivatives;
+use sgm_physics::pde::{BurgersConfig, HeatConfig, HelmholtzConfig, NsConfig, Pde, PoissonConfig};
+
+/// Field closure type: `(x0, x1) → output`, evaluated over duals.
+pub type Field = Box<dyn Fn(Dual2, Dual2) -> Dual2>;
+
+/// Exact derivative sets of analytic fields at `pts`, built with one
+/// `Dual2` pass per input dimension (dim 0 varies `x0`, dim 1 varies
+/// `x1`) — the NN-free stand-in for `Mlp::forward_with_derivs`.
+pub fn derivs_of(fields: &[Field], pts: &[(f64, f64)]) -> BatchDerivatives {
+    let mut out = BatchDerivatives::zeros(pts.len(), fields.len(), 2);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        for (k, f) in fields.iter().enumerate() {
+            let fx = f(Dual2::variable(x), Dual2::constant(y));
+            let fy = f(Dual2::constant(x), Dual2::variable(y));
+            out.values.set(i, k, fx.v);
+            out.jac[0].set(i, k, fx.d);
+            out.jac[1].set(i, k, fy.d);
+            out.hess[0].set(i, k, fx.dd);
+            out.hess[1].set(i, k, fy.dd);
+        }
+    }
+    out
+}
+
+/// A manufactured-solution test case: analytic fields + the residual
+/// values they must produce under `pde`.
+pub struct MmsCase {
+    /// Case name for failure messages.
+    pub name: &'static str,
+    /// The PDE system under test.
+    pub pde: Pde,
+    /// One analytic field per network output, over duals.
+    pub fields: Vec<Field>,
+    /// Symbolically known residuals at a point: `(x0, x1) → r_k` per
+    /// residual equation (all zeros for exact solutions).
+    pub expected: Box<dyn Fn(f64, f64) -> Vec<f64>>,
+    /// Evaluation points (chosen away from singularities).
+    pub pts: Vec<(f64, f64)>,
+    /// Absolute tolerance for `|computed − expected|`.
+    pub tol: f64,
+}
+
+impl MmsCase {
+    /// Residuals of the analytic fields at every point,
+    /// `pts.len() × num_residuals`.
+    pub fn residual_matrix(&self) -> Matrix {
+        let d = derivs_of(&self.fields, &self.pts);
+        let x = Matrix::from_rows(
+            &self
+                .pts
+                .iter()
+                .map(|&(a, b)| [a, b])
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|r| &r[..])
+                .collect::<Vec<_>>(),
+        );
+        self.pde.residuals(&x, &d)
+    }
+
+    /// Checks every residual at every point against the symbolic oracle.
+    ///
+    /// # Errors
+    /// Returns the first violation with point, residual name, computed
+    /// and expected values.
+    pub fn check(&self) -> Result<(), String> {
+        let r = self.residual_matrix();
+        let names = self.pde.residual_names();
+        for (i, &(x, y)) in self.pts.iter().enumerate() {
+            let want = (self.expected)(x, y);
+            assert_eq!(want.len(), self.pde.num_residuals(), "oracle arity");
+            for (k, &w) in want.iter().enumerate() {
+                let got = r.get(i, k);
+                if (got - w).abs() > self.tol {
+                    return Err(format!(
+                        "{}: residual `{}` at ({x}, {y}): computed {got}, \
+                         symbolic oracle {w} (|Δ| = {:e} > tol {:e})",
+                        self.name,
+                        names[k],
+                        (got - w).abs(),
+                        self.tol,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+const PI: f64 = std::f64::consts::PI;
+/// Viscosity of the stationary-shock Burgers case (must be a constant:
+/// PDE configs take fn pointers, not closures).
+pub const BURGERS_SHOCK_NU: f64 = 0.07;
+/// Wavenumber of the Helmholtz plane-wave case.
+pub const HELMHOLTZ_K: f64 = 3.0;
+/// Circulation constant of the Navier–Stokes source-flow case.
+pub const NS_SOURCE_C: f64 = 0.8;
+
+fn poisson_sine_forcing(p: &[f64]) -> f64 {
+    2.0 * PI * PI * (PI * p[0]).sin() * (PI * p[1]).sin()
+}
+
+fn zero_fn(_p: &[f64]) -> f64 {
+    0.0
+}
+
+fn unit_conductivity(_p: &[f64]) -> f64 {
+    1.0
+}
+
+fn zero_grad2(_p: &[f64]) -> [f64; 2] {
+    [0.0, 0.0]
+}
+
+fn conductivity_1px(p: &[f64]) -> f64 {
+    1.0 + p[0]
+}
+
+fn conductivity_1px_grad(_p: &[f64]) -> [f64; 2] {
+    [1.0, 0.0]
+}
+
+/// Source that makes `T = sin(πx)sin(πy)` solve steady heat conduction
+/// with `κ = 1 + x`: `q = κ·2π²T − π·cos(πx)sin(πy)`.
+fn heat_mms_source(p: &[f64]) -> f64 {
+    let (x, y) = (p[0], p[1]);
+    (1.0 + x) * 2.0 * PI * PI * (PI * x).sin() * (PI * y).sin()
+        - PI * (PI * x).cos() * (PI * y).sin()
+}
+
+fn interior_grid() -> Vec<(f64, f64)> {
+    let mut pts = Vec::new();
+    for i in 1..5 {
+        for j in 1..5 {
+            pts.push((f64::from(i) * 0.2, f64::from(j) * 0.2 - 0.03));
+        }
+    }
+    pts
+}
+
+fn exact(n: usize) -> Box<dyn Fn(f64, f64) -> Vec<f64>> {
+    Box::new(move |_, _| vec![0.0; n])
+}
+
+/// Poisson, exact: `u = sin(πx)sin(πy)` with `f = 2π²u` ⇒ residual 0.
+pub fn poisson_sine() -> MmsCase {
+    MmsCase {
+        name: "poisson_sine",
+        pde: Pde::Poisson(PoissonConfig {
+            forcing: poisson_sine_forcing,
+        }),
+        fields: vec![Box::new(|x, y| (x * PI).sin() * (y * PI).sin())],
+        expected: exact(1),
+        pts: interior_grid(),
+        tol: 1e-9,
+    }
+}
+
+/// Poisson, manufactured *nonzero* residual: `u = sin(x)cos(y)`, `f = 0`
+/// ⇒ residual `∇²u = −2 sin(x)cos(y)` — catches oracles that only ever
+/// see zeros.
+pub fn poisson_nonzero() -> MmsCase {
+    MmsCase {
+        name: "poisson_nonzero",
+        pde: Pde::Poisson(PoissonConfig { forcing: zero_fn }),
+        fields: vec![Box::new(|x, y| x.sin() * y.cos())],
+        expected: Box::new(|x, y| vec![-2.0 * x.sin() * y.cos()]),
+        pts: interior_grid(),
+        tol: 1e-10,
+    }
+}
+
+/// Burgers, exact rarefaction: `u = x/(1+t)` has `u_xx = 0` and
+/// `u_t + u·u_x = −x/(1+t)² + x/(1+t)² = 0` for any ν.
+pub fn burgers_rarefaction() -> MmsCase {
+    MmsCase {
+        name: "burgers_rarefaction",
+        pde: Pde::Burgers(BurgersConfig { nu: 0.05 }),
+        fields: vec![Box::new(|x, t| x * (t + 1.0).powi(-1))],
+        expected: exact(1),
+        pts: vec![(0.3, 0.0), (-0.7, 0.4), (0.9, 1.0), (-0.2, 0.25)],
+        tol: 1e-10,
+    }
+}
+
+/// Burgers, exact stationary viscous shock: `u = −tanh(x/(2ν))` solves
+/// `u·u_x = ν·u_xx` with `u_t = 0`.
+pub fn burgers_shock() -> MmsCase {
+    MmsCase {
+        name: "burgers_shock",
+        pde: Pde::Burgers(BurgersConfig {
+            nu: BURGERS_SHOCK_NU,
+        }),
+        fields: vec![Box::new(|x, _t| {
+            -(x * (1.0 / (2.0 * BURGERS_SHOCK_NU))).tanh()
+        })],
+        expected: exact(1),
+        pts: vec![(0.1, 0.2), (-0.15, 0.8), (0.0, 0.5), (0.3, 0.0)],
+        tol: 1e-9,
+    }
+}
+
+/// Heat with uniform conductivity, exact: harmonic `T = x² − y²`,
+/// `q = 0` ⇒ residual 0 (reduces to Laplace).
+pub fn heat_harmonic() -> MmsCase {
+    MmsCase {
+        name: "heat_harmonic",
+        pde: Pde::Heat(HeatConfig {
+            conductivity: unit_conductivity,
+            conductivity_grad: zero_grad2,
+            source: zero_fn,
+        }),
+        fields: vec![Box::new(|x, y| x * x - y * y)],
+        expected: exact(1),
+        pts: interior_grid(),
+        tol: 1e-10,
+    }
+}
+
+/// Heat with varying conductivity `κ = 1 + x`, manufactured source so
+/// that `T = sin(πx)sin(πy)` is exact — exercises the `κ_x·T_x` term.
+pub fn heat_varying_k() -> MmsCase {
+    MmsCase {
+        name: "heat_varying_k",
+        pde: Pde::Heat(HeatConfig {
+            conductivity: conductivity_1px,
+            conductivity_grad: conductivity_1px_grad,
+            source: heat_mms_source,
+        }),
+        fields: vec![Box::new(|x, y| (x * PI).sin() * (y * PI).sin())],
+        expected: exact(1),
+        pts: interior_grid(),
+        tol: 1e-9,
+    }
+}
+
+/// Helmholtz, exact plane wave: `u = sin(k(x + y)/√2)` satisfies
+/// `∇²u + k²u = 0`.
+pub fn helmholtz_plane_wave() -> MmsCase {
+    let a = HELMHOLTZ_K / std::f64::consts::SQRT_2;
+    MmsCase {
+        name: "helmholtz_plane_wave",
+        pde: Pde::Helmholtz(HelmholtzConfig {
+            wavenumber: HELMHOLTZ_K,
+            forcing: zero_fn,
+        }),
+        fields: vec![Box::new(move |x, y| ((x + y) * a).sin())],
+        expected: exact(1),
+        pts: interior_grid(),
+        tol: 1e-9,
+    }
+}
+
+/// Navier–Stokes (laminar), exact potential source flow on an annulus:
+/// `u = Cx/r²`, `v = Cy/r²`, `p = −C²/(2r²)`. The velocity components
+/// are harmonic, so the viscous terms vanish and the Euler balance
+/// closes; continuity is `∇²(C ln r) = 0`. Valid for any ν.
+pub fn ns_source_flow() -> MmsCase {
+    let c = NS_SOURCE_C;
+    let u: Field = Box::new(move |x, y| x * (x * x + y * y).powi(-1) * c);
+    let v: Field = Box::new(move |x, y| y * (x * x + y * y).powi(-1) * c);
+    let p: Field = Box::new(move |x, y| (x * x + y * y).powi(-1) * (-c * c / 2.0));
+    MmsCase {
+        name: "ns_source_flow",
+        pde: Pde::NavierStokes(NsConfig {
+            nu: 0.1,
+            zero_eq: None,
+        }),
+        fields: vec![u, v, p],
+        expected: exact(3),
+        // Annulus points, r ∈ [0.58, 1.58] — away from the r = 0 pole.
+        pts: vec![
+            (1.2, 0.3),
+            (0.9, -1.0),
+            (-1.5, 0.5),
+            (0.4, 0.7),
+            (-0.6, -0.8),
+        ],
+        tol: 1e-9,
+    }
+}
+
+/// Every oracle case, for exhaustive sweeps.
+pub fn all_cases() -> Vec<MmsCase> {
+    vec![
+        poisson_sine(),
+        poisson_nonzero(),
+        burgers_rarefaction(),
+        burgers_shock(),
+        heat_harmonic(),
+        heat_varying_k(),
+        helmholtz_plane_wave(),
+        ns_source_flow(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivs_of_matches_hand_derivatives() {
+        let f: Field = Box::new(|x, y| (x * 2.0).sin() * y + x * x * y);
+        let d = derivs_of(&[f], &[(0.4, 0.9)]);
+        let (x, y) = (0.4f64, 0.9f64);
+        assert!((d.values.get(0, 0) - ((2.0 * x).sin() * y + x * x * y)).abs() < 1e-14);
+        assert!((d.jac[0].get(0, 0) - (2.0 * (2.0 * x).cos() * y + 2.0 * x * y)).abs() < 1e-13);
+        assert!((d.jac[1].get(0, 0) - ((2.0 * x).sin() + x * x)).abs() < 1e-14);
+        assert!((d.hess[0].get(0, 0) - (-4.0 * (2.0 * x).sin() * y + 2.0 * y)).abs() < 1e-13);
+        assert!(d.hess[1].get(0, 0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn a_wrong_field_is_rejected() {
+        // Sanity: the oracle actually discriminates. Perturb the Poisson
+        // field so it no longer satisfies the PDE.
+        let mut case = poisson_sine();
+        case.fields = vec![Box::new(|x, y| (x * PI).sin() * (y * PI).sin() + x * x)];
+        let err = case.check().expect_err("perturbed field must fail");
+        assert!(err.contains("poisson_sine"), "error names the case: {err}");
+        assert!(
+            err.contains("symbolic oracle"),
+            "error shows both values: {err}"
+        );
+    }
+}

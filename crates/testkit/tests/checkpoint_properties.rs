@@ -1,0 +1,201 @@
+//! Property sweeps over `RunState` persistence, driven by the testkit's
+//! shrinking [`Sweep`] runner: bit-exact roundtrips under adversarial
+//! floats, and graceful (never panicking) rejection of truncated or
+//! corrupted checkpoint files.
+
+use sgm_json::{obj, Value};
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::checkpoint::Checkpoint;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_testkit::sweep::{shrink_vec, Sweep};
+use sgm_train::{Record, RunState};
+
+/// The float pool an adversary would pick from: non-finite values, both
+/// zeros, subnormals, a quiet-NaN payload, and magnitude extremes.
+const POOL: [u64; 10] = [
+    0x7ff0_0000_0000_0000, // +inf
+    0xfff0_0000_0000_0000, // -inf
+    0x7ff8_0000_0000_0000, // canonical NaN
+    0x7ff8_0000_0000_0001, // NaN with payload
+    0x8000_0000_0000_0000, // -0.0
+    0x0000_0000_0000_0001, // smallest subnormal
+    0x3ff8_0000_0000_0000, // 1.5
+    0x7fe1_ccf3_85eb_c8a0, // ~1e308
+    0x0010_0000_0000_0000, // smallest normal
+    0x3ff0_0000_0000_0000, // 1.0
+];
+
+fn pool_draw(rng: &mut Rng64) -> f64 {
+    f64::from_bits(POOL[rng.below(POOL.len())])
+}
+
+fn state_with(adam_m: &[f64], adam_v: &[f64], rng_words: [u64; 4], loss: f64) -> RunState {
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 4,
+            hidden_layers: 1,
+            activation: Activation::Tanh,
+            fourier: None,
+        },
+        &mut Rng64::new(9),
+    );
+    RunState {
+        version: 1,
+        iteration: 17,
+        train_seconds: 2.5,
+        record_seconds: 0.5,
+        net: Checkpoint::capture(&net),
+        adam_t: 17,
+        adam_m: adam_m.to_vec(),
+        adam_v: adam_v.to_vec(),
+        rng_state: rng_words,
+        rng_gauss_spare: None,
+        history: vec![Record {
+            iteration: 10,
+            seconds: 1.0,
+            train_loss: loss,
+            val_errors: vec![loss, 0.25],
+        }],
+        sampler_name: "uniform".into(),
+        sampler_state: obj([("cursor", Value::Num(3.0))]),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    adam_m: Vec<f64>,
+    adam_v: Vec<f64>,
+    rng_words: [u64; 4],
+    loss: f64,
+}
+
+/// Roundtrip property: whatever floats end up in the optimiser moments,
+/// RNG words, or (possibly diverged) loss history, `from_json(to_json)`
+/// reproduces every bit — NaN payloads and -0.0 included.
+#[test]
+fn roundtrip_is_bit_exact_for_adversarial_floats() {
+    Sweep::new(0xC0FFEE, 60).run(
+        |rng| {
+            let len = 1 + rng.below(6);
+            Case {
+                adam_m: (0..len).map(|_| pool_draw(rng)).collect(),
+                adam_v: (0..len).map(|_| pool_draw(rng)).collect(),
+                rng_words: std::array::from_fn(|_| rng.next_u64()),
+                loss: pool_draw(rng),
+            }
+        },
+        |case| {
+            // Shrink the moment vectors; keep the rest fixed.
+            shrink_vec(&case.adam_m)
+                .into_iter()
+                .map(|m| Case {
+                    adam_m: m.clone(),
+                    adam_v: case.adam_v[..m.len().min(case.adam_v.len())].to_vec(),
+                    ..case.clone()
+                })
+                .collect()
+        },
+        |case| {
+            let st = state_with(&case.adam_m, &case.adam_v, case.rng_words, case.loss);
+            let json = st.to_json().map_err(|e| format!("save failed: {e}"))?;
+            let back = RunState::from_json(&json).map_err(|e| format!("load failed: {e}"))?;
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            if bits(&back.adam_m) != bits(&case.adam_m) {
+                return Err(format!("adam_m bits differ: {:?}", back.adam_m));
+            }
+            if bits(&back.adam_v) != bits(&case.adam_v) {
+                return Err(format!("adam_v bits differ: {:?}", back.adam_v));
+            }
+            if back.rng_state != case.rng_words {
+                return Err("rng words differ".into());
+            }
+            // History floats follow the documented weaker contract:
+            // finite values are bit-exact, non-finite ones come back as
+            // NaN (plain JSON has no encoding for them).
+            let loss_back = back.history[0].train_loss;
+            if case.loss.is_finite() {
+                if loss_back.to_bits() != case.loss.to_bits() {
+                    return Err(format!("finite loss bits differ: {loss_back}"));
+                }
+            } else if !loss_back.is_nan() {
+                return Err(format!("non-finite loss came back as {loss_back}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+fn reference_json() -> String {
+    state_with(
+        &[0.5, f64::NAN],
+        &[1.0, f64::NEG_INFINITY],
+        [1, 2, 3, 4],
+        0.125,
+    )
+    .to_json()
+    .expect("reference state saves")
+}
+
+/// Truncation property: any prefix of a valid checkpoint file is
+/// rejected with a descriptive error — never a panic, never an Ok.
+#[test]
+fn truncated_checkpoints_error_instead_of_panicking() {
+    let json = reference_json();
+    Sweep::new(0x7A11, 80).run(
+        |rng| rng.below(json.len()),
+        |&cut| {
+            if cut > 0 {
+                vec![cut / 2, cut - 1]
+            } else {
+                Vec::new()
+            }
+        },
+        |&cut| {
+            // The encoder emits pure ASCII, so byte slicing is safe.
+            match RunState::from_json(&json[..cut]) {
+                Ok(_) => Err(format!("truncation at {cut}/{} accepted", json.len())),
+                Err(e) => {
+                    let msg = e.to_string();
+                    if msg.is_empty() {
+                        Err("empty error message".into())
+                    } else {
+                        Ok(())
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// Corruption property: flipping any single byte to a random printable
+/// character either still parses (the byte was inside a float's
+/// insignificant digits, say) or errors — it must never panic. Panics
+/// are caught by the sweep and shrunk to the minimal offending offset.
+#[test]
+fn corrupted_checkpoints_never_panic() {
+    let json = reference_json();
+    Sweep::new(0xBAD5EED, 120).run(
+        |rng| {
+            let pos = rng.below(json.len());
+            let byte = b' ' + rng.below(95) as u8; // printable ASCII
+            (pos, byte)
+        },
+        |&(pos, byte)| {
+            if pos > 0 {
+                vec![(pos / 2, byte), (pos - 1, byte)]
+            } else {
+                Vec::new()
+            }
+        },
+        |&(pos, byte)| {
+            let mut bytes = json.clone().into_bytes();
+            bytes[pos] = byte;
+            let mutated = String::from_utf8(bytes).expect("still ASCII");
+            let _ = RunState::from_json(&mutated); // Ok or Err both fine
+            Ok(())
+        },
+    );
+}

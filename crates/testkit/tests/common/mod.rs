@@ -1,0 +1,48 @@
+//! Shared fixtures for the testkit integration suites.
+#![allow(dead_code)]
+
+use sgm_graph::points::PointCloud;
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_physics::geometry::{Cavity, FillStrategy};
+use sgm_physics::pde::{Pde, PoissonConfig};
+use sgm_physics::problem::{Problem, TrainSet};
+
+/// Poisson problem whose forcing is enormous on the left half of the
+/// cavity — an untrained (≈ 0) network has its loss concentrated there,
+/// giving the importance samplers a real signal to chase.
+pub fn lopsided_problem() -> Problem {
+    Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: |p: &[f64]| if p[0] < 0.5 { 100.0 } else { 0.01 },
+    }))
+}
+
+/// `n` Halton interior points in the unit cavity plus a trivial
+/// single-point boundary, with a small Tanh net.
+pub fn setup(n: usize, seed: u64) -> (Mlp, Problem, TrainSet) {
+    setup_with(n, seed, Activation::Tanh)
+}
+
+/// Like [`setup`], choosing the activation.
+pub fn setup_with(n: usize, seed: u64, act: Activation) -> (Mlp, Problem, TrainSet) {
+    let cav = Cavity::default();
+    let mut rng = Rng64::new(seed);
+    let interior = cav.sample_interior(n, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: Matrix::zeros(1, 1),
+    };
+    let cfg = MlpConfig {
+        input_dim: 2,
+        output_dim: 1,
+        hidden_width: 8,
+        hidden_layers: 1,
+        activation: act,
+        fourier: None,
+    };
+    let mut nrng = Rng64::new(seed + 1);
+    (Mlp::new(&cfg, &mut nrng), lopsided_problem(), data)
+}

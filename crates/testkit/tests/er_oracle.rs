@@ -1,0 +1,110 @@
+//! Effective-resistance oracles: the probe-based estimator that drives
+//! LRD clustering (Algorithm 1, S2) is checked against the dense exact
+//! pseudo-inverse computation on a real kNN point-cloud graph —
+//! Foster's theorem, CG spot checks, rank-correlation against exact,
+//! and thread-count invariance.
+
+use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+use sgm_graph::points::PointCloud;
+use sgm_graph::resistance::{
+    approx_edge_resistances, cg_edge_resistance, exact_edge_resistances, exact_pair_resistance,
+    rank_correlation, ApproxErOptions,
+};
+use sgm_graph::Graph;
+use sgm_linalg::rng::Rng64;
+use sgm_par::{with_parallelism, Parallelism};
+
+fn knn_fixture() -> Graph {
+    let mut rng = Rng64::new(0xE5);
+    let cloud = PointCloud::uniform_box(150, 2, 0.0, 1.0, &mut rng);
+    build_knn_graph(
+        &cloud,
+        &KnnConfig {
+            k: 6,
+            strategy: KnnStrategy::Grid,
+            ..KnnConfig::default()
+        },
+    )
+}
+
+/// Foster's theorem: `Σ_e w_e·R_e = n − #components` exactly — a global
+/// identity the dense solver has no way to satisfy by accident.
+#[test]
+fn exact_resistances_satisfy_fosters_theorem() {
+    let g = knn_fixture();
+    let exact = exact_edge_resistances(&g);
+    assert_eq!(exact.len(), g.num_edges());
+    let total: f64 = g.edges().zip(&exact).map(|((_, _, w), &r)| w * r).sum();
+    let (_, comps) = g.components();
+    let expect = (g.num_nodes() - comps) as f64;
+    let rel = (total - expect).abs() / expect;
+    assert!(
+        rel < 1e-6,
+        "Foster: Σw·R = {total}, want {expect} (rel {rel:e})"
+    );
+}
+
+/// Three independent exact paths agree per edge: dense pseudo-inverse
+/// batch, dense single-pair, and the CG linear solve.
+#[test]
+fn cg_and_pair_solves_match_the_dense_batch() {
+    let g = knn_fixture();
+    let exact = exact_edge_resistances(&g);
+    // A spread of edges across the index range.
+    for ei in [0, g.num_edges() / 3, g.num_edges() / 2, g.num_edges() - 1] {
+        let (u, v, _) = g.edge(ei);
+        let pair = exact_pair_resistance(&g, u, v);
+        let cg = cg_edge_resistance(&g, u, v);
+        assert!(
+            (pair - exact[ei]).abs() < 1e-8 * (1.0 + exact[ei]),
+            "edge {ei}: pair {pair} vs batch {}",
+            exact[ei]
+        );
+        assert!(
+            (cg - exact[ei]).abs() < 1e-6 * (1.0 + exact[ei]),
+            "edge {ei}: cg {cg} vs batch {}",
+            exact[ei]
+        );
+    }
+}
+
+/// The production probe-based estimator ranks edges like the exact
+/// resistances do — that ordering (not the absolute values) is what the
+/// LRD clustering consumes.
+#[test]
+fn approx_estimator_is_rank_correlated_with_exact() {
+    let g = knn_fixture();
+    let exact = exact_edge_resistances(&g);
+    // More probes than the training default: this test pins down the
+    // estimator's asymptotic quality, not the speed/quality trade-off.
+    let approx = approx_edge_resistances(
+        &g,
+        &ApproxErOptions {
+            num_probes: 48,
+            seed: 7,
+            ..ApproxErOptions::default()
+        },
+    );
+    assert_eq!(approx.len(), exact.len());
+    let rho = rank_correlation(&exact, &approx);
+    assert!(
+        rho > 0.7,
+        "estimator rank correlation too weak: rho = {rho:.3}"
+    );
+}
+
+/// The estimator is bit-identical across thread counts — parallelism
+/// must not perturb the sampling decisions downstream of it.
+#[test]
+fn approx_estimator_is_thread_count_invariant() {
+    let g = knn_fixture();
+    let opts = ApproxErOptions {
+        seed: 7,
+        ..ApproxErOptions::default()
+    };
+    let serial = with_parallelism(Parallelism::Serial, || approx_edge_resistances(&g, &opts));
+    for mode in [Parallelism::Threads(1), Parallelism::Threads(8)] {
+        let threaded = with_parallelism(mode, || approx_edge_resistances(&g, &opts));
+        assert_eq!(serial, threaded, "{mode:?} differs from serial");
+    }
+}

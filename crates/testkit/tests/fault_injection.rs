@@ -1,0 +1,153 @@
+//! Fault injection against the live `SgmSampler` + `BackgroundBuilder`
+//! pair: scripted worker faults (delay, crash, lost result) must leave
+//! the trainer sampling from the stale clustering and must surface
+//! worker death through the stats — never a hang.
+
+mod common;
+
+use sgm_core::{SgmConfig, SgmSampler};
+use sgm_json::Value;
+use sgm_linalg::rng::Rng64;
+use sgm_physics::PinnModel;
+use sgm_testkit::fault::{FaultAction, FaultPlan};
+use sgm_train::{Probe, Sampler};
+use std::time::Duration;
+
+fn cfg() -> SgmConfig {
+    SgmConfig {
+        k: 6,
+        min_clusters: 8,
+        max_cluster_frac: 0.2,
+        tau_e: 1, // score refresh every call
+        tau_g: 2, // rebuild request every other call
+        ..SgmConfig::default()
+    }
+}
+
+fn assignment_of(s: &dyn Sampler) -> Vec<f64> {
+    s.save_state()
+        .get("assignment")
+        .and_then(Value::as_arr)
+        .expect("assignment in state")
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect()
+}
+
+/// While a rebuild is stalled in the worker, the sampler keeps serving
+/// batches from the stale clustering; once the stall clears, the fresh
+/// clustering is applied on a later refresh.
+#[test]
+fn stalled_rebuild_leaves_training_on_stale_clustering() {
+    let (net, prob, data) = common::setup(400, 0xF1);
+    let model = PinnModel::new(&prob, &data);
+    let probe = Probe {
+        net: &net,
+        model: &model,
+    };
+    let mut rng = Rng64::new(0xF2);
+
+    let (gate, action) = FaultAction::gated();
+    let mut s = SgmSampler::with_builder(&data.interior, cfg(), FaultPlan::new([action]).spawn());
+    s.refresh(0, &probe, &mut rng);
+    let stale = assignment_of(&s);
+
+    // τ_G fires at iter 2 and the request parks behind the gate; every
+    // later refresh must carry on unaffected.
+    for iter in (2..=20).step_by(2) {
+        s.refresh(iter, &probe, &mut rng);
+        let batch = s.next_batch(64, &mut rng);
+        assert_eq!(batch.len(), 64);
+        assert!(batch.iter().all(|&i| i < data.interior.len()));
+    }
+    let st = s.stats();
+    assert_eq!(st.rebuilds_requested, 1, "one in-flight request");
+    assert_eq!(st.rebuilds_applied, 0, "nothing applied while stalled");
+    assert_eq!(st.worker_deaths, 0, "a slow worker is not a dead worker");
+    assert_eq!(assignment_of(&s), stale, "clustering changed while stalled");
+
+    // Unstall: the finished rebuild lands on a subsequent refresh.
+    gate.release();
+    let mut iter = 22;
+    while s.stats().rebuilds_applied == 0 {
+        assert!(iter < 2000, "released rebuild never applied");
+        s.refresh(iter, &probe, &mut rng);
+        iter += 2;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(s.stats().worker_deaths, 0);
+}
+
+/// A crashing worker is *reported* (worker_deaths) and retired; the
+/// sampler falls back to inline rebuilds and keeps serving — it never
+/// blocks on the dead thread.
+#[test]
+fn crashed_worker_is_reported_and_replaced_by_inline_rebuilds() {
+    let (net, prob, data) = common::setup(400, 0xF3);
+    let model = PinnModel::new(&prob, &data);
+    let probe = Probe {
+        net: &net,
+        model: &model,
+    };
+    let mut rng = Rng64::new(0xF4);
+
+    let plan = FaultPlan::new([FaultAction::Panic("injected rebuild crash".into())]);
+    let mut s = SgmSampler::with_builder(&data.interior, cfg(), plan.spawn());
+    s.refresh(0, &probe, &mut rng);
+
+    // Drive refreshes until the death is noticed (either at the request
+    // site or via try_take) — bounded, so a hang fails the test.
+    let mut iter = 2;
+    while s.stats().worker_deaths == 0 {
+        assert!(iter < 2000, "worker death never surfaced");
+        s.refresh(iter, &probe, &mut rng);
+        iter += 2;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(s.stats().worker_deaths, 1);
+
+    // After retirement, τ_G events rebuild inline and still serve.
+    let applied = s.stats().rebuilds_applied;
+    s.refresh(iter, &probe, &mut rng);
+    assert!(
+        s.stats().rebuilds_applied > applied,
+        "no inline rebuild after worker death"
+    );
+    let batch = s.next_batch(64, &mut rng);
+    assert_eq!(batch.len(), 64);
+}
+
+/// A worker that silently loses a result (returns nothing) wedges only
+/// the single rebuild slot — documented policy — while sampling, score
+/// refreshes, and liveness are all unaffected.
+#[test]
+fn lost_result_does_not_kill_or_hang_the_sampler() {
+    let (net, prob, data) = common::setup(400, 0xF5);
+    let model = PinnModel::new(&prob, &data);
+    let probe = Probe {
+        net: &net,
+        model: &model,
+    };
+    let mut rng = Rng64::new(0xF6);
+
+    let mut s = SgmSampler::with_builder(
+        &data.interior,
+        cfg(),
+        FaultPlan::new([FaultAction::Drop]).spawn(),
+    );
+    s.refresh(0, &probe, &mut rng);
+
+    for iter in (2..=30).step_by(2) {
+        s.refresh(iter, &probe, &mut rng);
+        assert_eq!(s.next_batch(32, &mut rng).len(), 32);
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let st = s.stats();
+    assert_eq!(st.worker_deaths, 0, "a lossy worker is alive, not dead");
+    assert_eq!(st.rebuilds_applied, 0, "dropped result cannot be applied");
+    assert_eq!(
+        st.rebuilds_requested, 1,
+        "slot stays occupied (single-slot policy)"
+    );
+    assert!(st.refreshes >= 15, "score refreshes must continue");
+}

@@ -1,0 +1,278 @@
+//! Statistical acceptance tests for the sampling stack: empirical draw
+//! frequencies of the MIS / RAR / SGM samplers must match Algorithm 1's
+//! proportional ratios at fixed seeds, judged by chi-square and KS
+//! p-values (α = 1e-3), and the SGM epoch must be bit-identical across
+//! thread counts {serial, 1, 8}.
+
+mod common;
+
+use sgm_core::{MisConfig, MisSampler, RarConfig, RarSampler, SgmConfig, SgmSampler};
+use sgm_graph::resistance::rank_correlation;
+use sgm_json::Value;
+use sgm_linalg::rng::Rng64;
+use sgm_linalg::stats::{chi_square_pvalue, chi_square_stat, ks_pvalue, ks_statistic, normal_cdf};
+use sgm_par::{with_parallelism, Parallelism};
+use sgm_physics::PinnModel;
+use sgm_train::{LossModel, Probe, Sampler};
+use std::collections::BTreeMap;
+
+const ALPHA: f64 = 1e-3;
+const MODES: [Parallelism; 3] = [
+    Parallelism::Serial,
+    Parallelism::Threads(1),
+    Parallelism::Threads(8),
+];
+
+fn state_arr(state: &Value, key: &str) -> Vec<f64> {
+    state
+        .get(key)
+        .and_then(Value::as_arr)
+        .unwrap_or_else(|| panic!("state missing `{key}`"))
+        .iter()
+        .map(|v| v.as_f64().expect("numeric state entry"))
+        .collect()
+}
+
+/// The base RNG passes KS goodness-of-fit for both of its continuous
+/// distributions — the foundation every sampler test below stands on.
+#[test]
+fn rng_uniform_and_gaussian_pass_ks() {
+    let mut rng = Rng64::new(0xD15E);
+    let mut u: Vec<f64> = (0..5000).map(|_| rng.uniform()).collect();
+    u.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let d = ks_statistic(&u, |x| x.clamp(0.0, 1.0));
+    let p = ks_pvalue(d, u.len());
+    assert!(p > ALPHA, "uniform KS p = {p:.3e} (d = {d:.3e})");
+
+    let mut g: Vec<f64> = (0..5000).map(|_| rng.gaussian()).collect();
+    g.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let d = ks_statistic(&g, normal_cdf);
+    let p = ks_pvalue(d, g.len());
+    assert!(p > ALPHA, "gaussian KS p = {p:.3e} (d = {d:.3e})");
+}
+
+/// MIS draw frequencies match an exactly known injected distribution
+/// (chi-square over all 8 categories).
+#[test]
+fn mis_draws_match_injected_distribution() {
+    let p = [0.30, 0.20, 0.15, 0.10, 0.08, 0.07, 0.06, 0.04];
+    let n = p.len();
+    let mut cumulative = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &pi in &p {
+        acc += pi;
+        cumulative.push(acc);
+    }
+    *cumulative.last_mut().unwrap() = 1.0;
+
+    let mut state = BTreeMap::new();
+    state.insert(
+        "cumulative".to_string(),
+        Value::Arr(cumulative.into_iter().map(Value::Num).collect()),
+    );
+    state.insert("initialized".to_string(), Value::Bool(true));
+    state.insert("probe_evals".to_string(), Value::Num(0.0));
+
+    let mut s = MisSampler::new(n, MisConfig::default());
+    s.load_state(&Value::Obj(state)).expect("valid state");
+
+    let draws = 40_000usize;
+    let mut rng = Rng64::new(0x31AB);
+    let mut observed = vec![0.0; n];
+    for i in s.next_batch(draws, &mut rng) {
+        observed[i] += 1.0;
+    }
+    let expected: Vec<f64> = p.iter().map(|&pi| pi * draws as f64).collect();
+    let stat = chi_square_stat(&observed, &expected);
+    let pv = chi_square_pvalue(stat, n - 1);
+    assert!(pv > ALPHA, "chi-square p = {pv:.3e} (stat = {stat:.2})");
+}
+
+/// After a real probe-driven refresh, MIS draw frequencies match the
+/// documented formula `p_i = (1−ε)·l_i^power/Σ + ε/n` — and the refresh
+/// itself is thread-count invariant.
+#[test]
+fn mis_refresh_matches_formula_and_threads() {
+    let (net, prob, data) = common::setup(400, 0xA11);
+    let model = PinnModel::new(&prob, &data);
+    let probe = Probe {
+        net: &net,
+        model: &model,
+    };
+    let n = data.interior.len();
+
+    let mut states = Vec::new();
+    let mut sampler = None;
+    for mode in MODES {
+        let mut s = MisSampler::new(n, MisConfig::default());
+        with_parallelism(mode, || {
+            s.refresh(0, &probe, &mut Rng64::new(0xB0));
+        });
+        states.push(state_arr(&s.save_state(), "cumulative"));
+        sampler = Some(s);
+    }
+    assert_eq!(states[0], states[1], "serial vs 1 thread");
+    assert_eq!(states[0], states[2], "serial vs 8 threads");
+    let mut s = sampler.unwrap();
+
+    let cfg = MisConfig::default();
+    let losses = model.sample_losses(&net, &(0..n).collect::<Vec<_>>());
+    let weights: Vec<f64> = losses.iter().map(|&l| l.max(0.0).powf(cfg.power)).collect();
+    let total: f64 = weights.iter().sum();
+    let p: Vec<f64> = weights
+        .iter()
+        .map(|&w| (1.0 - cfg.uniform_mix) * w / total + cfg.uniform_mix / n as f64)
+        .collect();
+
+    let draws = 60_000usize;
+    let mut rng = Rng64::new(0x5EED);
+    let mut observed = vec![0.0; n];
+    for i in s.next_batch(draws, &mut rng) {
+        observed[i] += 1.0;
+    }
+    let expected: Vec<f64> = p.iter().map(|&pi| pi * draws as f64).collect();
+    let stat = chi_square_stat(&observed, &expected);
+    let pv = chi_square_pvalue(stat, n - 1);
+    assert!(pv > ALPHA, "chi-square p = {pv:.3e} (stat = {stat:.2})");
+}
+
+/// RAR serves its active set uniformly (chi-square) and never strays
+/// outside it.
+#[test]
+fn rar_serves_its_active_set_uniformly() {
+    let n = 400;
+    let mut rng = Rng64::new(0xCAFE);
+    let mut s = RarSampler::new(n, RarConfig::default(), &mut rng);
+    let active: Vec<usize> = state_arr(&s.save_state(), "active")
+        .iter()
+        .map(|&x| x as usize)
+        .collect();
+    assert_eq!(active.len(), 40, "initial_fraction 0.1 of 400");
+
+    let draws = 40_000usize;
+    let mut counts: BTreeMap<usize, f64> = active.iter().map(|&i| (i, 0.0)).collect();
+    for i in s.next_batch(draws, &mut rng) {
+        *counts
+            .get_mut(&i)
+            .unwrap_or_else(|| panic!("drew index {i} outside the active set")) += 1.0;
+    }
+    let observed: Vec<f64> = counts.values().copied().collect();
+    let expected = vec![draws as f64 / active.len() as f64; active.len()];
+    let stat = chi_square_stat(&observed, &expected);
+    let pv = chi_square_pvalue(stat, active.len() - 1);
+    assert!(pv > ALPHA, "chi-square p = {pv:.3e} (stat = {stat:.2})");
+}
+
+fn sgm_cfg() -> SgmConfig {
+    SgmConfig {
+        k: 6,
+        min_clusters: 8,
+        max_cluster_frac: 0.2,
+        tau_e: 10,
+        tau_g: 0,
+        background: false,
+        ..SgmConfig::default()
+    }
+}
+
+/// One SGM refresh with a fixed seed, returning `(assignment, epoch)`
+/// read through `save_state` — the only supported observation point.
+fn sgm_epoch_under(mode: Parallelism) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let (net, prob, data) = common::setup(400, 0x51);
+    let model = PinnModel::new(&prob, &data);
+    let probe = Probe {
+        net: &net,
+        model: &model,
+    };
+    let mut s = SgmSampler::new(&data.interior, sgm_cfg());
+    with_parallelism(mode, || {
+        s.refresh(0, &probe, &mut Rng64::new(0x77));
+    });
+    let state = s.save_state();
+    let assignment: Vec<usize> = state_arr(&state, "assignment")
+        .iter()
+        .map(|&x| x as usize)
+        .collect();
+    let epoch: Vec<usize> = state_arr(&state, "epoch")
+        .iter()
+        .map(|&x| x as usize)
+        .collect();
+    let losses = model.sample_losses(&net, &(0..data.interior.len()).collect::<Vec<_>>());
+    (assignment, epoch, losses)
+}
+
+/// The assembled SGM epoch realises Algorithm 1's per-cluster ratios:
+/// every cluster keeps ≥ 1 sample (the floor), no cluster is
+/// over-drawn past its size, and the per-cluster sampling rate rises
+/// with the cluster's mean loss. Identical across thread counts.
+#[test]
+fn sgm_epoch_respects_ratios_floor_and_threads() {
+    let (assignment, epoch, losses) = sgm_epoch_under(Parallelism::Serial);
+    for mode in [Parallelism::Threads(1), Parallelism::Threads(8)] {
+        let (a2, e2, _) = sgm_epoch_under(mode);
+        assert_eq!(assignment, a2, "{mode:?}: assignment differs from serial");
+        assert_eq!(epoch, e2, "{mode:?}: epoch differs from serial");
+    }
+
+    let num_clusters = assignment.iter().max().unwrap() + 1;
+    assert!(num_clusters >= 8, "min_clusters not honoured");
+    let mut sizes = vec![0.0; num_clusters];
+    for &c in &assignment {
+        sizes[c] += 1.0;
+    }
+    let mut counts = vec![0.0; num_clusters];
+    for &i in &epoch {
+        counts[assignment[i]] += 1.0;
+    }
+    for c in 0..num_clusters {
+        assert!(counts[c] >= 1.0, "cluster {c}: floor-of-1 violated");
+        assert!(
+            counts[c] <= sizes[c],
+            "cluster {c}: drew {} from {} members",
+            counts[c],
+            sizes[c]
+        );
+    }
+
+    // Rate ∝ score: clusters with higher mean probe loss are sampled at
+    // a higher per-member rate (Spearman over clusters).
+    let mut mean_loss = vec![0.0; num_clusters];
+    for (i, &c) in assignment.iter().enumerate() {
+        mean_loss[c] += losses[i];
+    }
+    let rate: Vec<f64> = (0..num_clusters).map(|c| counts[c] / sizes[c]).collect();
+    let mean_loss: Vec<f64> = mean_loss.iter().zip(&sizes).map(|(&l, &s)| l / s).collect();
+    let rho = rank_correlation(&mean_loss, &rate);
+    assert!(
+        rho > 0.5,
+        "per-cluster sampling rate not loss-proportional (rho = {rho:.3})"
+    );
+}
+
+/// Serving is exact: each `next_batch(epoch_len)` call returns a
+/// permutation of the assembled epoch, so observed per-cluster
+/// frequencies over K epochs equal K × the assembled counts exactly —
+/// Algorithm 1's ratios hold with zero sampling error.
+#[test]
+fn sgm_serving_is_an_exact_permutation_of_the_epoch() {
+    let (net, prob, data) = common::setup(400, 0x51);
+    let model = PinnModel::new(&prob, &data);
+    let probe = Probe {
+        net: &net,
+        model: &model,
+    };
+    let mut s = SgmSampler::new(&data.interior, sgm_cfg());
+    let mut rng = Rng64::new(0x99);
+    s.refresh(0, &probe, &mut rng);
+
+    let mut epoch: Vec<usize> = state_arr(&s.save_state(), "epoch")
+        .iter()
+        .map(|&x| x as usize)
+        .collect();
+    epoch.sort_unstable();
+    for k in 0..10 {
+        let mut batch = s.next_batch(epoch.len(), &mut rng);
+        batch.sort_unstable();
+        assert_eq!(batch, epoch, "epoch {k} is not a permutation");
+    }
+}

@@ -13,7 +13,7 @@
 //! cannot hold exactly, so they serialise as fixed-width hex strings.
 
 use crate::result::Record;
-use sgm_json::{num_arr, obj, JsonError, Value};
+use sgm_json::{lossless_num, lossless_num_arr, num_arr, obj, JsonError, Value};
 use sgm_nn::checkpoint::{Checkpoint, CheckpointError};
 
 /// Serialisable snapshot of a training run after some iteration.
@@ -126,12 +126,24 @@ fn record_from_value(v: &Value) -> Result<Record, RunStateError> {
 }
 
 impl RunState {
-    /// JSON serialisation. Floats use shortest-roundtrip formatting and
-    /// RNG words hex strings, so `from_json(to_json())` is bit-exact.
+    /// JSON serialisation. Floats use shortest-roundtrip formatting, RNG
+    /// words hex strings and Adam moments the lossless `f64:` encoding
+    /// for non-finite values (a diverged run's moments must resume
+    /// bit-exactly too), so `from_json(to_json())` is bit-exact.
     ///
     /// # Errors
-    /// Infallible in practice; kept as `Result` for API stability.
+    /// Returns [`RunStateError::Field`] when `sampler_state` contains a
+    /// non-finite number: plain JSON would silently turn it into `null`
+    /// and corrupt the resume, so saving fails loudly instead. Samplers
+    /// that must checkpoint non-finite floats encode them with
+    /// [`sgm_json::lossless_num`].
     pub fn to_json(&self) -> Result<String, RunStateError> {
+        if let Some(path) = self.sampler_state.find_non_finite() {
+            return Err(RunStateError::Field(format!(
+                "sampler_state.{path} is non-finite and would not survive a \
+                 JSON roundtrip; encode it with sgm_json::lossless_num"
+            )));
+        }
         let net = Value::parse(&self.net.to_json()?)?;
         let v = obj([
             ("version", Value::Num(self.version as f64)),
@@ -140,8 +152,8 @@ impl RunState {
             ("record_seconds", Value::Num(self.record_seconds)),
             ("net", net),
             ("adam_t", Value::Num(self.adam_t as f64)),
-            ("adam_m", num_arr(&self.adam_m)),
-            ("adam_v", num_arr(&self.adam_v)),
+            ("adam_m", lossless_num_arr(&self.adam_m)),
+            ("adam_v", lossless_num_arr(&self.adam_v)),
             (
                 "rng_state",
                 Value::Arr(
@@ -154,7 +166,7 @@ impl RunState {
             (
                 "rng_gauss_spare",
                 match self.rng_gauss_spare {
-                    Some(g) => Value::Num(g),
+                    Some(g) => lossless_num(g),
                     None => Value::Null,
                 },
             ),
@@ -204,7 +216,7 @@ impl RunState {
         let rng_gauss_spare = match v.get("rng_gauss_spare") {
             None | Some(Value::Null) => None,
             Some(g) => Some(
-                g.as_f64()
+                g.as_lossless_f64()
                     .ok_or_else(|| RunStateError::Field("rng_gauss_spare".into()))?,
             ),
         };
@@ -222,8 +234,8 @@ impl RunState {
             record_seconds: v.req_f64("record_seconds")?,
             net,
             adam_t: v.req_usize("adam_t")?,
-            adam_m: v.req_f64_arr("adam_m")?,
-            adam_v: v.req_f64_arr("adam_v")?,
+            adam_m: v.req_lossless_f64_arr("adam_m")?,
+            adam_v: v.req_lossless_f64_arr("adam_v")?,
             rng_state,
             rng_gauss_spare,
             history,
@@ -339,5 +351,103 @@ mod tests {
             RunState::from_json(&json),
             Err(RunStateError::Field(_))
         ));
+    }
+
+    #[test]
+    fn non_finite_adam_moments_roundtrip_bit_exactly() {
+        let mut st = sample_state();
+        st.adam_m = vec![f64::NAN, f64::INFINITY, -0.0, 1.5];
+        st.adam_v = vec![f64::NEG_INFINITY, f64::from_bits(0x7ff8_0000_0000_0001)];
+        st.rng_gauss_spare = Some(f64::NAN);
+        let back = RunState::from_json(&st.to_json().unwrap()).unwrap();
+        for (a, b) in st.adam_m.iter().zip(&back.adam_m) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in st.adam_v.iter().zip(&back.adam_v) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            st.rng_gauss_spare.map(f64::to_bits),
+            back.rng_gauss_spare.map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn non_finite_sampler_state_fails_loudly_at_save() {
+        let mut st = sample_state();
+        st.sampler_state = obj([("scores", num_arr(&[0.5, f64::NAN]))]);
+        let err = st.to_json().unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("sampler_state.scores[1]"),
+            "error must name the offending path: {msg}"
+        );
+        // Lossless-encoded values are fine.
+        st.sampler_state = obj([("scores", sgm_json::lossless_num_arr(&[0.5, f64::NAN]))]);
+        let back = RunState::from_json(&st.to_json().unwrap()).unwrap();
+        let xs = back.sampler_state.req_lossless_f64_arr("scores").unwrap();
+        assert!(xs[1].is_nan());
+    }
+
+    #[test]
+    fn truncated_json_is_a_descriptive_error_not_a_panic() {
+        let json = sample_state().to_json().unwrap();
+        // Cut at several points, including mid-token.
+        for cut in [0, 1, json.len() / 3, json.len() / 2, json.len() - 1] {
+            let err = RunState::from_json(&json[..cut]).unwrap_err();
+            assert!(matches!(err, RunStateError::Json(_)), "cut at {cut}: {err}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_fields_name_the_field() {
+        let full = Value::parse(&sample_state().to_json().unwrap()).unwrap();
+        let obj_map = full.as_obj().unwrap();
+        for key in [
+            "iteration",
+            "train_seconds",
+            "net",
+            "adam_t",
+            "adam_m",
+            "rng_state",
+            "history",
+            "sampler_name",
+            "sampler_state",
+        ] {
+            let mut m = obj_map.clone();
+            m.remove(key);
+            let err = RunState::from_json(&Value::Obj(m).to_string_compact()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(key), "dropping `{key}` gave: {msg}");
+        }
+    }
+
+    #[test]
+    fn corrupt_field_types_are_descriptive_errors() {
+        let full = Value::parse(&sample_state().to_json().unwrap()).unwrap();
+        let corruptions: &[(&str, Value)] = &[
+            ("adam_m", Value::Str("nope".into())),
+            (
+                "adam_m",
+                Value::Arr(vec![Value::Num(1.0), Value::Bool(true)]),
+            ),
+            ("rng_state", num_arr(&[1.0, 2.0])), // wrong arity
+            ("rng_state", num_arr(&[1.0, 2.0, 3.0, 4.0])), // numbers, not hex strings
+            ("history", Value::Num(3.0)),
+            ("iteration", Value::Str("ten".into())),
+            ("rng_gauss_spare", Value::Str("not-hex".into())),
+            ("version", Value::Num(-1.0)),
+        ];
+        for (key, bad) in corruptions {
+            let mut m = full.as_obj().unwrap().clone();
+            m.insert(key.to_string(), bad.clone());
+            let text = Value::Obj(m).to_string_compact();
+            let err = RunState::from_json(&text).unwrap_err();
+            assert!(
+                !err.to_string().is_empty(),
+                "corrupting `{key}` must error descriptively"
+            );
+        }
     }
 }

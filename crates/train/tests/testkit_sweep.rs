@@ -1,0 +1,66 @@
+//! Regression guard wiring the testkit's property sweep into the crate
+//! that owns `RunState`: random single-byte corruption of a saved run
+//! never panics the loader.
+
+use sgm_json::{obj, Value};
+use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::checkpoint::Checkpoint;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_testkit::sweep::Sweep;
+use sgm_train::{Record, RunState};
+
+#[test]
+fn corrupting_one_byte_never_panics_the_loader() {
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 4,
+            hidden_layers: 1,
+            activation: Activation::Tanh,
+            fourier: None,
+        },
+        &mut Rng64::new(5),
+    );
+    let json = RunState {
+        version: 1,
+        iteration: 3,
+        train_seconds: 0.5,
+        record_seconds: 0.1,
+        net: Checkpoint::capture(&net),
+        adam_t: 3,
+        adam_m: vec![0.1, f64::NAN],
+        adam_v: vec![0.2, f64::INFINITY],
+        rng_state: [1, 2, 3, 4],
+        rng_gauss_spare: None,
+        history: vec![Record {
+            iteration: 1,
+            seconds: 0.2,
+            train_loss: 0.5,
+            val_errors: vec![0.1],
+        }],
+        sampler_name: "uniform".into(),
+        sampler_state: obj([("cursor", Value::Num(0.0))]),
+    }
+    .to_json()
+    .expect("state saves");
+
+    Sweep::new(0x5EEDED, 60).run(
+        |rng| (rng.below(json.len()), b' ' + rng.below(95) as u8),
+        |&(pos, byte)| {
+            if pos > 0 {
+                vec![(pos / 2, byte)]
+            } else {
+                Vec::new()
+            }
+        },
+        |&(pos, byte)| {
+            let mut bytes = json.clone().into_bytes();
+            bytes[pos] = byte;
+            // Ok and Err are both acceptable; the Sweep catches panics.
+            let _ = RunState::from_json(&String::from_utf8(bytes).unwrap());
+            Ok(())
+        },
+    );
+}
