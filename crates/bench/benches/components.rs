@@ -9,7 +9,11 @@
 //!   batch size;
 //! * the blocked GEMM beats the naive reference kernel, and the
 //!   `*_threads` groups record how the pooled paths scale with the
-//!   `sgm-par` thread count.
+//!   `sgm-par` thread count;
+//! * `simd_kernels` times the SIMD-dispatched hot paths with stable case
+//!   names — run it once under `SGM_SIMD=scalar` and once under
+//!   `SGM_SIMD=auto`, then compare the two `--json` dumps with the
+//!   `bench_diff` binary (this is how `BENCH_PR4.json` is assembled).
 //!
 //! Run with `cargo bench -p sgm-bench`; `-- --test` dry-runs every case
 //! once (tier-1), `-- --json <path>` writes a machine-readable report.
@@ -473,6 +477,114 @@ fn bench_thread_scaling(r: &mut Runner) {
     }
 }
 
+/// SIMD-dispatched hot paths under whatever tier `SGM_SIMD` selects.
+/// Case names are tier-independent so `bench_diff` can match a forced
+/// `SGM_SIMD=scalar` dump against an `SGM_SIMD=auto` one. Pooled paths
+/// run serial here so the tier is the only variable.
+fn bench_simd_kernels(r: &mut Runner) {
+    use sgm_linalg::simd;
+    use sgm_linalg::Csr;
+
+    let mut rng = Rng64::new(21);
+    let n = 100_003usize; // large odd: exercises the vector body + tail
+    let a: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+    let b: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+    let mut y = vec![0.0; n];
+    r.bench("simd_kernels", "dot_100k", || simd::dot(&a, &b));
+    r.bench("simd_kernels", "axpy_100k", || {
+        simd::axpy(0.5, &a, &mut y);
+        y[0]
+    });
+
+    let ma = Matrix::gaussian(256, 256, &mut rng);
+    let mb = Matrix::gaussian(256, 256, &mut rng);
+    let mut mc = Matrix::zeros(256, 256);
+    r.bench("simd_kernels", "gemm_256", || {
+        sgm_par::with_parallelism(Parallelism::Serial, || {
+            gemm(1.0, &ma, &mb, 0.0, &mut mc);
+            mc.get(0, 0)
+        })
+    });
+
+    let pts = cloud(4096, 22);
+    r.bench("simd_kernels", "brute_knn_4096", || {
+        sgm_par::with_parallelism(Parallelism::Serial, || brute_knn(&pts, 8))
+    });
+    let q = pts.point(0).to_vec();
+    let mut d2 = vec![0.0; pts.len()];
+    r.bench("simd_kernels", "dist2_batch_4096x2", || {
+        simd::dist2_batch(pts.as_slice(), pts.dim(), &q, &mut d2);
+        d2[0]
+    });
+
+    // 5-point Laplacian stencil: the CG / effective-resistance workload.
+    let rows = 40_000usize;
+    let stride = 200usize;
+    let mut trip = Vec::new();
+    for i in 0..rows {
+        trip.push((i, i, 4.0));
+        if i >= 1 {
+            trip.push((i, i - 1, -1.0));
+        }
+        if i + 1 < rows {
+            trip.push((i, i + 1, -1.0));
+        }
+        if i >= stride {
+            trip.push((i, i - stride, -1.0));
+        }
+        if i + stride < rows {
+            trip.push((i, i + stride, -1.0));
+        }
+    }
+    let csr = Csr::from_triplets(rows, rows, &trip);
+    let xs: Vec<f64> = (0..rows).map(|_| rng.gaussian()).collect();
+    let mut ys = vec![0.0; rows];
+    r.bench("simd_kernels", "spmv_5pt_40k", || {
+        csr.mul_vec(&xs, &mut ys);
+        ys[0]
+    });
+
+    // Workspace (steady-state training) path: this is what the sgm-train
+    // engine runs every iteration, so the tier ratio here is the one that
+    // matters for wall-clock training speed. Width 128 approximates the
+    // paper's width-512 networks (GEMM-dominated) at bench budget; the
+    // scaled-down width-48 nets are covered by the `mlp` group.
+    let net = Mlp::new(
+        &MlpConfig {
+            input_dim: 3,
+            output_dim: 4,
+            hidden_width: 128,
+            hidden_layers: 4,
+            activation: Activation::SiLu,
+            fourier: None,
+        },
+        &mut rng,
+    );
+    let x = Matrix::gaussian(256, 3, &mut rng);
+    let mut ws = net.make_workspace(256, 2);
+    let adj = BatchDerivatives::zeros(256, 4, 2);
+    let mut grads = net.zero_gradients();
+    r.bench("simd_kernels", "mlp_fwd_bwd_256x128", || {
+        sgm_par::with_parallelism(Parallelism::Serial, || {
+            net.forward_with_derivs_ws(&x, &[0, 1], &mut ws);
+            grads.zero();
+            net.backward_ws(&mut ws, &adj, &mut grads);
+        })
+    });
+
+    let m_len = 20_000usize;
+    let g: Vec<f64> = (0..m_len).map(|_| rng.gaussian()).collect();
+    let mut p = vec![0.0; m_len];
+    let mut m1 = vec![0.0; m_len];
+    let mut v1 = vec![0.0; m_len];
+    r.bench("simd_kernels", "adam_update_20k", || {
+        simd::adam_update(
+            &mut p, &g, &mut m1, &mut v1, 0.9, 0.999, 0.1, 0.01, 1e-3, 1e-8,
+        );
+        p[0]
+    });
+}
+
 fn main() {
     let mut r = Runner::from_args().with_iters(1, 5);
     bench_gemm(&mut r);
@@ -486,5 +598,6 @@ fn main() {
     bench_trainer_overhead(&mut r);
     bench_probe_refresh_threads(&mut r);
     bench_thread_scaling(&mut r);
+    bench_simd_kernels(&mut r);
     r.finish();
 }

@@ -1,0 +1,182 @@
+//! Compares two microbench `--json` dumps case-by-case.
+//!
+//! ```sh
+//! cargo run --release -p sgm-bench --bin bench_diff -- before.json after.json
+//! ```
+//!
+//! Prints a per-case table and the `before/after` speedup, flags every
+//! case that regressed by more than 10 %, and summarises. Comparisons
+//! use each case's `min_ns` when both dumps carry it (the minimum is the
+//! noise-robust statistic on shared hosts — scheduler interference only
+//! ever adds time), falling back to `mean_ns` otherwise. Options:
+//!
+//! * `--json <path>` — also write the merged comparison as JSON (used to
+//!   assemble `BENCH_PR4.json`).
+//! * `--strict` — exit non-zero when any case regresses >10 % (off by
+//!   default so smoke runs with 1-iteration timings don't flake).
+
+use sgm_json::{obj, Value};
+use std::process::ExitCode;
+
+/// One case parsed out of a microbench dump.
+struct Case {
+    group: String,
+    name: String,
+    mean_ns: f64,
+    min_ns: Option<f64>,
+}
+
+impl Case {
+    /// The statistic compared: `min_ns` when recorded, else `mean_ns`.
+    fn metric(&self) -> f64 {
+        self.min_ns.unwrap_or(self.mean_ns)
+    }
+}
+
+fn load(path: &str) -> Vec<Case> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_diff: cannot read {path}: {e}"));
+    let value = Value::parse(&text).unwrap_or_else(|e| panic!("bench_diff: {path}: {e}"));
+    let arr = value
+        .as_arr()
+        .unwrap_or_else(|| panic!("bench_diff: {path}: top level is not an array"));
+    arr.iter()
+        .map(|entry| Case {
+            group: entry
+                .req_str("group")
+                .unwrap_or_else(|e| panic!("bench_diff: {path}: {e}"))
+                .to_string(),
+            name: entry
+                .req_str("name")
+                .unwrap_or_else(|e| panic!("bench_diff: {path}: {e}"))
+                .to_string(),
+            mean_ns: entry
+                .req_f64("mean_ns")
+                .unwrap_or_else(|e| panic!("bench_diff: {path}: {e}")),
+            min_ns: entry.req_f64("min_ns").ok(),
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut json_out: Option<String> = None;
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_out = Some(args.next().expect("--json needs a path")),
+            "--strict" => strict = true,
+            _ => paths.push(a),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_diff [--json <out>] [--strict] <before.json> <after.json>");
+        return ExitCode::from(2);
+    }
+    let before = load(&paths[0]);
+    let after = load(&paths[1]);
+
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    let mut missing = 0usize;
+    for b in &before {
+        let Some(a) = after
+            .iter()
+            .find(|a| a.group == b.group && a.name == b.name)
+        else {
+            missing += 1;
+            continue;
+        };
+        let speedup = if a.metric() > 0.0 {
+            b.metric() / a.metric()
+        } else {
+            f64::INFINITY
+        };
+        let regressed = a.metric() > 1.10 * b.metric();
+        if regressed {
+            regressions.push(format!("{}/{}", b.group, b.name));
+        }
+        rows.push((b, a, speedup, regressed));
+    }
+
+    let id_w = rows
+        .iter()
+        .map(|(b, _, _, _)| b.group.len() + b.name.len() + 1)
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    println!(
+        "{:<id_w$}  {:>12}  {:>12}  {:>8}",
+        "case", "before", "after", "speedup"
+    );
+    for (b, a, speedup, regressed) in &rows {
+        println!(
+            "{:<id_w$}  {:>12}  {:>12}  {:>7.2}x{}",
+            format!("{}/{}", b.group, b.name),
+            fmt_ns(b.metric()),
+            fmt_ns(a.metric()),
+            speedup,
+            if *regressed {
+                "  << REGRESSION >10%"
+            } else {
+                ""
+            },
+        );
+    }
+    if missing > 0 {
+        println!(
+            "({missing} case(s) in {} have no counterpart in {})",
+            paths[0], paths[1]
+        );
+    }
+    println!(
+        "{} case(s) compared, {} regression(s) >10%",
+        rows.len(),
+        regressions.len()
+    );
+
+    if let Some(out) = json_out {
+        let cases: Vec<Value> = rows
+            .iter()
+            .map(|(b, a, speedup, regressed)| {
+                obj([
+                    ("group", Value::Str(b.group.clone())),
+                    ("name", Value::Str(b.name.clone())),
+                    ("before_ns", Value::Num(b.metric())),
+                    ("after_ns", Value::Num(a.metric())),
+                    ("before_mean_ns", Value::Num(b.mean_ns)),
+                    ("after_mean_ns", Value::Num(a.mean_ns)),
+                    ("speedup", Value::Num(*speedup)),
+                    ("regressed", Value::Bool(*regressed)),
+                ])
+            })
+            .collect();
+        let doc = obj([
+            ("before", Value::Str(paths[0].clone())),
+            ("after", Value::Str(paths[1].clone())),
+            ("cases", Value::Arr(cases)),
+        ]);
+        std::fs::write(&out, doc.to_string_pretty())
+            .unwrap_or_else(|e| panic!("bench_diff: cannot write {out}: {e}"));
+        println!("wrote {out}");
+    }
+
+    if strict && !regressions.is_empty() {
+        eprintln!("regressions: {}", regressions.join(", "));
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -8,6 +8,9 @@
 //!   tier-1 script so benches can't bit-rot.
 //! * `--json <path>` — write results as a JSON array of
 //!   `{group, name, mean_ns, ...}` objects.
+//! * `--iters <n>` — timed samples per benchmark; overrides whatever the
+//!   bench binary passes to [`Runner::with_iters`] (raise it on noisy
+//!   shared hosts where 5-sample minima still jitter).
 //! * `<filter>` — any other positional argument selects benchmarks whose
 //!   `group/name` id contains it as a substring.
 //!
@@ -57,6 +60,8 @@ pub struct Runner {
     filter: Option<String>,
     warmup_iters: usize,
     sample_iters: usize,
+    /// Samples forced via `--iters`; wins over [`Runner::with_iters`].
+    cli_samples: Option<usize>,
     results: Vec<BenchResult>,
 }
 
@@ -67,6 +72,7 @@ impl Runner {
         let mut dry_run = false;
         let mut json_path = None;
         let mut filter = None;
+        let mut cli_samples = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -75,6 +81,13 @@ impl Runner {
                     Some(p) if !p.starts_with('-') => json_path = Some(p),
                     _ => {
                         eprintln!("error: --json requires a path argument");
+                        std::process::exit(2);
+                    }
+                },
+                "--iters" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(s) if s > 0 => cli_samples = Some(s),
+                    _ => {
+                        eprintln!("error: --iters requires a positive integer");
                         std::process::exit(2);
                     }
                 },
@@ -88,15 +101,19 @@ impl Runner {
             json_path,
             filter,
             warmup_iters: 2,
-            sample_iters: 8,
+            sample_iters: cli_samples.unwrap_or(8),
+            cli_samples,
             results: Vec::new(),
         }
     }
 
-    /// Overrides iteration counts (per-benchmark tuning).
+    /// Overrides iteration counts (per-benchmark tuning). A `--iters`
+    /// CLI flag beats the sample count given here.
     pub fn with_iters(mut self, warmup: usize, samples: usize) -> Self {
         self.warmup_iters = warmup;
-        self.sample_iters = samples.max(1);
+        if self.cli_samples.is_none() {
+            self.sample_iters = samples.max(1);
+        }
         self
     }
 
@@ -186,6 +203,7 @@ mod tests {
             filter: None,
             warmup_iters: 1,
             sample_iters: 3,
+            cli_samples: None,
             results: Vec::new(),
         }
     }

@@ -129,14 +129,43 @@ pub fn build_knn_graph(cloud: &PointCloud, cfg: &KnnConfig) -> Graph {
 /// returns exactly what the serial scan does.
 pub fn brute_knn(cloud: &PointCloud, k: usize) -> Vec<Vec<(usize, f64)>> {
     let n = cloud.len();
+    // Per-worker distance buffer: reused across queries so the hot loop
+    // is allocation-free (one 8·n buffer per pool thread, not per query).
+    thread_local! {
+        static D2: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
     let query = |i: usize| -> Vec<(usize, f64)> {
-        let mut cands: Vec<(usize, f64)> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| (j, cloud.dist2(i, j)))
-            .collect();
-        cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        cands.truncate(k);
-        cands
+        D2.with(|cell| {
+            let mut d2 = cell.borrow_mut();
+            d2.resize(n, 0.0);
+            // Batched distance kernel: the AVX2 tier scores four candidate
+            // points per step (lanes hold points), which vectorises the
+            // scan even for dim-2..4 clouds where per-pair SIMD has
+            // nothing to do.
+            sgm_linalg::simd::dist2_batch(cloud.as_slice(), cloud.dim(), cloud.point(i), &mut d2);
+            // Bounded-insertion pass: keep the k nearest in ascending
+            // (dist, index) order. Expected insertions are O(k·log n), so
+            // the per-candidate cost is one predictable compare — the
+            // distance kernel above dominates, unlike a full O(n·log n)
+            // sort. Scanning j ascending means an equal-distance incumbent
+            // always has the smaller index, so strict `<` reproduces the
+            // old stable-sort tie behaviour exactly.
+            let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+            for (j, &d) in d2.iter().enumerate() {
+                if j == i || k == 0 {
+                    continue;
+                }
+                if best.len() == k {
+                    if d >= best[k - 1].1 {
+                        continue;
+                    }
+                    best.pop();
+                }
+                let pos = best.partition_point(|&(jj, dd)| dd < d || (dd == d && jj < j));
+                best.insert(pos, (j, d));
+            }
+            best
+        })
     };
     let work = n.saturating_mul(n).saturating_mul(cloud.dim().max(1));
     match sgm_par::current().pool(work, KNN_PAR_WORK) {

@@ -151,12 +151,7 @@ impl PointCloud {
 #[inline]
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut s = 0.0;
-    for i in 0..a.len() {
-        let d = a[i] - b[i];
-        s += d * d;
-    }
-    s
+    sgm_linalg::simd::dist2(a, b)
 }
 
 #[cfg(test)]

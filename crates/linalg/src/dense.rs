@@ -158,11 +158,7 @@ impl Matrix {
     /// Transposed copy.
     pub fn transposed(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        crate::simd::transpose(&self.data, self.rows, self.cols, &mut t.data);
         t
     }
 
@@ -177,11 +173,7 @@ impl Matrix {
             (self.cols, self.rows),
             "transpose_into shape mismatch"
         );
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                dst.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        crate::simd::transpose(&self.data, self.rows, self.cols, &mut dst.data);
     }
 
     /// Overwrites every entry with `v` (buffer reuse in workspaces).
@@ -261,17 +253,13 @@ impl Matrix {
                     for (r, &xr) in x.iter().enumerate() {
                         let base = r * self.cols + c0;
                         let arow = &self.data[base..base + band.len()];
-                        for (yc, arc) in band.iter_mut().zip(arow) {
-                            *yc += arc * xr;
-                        }
+                        axpy(xr, arow, band);
                     }
                 });
             }
             None => {
                 for (r, &xr) in x.iter().enumerate() {
-                    for (yc, arc) in y.iter_mut().zip(self.row(r)) {
-                        *yc += arc * xr;
-                    }
+                    axpy(xr, self.row(r), &mut y);
                 }
             }
         }
@@ -283,14 +271,13 @@ impl Matrix {
         self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 
-    /// In-place scaling.
+    /// In-place scaling (SIMD-dispatched).
     pub fn scale(&mut self, s: f64) {
-        for v in &mut self.data {
-            *v *= s;
-        }
+        scale(&mut self.data, s);
     }
 
-    /// In-place AXPY on matrices: `self += alpha * other`.
+    /// In-place AXPY on matrices: `self += alpha * other`
+    /// (SIMD-dispatched).
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -300,9 +287,7 @@ impl Matrix {
             (other.rows, other.cols),
             "axpy shape"
         );
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Solves `self * x = b` by Gaussian elimination with partial pivoting.
@@ -553,13 +538,35 @@ pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
     }
 }
 
-/// Blocked kernel over one horizontal band of `c` (rows
+/// Blocked kernel over one horizontal band of `c`, dispatched on the
+/// SIMD tier: the AVX2 variant vectorises the innermost j loop 4-wide
+/// (FMA, ascending-k update order preserved), the scalar variant is the
+/// original register-tiled kernel. Both keep per-element accumulation
+/// order independent of the band split, so parallelism stays
+/// bit-invariant within either tier.
+fn gemm_band(alpha: f64, a: &Matrix, b: &Matrix, row0: usize, cband: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::current_tier() == crate::simd::SimdTier::Avx2 {
+        // SAFETY: the AVX2 tier is only selected when AVX2+FMA are
+        // available; shapes are validated by the `gemm` entry point.
+        unsafe {
+            crate::simd::gemm_band_avx2(
+                alpha, &a.data, a.cols, &b.data, b.cols, GEMM_KC, row0, cband,
+            )
+        };
+        return;
+    }
+    gemm_band_scalar(alpha, a, b, row0, cband)
+}
+
+/// Scalar blocked kernel over one horizontal band of `c` (rows
 /// `row0..row0 + cband.len()/n`): the k loop is cut into [`GEMM_KC`]
 /// panels so a `GEMM_KC × n` slab of B stays cache-hot across every row
 /// of the band, and the innermost update is 4-way register-tiled over k.
 /// The fused update expression evaluates left-to-right, preserving the
-/// sequential-k association of the naive kernel bit-for-bit.
-fn gemm_band(alpha: f64, a: &Matrix, b: &Matrix, row0: usize, cband: &mut [f64]) {
+/// sequential-k association of the naive kernel bit-for-bit — the
+/// scalar tier is bit-equal to [`gemm_reference`].
+fn gemm_band_scalar(alpha: f64, a: &Matrix, b: &Matrix, row0: usize, cband: &mut [f64]) {
     let kdim = a.cols;
     let n = b.cols;
     debug_assert_eq!(cband.len() % n, 0);
@@ -625,24 +632,18 @@ pub fn gemm_reference(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Mat
     }
 }
 
-/// Dot product.
+/// Dot product (SIMD-dispatched; four index-strided partial sums in
+/// both tiers — see `simd` module docs for the cross-tier contract).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut s = 0.0;
-    for i in 0..a.len() {
-        s += a[i] * b[i];
-    }
-    s
+    crate::simd::dot(a, b)
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x` (SIMD-dispatched, elementwise — bit-invariant under
+/// any chunked parallel split).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len());
-    for i in 0..x.len() {
-        y[i] += alpha * x[i];
-    }
+    crate::simd::axpy(alpha, x, y)
 }
 
 /// Euclidean norm.
@@ -651,12 +652,10 @@ pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
 
-/// In-place scaling of a vector.
+/// In-place scaling of a vector (SIMD-dispatched).
 #[inline]
 pub fn scale(x: &mut [f64], s: f64) {
-    for v in x {
-        *v *= s;
-    }
+    crate::simd::scale(x, s)
 }
 
 #[cfg(test)]
@@ -812,6 +811,7 @@ mod tests {
 
     #[test]
     fn gemm_matches_reference_bit_exactly() {
+        use crate::simd::{self, SimdTier};
         use sgm_par::{with_parallelism, Parallelism};
         let mut rng = Rng64::new(7);
         for &(m, k, n) in &[
@@ -825,34 +825,55 @@ mod tests {
             let c0 = Matrix::gaussian(m, n, &mut rng);
             let mut expect = c0.clone();
             gemm_reference(0.7, &a, &b, 0.3, &mut expect);
-            for p in [
-                Parallelism::Serial,
-                Parallelism::Threads(2),
-                Parallelism::Threads(8),
-            ] {
-                let mut c = c0.clone();
-                with_parallelism(p, || gemm(0.7, &a, &b, 0.3, &mut c));
-                for (x, y) in c.as_slice().iter().zip(expect.as_slice()) {
-                    assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} {p:?}");
-                }
+            for &tier in simd::available_tiers() {
+                simd::with_tier(tier, || {
+                    let mut base = c0.clone();
+                    with_parallelism(Parallelism::Serial, || gemm(0.7, &a, &b, 0.3, &mut base));
+                    for (x, y) in base.as_slice().iter().zip(expect.as_slice()) {
+                        if tier == SimdTier::Scalar {
+                            // The scalar tier preserves the naive kernel's
+                            // association, so it stays bit-equal to the oracle.
+                            assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} scalar vs ref");
+                        } else {
+                            // FMA tiers diverge only by contraction rounding.
+                            assert!(
+                                (x - y).abs() <= 1e-12 * (y.abs() + 1.0),
+                                "{m}x{k}x{n} {tier:?} vs ref: {x} vs {y}"
+                            );
+                        }
+                    }
+                    // Within a tier, parallelism is bit-invariant.
+                    for p in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+                        let mut c = c0.clone();
+                        with_parallelism(p, || gemm(0.7, &a, &b, 0.3, &mut c));
+                        for (x, y) in c.as_slice().iter().zip(base.as_slice()) {
+                            assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} {tier:?} {p:?}");
+                        }
+                    }
+                });
             }
         }
     }
 
     #[test]
     fn gemv_parallel_matches_serial_bit_exactly() {
+        use crate::simd;
         use sgm_par::{with_parallelism, Parallelism};
         let mut rng = Rng64::new(8);
         let a = Matrix::gaussian(65, 41, &mut rng);
         let x: Vec<f64> = (0..41).map(|_| rng.gaussian()).collect();
         let xt: Vec<f64> = (0..65).map(|_| rng.gaussian()).collect();
-        let y0 = with_parallelism(Parallelism::Serial, || a.mul_vec(&x));
-        let z0 = with_parallelism(Parallelism::Serial, || a.mul_vec_t(&xt));
-        for threads in [2usize, 8] {
-            let y = with_parallelism(Parallelism::Threads(threads), || a.mul_vec(&x));
-            let z = with_parallelism(Parallelism::Threads(threads), || a.mul_vec_t(&xt));
-            assert!(y.iter().zip(&y0).all(|(p, q)| p.to_bits() == q.to_bits()));
-            assert!(z.iter().zip(&z0).all(|(p, q)| p.to_bits() == q.to_bits()));
+        for &tier in simd::available_tiers() {
+            simd::with_tier(tier, || {
+                let y0 = with_parallelism(Parallelism::Serial, || a.mul_vec(&x));
+                let z0 = with_parallelism(Parallelism::Serial, || a.mul_vec_t(&xt));
+                for threads in [2usize, 8] {
+                    let y = with_parallelism(Parallelism::Threads(threads), || a.mul_vec(&x));
+                    let z = with_parallelism(Parallelism::Threads(threads), || a.mul_vec_t(&xt));
+                    assert!(y.iter().zip(&y0).all(|(p, q)| p.to_bits() == q.to_bits()));
+                    assert!(z.iter().zip(&z0).all(|(p, q)| p.to_bits() == q.to_bits()));
+                }
+            });
         }
     }
 

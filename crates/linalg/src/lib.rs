@@ -14,6 +14,9 @@
 //! * [`rng`] — deterministic, seedable xoshiro256** RNG with Gaussian and
 //!   shuffling helpers (no external dependency, bit-reproducible runs).
 //! * [`stats`] — norms, relative errors, summary statistics.
+//! * [`simd`] — runtime-dispatched AVX2+FMA f64×4 kernels with portable
+//!   scalar fallbacks (`SGM_SIMD={auto,avx2,scalar}`), used by the dense,
+//!   sparse, nn and graph hot loops.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 pub mod dense;
 pub mod eigen;
 pub mod rng;
+pub mod simd;
 pub mod solve;
 pub mod sparse;
 pub mod stats;

@@ -1,0 +1,1534 @@
+//! Runtime-dispatched SIMD kernels for the workspace's hot loops.
+//!
+//! Every kernel exists in two implementations — a portable unrolled
+//! scalar fallback and an AVX2+FMA `f64×4` version built on
+//! `core::arch::x86_64` intrinsics — selected at runtime by a *dispatch
+//! tier* ([`SimdTier`]). The tier is resolved once from the `SGM_SIMD`
+//! environment variable (`auto` / `avx2` / `scalar`, mirroring
+//! `SGM_NUM_THREADS`) plus `is_x86_feature_detected!`, and can be forced
+//! programmatically with [`with_tier`] for tests and benches.
+//!
+//! ## Determinism tiers
+//!
+//! Results are **bit-identical within a tier**: for a fixed tier every
+//! kernel is a pure function of its inputs — lane grouping and reduction
+//! trees depend only on input lengths, never on thread count or timing.
+//! *Across* tiers, results may differ by FMA rounding (the AVX2 kernels
+//! contract `a*b + c` into one rounding where the scalar tier performs
+//! two). For reductions of `n` terms the divergence is bounded by
+//! `O(n·ε)` relative to the term-magnitude sum — the testkit oracle
+//! sweeps (`crates/testkit/tests/simd_oracles.rs`) pin it below `1e-12`.
+//!
+//! Reduction kernels ([`dot`], [`dist2`]) accumulate in four
+//! index-strided partial sums (lane `j` holds elements `i ≡ j mod 4`)
+//! folded as `(s0+s2) + (s1+s3)` with a sequential scalar tail, in both
+//! tiers, so the only cross-tier difference is the FMA contraction
+//! itself. Elementwise kernels ([`axpy`], [`scale`], [`add_assign`],
+//! [`hadamard`], [`adam_update`], the activation combines) are
+//! position-independent, so chunked parallel callers get bit-identical
+//! results for every thread count automatically.
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A SIMD dispatch tier. See the module docs for the determinism
+/// contract between tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdTier {
+    /// Portable unrolled-scalar kernels (the fallback and oracle tier).
+    Scalar,
+    /// AVX2 + FMA `f64×4` kernels (x86-64 only).
+    Avx2,
+}
+
+impl SimdTier {
+    fn code(self) -> u8 {
+        match self {
+            SimdTier::Scalar => 1,
+            SimdTier::Avx2 => 2,
+        }
+    }
+}
+
+/// True when the host supports the AVX2 tier (AVX2 *and* FMA).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The tier resolved from the environment (read once, at first use):
+/// `SGM_SIMD=scalar` forces the fallback, `SGM_SIMD=avx2` demands the
+/// AVX2 tier (panicking if the host lacks it), `auto`/unset/invalid
+/// picks AVX2 when available and scalar otherwise.
+pub fn detected_tier() -> SimdTier {
+    static DETECTED: OnceLock<SimdTier> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        match std::env::var("SGM_SIMD").as_deref().map(str::trim) {
+            Ok("scalar") => SimdTier::Scalar,
+            Ok("avx2") => {
+                assert!(
+                    avx2_available(),
+                    "SGM_SIMD=avx2 requested but the host lacks AVX2+FMA"
+                );
+                SimdTier::Avx2
+            }
+            // `auto`, unset and unrecognised values all auto-detect,
+            // mirroring SGM_NUM_THREADS's lenient parsing.
+            _ => {
+                if avx2_available() {
+                    SimdTier::Avx2
+                } else {
+                    SimdTier::Scalar
+                }
+            }
+        }
+    })
+}
+
+/// Forced-tier override: 0 = none (use [`detected_tier`]).
+static FORCED: AtomicU8 = AtomicU8::new(0);
+/// Serialises [`with_tier`] regions — the override is process-global (it
+/// must reach pool workers), so concurrent forcings would race.
+static FORCE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The dispatch tier in effect for kernel calls right now.
+#[inline]
+pub fn current_tier() -> SimdTier {
+    match FORCED.load(Ordering::Relaxed) {
+        1 => SimdTier::Scalar,
+        2 => SimdTier::Avx2,
+        _ => detected_tier(),
+    }
+}
+
+/// Every tier the host can execute (scalar always; AVX2 when available).
+/// Tests iterate this to cover both dispatch paths wherever possible.
+pub fn available_tiers() -> &'static [SimdTier] {
+    if avx2_available() {
+        &[SimdTier::Scalar, SimdTier::Avx2]
+    } else {
+        &[SimdTier::Scalar]
+    }
+}
+
+/// Runs `f` with the dispatch tier forced to `tier`, restoring the
+/// previous setting afterwards (including on panic).
+///
+/// The override is **process-global** — unlike `sgm_par`'s thread-local
+/// parallelism override it must be visible to pool worker threads, which
+/// execute kernels on the forcing thread's behalf. Concurrent `with_tier`
+/// regions therefore serialise on an internal lock; bit-exactness tests
+/// that must not observe a tier flip mid-flight should pin their tier
+/// with this function.
+///
+/// # Panics
+/// Panics if `tier` is [`SimdTier::Avx2`] on a host without AVX2+FMA.
+pub fn with_tier<R>(tier: SimdTier, f: impl FnOnce() -> R) -> R {
+    assert!(
+        tier != SimdTier::Avx2 || avx2_available(),
+        "cannot force the AVX2 tier: host lacks AVX2+FMA"
+    );
+    let _guard = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(FORCED.swap(tier.code(), Ordering::Relaxed));
+    f()
+}
+
+#[inline]
+fn use_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        current_tier() == SimdTier::Avx2
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Dot product with four index-strided partial sums.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: the AVX2 tier is only selected when AVX2+FMA are
+        // available (checked in detected_tier / with_tier).
+        return unsafe { dot_avx2(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+        i += 4;
+    }
+    let mut s = (s0 + s2) + (s1 + s3);
+    while i < n {
+        s += a[i] * b[i];
+        i += 1;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let av = _mm256_loadu_pd(pa.add(i));
+        let bv = _mm256_loadu_pd(pb.add(i));
+        acc = _mm256_fmadd_pd(av, bv, acc);
+        i += 4;
+    }
+    let mut s = hsum(acc);
+    while i < n {
+        s += a[i] * b[i];
+        i += 1;
+    }
+    s
+}
+
+/// Folds a 4-lane accumulator as `(l0 + l2) + (l1 + l3)` — the same
+/// association the scalar twin uses.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum(v: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(v); // [l0, l1]
+    let hi = _mm256_extractf128_pd(v, 1); // [l2, l3]
+    let s = _mm_add_pd(lo, hi); // [l0+l2, l1+l3]
+    _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+}
+
+/// Fused squared Euclidean distance `Σ (a_i - b_i)²`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist2 length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        return unsafe { dist2_avx2(a, b) };
+    }
+    dist2_scalar(a, b)
+}
+
+fn dist2_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let d0 = a[i] - b[i];
+        let d1 = a[i + 1] - b[i + 1];
+        let d2 = a[i + 2] - b[i + 2];
+        let d3 = a[i + 3] - b[i + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+        i += 4;
+    }
+    let mut s = (s0 + s2) + (s1 + s3);
+    while i < n {
+        let d = a[i] - b[i];
+        s += d * d;
+        i += 1;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dist2_avx2(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let d = _mm256_sub_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i)));
+        acc = _mm256_fmadd_pd(d, d, acc);
+        i += 4;
+    }
+    let mut s = hsum(acc);
+    while i < n {
+        let d = a[i] - b[i];
+        s += d * d;
+        i += 1;
+    }
+    s
+}
+
+/// Squared distances from query `q` to every point of a flat row-major
+/// `out.len() × dim` cloud: `out[j] = ‖points[j·dim..][..dim] - q‖²`.
+/// The AVX2 tier evaluates four *points* per step (lanes hold points,
+/// not coordinates), which is what makes low-dimensional kNN scans
+/// vectorisable; each point's coordinate sum stays in ascending order.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or `points.len() != out.len() * dim`.
+pub fn dist2_batch(points: &[f64], dim: usize, q: &[f64], out: &mut [f64]) {
+    assert!(dim > 0, "dist2_batch dim must be positive");
+    assert_eq!(q.len(), dim, "dist2_batch query dim");
+    assert_eq!(points.len(), out.len() * dim, "dist2_batch cloud shape");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { dist2_batch_avx2(points, dim, q, out) };
+        return;
+    }
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = dist2_point_scalar(&points[j * dim..(j + 1) * dim], q);
+    }
+}
+
+/// Sequential per-point squared distance (also the tail of the AVX2
+/// batch kernel, so tail points agree with the scalar tier bit-for-bit).
+fn dist2_point_scalar(p: &[f64], q: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for (pv, qv) in p.iter().zip(q) {
+        let d = pv - qv;
+        s += d * d;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dist2_batch_avx2(points: &[f64], dim: usize, q: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let p = points.as_ptr();
+    let mut j = 0;
+    while j + 4 <= n {
+        let base = j * dim;
+        let mut acc = _mm256_setzero_pd();
+        for (k, &qk) in q.iter().enumerate() {
+            let pk = _mm256_set_pd(
+                *p.add(base + 3 * dim + k),
+                *p.add(base + 2 * dim + k),
+                *p.add(base + dim + k),
+                *p.add(base + k),
+            );
+            let d = _mm256_sub_pd(pk, _mm256_set1_pd(qk));
+            acc = _mm256_fmadd_pd(d, d, acc);
+        }
+        _mm256_storeu_pd(out.as_mut_ptr().add(j), acc);
+        j += 4;
+    }
+    while j < n {
+        out[j] = dist2_point_scalar(&points[j * dim..(j + 1) * dim], q);
+        j += 1;
+    }
+}
+
+/// CSR sparse matrix–vector product `y = A x` over raw CSR arrays (rows
+/// are `row_ptr.len() - 1`; see `sgm_linalg::sparse::Csr`). The AVX2
+/// tier gathers four `x` entries per step with `vgatherdpd`; each row's
+/// sum uses the strided-lane accumulation of [`dot`].
+///
+/// # Panics
+/// Panics if `y.len() + 1 != row_ptr.len()` or an index is out of range
+/// (debug builds).
+pub fn spmv(row_ptr: &[usize], col_idx: &[u32], values: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(y.len() + 1, row_ptr.len(), "spmv row count");
+    debug_assert_eq!(col_idx.len(), values.len());
+    #[cfg(target_arch = "x86_64")]
+    // The gather treats indices as i32, so huge column spaces fall back.
+    if use_avx2() && x.len() <= i32::MAX as usize {
+        // SAFETY: AVX2 tier implies AVX2+FMA support; indices fit i32.
+        unsafe { spmv_avx2(row_ptr, col_idx, values, x, y) };
+        return;
+    }
+    for (r, yr) in y.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for p in row_ptr[r]..row_ptr[r + 1] {
+            s += values[p] * x[col_idx[p] as usize];
+        }
+        *yr = s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn spmv_avx2(row_ptr: &[usize], col_idx: &[u32], values: &[f64], x: &[f64], y: &mut [f64]) {
+    let px = x.as_ptr();
+    let pc = col_idx.as_ptr();
+    let pv = values.as_ptr();
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+        let mut acc = _mm256_setzero_pd();
+        let mut p = lo;
+        while p + 4 <= hi {
+            let idx = _mm_loadu_si128(pc.add(p) as *const __m128i);
+            let xv = _mm256_i32gather_pd::<8>(px, idx);
+            acc = _mm256_fmadd_pd(_mm256_loadu_pd(pv.add(p)), xv, acc);
+            p += 4;
+        }
+        let mut s = hsum(acc);
+        while p < hi {
+            s += values[p] * x[col_idx[p] as usize];
+            p += 1;
+        }
+        *yr = s;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels
+// ---------------------------------------------------------------------------
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { axpy_avx2(alpha, x, y) };
+        return;
+    }
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    let av = _mm256_set1_pd(alpha);
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        let yv = _mm256_fmadd_pd(av, _mm256_loadu_pd(px.add(i)), _mm256_loadu_pd(py.add(i)));
+        _mm256_storeu_pd(py.add(i), yv);
+        i += 4;
+    }
+    while i < n {
+        y[i] += alpha * x[i];
+        i += 1;
+    }
+}
+
+/// In-place scaling `x *= s` (bit-identical across tiers: vector
+/// multiplies round exactly like scalar ones).
+#[inline]
+pub fn scale(x: &mut [f64], s: f64) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { scale_avx2(x, s) };
+        return;
+    }
+    for v in x {
+        *v *= s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scale_avx2(x: &mut [f64], s: f64) {
+    let n = x.len();
+    let sv = _mm256_set1_pd(s);
+    let px = x.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        _mm256_storeu_pd(px.add(i), _mm256_mul_pd(_mm256_loadu_pd(px.add(i)), sv));
+        i += 4;
+    }
+    while i < n {
+        x[i] *= s;
+        i += 1;
+    }
+}
+
+/// `y += x` (bit-identical across tiers).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    assert_eq!(x.len(), y.len(), "add_assign length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { add_assign_avx2(y, x) };
+        return;
+    }
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += xv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_avx2(y: &mut [f64], x: &[f64]) {
+    let n = x.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 4 <= n {
+        _mm256_storeu_pd(
+            py.add(i),
+            _mm256_add_pd(_mm256_loadu_pd(py.add(i)), _mm256_loadu_pd(px.add(i))),
+        );
+        i += 4;
+    }
+    while i < n {
+        y[i] += x[i];
+        i += 1;
+    }
+}
+
+/// Row-major transpose: `dst[c * rows + r] = src[r * cols + c]`.
+/// Pure data movement (no rounding), so bit-identical across tiers; the
+/// AVX2 tier moves 4×4 blocks via unpack/permute shuffles.
+///
+/// # Panics
+/// Panics if `src` or `dst` is shorter than `rows * cols`.
+#[inline]
+pub fn transpose(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
+    assert!(src.len() >= rows * cols, "transpose src length");
+    assert!(dst.len() >= rows * cols, "transpose dst length");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { transpose_avx2(src, rows, cols, dst) };
+        return;
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn transpose_avx2(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
+    let ps = src.as_ptr();
+    let pd = dst.as_mut_ptr();
+    let mut r = 0;
+    while r + 4 <= rows {
+        let mut c = 0;
+        while c + 4 <= cols {
+            let r0 = _mm256_loadu_pd(ps.add(r * cols + c));
+            let r1 = _mm256_loadu_pd(ps.add((r + 1) * cols + c));
+            let r2 = _mm256_loadu_pd(ps.add((r + 2) * cols + c));
+            let r3 = _mm256_loadu_pd(ps.add((r + 3) * cols + c));
+            let t0 = _mm256_unpacklo_pd(r0, r1);
+            let t1 = _mm256_unpackhi_pd(r0, r1);
+            let t2 = _mm256_unpacklo_pd(r2, r3);
+            let t3 = _mm256_unpackhi_pd(r2, r3);
+            _mm256_storeu_pd(pd.add(c * rows + r), _mm256_permute2f128_pd::<0x20>(t0, t2));
+            _mm256_storeu_pd(
+                pd.add((c + 1) * rows + r),
+                _mm256_permute2f128_pd::<0x20>(t1, t3),
+            );
+            _mm256_storeu_pd(
+                pd.add((c + 2) * rows + r),
+                _mm256_permute2f128_pd::<0x31>(t0, t2),
+            );
+            _mm256_storeu_pd(
+                pd.add((c + 3) * rows + r),
+                _mm256_permute2f128_pd::<0x31>(t1, t3),
+            );
+            c += 4;
+        }
+        while c < cols {
+            dst[c * rows + r] = src[r * cols + c];
+            dst[c * rows + r + 1] = src[(r + 1) * cols + c];
+            dst[c * rows + r + 2] = src[(r + 2) * cols + c];
+            dst[c * rows + r + 3] = src[(r + 3) * cols + c];
+            c += 1;
+        }
+        r += 4;
+    }
+    while r < rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+        r += 1;
+    }
+}
+
+/// Elementwise product `out = a ⊙ b` (bit-identical across tiers).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "hadamard length mismatch");
+    assert_eq!(a.len(), out.len(), "hadamard output length");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { hadamard_avx2(a, b, out) };
+        return;
+    }
+    for ((o, av), bv) in out.iter_mut().zip(a).zip(b) {
+        *o = av * bv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hadamard_avx2(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = a.len();
+    let (pa, pb, po) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        _mm256_storeu_pd(
+            po.add(i),
+            _mm256_mul_pd(_mm256_loadu_pd(pa.add(i)), _mm256_loadu_pd(pb.add(i))),
+        );
+        i += 4;
+    }
+    while i < n {
+        out[i] = a[i] * b[i];
+        i += 1;
+    }
+}
+
+/// One fused Adam update over flat parameter/gradient/moment slices:
+///
+/// ```text
+/// m = β1·m + (1-β1)·g
+/// v = β2·v + (1-β2)·g²
+/// p -= lr · (m/bc1) / (√(v/bc2) + ε)
+/// ```
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_update(
+    p: &mut [f64],
+    g: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    b1: f64,
+    b2: f64,
+    bc1: f64,
+    bc2: f64,
+    lr: f64,
+    eps: f64,
+) {
+    let n = p.len();
+    assert!(
+        g.len() == n && m.len() == n && v.len() == n,
+        "adam_update length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { adam_update_avx2(p, g, m, v, b1, b2, bc1, bc2, lr, eps) };
+        return;
+    }
+    for i in 0..n {
+        m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+        v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+        let mh = m[i] / bc1;
+        let vh = v[i] / bc2;
+        p[i] -= lr * mh / (vh.sqrt() + eps);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn adam_update_avx2(
+    p: &mut [f64],
+    g: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    b1: f64,
+    b2: f64,
+    bc1: f64,
+    bc2: f64,
+    lr: f64,
+    eps: f64,
+) {
+    let n = p.len();
+    let (b1v, b2v) = (_mm256_set1_pd(b1), _mm256_set1_pd(b2));
+    let (c1v, c2v) = (_mm256_set1_pd(1.0 - b1), _mm256_set1_pd(1.0 - b2));
+    let (bc1v, bc2v) = (_mm256_set1_pd(bc1), _mm256_set1_pd(bc2));
+    let (lrv, epsv) = (_mm256_set1_pd(lr), _mm256_set1_pd(eps));
+    let (pp, pg, pm, pv) = (p.as_mut_ptr(), g.as_ptr(), m.as_mut_ptr(), v.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let gv = _mm256_loadu_pd(pg.add(i));
+        let mv = _mm256_fmadd_pd(b1v, _mm256_loadu_pd(pm.add(i)), _mm256_mul_pd(c1v, gv));
+        let vv = _mm256_fmadd_pd(
+            b2v,
+            _mm256_loadu_pd(pv.add(i)),
+            _mm256_mul_pd(_mm256_mul_pd(c2v, gv), gv),
+        );
+        _mm256_storeu_pd(pm.add(i), mv);
+        _mm256_storeu_pd(pv.add(i), vv);
+        let mh = _mm256_div_pd(mv, bc1v);
+        let vh = _mm256_div_pd(vv, bc2v);
+        let denom = _mm256_add_pd(_mm256_sqrt_pd(vh), epsv);
+        let step = _mm256_div_pd(_mm256_mul_pd(lrv, mh), denom);
+        _mm256_storeu_pd(pp.add(i), _mm256_sub_pd(_mm256_loadu_pd(pp.add(i)), step));
+        i += 4;
+    }
+    while i < n {
+        m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+        v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+        let mh = m[i] / bc1;
+        let vh = v[i] / bc2;
+        p[i] -= lr * mh / (vh.sqrt() + eps);
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched activation-derivative combines (the MLP's elementwise hot loops;
+// the transcendental σ evaluations themselves stay scalar in both tiers so
+// libm values agree bit-for-bit across tiers).
+// ---------------------------------------------------------------------------
+
+/// Forward derivative carry through an activation, elementwise over a
+/// batch: `j_out = σ'·zj`, `h_out = σ''·zj² + σ'·zh`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn act_fwd_jh(
+    s1: &[f64],
+    s2: &[f64],
+    zj: &[f64],
+    zh: &[f64],
+    j_out: &mut [f64],
+    h_out: &mut [f64],
+) {
+    let n = s1.len();
+    assert!(
+        s2.len() == n && zj.len() == n && zh.len() == n && j_out.len() == n && h_out.len() == n,
+        "act_fwd_jh length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { act_fwd_jh_avx2(s1, s2, zj, zh, j_out, h_out) };
+        return;
+    }
+    for i in 0..n {
+        j_out[i] = s1[i] * zj[i];
+        h_out[i] = s2[i] * zj[i] * zj[i] + s1[i] * zh[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn act_fwd_jh_avx2(
+    s1: &[f64],
+    s2: &[f64],
+    zj: &[f64],
+    zh: &[f64],
+    j_out: &mut [f64],
+    h_out: &mut [f64],
+) {
+    let n = s1.len();
+    let (p1, p2, pj, ph) = (s1.as_ptr(), s2.as_ptr(), zj.as_ptr(), zh.as_ptr());
+    let (pjo, pho) = (j_out.as_mut_ptr(), h_out.as_mut_ptr());
+    let mut i = 0;
+    while i + 4 <= n {
+        let s1v = _mm256_loadu_pd(p1.add(i));
+        let s2v = _mm256_loadu_pd(p2.add(i));
+        let zjv = _mm256_loadu_pd(pj.add(i));
+        let zhv = _mm256_loadu_pd(ph.add(i));
+        _mm256_storeu_pd(pjo.add(i), _mm256_mul_pd(s1v, zjv));
+        let h = _mm256_fmadd_pd(_mm256_mul_pd(s2v, zjv), zjv, _mm256_mul_pd(s1v, zhv));
+        _mm256_storeu_pd(pho.add(i), h);
+        i += 4;
+    }
+    while i < n {
+        j_out[i] = s1[i] * zj[i];
+        h_out[i] = s2[i] * zj[i] * zj[i] + s1[i] * zh[i];
+        i += 1;
+    }
+}
+
+/// Backward adjoint combine through an activation for one derivative
+/// dimension, elementwise over a batch:
+///
+/// ```text
+/// gz  += gj·σ''·zj + gh·(σ'''·zj² + σ''·zh)
+/// gzj  = gj·σ' + gh·2·σ''·zj
+/// gzh  = gh·σ'
+/// ```
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[allow(clippy::too_many_arguments)]
+pub fn act_bwd_accum(
+    s1: &[f64],
+    s2: &[f64],
+    s3: &[f64],
+    zj: &[f64],
+    zh: &[f64],
+    gj: &[f64],
+    gh: &[f64],
+    gz: &mut [f64],
+    gzj: &mut [f64],
+    gzh: &mut [f64],
+) {
+    let n = s1.len();
+    assert!(
+        s2.len() == n
+            && s3.len() == n
+            && zj.len() == n
+            && zh.len() == n
+            && gj.len() == n
+            && gh.len() == n
+            && gz.len() == n
+            && gzj.len() == n
+            && gzh.len() == n,
+        "act_bwd_accum length mismatch"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: AVX2 tier implies AVX2+FMA support.
+        unsafe { act_bwd_accum_avx2(s1, s2, s3, zj, zh, gj, gh, gz, gzj, gzh) };
+        return;
+    }
+    for i in 0..n {
+        gz[i] += gj[i] * s2[i] * zj[i] + gh[i] * (s3[i] * zj[i] * zj[i] + s2[i] * zh[i]);
+        gzj[i] = gj[i] * s1[i] + gh[i] * 2.0 * s2[i] * zj[i];
+        gzh[i] = gh[i] * s1[i];
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn act_bwd_accum_avx2(
+    s1: &[f64],
+    s2: &[f64],
+    s3: &[f64],
+    zj: &[f64],
+    zh: &[f64],
+    gj: &[f64],
+    gh: &[f64],
+    gz: &mut [f64],
+    gzj: &mut [f64],
+    gzh: &mut [f64],
+) {
+    let n = s1.len();
+    let two = _mm256_set1_pd(2.0);
+    let mut i = 0;
+    while i + 4 <= n {
+        let s1v = _mm256_loadu_pd(s1.as_ptr().add(i));
+        let s2v = _mm256_loadu_pd(s2.as_ptr().add(i));
+        let s3v = _mm256_loadu_pd(s3.as_ptr().add(i));
+        let zjv = _mm256_loadu_pd(zj.as_ptr().add(i));
+        let zhv = _mm256_loadu_pd(zh.as_ptr().add(i));
+        let gjv = _mm256_loadu_pd(gj.as_ptr().add(i));
+        let ghv = _mm256_loadu_pd(gh.as_ptr().add(i));
+        // t1 = gj·σ''·zj ; t2 = σ'''·zj² + σ''·zh
+        let t1 = _mm256_mul_pd(_mm256_mul_pd(gjv, s2v), zjv);
+        let t2 = _mm256_fmadd_pd(_mm256_mul_pd(s3v, zjv), zjv, _mm256_mul_pd(s2v, zhv));
+        let sum = _mm256_fmadd_pd(ghv, t2, t1);
+        let gzv = _mm256_add_pd(_mm256_loadu_pd(gz.as_ptr().add(i)), sum);
+        _mm256_storeu_pd(gz.as_mut_ptr().add(i), gzv);
+        // gzj = gj·σ' + (gh·2·σ'')·zj
+        let gzjv = _mm256_fmadd_pd(
+            _mm256_mul_pd(_mm256_mul_pd(ghv, two), s2v),
+            zjv,
+            _mm256_mul_pd(gjv, s1v),
+        );
+        _mm256_storeu_pd(gzj.as_mut_ptr().add(i), gzjv);
+        _mm256_storeu_pd(gzh.as_mut_ptr().add(i), _mm256_mul_pd(ghv, s1v));
+        i += 4;
+    }
+    while i < n {
+        gz[i] += gj[i] * s2[i] * zj[i] + gh[i] * (s3[i] * zj[i] * zj[i] + s2[i] * zh[i]);
+        gzj[i] = gj[i] * s1[i] + gh[i] * 2.0 * s2[i] * zj[i];
+        gzh[i] = gh[i] * s1[i];
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM band (AVX2 inner kernel; the scalar twin lives in `dense`)
+// ---------------------------------------------------------------------------
+
+/// AVX2 body of `dense::gemm_band` over one horizontal band of `c`:
+/// identical k-panel structure to the scalar kernel, with the innermost
+/// j loop vectorised 4-wide and the 4 k-step updates applied as FMAs in
+/// ascending k order (so per-element accumulation order is unchanged and
+/// band splits stay bit-invariant). Rows are processed in pairs sharing
+/// one set of B-row vector loads — each C element still sees exactly the
+/// same FMA sequence as the single-row kernel, so pairing changes
+/// nothing numerically, it only halves B load traffic.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available, `a` is `(row0 + rows) ×
+/// kdim` row-major (at least), `b` is `kdim × n`, and `cband.len()` is a
+/// multiple of `n`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn gemm_band_avx2(
+    alpha: f64,
+    a: &[f64],
+    kdim: usize,
+    b: &[f64],
+    n: usize,
+    kc: usize,
+    row0: usize,
+    cband: &mut [f64],
+) {
+    let rows = cband.len() / n;
+    let pb = b.as_ptr();
+    let mut k0 = 0;
+    while k0 < kdim {
+        let kend = (k0 + kc).min(kdim);
+        let mut ri = 0;
+        while ri + 2 <= rows {
+            let arow0 = &a[(row0 + ri) * kdim..(row0 + ri + 1) * kdim];
+            let arow1 = &a[(row0 + ri + 1) * kdim..(row0 + ri + 2) * kdim];
+            let (crow0, crow1) = cband[ri * n..(ri + 2) * n].split_at_mut(n);
+            gemm_rowpair_avx2(alpha, arow0, arow1, pb, n, k0, kend, crow0, crow1);
+            ri += 2;
+        }
+        while ri < rows {
+            let arow = &a[(row0 + ri) * kdim..(row0 + ri + 1) * kdim];
+            let crow = &mut cband[ri * n..(ri + 1) * n];
+            gemm_row_avx2(alpha, arow, pb, n, k0, kend, crow);
+            ri += 1;
+        }
+        k0 = kend;
+    }
+}
+
+/// Two-row micro-kernel of [`gemm_band_avx2`]: one k-panel of two C rows,
+/// every B vector loaded once and fed to both rows' accumulator chains.
+/// Per-element FMA order (ascending k within the quad) matches
+/// [`gemm_row_avx2`] exactly.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_rowpair_avx2(
+    alpha: f64,
+    arow0: &[f64],
+    arow1: &[f64],
+    pb: *const f64,
+    n: usize,
+    k0: usize,
+    kend: usize,
+    crow0: &mut [f64],
+    crow1: &mut [f64],
+) {
+    let pc0 = crow0.as_mut_ptr();
+    let pc1 = crow1.as_mut_ptr();
+    let mut k = k0;
+    while k + 4 <= kend {
+        let f00 = alpha * arow0[k];
+        let f01 = alpha * arow0[k + 1];
+        let f02 = alpha * arow0[k + 2];
+        let f03 = alpha * arow0[k + 3];
+        let f10 = alpha * arow1[k];
+        let f11 = alpha * arow1[k + 1];
+        let f12 = alpha * arow1[k + 2];
+        let f13 = alpha * arow1[k + 3];
+        let u0 = _mm256_set1_pd(f00);
+        let u1 = _mm256_set1_pd(f01);
+        let u2 = _mm256_set1_pd(f02);
+        let u3 = _mm256_set1_pd(f03);
+        let w0 = _mm256_set1_pd(f10);
+        let w1 = _mm256_set1_pd(f11);
+        let w2 = _mm256_set1_pd(f12);
+        let w3 = _mm256_set1_pd(f13);
+        let b0 = pb.add(k * n);
+        let b1 = pb.add((k + 1) * n);
+        let b2 = pb.add((k + 2) * n);
+        let b3 = pb.add((k + 3) * n);
+        let mut j = 0;
+        // 2 rows × 16 columns per step: 32 FMAs against 16 shared B loads
+        // plus 8 C loads/stores. Eight independent accumulator chains keep
+        // both FMA ports busy despite the 4-deep dependent chain each C
+        // vector carries (k, k+1, k+2, k+3 applied in order per element).
+        while j + 16 <= n {
+            let mut c00 = _mm256_loadu_pd(pc0.add(j));
+            let mut c01 = _mm256_loadu_pd(pc0.add(j + 4));
+            let mut c02 = _mm256_loadu_pd(pc0.add(j + 8));
+            let mut c03 = _mm256_loadu_pd(pc0.add(j + 12));
+            let mut c10 = _mm256_loadu_pd(pc1.add(j));
+            let mut c11 = _mm256_loadu_pd(pc1.add(j + 4));
+            let mut c12 = _mm256_loadu_pd(pc1.add(j + 8));
+            let mut c13 = _mm256_loadu_pd(pc1.add(j + 12));
+            let bv = _mm256_loadu_pd(b0.add(j));
+            c00 = _mm256_fmadd_pd(u0, bv, c00);
+            c10 = _mm256_fmadd_pd(w0, bv, c10);
+            let bv = _mm256_loadu_pd(b0.add(j + 4));
+            c01 = _mm256_fmadd_pd(u0, bv, c01);
+            c11 = _mm256_fmadd_pd(w0, bv, c11);
+            let bv = _mm256_loadu_pd(b0.add(j + 8));
+            c02 = _mm256_fmadd_pd(u0, bv, c02);
+            c12 = _mm256_fmadd_pd(w0, bv, c12);
+            let bv = _mm256_loadu_pd(b0.add(j + 12));
+            c03 = _mm256_fmadd_pd(u0, bv, c03);
+            c13 = _mm256_fmadd_pd(w0, bv, c13);
+            let bv = _mm256_loadu_pd(b1.add(j));
+            c00 = _mm256_fmadd_pd(u1, bv, c00);
+            c10 = _mm256_fmadd_pd(w1, bv, c10);
+            let bv = _mm256_loadu_pd(b1.add(j + 4));
+            c01 = _mm256_fmadd_pd(u1, bv, c01);
+            c11 = _mm256_fmadd_pd(w1, bv, c11);
+            let bv = _mm256_loadu_pd(b1.add(j + 8));
+            c02 = _mm256_fmadd_pd(u1, bv, c02);
+            c12 = _mm256_fmadd_pd(w1, bv, c12);
+            let bv = _mm256_loadu_pd(b1.add(j + 12));
+            c03 = _mm256_fmadd_pd(u1, bv, c03);
+            c13 = _mm256_fmadd_pd(w1, bv, c13);
+            let bv = _mm256_loadu_pd(b2.add(j));
+            c00 = _mm256_fmadd_pd(u2, bv, c00);
+            c10 = _mm256_fmadd_pd(w2, bv, c10);
+            let bv = _mm256_loadu_pd(b2.add(j + 4));
+            c01 = _mm256_fmadd_pd(u2, bv, c01);
+            c11 = _mm256_fmadd_pd(w2, bv, c11);
+            let bv = _mm256_loadu_pd(b2.add(j + 8));
+            c02 = _mm256_fmadd_pd(u2, bv, c02);
+            c12 = _mm256_fmadd_pd(w2, bv, c12);
+            let bv = _mm256_loadu_pd(b2.add(j + 12));
+            c03 = _mm256_fmadd_pd(u2, bv, c03);
+            c13 = _mm256_fmadd_pd(w2, bv, c13);
+            let bv = _mm256_loadu_pd(b3.add(j));
+            c00 = _mm256_fmadd_pd(u3, bv, c00);
+            c10 = _mm256_fmadd_pd(w3, bv, c10);
+            let bv = _mm256_loadu_pd(b3.add(j + 4));
+            c01 = _mm256_fmadd_pd(u3, bv, c01);
+            c11 = _mm256_fmadd_pd(w3, bv, c11);
+            let bv = _mm256_loadu_pd(b3.add(j + 8));
+            c02 = _mm256_fmadd_pd(u3, bv, c02);
+            c12 = _mm256_fmadd_pd(w3, bv, c12);
+            let bv = _mm256_loadu_pd(b3.add(j + 12));
+            c03 = _mm256_fmadd_pd(u3, bv, c03);
+            c13 = _mm256_fmadd_pd(w3, bv, c13);
+            _mm256_storeu_pd(pc0.add(j), c00);
+            _mm256_storeu_pd(pc0.add(j + 4), c01);
+            _mm256_storeu_pd(pc0.add(j + 8), c02);
+            _mm256_storeu_pd(pc0.add(j + 12), c03);
+            _mm256_storeu_pd(pc1.add(j), c10);
+            _mm256_storeu_pd(pc1.add(j + 4), c11);
+            _mm256_storeu_pd(pc1.add(j + 8), c12);
+            _mm256_storeu_pd(pc1.add(j + 12), c13);
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut c00 = _mm256_loadu_pd(pc0.add(j));
+            let mut c01 = _mm256_loadu_pd(pc0.add(j + 4));
+            let mut c10 = _mm256_loadu_pd(pc1.add(j));
+            let mut c11 = _mm256_loadu_pd(pc1.add(j + 4));
+            let bv = _mm256_loadu_pd(b0.add(j));
+            let bw = _mm256_loadu_pd(b0.add(j + 4));
+            c00 = _mm256_fmadd_pd(u0, bv, c00);
+            c10 = _mm256_fmadd_pd(w0, bv, c10);
+            c01 = _mm256_fmadd_pd(u0, bw, c01);
+            c11 = _mm256_fmadd_pd(w0, bw, c11);
+            let bv = _mm256_loadu_pd(b1.add(j));
+            let bw = _mm256_loadu_pd(b1.add(j + 4));
+            c00 = _mm256_fmadd_pd(u1, bv, c00);
+            c10 = _mm256_fmadd_pd(w1, bv, c10);
+            c01 = _mm256_fmadd_pd(u1, bw, c01);
+            c11 = _mm256_fmadd_pd(w1, bw, c11);
+            let bv = _mm256_loadu_pd(b2.add(j));
+            let bw = _mm256_loadu_pd(b2.add(j + 4));
+            c00 = _mm256_fmadd_pd(u2, bv, c00);
+            c10 = _mm256_fmadd_pd(w2, bv, c10);
+            c01 = _mm256_fmadd_pd(u2, bw, c01);
+            c11 = _mm256_fmadd_pd(w2, bw, c11);
+            let bv = _mm256_loadu_pd(b3.add(j));
+            let bw = _mm256_loadu_pd(b3.add(j + 4));
+            c00 = _mm256_fmadd_pd(u3, bv, c00);
+            c10 = _mm256_fmadd_pd(w3, bv, c10);
+            c01 = _mm256_fmadd_pd(u3, bw, c01);
+            c11 = _mm256_fmadd_pd(w3, bw, c11);
+            _mm256_storeu_pd(pc0.add(j), c00);
+            _mm256_storeu_pd(pc0.add(j + 4), c01);
+            _mm256_storeu_pd(pc1.add(j), c10);
+            _mm256_storeu_pd(pc1.add(j + 4), c11);
+            j += 8;
+        }
+        while j + 4 <= n {
+            let mut c0 = _mm256_loadu_pd(pc0.add(j));
+            let mut c1 = _mm256_loadu_pd(pc1.add(j));
+            let bv = _mm256_loadu_pd(b0.add(j));
+            c0 = _mm256_fmadd_pd(u0, bv, c0);
+            c1 = _mm256_fmadd_pd(w0, bv, c1);
+            let bv = _mm256_loadu_pd(b1.add(j));
+            c0 = _mm256_fmadd_pd(u1, bv, c0);
+            c1 = _mm256_fmadd_pd(w1, bv, c1);
+            let bv = _mm256_loadu_pd(b2.add(j));
+            c0 = _mm256_fmadd_pd(u2, bv, c0);
+            c1 = _mm256_fmadd_pd(w2, bv, c1);
+            let bv = _mm256_loadu_pd(b3.add(j));
+            c0 = _mm256_fmadd_pd(u3, bv, c0);
+            c1 = _mm256_fmadd_pd(w3, bv, c1);
+            _mm256_storeu_pd(pc0.add(j), c0);
+            _mm256_storeu_pd(pc1.add(j), c1);
+            j += 4;
+        }
+        while j < n {
+            let b0j = *b0.add(j);
+            let b1j = *b1.add(j);
+            let b2j = *b2.add(j);
+            let b3j = *b3.add(j);
+            let cv = &mut crow0[j];
+            *cv = *cv + f00 * b0j + f01 * b1j + f02 * b2j + f03 * b3j;
+            let cv = &mut crow1[j];
+            *cv = *cv + f10 * b0j + f11 * b1j + f12 * b2j + f13 * b3j;
+            j += 1;
+        }
+        k += 4;
+    }
+    while k < kend {
+        let f0 = alpha * arow0[k];
+        let f1 = alpha * arow1[k];
+        let fv0 = _mm256_set1_pd(f0);
+        let fv1 = _mm256_set1_pd(f1);
+        let bk = pb.add(k * n);
+        let mut j = 0;
+        while j + 4 <= n {
+            let bv = _mm256_loadu_pd(bk.add(j));
+            let c0 = _mm256_fmadd_pd(fv0, bv, _mm256_loadu_pd(pc0.add(j)));
+            let c1 = _mm256_fmadd_pd(fv1, bv, _mm256_loadu_pd(pc1.add(j)));
+            _mm256_storeu_pd(pc0.add(j), c0);
+            _mm256_storeu_pd(pc1.add(j), c1);
+            j += 4;
+        }
+        while j < n {
+            let bkj = *bk.add(j);
+            crow0[j] += f0 * bkj;
+            crow1[j] += f1 * bkj;
+            j += 1;
+        }
+        k += 1;
+    }
+}
+
+/// Single-row micro-kernel of [`gemm_band_avx2`] (odd tail row): one
+/// k-panel of one C row.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_row_avx2(
+    alpha: f64,
+    arow: &[f64],
+    pb: *const f64,
+    n: usize,
+    k0: usize,
+    kend: usize,
+    crow: &mut [f64],
+) {
+    let pc = crow.as_mut_ptr();
+    let mut k = k0;
+    while k + 4 <= kend {
+        let f0 = alpha * arow[k];
+        let f1 = alpha * arow[k + 1];
+        let f2 = alpha * arow[k + 2];
+        let f3 = alpha * arow[k + 3];
+        let (v0, v1, v2, v3) = (
+            _mm256_set1_pd(f0),
+            _mm256_set1_pd(f1),
+            _mm256_set1_pd(f2),
+            _mm256_set1_pd(f3),
+        );
+        let b0 = pb.add(k * n);
+        let b1 = pb.add((k + 1) * n);
+        let b2 = pb.add((k + 2) * n);
+        let b3 = pb.add((k + 3) * n);
+        let mut j = 0;
+        // Four independent column chains per step: each chain still
+        // applies k, k+1, k+2, k+3 in order (bit-identical per
+        // element), but the chains overlap so the serial FMA
+        // latency of one chain is hidden behind the other three.
+        while j + 16 <= n {
+            let mut c0 = _mm256_loadu_pd(pc.add(j));
+            let mut c1 = _mm256_loadu_pd(pc.add(j + 4));
+            let mut c2 = _mm256_loadu_pd(pc.add(j + 8));
+            let mut c3 = _mm256_loadu_pd(pc.add(j + 12));
+            c0 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(b0.add(j)), c0);
+            c1 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(b0.add(j + 4)), c1);
+            c2 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(b0.add(j + 8)), c2);
+            c3 = _mm256_fmadd_pd(v0, _mm256_loadu_pd(b0.add(j + 12)), c3);
+            c0 = _mm256_fmadd_pd(v1, _mm256_loadu_pd(b1.add(j)), c0);
+            c1 = _mm256_fmadd_pd(v1, _mm256_loadu_pd(b1.add(j + 4)), c1);
+            c2 = _mm256_fmadd_pd(v1, _mm256_loadu_pd(b1.add(j + 8)), c2);
+            c3 = _mm256_fmadd_pd(v1, _mm256_loadu_pd(b1.add(j + 12)), c3);
+            c0 = _mm256_fmadd_pd(v2, _mm256_loadu_pd(b2.add(j)), c0);
+            c1 = _mm256_fmadd_pd(v2, _mm256_loadu_pd(b2.add(j + 4)), c1);
+            c2 = _mm256_fmadd_pd(v2, _mm256_loadu_pd(b2.add(j + 8)), c2);
+            c3 = _mm256_fmadd_pd(v2, _mm256_loadu_pd(b2.add(j + 12)), c3);
+            c0 = _mm256_fmadd_pd(v3, _mm256_loadu_pd(b3.add(j)), c0);
+            c1 = _mm256_fmadd_pd(v3, _mm256_loadu_pd(b3.add(j + 4)), c1);
+            c2 = _mm256_fmadd_pd(v3, _mm256_loadu_pd(b3.add(j + 8)), c2);
+            c3 = _mm256_fmadd_pd(v3, _mm256_loadu_pd(b3.add(j + 12)), c3);
+            _mm256_storeu_pd(pc.add(j), c0);
+            _mm256_storeu_pd(pc.add(j + 4), c1);
+            _mm256_storeu_pd(pc.add(j + 8), c2);
+            _mm256_storeu_pd(pc.add(j + 12), c3);
+            j += 16;
+        }
+        while j + 4 <= n {
+            let mut cv = _mm256_loadu_pd(pc.add(j));
+            cv = _mm256_fmadd_pd(v0, _mm256_loadu_pd(b0.add(j)), cv);
+            cv = _mm256_fmadd_pd(v1, _mm256_loadu_pd(b1.add(j)), cv);
+            cv = _mm256_fmadd_pd(v2, _mm256_loadu_pd(b2.add(j)), cv);
+            cv = _mm256_fmadd_pd(v3, _mm256_loadu_pd(b3.add(j)), cv);
+            _mm256_storeu_pd(pc.add(j), cv);
+            j += 4;
+        }
+        while j < n {
+            let cv = &mut crow[j];
+            *cv = *cv + f0 * *b0.add(j) + f1 * *b1.add(j) + f2 * *b2.add(j) + f3 * *b3.add(j);
+            j += 1;
+        }
+        k += 4;
+    }
+    while k < kend {
+        let f = alpha * arow[k];
+        let fv = _mm256_set1_pd(f);
+        let bk = pb.add(k * n);
+        let mut j = 0;
+        while j + 4 <= n {
+            let cv = _mm256_fmadd_pd(fv, _mm256_loadu_pd(bk.add(j)), _mm256_loadu_pd(pc.add(j)));
+            _mm256_storeu_pd(pc.add(j), cv);
+            j += 4;
+        }
+        while j < n {
+            crow[j] += f * *bk.add(j);
+            j += 1;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    /// |a - b| bounded relative to a magnitude scale (guards cancellation).
+    fn assert_close(a: f64, b: f64, mag: f64, what: &str) {
+        assert!(
+            (a - b).abs() <= 1e-12 * (mag.abs() + 1e-300),
+            "{what}: {a} vs {b} (mag {mag})"
+        );
+    }
+
+    #[test]
+    fn tier_forcing_overrides_and_restores() {
+        let base = current_tier();
+        with_tier(SimdTier::Scalar, || {
+            assert_eq!(current_tier(), SimdTier::Scalar);
+        });
+        assert_eq!(current_tier(), base);
+        let _ = std::panic::catch_unwind(|| {
+            with_tier(SimdTier::Scalar, || panic!("boom"));
+        });
+        assert_eq!(current_tier(), base);
+    }
+
+    #[test]
+    fn available_tiers_always_has_scalar() {
+        assert!(available_tiers().contains(&SimdTier::Scalar));
+    }
+
+    #[test]
+    fn kernels_agree_across_tiers_on_adversarial_lengths() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 33, 257] {
+            let a = seq(n, |i| {
+                ((i as f64) * 0.37 - 3.0) * if i % 2 == 0 { 1.0 } else { -1.0 }
+            });
+            let b = seq(n, |i| 1.0 / (i as f64 + 1.5));
+            let mag: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            let results: Vec<(f64, f64)> = available_tiers()
+                .iter()
+                .map(|&t| with_tier(t, || (dot(&a, &b), dist2(&a, &b))))
+                .collect();
+            for (d, r) in &results[1..] {
+                assert_close(*d, results[0].0, mag, &format!("dot n={n}"));
+                let mag2: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+                assert_close(*r, results[0].1, mag2, &format!("dist2 n={n}"));
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_bit_identical_across_tiers() {
+        // scale / add_assign / hadamard use only exactly-rounded vector
+        // ops, so the tiers must agree bit-for-bit.
+        for n in [0usize, 1, 5, 64, 129] {
+            let a = seq(n, |i| (i as f64).sin() * 1e3);
+            let b = seq(n, |i| (i as f64 * 0.7).cos());
+            let per_tier: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = available_tiers()
+                .iter()
+                .map(|&t| {
+                    with_tier(t, || {
+                        let mut s = a.clone();
+                        scale(&mut s, 1.0 / 3.0);
+                        let mut ad = a.clone();
+                        add_assign(&mut ad, &b);
+                        let mut h = vec![0.0; n];
+                        hadamard(&a, &b, &mut h);
+                        (s, ad, h)
+                    })
+                })
+                .collect();
+            for t in &per_tier[1..] {
+                for (x, y) in t.0.iter().zip(&per_tier[0].0) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "scale n={n}");
+                }
+                for (x, y) in t.1.iter().zip(&per_tier[0].1) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "add_assign n={n}");
+                }
+                for (x, y) in t.2.iter().zip(&per_tier[0].2) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "hadamard n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dist2_batch_matches_per_point() {
+        for (n, dim) in [
+            (0usize, 2usize),
+            (1, 2),
+            (3, 3),
+            (4, 2),
+            (5, 3),
+            (9, 4),
+            (13, 1),
+        ] {
+            let pts = seq(n * dim, |i| (i as f64 * 0.13).sin() * 4.0);
+            let q = seq(dim, |i| i as f64 * 0.5 - 0.7);
+            for &t in available_tiers() {
+                with_tier(t, || {
+                    let mut out = vec![0.0; n];
+                    dist2_batch(&pts, dim, &q, &mut out);
+                    for (j, o) in out.iter().enumerate() {
+                        let e = dist2(&pts[j * dim..(j + 1) * dim], &q);
+                        let mag = e.abs().max(1.0);
+                        assert_close(*o, e, mag, &format!("dist2_batch {t:?} n={n} dim={dim}"));
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_matches_scalar_reference() {
+        // Tri-diagonal 9×9 plus an empty row and a dense-ish row.
+        let mut triplet_rows: Vec<Vec<(u32, f64)>> = (0..9)
+            .map(|r: usize| {
+                let mut row = vec![(r as u32, 2.0)];
+                if r > 0 {
+                    row.push((r as u32 - 1, -1.0));
+                }
+                if r < 8 {
+                    row.push((r as u32 + 1, -1.0));
+                }
+                row
+            })
+            .collect();
+        triplet_rows.push(Vec::new());
+        triplet_rows.push((0..9).map(|c| (c as u32, 0.1 * c as f64 - 0.3)).collect());
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for row in &triplet_rows {
+            for &(c, v) in row {
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let x = seq(9, |i| (i as f64 - 4.0) * 0.9);
+        let rows = triplet_rows.len();
+        let expect: Vec<f64> = triplet_rows
+            .iter()
+            .map(|row| row.iter().map(|&(c, v)| v * x[c as usize]).sum())
+            .collect();
+        for &t in available_tiers() {
+            with_tier(t, || {
+                let mut y = vec![0.0; rows];
+                spmv(&row_ptr, &col_idx, &values, &x, &mut y);
+                for (r, (got, want)) in y.iter().zip(&expect).enumerate() {
+                    let mag: f64 = triplet_rows[r]
+                        .iter()
+                        .map(|&(c, v)| (v * x[c as usize]).abs())
+                        .sum();
+                    assert_close(*got, *want, mag.max(1.0), &format!("spmv {t:?} row {r}"));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn transpose_matches_naive_bitwise_per_tier() {
+        for &(rows, cols) in &[
+            (0usize, 0usize),
+            (1, 1),
+            (3, 5),
+            (4, 4),
+            (5, 3),
+            (7, 9),
+            (16, 12),
+        ] {
+            let src = seq(rows * cols, |i| (i as f64 * 0.731).sin() * 1e3);
+            let mut want = vec![0.0; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    want[c * rows + r] = src[r * cols + c];
+                }
+            }
+            for &t in available_tiers() {
+                with_tier(t, || {
+                    let mut dst = vec![0.0; rows * cols];
+                    transpose(&src, rows, cols, &mut dst);
+                    for (got, exp) in dst.iter().zip(&want) {
+                        assert_eq!(
+                            got.to_bits(),
+                            exp.to_bits(),
+                            "transpose {t:?} {rows}x{cols}"
+                        );
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn adam_update_tiers_agree() {
+        for n in [1usize, 4, 7, 130] {
+            let g = seq(n, |i| (i as f64 * 0.21).sin());
+            let runs: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = available_tiers()
+                .iter()
+                .map(|&t| {
+                    with_tier(t, || {
+                        let mut p = seq(n, |i| i as f64 * 0.01);
+                        let mut m = seq(n, |i| (i as f64 * 0.1).cos() * 0.2);
+                        let mut v = seq(n, |i| 0.1 + i as f64 * 1e-3);
+                        adam_update(
+                            &mut p, &g, &mut m, &mut v, 0.9, 0.999, 0.1, 0.001, 1e-3, 1e-8,
+                        );
+                        (p, m, v)
+                    })
+                })
+                .collect();
+            for t in &runs[1..] {
+                let streams: [(&[f64], &[f64], &str); 3] = [
+                    (&t.0, &runs[0].0, "p"),
+                    (&t.1, &runs[0].1, "m"),
+                    (&t.2, &runs[0].2, "v"),
+                ];
+                for (got, want, what) in streams {
+                    for (x, y) in got.iter().zip(want) {
+                        assert_close(*x, *y, y.abs().max(1.0), &format!("adam {what} n={n}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn act_kernels_match_reference_formulas() {
+        for n in [0usize, 1, 3, 4, 5, 21] {
+            let s1 = seq(n, |i| 0.5 + (i as f64 * 0.3).cos() * 0.4);
+            let s2 = seq(n, |i| (i as f64 * 0.7).sin() * 0.3);
+            let s3 = seq(n, |i| (i as f64 * 0.11).cos() * 0.2);
+            let zj = seq(n, |i| i as f64 * 0.05 - 0.4);
+            let zh = seq(n, |i| (i as f64 * 0.9).sin());
+            let gj = seq(n, |i| 1.0 - i as f64 * 0.02);
+            let gh = seq(n, |i| (i as f64).cos() * 0.6);
+            for &t in available_tiers() {
+                with_tier(t, || {
+                    let mut jo = vec![0.0; n];
+                    let mut ho = vec![0.0; n];
+                    act_fwd_jh(&s1, &s2, &zj, &zh, &mut jo, &mut ho);
+                    let mut gz = seq(n, |i| i as f64 * 0.01);
+                    let gz0 = gz.clone();
+                    let mut gzj = vec![0.0; n];
+                    let mut gzh = vec![0.0; n];
+                    act_bwd_accum(
+                        &s1, &s2, &s3, &zj, &zh, &gj, &gh, &mut gz, &mut gzj, &mut gzh,
+                    );
+                    for i in 0..n {
+                        let ej = s1[i] * zj[i];
+                        let eh = s2[i] * zj[i] * zj[i] + s1[i] * zh[i];
+                        assert_close(jo[i], ej, ej.abs().max(1.0), "act j");
+                        assert_close(ho[i], eh, eh.abs().max(1.0), "act h");
+                        let eg = gz0[i]
+                            + gj[i] * s2[i] * zj[i]
+                            + gh[i] * (s3[i] * zj[i] * zj[i] + s2[i] * zh[i]);
+                        assert_close(gz[i], eg, eg.abs().max(1.0), "act gz");
+                        let egzj = gj[i] * s1[i] + gh[i] * 2.0 * s2[i] * zj[i];
+                        assert_close(gzj[i], egzj, egzj.abs().max(1.0), "act gzj");
+                        let egzh = gh[i] * s1[i];
+                        assert_close(gzh[i], egzh, egzh.abs().max(1.0), "act gzh");
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn subnormal_and_signed_zero_inputs() {
+        let a = [5e-324, -5e-324, 0.0, -0.0, 1e-300, -1e-300, 2.5];
+        let b = [1.0, 1.0, -0.0, 0.0, 1e150, 1e-20, -2.0];
+        for &t in available_tiers() {
+            with_tier(t, || {
+                let d = dot(&a, &b);
+                assert!(d.is_finite(), "{t:?} dot non-finite: {d}");
+                let r = dist2(&a, &b);
+                assert!(r.is_finite() && r >= 0.0, "{t:?} dist2: {r}");
+                let mut y = a.to_vec();
+                axpy(1.0, &b, &mut y);
+                assert!(y.iter().all(|v| v.is_finite()));
+            });
+        }
+    }
+}

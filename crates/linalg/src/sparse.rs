@@ -124,20 +124,15 @@ impl Csr {
             .map_or(0.0, |(_, v)| v)
     }
 
-    /// SpMV: `y = A x`.
+    /// SpMV: `y = A x` (SIMD-dispatched: the AVX2 tier gathers four `x`
+    /// entries per step; see `crate::simd::spmv`).
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "spmv x dim");
         assert_eq!(y.len(), self.rows, "spmv y dim");
-        for (r, yr) in y.iter_mut().enumerate() {
-            let mut s = 0.0;
-            for p in self.row_ptr[r]..self.row_ptr[r + 1] {
-                s += self.values[p] * x[self.col_idx[p] as usize];
-            }
-            *yr = s;
-        }
+        crate::simd::spmv(&self.row_ptr, &self.col_idx, &self.values, x, y);
     }
 
     /// Allocating SpMV convenience.

@@ -47,6 +47,37 @@ pub fn eval3(act: Activation, z: f64) -> (f64, f64, f64, f64) {
     }
 }
 
+/// Batched [`eval3`]: fills `s..s3` with `(σ, σ', σ'', σ''')` for every
+/// `z`. Deliberately a plain scalar loop in every SIMD tier — the
+/// transcendentals are libm calls, so keeping them scalar makes
+/// activation values bit-identical across `SGM_SIMD` tiers; the
+/// vectorised win is in the derivative-combination kernels downstream
+/// (`sgm_linalg::simd::act_fwd_jh` / `act_bwd_accum`).
+///
+/// # Panics
+/// Panics if output slices differ in length from `z`.
+pub fn eval3_batch(
+    act: Activation,
+    z: &[f64],
+    s: &mut [f64],
+    s1: &mut [f64],
+    s2: &mut [f64],
+    s3: &mut [f64],
+) {
+    let n = z.len();
+    assert!(
+        s.len() == n && s1.len() == n && s2.len() == n && s3.len() == n,
+        "eval3_batch length mismatch"
+    );
+    for i in 0..n {
+        let (a, b, c, d) = eval3(act, z[i]);
+        s[i] = a;
+        s1[i] = b;
+        s2[i] = c;
+        s3[i] = d;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,9 +7,10 @@
 //! `enc → (Linear(w) ∘ σ)^L → Linear(out)`, where `enc` is either the
 //! identity or a frozen Fourier-feature encoding (the paper's `φ_E`).
 
-use crate::activation::{eval3, Activation};
+use crate::activation::{eval3, eval3_batch, Activation};
 use sgm_linalg::dense::{gemm, Matrix};
 use sgm_linalg::rng::Rng64;
+use sgm_linalg::simd;
 
 /// Minimum batch rows per parallel chunk. The chunk layout is a function
 /// of the batch size only (never the thread count), so per-chunk gradient
@@ -153,6 +154,12 @@ struct LayerCache {
     z: Matrix,
     zj: Vec<Matrix>,
     zh: Vec<Matrix>,
+    /// σ', σ'', σ''' at `z`, kept from the forward pass so the backward
+    /// pass never re-evaluates the activation's transcendentals (empty
+    /// for the non-activated last layer).
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+    s3: Vec<f64>,
     activated: bool,
 }
 
@@ -394,6 +401,22 @@ impl Mlp {
         }
     }
 
+    /// Visits every trainable parameter *slice* (each layer's weight
+    /// matrix, then its bias) with the slice's offset into the flat
+    /// parameter vector — same stable order as [`Mlp::for_each_param_mut`],
+    /// but amenable to SIMD kernels over whole slices.
+    pub fn for_each_param_slice_mut(&mut self, mut f: impl FnMut(usize, &mut [f64])) {
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let w = layer.w.as_mut_slice();
+            let nw = w.len();
+            f(off, w);
+            off += nw;
+            f(off, &mut layer.b);
+            off += layer.b.len();
+        }
+    }
+
     /// Snapshot of all parameters (checkpointing).
     pub fn params(&self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.num_params());
@@ -501,9 +524,9 @@ impl Mlp {
             gemm(1.0, &a, &wt, 0.0, &mut z);
             for r in 0..z.rows() {
                 let row = z.row_mut(r);
-                for (c, v) in row.iter_mut().enumerate() {
-                    *v += layer.b[c];
-                    if li != last {
+                simd::add_assign(row, &layer.b);
+                if li != last {
+                    for v in row.iter_mut() {
                         *v = eval3(self.cfg.activation, *v).0;
                     }
                 }
@@ -561,10 +584,7 @@ impl Mlp {
             let mut z = Matrix::zeros(batch, out_w);
             gemm(1.0, &a, &wt, 0.0, &mut z);
             for r in 0..batch {
-                let row = z.row_mut(r);
-                for (c, v) in row.iter_mut().enumerate() {
-                    *v += layer.b[c];
-                }
+                simd::add_assign(z.row_mut(r), &layer.b);
             }
             let mut zj = Vec::with_capacity(nd);
             let mut zh = Vec::with_capacity(nd);
@@ -577,23 +597,46 @@ impl Mlp {
                 zh.push(m);
             }
             // Activation.
-            let (a_out, j_out, h_out) = if activated {
+            let (a_out, j_out, h_out, s1, s2, s3) = if activated {
                 let mut a_out = Matrix::zeros(batch, out_w);
                 let mut j_out = vec![Matrix::zeros(batch, out_w); nd];
                 let mut h_out = vec![Matrix::zeros(batch, out_w); nd];
-                for i in 0..batch * out_w {
-                    let (s, s1, s2, _s3) = eval3(self.cfg.activation, z.as_slice()[i]);
-                    a_out.as_mut_slice()[i] = s;
-                    for d in 0..nd {
-                        let zjv = zj[d].as_slice()[i];
-                        let zhv = zh[d].as_slice()[i];
-                        j_out[d].as_mut_slice()[i] = s1 * zjv;
-                        h_out[d].as_mut_slice()[i] = s2 * zjv * zjv + s1 * zhv;
-                    }
+                let nel = batch * out_w;
+                // σ values land straight in a_out; derivative combines go
+                // through the SIMD kernels. σ'..σ''' move into the layer
+                // cache so backward reuses them instead of re-running the
+                // transcendentals.
+                let mut s1 = vec![0.0; nel];
+                let mut s2 = vec![0.0; nel];
+                let mut s3 = vec![0.0; nel];
+                eval3_batch(
+                    self.cfg.activation,
+                    z.as_slice(),
+                    a_out.as_mut_slice(),
+                    &mut s1,
+                    &mut s2,
+                    &mut s3,
+                );
+                for d in 0..nd {
+                    simd::act_fwd_jh(
+                        &s1,
+                        &s2,
+                        zj[d].as_slice(),
+                        zh[d].as_slice(),
+                        j_out[d].as_mut_slice(),
+                        h_out[d].as_mut_slice(),
+                    );
                 }
-                (a_out, j_out, h_out)
+                (a_out, j_out, h_out, s1, s2, s3)
             } else {
-                (z.clone(), zj.clone(), zh.clone())
+                (
+                    z.clone(),
+                    zj.clone(),
+                    zh.clone(),
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                )
             };
             caches.push(LayerCache {
                 a_in: a,
@@ -602,6 +645,9 @@ impl Mlp {
                 z,
                 zj,
                 zh,
+                s1,
+                s2,
+                s3,
                 activated,
             });
             a = a_out;
@@ -692,19 +738,23 @@ impl Mlp {
                 let mut gz = Matrix::zeros(batch, out_w);
                 let mut gzj = vec![Matrix::zeros(batch, out_w); nd];
                 let mut gzh = vec![Matrix::zeros(batch, out_w); nd];
-                for i in 0..batch * out_w {
-                    let (_s, s1, s2, s3) = eval3(self.cfg.activation, lc.z.as_slice()[i]);
-                    let mut g = ga.as_slice()[i] * s1;
-                    for d in 0..nd {
-                        let zjv = lc.zj[d].as_slice()[i];
-                        let zhv = lc.zh[d].as_slice()[i];
-                        let gjv = gj[d].as_slice()[i];
-                        let ghv = gh[d].as_slice()[i];
-                        g += gjv * s2 * zjv + ghv * (s3 * zjv * zjv + s2 * zhv);
-                        gzj[d].as_mut_slice()[i] = gjv * s1 + ghv * 2.0 * s2 * zjv;
-                        gzh[d].as_mut_slice()[i] = ghv * s1;
-                    }
-                    gz.as_mut_slice()[i] = g;
+                // gz = ga ⊙ σ', then each derivative dimension accumulates
+                // its adjoint contribution in ascending-d order. σ'..σ'''
+                // come straight from the forward-pass cache.
+                simd::hadamard(ga.as_slice(), &lc.s1, gz.as_mut_slice());
+                for d in 0..nd {
+                    simd::act_bwd_accum(
+                        &lc.s1,
+                        &lc.s2,
+                        &lc.s3,
+                        lc.zj[d].as_slice(),
+                        lc.zh[d].as_slice(),
+                        gj[d].as_slice(),
+                        gh[d].as_slice(),
+                        gz.as_mut_slice(),
+                        gzj[d].as_mut_slice(),
+                        gzh[d].as_mut_slice(),
+                    );
                 }
                 (gz, gzj, gzh)
             } else {
@@ -720,11 +770,10 @@ impl Mlp {
                 let t = gzh[d].transposed();
                 gemm(1.0, &t, &lc.h_in[d], 1.0, &mut grads.w[li]);
             }
-            // gb += column sums of gz (bias enters only the value path).
+            // gb += column sums of gz (bias enters only the value path),
+            // row-by-row in ascending order.
             for r in 0..batch {
-                for (c, gbc) in grads.b[li].iter_mut().enumerate() {
-                    *gbc += gz.get(r, c);
-                }
+                simd::add_assign(&mut grads.b[li], gz.row(r));
             }
             if li == 0 {
                 break; // inputs are not trainable
@@ -799,6 +848,11 @@ struct LayerWs {
     z: Matrix,
     zj: Vec<Matrix>,
     zh: Vec<Matrix>,
+    /// σ', σ'', σ''' at `z`, filled by the forward pass and reused by the
+    /// backward pass (empty for the non-activated last layer).
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+    s3: Vec<f64>,
     /// Backward carry: gradient w.r.t. this layer's *output*.
     gout: Matrix,
     goutj: Vec<Matrix>,
@@ -887,6 +941,11 @@ impl Mlp {
                     .map(|(li, layer)| {
                         let in_w = layer.w.cols();
                         let out_w = layer.w.rows();
+                        let act_len = if li != self.layers.len() - 1 {
+                            chunk * out_w
+                        } else {
+                            0
+                        };
                         LayerWs {
                             a_in: Matrix::zeros(chunk, in_w),
                             j_in: vec![Matrix::zeros(chunk, in_w); nd],
@@ -894,6 +953,9 @@ impl Mlp {
                             z: Matrix::zeros(chunk, out_w),
                             zj: vec![Matrix::zeros(chunk, out_w); nd],
                             zh: vec![Matrix::zeros(chunk, out_w); nd],
+                            s1: vec![0.0; act_len],
+                            s2: vec![0.0; act_len],
+                            s3: vec![0.0; act_len],
                             gout: Matrix::zeros(chunk, out_w),
                             goutj: vec![Matrix::zeros(chunk, out_w); nd],
                             gouth: vec![Matrix::zeros(chunk, out_w); nd],
@@ -1019,27 +1081,35 @@ impl Mlp {
             let (cur, rest) = lws[li..].split_first_mut().expect("layer buffers");
             gemm(1.0, &cur.a_in, &wt[li], 0.0, &mut cur.z);
             for r in 0..batch {
-                let row = cur.z.row_mut(r);
-                for (c, v) in row.iter_mut().enumerate() {
-                    *v += layer.b[c];
-                }
+                simd::add_assign(cur.z.row_mut(r), &layer.b);
             }
             for d in 0..nd {
                 gemm(1.0, &cur.j_in[d], &wt[li], 0.0, &mut cur.zj[d]);
                 gemm(1.0, &cur.h_in[d], &wt[li], 0.0, &mut cur.zh[d]);
             }
-            let out_w = layer.w.rows();
             if li != last {
                 let nxt = &mut rest[0];
-                for i in 0..batch * out_w {
-                    let (s, s1, s2, _s3) = eval3(self.cfg.activation, cur.z.as_slice()[i]);
-                    nxt.a_in.as_mut_slice()[i] = s;
-                    for d in 0..nd {
-                        let zjv = cur.zj[d].as_slice()[i];
-                        let zhv = cur.zh[d].as_slice()[i];
-                        nxt.j_in[d].as_mut_slice()[i] = s1 * zjv;
-                        nxt.h_in[d].as_mut_slice()[i] = s2 * zjv * zjv + s1 * zhv;
-                    }
+                // σ straight into the next layer's input; σ'..σ''' into
+                // the per-layer cache so backward reuses them. Derivative
+                // combines go through the SIMD kernels (mirrors the
+                // allocating path operation for operation).
+                eval3_batch(
+                    self.cfg.activation,
+                    cur.z.as_slice(),
+                    nxt.a_in.as_mut_slice(),
+                    &mut cur.s1,
+                    &mut cur.s2,
+                    &mut cur.s3,
+                );
+                for d in 0..nd {
+                    simd::act_fwd_jh(
+                        &cur.s1,
+                        &cur.s2,
+                        cur.zj[d].as_slice(),
+                        cur.zh[d].as_slice(),
+                        nxt.j_in[d].as_mut_slice(),
+                        nxt.h_in[d].as_mut_slice(),
+                    );
                 }
             } else {
                 out_v.copy_from(&cur.z);
@@ -1127,22 +1197,23 @@ impl Mlp {
         for (li, layer) in self.layers.iter().enumerate().rev() {
             let (below, from_li) = lws.split_at_mut(li);
             let l = &mut from_li[0];
-            let out_w = layer.w.rows();
-            // Activation adjoints → pre-activation adjoints.
+            // Activation adjoints → pre-activation adjoints. σ'..σ''' come
+            // straight from the forward-pass cache.
             if l.activated {
-                for i in 0..batch * out_w {
-                    let (_s, s1, s2, s3) = eval3(self.cfg.activation, l.z.as_slice()[i]);
-                    let mut g = l.gout.as_slice()[i] * s1;
-                    for d in 0..nd {
-                        let zjv = l.zj[d].as_slice()[i];
-                        let zhv = l.zh[d].as_slice()[i];
-                        let gjv = l.goutj[d].as_slice()[i];
-                        let ghv = l.gouth[d].as_slice()[i];
-                        g += gjv * s2 * zjv + ghv * (s3 * zjv * zjv + s2 * zhv);
-                        l.gzj[d].as_mut_slice()[i] = gjv * s1 + ghv * 2.0 * s2 * zjv;
-                        l.gzh[d].as_mut_slice()[i] = ghv * s1;
-                    }
-                    l.gz.as_mut_slice()[i] = g;
+                simd::hadamard(l.gout.as_slice(), &l.s1, l.gz.as_mut_slice());
+                for d in 0..nd {
+                    simd::act_bwd_accum(
+                        &l.s1,
+                        &l.s2,
+                        &l.s3,
+                        l.zj[d].as_slice(),
+                        l.zh[d].as_slice(),
+                        l.goutj[d].as_slice(),
+                        l.gouth[d].as_slice(),
+                        l.gz.as_mut_slice(),
+                        l.gzj[d].as_mut_slice(),
+                        l.gzh[d].as_mut_slice(),
+                    );
                 }
             } else {
                 l.gz.copy_from(&l.gout);
@@ -1160,11 +1231,10 @@ impl Mlp {
                 l.gzh[d].transpose_into(&mut l.gt);
                 gemm(1.0, &l.gt, &l.h_in[d], 1.0, &mut grads.w[li]);
             }
-            // gb += column sums of gz (bias enters only the value path).
+            // gb += column sums of gz (bias enters only the value path),
+            // row-by-row in ascending order.
             for r in 0..batch {
-                for (c, gbc) in grads.b[li].iter_mut().enumerate() {
-                    *gbc += l.gz.get(r, c);
-                }
+                simd::add_assign(&mut grads.b[li], l.gz.row(r));
             }
             if li == 0 {
                 break; // inputs are not trainable
@@ -1434,41 +1504,45 @@ mod tests {
     #[test]
     fn parallel_paths_bit_identical() {
         use sgm_par::Parallelism;
-        for fourier in [false, true] {
-            let net = tiny_net(11, fourier);
-            let mut rng = Rng64::new(42);
-            let x = Matrix::gaussian(70, 2, &mut rng);
-            let run = |p: Parallelism| {
-                sgm_par::with_parallelism(p, || {
-                    let v = net.forward(&x);
-                    let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
-                    let adj = composite_adjoints(&full);
-                    let g = net.backward(&cache, &adj).flat();
-                    (v, full, g)
-                })
-            };
-            let (v0, f0, g0) = run(Parallelism::Serial);
-            for p in [
-                Parallelism::Threads(1),
-                Parallelism::Threads(2),
-                Parallelism::Threads(8),
-            ] {
-                let (v, f, g) = run(p);
-                for (a, b) in v0.as_slice().iter().zip(v.as_slice()) {
-                    assert_eq!(a.to_bits(), b.to_bits(), "{p:?} values");
-                }
-                for d in 0..2 {
-                    for (a, b) in f0.jac[d].as_slice().iter().zip(f.jac[d].as_slice()) {
-                        assert_eq!(a.to_bits(), b.to_bits(), "{p:?} jac[{d}]");
+        for &tier in sgm_linalg::simd::available_tiers() {
+            sgm_linalg::simd::with_tier(tier, || {
+                for fourier in [false, true] {
+                    let net = tiny_net(11, fourier);
+                    let mut rng = Rng64::new(42);
+                    let x = Matrix::gaussian(70, 2, &mut rng);
+                    let run = |p: Parallelism| {
+                        sgm_par::with_parallelism(p, || {
+                            let v = net.forward(&x);
+                            let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
+                            let adj = composite_adjoints(&full);
+                            let g = net.backward(&cache, &adj).flat();
+                            (v, full, g)
+                        })
+                    };
+                    let (v0, f0, g0) = run(Parallelism::Serial);
+                    for p in [
+                        Parallelism::Threads(1),
+                        Parallelism::Threads(2),
+                        Parallelism::Threads(8),
+                    ] {
+                        let (v, f, g) = run(p);
+                        for (a, b) in v0.as_slice().iter().zip(v.as_slice()) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "{tier:?} {p:?} values");
+                        }
+                        for d in 0..2 {
+                            for (a, b) in f0.jac[d].as_slice().iter().zip(f.jac[d].as_slice()) {
+                                assert_eq!(a.to_bits(), b.to_bits(), "{tier:?} {p:?} jac[{d}]");
+                            }
+                            for (a, b) in f0.hess[d].as_slice().iter().zip(f.hess[d].as_slice()) {
+                                assert_eq!(a.to_bits(), b.to_bits(), "{tier:?} {p:?} hess[{d}]");
+                            }
+                        }
+                        for (i, (a, b)) in g0.iter().zip(&g).enumerate() {
+                            assert_eq!(a.to_bits(), b.to_bits(), "{tier:?} {p:?} grad[{i}]");
+                        }
                     }
-                    for (a, b) in f0.hess[d].as_slice().iter().zip(f.hess[d].as_slice()) {
-                        assert_eq!(a.to_bits(), b.to_bits(), "{p:?} hess[{d}]");
-                    }
                 }
-                for (i, (a, b)) in g0.iter().zip(&g).enumerate() {
-                    assert_eq!(a.to_bits(), b.to_bits(), "{p:?} grad[{i}]");
-                }
-            }
+            });
         }
     }
 
@@ -1478,6 +1552,12 @@ mod tests {
     /// reuse of the same workspace.
     #[test]
     fn workspace_path_matches_allocating_path() {
+        for &tier in sgm_linalg::simd::available_tiers() {
+            sgm_linalg::simd::with_tier(tier, workspace_vs_allocating_body);
+        }
+    }
+
+    fn workspace_vs_allocating_body() {
         use sgm_par::Parallelism;
         for fourier in [false, true] {
             let net = tiny_net(17, fourier);

@@ -114,29 +114,37 @@ impl Adam {
         self.v.copy_from_slice(v);
     }
 
-    /// Applies one Adam update in place.
+    /// Applies one Adam update in place, via the fused SIMD-dispatched
+    /// slice kernel (`sgm_linalg::simd::adam_update`) over each
+    /// parameter slice in the stable flat order.
     ///
     /// # Panics
     /// Panics if the gradient does not match the network's parameter count.
     pub fn step(&mut self, net: &mut Mlp, grads: &Gradients) {
         assert_eq!(grads.num_entries(), self.m.len(), "gradient size mismatch");
         grads.write_flat(&mut self.scratch);
-        let g = &self.scratch;
         self.t += 1;
         let lr = self.current_lr();
         let b1 = self.cfg.beta1;
         let b2 = self.cfg.beta2;
         let bc1 = 1.0 - b1.powi(self.t as i32);
         let bc2 = 1.0 - b2.powi(self.t as i32);
-        let m = &mut self.m;
-        let v = &mut self.v;
         let eps = self.cfg.eps;
-        net.for_each_param_mut(|i, p| {
-            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
-            let mh = m[i] / bc1;
-            let vh = v[i] / bc2;
-            *p -= lr * mh / (vh.sqrt() + eps);
+        let (m, v, g) = (&mut self.m, &mut self.v, &self.scratch);
+        net.for_each_param_slice_mut(|off, p| {
+            let end = off + p.len();
+            sgm_linalg::simd::adam_update(
+                p,
+                &g[off..end],
+                &mut m[off..end],
+                &mut v[off..end],
+                b1,
+                b2,
+                bc1,
+                bc2,
+                lr,
+                eps,
+            );
         });
     }
 }

@@ -1,0 +1,431 @@
+//! Kernel-oracle sweeps for the `sgm_linalg::simd` dispatch tiers.
+//!
+//! Every SIMD kernel is audited two ways, per the ISSUE-4 contract:
+//!
+//! 1. **Oracle agreement** — against an *independent* naive computation
+//!    (`gemm_reference`, plain summation loops, triplet SpMV) that shares
+//!    no code with the production kernels. The scalar tier must match the
+//!    sequential oracles bit-for-bit where the kernel preserves the naive
+//!    association (GEMM, SpMV row sums, all elementwise kernels); strided
+//!    reductions (dot/dist2) match within the FMA-free reassociation
+//!    bound.
+//! 2. **Cross-tier divergence** — scalar vs AVX2 results differ only by
+//!    FMA contraction rounding, bounded by `1e-12` *relative to the
+//!    term-magnitude sum* (the cancellation-safe yardstick: a plain
+//!    relative bound is unattainable when adversarial mixed-sign inputs
+//!    cancel catastrophically, yet the absolute FMA error still scales
+//!    with the term magnitudes, not the result).
+//!
+//! Sizes sweep the adversarial lane boundaries (0, 1, lane−1, lane,
+//! lane+1, large odd); values sweep subnormals, signed zeros and wildly
+//! mixed signs/magnitudes via the shared generator below.
+
+use sgm_linalg::dense::{gemm, gemm_reference, Matrix};
+use sgm_linalg::rng::Rng64;
+use sgm_linalg::simd::{self, SimdTier};
+use sgm_linalg::Csr;
+use sgm_testkit::sweep::Sweep;
+
+/// Adversarial lengths around the 4-lane boundary plus a large odd size.
+const SIZES: &[usize] = &[0, 1, 3, 4, 5, 8, 13, 1023];
+
+/// Draws one adversarial f64: mixed signs, huge/tiny magnitudes,
+/// subnormals and signed zeros all appear.
+fn adversarial(rng: &mut Rng64) -> f64 {
+    match rng.next_u64() % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f64::MIN_POSITIVE / 2.0,  // subnormal
+        3 => -f64::MIN_POSITIVE / 4.0, // subnormal
+        4 => rng.gaussian() * 1e100,
+        5 => rng.gaussian() * 1e-100,
+        _ => rng.gaussian(),
+    }
+}
+
+fn adv_vec(rng: &mut Rng64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| adversarial(rng)).collect()
+}
+
+/// Shrinker: halve the vectors (pairwise, keeping them same-length).
+fn shrink_pair(case: &(Vec<f64>, Vec<f64>)) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let n = case.0.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let h = n / 2;
+    vec![
+        (case.0[..h].to_vec(), case.1[..h].to_vec()),
+        (case.0[h..].to_vec(), case.1[h..].to_vec()),
+    ]
+}
+
+/// `|got - want| ≤ 1e-12 · (mag + tiny)` with `mag` the term-magnitude
+/// sum of the reduction — the cancellation-safe divergence bound.
+fn close(got: f64, want: f64, mag: f64) -> Result<(), String> {
+    // Exact-match fast path also covers inf/nan agreement on overflow.
+    if got.to_bits() == want.to_bits() || (got - want).abs() <= 1e-12 * (mag + 1e-300) {
+        Ok(())
+    } else {
+        Err(format!("{got} vs {want} (mag {mag})"))
+    }
+}
+
+#[test]
+fn dot_matches_oracle_and_tiers_agree() {
+    let mut size_i = 0;
+    Sweep::new(0xD07, 64).run(
+        |rng| {
+            let n = SIZES[size_i % SIZES.len()];
+            size_i += 1;
+            (adv_vec(rng, n), adv_vec(rng, n))
+        },
+        shrink_pair,
+        |(a, b)| {
+            // Independent oracle: sequential Kahan-free naive sum.
+            let want: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let mag: f64 = a.iter().zip(b).map(|(x, y)| (x * y).abs()).sum();
+            let mut per_tier = Vec::new();
+            for &t in simd::available_tiers() {
+                let got = simd::with_tier(t, || simd::dot(a, b));
+                close(got, want, mag).map_err(|e| format!("{t:?} vs oracle: {e}"))?;
+                per_tier.push((t, got));
+            }
+            for (t, got) in &per_tier[1..] {
+                close(*got, per_tier[0].1, mag).map_err(|e| format!("{t:?} vs scalar: {e}"))?;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn axpy_matches_oracle_bitwise_per_tier() {
+    let mut size_i = 0;
+    Sweep::new(0xA9, 64).run(
+        |rng| {
+            let n = SIZES[size_i % SIZES.len()];
+            size_i += 1;
+            (adv_vec(rng, n), adv_vec(rng, n + 1)) // last elem of .1 is alpha
+        },
+        |case| {
+            if case.0.is_empty() {
+                return Vec::new();
+            }
+            let h = case.0.len() / 2;
+            vec![(
+                case.0[..h].to_vec(),
+                case.1[..h].iter().chain(case.1.last()).copied().collect(),
+            )]
+        },
+        |(x, y_alpha)| {
+            let (alpha, y0) = (*y_alpha.last().unwrap(), &y_alpha[..x.len()]);
+            // axpy is elementwise: each tier must match the naive update
+            // bit-for-bit except for the AVX2 FMA contraction, which we
+            // check element-relative.
+            for &t in simd::available_tiers() {
+                let mut y = y0.to_vec();
+                simd::with_tier(t, || simd::axpy(alpha, x, &mut y));
+                for i in 0..x.len() {
+                    let want = y0[i] + alpha * x[i];
+                    let mag = y0[i].abs() + (alpha * x[i]).abs();
+                    if t == SimdTier::Scalar && y[i].to_bits() != want.to_bits() {
+                        return Err(format!("scalar axpy[{i}]: {} vs {want}", y[i]));
+                    }
+                    close(y[i], want, mag).map_err(|e| format!("{t:?} axpy[{i}]: {e}"))?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn dist2_and_batch_match_naive_knn_oracle() {
+    let dims = [1usize, 2, 3, 4, 7];
+    let mut case_i = 0;
+    Sweep::new(0xD15, 48).run(
+        |rng| {
+            let dim = dims[case_i % dims.len()];
+            let n = SIZES[case_i % SIZES.len()];
+            case_i += 1;
+            (adv_vec(rng, n * dim), adv_vec(rng, dim))
+        },
+        |_| Vec::new(),
+        |(points, q)| {
+            let dim = q.len();
+            let n = points.len() / dim;
+            // Independent oracle: the naive kNN distance loop.
+            let naive = |p: &[f64]| -> f64 {
+                let mut s = 0.0;
+                for k in 0..dim {
+                    let d = p[k] - q[k];
+                    s += d * d;
+                }
+                s
+            };
+            for &t in simd::available_tiers() {
+                let mut out = vec![0.0; n];
+                simd::with_tier(t, || simd::dist2_batch(points, dim, q, &mut out));
+                for j in 0..n {
+                    let p = &points[j * dim..(j + 1) * dim];
+                    let want = naive(p);
+                    let mag: f64 = p
+                        .iter()
+                        .zip(q)
+                        .map(|(a, b)| {
+                            let d = a - b;
+                            d * d
+                        })
+                        .sum();
+                    close(out[j], want, mag).map_err(|e| format!("{t:?} batch[{j}]: {e}"))?;
+                    let single = simd::with_tier(t, || simd::dist2(p, q));
+                    close(single, want, mag).map_err(|e| format!("{t:?} dist2[{j}]: {e}"))?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn spmv_matches_triplet_oracle_per_tier() {
+    let mut case_i = 0;
+    Sweep::new(0x59, 32).run(
+        |rng| {
+            let rows = [1usize, 2, 5, 9, 33][case_i % 5];
+            let cols = [1usize, 3, 4, 8, 65][case_i % 5];
+            case_i += 1;
+            // Random sparsity incl. empty rows and rows of every lane-tail length.
+            let mut triplets = Vec::new();
+            for r in 0..rows {
+                let nnz = (rng.next_u64() % 7) as usize; // 0..=6 per row
+                for _ in 0..nnz {
+                    let c = (rng.next_u64() % cols as u64) as usize;
+                    triplets.push((r, c, adversarial(rng)));
+                }
+            }
+            let x = adv_vec(rng, cols);
+            (rows, cols, triplets, x)
+        },
+        |_| Vec::new(),
+        |(rows, cols, triplets, x)| {
+            let a = Csr::from_triplets(*rows, *cols, triplets);
+            // Independent oracle: dense accumulation from the triplets
+            // (duplicates sum, in insertion order per (r,c) — matches
+            // from_triplets' coalescing), evaluated with a naive loop.
+            let mut dense = vec![0.0; rows * cols];
+            for &(r, c, v) in triplets {
+                dense[r * cols + c] += v;
+            }
+            let want: Vec<f64> = (0..*rows)
+                .map(|r| {
+                    let mut s = 0.0;
+                    for c in 0..*cols {
+                        s += dense[r * cols + c] * x[c];
+                    }
+                    s
+                })
+                .collect();
+            for &t in simd::available_tiers() {
+                let mut y = vec![0.0; *rows];
+                simd::with_tier(t, || a.mul_vec(x, &mut y));
+                for r in 0..*rows {
+                    let mag: f64 = (0..*cols).map(|c| (dense[r * cols + c] * x[c]).abs()).sum();
+                    close(y[r], want[r], mag).map_err(|e| format!("{t:?} row {r}: {e}"))?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn gemm_matches_reference_oracle_per_tier() {
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (2, 3, 1),
+        (3, 4, 4),
+        (5, 5, 5),
+        (17, 9, 33),
+        (31, 64, 7),
+    ];
+    let mut case_i = 0;
+    Sweep::new(0x6E, 24).run(
+        |rng| {
+            let (m, k, n) = shapes[case_i % shapes.len()];
+            case_i += 1;
+            (
+                m,
+                k,
+                n,
+                adv_vec(rng, m * k),
+                adv_vec(rng, k * n),
+                adv_vec(rng, m * n),
+            )
+        },
+        |_| Vec::new(),
+        |(m, k, n, av, bv, cv)| {
+            let a = Matrix::from_vec(*m, *k, av.clone());
+            let b = Matrix::from_vec(*k, *n, bv.clone());
+            let c0 = Matrix::from_vec(*m, *n, cv.clone());
+            let mut want = c0.clone();
+            gemm_reference(0.9, &a, &b, -0.4, &mut want);
+            for &t in simd::available_tiers() {
+                let mut c = c0.clone();
+                simd::with_tier(t, || gemm(0.9, &a, &b, -0.4, &mut c));
+                for i in 0..*m {
+                    for j in 0..*n {
+                        let got = c.get(i, j);
+                        let w = want.get(i, j);
+                        if t == SimdTier::Scalar {
+                            // Documented invariant: the scalar tier is
+                            // bit-equal to the naive reference kernel.
+                            if got.to_bits() != w.to_bits() {
+                                return Err(format!("scalar gemm[{i},{j}]: {got} vs {w}"));
+                            }
+                        } else {
+                            let mag: f64 = (0..*k)
+                                .map(|p| (0.9 * a.get(i, p) * b.get(p, j)).abs())
+                                .sum::<f64>()
+                                + (0.4 * c0.get(i, j)).abs();
+                            close(got, w, mag).map_err(|e| format!("{t:?} gemm[{i},{j}]: {e}"))?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn adam_update_matches_naive_oracle_per_tier() {
+    let mut size_i = 0;
+    Sweep::new(0xADA, 40).run(
+        |rng| {
+            let n = SIZES[size_i % SIZES.len()];
+            size_i += 1;
+            (
+                adv_vec(rng, n),
+                (0..n).map(|_| rng.gaussian()).collect::<Vec<f64>>(),
+                (0..n).map(|_| rng.gaussian() * 0.1).collect::<Vec<f64>>(),
+                (0..n)
+                    .map(|_| rng.gaussian().abs() * 0.01)
+                    .collect::<Vec<f64>>(),
+            )
+        },
+        |_| Vec::new(),
+        |(g, p0, m0, v0)| {
+            let n = g.len();
+            let (b1, b2, bc1, bc2, lr, eps) = (0.9, 0.999, 0.271, 0.0297, 1e-3, 1e-8);
+            // Independent oracle: the pre-SIMD per-element update.
+            let mut pw = p0.clone();
+            let mut mw = m0.clone();
+            let mut vw = v0.clone();
+            for i in 0..n {
+                mw[i] = b1 * mw[i] + (1.0 - b1) * g[i];
+                vw[i] = b2 * vw[i] + (1.0 - b2) * g[i] * g[i];
+                let mh = mw[i] / bc1;
+                let vh = vw[i] / bc2;
+                pw[i] -= lr * mh / (vh.sqrt() + eps);
+            }
+            for &t in simd::available_tiers() {
+                let (mut p, mut m, mut v) = (p0.clone(), m0.clone(), v0.clone());
+                simd::with_tier(t, || {
+                    simd::adam_update(&mut p, g, &mut m, &mut v, b1, b2, bc1, bc2, lr, eps)
+                });
+                for i in 0..n {
+                    close(m[i], mw[i], mw[i].abs().max(g[i].abs()))
+                        .map_err(|e| format!("{t:?} m[{i}]: {e}"))?;
+                    close(v[i], vw[i], vw[i].abs().max(g[i] * g[i]))
+                        .map_err(|e| format!("{t:?} v[{i}]: {e}"))?;
+                    close(p[i], pw[i], pw[i].abs().max(1.0))
+                        .map_err(|e| format!("{t:?} p[{i}]: {e}"))?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn transpose_matches_naive_oracle_bitwise_per_tier() {
+    // Pure data movement: every tier must match the naive double loop
+    // bit-for-bit, including adversarial floats (subnormals survive a
+    // shuffle unchanged) and non-multiple-of-4 shapes.
+    let mut shape_i = 0;
+    const SHAPES: &[(usize, usize)] = &[(0, 3), (1, 1), (3, 4), (4, 4), (5, 7), (8, 8), (13, 6)];
+    Sweep::new(0x7A5, 40).run(
+        |rng| {
+            let (rows, cols) = SHAPES[shape_i % SHAPES.len()];
+            shape_i += 1;
+            (rows, cols, adv_vec(rng, rows * cols))
+        },
+        |_| Vec::new(),
+        |&(rows, cols, ref src)| {
+            let mut want = vec![0.0; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    want[c * rows + r] = src[r * cols + c];
+                }
+            }
+            for &t in simd::available_tiers() {
+                let mut dst = vec![0.0; rows * cols];
+                simd::with_tier(t, || simd::transpose(src, rows, cols, &mut dst));
+                for (i, (got, exp)) in dst.iter().zip(&want).enumerate() {
+                    if got.to_bits() != exp.to_bits() {
+                        return Err(format!("{t:?} {rows}x{cols} [{i}]: {got} vs {exp}"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn activation_combine_kernels_match_formula_oracle() {
+    let mut size_i = 0;
+    Sweep::new(0xAC7, 40).run(
+        |rng| {
+            let n = SIZES[size_i % SIZES.len()];
+            size_i += 1;
+            (0..7).map(|_| adv_vec(rng, n)).collect::<Vec<Vec<f64>>>()
+        },
+        |_| Vec::new(),
+        |vs| {
+            let [s1, s2, s3, zj, zh, gj, gh] =
+                [&vs[0], &vs[1], &vs[2], &vs[3], &vs[4], &vs[5], &vs[6]];
+            let n = s1.len();
+            for &t in simd::available_tiers() {
+                let (mut jo, mut ho) = (vec![0.0; n], vec![0.0; n]);
+                let mut gz = vec![0.0; n];
+                let (mut gzj, mut gzh) = (vec![0.0; n], vec![0.0; n]);
+                simd::with_tier(t, || {
+                    simd::act_fwd_jh(s1, s2, zj, zh, &mut jo, &mut ho);
+                    simd::act_bwd_accum(s1, s2, s3, zj, zh, gj, gh, &mut gz, &mut gzj, &mut gzh);
+                });
+                for i in 0..n {
+                    let wj = s1[i] * zj[i];
+                    let wh = s2[i] * zj[i] * zj[i] + s1[i] * zh[i];
+                    let wgz =
+                        gj[i] * s2[i] * zj[i] + gh[i] * (s3[i] * zj[i] * zj[i] + s2[i] * zh[i]);
+                    let wgzj = gj[i] * s1[i] + gh[i] * 2.0 * s2[i] * zj[i];
+                    let wgzh = gh[i] * s1[i];
+                    let mh = (s2[i] * zj[i] * zj[i]).abs() + (s1[i] * zh[i]).abs();
+                    let mgz = (gj[i] * s2[i] * zj[i]).abs()
+                        + (gh[i] * s3[i] * zj[i] * zj[i]).abs()
+                        + (gh[i] * s2[i] * zh[i]).abs();
+                    let mgzj = (gj[i] * s1[i]).abs() + (gh[i] * 2.0 * s2[i] * zj[i]).abs();
+                    close(jo[i], wj, wj.abs()).map_err(|e| format!("{t:?} j[{i}]: {e}"))?;
+                    close(ho[i], wh, mh).map_err(|e| format!("{t:?} h[{i}]: {e}"))?;
+                    close(gz[i], wgz, mgz).map_err(|e| format!("{t:?} gz[{i}]: {e}"))?;
+                    close(gzj[i], wgzj, mgzj).map_err(|e| format!("{t:?} gzj[{i}]: {e}"))?;
+                    close(gzh[i], wgzh, wgzh.abs()).map_err(|e| format!("{t:?} gzh[{i}]: {e}"))?;
+                }
+            }
+            Ok(())
+        },
+    );
+}

@@ -18,6 +18,13 @@ set -x
 cargo build --release --workspace 2>&1 | tail -3
 cargo test --release -p sgm-core -p sgm-nn 2>&1 | grep -E "test result|FAILED|error\["
 cargo bench -p sgm-bench --bench components -- $BENCH_ARGS > target/bench_output.txt 2>&1 || exit 1
+# SIMD kernel group in both dispatch tiers; diff the dumps so a tier
+# regression (or a broken fallback) fails the pipeline loudly. The
+# --json paths must be absolute: cargo runs bench binaries with the
+# package dir (crates/bench) as cwd, not the workspace root.
+SGM_SIMD=scalar cargo bench -p sgm-bench --bench components -- $BENCH_ARGS simd_kernels --json "$PWD/target/simd_scalar.json" > target/simd_scalar_output.txt 2>&1 || exit 1
+SGM_SIMD=auto   cargo bench -p sgm-bench --bench components -- $BENCH_ARGS simd_kernels --json "$PWD/target/simd_auto.json"   > target/simd_auto_output.txt 2>&1 || exit 1
+cargo run --release -p sgm-bench --bin bench_diff -- target/simd_scalar.json target/simd_auto.json > target/simd_diff.txt 2>&1 || exit 1
 cargo run --release -p sgm-bench --bin table1   > target/table1_output.txt 2>&1
 cargo run --release -p sgm-bench --bin table2   > target/table2_output.txt 2>&1
 cargo run --release -p sgm-bench --bin fig2     > target/fig2_output.txt 2>&1

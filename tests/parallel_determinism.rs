@@ -5,6 +5,13 @@
 //! Chunk boundaries are derived from problem sizes only and per-chunk
 //! results merge in chunk order, so the thread count may only change who
 //! computes each chunk, never what is computed.
+//!
+//! The contract is per SIMD dispatch tier: the lighter tests run the
+//! whole thread-count matrix once per tier in
+//! `sgm_linalg::simd::available_tiers()` (scalar everywhere, plus AVX2
+//! on hosts that have it). Results may differ *across* tiers — only by
+//! bounded FMA contraction, pinned by `crates/testkit/tests/
+//! simd_oracles.rs` — but must be bit-identical *within* a tier.
 
 use sgm_core::{SgmConfig, SgmSampler};
 use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
@@ -12,6 +19,7 @@ use sgm_graph::points::PointCloud;
 use sgm_graph::resistance::{approx_edge_resistances, ApproxErOptions};
 use sgm_linalg::dense::Matrix;
 use sgm_linalg::rng::Rng64;
+use sgm_linalg::simd;
 use sgm_nn::activation::Activation;
 use sgm_nn::mlp::{BatchDerivatives, Mlp, MlpConfig};
 use sgm_nn::optimizer::AdamConfig;
@@ -60,37 +68,41 @@ fn mlp_gradients_bit_identical_across_thread_counts() {
     let mut rng = Rng64::new(901);
     let net = Mlp::new(&cfg, &mut rng);
     let x = Matrix::gaussian(300, 2, &mut rng);
-    let runs = run_per_thread_count(|| {
-        let values = net.forward(&x);
-        let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
-        let mut adj = BatchDerivatives::zeros_like(&full);
-        for (dst, src) in adj
-            .values
-            .as_mut_slice()
-            .iter_mut()
-            .zip(full.values.as_slice())
-        {
-            *dst = 2.0 * src;
-        }
-        for d in 0..2 {
-            for (dst, src) in adj.jac[d]
-                .as_mut_slice()
-                .iter_mut()
-                .zip(full.jac[d].as_slice())
-            {
-                *dst = 2.0 * src;
-            }
-        }
-        let grads = net.backward(&cache, &adj);
-        let mut flat = values.as_slice().to_vec();
-        for d in 0..2 {
-            flat.extend_from_slice(full.jac[d].as_slice());
-            flat.extend_from_slice(full.hess[d].as_slice());
-        }
-        flat.extend_from_slice(&grads.flat());
-        flat
-    });
-    assert_all_bits_equal(&runs, "mlp");
+    for &tier in simd::available_tiers() {
+        let runs = simd::with_tier(tier, || {
+            run_per_thread_count(|| {
+                let values = net.forward(&x);
+                let (full, cache) = net.forward_with_derivs(&x, &[0, 1]);
+                let mut adj = BatchDerivatives::zeros_like(&full);
+                for (dst, src) in adj
+                    .values
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(full.values.as_slice())
+                {
+                    *dst = 2.0 * src;
+                }
+                for d in 0..2 {
+                    for (dst, src) in adj.jac[d]
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(full.jac[d].as_slice())
+                    {
+                        *dst = 2.0 * src;
+                    }
+                }
+                let grads = net.backward(&cache, &adj);
+                let mut flat = values.as_slice().to_vec();
+                for d in 0..2 {
+                    flat.extend_from_slice(full.jac[d].as_slice());
+                    flat.extend_from_slice(full.hess[d].as_slice());
+                }
+                flat.extend_from_slice(&grads.flat());
+                flat
+            })
+        });
+        assert_all_bits_equal(&runs, &format!("mlp [{tier:?}]"));
+    }
 }
 
 /// Brute and HNSW kNN graphs (edges, weights) and the approximate
@@ -100,26 +112,30 @@ fn knn_graph_and_er_bit_identical_across_thread_counts() {
     let mut rng = Rng64::new(902);
     let pts = PointCloud::uniform_box(600, 2, 0.0, 1.0, &mut rng);
     for strategy in [KnnStrategy::Brute, KnnStrategy::Hnsw] {
-        let runs = run_per_thread_count(|| {
-            let g = build_knn_graph(
-                &pts,
-                &KnnConfig {
-                    k: 6,
-                    strategy,
-                    ..KnnConfig::default()
-                },
-            );
-            let er = approx_edge_resistances(&g, &ApproxErOptions::default());
-            let mut flat: Vec<f64> = Vec::new();
-            for ((u, v, w), r) in g.edges().zip(&er) {
-                flat.push(u as f64);
-                flat.push(v as f64);
-                flat.push(w);
-                flat.push(*r);
-            }
-            flat
-        });
-        assert_all_bits_equal(&runs, &format!("knn/{strategy:?}"));
+        for &tier in simd::available_tiers() {
+            let runs = simd::with_tier(tier, || {
+                run_per_thread_count(|| {
+                    let g = build_knn_graph(
+                        &pts,
+                        &KnnConfig {
+                            k: 6,
+                            strategy,
+                            ..KnnConfig::default()
+                        },
+                    );
+                    let er = approx_edge_resistances(&g, &ApproxErOptions::default());
+                    let mut flat: Vec<f64> = Vec::new();
+                    for ((u, v, w), r) in g.edges().zip(&er) {
+                        flat.push(u as f64);
+                        flat.push(v as f64);
+                        flat.push(w);
+                        flat.push(*r);
+                    }
+                    flat
+                })
+            });
+            assert_all_bits_equal(&runs, &format!("knn/{strategy:?} [{tier:?}]"));
+        }
     }
 }
 
@@ -149,41 +165,49 @@ fn sgm_sampler_epoch_bit_identical_across_thread_counts() {
         },
         &mut Rng64::new(904),
     );
-    let runs = run_per_thread_count(|| {
-        let mut s = SgmSampler::new(
-            &data.interior,
-            SgmConfig {
-                k: 6,
-                min_clusters: 8,
-                max_cluster_frac: 0.2,
-                tau_e: 1,
-                tau_g: 0,
-                background: false,
-                ..SgmConfig::default()
-            },
-        );
-        let model = PinnModel::new(&problem, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
-        let mut rng = Rng64::new(905);
-        let mut flat: Vec<f64> = Vec::new();
-        for iter in 0..3 {
-            s.refresh(iter, &probe, &mut rng);
-            for i in s.next_batch(200, &mut rng) {
-                flat.push(i as f64);
-            }
-        }
-        flat
-    });
-    assert_all_bits_equal(&runs, "sgm epoch");
+    for &tier in simd::available_tiers() {
+        let runs = simd::with_tier(tier, || {
+            run_per_thread_count(|| {
+                let mut s = SgmSampler::new(
+                    &data.interior,
+                    SgmConfig {
+                        k: 6,
+                        min_clusters: 8,
+                        max_cluster_frac: 0.2,
+                        tau_e: 1,
+                        tau_g: 0,
+                        background: false,
+                        ..SgmConfig::default()
+                    },
+                );
+                let model = PinnModel::new(&problem, &data);
+                let probe = Probe {
+                    net: &net,
+                    model: &model,
+                };
+                let mut rng = Rng64::new(905);
+                let mut flat: Vec<f64> = Vec::new();
+                for iter in 0..3 {
+                    s.refresh(iter, &probe, &mut rng);
+                    for i in s.next_batch(200, &mut rng) {
+                        flat.push(i as f64);
+                    }
+                }
+                flat
+            })
+        });
+        assert_all_bits_equal(&runs, &format!("sgm epoch [{tier:?}]"));
+    }
 }
 
 /// A full SGM training run killed at iteration 23 and resumed from its
 /// JSON run state reproduces the uninterrupted run bit-for-bit — same
 /// history, same final weights — for every thread count. The synthetic
 /// clock makes the recorded timestamps part of the contract too.
+///
+/// Pinned to the host's detected SIMD tier (not the full tier matrix):
+/// the run is the most expensive case here, and checkpoint/resume is
+/// tier-oblivious — the lighter tests above already cover both tiers.
 #[test]
 fn training_resume_bit_identical_across_thread_counts() {
     let problem = Problem::new(Pde::Poisson(PoissonConfig {
@@ -229,60 +253,62 @@ fn training_resume_bit_identical_across_thread_counts() {
         max_seconds: None,
         synthetic_dt: Some(1.0 / 1024.0),
     };
-    let runs = run_per_thread_count(|| {
-        let model = PinnModel::new(&problem, &data);
-        // Uninterrupted reference run.
-        let mut net_full = mk_net();
-        let full = {
-            let mut sampler = mk_sampler(&data.interior);
-            let mut tr = Trainer {
-                net: &mut net_full,
-                model: &model,
+    let runs = simd::with_tier(simd::detected_tier(), || {
+        run_per_thread_count(|| {
+            let model = PinnModel::new(&problem, &data);
+            // Uninterrupted reference run.
+            let mut net_full = mk_net();
+            let full = {
+                let mut sampler = mk_sampler(&data.interior);
+                let mut tr = Trainer {
+                    net: &mut net_full,
+                    model: &model,
+                };
+                tr.run(&mut sampler, None, &opts)
             };
-            tr.run(&mut sampler, None, &opts)
-        };
-        // Kill at iteration 23, round-trip the state through JSON text,
-        // resume with freshly constructed net + sampler.
-        let state = {
-            let mut net = mk_net();
-            let mut sampler = mk_sampler(&data.interior);
-            let mut tr = Trainer {
-                net: &mut net,
-                model: &model,
+            // Kill at iteration 23, round-trip the state through JSON text,
+            // resume with freshly constructed net + sampler.
+            let state = {
+                let mut net = mk_net();
+                let mut sampler = mk_sampler(&data.interior);
+                let mut tr = Trainer {
+                    net: &mut net,
+                    model: &model,
+                };
+                tr.run_until(&mut sampler, None, &opts, 23)
             };
-            tr.run_until(&mut sampler, None, &opts, 23)
-        };
-        let state =
-            RunState::from_json(&state.to_json().expect("serialise")).expect("parse run state");
-        let mut net_res = mk_net();
-        let resumed = {
-            let mut sampler = mk_sampler(&data.interior);
-            let mut tr = Trainer {
-                net: &mut net_res,
-                model: &model,
+            let state =
+                RunState::from_json(&state.to_json().expect("serialise")).expect("parse run state");
+            let mut net_res = mk_net();
+            let resumed = {
+                let mut sampler = mk_sampler(&data.interior);
+                let mut tr = Trainer {
+                    net: &mut net_res,
+                    model: &model,
+                };
+                tr.resume(&mut sampler, None, &opts, &state)
+                    .expect("resume")
             };
-            tr.resume(&mut sampler, None, &opts, &state)
-                .expect("resume")
-        };
-        assert_eq!(full.history.len(), resumed.history.len());
-        for (a, b) in full.history.iter().zip(&resumed.history) {
-            assert_eq!(a.iteration, b.iteration);
-            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
-            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
-        }
-        let pf = net_full.params();
-        let pr = net_res.params();
-        for (a, b) in pf.iter().zip(&pr) {
-            assert_eq!(a.to_bits(), b.to_bits(), "resumed weights diverged");
-        }
-        let mut flat: Vec<f64> = Vec::new();
-        for r in &full.history {
-            flat.push(r.iteration as f64);
-            flat.push(r.seconds);
-            flat.push(r.train_loss);
-        }
-        flat.extend_from_slice(&pf);
-        flat
+            assert_eq!(full.history.len(), resumed.history.len());
+            for (a, b) in full.history.iter().zip(&resumed.history) {
+                assert_eq!(a.iteration, b.iteration);
+                assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+                assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+            }
+            let pf = net_full.params();
+            let pr = net_res.params();
+            for (a, b) in pf.iter().zip(&pr) {
+                assert_eq!(a.to_bits(), b.to_bits(), "resumed weights diverged");
+            }
+            let mut flat: Vec<f64> = Vec::new();
+            for r in &full.history {
+                flat.push(r.iteration as f64);
+                flat.push(r.seconds);
+                flat.push(r.train_loss);
+            }
+            flat.extend_from_slice(&pf);
+            flat
+        })
     });
     assert_all_bits_equal(&runs, "resumed training");
 }
