@@ -454,6 +454,81 @@ fn bench_trainer_overhead(r: &mut Runner) {
     });
 }
 
+/// Cost of the observability layer itself. The registry cases time the
+/// raw record paths; the engine case re-runs the `trainer_overhead`
+/// engine loop with the `ObsHook` installed only under `SGM_OBS_HOOK=1`.
+/// Case names are env-independent, so a baseline `--json` dump and an
+/// instrumented one diff case-by-case with `bench_diff --strict` — that
+/// comparison is the "tracing off costs nothing" acceptance gate.
+fn bench_obs_overhead(r: &mut Runner) {
+    use sgm_obs::{trace, TraceLevel};
+    use sgm_physics::PinnModel;
+    use sgm_train::{Hook, ObsHook, TrainOptions, Trainer, UniformSampler};
+
+    static C: sgm_obs::Counter = sgm_obs::Counter::new("bench_obs_counter");
+    static H: sgm_obs::Histogram = sgm_obs::Histogram::new("bench_obs_hist");
+    r.bench("obs_overhead", "counter_hist_1k", || {
+        for i in 0..1000u64 {
+            C.add(1);
+            H.record(i * 31);
+        }
+        C.value()
+    });
+    r.bench("obs_overhead", "span_disabled_1k", || {
+        // With SGM_TRACE unset each span is one relaxed load + a None.
+        let mut live = 0u64;
+        for _ in 0..1000 {
+            let s = trace::span(TraceLevel::Full, "bench", "noop");
+            live += u64::from(s.context().is_some());
+        }
+        live
+    });
+
+    const K: usize = 20;
+    let batch = 256usize;
+    let with_obs = std::env::var("SGM_OBS_HOOK").is_ok_and(|v| v == "1");
+    let (_, problem, data) = refresh_fixture();
+    let n = data.interior.len();
+    let mut net = Mlp::new(
+        &MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 32,
+            hidden_layers: 3,
+            activation: Activation::SiLu,
+            fourier: None,
+        },
+        &mut Rng64::new(6),
+    );
+    let model = PinnModel::new(&problem, &data);
+    let mut sampler = UniformSampler::new(n);
+    let opts = TrainOptions {
+        iterations: K,
+        batch_interior: batch,
+        batch_boundary: 0,
+        adam: sgm_nn::optimizer::AdamConfig::default(),
+        seed: 79,
+        record_every: 10 * K,
+        max_seconds: None,
+        synthetic_dt: None,
+    };
+    let mut obs = ObsHook::new();
+    sgm_par::with_parallelism(Parallelism::Serial, || {
+        r.bench("obs_overhead", &format!("engine_run_{K}x_b{batch}"), || {
+            let mut tr = Trainer {
+                net: &mut net,
+                model: &model,
+            };
+            if with_obs {
+                let mut hooks: [&mut dyn Hook; 1] = [&mut obs];
+                tr.run_hooked(&mut sampler, None, &opts, &mut hooks);
+            } else {
+                tr.run(&mut sampler, None, &opts);
+            }
+        });
+    });
+}
+
 fn bench_thread_scaling(r: &mut Runner) {
     use sgm_graph::partition::{parallel_decompose, GridPartitionConfig};
     let pts = cloud(24_000, 9);
@@ -596,6 +671,7 @@ fn main() {
     bench_knn_threads(&mut r);
     bench_refresh_overhead(&mut r);
     bench_trainer_overhead(&mut r);
+    bench_obs_overhead(&mut r);
     bench_probe_refresh_threads(&mut r);
     bench_thread_scaling(&mut r);
     bench_simd_kernels(&mut r);

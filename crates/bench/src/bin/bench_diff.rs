@@ -14,6 +14,11 @@
 //!   assemble `BENCH_PR4.json`).
 //! * `--strict` — exit non-zero when any case regresses >10 % (off by
 //!   default so smoke runs with 1-iteration timings don't flake).
+//!
+//! Groups present in only one dump (a filtered run, or a group added or
+//! removed between revisions) are reported as warnings and skipped —
+//! never an error, even under `--strict`, so partial dumps stay
+//! diffable.
 
 use sgm_json::{obj, Value};
 use std::process::ExitCode;
@@ -89,6 +94,26 @@ fn main() -> ExitCode {
     let before = load(&paths[0]);
     let after = load(&paths[1]);
 
+    // Whole groups missing on either side are tolerated with a warning
+    // (never a failure): dumps from filtered runs or different revisions
+    // should still diff on whatever they share.
+    let groups_before: std::collections::BTreeSet<&str> =
+        before.iter().map(|c| c.group.as_str()).collect();
+    let groups_after: std::collections::BTreeSet<&str> =
+        after.iter().map(|c| c.group.as_str()).collect();
+    for g in groups_before.difference(&groups_after) {
+        eprintln!(
+            "warning: group `{g}` only in {} — skipped, not a failure",
+            paths[0]
+        );
+    }
+    for g in groups_after.difference(&groups_before) {
+        eprintln!(
+            "warning: group `{g}` only in {} — skipped, not a failure",
+            paths[1]
+        );
+    }
+
     let mut rows = Vec::new();
     let mut regressions = Vec::new();
     let mut missing = 0usize;
@@ -140,6 +165,20 @@ fn main() -> ExitCode {
         println!(
             "({missing} case(s) in {} have no counterpart in {})",
             paths[0], paths[1]
+        );
+    }
+    let extra = after
+        .iter()
+        .filter(|a| {
+            !before
+                .iter()
+                .any(|b| b.group == a.group && b.name == a.name)
+        })
+        .count();
+    if extra > 0 {
+        println!(
+            "({extra} case(s) in {} have no counterpart in {})",
+            paths[1], paths[0]
         );
     }
     println!(

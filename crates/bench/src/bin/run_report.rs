@@ -1,0 +1,256 @@
+//! Renders a run-telemetry JSONL file (written by `sgm_obs::RunLog` /
+//! `SGM_RUN_LOG`) as a human-readable report, or diffs two runs.
+//!
+//! ```sh
+//! cargo run --release -p sgm-bench --bin run_report -- run.jsonl
+//! cargo run --release -p sgm-bench --bin run_report -- before.jsonl after.jsonl
+//! ```
+//!
+//! Single-run mode prints the meta line, a convergence summary (records,
+//! final loss/errors, train seconds), every counter/gauge, histogram
+//! means, and a per-name span rollup (count, total, mean). Two-run mode
+//! prints the shared metrics and span rollups side by side with the
+//! after/before ratio — the quick way to see where a configuration
+//! change moved the time.
+
+use sgm_json::Value;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Everything parsed out of one telemetry JSONL file.
+struct Run {
+    path: String,
+    meta: Vec<(String, String)>,
+    /// Counter and gauge values by name.
+    scalars: BTreeMap<String, f64>,
+    /// Histograms by name: (count, mean_ns, min, max).
+    hists: BTreeMap<String, (u64, f64, u64, u64)>,
+    /// Convergence records: (iteration, seconds, train_loss, val_errors).
+    records: Vec<(usize, f64, f64, Vec<f64>)>,
+    /// Span rollup by `cat/name`: (count, total_ns).
+    spans: BTreeMap<String, (u64, u64)>,
+}
+
+fn scalar_text(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::Num(n) => format!("{n}"),
+        Value::Bool(b) => format!("{b}"),
+        other => other.to_string_compact(),
+    }
+}
+
+fn load(path: &str) -> Result<Run, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("run_report: cannot read {path}: {e}"))?;
+    let mut run = Run {
+        path: path.to_string(),
+        meta: Vec::new(),
+        scalars: BTreeMap::new(),
+        hists: BTreeMap::new(),
+        records: Vec::new(),
+        spans: BTreeMap::new(),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v =
+            Value::parse(line).map_err(|e| format!("run_report: {path}:{}: {e}", lineno + 1))?;
+        let ty = v
+            .req_str("type")
+            .map_err(|e| format!("run_report: {path}:{}: {e}", lineno + 1))?;
+        match ty {
+            "meta" => {
+                if let Value::Obj(fields) = &v {
+                    for (k, val) in fields {
+                        if k.as_str() != "type" {
+                            run.meta.push((k.clone(), scalar_text(val)));
+                        }
+                    }
+                }
+            }
+            "metric" => {
+                let name = v.req_str("name").map_err(|e| e.to_string())?.to_string();
+                match v.req_str("kind").map_err(|e| e.to_string())? {
+                    "histogram" => {
+                        run.hists.insert(
+                            name,
+                            (
+                                v.req_f64("count").unwrap_or(0.0) as u64,
+                                v.req_f64("mean").unwrap_or(0.0),
+                                v.req_f64("min").unwrap_or(0.0) as u64,
+                                v.req_f64("max").unwrap_or(0.0) as u64,
+                            ),
+                        );
+                    }
+                    _ => {
+                        run.scalars
+                            .insert(name, v.req_f64("value").unwrap_or(f64::NAN));
+                    }
+                }
+            }
+            "record" => {
+                let errors = v
+                    .get("val_errors")
+                    .and_then(Value::as_arr)
+                    .map(|a| a.iter().filter_map(Value::as_f64).collect())
+                    .unwrap_or_default();
+                run.records.push((
+                    v.req_f64("iteration").unwrap_or(0.0) as usize,
+                    v.req_f64("seconds").unwrap_or(0.0),
+                    v.req_f64("train_loss").unwrap_or(f64::NAN),
+                    errors,
+                ));
+            }
+            "span" => {
+                let key = format!(
+                    "{}/{}",
+                    v.req_str("cat").unwrap_or("?"),
+                    v.req_str("name").unwrap_or("?")
+                );
+                let e = run.spans.entry(key).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += v.req_f64("dur_ns").unwrap_or(0.0) as u64;
+            }
+            other => {
+                return Err(format!(
+                    "run_report: {path}:{}: unknown line type `{other}`",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    Ok(run)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn print_single(run: &Run) {
+    println!("=== run report: {} ===", run.path);
+    for (k, v) in &run.meta {
+        println!("  {k}: {v}");
+    }
+    if let (Some(first), Some(last)) = (run.records.first(), run.records.last()) {
+        println!(
+            "\nconvergence: {} records over {:.1}s (iterations {}..{})",
+            run.records.len(),
+            last.1,
+            first.0,
+            last.0
+        );
+        println!("  train loss: {:.6} -> {:.6}", first.2, last.2);
+        if !last.3.is_empty() {
+            let errs: Vec<String> = last.3.iter().map(|e| format!("{e:.4}")).collect();
+            println!("  final val errors: [{}]", errs.join(", "));
+        }
+    } else {
+        println!("\nconvergence: no records");
+    }
+    if !run.scalars.is_empty() {
+        println!("\ncounters & gauges:");
+        for (name, v) in &run.scalars {
+            println!("  {name:<42} {v}");
+        }
+    }
+    if !run.hists.is_empty() {
+        println!("\nhistograms (count / mean / min / max):");
+        for (name, (count, mean, min, max)) in &run.hists {
+            println!(
+                "  {name:<42} {count:>8}  {:>12}  {:>12}  {:>12}",
+                fmt_ns(*mean),
+                fmt_ns(*min as f64),
+                fmt_ns(*max as f64),
+            );
+        }
+    }
+    if !run.spans.is_empty() {
+        println!("\nspans (count / total / mean):");
+        for (key, (count, total_ns)) in &run.spans {
+            println!(
+                "  {key:<42} {count:>8}  {:>12}  {:>12}",
+                fmt_ns(*total_ns as f64),
+                fmt_ns(*total_ns as f64 / (*count).max(1) as f64),
+            );
+        }
+    }
+}
+
+fn print_diff(before: &Run, after: &Run) {
+    println!("=== run diff: {} vs {} ===", before.path, after.path);
+    println!("\nscalar metrics (before / after / ratio):");
+    for (name, b) in &before.scalars {
+        let Some(a) = after.scalars.get(name) else {
+            println!("  {name:<42} only in {}", before.path);
+            continue;
+        };
+        let ratio = if *b != 0.0 { a / b } else { f64::INFINITY };
+        println!("  {name:<42} {b:>12.3}  {a:>12.3}  {ratio:>7.2}x");
+    }
+    for name in after.scalars.keys() {
+        if !before.scalars.contains_key(name) {
+            println!("  {name:<42} only in {}", after.path);
+        }
+    }
+    println!("\nhistogram means (before / after / ratio):");
+    for (name, (_, bm, _, _)) in &before.hists {
+        let Some((_, am, _, _)) = after.hists.get(name) else {
+            println!("  {name:<42} only in {}", before.path);
+            continue;
+        };
+        let ratio = if *bm > 0.0 { am / bm } else { f64::INFINITY };
+        println!(
+            "  {name:<42} {:>12}  {:>12}  {ratio:>7.2}x",
+            fmt_ns(*bm),
+            fmt_ns(*am)
+        );
+    }
+    println!("\nspan totals (before / after / ratio):");
+    for (key, (_, bt)) in &before.spans {
+        let Some((_, at)) = after.spans.get(key) else {
+            println!("  {key:<42} only in {}", before.path);
+            continue;
+        };
+        let ratio = if *bt > 0 {
+            *at as f64 / *bt as f64
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "  {key:<42} {:>12}  {:>12}  {ratio:>7.2}x",
+            fmt_ns(*bt as f64),
+            fmt_ns(*at as f64)
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let runs: Result<Vec<Run>, String> = paths.iter().map(|p| load(p)).collect();
+    let runs = match runs {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match runs.as_slice() {
+        [one] => print_single(one),
+        [before, after] => print_diff(before, after),
+        _ => {
+            eprintln!("usage: run_report <run.jsonl> [other-run.jsonl]");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -463,6 +463,42 @@ pub fn run_sgm_with_config(
     }
 }
 
+/// Writes one method run's telemetry JSONL to `SGM_RUN_LOG_DIR` (no-op
+/// when the var is unset or empty), then resets the metrics registry
+/// and drains the span collector so the next method starts from zero.
+/// Failures are warnings: telemetry must never abort an experiment that
+/// already paid for its training time.
+fn capture_telemetry(suite: &str, scale: &Scale, run: &MethodRun) {
+    let dir = match std::env::var("SGM_RUN_LOG_DIR") {
+        Ok(d) if !d.is_empty() => d,
+        // Without a sink, leave the registry accumulating — resetting
+        // here would discard metrics a caller might still scrape.
+        _ => return,
+    };
+    use sgm_json::Value;
+    use sgm_obs::{RunLog, RunRecord};
+    let mut log = RunLog::new(&format!("{suite}/{}", run.label));
+    log.meta("experiment", Value::Str(suite.to_string()));
+    log.meta("label", Value::Str(run.label.clone()));
+    log.meta("budget_seconds", Value::Num(scale.budget_seconds));
+    log.meta("iterations", Value::Num(run.iterations_done as f64));
+    for r in &run.result.history {
+        log.push_record(RunRecord {
+            iteration: r.iteration,
+            seconds: r.seconds,
+            train_loss: r.train_loss,
+            val_errors: r.val_errors.clone(),
+        });
+    }
+    let spans = sgm_obs::trace::drain();
+    let path = format!("{dir}/{suite}_{}.jsonl", run.label);
+    match log.write_jsonl(&path, &spans) {
+        Ok(()) => eprintln!("[{suite}] telemetry -> {path}"),
+        Err(e) => eprintln!("[{suite}] warning: telemetry write failed for {path}: {e}"),
+    }
+    sgm_obs::metrics::reset();
+}
+
 /// Runs a list of methods and collects a serialisable suite dump.
 pub fn run_suite(
     name: &str,
@@ -488,6 +524,7 @@ pub fn run_suite(
                 .map(|e| (e * 1e4).round() / 1e4)
                 .collect::<Vec<_>>())
         );
+        capture_telemetry(name, scale, &run);
         runs.push(crate::report::RunDump::from_run(&run));
     }
     crate::report::SuiteDump {

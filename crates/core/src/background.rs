@@ -18,9 +18,14 @@
 use sgm_graph::knn::{build_knn_graph, KnnConfig};
 use sgm_graph::lrd::{decompose, Clustering, LrdConfig};
 use sgm_graph::points::PointCloud;
+use sgm_obs::{trace, Histogram, SpanContext, TraceLevel};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Wall time of every PGM rebuild, background or inline (nanoseconds).
+static REBUILD_NS: Histogram = Histogram::new("sgm_sampler_rebuild_ns");
 
 /// A rebuild job: construct the kNN PGM over `cloud` and decompose it.
 #[derive(Debug, Clone)]
@@ -37,8 +42,11 @@ pub struct RebuildRequest {
 /// Runs a rebuild synchronously (shared by the worker and the
 /// non-threaded fallback).
 pub fn run_rebuild(req: &RebuildRequest) -> Clustering {
+    let t0 = Instant::now();
     let g = build_knn_graph(&req.cloud, &req.knn);
-    decompose(&g, &req.lrd)
+    let c = decompose(&g, &req.lrd);
+    REBUILD_NS.record_duration(t0.elapsed());
+    c
 }
 
 /// The rebuild worker thread terminated (panicked) while results were
@@ -64,11 +72,12 @@ impl std::error::Error for WorkerDied {}
 /// Worker thread handle for asynchronous PGM rebuilds.
 #[derive(Debug)]
 pub struct BackgroundBuilder {
-    tx: Option<Sender<RebuildRequest>>,
-    rx: Receiver<Clustering>,
+    tx: Option<Sender<(RebuildRequest, SpanContext)>>,
+    rx: Receiver<(Clustering, Duration)>,
     handle: Option<JoinHandle<()>>,
     pending: usize,
     died: Option<WorkerDied>,
+    last_duration: Option<Duration>,
 }
 
 impl BackgroundBuilder {
@@ -87,14 +96,24 @@ impl BackgroundBuilder {
     where
         F: Fn(&RebuildRequest) -> Option<Clustering> + Send + 'static,
     {
-        let (tx_req, rx_req) = channel::<RebuildRequest>();
-        let (tx_res, rx_res) = channel::<Clustering>();
+        let (tx_req, rx_req) = channel::<(RebuildRequest, SpanContext)>();
+        let (tx_res, rx_res) = channel::<(Clustering, Duration)>();
         let handle = std::thread::Builder::new()
             .name("sgm-rebuild".into())
             .spawn(move || {
-                while let Ok(req) = rx_req.recv() {
+                while let Ok((req, ctx)) = rx_req.recv() {
+                    // Explicit cross-thread parenting: the span lands on
+                    // this worker's timeline but hangs off the engine
+                    // refresh span that requested the rebuild.
+                    let _span = trace::span_with_parent(
+                        TraceLevel::Stages,
+                        "sampler",
+                        "background_rebuild",
+                        ctx,
+                    );
+                    let t0 = Instant::now();
                     if let Some(clustering) = work(&req) {
-                        if tx_res.send(clustering).is_err() {
+                        if tx_res.send((clustering, t0.elapsed())).is_err() {
                             break;
                         }
                     }
@@ -107,6 +126,7 @@ impl BackgroundBuilder {
             handle: Some(handle),
             pending: 0,
             died: None,
+            last_duration: None,
         }
     }
 
@@ -146,7 +166,7 @@ impl BackgroundBuilder {
             return Ok(false);
         }
         match &self.tx {
-            Some(tx) if tx.send(req).is_ok() => {
+            Some(tx) if tx.send((req, trace::current_context())).is_ok() => {
                 self.pending += 1;
                 Ok(true)
             }
@@ -165,8 +185,9 @@ impl BackgroundBuilder {
             return Err(d.clone());
         }
         match self.rx.try_recv() {
-            Ok(c) => {
+            Ok((c, dt)) => {
                 self.pending = self.pending.saturating_sub(1);
+                self.last_duration = Some(dt);
                 Ok(Some(c))
             }
             Err(TryRecvError::Empty) => Ok(None),
@@ -185,8 +206,9 @@ impl BackgroundBuilder {
             return Err(d.clone());
         }
         match self.rx.recv() {
-            Ok(c) => {
+            Ok((c, dt)) => {
                 self.pending = self.pending.saturating_sub(1);
+                self.last_duration = Some(dt);
                 Ok(c)
             }
             Err(_) => Err(self.mark_dead()),
@@ -196,6 +218,11 @@ impl BackgroundBuilder {
     /// Whether a rebuild is currently in flight.
     pub fn is_pending(&self) -> bool {
         self.pending > 0
+    }
+
+    /// Worker-side wall time of the most recently received rebuild.
+    pub fn last_rebuild_duration(&self) -> Option<Duration> {
+        self.last_duration
     }
 
     /// Whether the worker thread has been observed dead.

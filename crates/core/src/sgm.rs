@@ -24,11 +24,42 @@ use sgm_graph::resistance::ApproxErOptions;
 use sgm_json::Value;
 use sgm_linalg::dense::Matrix;
 use sgm_linalg::rng::Rng64;
+use sgm_obs::{trace, Counter, Gauge, TraceLevel};
 use sgm_stability::{spade_scores, SpadeConfig};
 use sgm_train::{Probe, Sampler};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Completed τ_e score refreshes.
+static REFRESHES_TOTAL: Counter = Counter::new("sgm_sampler_refreshes_total");
+/// τ_e refreshes that assembled an epoch from a *stale* clustering
+/// (a rebuild was still in flight on the background worker).
+static STALE_EPOCHS_TOTAL: Counter = Counter::new("sgm_sampler_stale_epochs_total");
+/// Distribution summary of the per-cluster combined scores at the last
+/// refresh.
+static SCORE_MIN: Gauge = Gauge::new("sgm_sampler_score_min");
+static SCORE_MEAN: Gauge = Gauge::new("sgm_sampler_score_mean");
+static SCORE_MAX: Gauge = Gauge::new("sgm_sampler_score_max");
+/// Normalised Shannon entropy of the per-cluster draw ratios at the last
+/// refresh: 1.0 = uniform over clusters, → 0 as the sampler concentrates.
+static DRAW_ENTROPY: Gauge = Gauge::new("sgm_sampler_draw_entropy");
+
+/// Normalised Shannon entropy of a (non-negative) count distribution.
+fn normalized_entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 || counts.len() < 2 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total as f64;
+            h -= p * p.ln();
+        }
+    }
+    h / (counts.len() as f64).ln()
+}
 
 /// Minimum probe points per parallel chunk in the τ_e loss refresh.
 const PROBE_PAR_MIN: usize = 32;
@@ -141,6 +172,15 @@ pub struct SgmStats {
     pub rebuilds_requested: usize,
     /// Rebuilds whose result was swapped in (`S ← S_new`).
     pub rebuilds_applied: usize,
+    /// PGM constructions that ran to completion, counting the initial
+    /// build and rebuilds whether background or inline.
+    pub rebuilds_completed: usize,
+    /// Score refreshes that assembled an epoch from a stale clustering
+    /// because a rebuild was still in flight.
+    pub rebuilds_stale_served: usize,
+    /// Worker-side wall seconds of the most recent completed rebuild
+    /// (0.0 until one completes).
+    pub last_rebuild_seconds: f64,
     /// Loss-probe forward evaluations consumed.
     pub probe_evals: usize,
     /// Background rebuild workers observed dead (the sampler falls back
@@ -210,7 +250,9 @@ impl SgmSampler {
             knn: Self::knn_config(&cfg, cfg.seed),
             lrd: Self::lrd_config(&cfg, cfg.seed),
         };
+        let t_build = Instant::now();
         let clustering = run_rebuild(&req);
+        let build_seconds = t_build.elapsed().as_secs_f64();
         let n = interior.len();
         let mut rng = Rng64::new(cfg.seed ^ 0xE90C);
         let mut epoch: Vec<usize> = (0..n).collect();
@@ -222,7 +264,11 @@ impl SgmSampler {
             epoch,
             cursor: 0,
             builder,
-            stats: SgmStats::default(),
+            stats: SgmStats {
+                rebuilds_completed: 1,
+                last_rebuild_seconds: build_seconds,
+                ..SgmStats::default()
+            },
             rebuild_counter: 0,
         }
     }
@@ -322,6 +368,18 @@ impl SgmSampler {
         self.cfg.tau_g > 0 && iter > 0 && iter.is_multiple_of(self.cfg.tau_g)
     }
 
+    /// Runs a rebuild on the calling thread and applies it immediately,
+    /// keeping the bookkeeping aligned with the background path.
+    fn rebuild_inline(&mut self, req: &RebuildRequest) {
+        let _span = trace::span(TraceLevel::Stages, "sampler", "rebuild_inline");
+        let t0 = Instant::now();
+        self.clustering = run_rebuild(req);
+        self.stats.last_rebuild_seconds = t0.elapsed().as_secs_f64();
+        self.stats.rebuilds_requested += 1;
+        self.stats.rebuilds_applied += 1;
+        self.stats.rebuilds_completed += 1;
+    }
+
     /// Spatial coordinates concatenated with the network's current
     /// outputs, each output column rescaled to the spatial bounding-box
     /// scale so neither group dominates the kNN metric.
@@ -410,16 +468,10 @@ impl Sampler for SgmSampler {
                         // synchronously instead of waiting forever.
                         self.stats.worker_deaths += 1;
                         self.builder = None;
-                        self.clustering = run_rebuild(&req);
-                        self.stats.rebuilds_requested += 1;
-                        self.stats.rebuilds_applied += 1;
+                        self.rebuild_inline(&req);
                     }
                 },
-                None => {
-                    self.clustering = run_rebuild(&req);
-                    self.stats.rebuilds_requested += 1;
-                    self.stats.rebuilds_applied += 1;
-                }
+                None => self.rebuild_inline(&req),
             }
         }
         if let Some(b) = &mut self.builder {
@@ -427,6 +479,10 @@ impl Sampler for SgmSampler {
                 Ok(Some(fresh)) => {
                     self.clustering = fresh;
                     self.stats.rebuilds_applied += 1;
+                    self.stats.rebuilds_completed += 1;
+                    if let Some(dt) = b.last_rebuild_duration() {
+                        self.stats.last_rebuild_seconds = dt.as_secs_f64();
+                    }
                 }
                 Ok(None) => {}
                 Err(_died) => {
@@ -441,19 +497,44 @@ impl Sampler for SgmSampler {
         if !iter.is_multiple_of(self.cfg.tau_e) {
             return;
         }
+        let _refresh_span = trace::span(TraceLevel::Stages, "sampler", "score_refresh");
         let t0 = Instant::now();
+        if self.builder.as_ref().is_some_and(|b| b.is_pending()) {
+            // This epoch is assembled from the previous clustering while
+            // a rebuild is still computing (Algorithm 1's "previously
+            // calculated distribution").
+            self.stats.rebuilds_stale_served += 1;
+            STALE_EPOCHS_TOTAL.inc();
+        }
         let (probe_idx, probe_cluster) = self.select_probes(rng);
-        let losses = probe_losses(probe, &probe_idx);
+        let losses = {
+            let _s = trace::span(TraceLevel::Full, "sampler", "probe_losses");
+            probe_losses(probe, &probe_idx)
+        };
         self.stats.probe_evals += probe_idx.len();
         let cluster_losses = self.cluster_means(&losses, &probe_cluster);
         let cluster_isr = if self.cfg.use_isr {
+            let _s = trace::span(TraceLevel::Full, "sampler", "isr_scores");
             self.isr_cluster_scores(probe, &probe_idx, &probe_cluster, rng)
         } else {
             Vec::new()
         };
         let combined = combine_scores(&cluster_losses, &cluster_isr, self.cfg.isr_weight);
+        if let (Some(&min), Some(&max)) = (
+            combined
+                .iter()
+                .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)),
+            combined
+                .iter()
+                .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)),
+        ) {
+            SCORE_MIN.set(min);
+            SCORE_MAX.set(max);
+            SCORE_MEAN.set(combined.iter().sum::<f64>() / combined.len() as f64);
+        }
         let sizes = self.clustering.sizes();
         let plan = map_scores(&combined, &sizes, self.cfg.mapping, self.cfg.floor_one);
+        DRAW_ENTROPY.set(normalized_entropy(&plan.counts));
         self.epoch = assemble_epoch(self.clustering.clusters(), &plan.counts, rng);
         if self.epoch.is_empty() {
             // Degenerate mapping (e.g. floor disabled, all-zero scores):
@@ -463,6 +544,7 @@ impl Sampler for SgmSampler {
         }
         self.cursor = 0;
         self.stats.refreshes += 1;
+        REFRESHES_TOTAL.inc();
         self.stats.refresh_seconds += t0.elapsed().as_secs_f64();
     }
 
@@ -497,6 +579,18 @@ impl Sampler for SgmSampler {
         obj.insert(
             "rebuilds_applied".to_string(),
             num(self.stats.rebuilds_applied as f64),
+        );
+        obj.insert(
+            "rebuilds_completed".to_string(),
+            num(self.stats.rebuilds_completed as f64),
+        );
+        obj.insert(
+            "rebuilds_stale_served".to_string(),
+            num(self.stats.rebuilds_stale_served as f64),
+        );
+        obj.insert(
+            "last_rebuild_seconds".to_string(),
+            num(self.stats.last_rebuild_seconds),
         );
         obj.insert(
             "probe_evals".to_string(),
@@ -564,6 +658,19 @@ impl Sampler for SgmSampler {
             .get("worker_deaths")
             .and_then(Value::as_u64)
             .unwrap_or(0) as usize;
+        // Absent in checkpoints written before rebuild telemetry.
+        self.stats.rebuilds_completed = state
+            .get("rebuilds_completed")
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as usize;
+        self.stats.rebuilds_stale_served = state
+            .get("rebuilds_stale_served")
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as usize;
+        self.stats.last_rebuild_seconds = state
+            .get("last_rebuild_seconds")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
         self.stats.refresh_seconds = state
             .get("refresh_seconds")
             .and_then(Value::as_f64)

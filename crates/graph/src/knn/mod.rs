@@ -18,6 +18,10 @@ pub mod hnsw;
 use crate::graph::Graph;
 use crate::points::{dist2, PointCloud};
 use sgm_linalg::rng::Rng64;
+use sgm_obs::{trace, Histogram, TraceLevel};
+
+/// Wall time of each full kNN graph build (nanoseconds).
+static KNN_BUILD_NS: Histogram = Histogram::new("sgm_graph_knn_build_ns");
 
 /// Auto-mode work cutoff (≈ distance evaluations) above which per-query
 /// kNN fans out to the pool. Each query row is independent, so the
@@ -97,6 +101,8 @@ pub fn knn_lists(cloud: &PointCloud, cfg: &KnnConfig) -> Vec<Vec<(usize, f64)>> 
 pub fn build_knn_graph(cloud: &PointCloud, cfg: &KnnConfig) -> Graph {
     assert!(!cloud.is_empty(), "empty cloud");
     assert!(cfg.k > 0, "k must be positive");
+    let _span = trace::span(TraceLevel::Full, "graph", "knn_build");
+    let t0 = std::time::Instant::now();
     let lists = knn_lists(cloud, cfg);
     let mut edges = Vec::with_capacity(cloud.len() * cfg.k);
     for (i, nbrs) in lists.iter().enumerate() {
@@ -122,7 +128,9 @@ pub fn build_knn_graph(cloud: &PointCloud, cfg: &KnnConfig) -> Graph {
     }
     let final_edges: Vec<(usize, usize, f64)> =
         dedup.into_iter().map(|((u, v), w)| (u, v, w)).collect();
-    Graph::from_edges(cloud.len(), &final_edges)
+    let g = Graph::from_edges(cloud.len(), &final_edges);
+    KNN_BUILD_NS.record_duration(t0.elapsed());
+    g
 }
 
 /// Exact O(N²) kNN. Query rows are independent, so the pooled path

@@ -16,6 +16,11 @@
 
 use crate::graph::{Graph, UnionFind};
 use crate::resistance::{approx_edge_resistances, ApproxErOptions};
+use sgm_obs::{trace, Histogram, TraceLevel};
+
+/// Wall time of each LRD decomposition, ER estimation included
+/// (nanoseconds).
+static LRD_DECOMPOSE_NS: Histogram = Histogram::new("sgm_graph_lrd_decompose_ns");
 
 /// How edge effective resistances are obtained for the decomposition.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +156,8 @@ pub fn decompose(g: &Graph, cfg: &LrdConfig) -> Clustering {
     if g.num_edges() == 0 {
         return Clustering::from_assignment((0..n as u32).collect());
     }
+    let _span = trace::span(TraceLevel::Full, "graph", "lrd_decompose");
+    let t0 = std::time::Instant::now();
     let er: Vec<f64> = match &cfg.er {
         ErSource::Exact => crate::resistance::exact_edge_resistances(g),
         ErSource::Approx(opts) => approx_edge_resistances(g, opts),
@@ -211,6 +218,7 @@ pub fn decompose(g: &Graph, cfg: &LrdConfig) -> Clustering {
         let root = uf.find(i);
         diam_bound[assignment[i] as usize] = diam[root];
     }
+    LRD_DECOMPOSE_NS.record_duration(t0.elapsed());
     Clustering {
         assignment,
         clusters,

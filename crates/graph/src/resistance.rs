@@ -23,6 +23,7 @@ use sgm_linalg::dense::Matrix;
 use sgm_linalg::rng::Rng64;
 use sgm_linalg::solve::{conjugate_gradient, CgOptions};
 use sgm_linalg::sparse::Csr;
+use sgm_obs::{trace, Histogram, TraceLevel};
 
 /// Auto-mode work cutoff (≈ probe-sweep edge touches) for the parallel
 /// paths of [`approx_edge_resistances`].
@@ -116,6 +117,10 @@ impl Default for ApproxErOptions {
 /// Panics if the graph has no edges.
 pub fn approx_edge_resistances(g: &Graph, opts: &ApproxErOptions) -> Vec<f64> {
     assert!(g.num_edges() > 0, "graph has no edges");
+    /// Wall time of each randomized ER estimation (nanoseconds).
+    static ER_PROBE_NS: Histogram = Histogram::new("sgm_graph_er_probe_ns");
+    let _span = trace::span(TraceLevel::Full, "graph", "er_probe");
+    let t0 = std::time::Instant::now();
     let n = g.num_nodes();
     let l = laplacian(g);
     let zeros = vec![0.0; n];
@@ -167,6 +172,7 @@ pub fn approx_edge_resistances(g: &Graph, opts: &ApproxErOptions) -> Vec<f64> {
             *r *= scale;
         }
     }
+    ER_PROBE_NS.record_duration(t0.elapsed());
     raw
 }
 

@@ -75,7 +75,11 @@ pub fn avx2_available() -> bool {
 pub fn detected_tier() -> SimdTier {
     static DETECTED: OnceLock<SimdTier> = OnceLock::new();
     *DETECTED.get_or_init(|| {
-        match std::env::var("SGM_SIMD").as_deref().map(str::trim) {
+        /// Resolved dispatch tier as a gauge (Scalar = 1, Avx2 = 2,
+        /// matching `SimdTier::code`), so run telemetry records which
+        /// kernels a run actually executed.
+        static SIMD_TIER: sgm_obs::Gauge = sgm_obs::Gauge::new("sgm_simd_tier");
+        let tier = match std::env::var("SGM_SIMD").as_deref().map(str::trim) {
             Ok("scalar") => SimdTier::Scalar,
             Ok("avx2") => {
                 assert!(
@@ -93,7 +97,9 @@ pub fn detected_tier() -> SimdTier {
                     SimdTier::Scalar
                 }
             }
-        }
+        };
+        SIMD_TIER.set(tier.code() as f64);
+        tier
     })
 }
 

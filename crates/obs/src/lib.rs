@@ -1,0 +1,33 @@
+//! `sgm-obs` — zero-overhead observability for the SGM-PINN stack.
+//!
+//! Three pieces, all std-only and allocation-free on the hot path:
+//!
+//! * [`metrics`] — a lock-free registry of counters, gauges and
+//!   log-linear-bucket histograms. Metrics are `const`-constructible
+//!   statics with per-thread shards aggregated only at scrape time,
+//!   so recording is a few relaxed atomics and never allocates after
+//!   first registration — the training engine's zero-allocation
+//!   steady-state contract survives with instrumentation enabled.
+//! * [`trace`] — a span tracer gated by `SGM_TRACE={off,stages,full}`.
+//!   `off` (the default) costs one relaxed atomic load per span site.
+//!   Spans parent implicitly within a thread and explicitly across
+//!   threads via [`trace::SpanContext`], and export both as JSONL and
+//!   as a Chrome `trace_event` document.
+//! * [`runlog`] — per-run JSONL telemetry (meta + metrics + records +
+//!   spans), written strictly after training, honoring `SGM_RUN_LOG`
+//!   and `SGM_CHROME_TRACE`.
+//!
+//! Observability never feeds back into computation: enabling any of
+//! it leaves numerics bit-identical (the determinism contracts of the
+//! parallel and SIMD layers are unaffected).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod runlog;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use runlog::{RunLog, RunRecord};
+pub use trace::{span, span_with_parent, Span, SpanContext, TraceLevel};

@@ -1,0 +1,636 @@
+//! Lock-free metrics registry: counters, gauges and log-linear-bucket
+//! histograms.
+//!
+//! # Design
+//!
+//! Every metric is a `static` with a `const` constructor, so declaring
+//! one costs nothing at startup and recording into one is a handful of
+//! relaxed atomic operations — no locks, no allocation, no branches on
+//! a registry lookup. Counters and histograms are **sharded**: each
+//! metric owns a small fixed array of cache-line-padded slots and a
+//! recording thread picks its slot from a per-thread ordinal, so
+//! concurrent recorders on different threads rarely touch the same
+//! cache line. Shards are summed only at *scrape* time, which is why
+//! the hot-path contract of the training engine (zero steady-state
+//! allocations, bit-identical numerics) is untouched: metrics never
+//! feed back into computation, and recording never allocates.
+//!
+//! Metrics self-register into the process-wide registry on first
+//! record (one relaxed load per record once registered; a single
+//! mutex-guarded push the first time). [`snapshot`] returns every
+//! registered metric sorted by name; [`prometheus_text`] and
+//! [`json_snapshot`] render the standard expositions.
+//!
+//! # Histogram buckets
+//!
+//! Histograms store `u64` observations (the workspace convention is
+//! nanoseconds) in log-linear buckets: 4 sub-buckets per power of two,
+//! i.e. a relative quantization error ≤ 25 %. Bucket boundaries are
+//! pure functions of the value ([`bucket_index`] / [`bucket_lower`]),
+//! property-swept by the testkit suite.
+
+use sgm_json::{obj, Value};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shards per counter/histogram. Power of two; recording threads map
+/// onto shards by ordinal, so up to this many threads record with zero
+/// cache-line sharing.
+pub const SHARDS: usize = 8;
+
+static NEXT_THREAD_ORDINAL: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// A small dense per-thread ordinal (0, 1, 2, …) assigned on first use.
+/// Shared with the tracer so trace `tid`s match shard indices.
+pub fn thread_ordinal() -> usize {
+    THREAD_ORDINAL.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+            v
+        }
+    })
+}
+
+#[inline]
+fn shard_index() -> usize {
+    thread_ordinal() & (SHARDS - 1)
+}
+
+/// One cache line worth of counter state.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<Vec<MetricRef>> = Mutex::new(Vec::new());
+
+fn register(m: MetricRef) {
+    REGISTRY.lock().expect("metrics registry poisoned").push(m);
+}
+
+/// A monotonic counter (sharded; aggregated on scrape).
+pub struct Counter {
+    name: &'static str,
+    registered: AtomicBool,
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            registered: AtomicBool::new(false),
+            shards: [const { PaddedU64(AtomicU64::new(0)) }; SHARDS],
+        }
+    }
+
+    /// Metric name (Prometheus-style snake case by convention).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            register(MetricRef::Counter(self));
+        }
+    }
+
+    /// Adds `v`. Lock- and allocation-free after the first call.
+    #[inline]
+    pub fn add(&'static self, v: u64) {
+        self.ensure_registered();
+        self.shards[shard_index()].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value (sum over shards).
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("name", &self.name)
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// A last-write-wins `f64` gauge with an atomic add (CAS loop — gauges
+/// sit off the hot path, on events like pool entry/exit or refreshes).
+pub struct Gauge {
+    name: &'static str,
+    registered: AtomicBool,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Const constructor for `static` declarations (initial value 0.0).
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            registered: AtomicBool::new(false),
+            bits: AtomicU64::new(0), // 0u64 == 0.0f64 bits
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            register(MetricRef::Gauge(self));
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        self.ensure_registered();
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `dv` atomically (compare-and-swap loop).
+    #[inline]
+    pub fn add(&'static self, dv: f64) {
+        self.ensure_registered();
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + dv).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge")
+            .field("name", &self.name)
+            .field("value", &self.value())
+            .finish()
+    }
+}
+
+/// Sub-bucket bits per power of two (4 sub-buckets → ≤25 % width).
+const SUB_BITS: u32 = 2;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets. `(63 - SUB_BITS + 1) * SUB + SUB = 252` covers every
+/// `u64`; rounded up to a power of two.
+pub const BUCKETS: usize = 256;
+
+/// Bucket index of `v` (log-linear: exact below 4, then 4 sub-buckets
+/// per power of two).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // v ∈ [2^exp, 2^(exp+1))
+    let sub = ((v >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    ((exp - SUB_BITS) as usize + 1) * SUB + sub
+}
+
+/// Smallest value that lands in bucket `idx` (inverse of
+/// [`bucket_index`]; the exclusive upper bound of a bucket is the next
+/// bucket's lower bound). Indices past the last reachable bucket (251 —
+/// `bucket_index(u64::MAX)`) saturate to `u64::MAX`, so "next bucket's
+/// lower bound" is well-defined for every reachable index.
+#[inline]
+pub fn bucket_lower(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let exp = (idx / SUB - 1) as u32 + SUB_BITS;
+    if exp >= 64 {
+        return u64::MAX;
+    }
+    let sub = (idx % SUB) as u64;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+#[repr(align(64))]
+struct HistShard {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistShard {
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log-linear-bucket histogram of `u64` observations (sharded;
+/// aggregated on scrape). The workspace convention is nanoseconds.
+pub struct Histogram {
+    name: &'static str,
+    registered: AtomicBool,
+    shards: [HistShard; SHARDS],
+}
+
+impl Histogram {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            registered: AtomicBool::new(false),
+            shards: [const {
+                HistShard {
+                    counts: [const { AtomicU64::new(0) }; BUCKETS],
+                    sum: AtomicU64::new(0),
+                    min: AtomicU64::new(u64::MAX),
+                    max: AtomicU64::new(0),
+                }
+            }; SHARDS],
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    fn ensure_registered(&'static self) {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            register(MetricRef::Histogram(self));
+        }
+    }
+
+    /// Records one observation: four relaxed atomic RMWs, no locks, no
+    /// allocation after the first call.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        self.ensure_registered();
+        let s = &self.shards[shard_index()];
+        s.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.min.fetch_min(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&'static self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Aggregates all shards into a consistent-enough snapshot (relaxed
+    /// reads; exact once recorders are quiescent).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for s in &self.shards {
+            for (b, c) in buckets.iter_mut().zip(&s.counts) {
+                *b += c.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(s.sum.load(Ordering::Relaxed));
+            min = min.min(s.min.load(Ordering::Relaxed));
+            max = max.max(s.max.load(Ordering::Relaxed));
+        }
+        let count: u64 = buckets.iter().sum();
+        HistogramSnapshot {
+            name: self.name,
+            count,
+            sum,
+            min: if count > 0 { Some(min) } else { None },
+            max: if count > 0 { Some(max) } else { None },
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_lower(i), c))
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("name", &self.name)
+            .field("count", &s.count)
+            .field("mean", &s.mean())
+            .finish()
+    }
+}
+
+/// Aggregated view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest observation, if any.
+    pub min: Option<u64>,
+    /// Largest observation, if any.
+    pub max: Option<u64>,
+    /// `(bucket_lower_bound, count)` for every non-empty bucket, in
+    /// ascending bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One registered metric's scraped state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A counter's name and value.
+    Counter {
+        /// Metric name.
+        name: &'static str,
+        /// Current sum over shards.
+        value: u64,
+    },
+    /// A gauge's name and value.
+    Gauge {
+        /// Metric name.
+        name: &'static str,
+        /// Current value.
+        value: f64,
+    },
+    /// A histogram's aggregated snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricSnapshot {
+    /// The metric's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricSnapshot::Counter { name, .. } | MetricSnapshot::Gauge { name, .. } => name,
+            MetricSnapshot::Histogram(h) => h.name,
+        }
+    }
+}
+
+/// Scrapes every registered metric, sorted by name (deterministic
+/// exposition order regardless of registration order).
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let reg = REGISTRY.lock().expect("metrics registry poisoned");
+    let mut out: Vec<MetricSnapshot> = reg
+        .iter()
+        .map(|m| match m {
+            MetricRef::Counter(c) => MetricSnapshot::Counter {
+                name: c.name,
+                value: c.value(),
+            },
+            MetricRef::Gauge(g) => MetricSnapshot::Gauge {
+                name: g.name,
+                value: g.value(),
+            },
+            MetricRef::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+        })
+        .collect();
+    out.sort_by_key(|m| m.name());
+    out
+}
+
+/// Zeroes every registered metric (per-run isolation in harnesses that
+/// train several methods in one process). Concurrent recorders see the
+/// reset as a torn-but-monotone restart; call it between runs, not
+/// during one.
+pub fn reset() {
+    let reg = REGISTRY.lock().expect("metrics registry poisoned");
+    for m in reg.iter() {
+        match m {
+            MetricRef::Counter(c) => c.reset(),
+            MetricRef::Gauge(g) => g.reset(),
+            MetricRef::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+/// Prometheus text exposition of every registered metric.
+pub fn prometheus_text() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for m in snapshot() {
+        match m {
+            MetricSnapshot::Counter { name, value } => {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+            }
+            MetricSnapshot::Gauge { name, value } => {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+            }
+            MetricSnapshot::Histogram(h) => {
+                let name = h.name;
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cum = 0u64;
+                for &(lower, count) in &h.buckets {
+                    cum += count;
+                    // `le` is the bucket's inclusive upper bound: the
+                    // next bucket's lower bound minus one.
+                    let le = bucket_lower(bucket_index(lower) + 1).saturating_sub(1);
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+            }
+        }
+    }
+    out
+}
+
+fn histogram_value(h: &HistogramSnapshot) -> Value {
+    obj([
+        ("type", Value::Str("metric".into())),
+        ("kind", Value::Str("histogram".into())),
+        ("name", Value::Str(h.name.into())),
+        ("count", Value::Num(h.count as f64)),
+        ("sum", Value::Num(h.sum as f64)),
+        ("min", Value::Num(h.min.unwrap_or(0) as f64)),
+        ("max", Value::Num(h.max.unwrap_or(0) as f64)),
+        ("mean", Value::Num(h.mean())),
+        (
+            "buckets",
+            Value::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(lo, c)| Value::Arr(vec![Value::Num(lo as f64), Value::Num(c as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// JSON exposition: an array of `{"type":"metric",...}` objects (the
+/// same objects the run-telemetry JSONL emits one per line).
+pub fn json_snapshot() -> Value {
+    Value::Arr(
+        snapshot()
+            .iter()
+            .map(|m| match m {
+                MetricSnapshot::Counter { name, value } => obj([
+                    ("type", Value::Str("metric".into())),
+                    ("kind", Value::Str("counter".into())),
+                    ("name", Value::Str((*name).into())),
+                    ("value", Value::Num(*value as f64)),
+                ]),
+                MetricSnapshot::Gauge { name, value } => obj([
+                    ("type", Value::Str("metric".into())),
+                    ("kind", Value::Str("gauge".into())),
+                    ("name", Value::Str((*name).into())),
+                    ("value", Value::Num(*value)),
+                ]),
+                MetricSnapshot::Histogram(h) => histogram_value(h),
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverts() {
+        let mut probes: Vec<u64> = Vec::new();
+        for exp in 0..63u32 {
+            for off in [0u64, 1, 2, 3] {
+                probes.push((1u64 << exp).saturating_add(off << exp.saturating_sub(3)));
+            }
+        }
+        probes.sort_unstable();
+        let mut prev = 0usize;
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "bucket order broke at {v}");
+            prev = idx;
+            assert!(bucket_lower(idx) <= v, "lower({idx}) > {v}");
+            if idx + 1 < BUCKETS {
+                assert!(v < bucket_lower(idx + 1), "{v} past bucket {idx}");
+            }
+        }
+        for v in 0..64u64 {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_index(bucket_lower(idx)), idx);
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        static C: Counter = Counter::new("test_counter_basics");
+        static G: Gauge = Gauge::new("test_gauge_basics");
+        C.inc();
+        C.add(41);
+        assert_eq!(C.value(), 42);
+        G.set(1.5);
+        G.add(-0.5);
+        assert_eq!(G.value(), 1.0);
+        let snap = snapshot();
+        assert!(snap.iter().any(|m| m.name() == "test_counter_basics"));
+        assert!(snap.iter().any(|m| m.name() == "test_gauge_basics"));
+    }
+
+    #[test]
+    fn histogram_snapshot_aggregates() {
+        static H: Histogram = Histogram::new("test_hist_agg");
+        for v in [0u64, 1, 3, 4, 5, 100, 1_000_000] {
+            H.record(v);
+        }
+        let s = H.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1_000_113);
+        assert_eq!(s.min, Some(0));
+        assert_eq!(s.max, Some(1_000_000));
+        assert!((s.mean() - 1_000_113.0 / 7.0).abs() < 1e-9);
+        let total: u64 = s.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 7);
+        // Buckets sorted by lower bound.
+        assert!(s.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        static C: Counter = Counter::new("test_prom_counter");
+        static H: Histogram = Histogram::new("test_prom_hist");
+        C.add(3);
+        H.record(7);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_prom_counter counter"));
+        assert!(text.contains("test_prom_hist_count 1"));
+        assert!(text.contains("test_prom_hist_bucket{le=\"+Inf\"} 1"));
+    }
+}

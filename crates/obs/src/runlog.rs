@@ -1,0 +1,198 @@
+//! Structured run telemetry: one JSONL file per training run.
+//!
+//! A run log collects run metadata and per-record convergence points
+//! during training, then writes a single JSONL file whose lines are,
+//! in order:
+//!
+//! 1. one `{"type":"meta", ...}` line (run name + free-form metadata),
+//! 2. one `{"type":"metric", ...}` line per registered metric (the
+//!    objects from [`crate::metrics::json_snapshot`]),
+//! 3. one `{"type":"record", ...}` line per convergence record,
+//! 4. one `{"type":"span", ...}` line per collected trace span.
+//!
+//! The schema is validated by `sgm-testkit`'s telemetry checker and
+//! consumed by the `run_report` bin in `sgm-bench`. File writing
+//! happens strictly after training, so the run itself stays on the
+//! zero-allocation steady-state path.
+
+use crate::{metrics, trace};
+use sgm_json::{obj, Value};
+use std::io::Write;
+
+/// One convergence record (mirrors the training engine's `Record`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Iteration index the record was taken at.
+    pub iteration: usize,
+    /// Train-clock seconds at that iteration.
+    pub seconds: f64,
+    /// Training loss.
+    pub train_loss: f64,
+    /// Validation errors (one per validation set, may be empty).
+    pub val_errors: Vec<f64>,
+}
+
+impl RunRecord {
+    fn to_value(&self) -> Value {
+        obj([
+            ("type", Value::Str("record".into())),
+            ("iteration", Value::Num(self.iteration as f64)),
+            ("seconds", Value::Num(self.seconds)),
+            ("train_loss", Value::Num(self.train_loss)),
+            (
+                "val_errors",
+                Value::Arr(self.val_errors.iter().map(|&e| Value::Num(e)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Accumulates one run's telemetry and writes it out as JSONL.
+#[derive(Debug, Default)]
+pub struct RunLog {
+    run: String,
+    meta: Vec<(String, Value)>,
+    records: Vec<RunRecord>,
+}
+
+impl RunLog {
+    /// Creates an empty log for a named run.
+    pub fn new(run: &str) -> RunLog {
+        RunLog {
+            run: run.to_string(),
+            meta: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Attaches a free-form metadata field to the meta line.
+    pub fn meta(&mut self, key: &str, value: Value) -> &mut Self {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends one convergence record.
+    pub fn push_record(&mut self, r: RunRecord) {
+        self.records.push(r);
+    }
+
+    /// Number of records collected so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn meta_value(&self) -> Value {
+        let mut fields = vec![
+            ("type".to_string(), Value::Str("meta".into())),
+            ("run".to_string(), Value::Str(self.run.clone())),
+        ];
+        fields.extend(self.meta.iter().cloned());
+        Value::Obj(fields.into_iter().collect())
+    }
+
+    /// Renders the full JSONL document (meta, metrics, records, spans)
+    /// from the current metrics registry and the given spans.
+    pub fn render_jsonl(&self, spans: &[trace::TraceEvent]) -> String {
+        let mut out = String::new();
+        out.push_str(&self.meta_value().to_string_compact());
+        out.push('\n');
+        if let Value::Arr(ms) = metrics::json_snapshot() {
+            for m in ms {
+                out.push_str(&m.to_string_compact());
+                out.push('\n');
+            }
+        }
+        for r in &self.records {
+            out.push_str(&r.to_value().to_string_compact());
+            out.push('\n');
+        }
+        for ev in spans {
+            out.push_str(&trace::span_value(ev).to_string_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`RunLog::render_jsonl`] to `path` (creating parent
+    /// directories as needed).
+    pub fn write_jsonl(&self, path: &str, spans: &[trace::TraceEvent]) -> std::io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render_jsonl(spans).as_bytes())
+    }
+
+    /// End-of-run convenience honoring the telemetry env vars:
+    ///
+    /// * `SGM_RUN_LOG=<path>` — drain collected spans and write the
+    ///   JSONL telemetry there.
+    /// * `SGM_CHROME_TRACE=<path>` — also write a Chrome
+    ///   `trace_event` export of the same spans.
+    ///
+    /// Returns the JSONL path when one was written. With neither var
+    /// set this is a no-op (spans are left in the collector).
+    pub fn finish_from_env(&self) -> std::io::Result<Option<String>> {
+        let jsonl = std::env::var("SGM_RUN_LOG").ok().filter(|s| !s.is_empty());
+        let chrome = std::env::var("SGM_CHROME_TRACE")
+            .ok()
+            .filter(|s| !s.is_empty());
+        if jsonl.is_none() && chrome.is_none() {
+            return Ok(None);
+        }
+        let spans = trace::drain();
+        if let Some(path) = &chrome {
+            trace::write_chrome_trace(path, &spans)?;
+        }
+        if let Some(path) = &jsonl {
+            self.write_jsonl(path, &spans)?;
+            return Ok(Some(path.clone()));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_all_parse_and_are_typed() {
+        let mut log = RunLog::new("unit");
+        log.meta("method", Value::Str("sgm".into()));
+        log.push_record(RunRecord {
+            iteration: 10,
+            seconds: 0.5,
+            train_loss: 1e-3,
+            val_errors: vec![0.1, 0.2],
+        });
+        let spans = vec![trace::TraceEvent {
+            name: "stage_refresh",
+            cat: "engine",
+            tid: 0,
+            id: 7,
+            parent: 0,
+            start_ns: 100,
+            dur_ns: 50,
+        }];
+        let text = log.render_jsonl(&spans);
+        let mut types = Vec::new();
+        for line in text.lines() {
+            let v = Value::parse(line).expect("line parses");
+            types.push(v.req_str("type").expect("typed").to_string());
+        }
+        assert_eq!(types.first().map(String::as_str), Some("meta"));
+        assert!(types.iter().any(|t| t == "record"));
+        assert_eq!(types.last().map(String::as_str), Some("span"));
+        let meta = Value::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(meta.req_str("run").unwrap(), "unit");
+        assert_eq!(meta.req_str("method").unwrap(), "sgm");
+    }
+}

@@ -1,0 +1,59 @@
+//! Property sweep over the log-linear histogram bucketing
+//! (`bucket_index` / `bucket_lower`), via `sgm-testkit`'s shrinking
+//! sweep runner: for values across all 64 bit magnitudes the index must
+//! stay in range, invert through `bucket_lower`, grow monotonically,
+//! and bound quantization error at 25 % (4 sub-buckets per octave).
+
+use sgm_obs::metrics::{bucket_index, bucket_lower, BUCKETS};
+use sgm_testkit::Sweep;
+
+#[test]
+fn bucket_functions_satisfy_their_contract() {
+    Sweep::new(0x56d_0b5, 4000).run(
+        |rng| {
+            // Uniform over magnitudes, not values: shift a raw draw so
+            // small buckets (the linear 0..4 range) get real coverage.
+            let shift = rng.below(64) as u32;
+            rng.next_u64() >> shift
+        },
+        |&v| {
+            let mut cands = Vec::new();
+            if v > 0 {
+                cands.push(v / 2);
+                cands.push(v - 1);
+            }
+            cands
+        },
+        |&v| {
+            let idx = bucket_index(v);
+            if idx >= BUCKETS {
+                return Err(format!("index {idx} out of range for {v}"));
+            }
+            let lo = bucket_lower(idx);
+            if lo > v {
+                return Err(format!("lower({idx}) = {lo} > {v}"));
+            }
+            if idx + 1 < BUCKETS {
+                let hi = bucket_lower(idx + 1);
+                // The topmost bucket is inclusive of u64::MAX (its
+                // "next lower bound" saturates), so the half-open
+                // check only applies below it.
+                if hi != u64::MAX && v >= hi {
+                    return Err(format!("{v} >= next lower {hi} (bucket {idx})"));
+                }
+                // Relative quantization: width <= lo/4 beyond the
+                // linear head (lo < 4 buckets have width 1).
+                let width = hi - lo;
+                if hi != u64::MAX && lo >= 4 && width * 4 > lo {
+                    return Err(format!("bucket {idx} width {width} > 25% of {lo}"));
+                }
+            }
+            // Monotone in v: the next representable value never maps to
+            // a smaller bucket.
+            if v < u64::MAX && bucket_index(v + 1) < idx {
+                return Err(format!("index not monotone at {v}"));
+            }
+            Ok(())
+        },
+    );
+}

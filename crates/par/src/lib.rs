@@ -35,11 +35,20 @@
 //! (the global pool, but only above a caller-supplied work-size cutoff so
 //! small problems never pay scheduling overhead).
 
+use sgm_obs::{metrics, trace};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// Jobs executed through the pooled path (the serial fast path is not
+/// counted — it is indistinguishable from inline execution).
+static JOBS_TOTAL: metrics::Counter = metrics::Counter::new("sgm_par_jobs_total");
+/// Size of the global pool (set once, when the pool is built).
+static POOL_THREADS: metrics::Gauge = metrics::Gauge::new("sgm_par_pool_threads");
+/// Threads currently executing a pooled job (occupancy).
+static BUSY_WORKERS: metrics::Gauge = metrics::Gauge::new("sgm_par_busy_workers");
 
 /// How a parallelizable call site should execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -222,15 +231,23 @@ impl ThreadPool {
         }
         let latch = Arc::new(Latch::new(tasks.len()));
         let panicked = Arc::new(AtomicBool::new(false));
+        // Cross-thread parent for worker task spans: whatever span the
+        // submitting thread is inside when it fans out.
+        let parent_ctx = trace::current_context();
         {
             let mut q = self.shared.queue.lock().expect("queue poisoned");
             for task in tasks {
                 let latch = latch.clone();
                 let panicked = panicked.clone();
                 let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    let _span =
+                        trace::span_with_parent(trace::TraceLevel::Full, "par", "task", parent_ctx);
+                    JOBS_TOTAL.inc();
+                    BUSY_WORKERS.add(1.0);
                     if std::panic::catch_unwind(AssertUnwindSafe(task)).is_err() {
                         panicked.store(true, Ordering::SeqCst);
                     }
+                    BUSY_WORKERS.add(-1.0);
                     latch.count_down();
                 });
                 // SAFETY: `run` blocks on `latch.wait()` until every job has
@@ -431,7 +448,9 @@ pub fn global() -> &'static ThreadPool {
                     .map(|n| n.get())
                     .unwrap_or(1)
             });
-        ThreadPool::new(n.max(1))
+        let n = n.max(1);
+        POOL_THREADS.set(n as f64);
+        ThreadPool::new(n)
     })
 }
 

@@ -1,0 +1,106 @@
+//! CLI wrapper around [`sgm_testkit::telemetry::validate_run_log`] for
+//! shell pipelines and CI:
+//!
+//! ```sh
+//! cargo run -p sgm-testkit --bin validate_telemetry -- run.jsonl \
+//!     --require-span background_rebuild --require-metric sgm_train_iterations_total \
+//!     --min-records 1 --require-cross-thread
+//! ```
+//!
+//! Exits non-zero (with the offending line or missing requirement on
+//! stderr) when any file fails schema validation or a `--require-*`
+//! assertion; prints a one-line summary per file otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut require_spans: Vec<String> = Vec::new();
+    let mut require_metrics: Vec<String> = Vec::new();
+    let mut min_records = 0usize;
+    let mut require_cross_thread = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--require-span" => {
+                require_spans.push(args.next().expect("--require-span needs a name"))
+            }
+            "--require-metric" => {
+                require_metrics.push(args.next().expect("--require-metric needs a name"))
+            }
+            "--min-records" => {
+                min_records = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-records needs a count")
+            }
+            "--require-cross-thread" => require_cross_thread = true,
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!(
+            "usage: validate_telemetry <run.jsonl>... [--require-span NAME]... \
+             [--require-metric NAME]... [--min-records N] [--require-cross-thread]"
+        );
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let summary = match sgm_testkit::telemetry::validate_run_log(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+                continue;
+            }
+        };
+        for name in &require_spans {
+            if !summary.span_names.contains(name) {
+                eprintln!(
+                    "{path}: missing required span `{name}` (have: {:?})",
+                    summary.span_names
+                );
+                failed = true;
+            }
+        }
+        for name in &require_metrics {
+            if !summary.metric_names.contains(name) {
+                eprintln!("{path}: missing required metric `{name}`");
+                failed = true;
+            }
+        }
+        if summary.records < min_records {
+            eprintln!(
+                "{path}: {} record(s), need at least {min_records}",
+                summary.records
+            );
+            failed = true;
+        }
+        if require_cross_thread && summary.cross_thread_spans == 0 {
+            eprintln!("{path}: no cross-thread-parented spans found");
+            failed = true;
+        }
+        println!(
+            "{path}: ok — {} metrics, {} records, {} spans ({} cross-thread), cats {:?}",
+            summary.metrics,
+            summary.records,
+            summary.spans,
+            summary.cross_thread_spans,
+            summary.span_cats.keys().collect::<Vec<_>>()
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`sweep`] — seeded property sweeps over `Rng64` with automatic
 //!   greedy failure-case shrinking (the workspace's offline stand-in for
 //!   proptest).
+//! * [`telemetry`] — schema validation for the `sgm-obs` run-telemetry
+//!   JSONL format, plus the `validate_telemetry` bin CI uses to gate
+//!   instrumented runs.
 //!
 //! Statistical acceptance tests (chi-square / KS) build on the
 //! `sgm_linalg::stats` utilities; the integration suites under
@@ -33,8 +36,10 @@ pub mod fault;
 pub mod gradcheck;
 pub mod mms;
 pub mod sweep;
+pub mod telemetry;
 
 pub use fault::{FaultAction, FaultPlan};
 pub use gradcheck::{central_diff_grad, max_rel_err, Lift, Scalar};
 pub use mms::MmsCase;
 pub use sweep::Sweep;
+pub use telemetry::{validate_run_log, TelemetrySummary};

@@ -1,0 +1,199 @@
+//! Schema validation for run-telemetry JSONL files (the `SGM_RUN_LOG`
+//! output of `sgm_obs::RunLog`).
+//!
+//! The run-log format is the contract between the instrumented binaries
+//! and every downstream consumer (`run_report`, CI's observability
+//! gate, ad-hoc jq). [`validate_run_log`] checks a document line by
+//! line — one `meta` line first, then `metric` / `record` / `span`
+//! lines with the field types each consumer relies on — and returns a
+//! [`TelemetrySummary`] so tests can additionally assert *what* was
+//! captured (e.g. "a `background_rebuild` span exists and is parented
+//! across threads"). The `validate_telemetry` bin wraps this for shell
+//! use.
+
+use sgm_json::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counts and names extracted while validating a run log.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Metric lines by kind (`counter`, `gauge`, `histogram`).
+    pub metrics: usize,
+    /// Convergence-record lines.
+    pub records: usize,
+    /// Span lines.
+    pub spans: usize,
+    /// Distinct metric names seen.
+    pub metric_names: BTreeSet<String>,
+    /// Distinct span names seen.
+    pub span_names: BTreeSet<String>,
+    /// Span count per `cat` label.
+    pub span_cats: BTreeMap<String, usize>,
+    /// Spans whose parent lives on a different thread (the
+    /// cross-thread parenting the background rebuild worker relies on).
+    pub cross_thread_spans: usize,
+}
+
+fn req_num(v: &Value, key: &str, line: usize) -> Result<f64, String> {
+    v.req_f64(key).map_err(|e| format!("line {line}: {e}"))
+}
+
+fn req_str(v: &Value, key: &str, line: usize) -> Result<String, String> {
+    v.req_str(key)
+        .map(str::to_string)
+        .map_err(|e| format!("line {line}: {e}"))
+}
+
+/// Validates a whole JSONL telemetry document.
+///
+/// # Errors
+/// Returns a message naming the first offending line when the document
+/// is empty, a line fails to parse, the first line is not `meta`, a
+/// line's `type` is unknown, or a typed line is missing required
+/// fields.
+pub fn validate_run_log(text: &str) -> Result<TelemetrySummary, String> {
+    let mut summary = TelemetrySummary::default();
+    // tid of every span id, for the cross-thread parent count.
+    let mut span_tid: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut parents: Vec<(u64, u64)> = Vec::new(); // (parent id, child tid)
+    let mut saw_meta = false;
+    let mut nonempty = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        nonempty += 1;
+        let v = Value::parse(raw).map_err(|e| format!("line {line}: {e}"))?;
+        let ty = req_str(&v, "type", line)?;
+        if nonempty == 1 && ty != "meta" {
+            return Err(format!("line {line}: first line must be meta, got `{ty}`"));
+        }
+        match ty.as_str() {
+            "meta" => {
+                if saw_meta {
+                    return Err(format!("line {line}: duplicate meta line"));
+                }
+                saw_meta = true;
+                req_str(&v, "run", line)?;
+            }
+            "metric" => {
+                summary.metrics += 1;
+                let name = req_str(&v, "name", line)?;
+                summary.metric_names.insert(name);
+                match req_str(&v, "kind", line)?.as_str() {
+                    "counter" | "gauge" => {
+                        req_num(&v, "value", line)?;
+                    }
+                    "histogram" => {
+                        for key in ["count", "sum", "min", "max", "mean"] {
+                            req_num(&v, key, line)?;
+                        }
+                        let buckets = v
+                            .req("buckets")
+                            .ok()
+                            .and_then(Value::as_arr)
+                            .ok_or_else(|| format!("line {line}: histogram without buckets"))?;
+                        for b in buckets {
+                            let pair = b.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                                format!("line {line}: bucket is not a [lower, count] pair")
+                            })?;
+                            if pair.iter().any(|x| x.as_f64().is_none()) {
+                                return Err(format!("line {line}: non-numeric bucket entry"));
+                            }
+                        }
+                    }
+                    other => return Err(format!("line {line}: unknown metric kind `{other}`")),
+                }
+            }
+            "record" => {
+                summary.records += 1;
+                for key in ["iteration", "seconds", "train_loss"] {
+                    req_num(&v, key, line)?;
+                }
+                v.req("val_errors")
+                    .ok()
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| format!("line {line}: record without val_errors array"))?;
+            }
+            "span" => {
+                summary.spans += 1;
+                let name = req_str(&v, "name", line)?;
+                let cat = req_str(&v, "cat", line)?;
+                summary.span_names.insert(name);
+                *summary.span_cats.entry(cat).or_insert(0) += 1;
+                for key in ["tid", "id", "parent", "start_ns", "dur_ns"] {
+                    req_num(&v, key, line)?;
+                }
+                let id = req_num(&v, "id", line)? as u64;
+                if id == 0 {
+                    return Err(format!(
+                        "line {line}: span id 0 is reserved for `no parent`"
+                    ));
+                }
+                let tid = req_num(&v, "tid", line)? as u64;
+                span_tid.insert(id, tid);
+                let parent = req_num(&v, "parent", line)? as u64;
+                if parent != 0 {
+                    parents.push((parent, tid));
+                }
+            }
+            other => return Err(format!("line {line}: unknown line type `{other}`")),
+        }
+    }
+    if nonempty == 0 {
+        return Err("empty telemetry document".into());
+    }
+    for (parent, child_tid) in parents {
+        if let Some(&ptid) = span_tid.get(&parent) {
+            if ptid != child_tid {
+                summary.cross_thread_spans += 1;
+            }
+        }
+        // A parent id with no span line is legal: the parent may have
+        // been dropped by a level change or an earlier drain.
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        "{\"type\":\"meta\",\"run\":\"t\",\"method\":\"sgm\"}\n",
+        "{\"type\":\"metric\",\"kind\":\"counter\",\"name\":\"c\",\"value\":3}\n",
+        "{\"type\":\"metric\",\"kind\":\"histogram\",\"name\":\"h\",\"count\":1,",
+        "\"sum\":5,\"min\":5,\"max\":5,\"mean\":5,\"buckets\":[[5,1]]}\n",
+        "{\"type\":\"record\",\"iteration\":0,\"seconds\":0.1,\"train_loss\":1.0,",
+        "\"val_errors\":[0.5]}\n",
+        "{\"type\":\"span\",\"name\":\"a\",\"cat\":\"engine\",\"tid\":0,\"id\":1,",
+        "\"parent\":0,\"start_ns\":0,\"dur_ns\":10}\n",
+        "{\"type\":\"span\",\"name\":\"b\",\"cat\":\"sampler\",\"tid\":1,\"id\":2,",
+        "\"parent\":1,\"start_ns\":2,\"dur_ns\":5}\n",
+    );
+
+    #[test]
+    fn valid_document_summarises() {
+        let s = validate_run_log(GOOD).expect("valid");
+        assert_eq!(s.metrics, 2);
+        assert_eq!(s.records, 1);
+        assert_eq!(s.spans, 2);
+        assert!(s.span_names.contains("b"));
+        assert_eq!(s.span_cats.get("sampler"), Some(&1));
+        // Span b (tid 1) is parented under span a (tid 0).
+        assert_eq!(s.cross_thread_spans, 1);
+    }
+
+    #[test]
+    fn rejects_missing_meta_and_bad_lines() {
+        assert!(validate_run_log("").is_err());
+        assert!(validate_run_log("{\"type\":\"record\"}").is_err());
+        let err = validate_run_log("{\"type\":\"meta\",\"run\":\"t\"}\nnot json")
+            .expect_err("parse failure");
+        assert!(err.starts_with("line 2:"), "{err}");
+        let err = validate_run_log("{\"type\":\"meta\",\"run\":\"t\"}\n{\"type\":\"mystery\"}")
+            .expect_err("unknown type");
+        assert!(err.contains("unknown line type"), "{err}");
+    }
+}

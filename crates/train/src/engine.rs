@@ -26,6 +26,7 @@ use sgm_linalg::rng::Rng64;
 use sgm_nn::checkpoint::Checkpoint;
 use sgm_nn::mlp::Mlp;
 use sgm_nn::optimizer::{Adam, AdamConfig};
+use sgm_obs::{trace, TraceLevel};
 use std::time::Instant;
 
 /// Training-loop options.
@@ -240,6 +241,10 @@ impl Trainer<'_> {
             }
             let t0 = Instant::now();
             {
+                // The span is open while the sampler runs, so sampler
+                // internals (and any background-rebuild request) parent
+                // under it.
+                let _s = trace::span(TraceLevel::Stages, "engine", "stage_refresh");
                 let probe = Probe {
                     net: self.net,
                     model: self.model,
@@ -247,51 +252,66 @@ impl Trainer<'_> {
                 sampler.refresh(iter, &probe, &mut rng);
             }
             let t1 = Instant::now();
-            sampler.fill_batch(opts.batch_interior, &mut idx, &mut rng);
-            bidx.clear();
-            for _ in 0..bb {
-                bidx.push(rng.below(n_boundary));
+            {
+                let _s = trace::span(TraceLevel::Stages, "engine", "stage_draw");
+                sampler.fill_batch(opts.batch_interior, &mut idx, &mut rng);
+                bidx.clear();
+                for _ in 0..bb {
+                    bidx.push(rng.below(n_boundary));
+                }
             }
             let t2 = Instant::now();
-            self.model.gather(&idx, &bidx, &mut *ws);
+            {
+                let _s = trace::span(TraceLevel::Stages, "engine", "stage_gather");
+                self.model.gather(&idx, &bidx, &mut *ws);
+            }
             let t3 = Instant::now();
-            grads.zero();
-            self.model.loss_and_grad(self.net, &mut *ws, &mut grads);
+            {
+                let _s = trace::span(TraceLevel::Stages, "engine", "stage_loss_grad");
+                grads.zero();
+                self.model.loss_and_grad(self.net, &mut *ws, &mut grads);
+            }
             let t4 = Instant::now();
-            adam.step(self.net, &grads);
+            {
+                let _s = trace::span(TraceLevel::Stages, "engine", "stage_step");
+                adam.step(self.net, &grads);
+            }
             let t5 = Instant::now();
             for h in hooks.iter_mut() {
-                h.on_stage(iter, Stage::Refresh, (t1 - t0).as_secs_f64());
-                h.on_stage(iter, Stage::Draw, (t2 - t1).as_secs_f64());
-                h.on_stage(iter, Stage::Gather, (t3 - t2).as_secs_f64());
-                h.on_stage(iter, Stage::LossGrad, (t4 - t3).as_secs_f64());
-                h.on_stage(iter, Stage::Step, (t5 - t4).as_secs_f64());
+                h.on_stage(iter, Stage::Refresh, t1 - t0);
+                h.on_stage(iter, Stage::Draw, t2 - t1);
+                h.on_stage(iter, Stage::Gather, t3 - t2);
+                h.on_stage(iter, Stage::LossGrad, t4 - t3);
+                h.on_stage(iter, Stage::Step, t5 - t4);
                 h.on_iteration(iter);
             }
             train_clock += opts.synthetic_dt.unwrap_or_else(|| (t5 - t0).as_secs_f64());
 
             if iter % opts.record_every == 0 || iter + 1 == opts.iterations {
                 let r0 = Instant::now();
-                // Post-step loss: the record pairs this loss with the
-                // weights it was computed with (and with val_errors).
-                let train_loss = self.model.batch_loss(self.net, &idx, &bidx);
-                let val_errors = match validator {
-                    Some(v) => v.val_errors(self.net),
-                    None => Vec::new(),
+                let record = {
+                    let _s = trace::span(TraceLevel::Stages, "engine", "stage_record");
+                    // Post-step loss: the record pairs this loss with the
+                    // weights it was computed with (and with val_errors).
+                    let train_loss = self.model.batch_loss(self.net, &idx, &bidx);
+                    let val_errors = match validator {
+                        Some(v) => v.val_errors(self.net),
+                        None => Vec::new(),
+                    };
+                    Record {
+                        iteration: iter,
+                        seconds: train_clock,
+                        train_loss,
+                        val_errors,
+                    }
                 };
-                let record = Record {
-                    iteration: iter,
-                    seconds: train_clock,
-                    train_loss,
-                    val_errors,
-                };
-                let rec_dt = r0.elapsed().as_secs_f64();
+                let rec_dt = r0.elapsed();
                 for h in hooks.iter_mut() {
                     h.on_stage(iter, Stage::Record, rec_dt);
                     h.on_record(&record);
                 }
                 if opts.synthetic_dt.is_none() {
-                    record_clock += rec_dt;
+                    record_clock += rec_dt.as_secs_f64();
                 }
                 history.push(record);
             }

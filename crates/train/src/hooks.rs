@@ -8,6 +8,7 @@
 //! out of its `Refresh`/`Draw` buckets.
 
 use crate::result::Record;
+use std::time::Duration;
 
 /// The stages of one training iteration, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +60,12 @@ impl Stage {
 /// Observer of the staged training pipeline. All methods default to
 /// no-ops so hooks implement only what they need.
 pub trait Hook {
-    /// Called after each stage with its measured wall time in seconds
-    /// (measured even when the engine runs on a synthetic clock).
-    fn on_stage(&mut self, iter: usize, stage: Stage, seconds: f64) {
-        let _ = (iter, stage, seconds);
+    /// Called after each stage with its measured wall time (measured
+    /// even when the engine runs on a synthetic clock). The full
+    /// [`Duration`] is passed so sub-microsecond stages keep their
+    /// nanosecond resolution.
+    fn on_stage(&mut self, iter: usize, stage: Stage, dt: Duration) {
+        let _ = (iter, stage, dt);
     }
 
     /// Called once per iteration after the optimiser step (before any
@@ -77,11 +80,31 @@ pub trait Hook {
     }
 }
 
-/// Aggregating hook: total seconds per stage and iteration count.
-#[derive(Debug, Clone, Default)]
+/// Aggregating hook: per-stage totals, extrema and means.
+///
+/// Accumulates in integer nanoseconds (`u128` totals, so ~10^22 seconds
+/// before overflow) rather than `f64` seconds — summing many
+/// sub-microsecond stage timings into an `f64` total loses the low bits
+/// once the total grows past ~1 second.
+#[derive(Debug, Clone)]
 pub struct StageTimes {
-    totals: [f64; Stage::COUNT],
+    total_ns: [u128; Stage::COUNT],
+    min_ns: [u64; Stage::COUNT],
+    max_ns: [u64; Stage::COUNT],
+    counts: [u64; Stage::COUNT],
     iterations: usize,
+}
+
+impl Default for StageTimes {
+    fn default() -> Self {
+        StageTimes {
+            total_ns: [0; Stage::COUNT],
+            min_ns: [u64::MAX; Stage::COUNT],
+            max_ns: [0; Stage::COUNT],
+            counts: [0; Stage::COUNT],
+            iterations: 0,
+        }
+    }
 }
 
 impl StageTimes {
@@ -92,7 +115,37 @@ impl StageTimes {
 
     /// Total seconds spent in `stage` so far.
     pub fn total(&self, stage: Stage) -> f64 {
-        self.totals[stage.index()]
+        self.total_ns[stage.index()] as f64 * 1e-9
+    }
+
+    /// Total time spent in `stage`, at full resolution.
+    pub fn total_duration(&self, stage: Stage) -> Duration {
+        let ns = self.total_ns[stage.index()];
+        Duration::from_nanos(ns.min(u64::MAX as u128) as u64)
+    }
+
+    /// Observations of `stage`.
+    pub fn count(&self, stage: Stage) -> u64 {
+        self.counts[stage.index()]
+    }
+
+    /// Fastest observation of `stage`, if any.
+    pub fn min(&self, stage: Stage) -> Option<Duration> {
+        (self.counts[stage.index()] > 0).then(|| Duration::from_nanos(self.min_ns[stage.index()]))
+    }
+
+    /// Slowest observation of `stage`, if any.
+    pub fn max(&self, stage: Stage) -> Option<Duration> {
+        (self.counts[stage.index()] > 0).then(|| Duration::from_nanos(self.max_ns[stage.index()]))
+    }
+
+    /// Mean observation of `stage`, if any.
+    pub fn mean(&self, stage: Stage) -> Option<Duration> {
+        let i = stage.index();
+        (self.counts[i] > 0).then(|| {
+            let ns = self.total_ns[i] / self.counts[i] as u128;
+            Duration::from_nanos(ns.min(u64::MAX as u128) as u64)
+        })
     }
 
     /// Iterations observed.
@@ -102,13 +155,19 @@ impl StageTimes {
 
     /// Total *training* seconds (all stages except `Record`).
     pub fn train_total(&self) -> f64 {
-        self.totals[..Stage::Record.index()].iter().sum()
+        self.total_ns[..Stage::Record.index()].iter().sum::<u128>() as f64 * 1e-9
     }
 }
 
 impl Hook for StageTimes {
-    fn on_stage(&mut self, _iter: usize, stage: Stage, seconds: f64) {
-        self.totals[stage.index()] += seconds;
+    fn on_stage(&mut self, _iter: usize, stage: Stage, dt: Duration) {
+        let i = stage.index();
+        let ns = dt.as_nanos();
+        let ns64 = ns.min(u64::MAX as u128) as u64;
+        self.total_ns[i] += ns;
+        self.min_ns[i] = self.min_ns[i].min(ns64);
+        self.max_ns[i] = self.max_ns[i].max(ns64);
+        self.counts[i] += 1;
     }
 
     fn on_iteration(&mut self, _iter: usize) {
@@ -140,13 +199,44 @@ mod tests {
     #[test]
     fn stage_times_aggregate() {
         let mut t = StageTimes::new();
-        t.on_stage(0, Stage::Refresh, 1.0);
-        t.on_stage(0, Stage::Step, 2.0);
-        t.on_stage(1, Stage::Record, 4.0);
+        t.on_stage(0, Stage::Refresh, Duration::from_secs(1));
+        t.on_stage(0, Stage::Step, Duration::from_secs(2));
+        t.on_stage(1, Stage::Record, Duration::from_secs(4));
         t.on_iteration(0);
         t.on_iteration(1);
         assert_eq!(t.total(Stage::Refresh), 1.0);
         assert_eq!(t.train_total(), 3.0);
         assert_eq!(t.iterations(), 2);
+    }
+
+    #[test]
+    fn nanosecond_timings_are_not_lost() {
+        // 10^7 observations of 100ns: an f64-seconds accumulator keeps
+        // this exact too, but interleaved with large values it wouldn't;
+        // integer nanoseconds are exact by construction.
+        let mut t = StageTimes::new();
+        t.on_stage(0, Stage::Step, Duration::from_secs(1_000_000));
+        for i in 0..1000 {
+            t.on_stage(i, Stage::Step, Duration::from_nanos(1));
+        }
+        let total = t.total_ns[Stage::Step.index()];
+        assert_eq!(total, 1_000_000u128 * 1_000_000_000 + 1000);
+        assert_eq!(t.min(Stage::Step), Some(Duration::from_nanos(1)));
+        assert_eq!(t.max(Stage::Step), Some(Duration::from_secs(1_000_000)));
+        assert_eq!(t.count(Stage::Step), 1001);
+    }
+
+    #[test]
+    fn extrema_and_mean_empty_stage() {
+        let t = StageTimes::new();
+        assert_eq!(t.min(Stage::Draw), None);
+        assert_eq!(t.max(Stage::Draw), None);
+        assert_eq!(t.mean(Stage::Draw), None);
+        assert_eq!(t.count(Stage::Draw), 0);
+
+        let mut t = StageTimes::new();
+        t.on_stage(0, Stage::Draw, Duration::from_nanos(10));
+        t.on_stage(1, Stage::Draw, Duration::from_nanos(30));
+        assert_eq!(t.mean(Stage::Draw), Some(Duration::from_nanos(20)));
     }
 }

@@ -31,6 +31,7 @@
 pub mod engine;
 pub mod hooks;
 pub mod model;
+pub mod obs;
 pub mod result;
 pub mod runstate;
 pub mod sampler;
@@ -38,6 +39,7 @@ pub mod sampler;
 pub use engine::{TrainOptions, Trainer};
 pub use hooks::{Hook, Stage, StageTimes};
 pub use model::{LossModel, ModelWorkspace, Validator};
+pub use obs::ObsHook;
 pub use result::{Record, TrainResult};
 pub use runstate::{RunState, RunStateError};
 pub use sampler::{Probe, Sampler, UniformSampler};

@@ -1,0 +1,82 @@
+//! [`ObsHook`] — the bridge from the engine's [`Hook`] events to the
+//! `sgm-obs` metrics registry.
+//!
+//! Installing it adds, per stage, one histogram record (a few relaxed
+//! atomics, no locks, no allocation in steady state) — the
+//! `tests/train_zero_alloc.rs` suite and the `obs_overhead` bench group
+//! in `sgm-bench` pin both halves of that claim.
+
+use crate::hooks::{Hook, Stage};
+use crate::result::Record;
+use sgm_obs::{Counter, Gauge, Histogram};
+use std::time::Duration;
+
+/// Wall time per engine stage (nanoseconds), indexed like
+/// [`Stage::index`].
+static STAGE_NS: [Histogram; Stage::COUNT] = [
+    Histogram::new("sgm_train_stage_refresh_ns"),
+    Histogram::new("sgm_train_stage_draw_ns"),
+    Histogram::new("sgm_train_stage_gather_ns"),
+    Histogram::new("sgm_train_stage_loss_grad_ns"),
+    Histogram::new("sgm_train_stage_step_ns"),
+    Histogram::new("sgm_train_stage_record_ns"),
+];
+static ITERATIONS: Counter = Counter::new("sgm_train_iterations_total");
+static RECORDS: Counter = Counter::new("sgm_train_records_total");
+static TRAIN_LOSS: Gauge = Gauge::new("sgm_train_loss");
+
+/// A [`Hook`] that mirrors engine stage timings and convergence points
+/// into the process metrics registry:
+///
+/// | metric | kind | meaning |
+/// |---|---|---|
+/// | `sgm_train_stage_<stage>_ns` | histogram | wall time of each stage |
+/// | `sgm_train_iterations_total` | counter | completed iterations |
+/// | `sgm_train_records_total` | counter | history records produced |
+/// | `sgm_train_loss` | gauge | most recent recorded training loss |
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsHook;
+
+impl ObsHook {
+    /// A fresh hook (stateless — all state lives in the registry).
+    pub fn new() -> Self {
+        ObsHook
+    }
+}
+
+impl Hook for ObsHook {
+    fn on_stage(&mut self, _iter: usize, stage: Stage, dt: Duration) {
+        STAGE_NS[stage.index()].record_duration(dt);
+    }
+
+    fn on_iteration(&mut self, _iter: usize) {
+        ITERATIONS.inc();
+    }
+
+    fn on_record(&mut self, record: &Record) {
+        RECORDS.inc();
+        TRAIN_LOSS.set(record.train_loss);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hook_feeds_the_registry() {
+        let mut h = ObsHook::new();
+        let before = STAGE_NS[Stage::Step.index()].snapshot().count;
+        h.on_stage(0, Stage::Step, Duration::from_nanos(1234));
+        h.on_iteration(0);
+        h.on_record(&Record {
+            iteration: 0,
+            seconds: 0.0,
+            train_loss: 0.25,
+            val_errors: Vec::new(),
+        });
+        let after = STAGE_NS[Stage::Step.index()].snapshot().count;
+        assert_eq!(after, before + 1);
+        assert_eq!(TRAIN_LOSS.value(), 0.25);
+    }
+}

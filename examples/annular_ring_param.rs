@@ -121,4 +121,8 @@ fn main() {
         "\nsampler: {} refreshes, {} probes, {:.2}s overhead, {} rebuilds",
         stats.refreshes, stats.probe_evals, stats.refresh_seconds, stats.rebuilds_applied
     );
+    println!(
+        "rebuilds: {} completed, {} stale epochs served, last took {:.3}s",
+        stats.rebuilds_completed, stats.rebuilds_stale_served, stats.last_rebuild_seconds
+    );
 }

@@ -8,6 +8,16 @@
 //! Trains two identically initialised networks for the same wall budget
 //! and prints the validation errors of `u`, `v`, `ν` against a built-in
 //! finite-difference reference solve.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SGM_BUDGET_SECS` — wall budget per method (default 25 s; CI's
+//!   observability job shrinks this to a few seconds).
+//! * `SGM_TAU_G` — SGM graph-rebuild period `τ_G` in iterations
+//!   (default 1500; lower it to force background rebuilds into short
+//!   runs).
+//! * `SGM_TRACE`, `SGM_RUN_LOG`, `SGM_CHROME_TRACE` — span tracing and
+//!   run-telemetry export (see the README's environment table).
 
 use sgm_cfd::ldc::LdcSolver;
 use sgm_core::{SgmConfig, SgmSampler, UniformSampler};
@@ -20,10 +30,18 @@ use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{NsConfig, Pde, ZeroEqConfig};
 use sgm_physics::problem::{Problem, TrainSet};
 use sgm_physics::{AveragedValidation, PinnModel};
-use sgm_train::{Sampler, TrainOptions, Trainer};
+use sgm_train::{Hook, ObsHook, Sampler, TrainOptions, Trainer};
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
-    let budget = 25.0; // seconds per method
+    let budget = env_f64("SGM_BUDGET_SECS", 25.0); // seconds per method
+    let tau_g = env_f64("SGM_TAU_G", 1500.0) as usize;
     let re = 100.0;
     let nu_mol = 1.0 / re;
 
@@ -95,7 +113,16 @@ fn main() {
                 net: &mut net,
                 model: &model,
             };
-            tr.run(sampler, Some(&AveragedValidation(&validation)), &opts)
+            // Mirror stage timings and convergence into the metrics
+            // registry, so SGM_RUN_LOG captures them.
+            let mut obs = ObsHook::new();
+            let mut hooks: [&mut dyn Hook; 1] = [&mut obs];
+            tr.run_hooked(
+                sampler,
+                Some(&AveragedValidation(&validation)),
+                &opts,
+                &mut hooks,
+            )
         };
         let last = result.history.last().unwrap();
         println!(
@@ -120,7 +147,7 @@ fn main() {
             lrd_level: 10,
             min_clusters: 48,
             tau_e: 300,
-            tau_g: 1500,
+            tau_g,
             ..SgmConfig::default()
         },
     );
@@ -140,4 +167,28 @@ fn main() {
         "SGM overhead: {} refreshes ({} probes) costing {:.2}s; {} graph rebuilds applied",
         stats.refreshes, stats.probe_evals, stats.refresh_seconds, stats.rebuilds_applied
     );
+    println!(
+        "SGM rebuilds: {} completed ({} epochs served stale while one was in flight); \
+         last rebuild took {:.3}s",
+        stats.rebuilds_completed, stats.rebuilds_stale_served, stats.last_rebuild_seconds
+    );
+
+    // Run telemetry (no-op unless SGM_RUN_LOG / SGM_CHROME_TRACE set).
+    let mut log = sgm_obs::RunLog::new("ldc_turbulent/sgm");
+    log.meta("method", sgm_json::Value::Str("sgm".into()));
+    log.meta("budget_seconds", sgm_json::Value::Num(budget));
+    log.meta("tau_g", sgm_json::Value::Num(tau_g as f64));
+    for r in &r_sgm.history {
+        log.push_record(sgm_obs::RunRecord {
+            iteration: r.iteration,
+            seconds: r.seconds,
+            train_loss: r.train_loss,
+            val_errors: r.val_errors.clone(),
+        });
+    }
+    match log.finish_from_env() {
+        Ok(Some(path)) => println!("telemetry -> {path}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
 }

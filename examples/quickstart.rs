@@ -135,5 +135,9 @@ fn main() {
         "sampler overhead: {} refreshes, {} loss probes, {:.2}s",
         stats.refreshes, stats.probe_evals, stats.refresh_seconds
     );
+    println!(
+        "rebuilds: {} completed ({} stale epochs served), last took {:.3}s",
+        stats.rebuilds_completed, stats.rebuilds_stale_served, stats.last_rebuild_seconds
+    );
     assert!(best < 0.2, "quickstart should reach <20% error");
 }

@@ -14,6 +14,10 @@ else
     export SGM_ABLATION_SECS=${SGM_ABLATION_SECS:-10}
     BENCH_ARGS=""
 fi
+# Every experiment bin writes one telemetry JSONL per method run here
+# (consumed by `run_report` and validated by `validate_telemetry`).
+export SGM_RUN_LOG_DIR=${SGM_RUN_LOG_DIR:-$PWD/target/telemetry}
+mkdir -p "$SGM_RUN_LOG_DIR"
 set -x
 cargo build --release --workspace 2>&1 | tail -3
 cargo test --release -p sgm-core -p sgm-nn 2>&1 | grep -E "test result|FAILED|error\["
@@ -31,4 +35,10 @@ cargo run --release -p sgm-bench --bin fig2     > target/fig2_output.txt 2>&1
 cargo run --release -p sgm-bench --bin fig3     > target/fig3_output.txt 2>&1
 cargo run --release -p sgm-bench --bin fig4     > target/fig4_output.txt 2>&1
 cargo run --release -p sgm-bench --bin ablation > target/ablation_output.txt 2>&1
+# Schema-check whatever telemetry the suites produced (tolerates an
+# empty dir on bins that don't route through run_suite).
+if ls "$SGM_RUN_LOG_DIR"/*.jsonl >/dev/null 2>&1; then
+    cargo run --release -p sgm-testkit --bin validate_telemetry -- "$SGM_RUN_LOG_DIR"/*.jsonl \
+        > target/telemetry_validation.txt 2>&1 || exit 1
+fi
 echo "PIPELINE_COMPLETE"

@@ -22,7 +22,7 @@ use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{Pde, PoissonConfig};
 use sgm_physics::problem::{Problem, TrainSet};
 use sgm_physics::PinnModel;
-use sgm_train::{Hook, Stage, TrainOptions, Trainer, UniformSampler};
+use sgm_train::{Hook, ObsHook, Stage, TrainOptions, Trainer, UniformSampler};
 
 /// Forwards to the system allocator while counting every `alloc` and
 /// `realloc` call (deallocations are free and not counted).
@@ -58,7 +58,7 @@ struct AllocCounter {
 }
 
 impl Hook for AllocCounter {
-    fn on_stage(&mut self, _iter: usize, stage: Stage, _seconds: f64) {
+    fn on_stage(&mut self, _iter: usize, stage: Stage, _dt: std::time::Duration) {
         if stage == Stage::Record {
             self.record_stages += 1;
         }
@@ -114,12 +114,17 @@ fn steady_state_iterations_do_not_allocate() {
         counts: Vec::with_capacity(ITERS + 1),
         record_stages: 0,
     };
+    // The metrics-recording hook rides along: its registry writes are
+    // relaxed atomics into static shards, so the zero-allocation
+    // assertions below hold with instrumentation enabled (registration
+    // itself happens in the warmup window).
+    let mut obs = ObsHook::new();
     sgm_par::with_parallelism(Parallelism::Serial, || {
         let mut tr = Trainer {
             net: &mut net,
             model: &model,
         };
-        let mut hooks: [&mut dyn Hook; 1] = [&mut hook];
+        let mut hooks: [&mut dyn Hook; 2] = [&mut obs, &mut hook];
         tr.run_hooked(&mut sampler, None, &opts, &mut hooks);
     });
     assert_eq!(hook.counts.len(), ITERS);
@@ -136,6 +141,32 @@ fn steady_state_iterations_do_not_allocate() {
             "iteration {i} allocated {delta} times in steady state"
         );
     }
+}
+
+/// Direct contract on the `sgm-obs` registry: once a metric is
+/// registered (first record), every further counter add and histogram
+/// record is allocation-free — the property the engine test above
+/// relies on.
+#[test]
+fn metric_records_do_not_allocate_in_steady_state() {
+    static C: sgm_obs::Counter = sgm_obs::Counter::new("test_zero_alloc_counter");
+    static G: sgm_obs::Gauge = sgm_obs::Gauge::new("test_zero_alloc_gauge");
+    static H: sgm_obs::Histogram = sgm_obs::Histogram::new("test_zero_alloc_hist");
+    // Warmup: the first record of each metric pushes one registry entry
+    // (allowed to allocate, happens once per process).
+    C.inc();
+    G.set(1.0);
+    H.record(1);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..1000u64 {
+        C.add(i);
+        G.add(0.5);
+        H.record(i * 37);
+    }
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(delta, 0, "steady-state metric records allocated {delta}x");
+    assert_eq!(C.value(), 1 + (0..1000).sum::<u64>());
+    assert_eq!(H.snapshot().count, 1001);
 }
 
 /// The same engine loop re-run with a fresh workspace produces identical
