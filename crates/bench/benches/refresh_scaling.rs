@@ -1,0 +1,134 @@
+//! N-scaling benchmark for the incremental graph refresh (paper-scale
+//! point clouds: 64k → 256k → 1M).
+//!
+//! The same binary measures both engines, selected by environment so the
+//! two dumps carry **identical** `(group, name)` ids and diff cleanly
+//! with `bench_diff`:
+//!
+//! ```sh
+//! SGM_REFRESH_MODE=full  cargo bench -p sgm-bench --bench refresh_scaling -- --json full.json
+//! SGM_REFRESH_MODE=delta cargo bench -p sgm-bench --bench refresh_scaling -- --json delta.json
+//! cargo run --release -p sgm-bench --bin bench_diff -- --min-speedup 3 full.json delta.json
+//! ```
+//!
+//! * `full` (default) — a from-scratch S1+S2 rebuild per iteration: the
+//!   classic `build_knn_graph` + `decompose` path the delta engine
+//!   replaces.
+//! * `delta` — a warm [`GraphRefresher`] patching a ~10 % spatially
+//!   clustered dirty set per iteration. Iterations alternate between the
+//!   perturbed and base clouds so every timed call moves the same number
+//!   of points (there is no "already clean" freebie).
+//!
+//! `SGM_REFRESH_BENCH_MAX_N` caps the size ladder (CI uses 262144 to
+//! skip the 1M tier); `--test` dry-runs a 4k cloud only.
+
+use sgm_bench::microbench::Runner;
+use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
+use sgm_graph::lrd::{decompose, ErSource, LrdConfig};
+use sgm_graph::points::PointCloud;
+use sgm_graph::refresh::{GraphRefresher, RefreshConfig, RefreshOptions};
+use sgm_graph::resistance::ApproxErOptions;
+use sgm_linalg::rng::Rng64;
+
+/// Paper-scale size ladder (smallest LDC tier → the 1M stress point).
+const SIZES: [usize; 3] = [65_536, 262_144, 1_048_576];
+
+fn base_cloud(n: usize) -> PointCloud {
+    let mut rng = Rng64::new(0xBE9C ^ n as u64);
+    PointCloud::uniform_box(n, 2, 0.0, 1.0, &mut rng)
+}
+
+/// Displaces the points inside a disc holding ~10 % of the unit box by a
+/// sub-spacing nudge — the spatially clustered dirty pattern a moving
+/// loss front produces (adaptive resampling concentrates somewhere, not
+/// uniformly).
+fn perturbed(base: &PointCloud) -> PointCloud {
+    let r2 = 0.1 / std::f64::consts::PI; // disc area = 10 % of the box
+    let (cx, cy) = (0.35, 0.6);
+    let nudge = 0.3 / (base.len() as f64).sqrt(); // ~30 % of mean spacing
+    let mut rng = Rng64::new(0xD1A7 ^ base.len() as u64);
+    let mut out = PointCloud::new(2);
+    for i in 0..base.len() {
+        let p = base.point(i);
+        let (dx, dy) = (p[0] - cx, p[1] - cy);
+        if dx * dx + dy * dy <= r2 {
+            out.push(&[
+                p[0] + rng.uniform_in(-nudge, nudge),
+                p[1] + rng.uniform_in(-nudge, nudge),
+            ]);
+        } else {
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn knn_cfg() -> KnnConfig {
+    KnnConfig {
+        k: 8,
+        strategy: KnnStrategy::Grid,
+        weight_eps: 1e-9,
+        seed: 0x5EED,
+    }
+}
+
+fn lrd_cfg() -> LrdConfig {
+    LrdConfig {
+        level: 6,
+        er: ErSource::Approx(ApproxErOptions {
+            seed: 0x5EED,
+            ..ApproxErOptions::default()
+        }),
+        budget_scale: 1.0,
+        max_cluster_frac: 0.02,
+        min_clusters: 48,
+    }
+}
+
+fn main() {
+    let mut runner = Runner::from_args().with_iters(1, 3);
+    let mode = std::env::var("SGM_REFRESH_MODE").unwrap_or_else(|_| "full".into());
+    assert!(
+        mode == "full" || mode == "delta",
+        "SGM_REFRESH_MODE must be `full` or `delta`, got `{mode}`"
+    );
+    let max_n: usize = std::env::var("SGM_REFRESH_BENCH_MAX_N")
+        .ok()
+        .map(|v| v.parse().expect("SGM_REFRESH_BENCH_MAX_N: not a number"))
+        .unwrap_or(usize::MAX);
+    let sizes: Vec<usize> = if runner.is_dry_run() {
+        vec![4096]
+    } else {
+        SIZES.iter().copied().filter(|&n| n <= max_n).collect()
+    };
+
+    for n in sizes {
+        let base = base_cloud(n);
+        let name = format!("n{n}");
+        if mode == "full" {
+            let (knn, lrd) = (knn_cfg(), lrd_cfg());
+            runner.bench("refresh_scaling", &name, || {
+                let g = build_knn_graph(&base, &knn);
+                decompose(&g, &lrd).num_clusters()
+            });
+        } else {
+            let shaken = perturbed(&base);
+            let mut engine = GraphRefresher::new(RefreshConfig {
+                knn: knn_cfg(),
+                lrd: lrd_cfg(),
+                opts: RefreshOptions::default(),
+            });
+            let (_, warm) = engine.refresh(&base); // untimed full build
+            assert!(warm.full_build);
+            let mut flip = false;
+            runner.bench("refresh_scaling", &name, || {
+                flip = !flip;
+                let cloud = if flip { &shaken } else { &base };
+                let (c, stats) = engine.refresh(cloud);
+                assert!(!stats.full_build, "delta iteration fell back to full");
+                c.num_clusters()
+            });
+        }
+    }
+    runner.finish();
+}

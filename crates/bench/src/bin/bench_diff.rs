@@ -14,6 +14,11 @@
 //!   assemble `BENCH_PR4.json`).
 //! * `--strict` — exit non-zero when any case regresses >10 % (off by
 //!   default so smoke runs with 1-iteration timings don't flake).
+//! * `--min-speedup <x>` — exit non-zero unless the geometric-mean
+//!   speedup over all compared cases is at least `x`. Used by the
+//!   `refresh-scaling` CI gate: a full-rebuild dump diffed against a
+//!   delta-refresh dump from the *same machine* must clear the paper's
+//!   incremental-speedup floor.
 //!
 //! Groups present in only one dump (a filtered run, or a group added or
 //! removed between revisions) are reported as warnings and skipped —
@@ -79,16 +84,28 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut json_out: Option<String> = None;
     let mut strict = false;
+    let mut min_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json_out = Some(args.next().expect("--json needs a path")),
             "--strict" => strict = true,
+            "--min-speedup" => {
+                min_speedup = Some(
+                    args.next()
+                        .expect("--min-speedup needs a value")
+                        .parse()
+                        .expect("--min-speedup: not a number"),
+                );
+            }
             _ => paths.push(a),
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_diff [--json <out>] [--strict] <before.json> <after.json>");
+        eprintln!(
+            "usage: bench_diff [--json <out>] [--strict] [--min-speedup <x>] \
+             <before.json> <after.json>"
+        );
         return ExitCode::from(2);
     }
     let before = load(&paths[0]);
@@ -187,6 +204,39 @@ fn main() -> ExitCode {
         regressions.len()
     );
 
+    // Per-group and overall geometric-mean speedups. The geomean is the
+    // right aggregate for ratios: a 4x win and a 4x loss cancel to 1.0
+    // instead of averaging to 2.1x.
+    let geomean = |ratios: &[f64]| -> f64 {
+        let finite: Vec<f64> = ratios.iter().copied().filter(|r| r.is_finite()).collect();
+        if finite.is_empty() {
+            return f64::NAN;
+        }
+        (finite.iter().map(|r| r.ln()).sum::<f64>() / finite.len() as f64).exp()
+    };
+    let mut group_ratios: std::collections::BTreeMap<&str, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for (b, _, speedup, _) in &rows {
+        group_ratios
+            .entry(b.group.as_str())
+            .or_default()
+            .push(*speedup);
+    }
+    let mut group_rows = Vec::new();
+    for (g, ratios) in &group_ratios {
+        let gm = geomean(ratios);
+        println!(
+            "group {g:<24} geomean speedup {gm:>7.2}x over {} case(s)",
+            ratios.len()
+        );
+        group_rows.push((g.to_string(), gm, ratios.len()));
+    }
+    let all_ratios: Vec<f64> = rows.iter().map(|(_, _, s, _)| *s).collect();
+    let overall = geomean(&all_ratios);
+    if !rows.is_empty() {
+        println!("overall geomean speedup {overall:.2}x");
+    }
+
     if let Some(out) = json_out {
         let cases: Vec<Value> = rows
             .iter()
@@ -203,9 +253,21 @@ fn main() -> ExitCode {
                 ])
             })
             .collect();
+        let groups: Vec<Value> = group_rows
+            .iter()
+            .map(|(g, gm, n)| {
+                obj([
+                    ("group", Value::Str(g.clone())),
+                    ("geomean_speedup", Value::Num(*gm)),
+                    ("cases", Value::Num(*n as f64)),
+                ])
+            })
+            .collect();
         let doc = obj([
             ("before", Value::Str(paths[0].clone())),
             ("after", Value::Str(paths[1].clone())),
+            ("overall_geomean_speedup", Value::Num(overall)),
+            ("groups", Value::Arr(groups)),
             ("cases", Value::Arr(cases)),
         ]);
         std::fs::write(&out, doc.to_string_pretty())
@@ -216,6 +278,14 @@ fn main() -> ExitCode {
     if strict && !regressions.is_empty() {
         eprintln!("regressions: {}", regressions.join(", "));
         return ExitCode::FAILURE;
+    }
+    if let Some(floor) = min_speedup {
+        if overall.is_nan() || overall < floor {
+            eprintln!(
+                "overall geomean speedup {overall:.2}x is below the --min-speedup floor {floor}x"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

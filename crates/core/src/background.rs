@@ -18,6 +18,7 @@
 use sgm_graph::knn::{build_knn_graph, KnnConfig};
 use sgm_graph::lrd::{decompose, Clustering, LrdConfig};
 use sgm_graph::points::PointCloud;
+use sgm_graph::refresh::{GraphRefresher, RefreshConfig, RefreshOptions, RefreshStats};
 use sgm_obs::{trace, Histogram, SpanContext, TraceLevel};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -37,16 +38,91 @@ pub struct RebuildRequest {
     pub knn: KnnConfig,
     /// LRD configuration (S2).
     pub lrd: LrdConfig,
+    /// When set, the serving [`RebuildWorker`] maintains a persistent
+    /// [`GraphRefresher`] and ships **deltas**: only dirty points are
+    /// re-queried and only dirty LRD blocks recomputed. `None` keeps
+    /// the classic stateless full rebuild.
+    pub incremental: Option<RefreshOptions>,
 }
 
-/// Runs a rebuild synchronously (shared by the worker and the
-/// non-threaded fallback).
+/// A finished rebuild: the clustering to swap in, plus the refresh
+/// telemetry when the incremental path served it.
+#[derive(Debug, Clone)]
+pub struct RebuildOutput {
+    /// The clustering (`S_new` in Algorithm 1).
+    pub clustering: Clustering,
+    /// Delta-path statistics (`None` on the classic full path).
+    pub refresh: Option<RefreshStats>,
+}
+
+impl From<Clustering> for RebuildOutput {
+    fn from(clustering: Clustering) -> Self {
+        RebuildOutput {
+            clustering,
+            refresh: None,
+        }
+    }
+}
+
+/// Runs a **stateless full** rebuild synchronously (ignores
+/// `req.incremental` — per-request state lives in [`RebuildWorker`]).
 pub fn run_rebuild(req: &RebuildRequest) -> Clustering {
     let t0 = Instant::now();
     let g = build_knn_graph(&req.cloud, &req.knn);
     let c = decompose(&g, &req.lrd);
     REBUILD_NS.record_duration(t0.elapsed());
     c
+}
+
+/// The stateful rebuild executor: owns the persistent incremental
+/// engine between requests. Both the production worker thread
+/// ([`BackgroundBuilder::spawn`]) and the sampler's inline fallback
+/// hold one, so the delta path is identical either way — and a worker
+/// crash takes its engine state down with it, which is why a dying
+/// worker can never hand the sampler a torn graph: only complete
+/// [`RebuildOutput`]s ever cross the channel.
+#[derive(Debug, Default)]
+pub struct RebuildWorker {
+    refresher: Option<GraphRefresher>,
+}
+
+impl RebuildWorker {
+    /// A worker with no engine state yet.
+    pub fn new() -> Self {
+        RebuildWorker::default()
+    }
+
+    /// Serves one request: delta patch when `req.incremental` is set and
+    /// the engine is warm, full (re)build otherwise.
+    pub fn run(&mut self, req: &RebuildRequest) -> RebuildOutput {
+        match &req.incremental {
+            None => {
+                self.refresher = None;
+                run_rebuild(req).into()
+            }
+            Some(opts) => {
+                let cfg = RefreshConfig {
+                    knn: req.knn.clone(),
+                    lrd: req.lrd.clone(),
+                    opts: opts.clone(),
+                };
+                let stale = self.refresher.as_ref().is_some_and(|r| *r.config() != cfg);
+                if stale {
+                    self.refresher = None;
+                }
+                let refresher = self
+                    .refresher
+                    .get_or_insert_with(|| GraphRefresher::new(cfg));
+                let t0 = Instant::now();
+                let (clustering, stats) = refresher.refresh(&req.cloud);
+                REBUILD_NS.record_duration(t0.elapsed());
+                RebuildOutput {
+                    clustering,
+                    refresh: Some(stats),
+                }
+            }
+        }
+    }
 }
 
 /// The rebuild worker thread terminated (panicked) while results were
@@ -73,7 +149,7 @@ impl std::error::Error for WorkerDied {}
 #[derive(Debug)]
 pub struct BackgroundBuilder {
     tx: Option<Sender<(RebuildRequest, SpanContext)>>,
-    rx: Receiver<(Clustering, Duration)>,
+    rx: Receiver<(RebuildOutput, Duration)>,
     handle: Option<JoinHandle<()>>,
     pending: usize,
     died: Option<WorkerDied>,
@@ -81,9 +157,11 @@ pub struct BackgroundBuilder {
 }
 
 impl BackgroundBuilder {
-    /// Spawns the standard worker thread (kNN + LRD per request).
+    /// Spawns the standard worker thread: a [`RebuildWorker`] serving
+    /// kNN + LRD per request (full or delta, per `req.incremental`).
     pub fn spawn() -> Self {
-        Self::spawn_with_worker(|req| Some(run_rebuild(req)))
+        let mut worker = RebuildWorker::new();
+        Self::spawn_with_worker(move |req| Some(worker.run(req)))
     }
 
     /// Spawns a worker running `work` per request. Returning `None`
@@ -94,13 +172,14 @@ impl BackgroundBuilder {
     /// panics deterministically.
     pub fn spawn_with_worker<F>(work: F) -> Self
     where
-        F: Fn(&RebuildRequest) -> Option<Clustering> + Send + 'static,
+        F: FnMut(&RebuildRequest) -> Option<RebuildOutput> + Send + 'static,
     {
         let (tx_req, rx_req) = channel::<(RebuildRequest, SpanContext)>();
-        let (tx_res, rx_res) = channel::<(Clustering, Duration)>();
+        let (tx_res, rx_res) = channel::<(RebuildOutput, Duration)>();
         let handle = std::thread::Builder::new()
             .name("sgm-rebuild".into())
             .spawn(move || {
+                let mut work = work;
                 while let Ok((req, ctx)) = rx_req.recv() {
                     // Explicit cross-thread parenting: the span lands on
                     // this worker's timeline but hangs off the engine
@@ -112,8 +191,8 @@ impl BackgroundBuilder {
                         ctx,
                     );
                     let t0 = Instant::now();
-                    if let Some(clustering) = work(&req) {
-                        if tx_res.send((clustering, t0.elapsed())).is_err() {
+                    if let Some(output) = work(&req) {
+                        if tx_res.send((output, t0.elapsed())).is_err() {
                             break;
                         }
                     }
@@ -174,13 +253,13 @@ impl BackgroundBuilder {
         }
     }
 
-    /// Non-blocking poll for a finished clustering. `Ok(None)` means no
+    /// Non-blocking poll for a finished rebuild. `Ok(None)` means no
     /// result is ready yet (the worker may still be computing).
     ///
     /// # Errors
     /// Returns [`WorkerDied`] when the worker thread is gone, so callers
     /// never spin forever waiting on a dead worker.
-    pub fn try_take(&mut self) -> Result<Option<Clustering>, WorkerDied> {
+    pub fn try_take(&mut self) -> Result<Option<RebuildOutput>, WorkerDied> {
         if let Some(d) = &self.died {
             return Err(d.clone());
         }
@@ -195,13 +274,13 @@ impl BackgroundBuilder {
         }
     }
 
-    /// Blocking wait for a finished clustering (used by tests and by
+    /// Blocking wait for a finished rebuild (used by tests and by
     /// shutdown paths).
     ///
     /// # Errors
     /// Returns [`WorkerDied`] when the worker thread exits without
     /// producing a result.
-    pub fn take_blocking(&mut self) -> Result<Clustering, WorkerDied> {
+    pub fn take_blocking(&mut self) -> Result<RebuildOutput, WorkerDied> {
         if let Some(d) = &self.died {
             return Err(d.clone());
         }
@@ -264,6 +343,7 @@ mod tests {
                 ..KnnConfig::default()
             },
             lrd: LrdConfig::default(),
+            incremental: None,
         }
     }
 
@@ -272,9 +352,10 @@ mod tests {
         let mut b = BackgroundBuilder::spawn();
         let c = cloud(200, 1);
         assert!(b.request(req(c.clone())).unwrap());
-        let clustering = b.take_blocking().expect("worker result");
-        assert_eq!(clustering.num_nodes(), 200);
-        assert!(clustering.num_clusters() >= 2);
+        let out = b.take_blocking().expect("worker result");
+        assert_eq!(out.clustering.num_nodes(), 200);
+        assert!(out.clustering.num_clusters() >= 2);
+        assert!(out.refresh.is_none(), "full path carries no delta stats");
         assert!(!b.is_pending());
     }
 
@@ -299,7 +380,43 @@ mod tests {
         let mut b = BackgroundBuilder::spawn();
         b.request(req(c)).unwrap();
         let asynch = b.take_blocking().unwrap();
-        assert_eq!(sync.assignment(), asynch.assignment());
+        assert_eq!(sync.assignment(), asynch.clustering.assignment());
+    }
+
+    #[test]
+    fn incremental_requests_ship_deltas_through_the_worker() {
+        let base = cloud(600, 11);
+        let delta_req = |c: Arc<PointCloud>| RebuildRequest {
+            incremental: Some(sgm_graph::refresh::RefreshOptions::default()),
+            ..req(c)
+        };
+        let mut b = BackgroundBuilder::spawn();
+        b.request(delta_req(base.clone())).unwrap();
+        let first = b.take_blocking().unwrap();
+        let s1 = first.refresh.expect("incremental path reports stats");
+        assert!(s1.full_build, "cold worker does a full build");
+
+        // Nudge a handful of points and re-request: the worker's
+        // persistent engine must serve a partial refresh.
+        let mut moved = PointCloud::new(2);
+        for i in 0..base.len() {
+            let p = base.point(i);
+            if i < 20 {
+                moved.push(&[p[0] + 1e-3, p[1]]);
+            } else {
+                moved.push(p);
+            }
+        }
+        b.request(delta_req(Arc::new(moved))).unwrap();
+        let second = b.take_blocking().unwrap();
+        let s2 = second.refresh.expect("incremental path reports stats");
+        assert!(!s2.full_build, "warm worker patches in place");
+        assert!(s2.points_moved >= 20);
+        assert!(
+            s2.points_rescored < base.len(),
+            "only the dirty frontier is rescored"
+        );
+        assert_eq!(second.clustering.num_nodes(), base.len());
     }
 
     #[test]
@@ -311,7 +428,7 @@ mod tests {
 
     #[test]
     fn panicking_worker_is_reported_not_hung() {
-        let mut b = BackgroundBuilder::spawn_with_worker(|_req| -> Option<Clustering> {
+        let mut b = BackgroundBuilder::spawn_with_worker(|_req| -> Option<RebuildOutput> {
             panic!("injected rebuild failure")
         });
         assert!(b.request(req(cloud(50, 5))).unwrap());
@@ -339,7 +456,7 @@ mod tests {
             if n == 0 {
                 None // drop the first result
             } else {
-                Some(run_rebuild(r))
+                Some(run_rebuild(r).into())
             }
         });
         let c = cloud(80, 7);

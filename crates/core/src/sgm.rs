@@ -15,11 +15,12 @@
 //! 14:  every τ_G iterations rebuild S1–S2 in the background
 //! ```
 
-use crate::background::{run_rebuild, BackgroundBuilder, RebuildRequest};
+use crate::background::{BackgroundBuilder, RebuildRequest, RebuildWorker};
 use crate::score::{assemble_epoch, combine_scores, map_scores, ScoreMapping};
 use sgm_graph::knn::{KnnConfig, KnnStrategy};
 use sgm_graph::lrd::{Clustering, ErSource, LrdConfig};
 use sgm_graph::points::PointCloud;
+use sgm_graph::refresh::{RefreshOptions, RefreshStats};
 use sgm_graph::resistance::ApproxErOptions;
 use sgm_json::Value;
 use sgm_linalg::dense::Matrix;
@@ -136,6 +137,12 @@ pub struct SgmConfig {
     pub augment_outputs: bool,
     /// Seed for graph construction and ER probes.
     pub seed: u64,
+    /// Incremental graph refresh: when set, τ_G rebuilds are served by a
+    /// persistent delta engine (moved points re-queried, dirty LRD blocks
+    /// recomputed) instead of a from-scratch build. The rebuild seed is
+    /// held fixed in this mode so deltas compare against a stable
+    /// configuration. `None` (default) keeps the classic full rebuild.
+    pub incremental: Option<RefreshOptions>,
 }
 
 impl Default for SgmConfig {
@@ -159,6 +166,7 @@ impl Default for SgmConfig {
             background: true,
             augment_outputs: false,
             seed: 0x56C1,
+            incremental: None,
         }
     }
 }
@@ -189,6 +197,20 @@ pub struct SgmStats {
     /// Wall-clock seconds spent inside refresh (scoring + epoch assembly;
     /// excludes background-thread graph time by construction).
     pub refresh_seconds: f64,
+    /// Cumulative points re-queried by the incremental graph engine
+    /// (counts every point on full builds, only the dirty frontier on
+    /// delta patches; 0 in classic full-rebuild mode).
+    pub points_rescored: usize,
+    /// Cumulative adjacency slots rewritten by delta patches (0 in
+    /// classic full-rebuild mode).
+    pub edges_patched: usize,
+    /// Dirty fraction of the most recent incremental rebuild
+    /// (`rescored / total`; 1.0 for a full build, 0.0 before any
+    /// incremental rebuild completes).
+    pub last_dirty_fraction: f64,
+    /// Worker-side wall seconds (kNN patch + blocked LRD) of the most
+    /// recent incremental rebuild (0.0 in classic mode).
+    pub last_patch_seconds: f64,
 }
 
 /// The SGM-PINN sampler (implements [`Sampler`]).
@@ -201,6 +223,11 @@ pub struct SgmSampler {
     epoch: Vec<usize>,
     cursor: usize,
     builder: Option<BackgroundBuilder>,
+    /// Executor for the initial build and for inline (non-background or
+    /// fallback-after-worker-death) rebuilds. In incremental mode it
+    /// keeps its own warm delta engine, so a worker death degrades to
+    /// inline *delta* rebuilds, not full ones.
+    inline_worker: RebuildWorker,
     stats: SgmStats,
     rebuild_counter: u64,
 }
@@ -249,28 +276,35 @@ impl SgmSampler {
             cloud: cloud.clone(),
             knn: Self::knn_config(&cfg, cfg.seed),
             lrd: Self::lrd_config(&cfg, cfg.seed),
+            incremental: cfg.incremental.clone(),
         };
+        let mut inline_worker = RebuildWorker::new();
         let t_build = Instant::now();
-        let clustering = run_rebuild(&req);
+        let output = inline_worker.run(&req);
         let build_seconds = t_build.elapsed().as_secs_f64();
         let n = interior.len();
         let mut rng = Rng64::new(cfg.seed ^ 0xE90C);
         let mut epoch: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut epoch);
-        SgmSampler {
+        let mut sampler = SgmSampler {
             cfg,
             cloud,
-            clustering,
+            clustering: output.clustering,
             epoch,
             cursor: 0,
             builder,
+            inline_worker,
             stats: SgmStats {
                 rebuilds_completed: 1,
                 last_rebuild_seconds: build_seconds,
                 ..SgmStats::default()
             },
             rebuild_counter: 0,
+        };
+        if let Some(rs) = &output.refresh {
+            sampler.apply_refresh_stats(rs);
         }
+        sampler
     }
 
     fn knn_config(cfg: &SgmConfig, seed: u64) -> KnnConfig {
@@ -368,12 +402,24 @@ impl SgmSampler {
         self.cfg.tau_g > 0 && iter > 0 && iter.is_multiple_of(self.cfg.tau_g)
     }
 
+    /// Folds one incremental refresh report into the cumulative stats.
+    fn apply_refresh_stats(&mut self, rs: &RefreshStats) {
+        self.stats.points_rescored += rs.points_rescored;
+        self.stats.edges_patched += rs.edges_patched;
+        self.stats.last_dirty_fraction = rs.dirty_fraction();
+        self.stats.last_patch_seconds = rs.knn_seconds + rs.lrd_seconds;
+    }
+
     /// Runs a rebuild on the calling thread and applies it immediately,
     /// keeping the bookkeeping aligned with the background path.
     fn rebuild_inline(&mut self, req: &RebuildRequest) {
         let _span = trace::span(TraceLevel::Stages, "sampler", "rebuild_inline");
         let t0 = Instant::now();
-        self.clustering = run_rebuild(req);
+        let output = self.inline_worker.run(req);
+        self.clustering = output.clustering;
+        if let Some(rs) = &output.refresh {
+            self.apply_refresh_stats(rs);
+        }
         self.stats.last_rebuild_seconds = t0.elapsed().as_secs_f64();
         self.stats.rebuilds_requested += 1;
         self.stats.rebuilds_applied += 1;
@@ -453,10 +499,20 @@ impl Sampler for SgmSampler {
             } else {
                 self.cloud.clone()
             };
+            // Incremental mode pins the rebuild seed: the delta engine
+            // caches per-block decompositions keyed on a stable config,
+            // and a per-rebuild seed would invalidate every block every
+            // τ_G. Classic mode keeps the historical per-rebuild mix.
+            let rebuild_seed = if self.cfg.incremental.is_some() {
+                self.cfg.seed
+            } else {
+                self.cfg.seed ^ self.rebuild_counter
+            };
             let req = RebuildRequest {
                 cloud,
-                knn: Self::knn_config(&self.cfg, self.cfg.seed ^ self.rebuild_counter),
-                lrd: Self::lrd_config(&self.cfg, self.cfg.seed ^ self.rebuild_counter),
+                knn: Self::knn_config(&self.cfg, rebuild_seed),
+                lrd: Self::lrd_config(&self.cfg, rebuild_seed),
+                incremental: self.cfg.incremental.clone(),
             };
             match &mut self.builder {
                 Some(b) => match b.request(req.clone()) {
@@ -477,10 +533,14 @@ impl Sampler for SgmSampler {
         if let Some(b) = &mut self.builder {
             match b.try_take() {
                 Ok(Some(fresh)) => {
-                    self.clustering = fresh;
+                    let dt = b.last_rebuild_duration();
+                    self.clustering = fresh.clustering;
+                    if let Some(rs) = &fresh.refresh {
+                        self.apply_refresh_stats(rs);
+                    }
                     self.stats.rebuilds_applied += 1;
                     self.stats.rebuilds_completed += 1;
-                    if let Some(dt) = b.last_rebuild_duration() {
+                    if let Some(dt) = dt {
                         self.stats.last_rebuild_seconds = dt.as_secs_f64();
                     }
                 }
@@ -604,6 +664,22 @@ impl Sampler for SgmSampler {
             "refresh_seconds".to_string(),
             num(self.stats.refresh_seconds),
         );
+        obj.insert(
+            "points_rescored".to_string(),
+            num(self.stats.points_rescored as f64),
+        );
+        obj.insert(
+            "edges_patched".to_string(),
+            num(self.stats.edges_patched as f64),
+        );
+        obj.insert(
+            "last_dirty_fraction".to_string(),
+            num(self.stats.last_dirty_fraction),
+        );
+        obj.insert(
+            "last_patch_seconds".to_string(),
+            num(self.stats.last_patch_seconds),
+        );
         Value::Obj(obj)
     }
 
@@ -675,6 +751,23 @@ impl Sampler for SgmSampler {
             .get("refresh_seconds")
             .and_then(Value::as_f64)
             .ok_or("sgm state: missing refresh_seconds")?;
+        // Absent in checkpoints written before incremental refresh.
+        self.stats.points_rescored = state
+            .get("points_rescored")
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as usize;
+        self.stats.edges_patched = state
+            .get("edges_patched")
+            .and_then(Value::as_u64)
+            .unwrap_or(0) as usize;
+        self.stats.last_dirty_fraction = state
+            .get("last_dirty_fraction")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        self.stats.last_patch_seconds = state
+            .get("last_patch_seconds")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
         Ok(())
     }
 }
@@ -821,6 +914,34 @@ mod tests {
         }
         assert_eq!(s.stats().rebuilds_requested, 2);
         assert_eq!(s.stats().rebuilds_applied, 2);
+    }
+
+    #[test]
+    fn incremental_mode_tracks_delta_stats() {
+        let (net, prob, data) = setup(300, 31);
+        let mut cfg = small_cfg();
+        cfg.tau_g = 5;
+        cfg.incremental = Some(RefreshOptions::default());
+        let mut s = SgmSampler::new(&data.interior, cfg);
+        // The initial full build reports every point rescored.
+        assert_eq!(s.stats().points_rescored, 300);
+        assert!((s.stats().last_dirty_fraction - 1.0).abs() < 1e-12);
+        let model = PinnModel::new(&prob, &data);
+        let probe = Probe {
+            net: &net,
+            model: &model,
+        };
+        let mut rng = Rng64::new(32);
+        for iter in 0..11 {
+            s.refresh(iter, &probe, &mut rng);
+        }
+        // The sampler's cloud never moves, so the two τ_G rebuilds are
+        // no-op deltas: nothing rescored, nothing patched.
+        assert_eq!(s.stats().rebuilds_applied, 2);
+        assert_eq!(s.stats().points_rescored, 300);
+        assert_eq!(s.stats().edges_patched, 0);
+        assert_eq!(s.stats().last_dirty_fraction, 0.0);
+        assert_eq!(s.clustering().num_nodes(), 300);
     }
 
     #[test]

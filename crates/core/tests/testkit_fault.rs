@@ -1,14 +1,27 @@
 //! Regression guard wiring `sgm-testkit`'s fault injection into the
 //! crate that owns `BackgroundBuilder`: a scripted worker crash must
-//! surface as `WorkerDied` with the panic message, never a hang.
+//! surface as `WorkerDied` with the panic message, never a hang — and
+//! in incremental mode a crash mid-delta-patch must leave the sampler
+//! serving the last consistent clustering (no torn adjacency can cross
+//! the channel: the worker's engine state dies with the thread).
 
 use sgm_core::background::RebuildRequest;
+use sgm_core::{SgmConfig, SgmSampler};
 use sgm_graph::knn::{KnnConfig, KnnStrategy};
 use sgm_graph::lrd::LrdConfig;
 use sgm_graph::points::PointCloud;
+use sgm_graph::refresh::RefreshOptions;
 use sgm_linalg::rng::Rng64;
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_physics::geometry::{Cavity, FillStrategy};
+use sgm_physics::pde::{Pde, PoissonConfig};
+use sgm_physics::problem::{Problem, TrainSet};
+use sgm_physics::PinnModel;
 use sgm_testkit::fault::{FaultAction, FaultPlan};
+use sgm_train::{Probe, Sampler};
 use std::sync::Arc;
+use std::time::Duration;
 
 #[test]
 fn scripted_crash_is_surfaced_with_its_message() {
@@ -21,6 +34,7 @@ fn scripted_crash_is_surfaced_with_its_message() {
             ..KnnConfig::default()
         },
         lrd: LrdConfig::default(),
+        incremental: None,
     };
     let mut b = FaultPlan::new([
         FaultAction::Compute,
@@ -30,12 +44,117 @@ fn scripted_crash_is_surfaced_with_its_message() {
 
     // First request computes normally...
     assert!(b.request(req.clone()).unwrap());
-    let c = b.take_blocking().expect("healthy rebuild");
-    assert_eq!(c.num_nodes(), 100);
+    let out = b.take_blocking().expect("healthy rebuild");
+    assert_eq!(out.clustering.num_nodes(), 100);
 
     // ...the second crashes, and the crash is reported, not swallowed.
     assert!(b.request(req).unwrap());
     let err = b.take_blocking().unwrap_err();
     assert_eq!(err.panic.as_deref(), Some("wedged in rebuild"));
     assert!(b.is_dead());
+}
+
+fn poisson_setup(n: usize, seed: u64) -> (Mlp, Problem, TrainSet) {
+    let cav = Cavity::default();
+    let mut rng = Rng64::new(seed);
+    let interior = cav.sample_interior(n, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: sgm_linalg::dense::Matrix::zeros(1, 1),
+    };
+    let prob = Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: |p: &[f64]| if p[0] < 0.5 { 100.0 } else { 0.01 },
+    }));
+    let mlp = MlpConfig {
+        input_dim: 2,
+        output_dim: 1,
+        hidden_width: 8,
+        hidden_layers: 1,
+        activation: Activation::Tanh,
+        fourier: None,
+    };
+    let mut nrng = Rng64::new(seed + 1);
+    (Mlp::new(&mlp, &mut nrng), prob, data)
+}
+
+/// Incremental mode through the scripted worker: the first τ_G request
+/// warms the worker's delta engine (full build); the second crashes
+/// while that engine would be mid-patch. The sampler must keep serving
+/// the last applied clustering unchanged, report exactly one death, and
+/// fall back to its inline delta engine for later τ_G events.
+#[test]
+fn crash_mid_delta_patch_keeps_serving_last_consistent_graph() {
+    let (net, prob, data) = poisson_setup(400, 0xA1);
+    let model = PinnModel::new(&prob, &data);
+    let probe = Probe {
+        net: &net,
+        model: &model,
+    };
+    let mut rng = Rng64::new(0xA2);
+
+    let cfg = SgmConfig {
+        k: 6,
+        min_clusters: 8,
+        max_cluster_frac: 0.2,
+        tau_e: 1,
+        tau_g: 2,
+        incremental: Some(RefreshOptions::default()),
+        ..SgmConfig::default()
+    };
+    let plan = FaultPlan::new([
+        FaultAction::Compute,
+        FaultAction::Panic("crash mid delta patch".into()),
+    ]);
+    let mut s = SgmSampler::with_builder(&data.interior, cfg, plan.spawn());
+    s.refresh(0, &probe, &mut rng);
+
+    // Drive until the first (healthy, full-build) worker rebuild lands.
+    let mut iter = 2;
+    while s.stats().rebuilds_applied == 0 {
+        assert!(iter < 2000, "first worker rebuild never applied");
+        s.refresh(iter, &probe, &mut rng);
+        iter += 2;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let consistent = s.clustering().assignment().to_vec();
+
+    // Drive until the scripted crash surfaces. Every clustering served
+    // in between must be exactly the last consistent one — a dead
+    // worker can never publish a torn graph.
+    while s.stats().worker_deaths == 0 {
+        assert!(iter < 4000, "worker death never surfaced");
+        s.refresh(iter, &probe, &mut rng);
+        assert_eq!(
+            s.clustering().assignment(),
+            &consistent[..],
+            "clustering changed while the worker was crashing"
+        );
+        let batch = s.next_batch(64, &mut rng);
+        assert_eq!(batch.len(), 64);
+        assert!(batch.iter().all(|&i| i < data.interior.len()));
+        iter += 2;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(s.stats().worker_deaths, 1);
+    assert_eq!(s.clustering().assignment(), &consistent[..]);
+
+    // After retirement, τ_G events run on the sampler's own warm delta
+    // engine: the static cloud makes them no-op patches, so the served
+    // clustering stays consistent and rebuild bookkeeping advances.
+    let applied = s.stats().rebuilds_applied;
+    let rescored = s.stats().points_rescored;
+    s.refresh(iter, &probe, &mut rng);
+    assert!(
+        s.stats().rebuilds_applied > applied,
+        "no inline rebuild after worker death"
+    );
+    assert_eq!(
+        s.stats().points_rescored,
+        rescored,
+        "static cloud must patch zero points inline"
+    );
+    assert_eq!(s.clustering().num_nodes(), data.interior.len());
+    let batch = s.next_batch(64, &mut rng);
+    assert_eq!(batch.len(), 64);
 }

@@ -1,0 +1,382 @@
+//! Reusable uniform-grid spatial index with flat CSR buckets.
+//!
+//! The original [`super::grid_knn`] rebuilds `Vec<Vec<u32>>` buckets and
+//! allocates per-ring scratch on every call. This index is the
+//! allocation-light replacement used by the incremental kNN engine
+//! ([`crate::incremental`]): cells are stored as one CSR pair
+//! (`offsets` + `items`), queries reuse a caller-held [`GridScratch`],
+//! and the same `knn_into` routine serves both full builds and delta
+//! re-queries — which is what makes the delta path **bit-exact** against
+//! a from-scratch rebuild (identical candidate scoring, identical tie
+//! handling; the grid geometry only affects which cells are *visited*,
+//! never the result of an exact query).
+//!
+//! ## Tie handling
+//!
+//! Neighbour lists are the `k` smallest candidates ordered by ascending
+//! `(dist², index)`. The bounded-insertion loop compares full
+//! `(dist², index)` tuples, so the result is independent of candidate
+//! arrival order (grid buckets visit candidates in cell order, not index
+//! order). The ring-termination test is **strict** (`kth < ring·w_min`):
+//! on an exact boundary tie one extra ring is scanned, so a farther-ring
+//! point at exactly the k-th distance with a smaller index is never
+//! missed — adversarial lattice clouds with massive distance ties stay
+//! exact.
+
+use crate::points::Coords;
+
+/// Caller-held scratch for [`GridIndex`] queries; reuse across calls to
+/// keep the steady-state query loop allocation-free.
+#[derive(Debug, Default)]
+pub struct GridScratch {
+    cand: Vec<u32>,
+    gather64: Vec<f64>,
+    gather32: Vec<f32>,
+    d2: Vec<f64>,
+}
+
+/// Uniform bucket grid over the bounding box of a [`Coords`] store,
+/// with flat CSR cell storage. Supports spatial dimensions 1–4 (the
+/// projections PINN clouds build their PGM on).
+#[derive(Debug)]
+pub struct GridIndex {
+    dim: usize,
+    per_axis: usize,
+    mins: Vec<f64>,
+    widths: Vec<f64>,
+    min_width: f64,
+    /// CSR cell starts (`num_cells + 1`).
+    offsets: Vec<u32>,
+    /// Point ids grouped by cell, ascending within each cell.
+    items: Vec<u32>,
+}
+
+impl GridIndex {
+    /// Builds the index over every point of `coords` (two counting
+    /// passes, no per-cell allocation). Reuses the ~2-points-per-cell
+    /// sizing of [`super::grid_knn`].
+    ///
+    /// # Panics
+    /// Panics if `coords` is empty or `dim > 4`.
+    pub fn build(coords: &Coords) -> Self {
+        let (n, dim) = (coords.len(), coords.dim());
+        assert!(n > 0, "empty coords");
+        assert!((1..=4).contains(&dim), "GridIndex supports dim 1..=4");
+        let (mins, maxs) = coords.bounds();
+        let cells_target = (n as f64 / 2.0).max(1.0);
+        let per_axis = cells_target.powf(1.0 / dim as f64).ceil().max(1.0) as usize;
+        let mut widths = vec![0.0; dim];
+        for d in 0..dim {
+            let span = (maxs[d] - mins[d]).max(1e-12);
+            widths[d] = span / per_axis as f64;
+        }
+        let min_width = widths.iter().cloned().fold(f64::MAX, f64::min);
+        let num_cells = per_axis.pow(dim as u32);
+        let mut idx = GridIndex {
+            dim,
+            per_axis,
+            mins,
+            widths,
+            min_width,
+            offsets: vec![0; num_cells + 1],
+            items: vec![0; n],
+        };
+        // Counting pass → prefix sums → fill pass. Filling in ascending
+        // point order keeps each cell's items ascending (determinism).
+        for i in 0..n {
+            let c = idx.cell_of(coords, i);
+            idx.offsets[c + 1] += 1;
+        }
+        for c in 0..num_cells {
+            idx.offsets[c + 1] += idx.offsets[c];
+        }
+        let mut cursor: Vec<u32> = idx.offsets[..num_cells].to_vec();
+        for i in 0..n {
+            let c = idx.cell_of(coords, i);
+            idx.items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+        idx
+    }
+
+    /// Linear cell id of stored point `i`.
+    #[inline]
+    fn cell_of(&self, coords: &Coords, i: usize) -> usize {
+        let mut idx = 0usize;
+        for d in 0..self.dim {
+            let c = (((coords.get(i, d) - self.mins[d]) / self.widths[d]) as usize)
+                .min(self.per_axis - 1);
+            idx = idx * self.per_axis + c;
+        }
+        idx
+    }
+
+    /// Per-axis cell coordinates of stored point `i`.
+    #[inline]
+    fn cell_coords(&self, coords: &Coords, i: usize) -> [isize; 4] {
+        let mut home = [0isize; 4];
+        for (d, h) in home.iter_mut().enumerate().take(self.dim) {
+            *h = (((coords.get(i, d) - self.mins[d]) / self.widths[d]) as usize)
+                .min(self.per_axis - 1) as isize;
+        }
+        home
+    }
+
+    /// Calls `f` with the CSR item range of every in-bounds cell at
+    /// Chebyshev ring exactly `ring` around `home`. Fixed-size odometer
+    /// over the `[-ring, ring]^dim` offset cube — no allocation.
+    fn for_each_ring_cell(&self, home: &[isize; 4], ring: isize, f: &mut impl FnMut(&[u32])) {
+        let dim = self.dim;
+        let mut off = [-ring; 4];
+        loop {
+            let cheb = off[..dim].iter().map(|o| o.abs()).max().unwrap_or(0);
+            if cheb == ring {
+                let mut linear = 0usize;
+                let mut ok = true;
+                for d in 0..dim {
+                    let c = home[d] + off[d];
+                    if c < 0 || c >= self.per_axis as isize {
+                        ok = false;
+                        break;
+                    }
+                    linear = linear * self.per_axis + c as usize;
+                }
+                if ok {
+                    let (lo, hi) = (
+                        self.offsets[linear] as usize,
+                        self.offsets[linear + 1] as usize,
+                    );
+                    if lo < hi {
+                        f(&self.items[lo..hi]);
+                    }
+                }
+            }
+            // Advance the odometer (last axis fastest).
+            let mut d = dim;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                if off[d] < ring {
+                    off[d] += 1;
+                    off[d + 1..dim].fill(-ring);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Exact k-nearest neighbours of stored point `q` (self excluded),
+    /// appended to `out_idx`/`out_d2` ascending by `(dist², index)`.
+    /// Returns the number of neighbours found (`min(k, n-1)`).
+    pub fn knn_into(
+        &self,
+        coords: &Coords,
+        q: usize,
+        k: usize,
+        scratch: &mut GridScratch,
+        out_idx: &mut Vec<u32>,
+        out_d2: &mut Vec<f64>,
+    ) -> usize {
+        out_idx.clear();
+        out_d2.clear();
+        if k == 0 {
+            return 0;
+        }
+        let home = self.cell_coords(coords, q);
+        let mut ring = 0isize;
+        loop {
+            // Gather this ring's candidates, then score them in one
+            // batched kernel call.
+            scratch.cand.clear();
+            self.for_each_ring_cell(&home, ring, &mut |items| {
+                for &j in items {
+                    if j as usize != q {
+                        scratch.cand.push(j);
+                    }
+                }
+            });
+            if !scratch.cand.is_empty() {
+                coords.score_candidates(
+                    q,
+                    &scratch.cand,
+                    &mut scratch.gather64,
+                    &mut scratch.gather32,
+                    &mut scratch.d2,
+                );
+                for (c, &j) in scratch.cand.iter().enumerate() {
+                    let d = scratch.d2[c];
+                    if out_idx.len() == k {
+                        let (ld, lj) = (out_d2[k - 1], out_idx[k - 1]);
+                        // Lexicographic (dist², index) comparison keeps
+                        // the result arrival-order independent.
+                        if d > ld || (d == ld && j > lj) {
+                            continue;
+                        }
+                        out_idx.pop();
+                        out_d2.pop();
+                    }
+                    let pos = out_d2
+                        .iter()
+                        .zip(out_idx.iter())
+                        .position(|(&dd, &jj)| dd > d || (dd == d && jj > j))
+                        .unwrap_or(out_idx.len());
+                    out_idx.insert(pos, j);
+                    out_d2.insert(pos, d);
+                }
+            }
+            // Strict termination: a point in ring r' > ring is at least
+            // (r' - 1)·w_min away, so once the k-th distance is strictly
+            // below ring·w_min nothing farther can displace or tie it.
+            if out_idx.len() == k {
+                let safe = ring as f64 * self.min_width;
+                if out_d2[k - 1] < safe * safe {
+                    break;
+                }
+            }
+            if ring > self.per_axis as isize {
+                break; // entire grid scanned
+            }
+            ring += 1;
+        }
+        out_idx.len()
+    }
+
+    /// Calls `f(j, dist²)` for every stored point `j ≠ center` within
+    /// squared distance `r2` of stored point `center` (inclusive
+    /// boundary — callers use this for conservative dirty capture).
+    pub fn for_each_within(
+        &self,
+        coords: &Coords,
+        center: usize,
+        r2: f64,
+        scratch: &mut GridScratch,
+        mut f: impl FnMut(u32, f64),
+    ) {
+        let home = self.cell_coords(coords, center);
+        let radius = r2.sqrt();
+        let mut ring = 0isize;
+        loop {
+            scratch.cand.clear();
+            self.for_each_ring_cell(&home, ring, &mut |items| {
+                for &j in items {
+                    if j as usize != center {
+                        scratch.cand.push(j);
+                    }
+                }
+            });
+            if !scratch.cand.is_empty() {
+                coords.score_candidates(
+                    center,
+                    &scratch.cand,
+                    &mut scratch.gather64,
+                    &mut scratch.gather32,
+                    &mut scratch.d2,
+                );
+                for (c, &j) in scratch.cand.iter().enumerate() {
+                    if scratch.d2[c] <= r2 {
+                        f(j, scratch.d2[c]);
+                    }
+                }
+            }
+            ring += 1;
+            // A ring-r cell can hold points within `radius` only while
+            // (r-1)·w_min ≤ radius; infinite radius scans every cell.
+            if ring > self.per_axis as isize || (ring - 1) as f64 * self.min_width > radius {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::brute_knn;
+    use crate::points::PointCloud;
+    use sgm_linalg::rng::Rng64;
+
+    fn knn_via_index(cloud: &PointCloud, k: usize, f32_storage: bool) -> Vec<Vec<(usize, f64)>> {
+        let coords = Coords::from_cloud(cloud, f32_storage);
+        let grid = GridIndex::build(&coords);
+        let mut scratch = GridScratch::default();
+        let (mut idx, mut d2) = (Vec::new(), Vec::new());
+        (0..cloud.len())
+            .map(|i| {
+                grid.knn_into(&coords, i, k, &mut scratch, &mut idx, &mut d2);
+                idx.iter()
+                    .map(|&j| j as usize)
+                    .zip(d2.iter().copied())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_exactly_in_f64() {
+        let mut rng = Rng64::new(7);
+        let cloud = PointCloud::uniform_box(400, 2, 0.0, 1.0, &mut rng);
+        let exact = brute_knn(&cloud, 6);
+        let got = knn_via_index(&cloud, 6, false);
+        assert_eq!(got, exact);
+    }
+
+    #[test]
+    fn matches_brute_exactly_in_3d() {
+        let mut rng = Rng64::new(8);
+        let cloud = PointCloud::uniform_box(300, 3, -2.0, 1.0, &mut rng);
+        assert_eq!(knn_via_index(&cloud, 5, false), brute_knn(&cloud, 5));
+    }
+
+    #[test]
+    fn lattice_ties_resolve_by_index() {
+        // 8×8 integer lattice: every interior point has 4 neighbours at
+        // distance 1 and 4 at √2 — massive exact ties. The exact result
+        // is the k smallest by (dist², index); brute is that oracle.
+        let mut data = Vec::new();
+        for y in 0..8 {
+            for x in 0..8 {
+                data.push(x as f64);
+                data.push(y as f64);
+            }
+        }
+        let cloud = PointCloud::from_flat(2, data);
+        assert_eq!(knn_via_index(&cloud, 5, false), brute_knn(&cloud, 5));
+    }
+
+    #[test]
+    fn radius_query_is_exhaustive() {
+        let mut rng = Rng64::new(9);
+        let cloud = PointCloud::uniform_box(200, 2, 0.0, 1.0, &mut rng);
+        let coords = Coords::from_cloud(&cloud, false);
+        let grid = GridIndex::build(&coords);
+        let mut scratch = GridScratch::default();
+        let r2 = 0.02;
+        for c in [0usize, 57, 199] {
+            let mut got: Vec<u32> = Vec::new();
+            grid.for_each_within(&coords, c, r2, &mut scratch, |j, _| got.push(j));
+            got.sort_unstable();
+            let want: Vec<u32> = (0..cloud.len())
+                .filter(|&j| j != c && cloud.dist2(c, j) <= r2)
+                .map(|j| j as u32)
+                .collect();
+            assert_eq!(got, want, "center {c}");
+        }
+    }
+
+    #[test]
+    fn f32_mode_preserves_rank_order_on_well_separated_cloud() {
+        let mut rng = Rng64::new(10);
+        let cloud = PointCloud::uniform_box(300, 2, 0.0, 1.0, &mut rng);
+        let f64_lists = knn_via_index(&cloud, 4, false);
+        let f32_lists = knn_via_index(&cloud, 4, true);
+        // Random uniform clouds have no near-ties at f32 resolution:
+        // the neighbour identity sequence must match exactly.
+        for (a, b) in f64_lists.iter().zip(&f32_lists) {
+            let ai: Vec<usize> = a.iter().map(|&(j, _)| j).collect();
+            let bi: Vec<usize> = b.iter().map(|&(j, _)| j).collect();
+            assert_eq!(ai, bi);
+        }
+    }
+}

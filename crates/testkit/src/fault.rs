@@ -13,11 +13,9 @@
 //! test releases (or drops) its [`Gate`], making "the rebuild is slow"
 //! a deterministic, schedule-independent state instead of a race.
 
-use sgm_core::background::{run_rebuild, BackgroundBuilder, RebuildRequest};
-use sgm_graph::lrd::Clustering;
+use sgm_core::background::{BackgroundBuilder, RebuildOutput, RebuildRequest, RebuildWorker};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Mutex;
 
 /// Releases a held [`FaultAction::HoldThenCompute`] rebuild. Dropping
 /// the gate releases it too (the worker treats a closed channel the
@@ -70,21 +68,21 @@ impl FaultPlan {
     }
 
     /// Spawns a `BackgroundBuilder` whose worker follows this script,
-    /// computing normally once the script is exhausted.
+    /// computing normally once the script is exhausted. Computation runs
+    /// through a real [`RebuildWorker`], so incremental requests exercise
+    /// the production delta engine — and a scripted crash takes that
+    /// engine's state down with the thread, exactly like a real one.
     pub fn spawn(self) -> BackgroundBuilder {
-        let script = Mutex::new(self.actions);
-        BackgroundBuilder::spawn_with_worker(move |req: &RebuildRequest| -> Option<Clustering> {
-            let action = script
-                .lock()
-                .expect("fault script lock")
-                .pop_front()
-                .unwrap_or(FaultAction::Compute);
+        let mut script = self.actions;
+        let mut worker = RebuildWorker::new();
+        BackgroundBuilder::spawn_with_worker(move |req: &RebuildRequest| -> Option<RebuildOutput> {
+            let action = script.pop_front().unwrap_or(FaultAction::Compute);
             match action {
-                FaultAction::Compute => Some(run_rebuild(req)),
+                FaultAction::Compute => Some(worker.run(req)),
                 FaultAction::HoldThenCompute(gate) => {
                     // Released or dropped — either way, proceed.
                     let _ = gate.recv();
-                    Some(run_rebuild(req))
+                    Some(worker.run(req))
                 }
                 FaultAction::Drop => None,
                 FaultAction::Panic(msg) => panic!("{msg}"),
@@ -112,6 +110,7 @@ mod tests {
                 ..KnnConfig::default()
             },
             lrd: LrdConfig::default(),
+            incremental: None,
         }
     }
 
@@ -126,8 +125,8 @@ mod tests {
             std::thread::yield_now();
         }
         gate.release();
-        let c = b.take_blocking().expect("released rebuild completes");
-        assert_eq!(c.num_nodes(), 120);
+        let out = b.take_blocking().expect("released rebuild completes");
+        assert_eq!(out.clustering.num_nodes(), 120);
         assert!(!b.is_dead());
     }
 
@@ -153,7 +152,7 @@ mod tests {
     fn exhausted_script_computes_normally() {
         let mut b = FaultPlan::new([]).spawn();
         assert!(b.request(request(4)).unwrap());
-        let c = b.take_blocking().expect("default action is Compute");
-        assert_eq!(c.num_nodes(), 120);
+        let out = b.take_blocking().expect("default action is Compute");
+        assert_eq!(out.clustering.num_nodes(), 120);
     }
 }
