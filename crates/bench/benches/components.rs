@@ -252,10 +252,7 @@ fn bench_refresh_overhead(r: &mut Runner) {
             },
         );
         let model = PinnModel::new(&problem, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(7);
         let mut iter = 0usize;
         r.bench("sampler_refresh", "sgm_refresh_r15", || {
@@ -272,10 +269,7 @@ fn bench_refresh_overhead(r: &mut Runner) {
             },
         );
         let model = PinnModel::new(&problem, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(8);
         let mut iter = 0usize;
         r.bench("sampler_refresh", "mis_refresh_full", || {
@@ -338,10 +332,7 @@ fn bench_probe_refresh_threads(r: &mut Runner) {
             },
         );
         let model = PinnModel::new(&problem, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(7);
         let mut iter = 0usize;
         r.bench(
@@ -529,6 +520,189 @@ fn bench_obs_overhead(r: &mut Runner) {
     });
 }
 
+/// Per-sampler engine cost over a short run — what each draw/adapt
+/// strategy adds on top of the shared loss/grad/step work — plus a
+/// stable-named acceptance pair for `bench_diff --strict`: the
+/// `engine_adapt_stage_*` case runs a draw-only sampler by default and
+/// a point-set-adaptive sampler on *non-mutating* iterations under
+/// `SGM_SAMPLER_ADAPT=1`. Diffing the two dumps gates the adapt-stage
+/// contract: an idle adapt stage (PointSet bookkeeping, coordinate
+/// gathers, change-log drains) must cost within noise of not having one.
+fn bench_sampler_overhead(r: &mut Runner) {
+    use sgm_core::{
+        DmisConfig, DmisSampler, MisConfig, MisSampler, RadConfig, RadSampler, RarConfig,
+        RarDConfig, RarDSampler, RarSampler, SgmConfig, SgmSampler,
+    };
+    use sgm_physics::PinnModel;
+    use sgm_train::{Sampler, TrainOptions, Trainer, UniformSampler};
+
+    const K: usize = 20;
+    let batch = 64usize;
+    let tau = 8usize;
+    let (_, problem, data) = refresh_fixture();
+    let n = data.interior.len();
+    let net_cfg = MlpConfig {
+        input_dim: 2,
+        output_dim: 1,
+        hidden_width: 16,
+        hidden_layers: 2,
+        activation: Activation::Tanh,
+        fourier: None,
+    };
+    let model = PinnModel::new(&problem, &data);
+    let opts = TrainOptions {
+        iterations: K,
+        batch_interior: batch,
+        batch_boundary: 0,
+        adam: sgm_nn::optimizer::AdamConfig::default(),
+        seed: 83,
+        record_every: 10 * K,
+        max_seconds: None,
+        synthetic_dt: None,
+    };
+    type MkSampler = Box<dyn Fn() -> Box<dyn Sampler>>;
+    let mk: Vec<(&str, MkSampler)> = vec![
+        (
+            "uniform",
+            Box::new(move || Box::new(UniformSampler::new(n))),
+        ),
+        (
+            "mis",
+            Box::new(move || {
+                Box::new(MisSampler::new(
+                    n,
+                    MisConfig {
+                        tau_e: tau,
+                        ..MisConfig::default()
+                    },
+                ))
+            }),
+        ),
+        (
+            "rar",
+            Box::new(move || {
+                Box::new(RarSampler::new(
+                    n,
+                    RarConfig {
+                        tau,
+                        ..RarConfig::default()
+                    },
+                    &mut Rng64::new(17),
+                ))
+            }),
+        ),
+        (
+            "rad",
+            Box::new(move || {
+                Box::new(RadSampler::new(
+                    n,
+                    RadConfig {
+                        tau,
+                        pool_size: 1024,
+                        ..RadConfig::default()
+                    },
+                ))
+            }),
+        ),
+        (
+            "rar_d",
+            Box::new(move || {
+                Box::new(RarDSampler::new(
+                    n,
+                    RarDConfig {
+                        tau,
+                        candidates: 256,
+                        add_per_adapt: 32,
+                        ..RarDConfig::default()
+                    },
+                ))
+            }),
+        ),
+        (
+            "dmis",
+            Box::new(move || {
+                Box::new(DmisSampler::new(
+                    n,
+                    DmisConfig {
+                        tau,
+                        ..DmisConfig::default()
+                    },
+                ))
+            }),
+        ),
+    ];
+    sgm_par::with_parallelism(Parallelism::Serial, || {
+        let mut net = Mlp::new(&net_cfg, &mut Rng64::new(19));
+        for (name, mk_sampler) in &mk {
+            let mut sampler = mk_sampler();
+            r.bench(
+                "sampler_overhead",
+                &format!("engine_{K}x_b{batch}_{name}"),
+                || {
+                    let mut tr = Trainer {
+                        net: &mut net,
+                        model: &model,
+                    };
+                    tr.run(sampler.as_mut(), None, &opts);
+                },
+            );
+        }
+        // SGM separately: graph construction dominates its first run, so
+        // build once outside the timed closure like a real training run
+        // would.
+        let mut sgm = SgmSampler::new(
+            &data.interior,
+            SgmConfig {
+                k: 6,
+                min_clusters: 16,
+                max_cluster_frac: 0.1,
+                tau_e: tau,
+                tau_g: 0,
+                background: false,
+                ..SgmConfig::default()
+            },
+        );
+        r.bench(
+            "sampler_overhead",
+            &format!("engine_{K}x_b{batch}_sgm"),
+            || {
+                let mut tr = Trainer {
+                    net: &mut net,
+                    model: &model,
+                };
+                tr.run(&mut sgm, None, &opts);
+            },
+        );
+        // The strict-diff pair: same case name in both dumps, sampler
+        // chosen by env. `tau: 0` keeps the adaptive sampler's adapt
+        // no-op on every iteration, so the diff isolates the *stage*
+        // overhead, not any resampling work.
+        let adaptive_idle = std::env::var("SGM_SAMPLER_ADAPT").is_ok_and(|v| v == "1");
+        let mut sampler: Box<dyn Sampler> = if adaptive_idle {
+            Box::new(RadSampler::new(
+                n,
+                RadConfig {
+                    tau: 0,
+                    ..RadConfig::default()
+                },
+            ))
+        } else {
+            Box::new(UniformSampler::new(n))
+        };
+        r.bench(
+            "sampler_overhead",
+            &format!("engine_adapt_stage_{K}x_b{batch}"),
+            || {
+                let mut tr = Trainer {
+                    net: &mut net,
+                    model: &model,
+                };
+                tr.run(sampler.as_mut(), None, &opts);
+            },
+        );
+    });
+}
+
 fn bench_thread_scaling(r: &mut Runner) {
     use sgm_graph::partition::{parallel_decompose, GridPartitionConfig};
     let pts = cloud(24_000, 9);
@@ -672,6 +846,7 @@ fn main() {
     bench_refresh_overhead(&mut r);
     bench_trainer_overhead(&mut r);
     bench_obs_overhead(&mut r);
+    bench_sampler_overhead(&mut r);
     bench_probe_refresh_threads(&mut r);
     bench_thread_scaling(&mut r);
     bench_simd_kernels(&mut r);

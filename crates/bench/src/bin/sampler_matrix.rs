@@ -1,0 +1,143 @@
+//! Cross-sampler × cross-PDE convergence bake-off with statistical
+//! acceptance gates — the CI entry point for the sampler matrix.
+//!
+//! Usage: `cargo run --release -p sgm-bench --bin sampler_matrix`
+//! (`SGM_MATRIX_ITERS` / `SGM_MATRIX_REPEATS` / `SGM_MATRIX_N` scale the
+//! run; defaults are CI-quick).
+//!
+//! Exit code is non-zero when any acceptance gate fails:
+//!
+//! 1. every (sampler, PDE) cell completed all repeat runs with finite
+//!    full-set losses;
+//! 2. every adaptive sampler trained *through* its adapt stage (the
+//!    checkpointed point-set epoch is non-zero in every seed);
+//! 3. the uniform baseline's draw histogram passes a chi-square
+//!    uniformity test (the statistical machinery itself is sane);
+//! 4. every rival-vs-baseline decision carries well-formed chi-square
+//!    and KS statistics (p-values in `[0, 1]`).
+//!
+//! Win/tie/loss verdicts are reported, not gated: with CI-sized repeat
+//! counts a tie is the honest default and a loss is information, not a
+//! failure.
+
+use sgm_bench::matrix::{run_matrix, MatrixScale, SAMPLERS};
+use sgm_linalg::rng::Rng64;
+use sgm_linalg::stats::{chi_square_pvalue, chi_square_stat};
+use sgm_train::{Sampler, UniformSampler};
+use std::process::ExitCode;
+
+fn uniform_draws_pass_chi_square() -> Result<(), String> {
+    let n = 64usize;
+    let draws = 64_000usize;
+    let mut s = UniformSampler::new(n);
+    let mut rng = Rng64::new(0xC41);
+    let mut counts = vec![0.0f64; n];
+    let mut batch = Vec::new();
+    for _ in 0..draws / 1000 {
+        s.fill_batch(1000, &mut batch, &mut rng);
+        for &i in &batch {
+            counts[i] += 1.0;
+        }
+    }
+    let expected = vec![draws as f64 / n as f64; n];
+    let stat = chi_square_stat(&counts, &expected);
+    let p = chi_square_pvalue(stat, n - 1);
+    if p < 1e-9 {
+        return Err(format!(
+            "uniform draw histogram failed chi-square uniformity: stat {stat:.2}, p {p:.3e}"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let scale = MatrixScale::from_env();
+    eprintln!(
+        "[sampler_matrix] {} samplers x 2 PDEs, {} iterations x {} seeds per cell",
+        SAMPLERS.len(),
+        scale.iterations,
+        scale.repeats
+    );
+    let report = run_matrix(&scale);
+
+    println!(
+        "\n=== Sampler bake-off (full-set loss after {} iterations) ===\n",
+        scale.iterations
+    );
+    println!("{}", report.markdown());
+    println!("decisions (alpha = {}):", scale.alpha);
+    for d in &report.decisions {
+        println!(
+            "  {:8} vs uniform on {:8}: {:4}  seed-wins {}/{}  chi2 p {:.3}  KS D {:.2} p {:.3}  median ratio {:.3}",
+            d.sampler,
+            d.pde,
+            d.verdict.label(),
+            d.seed_wins,
+            scale.repeats,
+            d.chi2_p,
+            d.ks_d,
+            d.ks_p,
+            d.median_ratio
+        );
+    }
+
+    let dir = std::path::Path::new("target/experiments");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join("sampler_matrix.json");
+    if let Err(e) = std::fs::write(&path, report.to_json().to_string_compact()) {
+        eprintln!(
+            "[sampler_matrix] warning: could not write {}: {e}",
+            path.display()
+        );
+    } else {
+        println!("\nartifacts: {}", path.display());
+    }
+
+    // --- acceptance gates -------------------------------------------
+    let mut failures = Vec::new();
+    for c in &report.cells {
+        if c.final_losses.len() != scale.repeats {
+            failures.push(format!(
+                "{}/{}: {} of {} repeats completed",
+                c.sampler,
+                c.pde,
+                c.final_losses.len(),
+                scale.repeats
+            ));
+        }
+        if !c.final_losses.iter().all(|l| l.is_finite()) {
+            failures.push(format!("{}/{}: non-finite final loss", c.sampler, c.pde));
+        }
+        if matches!(c.sampler.as_str(), "rad" | "rar_d" | "dmis")
+            && !c.point_epochs.iter().all(|&e| e > 0)
+        {
+            failures.push(format!(
+                "{}/{}: adaptive sampler never reached the adapt stage (epochs {:?})",
+                c.sampler, c.pde, c.point_epochs
+            ));
+        }
+    }
+    for d in &report.decisions {
+        let ok = (0.0..=1.0).contains(&d.chi2_p) && (0.0..=1.0).contains(&d.ks_p);
+        if !ok {
+            failures.push(format!(
+                "{}/{}: malformed statistics (chi2_p {}, ks_p {})",
+                d.sampler, d.pde, d.chi2_p, d.ks_p
+            ));
+        }
+    }
+    if let Err(e) = uniform_draws_pass_chi_square() {
+        failures.push(e);
+    }
+
+    if failures.is_empty() {
+        println!("\nacceptance gates: all passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nacceptance gates FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -21,5 +21,6 @@
 //! tunable via the `SGM_BUDGET_SECS` environment variable.
 
 pub mod experiments;
+pub mod matrix;
 pub mod microbench;
 pub mod report;

@@ -1,0 +1,637 @@
+//! Cross-sampler × cross-PDE convergence bake-off.
+//!
+//! Every sampler in the workspace — the draw-only methods (uniform, MIS,
+//! RAR, SGM) and the point-set-adaptive rivals (RAD, RAR-D, DMIS) —
+//! trains the same PDE problems from the same initial network over
+//! `repeats` seeds. Each cell's convergence metric is the *full-set*
+//! loss on the original collocation cloud after a fixed iteration
+//! budget, so adaptive methods cannot win by evaluating themselves on
+//! the easier point sets they migrated to.
+//!
+//! Wins are decided statistically, not by eyeballing means: a rival
+//! beats the uniform baseline on a PDE only when **both** a per-seed
+//! paired chi-square test (against the 50/50 null) and a two-sample
+//! Kolmogorov–Smirnov test over the final losses reject chance at the
+//! configured significance level. Anything short of that is a tie —
+//! with a handful of repeat seeds most honest comparisons are.
+
+use sgm_core::score::ScoreMapping;
+use sgm_core::{
+    DmisConfig, DmisSampler, MisConfig, MisSampler, RadConfig, RadSampler, RarConfig, RarDConfig,
+    RarDSampler, RarSampler, SgmConfig, SgmSampler, UniformSampler,
+};
+use sgm_json::{obj, Value};
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_linalg::stats::{chi_square_pvalue, chi_square_stat, ks_pvalue};
+use sgm_nn::activation::Activation;
+use sgm_nn::mlp::{Mlp, MlpConfig};
+use sgm_nn::optimizer::AdamConfig;
+use sgm_physics::geometry::{halton, Cavity, FillStrategy};
+use sgm_physics::pde::{BurgersConfig, Pde, PoissonConfig};
+use sgm_physics::problem::{Problem, TrainSet};
+use sgm_physics::PinnModel;
+use sgm_train::{Sampler, TrainOptions, Trainer};
+
+/// Every sampler entered in the bake-off, baseline first.
+pub const SAMPLERS: [&str; 7] = ["uniform", "mis", "rar", "sgm", "rad", "rar_d", "dmis"];
+
+/// Scale knobs for one matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixScale {
+    /// Interior collocation points per PDE.
+    pub n: usize,
+    /// Boundary points per PDE.
+    pub n_boundary: usize,
+    /// Interior mini-batch.
+    pub batch: usize,
+    /// Iteration budget per run (iterations, not wall time, so the
+    /// matrix is reproducible on any machine).
+    pub iterations: usize,
+    /// Repeat seeds per cell.
+    pub repeats: usize,
+    /// Hidden width / depth of the shared network.
+    pub width: usize,
+    pub depth: usize,
+    /// Refresh/adapt period shared by all periodic samplers.
+    pub tau: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Significance level for the win decision.
+    pub alpha: f64,
+}
+
+impl MatrixScale {
+    /// CI-sized matrix: minutes, not hours, on one core.
+    pub fn quick() -> Self {
+        MatrixScale {
+            n: 900,
+            n_boundary: 128,
+            batch: 48,
+            iterations: 240,
+            repeats: 4,
+            width: 12,
+            depth: 2,
+            tau: 60,
+            seed: 0xBAE0FF,
+            alpha: 0.05,
+        }
+    }
+
+    /// `quick()` with `SGM_MATRIX_ITERS` / `SGM_MATRIX_REPEATS` /
+    /// `SGM_MATRIX_N` environment overrides applied.
+    pub fn from_env() -> Self {
+        let mut s = Self::quick();
+        let get = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<usize>().ok());
+        if let Some(v) = get("SGM_MATRIX_ITERS") {
+            s.iterations = v;
+        }
+        if let Some(v) = get("SGM_MATRIX_REPEATS") {
+            s.repeats = v.max(2);
+        }
+        if let Some(v) = get("SGM_MATRIX_N") {
+            s.n = v;
+        }
+        s
+    }
+}
+
+/// One PDE problem entered in the matrix.
+pub struct PdeCase {
+    /// Short row label (`poisson`, `burgers`).
+    pub name: &'static str,
+    pub problem: Problem,
+    pub data: TrainSet,
+}
+
+/// The two quickstart-class problems: a sharp-forcing Poisson cavity
+/// (smooth geometry, localised residual mass — adaptive samplers' home
+/// turf) and viscous Burgers shock formation in `(x, t)` (a moving
+/// near-discontinuity).
+pub fn build_cases(scale: &MatrixScale) -> Vec<PdeCase> {
+    let mut cases = Vec::new();
+    {
+        let problem = Problem::new(Pde::Poisson(PoissonConfig {
+            forcing: |p: &[f64]| {
+                if p[0] < 0.3 && p[1] < 0.3 {
+                    200.0
+                } else {
+                    0.1
+                }
+            },
+        }));
+        let mut rng = Rng64::new(scale.seed);
+        let interior = Cavity::default().sample_interior(scale.n, FillStrategy::Halton, &mut rng);
+        // Homogeneous Dirichlet walls, one point per draw cycling the
+        // four sides.
+        let nb = scale.n_boundary;
+        let mut bpts = Vec::with_capacity(nb * 2);
+        for i in 0..nb {
+            let t = rng.uniform();
+            match i % 4 {
+                0 => bpts.extend_from_slice(&[t, 0.0]),
+                1 => bpts.extend_from_slice(&[t, 1.0]),
+                2 => bpts.extend_from_slice(&[0.0, t]),
+                _ => bpts.extend_from_slice(&[1.0, t]),
+            }
+        }
+        cases.push(PdeCase {
+            name: "poisson",
+            problem,
+            data: TrainSet {
+                interior,
+                boundary: sgm_graph::points::PointCloud::from_flat(2, bpts),
+                boundary_targets: Matrix::zeros(nb, 1),
+            },
+        });
+    }
+    {
+        let mut problem = Problem::new(Pde::Burgers(BurgersConfig {
+            nu: 0.01 / std::f64::consts::PI,
+        }));
+        problem.bc_weight = 20.0;
+        let mut flat = Vec::with_capacity(scale.n * 2);
+        for i in 0..scale.n {
+            flat.push(-1.0 + 2.0 * halton(i + 1, 2));
+            flat.push(halton(i + 1, 3));
+        }
+        let interior = sgm_graph::points::PointCloud::from_flat(2, flat);
+        let nb = scale.n_boundary;
+        let mut rng = Rng64::new(scale.seed ^ 0xB4);
+        let mut bpts = Vec::with_capacity(nb * 2);
+        let mut tgt = Matrix::zeros(nb, 1);
+        for i in 0..nb {
+            match i % 3 {
+                0 => {
+                    let x = rng.uniform_in(-1.0, 1.0);
+                    bpts.extend_from_slice(&[x, 0.0]);
+                    tgt.set(i, 0, -(std::f64::consts::PI * x).sin());
+                }
+                1 => bpts.extend_from_slice(&[-1.0, rng.uniform()]),
+                _ => bpts.extend_from_slice(&[1.0, rng.uniform()]),
+            }
+        }
+        cases.push(PdeCase {
+            name: "burgers",
+            problem,
+            data: TrainSet {
+                interior,
+                boundary: sgm_graph::points::PointCloud::from_flat(2, bpts),
+                boundary_targets: tgt,
+            },
+        });
+    }
+    cases
+}
+
+fn mk_sampler(name: &str, case: &PdeCase, scale: &MatrixScale) -> Box<dyn Sampler> {
+    let n = case.data.num_interior();
+    let tau = scale.tau;
+    match name {
+        "uniform" => Box::new(UniformSampler::new(n)),
+        "mis" => Box::new(MisSampler::new(
+            n,
+            MisConfig {
+                tau_e: tau,
+                ..MisConfig::default()
+            },
+        )),
+        "rar" => Box::new(RarSampler::new(
+            n,
+            RarConfig {
+                tau,
+                ..RarConfig::default()
+            },
+            &mut Rng64::new(scale.seed ^ 0x4A4),
+        )),
+        "sgm" => Box::new(SgmSampler::new(
+            &case.data.interior,
+            SgmConfig {
+                k: 6,
+                min_clusters: 16,
+                max_cluster_frac: 0.1,
+                probe_ratio: 0.2,
+                tau_e: tau,
+                tau_g: 0,
+                mapping: ScoreMapping::Linear { lo: 0.05, hi: 0.5 },
+                background: false,
+                seed: scale.seed ^ 0x56,
+                ..SgmConfig::default()
+            },
+        )),
+        "rad" => Box::new(RadSampler::new(
+            n,
+            RadConfig {
+                tau,
+                pool_size: 2 * n,
+                ..RadConfig::default()
+            },
+        )),
+        "rar_d" => Box::new(RarDSampler::new(
+            n,
+            RarDConfig {
+                tau,
+                candidates: 256,
+                add_per_adapt: n / 20,
+                max_points: 2 * n,
+                ..RarDConfig::default()
+            },
+        )),
+        "dmis" => Box::new(DmisSampler::new(
+            n,
+            DmisConfig {
+                tau,
+                grid: 10,
+                ..DmisConfig::default()
+            },
+        )),
+        other => panic!("unknown sampler {other}"),
+    }
+}
+
+/// One (sampler, PDE) cell: final full-set losses over the repeat seeds.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    pub sampler: String,
+    pub pde: String,
+    /// Full-set loss on the *original* cloud after training, one per seed.
+    pub final_losses: Vec<f64>,
+    /// Point-set mutation epochs reached, one per seed (0 for draw-only
+    /// samplers).
+    pub point_epochs: Vec<u64>,
+}
+
+impl CellRun {
+    /// Median of the final losses.
+    pub fn median(&self) -> f64 {
+        let mut v = self.final_losses.clone();
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    }
+}
+
+/// Trains one cell: `repeats` runs from identical initial networks,
+/// scoring each on the full original collocation set.
+pub fn run_cell(case: &PdeCase, scale: &MatrixScale, sampler_name: &str) -> CellRun {
+    let net_cfg = MlpConfig {
+        input_dim: 2,
+        output_dim: case.problem.pde.output_dim(),
+        hidden_width: scale.width,
+        hidden_layers: scale.depth,
+        activation: Activation::Tanh,
+        fourier: None,
+    };
+    let model = PinnModel::new(&case.problem, &case.data);
+    let all_interior: Vec<usize> = (0..case.data.num_interior()).collect();
+    let all_boundary: Vec<usize> = (0..case.data.boundary.len()).collect();
+    let mut final_losses = Vec::with_capacity(scale.repeats);
+    let mut point_epochs = Vec::with_capacity(scale.repeats);
+    for rep in 0..scale.repeats {
+        let mut net = Mlp::new(&net_cfg, &mut Rng64::new(scale.seed ^ 0xAB ^ rep as u64));
+        let mut sampler = mk_sampler(sampler_name, case, scale);
+        let opts = TrainOptions {
+            iterations: scale.iterations,
+            batch_interior: scale.batch,
+            batch_boundary: scale.batch.min(case.data.boundary.len()),
+            adam: AdamConfig::default(),
+            seed: scale.seed ^ 0x9E ^ (rep as u64) << 8,
+            record_every: scale.iterations,
+            max_seconds: None,
+            synthetic_dt: Some(1.0 / 1024.0),
+        };
+        let state = {
+            let mut tr = Trainer {
+                net: &mut net,
+                model: &model,
+            };
+            tr.run_until(sampler.as_mut(), None, &opts, scale.iterations)
+        };
+        use sgm_train::LossModel;
+        final_losses.push(model.batch_loss(&net, &all_interior, &all_boundary));
+        point_epochs.push(state.points.as_ref().map_or(0, |p| p.epoch));
+    }
+    CellRun {
+        sampler: sampler_name.to_string(),
+        pde: case.name.to_string(),
+        final_losses,
+        point_epochs,
+    }
+}
+
+/// Outcome of one rival-vs-baseline comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Both tests reject chance in the rival's favour.
+    Win,
+    /// Both tests reject chance in the baseline's favour.
+    Loss,
+    /// Anything short of joint significance.
+    Tie,
+}
+
+impl Verdict {
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Win => "win",
+            Verdict::Loss => "loss",
+            Verdict::Tie => "tie",
+        }
+    }
+}
+
+/// A decided cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    pub sampler: String,
+    pub pde: String,
+    pub verdict: Verdict,
+    /// Per-seed wins of the rival over the baseline.
+    pub seed_wins: usize,
+    /// Chi-square statistic / p-value of the paired per-seed test.
+    pub chi2: f64,
+    pub chi2_p: f64,
+    /// Two-sample KS statistic / p-value over the final losses.
+    pub ks_d: f64,
+    pub ks_p: f64,
+    /// Rival median / baseline median (< 1 means the rival converged
+    /// further).
+    pub median_ratio: f64,
+}
+
+/// Two-sample Kolmogorov–Smirnov `D = sup |F_a − F_b|`.
+fn ks_two_sample(a: &[f64], b: &[f64]) -> f64 {
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+    while i < sa.len() && j < sb.len() {
+        // Ties advance both sides: the empirical CDFs jump together.
+        let step = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] == step {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] == step {
+            j += 1;
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Decides one rival cell against the baseline cell of the same PDE.
+pub fn decide(base: &CellRun, rival: &CellRun, alpha: f64) -> Decision {
+    assert_eq!(base.pde, rival.pde, "cells from different PDEs");
+    let n = base.final_losses.len().min(rival.final_losses.len());
+    let seed_wins = (0..n)
+        .filter(|&i| rival.final_losses[i] < base.final_losses[i])
+        .count();
+    // Paired per-seed outcomes against the 50/50 null.
+    let observed = [seed_wins as f64, (n - seed_wins) as f64];
+    let expected = [n as f64 / 2.0, n as f64 / 2.0];
+    let chi2 = chi_square_stat(&observed, &expected);
+    let chi2_p = chi_square_pvalue(chi2, 1);
+    // Two-sample KS over the pooled final losses, with the standard
+    // effective sample size.
+    let ks_d = ks_two_sample(&base.final_losses, &rival.final_losses);
+    let n_eff = (base.final_losses.len() * rival.final_losses.len()) as f64
+        / (base.final_losses.len() + rival.final_losses.len()) as f64;
+    let ks_p = ks_pvalue(ks_d, n_eff.round().max(1.0) as usize);
+    let median_ratio = rival.median() / base.median().max(f64::MIN_POSITIVE);
+    let significant = chi2_p < alpha && ks_p < alpha;
+    let verdict = if significant && seed_wins * 2 > n {
+        Verdict::Win
+    } else if significant && seed_wins * 2 < n {
+        Verdict::Loss
+    } else {
+        Verdict::Tie
+    };
+    Decision {
+        sampler: rival.sampler.clone(),
+        pde: rival.pde.clone(),
+        verdict,
+        seed_wins,
+        chi2,
+        chi2_p,
+        ks_d,
+        ks_p,
+        median_ratio,
+    }
+}
+
+/// The full bake-off: every cell plus every rival-vs-uniform decision.
+#[derive(Debug)]
+pub struct MatrixReport {
+    pub scale: MatrixScale,
+    pub cells: Vec<CellRun>,
+    pub decisions: Vec<Decision>,
+}
+
+/// Runs the whole matrix.
+pub fn run_matrix(scale: &MatrixScale) -> MatrixReport {
+    let cases = build_cases(scale);
+    let mut cells = Vec::new();
+    let mut decisions = Vec::new();
+    for case in &cases {
+        let base = run_cell(case, scale, SAMPLERS[0]);
+        for &name in &SAMPLERS[1..] {
+            let rival = run_cell(case, scale, name);
+            decisions.push(decide(&base, &rival, scale.alpha));
+            cells.push(rival);
+        }
+        cells.push(base);
+    }
+    MatrixReport {
+        scale: scale.clone(),
+        cells,
+        decisions,
+    }
+}
+
+impl MatrixReport {
+    /// Markdown table: one row per sampler, one column per PDE.
+    pub fn markdown(&self) -> String {
+        let pdes: Vec<&str> = {
+            let mut v = Vec::new();
+            for c in &self.cells {
+                if !v.contains(&c.pde.as_str()) {
+                    v.push(c.pde.as_str());
+                }
+            }
+            v
+        };
+        let mut out = String::from("| sampler |");
+        for p in &pdes {
+            out.push_str(&format!(" {p} (median loss / verdict) |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &pdes {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for &s in &SAMPLERS {
+            out.push_str(&format!("| {s} |"));
+            for p in &pdes {
+                let cell = self
+                    .cells
+                    .iter()
+                    .find(|c| c.sampler == s && c.pde == *p)
+                    .expect("cell ran");
+                let verdict = self
+                    .decisions
+                    .iter()
+                    .find(|d| d.sampler == s && d.pde == *p)
+                    .map_or("baseline", |d| d.verdict.label());
+                out.push_str(&format!(" {:.3e} / {verdict} |", cell.median()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable report.
+    pub fn to_json(&self) -> Value {
+        let cells: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                obj([
+                    ("sampler", Value::Str(c.sampler.clone())),
+                    ("pde", Value::Str(c.pde.clone())),
+                    (
+                        "final_losses",
+                        Value::Arr(c.final_losses.iter().map(|&x| Value::Num(x)).collect()),
+                    ),
+                    (
+                        "point_epochs",
+                        Value::Arr(
+                            c.point_epochs
+                                .iter()
+                                .map(|&e| Value::Num(e as f64))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let decisions: Vec<Value> = self
+            .decisions
+            .iter()
+            .map(|d| {
+                obj([
+                    ("sampler", Value::Str(d.sampler.clone())),
+                    ("pde", Value::Str(d.pde.clone())),
+                    ("verdict", Value::Str(d.verdict.label().to_string())),
+                    ("seed_wins", Value::Num(d.seed_wins as f64)),
+                    ("chi2", Value::Num(d.chi2)),
+                    ("chi2_p", Value::Num(d.chi2_p)),
+                    ("ks_d", Value::Num(d.ks_d)),
+                    ("ks_p", Value::Num(d.ks_p)),
+                    ("median_ratio", Value::Num(d.median_ratio)),
+                ])
+            })
+            .collect();
+        obj([
+            ("iterations", Value::Num(self.scale.iterations as f64)),
+            ("repeats", Value::Num(self.scale.repeats as f64)),
+            ("alpha", Value::Num(self.scale.alpha)),
+            ("cells", Value::Arr(cells)),
+            ("decisions", Value::Arr(decisions)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(name: &str, losses: &[f64]) -> CellRun {
+        CellRun {
+            sampler: name.into(),
+            pde: "poisson".into(),
+            final_losses: losses.to_vec(),
+            point_epochs: vec![0; losses.len()],
+        }
+    }
+
+    #[test]
+    fn clean_sweep_with_separation_is_a_win() {
+        let base = cell("uniform", &[1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02, 0.98]);
+        let rival = cell("rad", &[0.1, 0.12, 0.09, 0.11, 0.1, 0.08, 0.13, 0.1]);
+        let d = decide(&base, &rival, 0.05);
+        assert_eq!(d.verdict, Verdict::Win);
+        assert_eq!(d.seed_wins, 8);
+        assert!(d.median_ratio < 0.2);
+    }
+
+    #[test]
+    fn overlapping_samples_tie() {
+        let base = cell("uniform", &[1.0, 0.9, 1.1, 0.95]);
+        let rival = cell("mis", &[0.98, 1.02, 0.92, 1.08]);
+        let d = decide(&base, &rival, 0.05);
+        assert_eq!(d.verdict, Verdict::Tie);
+    }
+
+    #[test]
+    fn clean_sweep_against_the_rival_is_a_loss() {
+        let base = cell("uniform", &[0.1, 0.11, 0.09, 0.1, 0.12, 0.08, 0.1, 0.11]);
+        let rival = cell("rar", &[1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02, 0.98]);
+        let d = decide(&base, &rival, 0.05);
+        assert_eq!(d.verdict, Verdict::Loss);
+    }
+
+    #[test]
+    fn ks_two_sample_matches_hand_computation() {
+        // a = {1,2}, b = {3,4}: full separation, D = 1.
+        assert_eq!(ks_two_sample(&[1.0, 2.0], &[3.0, 4.0]), 1.0);
+        // Identical samples: D = 0.
+        assert_eq!(ks_two_sample(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    /// A micro-matrix end to end: every cell runs, adaptive samplers
+    /// reach a non-zero mutation epoch, losses are finite, and the
+    /// report renders.
+    #[test]
+    fn micro_matrix_runs_end_to_end() {
+        let scale = MatrixScale {
+            n: 220,
+            n_boundary: 32,
+            batch: 24,
+            iterations: 24,
+            repeats: 2,
+            width: 6,
+            depth: 1,
+            tau: 8,
+            seed: 7,
+            alpha: 0.05,
+        };
+        let report = run_matrix(&scale);
+        assert_eq!(report.cells.len(), SAMPLERS.len() * 2);
+        assert_eq!(report.decisions.len(), (SAMPLERS.len() - 1) * 2);
+        for c in &report.cells {
+            assert_eq!(c.final_losses.len(), 2, "{}/{}", c.sampler, c.pde);
+            assert!(
+                c.final_losses.iter().all(|l| l.is_finite()),
+                "{}/{}: non-finite final loss",
+                c.sampler,
+                c.pde
+            );
+            if matches!(c.sampler.as_str(), "rad" | "rar_d" | "dmis") {
+                assert!(
+                    c.point_epochs.iter().all(|&e| e > 0),
+                    "{}/{}: adaptive sampler never mutated the point set",
+                    c.sampler,
+                    c.pde
+                );
+            }
+        }
+        let md = report.markdown();
+        assert!(md.contains("| uniform |") && md.contains("| dmis |"));
+        let json = report.to_json().to_string_compact();
+        assert!(json.contains("\"decisions\""));
+    }
+}

@@ -30,6 +30,11 @@
 //!   sampling baseline (Nabian et al., as shipped in Modulus).
 //! * [`rar`] — [`rar::RarSampler`], the residual-based adaptive refinement
 //!   baseline (DeepXDE-style, paper §1 ref [16]).
+//! * [`rad`] — [`rad::RadSampler`] and [`rad::RarDSampler`], the
+//!   point-set-adaptive rivals of Wu et al. (2023): full-set residual
+//!   resampling and greedy densification.
+//! * [`dmis`] — [`dmis::DmisSampler`], dynamic mesh-based importance
+//!   sampling (arXiv 2211.13944) on a regular grid mesh.
 //! * [`background`] — channel-fed worker thread that rebuilds S1+S2 while
 //!   training continues (paper §3.3's parallel rebuild).
 //!
@@ -40,12 +45,16 @@
 //! interface, not on any particular physics problem.
 
 pub mod background;
+pub mod dmis;
 pub mod mis;
+pub mod rad;
 pub mod rar;
 pub mod score;
 pub mod sgm;
 
+pub use dmis::{DmisConfig, DmisSampler};
 pub use mis::{MisConfig, MisSampler};
+pub use rad::{RadConfig, RadSampler, RarDConfig, RarDSampler};
 pub use rar::{RarConfig, RarSampler};
 pub use score::{ClusterRatios, ScoreMapping};
 pub use sgm::{SgmConfig, SgmSampler, SgmStats};

@@ -84,9 +84,19 @@ impl MisSampler {
     fn rebuild_cumulative(&mut self, raw: &[f64]) {
         let mix = self.cfg.uniform_mix.clamp(0.0, 1.0);
         let pw = self.cfg.power;
+        // Non-finite losses (a diverging residual, a NaN from a bad
+        // forcing term) carry no usable importance signal: weight them 0
+        // so one poisoned sample cannot turn the whole CDF into NaN.
         let weights: Vec<f64> = raw
             .iter()
-            .map(|&w| if w > 0.0 { w.powf(pw) } else { 0.0 })
+            .map(|&w| {
+                let p = if w > 0.0 { w.powf(pw) } else { 0.0 };
+                if p.is_finite() {
+                    p
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let total: f64 = weights.iter().sum();
         let unif = 1.0 / self.n as f64;
@@ -234,10 +244,16 @@ impl Sampler for MisSampler {
 mod tests {
     use super::*;
 
+    fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+        let mut out = Vec::new();
+        s.fill_batch(batch, &mut out, rng);
+        out
+    }
+
     fn draws_histogram(s: &mut MisSampler, n_draws: usize, seed: u64) -> Vec<usize> {
         let mut rng = Rng64::new(seed);
         let mut counts = vec![0usize; s.n];
-        for i in s.next_batch(n_draws, &mut rng) {
+        for i in next_batch(s, n_draws, &mut rng) {
             counts[i] += 1;
         }
         counts
@@ -307,7 +323,10 @@ mod tests {
         assert_eq!(b.probe_evals(), a.probe_evals());
         let mut ra = Rng64::new(9);
         let mut rb = Rng64::new(9);
-        assert_eq!(a.next_batch(100, &mut ra), b.next_batch(100, &mut rb));
+        assert_eq!(
+            next_batch(&mut a, 100, &mut ra),
+            next_batch(&mut b, 100, &mut rb)
+        );
     }
 
     #[test]

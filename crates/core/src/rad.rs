@@ -1,0 +1,630 @@
+//! Residual-based adaptive *distribution* and *distribution+refinement*
+//! sampling — the RAD and RAR-D rivals of Wu, Zhu, Deng, Zhang & Lu
+//! (2023), "A comprehensive and fair comparison of two neural operators".
+//!
+//! Both methods act on the collocation **set** rather than the draw
+//! distribution, so they implement the adapt side of the
+//! `sgm_train::Sampler` split:
+//!
+//! * **RAD** ([`RadSampler`]) — every `τ` iterations, score a dense
+//!   candidate pool with the current residuals and resample the *entire*
+//!   collocation set from the pool with probability
+//!   `p(x) ∝ ε(x)^k / mean(ε^k) + c` (the paper's Eq. 2). The set size
+//!   stays constant; every point moves.
+//! * **RAR-D** ([`RarDSampler`]) — every `τ` iterations, draw a fresh
+//!   candidate batch, score it, and *append* the `m` highest-residual
+//!   candidates to the set (greedy densification, the paper's
+//!   Algorithm 2). The set grows monotonically up to a cap.
+//!
+//! Draws between adapts are uniform over the current set: the importance
+//! distribution lives in the point *positions*, which is exactly what
+//! distinguishes these methods from MIS-style reweighting.
+
+use sgm_json::{obj, Value};
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_train::{PointChanges, PointSet, Probe, Sampler};
+
+/// `ε^k` with non-finite residuals clamped to zero weight — an adapt
+/// pass must survive NaN/∞ losses from a diverging network without
+/// poisoning the CDF.
+fn residual_power(eps: f64, k: f64) -> f64 {
+    if !eps.is_finite() || eps <= 0.0 {
+        return 0.0;
+    }
+    let w = eps.powf(k);
+    if w.is_finite() {
+        w
+    } else {
+        0.0
+    }
+}
+
+/// Draws a row index from a cumulative weight vector (last entry = total).
+fn draw_cdf(cdf: &[f64], rng: &mut Rng64) -> usize {
+    let total = *cdf.last().expect("non-empty cdf");
+    let u = rng.uniform() * total;
+    match cdf.partial_cmp_search(u) {
+        Ok(i) => (i + 1).min(cdf.len() - 1),
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+/// Binary-search helper over a cumulative vector (total order assumed;
+/// NaN never reaches here because weights are sanitised).
+trait CdfSearch {
+    fn partial_cmp_search(&self, u: f64) -> Result<usize, usize>;
+}
+
+impl CdfSearch for [f64] {
+    fn partial_cmp_search(&self, u: f64) -> Result<usize, usize> {
+        self.binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+    }
+}
+
+/// Uniform candidate coordinates inside the bounding box of the current
+/// set (one row per candidate).
+fn uniform_candidates(count: usize, mins: &[f64], maxs: &[f64], rng: &mut Rng64) -> Matrix {
+    let dim = mins.len();
+    let mut m = Matrix::zeros(count, dim);
+    for i in 0..count {
+        for d in 0..dim {
+            m.set(i, d, rng.uniform_in(mins[d], maxs[d]));
+        }
+    }
+    m
+}
+
+/// Configuration for [`RadSampler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadConfig {
+    /// Resample period `τ` (iterations; 0 disables adaptation).
+    pub tau: usize,
+    /// Residual exponent `k` in `ε^k / mean(ε^k) + c` (paper default 1).
+    pub power: f64,
+    /// Uniform offset `c` (paper default 1): guarantees every region a
+    /// floor probability, so low-residual areas are never abandoned.
+    pub offset: f64,
+    /// Candidate-pool size scored per resample.
+    pub pool_size: usize,
+}
+
+impl Default for RadConfig {
+    fn default() -> Self {
+        RadConfig {
+            tau: 200,
+            power: 1.0,
+            offset: 1.0,
+            pool_size: 2048,
+        }
+    }
+}
+
+/// Private seed for the candidate-pool RNG: the pool must be a pure
+/// function of the captured bounds so a resumed run regenerates it
+/// bit-identically without touching the engine's checkpointed stream.
+const POOL_SEED: u64 = 0x52AD_9E37;
+
+/// The RAD sampler: full-set resampling from a residual-weighted pool.
+#[derive(Debug, Clone)]
+pub struct RadSampler {
+    cfg: RadConfig,
+    n: usize,
+    /// Domain box captured at the first mutating adapt (before any point
+    /// moves) and checkpointed — the pool is derived from it.
+    bounds: Option<(Vec<f64>, Vec<f64>)>,
+    /// Fixed candidate pool, lazily drawn inside `bounds` with a private
+    /// seeded RNG (the domain never changes, the residual field does).
+    pool: Option<Matrix>,
+    probe_evals: usize,
+    resamples: usize,
+}
+
+impl RadSampler {
+    /// A RAD sampler over an initial set of `n` collocation points.
+    pub fn new(n: usize, cfg: RadConfig) -> Self {
+        assert!(n > 0, "empty collocation set");
+        RadSampler {
+            cfg,
+            n,
+            bounds: None,
+            pool: None,
+            probe_evals: 0,
+            resamples: 0,
+        }
+    }
+
+    /// Loss evaluations consumed by adapt passes so far.
+    pub fn probe_evals(&self) -> usize {
+        self.probe_evals
+    }
+
+    /// Completed full-set resamples.
+    pub fn resamples(&self) -> usize {
+        self.resamples
+    }
+}
+
+impl Sampler for RadSampler {
+    fn name(&self) -> &str {
+        "rad"
+    }
+
+    fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+        out.clear();
+        out.extend((0..batch_size).map(|_| rng.below(self.n)));
+    }
+
+    fn adapts_points(&self) -> bool {
+        true
+    }
+
+    fn adapt(&mut self, points: &mut PointSet, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
+        if self.cfg.tau == 0 || iter == 0 || !iter.is_multiple_of(self.cfg.tau) {
+            return;
+        }
+        if self.bounds.is_none() {
+            self.bounds = Some(points.cloud().bounds());
+        }
+        if self.pool.is_none() {
+            let (mins, maxs) = self.bounds.as_ref().expect("bounds captured");
+            let mut pool_rng = Rng64::new(POOL_SEED ^ self.cfg.pool_size as u64);
+            self.pool = Some(uniform_candidates(
+                self.cfg.pool_size,
+                mins,
+                maxs,
+                &mut pool_rng,
+            ));
+        }
+        let pool = self.pool.as_ref().expect("pool just built");
+        let losses = probe.losses_at(pool);
+        self.probe_evals += pool.rows();
+        let powered: Vec<f64> = losses
+            .iter()
+            .map(|&e| residual_power(e, self.cfg.power))
+            .collect();
+        let mean = powered.iter().sum::<f64>() / powered.len() as f64;
+        let offset = self.cfg.offset.max(0.0);
+        let mut cdf = Vec::with_capacity(powered.len());
+        let mut acc = 0.0;
+        for &w in &powered {
+            // Eq. 2: p ∝ ε^k / mean(ε^k) + c. A zero mean (flat-zero
+            // residual field) degenerates to the uniform offset alone.
+            acc += if mean > 0.0 {
+                w / mean + offset
+            } else {
+                offset.max(1.0)
+            };
+            cdf.push(acc);
+        }
+        for i in 0..points.len() {
+            let src = draw_cdf(&cdf, rng);
+            points.set_point(i, pool.row(src));
+        }
+        self.resamples += 1;
+    }
+
+    fn on_points_changed(&mut self, points: &PointSet, _changes: &PointChanges) {
+        self.n = points.len();
+    }
+
+    fn sync_points(&mut self, points: &PointSet) {
+        self.n = points.len();
+    }
+
+    fn save_state(&self) -> Value {
+        let bounds = match &self.bounds {
+            Some((mins, maxs)) => obj([
+                ("mins", sgm_json::lossless_num_arr(mins)),
+                ("maxs", sgm_json::lossless_num_arr(maxs)),
+            ]),
+            None => Value::Null,
+        };
+        obj([
+            ("n", Value::Num(self.n as f64)),
+            ("probe_evals", Value::Num(self.probe_evals as f64)),
+            ("resamples", Value::Num(self.resamples as f64)),
+            ("bounds", bounds),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), String> {
+        let req = |key: &str| {
+            state
+                .get(key)
+                .and_then(Value::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("rad state: missing {key}"))
+        };
+        let n = req("n")?;
+        if n == 0 {
+            return Err("rad state: empty point set".to_string());
+        }
+        let bounds = match state.get("bounds") {
+            None | Some(Value::Null) => None,
+            Some(b) => {
+                let mins = b
+                    .req_lossless_f64_arr("mins")
+                    .map_err(|e| format!("rad state: {e}"))?;
+                let maxs = b
+                    .req_lossless_f64_arr("maxs")
+                    .map_err(|e| format!("rad state: {e}"))?;
+                if mins.len() != maxs.len() || mins.is_empty() {
+                    return Err("rad state: mismatched bounds".to_string());
+                }
+                Some((mins, maxs))
+            }
+        };
+        self.n = n;
+        self.probe_evals = req("probe_evals")?;
+        self.resamples = req("resamples")?;
+        self.bounds = bounds;
+        // The pool is a pure function of the restored bounds (private
+        // seeded RNG), so dropping it here regenerates it bit-exactly.
+        self.pool = None;
+        Ok(())
+    }
+}
+
+/// Configuration for [`RarDSampler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RarDConfig {
+    /// Densify period `τ` (iterations; 0 disables adaptation).
+    pub tau: usize,
+    /// Residual exponent `k` for ranking candidates.
+    pub power: f64,
+    /// Fresh candidates scored per adapt.
+    pub candidates: usize,
+    /// Points appended per adapt (the `m` of Algorithm 2).
+    pub add_per_adapt: usize,
+    /// Hard cap on the set size (adapts become no-ops at the cap).
+    pub max_points: usize,
+}
+
+impl Default for RarDConfig {
+    fn default() -> Self {
+        RarDConfig {
+            tau: 200,
+            power: 2.0,
+            candidates: 512,
+            add_per_adapt: 32,
+            max_points: usize::MAX,
+        }
+    }
+}
+
+/// The RAR-D sampler: greedy residual-ranked densification.
+#[derive(Debug, Clone)]
+pub struct RarDSampler {
+    cfg: RarDConfig,
+    n: usize,
+    probe_evals: usize,
+    /// Points appended over the sampler's lifetime.
+    added: usize,
+}
+
+impl RarDSampler {
+    /// A RAR-D sampler over an initial set of `n` collocation points.
+    pub fn new(n: usize, cfg: RarDConfig) -> Self {
+        assert!(n > 0, "empty collocation set");
+        RarDSampler {
+            cfg,
+            n,
+            probe_evals: 0,
+            added: 0,
+        }
+    }
+
+    /// Loss evaluations consumed by adapt passes so far.
+    pub fn probe_evals(&self) -> usize {
+        self.probe_evals
+    }
+
+    /// Points appended over the sampler's lifetime.
+    pub fn points_added(&self) -> usize {
+        self.added
+    }
+}
+
+impl Sampler for RarDSampler {
+    fn name(&self) -> &str {
+        "rar_d"
+    }
+
+    fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+        out.clear();
+        out.extend((0..batch_size).map(|_| rng.below(self.n)));
+    }
+
+    fn adapts_points(&self) -> bool {
+        true
+    }
+
+    fn adapt(&mut self, points: &mut PointSet, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
+        if self.cfg.tau == 0 || iter == 0 || !iter.is_multiple_of(self.cfg.tau) {
+            return;
+        }
+        let room = self.cfg.max_points.saturating_sub(points.len());
+        let add = self.cfg.add_per_adapt.min(room);
+        if add == 0 {
+            return;
+        }
+        let (mins, maxs) = points.cloud().bounds();
+        let cands = uniform_candidates(self.cfg.candidates, &mins, &maxs, rng);
+        let losses = probe.losses_at(&cands);
+        self.probe_evals += cands.rows();
+        let mut order: Vec<usize> = (0..cands.rows()).collect();
+        // Rank by residual power, index as the deterministic tie-break.
+        order.sort_by(|&a, &b| {
+            let (wa, wb) = (
+                residual_power(losses[a], self.cfg.power),
+                residual_power(losses[b], self.cfg.power),
+            );
+            wb.partial_cmp(&wa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &c in order.iter().take(add) {
+            points.push(cands.row(c));
+        }
+        self.added += add;
+    }
+
+    fn on_points_changed(&mut self, points: &PointSet, _changes: &PointChanges) {
+        self.n = points.len();
+    }
+
+    fn sync_points(&mut self, points: &PointSet) {
+        self.n = points.len();
+    }
+
+    fn save_state(&self) -> Value {
+        obj([
+            ("n", Value::Num(self.n as f64)),
+            ("probe_evals", Value::Num(self.probe_evals as f64)),
+            ("added", Value::Num(self.added as f64)),
+        ])
+    }
+
+    fn load_state(&mut self, state: &Value) -> Result<(), String> {
+        let req = |key: &str| {
+            state
+                .get(key)
+                .and_then(Value::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("rar_d state: missing {key}"))
+        };
+        let n = req("n")?;
+        if n == 0 {
+            return Err("rar_d state: empty point set".to_string());
+        }
+        self.n = n;
+        self.probe_evals = req("probe_evals")?;
+        self.added = req("added")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgm_graph::points::PointCloud;
+    use sgm_nn::activation::Activation;
+    use sgm_nn::mlp::{Mlp, MlpConfig};
+    use sgm_physics::geometry::{Cavity, FillStrategy};
+    use sgm_physics::pde::{Pde, PoissonConfig};
+    use sgm_physics::problem::{Problem, TrainSet};
+    use sgm_physics::PinnModel;
+
+    fn setup(n: usize, seed: u64) -> (Mlp, Problem, TrainSet) {
+        let problem = Problem::new(Pde::Poisson(PoissonConfig {
+            forcing: |p: &[f64]| if p[0] < 0.5 { 100.0 } else { 0.01 },
+        }));
+        let cav = Cavity::default();
+        let mut rng = Rng64::new(seed);
+        let interior = cav.sample_interior(n, FillStrategy::Halton, &mut rng);
+        let data = TrainSet {
+            interior,
+            boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+            boundary_targets: sgm_linalg::dense::Matrix::zeros(1, 1),
+        };
+        let cfg = MlpConfig {
+            input_dim: 2,
+            output_dim: 1,
+            hidden_width: 8,
+            hidden_layers: 1,
+            activation: Activation::Tanh,
+            fourier: None,
+        };
+        let mut nrng = Rng64::new(seed + 1);
+        (Mlp::new(&cfg, &mut nrng), problem, data)
+    }
+
+    fn left_fraction(points: &PointSet) -> f64 {
+        let left = (0..points.len())
+            .filter(|&i| points.point(i)[0] < 0.5)
+            .count();
+        left as f64 / points.len() as f64
+    }
+
+    #[test]
+    fn rad_resample_concentrates_on_high_loss_region() {
+        let (net, prob, data) = setup(400, 1);
+        let model = PinnModel::new(&prob, &data);
+        let mut s = RadSampler::new(
+            400,
+            RadConfig {
+                tau: 5,
+                offset: 0.2,
+                pool_size: 1024,
+                ..RadConfig::default()
+            },
+        );
+        let mut points = PointSet::new(data.interior.clone());
+        let mut rng = Rng64::new(2);
+        let probe = Probe::new(&net, &model);
+        s.adapt(&mut points, 5, &probe, &mut rng);
+        let mut changes = PointChanges::default();
+        assert!(points.drain_changes(&mut changes));
+        assert_eq!(changes.moved.len(), 400, "RAD moves every point");
+        assert_eq!(points.len(), 400, "RAD preserves the set size");
+        assert!(
+            left_fraction(&points) > 0.6,
+            "left-half fraction only {}",
+            left_fraction(&points)
+        );
+        assert_eq!(s.resamples(), 1);
+        assert!(s.probe_evals() >= 1024);
+    }
+
+    #[test]
+    fn rad_skips_non_tau_iterations() {
+        let (net, prob, data) = setup(100, 3);
+        let model = PinnModel::new(&prob, &data);
+        let mut s = RadSampler::new(
+            100,
+            RadConfig {
+                tau: 10,
+                ..RadConfig::default()
+            },
+        );
+        let mut points = PointSet::new(data.interior.clone());
+        let mut rng = Rng64::new(4);
+        let probe = Probe::new(&net, &model);
+        for iter in [0, 1, 9, 11, 15] {
+            s.adapt(&mut points, iter, &probe, &mut rng);
+        }
+        let mut changes = PointChanges::default();
+        assert!(!points.drain_changes(&mut changes), "no τ boundary crossed");
+        assert_eq!(s.resamples(), 0);
+    }
+
+    #[test]
+    fn rad_survives_non_finite_losses() {
+        // ε^k weighting with NaN/∞ entries must fall back cleanly.
+        assert_eq!(residual_power(f64::NAN, 1.0), 0.0);
+        assert_eq!(residual_power(f64::INFINITY, 1.0), 0.0);
+        assert_eq!(residual_power(1e308, 4.0), 0.0, "overflowing power");
+        assert_eq!(residual_power(-1.0, 1.0), 0.0);
+        assert!(residual_power(2.0, 2.0) == 4.0);
+    }
+
+    #[test]
+    fn rad_state_roundtrip() {
+        let (net, prob, data) = setup(120, 5);
+        let model = PinnModel::new(&prob, &data);
+        let mut a = RadSampler::new(
+            120,
+            RadConfig {
+                tau: 5,
+                ..RadConfig::default()
+            },
+        );
+        let mut points = PointSet::new(data.interior.clone());
+        let mut rng = Rng64::new(6);
+        let probe = Probe::new(&net, &model);
+        a.adapt(&mut points, 5, &probe, &mut rng);
+        let saved = Value::parse(&a.save_state().to_string_compact()).unwrap();
+        let mut b = RadSampler::new(
+            120,
+            RadConfig {
+                tau: 5,
+                ..RadConfig::default()
+            },
+        );
+        b.load_state(&saved).unwrap();
+        assert_eq!(b.probe_evals(), a.probe_evals());
+        assert_eq!(b.resamples(), a.resamples());
+        let mut ra = Rng64::new(7);
+        let mut rb = Rng64::new(7);
+        let (mut ba, mut bb) = (Vec::new(), Vec::new());
+        a.fill_batch(64, &mut ba, &mut ra);
+        b.fill_batch(64, &mut bb, &mut rb);
+        assert_eq!(ba, bb);
+        assert!(b.load_state(&Value::Num(3.0)).is_err());
+    }
+
+    #[test]
+    fn rar_d_appends_high_residual_candidates() {
+        let (net, prob, data) = setup(300, 8);
+        let model = PinnModel::new(&prob, &data);
+        let mut s = RarDSampler::new(
+            300,
+            RarDConfig {
+                tau: 5,
+                candidates: 400,
+                add_per_adapt: 40,
+                ..RarDConfig::default()
+            },
+        );
+        let mut points = PointSet::new(data.interior.clone());
+        let mut rng = Rng64::new(9);
+        let probe = Probe::new(&net, &model);
+        s.adapt(&mut points, 5, &probe, &mut rng);
+        s.adapt(&mut points, 10, &probe, &mut rng);
+        let mut changes = PointChanges::default();
+        assert!(points.drain_changes(&mut changes));
+        assert_eq!(changes.added, 80);
+        assert!(changes.moved.is_empty(), "RAR-D never moves points");
+        assert_eq!(points.len(), 380);
+        // The appended tail should be predominantly in the high-loss half.
+        let added_left = (300..380).filter(|&i| points.point(i)[0] < 0.5).count();
+        assert!(
+            added_left >= 72,
+            "only {added_left}/80 appended points in the high-loss half"
+        );
+        assert_eq!(s.points_added(), 80);
+    }
+
+    #[test]
+    fn rar_d_respects_point_cap() {
+        let (net, prob, data) = setup(100, 10);
+        let model = PinnModel::new(&prob, &data);
+        let mut s = RarDSampler::new(
+            100,
+            RarDConfig {
+                tau: 1,
+                add_per_adapt: 30,
+                max_points: 140,
+                ..RarDConfig::default()
+            },
+        );
+        let mut points = PointSet::new(data.interior.clone());
+        let mut rng = Rng64::new(11);
+        let probe = Probe::new(&net, &model);
+        for iter in 1..=5 {
+            s.adapt(&mut points, iter, &probe, &mut rng);
+        }
+        assert_eq!(points.len(), 140, "cap respected");
+        assert_eq!(s.points_added(), 40);
+    }
+
+    #[test]
+    fn rar_d_state_roundtrip_and_sync() {
+        let (net, prob, data) = setup(150, 12);
+        let model = PinnModel::new(&prob, &data);
+        let mut a = RarDSampler::new(
+            150,
+            RarDConfig {
+                tau: 5,
+                add_per_adapt: 10,
+                ..RarDConfig::default()
+            },
+        );
+        let mut points = PointSet::new(data.interior.clone());
+        let mut rng = Rng64::new(13);
+        let probe = Probe::new(&net, &model);
+        a.adapt(&mut points, 5, &probe, &mut rng);
+        let mut changes = PointChanges::default();
+        points.drain_changes(&mut changes);
+        a.on_points_changed(&points, &changes);
+        assert_eq!(a.n, 160, "draw range follows the grown set");
+        let saved = Value::parse(&a.save_state().to_string_compact()).unwrap();
+        let mut b = RarDSampler::new(150, RarDConfig::default());
+        b.load_state(&saved).unwrap();
+        b.sync_points(&points);
+        assert_eq!(b.n, a.n);
+        assert_eq!(b.probe_evals(), a.probe_evals());
+        assert_eq!(b.points_added(), a.points_added());
+    }
+}

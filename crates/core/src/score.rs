@@ -126,7 +126,9 @@ pub fn map_scores(
         }
         ScoreMapping::Rank { lo, hi } => {
             let mut order: Vec<usize> = (0..n).collect();
-            order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+            // total_cmp: a NaN score (poisoned cluster probe) must order
+            // deterministically instead of panicking the rank sort.
+            order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
             let mut ratios = vec![0.0; n];
             for (rank, &i) in order.iter().enumerate() {
                 let t = if n == 1 {

@@ -27,7 +27,7 @@ use sgm_linalg::dense::Matrix;
 use sgm_linalg::rng::Rng64;
 use sgm_obs::{trace, Counter, Gauge, TraceLevel};
 use sgm_stability::{spade_scores, SpadeConfig};
-use sgm_train::{Probe, Sampler};
+use sgm_train::{PointChanges, PointSet, Probe, Sampler};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -426,6 +426,44 @@ impl SgmSampler {
         self.stats.rebuilds_completed += 1;
     }
 
+    /// Patches the sampler's spatial cloud to the coordinates in
+    /// `points`.
+    ///
+    /// A move-only change updates rows in place and keeps the current
+    /// clustering — in incremental mode the next τ_G rebuild detects the
+    /// moved rows by coordinate comparison and routes them through the
+    /// kNN delta path instead of a from-scratch build. A size change
+    /// invalidates both the epoch indices and the cluster assignment, so
+    /// the PGM is rebuilt inline and the epoch reset to a full-dataset
+    /// shuffle keyed on the point-set epoch (deterministic across thread
+    /// counts).
+    fn resync_cloud(&mut self, points: &PointSet) {
+        let d_sp = self.cfg.spatial_dims.min(points.dim());
+        if points.len() == self.cloud.len() {
+            let cloud = Arc::make_mut(&mut self.cloud);
+            for i in 0..points.len() {
+                cloud.set_point(i, &points.point(i)[..d_sp]);
+            }
+            return;
+        }
+        let mut flat = Vec::with_capacity(points.len() * d_sp);
+        for i in 0..points.len() {
+            flat.extend_from_slice(&points.point(i)[..d_sp]);
+        }
+        self.cloud = Arc::new(PointCloud::from_flat(d_sp, flat));
+        let req = RebuildRequest {
+            cloud: self.cloud.clone(),
+            knn: Self::knn_config(&self.cfg, self.cfg.seed),
+            lrd: Self::lrd_config(&self.cfg, self.cfg.seed),
+            incremental: self.cfg.incremental.clone(),
+        };
+        self.rebuild_inline(&req);
+        let mut rng = Rng64::new(self.cfg.seed ^ 0xAD47 ^ points.epoch());
+        self.epoch = (0..points.len()).collect();
+        rng.shuffle(&mut self.epoch);
+        self.cursor = 0;
+    }
+
     /// Spatial coordinates concatenated with the network's current
     /// outputs, each output column rescaled to the spatial bounding-box
     /// scale so neither group dominates the kNN metric.
@@ -534,11 +572,18 @@ impl Sampler for SgmSampler {
             match b.try_take() {
                 Ok(Some(fresh)) => {
                     let dt = b.last_rebuild_duration();
-                    self.clustering = fresh.clustering;
-                    if let Some(rs) = &fresh.refresh {
-                        self.apply_refresh_stats(rs);
+                    // A result that raced a point-set size change was
+                    // computed on a cloud snapshot of the wrong shape;
+                    // applying it would desynchronise clustering and
+                    // epoch. Discard it — the resync already rebuilt
+                    // inline at the new size.
+                    if fresh.clustering.num_nodes() == self.cloud.len() {
+                        self.clustering = fresh.clustering;
+                        if let Some(rs) = &fresh.refresh {
+                            self.apply_refresh_stats(rs);
+                        }
+                        self.stats.rebuilds_applied += 1;
                     }
-                    self.stats.rebuilds_applied += 1;
                     self.stats.rebuilds_completed += 1;
                     if let Some(dt) = dt {
                         self.stats.last_rebuild_seconds = dt.as_secs_f64();
@@ -606,6 +651,33 @@ impl Sampler for SgmSampler {
         self.stats.refreshes += 1;
         REFRESHES_TOTAL.inc();
         self.stats.refresh_seconds += t0.elapsed().as_secs_f64();
+    }
+
+    /// Routes collocation-set mutations from an adaptive layer into the
+    /// graph side: moved rows are written into the spatial cloud so the
+    /// next τ_G rebuild's incremental engine sees them as a delta; size
+    /// changes trigger an inline rebuild and a deterministic epoch
+    /// reset.
+    fn on_points_changed(&mut self, points: &PointSet, changes: &PointChanges) {
+        let _ = changes;
+        self.resync_cloud(points);
+    }
+
+    /// Resume-time resynchronisation: restores the spatial cloud to the
+    /// checkpointed coordinates. With an unchanged point count this
+    /// touches nothing but the cloud rows (the restored clustering,
+    /// epoch and stats already reflect those coordinates); a size
+    /// mismatch falls back to the inline-rebuild path.
+    fn sync_points(&mut self, points: &PointSet) {
+        if points.len() == self.cloud.len() {
+            let d_sp = self.cfg.spatial_dims.min(points.dim());
+            let cloud = Arc::make_mut(&mut self.cloud);
+            for i in 0..points.len() {
+                cloud.set_point(i, &points.point(i)[..d_sp]);
+            }
+        } else {
+            self.resync_cloud(points);
+        }
     }
 
     /// Serialises the clustering assignment, current epoch and overhead
@@ -782,6 +854,12 @@ mod tests {
     use sgm_physics::problem::{Problem, TrainSet};
     use sgm_physics::PinnModel;
 
+    fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+        let mut out = Vec::new();
+        s.fill_batch(batch, &mut out, rng);
+        out
+    }
+
     /// Forcing that is enormous on the left half of the cavity — an
     /// untrained (≈ 0) network therefore has its loss concentrated there.
     fn lopsided_problem() -> Problem {
@@ -828,7 +906,7 @@ mod tests {
         let (_net, _prob, data) = setup(100, 1);
         let mut s = SgmSampler::new(&data.interior, small_cfg());
         let mut rng = Rng64::new(2);
-        let batch = s.next_batch(100, &mut rng);
+        let batch = next_batch(&mut s, 100, &mut rng);
         let uniq: std::collections::HashSet<_> = batch.iter().collect();
         assert_eq!(uniq.len(), 100, "first epoch is the shuffled dataset");
     }
@@ -838,16 +916,13 @@ mod tests {
         let (net, prob, data) = setup(400, 3);
         let mut s = SgmSampler::new(&data.interior, small_cfg());
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(4);
         s.refresh(0, &probe, &mut rng);
         assert_eq!(s.stats().refreshes, 1);
         // Draw a large batch and count how many samples fall on the
         // high-loss (left) half.
-        let batch = s.next_batch(2000, &mut rng);
+        let batch = next_batch(&mut s, 2000, &mut rng);
         let left = batch
             .iter()
             .filter(|&&i| data.interior.point(i)[0] < 0.5)
@@ -863,10 +938,7 @@ mod tests {
         cfg.floor_one = true;
         let mut s = SgmSampler::new(&data.interior, cfg);
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(6);
         s.refresh(0, &probe, &mut rng);
         // Each cluster must contribute ≥ 1 index to the epoch.
@@ -884,10 +956,7 @@ mod tests {
         let (net, prob, data) = setup(200, 7);
         let mut s = SgmSampler::new(&data.interior, small_cfg()); // tau_e = 10
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(8);
         for iter in 0..25 {
             s.refresh(iter, &probe, &mut rng);
@@ -904,10 +973,7 @@ mod tests {
         cfg.background = false;
         let mut s = SgmSampler::new(&data.interior, cfg);
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(10);
         for iter in 0..11 {
             s.refresh(iter, &probe, &mut rng);
@@ -927,10 +993,7 @@ mod tests {
         assert_eq!(s.stats().points_rescored, 300);
         assert!((s.stats().last_dirty_fraction - 1.0).abs() < 1e-12);
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(32);
         for iter in 0..11 {
             s.refresh(iter, &probe, &mut rng);
@@ -952,10 +1015,7 @@ mod tests {
         cfg.background = true;
         let mut s = SgmSampler::new(&data.interior, cfg);
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(12);
         let mut applied = 0;
         for iter in 0..200 {
@@ -978,10 +1038,7 @@ mod tests {
         let mut s = SgmSampler::new(&data.interior, cfg);
         assert_eq!(s.name(), "sgm-s");
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(14);
         s.refresh(0, &probe, &mut rng);
         assert_eq!(s.stats().refreshes, 1);
@@ -993,14 +1050,11 @@ mod tests {
         let (net, prob, data) = setup(150, 15);
         let mut s = SgmSampler::new(&data.interior, small_cfg());
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(16);
         s.refresh(0, &probe, &mut rng);
         for _ in 0..20 {
-            let b = s.next_batch(64, &mut rng);
+            let b = next_batch(&mut s, 64, &mut rng);
             assert_eq!(b.len(), 64);
             assert!(b.iter().all(|&i| i < 150));
         }
@@ -1010,14 +1064,11 @@ mod tests {
     fn state_roundtrip_preserves_epoch_and_stats() {
         let (net, prob, data) = setup(250, 21);
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut a = SgmSampler::new(&data.interior, small_cfg());
         let mut rng = Rng64::new(22);
         a.refresh(0, &probe, &mut rng);
-        a.next_batch(64, &mut rng); // advance the cursor mid-epoch
+        next_batch(&mut a, 64, &mut rng); // advance the cursor mid-epoch
         let saved = Value::parse(&a.save_state().to_string_compact()).unwrap();
         // Rebuild from scratch (fresh clustering/epoch) and restore.
         let mut b = SgmSampler::new(&data.interior, small_cfg());
@@ -1029,7 +1080,10 @@ mod tests {
         let mut ra = Rng64::new(23);
         let mut rb = Rng64::new(23);
         for _ in 0..5 {
-            assert_eq!(a.next_batch(64, &mut ra), b.next_batch(64, &mut rb));
+            assert_eq!(
+                next_batch(&mut a, 64, &mut ra),
+                next_batch(&mut b, 64, &mut rb)
+            );
         }
     }
 

@@ -19,9 +19,16 @@ use sgm_physics::pde::{Pde, PoissonConfig};
 use sgm_physics::problem::{Problem, TrainSet};
 use sgm_physics::PinnModel;
 use sgm_testkit::fault::{FaultAction, FaultPlan};
-use sgm_train::{Probe, Sampler};
+use sgm_train::{PointChanges, PointSet, Probe, Sampler};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Draw one batch through the no-allocation `fill_batch` entry point.
+fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut out = Vec::new();
+    s.fill_batch(batch, &mut out, rng);
+    out
+}
 
 #[test]
 fn scripted_crash_is_surfaced_with_its_message() {
@@ -87,10 +94,7 @@ fn poisson_setup(n: usize, seed: u64) -> (Mlp, Problem, TrainSet) {
 fn crash_mid_delta_patch_keeps_serving_last_consistent_graph() {
     let (net, prob, data) = poisson_setup(400, 0xA1);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut rng = Rng64::new(0xA2);
 
     let cfg = SgmConfig {
@@ -130,7 +134,7 @@ fn crash_mid_delta_patch_keeps_serving_last_consistent_graph() {
             &consistent[..],
             "clustering changed while the worker was crashing"
         );
-        let batch = s.next_batch(64, &mut rng);
+        let batch = next_batch(&mut s, 64, &mut rng);
         assert_eq!(batch.len(), 64);
         assert!(batch.iter().all(|&i| i < data.interior.len()));
         iter += 2;
@@ -155,6 +159,178 @@ fn crash_mid_delta_patch_keeps_serving_last_consistent_graph() {
         "static cloud must patch zero points inline"
     );
     assert_eq!(s.clustering().num_nodes(), data.interior.len());
-    let batch = s.next_batch(64, &mut rng);
+    let batch = next_batch(&mut s, 64, &mut rng);
     assert_eq!(batch.len(), 64);
+}
+
+/// Test-local adaptive wrapper: moves (and optionally grows) the point
+/// set on a fixed cadence while delegating draws and graph-layer
+/// notifications to the wrapped [`SgmSampler`]. Stands in for an
+/// adaptive sampler stacked on the SGM graph machinery, so the race
+/// below exercises the production `on_points_changed` path.
+struct JitterAdapter {
+    inner: SgmSampler,
+    tau: usize,
+    grow_at: Option<usize>,
+}
+
+impl Sampler for JitterAdapter {
+    fn name(&self) -> &str {
+        "sgm_jitter"
+    }
+
+    fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+        self.inner.fill_batch(batch_size, out, rng);
+    }
+
+    fn refresh(&mut self, iter: usize, probe: &Probe<'_>, rng: &mut Rng64) {
+        self.inner.refresh(iter, probe, rng);
+    }
+
+    fn adapts_points(&self) -> bool {
+        true
+    }
+
+    fn adapt(&mut self, points: &mut PointSet, iter: usize, _probe: &Probe<'_>, rng: &mut Rng64) {
+        if iter == 0 || !iter.is_multiple_of(self.tau) {
+            return;
+        }
+        if self.grow_at == Some(iter) {
+            for _ in 0..5 {
+                let p = [rng.uniform(), rng.uniform()];
+                points.push(&p);
+            }
+        }
+        for _ in 0..8 {
+            let i = rng.below(points.len());
+            let mut p = points.point(i).to_vec();
+            for c in &mut p {
+                *c = 0.5 + (*c - 0.5) * 0.95;
+            }
+            points.set_point(i, &p);
+        }
+    }
+
+    fn on_points_changed(&mut self, points: &PointSet, changes: &PointChanges) {
+        self.inner.on_points_changed(points, changes);
+    }
+
+    fn sync_points(&mut self, points: &PointSet) {
+        self.inner.sync_points(points);
+    }
+}
+
+/// The adapt stage racing a background rebuild: a gated worker holds a
+/// τ_G rebuild in flight while adapt keeps moving points — and then the
+/// set *grows*, so the held result was computed on a snapshot of the
+/// wrong shape. The sampler must keep serving valid batches throughout,
+/// rebuild inline at the new size, and *discard* the stale-shaped
+/// result when it finally lands instead of desynchronising its
+/// clustering from the grown point set.
+#[test]
+fn adapt_racing_background_rebuild_discards_stale_shape() {
+    let (net, prob, data) = poisson_setup(300, 0xB1);
+    let model = PinnModel::new(&prob, &data);
+    let mut rng = Rng64::new(0xB2);
+    let cfg = SgmConfig {
+        k: 6,
+        min_clusters: 8,
+        max_cluster_frac: 0.2,
+        tau_e: 1,
+        tau_g: 2,
+        incremental: Some(RefreshOptions::default()),
+        ..SgmConfig::default()
+    };
+    let (gate, held) = FaultAction::gated();
+    let plan = FaultPlan::new([held]);
+    let grow_at = 6;
+    let mut s = JitterAdapter {
+        inner: SgmSampler::with_builder(&data.interior, cfg, plan.spawn()),
+        tau: 2,
+        grow_at: Some(grow_at),
+    };
+    let mut points = PointSet::new(data.interior.clone());
+    let mut changes = PointChanges::default();
+
+    // One engine stage sequence: refresh → adapt → drain/notify → draw.
+    let step = |s: &mut JitterAdapter,
+                points: &mut PointSet,
+                changes: &mut PointChanges,
+                iter: usize,
+                rng: &mut Rng64| {
+        {
+            let probe = Probe::with_points(&net, &model, Some(points));
+            s.refresh(iter, &probe, rng);
+        }
+        {
+            let probe = Probe::new(&net, &model);
+            s.adapt(points, iter, &probe, rng);
+        }
+        if points.drain_changes(changes) {
+            s.on_points_changed(points, changes);
+        }
+        let batch = next_batch(s, 64, rng);
+        assert_eq!(batch.len(), 64);
+        assert!(
+            batch.iter().all(|&i| i < points.len()),
+            "iteration {iter}: batch index out of range for {} points",
+            points.len()
+        );
+    };
+
+    // Iterations 0..6: the τ_G request at iteration 2 is held by the
+    // gate; adapt keeps moving points under it. Served clusterings must
+    // keep matching the (unchanged) point count.
+    for iter in 0..grow_at {
+        step(&mut s, &mut points, &mut changes, iter, &mut rng);
+        assert_eq!(s.inner.clustering().num_nodes(), points.len());
+    }
+    assert!(
+        s.inner.stats().rebuilds_requested > 0,
+        "gated worker never received the τ_G request"
+    );
+    let applied_pre = s.inner.stats().rebuilds_applied;
+
+    // Iteration 6 grows the set by 5 points: the resync rebuilds inline
+    // at the new size while the worker still holds the old-shape result.
+    step(&mut s, &mut points, &mut changes, grow_at, &mut rng);
+    assert_eq!(points.len(), 305);
+    assert_eq!(s.inner.clustering().num_nodes(), 305);
+    let applied_grow = s.inner.stats().rebuilds_applied;
+    assert!(
+        applied_grow > applied_pre,
+        "size change must trigger an inline rebuild"
+    );
+    let completed_grow = s.inner.stats().rebuilds_completed;
+
+    // Release the gate: the stale 300-node result lands and must be
+    // discarded — completed but never applied.
+    gate.release();
+    let mut iter = grow_at + 1;
+    while s.inner.stats().rebuilds_completed == completed_grow {
+        assert!(iter < 2000, "held rebuild never completed");
+        step(&mut s, &mut points, &mut changes, iter, &mut rng);
+        assert_eq!(
+            s.inner.clustering().num_nodes(),
+            points.len(),
+            "stale-shaped rebuild was applied over the grown point set"
+        );
+        iter += 1;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(
+        s.inner.stats().rebuilds_applied,
+        applied_grow,
+        "stale-shaped result must be discarded, not applied"
+    );
+
+    // The pipeline recovers: the next τ_G request is computed on the
+    // grown cloud and applies cleanly.
+    while s.inner.stats().rebuilds_applied == applied_grow {
+        assert!(iter < 4000, "post-race rebuild never applied");
+        step(&mut s, &mut points, &mut changes, iter, &mut rng);
+        iter += 1;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(s.inner.clustering().num_nodes(), points.len());
 }

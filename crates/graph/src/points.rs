@@ -78,6 +78,22 @@ impl PointCloud {
         self.data.extend_from_slice(p);
     }
 
+    /// Overwrites point `i` with `p` (the adaptive samplers move
+    /// collocation points through this).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds or `p.len() != dim`.
+    #[inline]
+    pub fn set_point(&mut self, i: usize, p: &[f64]) {
+        assert_eq!(p.len(), self.dim, "point dimension");
+        self.data[i * self.dim..(i + 1) * self.dim].copy_from_slice(p);
+    }
+
+    /// Drops all points past the first `n` (no-op when `n >= len`).
+    pub fn truncate(&mut self, n: usize) {
+        self.data.truncate(n.saturating_mul(self.dim));
+    }
+
     /// The flat buffer.
     pub fn as_slice(&self) -> &[f64] {
         &self.data

@@ -9,6 +9,7 @@
 //! request. The engine itself (in `sgm-train`) never sees a PDE.
 
 use crate::problem::{Problem, TrainSet};
+use sgm_graph::points::PointCloud;
 use sgm_linalg::dense::Matrix;
 use sgm_nn::mlp::{BatchDerivatives, Gradients, Mlp, MlpWorkspace};
 use sgm_train::{LossModel, ModelWorkspace};
@@ -201,6 +202,46 @@ impl LossModel for PinnModel<'_> {
     fn inputs(&self, idx: &[usize]) -> Matrix {
         Problem::gather(&self.data.interior, idx)
     }
+
+    fn interior_cloud(&self) -> Option<PointCloud> {
+        Some(self.data.interior.clone())
+    }
+
+    fn gather_from(
+        &self,
+        points: &PointCloud,
+        interior_idx: &[usize],
+        boundary_idx: &[usize],
+        ws: &mut dyn ModelWorkspace,
+    ) {
+        let ws = PinnWorkspace::of(ws);
+        Problem::gather_into(points, interior_idx, &mut ws.xi);
+        if ws.bb > 0 {
+            Problem::gather_into(&self.data.boundary, boundary_idx, &mut ws.xb);
+            ws.bidx.clear();
+            ws.bidx.extend_from_slice(boundary_idx);
+        }
+    }
+
+    fn batch_loss_from(
+        &self,
+        net: &Mlp,
+        points: &PointCloud,
+        interior_idx: &[usize],
+        boundary_idx: &[usize],
+    ) -> f64 {
+        let x = Problem::gather(points, interior_idx);
+        let per = self.problem.sample_losses_at(net, &x);
+        let mut total = per.iter().sum::<f64>() / interior_idx.len().max(1) as f64;
+        if !boundary_idx.is_empty() {
+            total += self.problem.boundary_loss(net, self.data, boundary_idx);
+        }
+        total
+    }
+
+    fn losses_at(&self, net: &Mlp, coords: &Matrix) -> Vec<f64> {
+        self.problem.sample_losses_at(net, coords)
+    }
 }
 
 #[cfg(test)]
@@ -351,7 +392,8 @@ mod tests {
         let model = PinnModel::new(&problem, &data);
         let mut rng = Rng64::new(77);
         let mut sampler = UniformSampler::new(data.num_interior());
-        let idx = sampler.next_batch(32, &mut rng);
+        let mut idx = Vec::new();
+        sampler.fill_batch(32, &mut idx, &mut rng);
         let bidx: Vec<usize> = (0..16).map(|_| rng.below(data.num_boundary())).collect();
 
         let x = Problem::gather(&data.interior, &idx);

@@ -165,10 +165,20 @@ impl Problem {
             return Vec::new();
         }
         let x = Self::gather(&data.interior, idx);
-        let (d, _cache) = net.forward_with_derivs(&x, &self.pde.diff_dims());
-        let r = self.pde.residuals(&x, &d);
+        self.sample_losses_at(net, &x)
+    }
+
+    /// Per-sample interior losses at arbitrary coordinates (one row per
+    /// point) — how point-set-adaptive samplers score proposal locations
+    /// that are not in the collocation set yet.
+    pub fn sample_losses_at(&self, net: &Mlp, x: &Matrix) -> Vec<f64> {
+        if x.rows() == 0 {
+            return Vec::new();
+        }
+        let (d, _cache) = net.forward_with_derivs(x, &self.pde.diff_dims());
+        let r = self.pde.residuals(x, &d);
         let nr = self.pde.num_residuals();
-        (0..idx.len())
+        (0..x.rows())
             .map(|i| {
                 (0..nr)
                     .map(|k| self.residual_weights[k] * r.get(i, k).powi(2))

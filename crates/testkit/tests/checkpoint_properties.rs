@@ -61,6 +61,7 @@ fn state_with(adam_m: &[f64], adam_v: &[f64], rng_words: [u64; 4], loss: f64) ->
         }],
         sampler_name: "uniform".into(),
         sampler_state: obj([("cursor", Value::Num(3.0))]),
+        points: None,
     }
 }
 

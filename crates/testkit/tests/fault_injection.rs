@@ -13,6 +13,13 @@ use sgm_testkit::fault::{FaultAction, FaultPlan};
 use sgm_train::{Probe, Sampler};
 use std::time::Duration;
 
+/// Draw one batch through the no-allocation `fill_batch` entry point.
+fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut out = Vec::new();
+    s.fill_batch(batch, &mut out, rng);
+    out
+}
+
 fn cfg() -> SgmConfig {
     SgmConfig {
         k: 6,
@@ -41,10 +48,7 @@ fn assignment_of(s: &dyn Sampler) -> Vec<f64> {
 fn stalled_rebuild_leaves_training_on_stale_clustering() {
     let (net, prob, data) = common::setup(400, 0xF1);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut rng = Rng64::new(0xF2);
 
     let (gate, action) = FaultAction::gated();
@@ -56,7 +60,7 @@ fn stalled_rebuild_leaves_training_on_stale_clustering() {
     // later refresh must carry on unaffected.
     for iter in (2..=20).step_by(2) {
         s.refresh(iter, &probe, &mut rng);
-        let batch = s.next_batch(64, &mut rng);
+        let batch = next_batch(&mut s, 64, &mut rng);
         assert_eq!(batch.len(), 64);
         assert!(batch.iter().all(|&i| i < data.interior.len()));
     }
@@ -85,10 +89,7 @@ fn stalled_rebuild_leaves_training_on_stale_clustering() {
 fn crashed_worker_is_reported_and_replaced_by_inline_rebuilds() {
     let (net, prob, data) = common::setup(400, 0xF3);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut rng = Rng64::new(0xF4);
 
     let plan = FaultPlan::new([FaultAction::Panic("injected rebuild crash".into())]);
@@ -113,7 +114,7 @@ fn crashed_worker_is_reported_and_replaced_by_inline_rebuilds() {
         s.stats().rebuilds_applied > applied,
         "no inline rebuild after worker death"
     );
-    let batch = s.next_batch(64, &mut rng);
+    let batch = next_batch(&mut s, 64, &mut rng);
     assert_eq!(batch.len(), 64);
 }
 
@@ -124,10 +125,7 @@ fn crashed_worker_is_reported_and_replaced_by_inline_rebuilds() {
 fn lost_result_does_not_kill_or_hang_the_sampler() {
     let (net, prob, data) = common::setup(400, 0xF5);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut rng = Rng64::new(0xF6);
 
     let mut s = SgmSampler::with_builder(
@@ -139,7 +137,7 @@ fn lost_result_does_not_kill_or_hang_the_sampler() {
 
     for iter in (2..=30).step_by(2) {
         s.refresh(iter, &probe, &mut rng);
-        assert_eq!(s.next_batch(32, &mut rng).len(), 32);
+        assert_eq!(next_batch(&mut s, 32, &mut rng).len(), 32);
         std::thread::sleep(Duration::from_millis(1));
     }
     let st = s.stats();

@@ -16,6 +16,13 @@ use sgm_physics::PinnModel;
 use sgm_train::{LossModel, Probe, Sampler};
 use std::collections::BTreeMap;
 
+/// Draw one batch through the no-allocation `fill_batch` entry point.
+fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut out = Vec::new();
+    s.fill_batch(batch, &mut out, rng);
+    out
+}
+
 const ALPHA: f64 = 1e-3;
 const MODES: [Parallelism; 3] = [
     Parallelism::Serial,
@@ -79,7 +86,7 @@ fn mis_draws_match_injected_distribution() {
     let draws = 40_000usize;
     let mut rng = Rng64::new(0x31AB);
     let mut observed = vec![0.0; n];
-    for i in s.next_batch(draws, &mut rng) {
+    for i in next_batch(&mut s, draws, &mut rng) {
         observed[i] += 1.0;
     }
     let expected: Vec<f64> = p.iter().map(|&pi| pi * draws as f64).collect();
@@ -95,10 +102,7 @@ fn mis_draws_match_injected_distribution() {
 fn mis_refresh_matches_formula_and_threads() {
     let (net, prob, data) = common::setup(400, 0xA11);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let n = data.interior.len();
 
     let mut states = Vec::new();
@@ -127,7 +131,7 @@ fn mis_refresh_matches_formula_and_threads() {
     let draws = 60_000usize;
     let mut rng = Rng64::new(0x5EED);
     let mut observed = vec![0.0; n];
-    for i in s.next_batch(draws, &mut rng) {
+    for i in next_batch(&mut s, draws, &mut rng) {
         observed[i] += 1.0;
     }
     let expected: Vec<f64> = p.iter().map(|&pi| pi * draws as f64).collect();
@@ -151,7 +155,7 @@ fn rar_serves_its_active_set_uniformly() {
 
     let draws = 40_000usize;
     let mut counts: BTreeMap<usize, f64> = active.iter().map(|&i| (i, 0.0)).collect();
-    for i in s.next_batch(draws, &mut rng) {
+    for i in next_batch(&mut s, draws, &mut rng) {
         *counts
             .get_mut(&i)
             .unwrap_or_else(|| panic!("drew index {i} outside the active set")) += 1.0;
@@ -180,10 +184,7 @@ fn sgm_cfg() -> SgmConfig {
 fn sgm_epoch_under(mode: Parallelism) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
     let (net, prob, data) = common::setup(400, 0x51);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut s = SgmSampler::new(&data.interior, sgm_cfg());
     with_parallelism(mode, || {
         s.refresh(0, &probe, &mut Rng64::new(0x77));
@@ -257,10 +258,7 @@ fn sgm_epoch_respects_ratios_floor_and_threads() {
 fn sgm_serving_is_an_exact_permutation_of_the_epoch() {
     let (net, prob, data) = common::setup(400, 0x51);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut s = SgmSampler::new(&data.interior, sgm_cfg());
     let mut rng = Rng64::new(0x99);
     s.refresh(0, &probe, &mut rng);
@@ -271,7 +269,7 @@ fn sgm_serving_is_an_exact_permutation_of_the_epoch() {
         .collect();
     epoch.sort_unstable();
     for k in 0..10 {
-        let mut batch = s.next_batch(epoch.len(), &mut rng);
+        let mut batch = next_batch(&mut s, epoch.len(), &mut rng);
         batch.sort_unstable();
         assert_eq!(batch, epoch, "epoch {k} is not a permutation");
     }

@@ -1,11 +1,25 @@
 //! The staged training loop.
 //!
 //! Each iteration runs the fixed stage sequence
-//! `Refresh → Draw → Gather → LossGrad → Step` (+ an off-clock `Record`
-//! stage at recording points). All per-iteration buffers live in
-//! run-scoped workspaces created before the first iteration, so a
+//! `Refresh → Adapt → Draw → Gather → LossGrad → Step` (+ an off-clock
+//! `Record` stage at recording points). All per-iteration buffers live
+//! in run-scoped workspaces created before the first iteration, so a
 //! steady-state iteration performs no heap allocations under serial
 //! parallelism.
+//!
+//! # The adapt stage
+//!
+//! When the sampler opts into point-set mutation
+//! ([`Sampler::adapts_points`]), the engine owns a mutable [`PointSet`]
+//! seeded from [`LossModel::interior_cloud`] and lends it to
+//! [`Sampler::adapt`] every iteration. After a mutating adapt the engine
+//! drains the change log, re-validates that the interior batch still
+//! fits the (possibly shrunk) set, notifies the sampler via
+//! [`Sampler::on_points_changed`] and reports the changes to hooks; all
+//! batch gathers and record-path losses then read coordinates from the
+//! set (`gather_from` / `batch_loss_from`), so the next `Gather`
+//! re-fills the workspace from the mutated coordinates — there is no
+//! stale-workspace window because gathers always rewrite every row.
 //!
 //! # Time accounting
 //!
@@ -19,8 +33,9 @@
 
 use crate::hooks::{Hook, Stage};
 use crate::model::{LossModel, Validator};
+use crate::pointset::{PointChanges, PointSet};
 use crate::result::{Record, TrainResult};
-use crate::runstate::RunState;
+use crate::runstate::{PointsCheckpoint, RunState};
 use crate::sampler::{Probe, Sampler};
 use sgm_linalg::rng::Rng64;
 use sgm_nn::checkpoint::Checkpoint;
@@ -179,6 +194,20 @@ impl Trainer<'_> {
             opts.batch_interior <= self.model.num_interior(),
             "batch larger than dataset"
         );
+        // The mutable collocation set, owned by the engine whenever the
+        // sampler adapts points. Seeded from the model; overwritten from
+        // the checkpoint on resume.
+        let mut points: Option<PointSet> = if sampler.adapts_points() {
+            let cloud = self.model.interior_cloud().unwrap_or_else(|| {
+                panic!(
+                    "sampler {:?} adapts the point set but the model provides no interior_cloud",
+                    sampler.name()
+                )
+            });
+            Some(PointSet::new(cloud))
+        } else {
+            None
+        };
         let mut start_iter = 0usize;
         let mut train_clock = 0.0;
         let mut record_clock = 0.0;
@@ -203,6 +232,42 @@ impl Trainer<'_> {
             *self.net = restored;
             rng = Rng64::from_state(st.rng_state, st.rng_gauss_spare);
             sampler.load_state(&st.sampler_state)?;
+            match &st.points {
+                Some(p) => {
+                    if !sampler.adapts_points() {
+                        return Err(format!(
+                            "state carries a mutated point set but sampler {:?} \
+                             does not adapt points",
+                            sampler.name()
+                        ));
+                    }
+                    let reference = points.as_ref().expect("adapting sampler has a set");
+                    if p.dim != reference.dim() {
+                        return Err(format!(
+                            "state point set has dim {}, model has dim {}",
+                            p.dim,
+                            reference.dim()
+                        ));
+                    }
+                    if p.coords.len() < p.dim * opts.batch_interior {
+                        return Err(format!(
+                            "state point set has {} points, batch_interior is {}",
+                            p.coords.len() / p.dim,
+                            opts.batch_interior
+                        ));
+                    }
+                    let ps = PointSet::from_parts(p.dim, p.coords.clone(), p.epoch);
+                    sampler.sync_points(&ps);
+                    points = Some(ps);
+                }
+                // v1 state (or pre-mutation run): keep the model's
+                // initial cloud.
+                None => {
+                    if let Some(ps) = &points {
+                        sampler.sync_points(ps);
+                    }
+                }
+            }
             history = st.history.clone();
             train_clock = st.train_seconds;
             record_clock = st.record_seconds;
@@ -231,6 +296,7 @@ impl Trainer<'_> {
         let mut grads = self.net.zero_gradients();
         let mut idx: Vec<usize> = Vec::with_capacity(opts.batch_interior);
         let mut bidx: Vec<usize> = Vec::with_capacity(bb);
+        let mut changes = PointChanges::default();
         let mut saved: Option<RunState> = None;
 
         for iter in start_iter..opts.iterations {
@@ -245,13 +311,30 @@ impl Trainer<'_> {
                 // internals (and any background-rebuild request) parent
                 // under it.
                 let _s = trace::span(TraceLevel::Stages, "engine", "stage_refresh");
-                let probe = Probe {
-                    net: self.net,
-                    model: self.model,
-                };
+                let probe = Probe::with_points(self.net, self.model, points.as_ref());
                 sampler.refresh(iter, &probe, &mut rng);
             }
             let t1 = Instant::now();
+            let mut points_changed = false;
+            if let Some(ps) = points.as_mut() {
+                let _s = trace::span(TraceLevel::Stages, "engine", "stage_adapt");
+                {
+                    let probe = Probe::new(self.net, self.model);
+                    sampler.adapt(ps, iter, &probe, &mut rng);
+                }
+                if ps.drain_changes(&mut changes) {
+                    assert!(
+                        opts.batch_interior <= ps.len(),
+                        "adapt at iteration {iter} shrank the point set to {} points, \
+                         below batch_interior {}",
+                        ps.len(),
+                        opts.batch_interior
+                    );
+                    sampler.on_points_changed(ps, &changes);
+                    points_changed = true;
+                }
+            }
+            let t1a = Instant::now();
             {
                 let _s = trace::span(TraceLevel::Stages, "engine", "stage_draw");
                 sampler.fill_batch(opts.batch_interior, &mut idx, &mut rng);
@@ -263,7 +346,10 @@ impl Trainer<'_> {
             let t2 = Instant::now();
             {
                 let _s = trace::span(TraceLevel::Stages, "engine", "stage_gather");
-                self.model.gather(&idx, &bidx, &mut *ws);
+                match &points {
+                    Some(ps) => self.model.gather_from(ps.cloud(), &idx, &bidx, &mut *ws),
+                    None => self.model.gather(&idx, &bidx, &mut *ws),
+                }
             }
             let t3 = Instant::now();
             {
@@ -279,10 +365,15 @@ impl Trainer<'_> {
             let t5 = Instant::now();
             for h in hooks.iter_mut() {
                 h.on_stage(iter, Stage::Refresh, t1 - t0);
-                h.on_stage(iter, Stage::Draw, t2 - t1);
+                h.on_stage(iter, Stage::Adapt, t1a - t1);
+                h.on_stage(iter, Stage::Draw, t2 - t1a);
                 h.on_stage(iter, Stage::Gather, t3 - t2);
                 h.on_stage(iter, Stage::LossGrad, t4 - t3);
                 h.on_stage(iter, Stage::Step, t5 - t4);
+                if points_changed {
+                    let ps = points.as_ref().expect("changed set exists");
+                    h.on_points(iter, ps.len(), &changes);
+                }
                 h.on_iteration(iter);
             }
             train_clock += opts.synthetic_dt.unwrap_or_else(|| (t5 - t0).as_secs_f64());
@@ -293,7 +384,12 @@ impl Trainer<'_> {
                     let _s = trace::span(TraceLevel::Stages, "engine", "stage_record");
                     // Post-step loss: the record pairs this loss with the
                     // weights it was computed with (and with val_errors).
-                    let train_loss = self.model.batch_loss(self.net, &idx, &bidx);
+                    let train_loss = match &points {
+                        Some(ps) => self
+                            .model
+                            .batch_loss_from(self.net, ps.cloud(), &idx, &bidx),
+                        None => self.model.batch_loss(self.net, &idx, &bidx),
+                    };
                     let val_errors = match validator {
                         Some(v) => v.val_errors(self.net),
                         None => Vec::new(),
@@ -320,7 +416,7 @@ impl Trainer<'_> {
                 let (rng_state, rng_gauss_spare) = rng.state();
                 let (adam_t, adam_m, adam_v) = adam.state();
                 saved = Some(RunState {
-                    version: 1,
+                    version: if points.is_some() { 2 } else { 1 },
                     iteration: iter + 1,
                     train_seconds: train_clock,
                     record_seconds: record_clock,
@@ -333,6 +429,11 @@ impl Trainer<'_> {
                     history: history.clone(),
                     sampler_name: sampler.name().to_string(),
                     sampler_state: sampler.save_state(),
+                    points: points.as_ref().map(|ps| PointsCheckpoint {
+                        dim: ps.dim(),
+                        epoch: ps.epoch(),
+                        coords: ps.coords().to_vec(),
+                    }),
                 });
                 break;
             }
@@ -355,6 +456,8 @@ mod tests {
     use super::*;
     use crate::model::ModelWorkspace;
     use crate::sampler::UniformSampler;
+    use sgm_graph::points::PointCloud;
+    use sgm_json::{obj, Value};
     use sgm_linalg::dense::Matrix;
     use sgm_nn::activation::Activation;
     use sgm_nn::mlp::{BatchDerivatives, Gradients, MlpConfig, MlpWorkspace};
@@ -362,17 +465,23 @@ mod tests {
     use std::any::Any;
 
     /// Minimal engine-level model: mean-squared regression of the
-    /// network against fixed targets (no PDE machinery).
+    /// network against `target(x) = sin(2x)` (no PDE machinery). The
+    /// stored `y` equals `target` of the stored `x` rows, so the index
+    /// and coordinate paths agree bit-for-bit on unmutated points.
     struct Regression {
         x: Matrix,
         y: Vec<f64>,
     }
 
+    fn target(x: f64) -> f64 {
+        (2.0 * x).sin()
+    }
+
     struct RegressionWs {
         xb: Matrix,
+        yb: Vec<f64>,
         nn: MlpWorkspace,
         adj: BatchDerivatives,
-        idx: Vec<usize>,
     }
 
     impl ModelWorkspace for RegressionWs {
@@ -386,18 +495,19 @@ mod tests {
 
     impl Regression {
         fn loss_at(&self, net: &Mlp, idx: &[usize]) -> f64 {
-            let mut x = Matrix::zeros(idx.len(), self.x.cols());
-            for (r, &i) in idx.iter().enumerate() {
-                for c in 0..self.x.cols() {
-                    x.set(r, c, self.x.get(i, c));
-                }
-            }
-            let out = net.forward(&x);
+            let coords = self.inputs(idx);
+            let out = net.forward(&coords);
             idx.iter()
                 .enumerate()
                 .map(|(r, &i)| (out.get(r, 0) - self.y[i]).powi(2))
                 .sum::<f64>()
                 / idx.len().max(1) as f64
+        }
+        fn coord_losses(&self, net: &Mlp, coords: &Matrix) -> Vec<f64> {
+            let out = net.forward(coords);
+            (0..coords.rows())
+                .map(|r| (out.get(r, 0) - target(coords.get(r, 0))).powi(2))
+                .collect()
         }
     }
 
@@ -416,9 +526,9 @@ mod tests {
         ) -> Box<dyn ModelWorkspace> {
             Box::new(RegressionWs {
                 xb: Matrix::zeros(batch_interior, self.x.cols()),
+                yb: vec![0.0; batch_interior],
                 nn: net.make_workspace(batch_interior, 0),
                 adj: BatchDerivatives::zeros(batch_interior, 1, 0),
-                idx: Vec::with_capacity(batch_interior),
             })
         }
         fn gather(
@@ -432,9 +542,8 @@ mod tests {
                 for c in 0..self.x.cols() {
                     ws.xb.set(r, c, self.x.get(i, c));
                 }
+                ws.yb[r] = self.y[i];
             }
-            ws.idx.clear();
-            ws.idx.extend_from_slice(interior_idx);
         }
         fn loss_and_grad(
             &self,
@@ -448,7 +557,7 @@ mod tests {
             let inv = 1.0 / b as f64;
             let mut loss = 0.0;
             for r in 0..b {
-                let d = ws.nn.derivs().values.get(r, 0) - self.y[ws.idx[r]];
+                let d = ws.nn.derivs().values.get(r, 0) - ws.yb[r];
                 loss += d * d * inv;
                 ws.adj.values.set(r, 0, 2.0 * d * inv);
             }
@@ -472,6 +581,44 @@ mod tests {
                 }
             }
             m
+        }
+        fn interior_cloud(&self) -> Option<PointCloud> {
+            let mut flat = Vec::with_capacity(self.x.rows());
+            for r in 0..self.x.rows() {
+                flat.push(self.x.get(r, 0));
+            }
+            Some(PointCloud::from_flat(1, flat))
+        }
+        fn gather_from(
+            &self,
+            points: &PointCloud,
+            interior_idx: &[usize],
+            _boundary_idx: &[usize],
+            ws: &mut dyn ModelWorkspace,
+        ) {
+            let ws: &mut RegressionWs = ws.as_any_mut().downcast_mut().unwrap();
+            for (r, &i) in interior_idx.iter().enumerate() {
+                let x = points.point(i)[0];
+                ws.xb.set(r, 0, x);
+                ws.yb[r] = target(x);
+            }
+        }
+        fn batch_loss_from(
+            &self,
+            net: &Mlp,
+            points: &PointCloud,
+            interior_idx: &[usize],
+            _boundary_idx: &[usize],
+        ) -> f64 {
+            let mut coords = Matrix::zeros(interior_idx.len(), 1);
+            for (r, &i) in interior_idx.iter().enumerate() {
+                coords.set(r, 0, points.point(i)[0]);
+            }
+            let losses = self.coord_losses(net, &coords);
+            losses.iter().sum::<f64>() / losses.len().max(1) as f64
+        }
+        fn losses_at(&self, net: &Mlp, coords: &Matrix) -> Vec<f64> {
+            self.coord_losses(net, coords)
         }
     }
 
@@ -612,6 +759,265 @@ mod tests {
         for (a, b) in net_a.params().iter().zip(&net_c.params()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Test sampler that appends `add` points every `tau` iterations
+    /// (uniform coordinates from the engine RNG) and draws uniformly
+    /// over the current set.
+    struct Densify {
+        n: usize,
+        tau: usize,
+        add: usize,
+    }
+
+    impl Sampler for Densify {
+        fn name(&self) -> &str {
+            "densify-test"
+        }
+        fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+            out.clear();
+            for _ in 0..batch_size {
+                out.push(rng.below(self.n));
+            }
+        }
+        fn adapts_points(&self) -> bool {
+            true
+        }
+        fn adapt(
+            &mut self,
+            points: &mut PointSet,
+            iter: usize,
+            _probe: &Probe<'_>,
+            rng: &mut Rng64,
+        ) {
+            if iter > 0 && iter.is_multiple_of(self.tau) {
+                for _ in 0..self.add {
+                    points.push(&[rng.uniform_in(-1.0, 1.0)]);
+                }
+            }
+        }
+        fn on_points_changed(&mut self, points: &PointSet, _changes: &PointChanges) {
+            self.n = points.len();
+        }
+        fn sync_points(&mut self, points: &PointSet) {
+            self.n = points.len();
+        }
+        fn save_state(&self) -> Value {
+            obj([("n", Value::Num(self.n as f64))])
+        }
+        fn load_state(&mut self, state: &Value) -> Result<(), String> {
+            self.n = state.req_usize("n").map_err(|e| e.to_string())?;
+            Ok(())
+        }
+    }
+
+    /// Test sampler that *moves* one point per `tau` iterations to a
+    /// fresh coordinate from the engine RNG (fixed set size).
+    struct Jitter {
+        n: usize,
+        tau: usize,
+    }
+
+    impl Sampler for Jitter {
+        fn name(&self) -> &str {
+            "jitter-test"
+        }
+        fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+            out.clear();
+            for _ in 0..batch_size {
+                out.push(rng.below(self.n));
+            }
+        }
+        fn adapts_points(&self) -> bool {
+            true
+        }
+        fn adapt(
+            &mut self,
+            points: &mut PointSet,
+            iter: usize,
+            _probe: &Probe<'_>,
+            rng: &mut Rng64,
+        ) {
+            if iter > 0 && iter.is_multiple_of(self.tau) {
+                let i = rng.below(points.len());
+                points.set_point(i, &[rng.uniform_in(-1.0, 1.0)]);
+            }
+        }
+    }
+
+    /// Test sampler that truncates the set below the batch size.
+    struct Shrinker;
+
+    impl Sampler for Shrinker {
+        fn name(&self) -> &str {
+            "shrinker-test"
+        }
+        fn fill_batch(&mut self, batch_size: usize, out: &mut Vec<usize>, rng: &mut Rng64) {
+            out.clear();
+            for _ in 0..batch_size {
+                out.push(rng.below(4));
+            }
+        }
+        fn adapts_points(&self) -> bool {
+            true
+        }
+        fn adapt(
+            &mut self,
+            points: &mut PointSet,
+            iter: usize,
+            _probe: &Probe<'_>,
+            _rng: &mut Rng64,
+        ) {
+            if iter == 3 {
+                points.truncate(4);
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct PointsLog {
+        events: Vec<(usize, usize, usize, usize, usize)>,
+    }
+
+    impl Hook for PointsLog {
+        fn on_points(&mut self, iter: usize, total: usize, changes: &crate::PointChanges) {
+            self.events.push((
+                iter,
+                total,
+                changes.moved.len(),
+                changes.added,
+                changes.dropped,
+            ));
+        }
+    }
+
+    #[test]
+    fn adapt_growth_keeps_batches_valid_and_notifies_hooks() {
+        let (mut net, model) = setup(50);
+        let n0 = model.num_interior();
+        let mut sampler = Densify {
+            n: n0,
+            tau: 10,
+            add: 8,
+        };
+        let mut log = PointsLog::default();
+        let o = opts(45);
+        let result = {
+            let mut hooks: [&mut dyn Hook; 1] = [&mut log];
+            Trainer {
+                net: &mut net,
+                model: &model,
+            }
+            .run_hooked(&mut sampler, None, &o, &mut hooks)
+        };
+        // Adapt fired at iterations 10, 20, 30, 40.
+        assert_eq!(log.events.len(), 4);
+        for (k, &(iter, total, moved, added, dropped)) in log.events.iter().enumerate() {
+            assert_eq!(iter, 10 * (k + 1));
+            assert_eq!(total, n0 + 8 * (k + 1));
+            assert_eq!((moved, added, dropped), (0, 8, 0));
+        }
+        assert_eq!(sampler.n, n0 + 32);
+        // Batches over the grown set trained without index trouble and
+        // the loss stayed finite.
+        assert!(result.history.iter().all(|r| r.train_loss.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "below batch_interior")]
+    fn adapt_shrinking_below_batch_panics_descriptively() {
+        let (mut net, model) = setup(51);
+        let mut sampler = Shrinker;
+        let o = opts(10);
+        let _ = Trainer {
+            net: &mut net,
+            model: &model,
+        }
+        .run(&mut sampler, None, &o);
+    }
+
+    #[test]
+    fn adaptive_resume_matches_uninterrupted_run_across_mutations() {
+        // Both samplers mutate the set before and after the checkpoint
+        // at iteration 23, so resume must restore mutated coordinates
+        // (growth AND moves) bit-exactly.
+        let o = opts(60);
+        for case in 0..2 {
+            let mk: &dyn Fn(usize) -> Box<dyn Sampler> = if case == 0 {
+                &|n| Box::new(Densify { n, tau: 7, add: 3 })
+            } else {
+                &|n| Box::new(Jitter { n, tau: 7 })
+            };
+            let (mut net_a, model) = setup(43);
+            let mut sampler_a = mk(model.num_interior());
+            let full = Trainer {
+                net: &mut net_a,
+                model: &model,
+            }
+            .run(sampler_a.as_mut(), None, &o);
+
+            let (mut net_b, _) = setup(43);
+            let mut sampler_b = mk(model.num_interior());
+            let state = Trainer {
+                net: &mut net_b,
+                model: &model,
+            }
+            .run_until(sampler_b.as_mut(), None, &o, 23);
+            let state = RunState::from_json(&state.to_json().unwrap()).unwrap();
+            assert_eq!(state.version, 2, "adaptive runs checkpoint as v2");
+            assert!(state.points.is_some());
+
+            let (mut net_c, _) = setup(43);
+            let mut sampler_c = mk(model.num_interior());
+            let resumed = Trainer {
+                net: &mut net_c,
+                model: &model,
+            }
+            .resume(sampler_c.as_mut(), None, &o, &state)
+            .unwrap();
+
+            assert_eq!(full.history.len(), resumed.history.len());
+            for (a, b) in full.history.iter().zip(&resumed.history) {
+                assert_eq!(a.iteration, b.iteration);
+                assert_eq!(
+                    a.train_loss.to_bits(),
+                    b.train_loss.to_bits(),
+                    "case {case} iter {}",
+                    a.iteration
+                );
+            }
+            for (a, b) in net_a.params().iter().zip(&net_c.params()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_rejects_point_state_with_draw_only_sampler() {
+        let o = opts(30);
+        let (mut net, model) = setup(52);
+        let mut adaptive = Densify {
+            n: model.num_interior(),
+            tau: 5,
+            add: 2,
+        };
+        let mut state = Trainer {
+            net: &mut net,
+            model: &model,
+        }
+        .run_until(&mut adaptive, None, &o, 12);
+        // Pretend the state came from the uniform sampler: the point
+        // set must still be rejected.
+        state.sampler_name = "uniform".into();
+        state.sampler_state = Value::Null;
+        let mut uniform = UniformSampler::new(model.num_interior());
+        let err = Trainer {
+            net: &mut net,
+            model: &model,
+        }
+        .resume(&mut uniform, None, &o, &state)
+        .unwrap_err();
+        assert!(err.contains("does not adapt"), "{err}");
     }
 
     #[test]

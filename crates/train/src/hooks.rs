@@ -7,6 +7,7 @@
 //! time — the "sampler overhead" columns of the paper's comparisons fall
 //! out of its `Refresh`/`Draw` buckets.
 
+use crate::pointset::PointChanges;
 use crate::result::Record;
 use std::time::Duration;
 
@@ -15,6 +16,9 @@ use std::time::Duration;
 pub enum Stage {
     /// Sampler importance-state refresh (the `τ_e` probe work).
     Refresh,
+    /// Point-set mutation by an adaptive sampler (zero-cost no-op for
+    /// draw-only samplers).
+    Adapt,
     /// Mini-batch index draw (interior + boundary).
     Draw,
     /// Gathering batch rows into the workspace.
@@ -30,17 +34,18 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Dense index (execution order).
     pub fn index(self) -> usize {
         match self {
             Stage::Refresh => 0,
-            Stage::Draw => 1,
-            Stage::Gather => 2,
-            Stage::LossGrad => 3,
-            Stage::Step => 4,
-            Stage::Record => 5,
+            Stage::Adapt => 1,
+            Stage::Draw => 2,
+            Stage::Gather => 3,
+            Stage::LossGrad => 4,
+            Stage::Step => 5,
+            Stage::Record => 6,
         }
     }
 
@@ -48,6 +53,7 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::Refresh => "refresh",
+            Stage::Adapt => "adapt",
             Stage::Draw => "draw",
             Stage::Gather => "gather",
             Stage::LossGrad => "loss_grad",
@@ -77,6 +83,12 @@ pub trait Hook {
     /// Called for every history record as it is produced.
     fn on_record(&mut self, record: &Record) {
         let _ = record;
+    }
+
+    /// Called when the adapt stage mutated the collocation set, with
+    /// the new set size and the drained change log.
+    fn on_points(&mut self, iter: usize, total: usize, changes: &PointChanges) {
+        let _ = (iter, total, changes);
     }
 }
 
@@ -183,6 +195,7 @@ mod tests {
     fn stage_indices_are_dense_and_ordered() {
         let stages = [
             Stage::Refresh,
+            Stage::Adapt,
             Stage::Draw,
             Stage::Gather,
             Stage::LossGrad,

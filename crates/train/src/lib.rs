@@ -5,9 +5,14 @@
 //! measurement instrument. This crate makes it a first-class subsystem:
 //!
 //! * **Staged pipeline** — each iteration runs an explicit
-//!   `refresh → draw → gather → loss/grad → step → record` sequence
-//!   (see [`Stage`]), instrumentable per stage through the [`Hook`]
-//!   trait.
+//!   `refresh → adapt → draw → gather → loss/grad → step → record`
+//!   sequence (see [`Stage`]), instrumentable per stage through the
+//!   [`Hook`] trait.
+//! * **Mutable collocation sets** — samplers that opt into
+//!   [`Sampler::adapts_points`] receive the engine-owned [`PointSet`]
+//!   every iteration and may move/add/drop collocation points; the
+//!   engine re-gathers batches from the mutated set, logs
+//!   [`PointChanges`] to hooks and checkpoints the coordinates.
 //! * **Clean layering** — the engine knows nothing about PDEs. Physics
 //!   crates implement [`LossModel`]; sampler crates implement
 //!   [`Sampler`]. Both traits are defined *here*, so `sgm-core` and
@@ -32,6 +37,7 @@ pub mod engine;
 pub mod hooks;
 pub mod model;
 pub mod obs;
+pub mod pointset;
 pub mod result;
 pub mod runstate;
 pub mod sampler;
@@ -40,6 +46,7 @@ pub use engine::{TrainOptions, Trainer};
 pub use hooks::{Hook, Stage, StageTimes};
 pub use model::{LossModel, ModelWorkspace, Validator};
 pub use obs::ObsHook;
+pub use pointset::{PointChanges, PointSet};
 pub use result::{Record, TrainResult};
-pub use runstate::{RunState, RunStateError};
+pub use runstate::{PointsCheckpoint, RunState, RunStateError};
 pub use sampler::{Probe, Sampler, UniformSampler};

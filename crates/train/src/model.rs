@@ -6,6 +6,7 @@
 //! loss value and exact parameter gradients. `sgm-physics` implements it
 //! for PINN problems; the engine itself stays PDE-agnostic.
 
+use sgm_graph::points::PointCloud;
 use sgm_linalg::dense::Matrix;
 use sgm_nn::mlp::{Gradients, Mlp};
 use std::any::Any;
@@ -71,6 +72,69 @@ pub trait LossModel: Sync {
 
     /// Input rows at the given interior indices.
     fn inputs(&self, idx: &[usize]) -> Matrix;
+
+    // --- Point-set mutation support (optional) -----------------------
+    //
+    // Adaptive samplers (DMIS / RAD / RAR-D) mutate the collocation set
+    // during training. Models that support this return their initial
+    // interior coordinates from `interior_cloud` and MUST then override
+    // every `*_from` / `*_at` method below: the engine routes all batch
+    // work through them whenever a mutable point set exists, so the
+    // panicking defaults are only reachable through an incomplete
+    // implementation, never through a draw-only run.
+
+    /// Initial interior coordinates, as one input row per point — the
+    /// seed of the engine-owned mutable [`PointSet`](crate::PointSet).
+    /// `None` (the default) means the model does not support point-set
+    /// mutation and adaptive samplers cannot be used with it.
+    fn interior_cloud(&self) -> Option<PointCloud> {
+        None
+    }
+
+    /// Like [`LossModel::gather`], but reading interior coordinates from
+    /// `points` (the current, possibly mutated set) instead of the
+    /// model's internal dataset.
+    fn gather_from(
+        &self,
+        points: &PointCloud,
+        interior_idx: &[usize],
+        boundary_idx: &[usize],
+        ws: &mut dyn ModelWorkspace,
+    ) {
+        let _ = (points, interior_idx, boundary_idx, ws);
+        unimplemented!("model returned Some from interior_cloud but does not implement gather_from")
+    }
+
+    /// Like [`LossModel::batch_loss`], but reading interior coordinates
+    /// from `points`.
+    fn batch_loss_from(
+        &self,
+        net: &Mlp,
+        points: &PointCloud,
+        interior_idx: &[usize],
+        boundary_idx: &[usize],
+    ) -> f64 {
+        let _ = (net, points, interior_idx, boundary_idx);
+        unimplemented!(
+            "model returned Some from interior_cloud but does not implement batch_loss_from"
+        )
+    }
+
+    /// Per-sample interior losses at arbitrary coordinates (one row per
+    /// point) — the probe path adaptive samplers use to score both the
+    /// current set and proposal candidates.
+    fn losses_at(&self, net: &Mlp, coords: &Matrix) -> Vec<f64> {
+        let _ = (net, coords);
+        unimplemented!("model returned Some from interior_cloud but does not implement losses_at")
+    }
+
+    /// Network outputs at arbitrary coordinates. The default forwards
+    /// the rows through the network directly, which is correct whenever
+    /// the interior input rows *are* the coordinates (true for every
+    /// model in this workspace).
+    fn outputs_at(&self, net: &Mlp, coords: &Matrix) -> Matrix {
+        net.forward(coords)
+    }
 }
 
 /// Off-clock validation evaluated at recording points.

@@ -7,6 +7,7 @@
 //! in `sgm-bench` pin both halves of that claim.
 
 use crate::hooks::{Hook, Stage};
+use crate::pointset::PointChanges;
 use crate::result::Record;
 use sgm_obs::{Counter, Gauge, Histogram};
 use std::time::Duration;
@@ -15,6 +16,7 @@ use std::time::Duration;
 /// [`Stage::index`].
 static STAGE_NS: [Histogram; Stage::COUNT] = [
     Histogram::new("sgm_train_stage_refresh_ns"),
+    Histogram::new("sgm_train_stage_adapt_ns"),
     Histogram::new("sgm_train_stage_draw_ns"),
     Histogram::new("sgm_train_stage_gather_ns"),
     Histogram::new("sgm_train_stage_loss_grad_ns"),
@@ -24,6 +26,10 @@ static STAGE_NS: [Histogram; Stage::COUNT] = [
 static ITERATIONS: Counter = Counter::new("sgm_train_iterations_total");
 static RECORDS: Counter = Counter::new("sgm_train_records_total");
 static TRAIN_LOSS: Gauge = Gauge::new("sgm_train_loss");
+static POINTS_MOVED: Counter = Counter::new("sgm_train_points_moved_total");
+static POINTS_ADDED: Counter = Counter::new("sgm_train_points_added_total");
+static POINTS_DROPPED: Counter = Counter::new("sgm_train_points_dropped_total");
+static POINTS: Gauge = Gauge::new("sgm_train_points");
 
 /// A [`Hook`] that mirrors engine stage timings and convergence points
 /// into the process metrics registry:
@@ -34,6 +40,10 @@ static TRAIN_LOSS: Gauge = Gauge::new("sgm_train_loss");
 /// | `sgm_train_iterations_total` | counter | completed iterations |
 /// | `sgm_train_records_total` | counter | history records produced |
 /// | `sgm_train_loss` | gauge | most recent recorded training loss |
+/// | `sgm_train_points_moved_total` | counter | points moved by adapt phases |
+/// | `sgm_train_points_added_total` | counter | points added by adapt phases |
+/// | `sgm_train_points_dropped_total` | counter | points dropped by adapt phases |
+/// | `sgm_train_points` | gauge | current collocation-set size |
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ObsHook;
 
@@ -57,6 +67,13 @@ impl Hook for ObsHook {
         RECORDS.inc();
         TRAIN_LOSS.set(record.train_loss);
     }
+
+    fn on_points(&mut self, _iter: usize, total: usize, changes: &PointChanges) {
+        POINTS_MOVED.add(changes.moved.len() as u64);
+        POINTS_ADDED.add(changes.added as u64);
+        POINTS_DROPPED.add(changes.dropped as u64);
+        POINTS.set(total as f64);
+    }
 }
 
 #[cfg(test)]
@@ -78,5 +95,28 @@ mod tests {
         let after = STAGE_NS[Stage::Step.index()].snapshot().count;
         assert_eq!(after, before + 1);
         assert_eq!(TRAIN_LOSS.value(), 0.25);
+    }
+
+    #[test]
+    fn point_changes_feed_the_registry() {
+        let mut h = ObsHook::new();
+        let (m0, a0, d0) = (
+            POINTS_MOVED.value(),
+            POINTS_ADDED.value(),
+            POINTS_DROPPED.value(),
+        );
+        h.on_points(
+            3,
+            105,
+            &PointChanges {
+                moved: vec![1, 4, 9],
+                added: 5,
+                dropped: 2,
+            },
+        );
+        assert_eq!(POINTS_MOVED.value(), m0 + 3);
+        assert_eq!(POINTS_ADDED.value(), a0 + 5);
+        assert_eq!(POINTS_DROPPED.value(), d0 + 2);
+        assert_eq!(POINTS.value(), 105.0);
     }
 }

@@ -11,10 +11,30 @@
 //!
 //! The RNG words are 64-bit integers, which `f64`-backed JSON numbers
 //! cannot hold exactly, so they serialise as fixed-width hex strings.
+//!
+//! # Format versions
+//!
+//! *Version 1* covers draw-only runs over a fixed collocation set.
+//! *Version 2* adds the `points` field: when an adaptive sampler owns a
+//! mutable [`PointSet`](crate::PointSet), the checkpoint carries the
+//! current coordinates (losslessly encoded) and the mutation epoch, so
+//! a resume reconstructs the mutated set bit-exactly. Readers accept
+//! both versions; writers emit 2 only when a point set exists.
 
 use crate::result::Record;
 use sgm_json::{lossless_num, lossless_num_arr, num_arr, obj, JsonError, Value};
 use sgm_nn::checkpoint::{Checkpoint, CheckpointError};
+
+/// Snapshot of the engine-owned mutable collocation set (format v2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointsCheckpoint {
+    /// Coordinate dimension.
+    pub dim: usize,
+    /// Mutation epoch at capture time.
+    pub epoch: u64,
+    /// Flat row-major coordinates (bit-exact).
+    pub coords: Vec<f64>,
+}
 
 /// Serialisable snapshot of a training run after some iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +65,9 @@ pub struct RunState {
     pub sampler_name: String,
     /// Sampler importance state ([`Value::Null`] for stateless samplers).
     pub sampler_state: Value,
+    /// Mutable collocation set, present iff the run's sampler adapts
+    /// the point set (format v2).
+    pub points: Option<PointsCheckpoint>,
 }
 
 /// Errors from run-state restore.
@@ -176,6 +199,17 @@ impl RunState {
             ),
             ("sampler_name", Value::Str(self.sampler_name.clone())),
             ("sampler_state", self.sampler_state.clone()),
+            (
+                "points",
+                match &self.points {
+                    Some(p) => obj([
+                        ("dim", Value::Num(p.dim as f64)),
+                        ("epoch", Value::Num(p.epoch as f64)),
+                        ("coords", lossless_num_arr(&p.coords)),
+                    ]),
+                    None => Value::Null,
+                },
+            ),
         ]);
         Ok(v.to_string_compact())
     }
@@ -187,7 +221,7 @@ impl RunState {
     pub fn from_json(s: &str) -> Result<Self, RunStateError> {
         let v = Value::parse(s)?;
         let version = v.req_usize("version")? as u32;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(RunStateError::Version(version));
         }
         let net = Checkpoint::from_json(
@@ -227,6 +261,34 @@ impl RunState {
             .iter()
             .map(record_from_value)
             .collect::<Result<_, _>>()?;
+        let points = match v.get("points") {
+            None | Some(Value::Null) => None,
+            Some(p) => {
+                let dim = p.req_usize("dim").map_err(|_| {
+                    RunStateError::Field("points.dim: expected positive integer".into())
+                })?;
+                if dim == 0 {
+                    return Err(RunStateError::Field("points.dim: must be positive".into()));
+                }
+                let coords = p
+                    .req_lossless_f64_arr("coords")
+                    .map_err(|e| RunStateError::Field(format!("points.coords: {e}")))?;
+                if !coords.len().is_multiple_of(dim) {
+                    return Err(RunStateError::Field(format!(
+                        "points.coords: {} values not a multiple of dim {dim}",
+                        coords.len()
+                    )));
+                }
+                Some(PointsCheckpoint {
+                    dim,
+                    epoch: p
+                        .get("epoch")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| RunStateError::Field("points.epoch".into()))?,
+                    coords,
+                })
+            }
+        };
         Ok(RunState {
             version,
             iteration: v.req_usize("iteration")?,
@@ -244,6 +306,7 @@ impl RunState {
                 .get("sampler_state")
                 .cloned()
                 .ok_or_else(|| RunStateError::Field("sampler_state".into()))?,
+            points,
         })
     }
 }
@@ -292,6 +355,7 @@ mod tests {
             }],
             sampler_name: "sgm".into(),
             sampler_state: obj([("cursor", Value::Num(12.0))]),
+            points: None,
         }
     }
 
@@ -327,6 +391,57 @@ mod tests {
         for _ in 0..8 {
             assert_eq!(a.gaussian().to_bits(), b.gaussian().to_bits());
         }
+    }
+
+    #[test]
+    fn v2_point_set_roundtrips_bit_exactly() {
+        let mut st = sample_state();
+        st.version = 2;
+        st.points = Some(PointsCheckpoint {
+            dim: 2,
+            epoch: 3,
+            coords: vec![
+                0.1,
+                0.2,
+                -0.0,
+                1e-300,
+                0.5,
+                f64::from_bits(0x3ff0_0000_0000_0001),
+            ],
+        });
+        let back = RunState::from_json(&st.to_json().unwrap()).unwrap();
+        let bp = back.points.expect("points survive");
+        let sp = st.points.unwrap();
+        assert_eq!(bp.dim, sp.dim);
+        assert_eq!(bp.epoch, sp.epoch);
+        for (a, b) in sp.coords.iter().zip(&bp.coords) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn v2_points_shape_errors_are_descriptive() {
+        let mut st = sample_state();
+        st.version = 2;
+        st.points = Some(PointsCheckpoint {
+            dim: 2,
+            epoch: 1,
+            coords: vec![1.0, 2.0],
+        });
+        let full = Value::parse(&st.to_json().unwrap()).unwrap();
+        let set_dim = |d: f64| {
+            let mut m = full.as_obj().unwrap().clone();
+            let mut pts = m["points"].as_obj().unwrap().clone();
+            pts.insert("dim".into(), Value::Num(d));
+            m.insert("points".into(), Value::Obj(pts));
+            Value::Obj(m).to_string_compact()
+        };
+        // Ragged coords: 2 values for dim 3.
+        let err = RunState::from_json(&set_dim(3.0)).unwrap_err();
+        assert!(err.to_string().contains("points.coords"), "{err}");
+        // Zero dim.
+        let err = RunState::from_json(&set_dim(0.0)).unwrap_err();
+        assert!(err.to_string().contains("points.dim"), "{err}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ fn corrupting_one_byte_never_panics_the_loader() {
         }],
         sampler_name: "uniform".into(),
         sampler_state: obj([("cursor", Value::Num(0.0))]),
+        points: None,
     }
     .to_json()
     .expect("state saves");

@@ -24,6 +24,13 @@ use sgm_physics::problem::{Problem, TrainSet};
 use sgm_physics::{AveragedValidation, PinnModel};
 use sgm_train::{Sampler, TrainOptions, Trainer};
 
+/// Draw one batch through the no-allocation `fill_batch` entry point.
+fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut out = Vec::new();
+    s.fill_batch(batch, &mut out, rng);
+    out
+}
+
 fn main() {
     let mut problem = Problem::new(Pde::Burgers(BurgersConfig { nu: BENCH_NU }));
     problem.bc_weight = 20.0;
@@ -131,7 +138,7 @@ fn main() {
     }
     // Where did SGM sample? Fraction of batch near the shock band |x|<0.15.
     let mut rng2 = Rng64::new(77);
-    let batch = sgm.next_batch(4000, &mut rng2);
+    let batch = next_batch(&mut sgm, 4000, &mut rng2);
     let near = batch
         .iter()
         .filter(|&&i| data.interior.point(i)[0].abs() < 0.15)

@@ -26,6 +26,13 @@ use sgm_physics::problem::{Problem, TrainSet};
 use sgm_physics::{AveragedValidation, PinnModel};
 use sgm_train::{Sampler, TrainOptions, Trainer};
 
+/// Draw one batch through the no-allocation `fill_batch` entry point.
+fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut out = Vec::new();
+    s.fill_batch(batch, &mut out, rng);
+    out
+}
+
 /// The layout the PDE closures read (fn pointers need a static source).
 fn layout() -> ChipLayout {
     ChipLayout::default()
@@ -141,7 +148,7 @@ fn main() {
     // hot core vs an idle corner.
     let probe_batch: Vec<usize> = {
         let mut rng2 = Rng64::new(20);
-        sampler.next_batch(4000, &mut rng2)
+        next_batch(&mut sampler, 4000, &mut rng2)
     };
     let hot = probe_batch
         .iter()

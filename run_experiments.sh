@@ -1,10 +1,34 @@
 #!/bin/bash
 # Regenerates every experiment artifact sequentially (single-core safe).
 #
-# Usage: ./run_experiments.sh [--quick]
-#   --quick  smoke mode: tiny wall budgets + bench dry-run, just proves
-#            the whole pipeline still executes end to end.
+# Usage: ./run_experiments.sh [--quick|--samplers-quick]
+#   --quick           smoke mode: tiny wall budgets + bench dry-run, just
+#                     proves the whole pipeline still executes end to end.
+#   --samplers-quick  only the sampler bake-off tier: the cross-sampler ×
+#                     cross-PDE convergence matrix (gated on its
+#                     statistical acceptance checks) plus the
+#                     sampler_overhead bench group diffed with
+#                     bench_diff --strict (idle adapt stage must cost
+#                     within noise of a draw-only engine run).
 cd /root/repo
+if [ "$1" = "--samplers-quick" ]; then
+    set -x
+    cargo build --release -p sgm-bench 2>&1 | tail -3
+    # Matrix + statistical acceptance gates (non-zero exit on failure).
+    cargo run --release -p sgm-bench --bin sampler_matrix || exit 1
+    # Adapt-stage overhead: same case names in both dumps, sampler
+    # switched by env; --strict fails the tier on a >10 % regression.
+    cargo bench -p sgm-bench --bench components -- \
+        sampler_overhead/engine_adapt_stage --iters 20 \
+        --json "$PWD/target/sampler_adapt_off.json" > target/sampler_adapt_off.txt 2>&1 || exit 1
+    SGM_SAMPLER_ADAPT=1 cargo bench -p sgm-bench --bench components -- \
+        sampler_overhead/engine_adapt_stage --iters 20 \
+        --json "$PWD/target/sampler_adapt_on.json" > target/sampler_adapt_on.txt 2>&1 || exit 1
+    cargo run --release -p sgm-bench --bin bench_diff -- --strict \
+        target/sampler_adapt_off.json target/sampler_adapt_on.json || exit 1
+    echo "SAMPLERS_QUICK_COMPLETE"
+    exit 0
+fi
 if [ "$1" = "--quick" ]; then
     export SGM_BUDGET_SECS=${SGM_BUDGET_SECS:-3}
     export SGM_ABLATION_SECS=${SGM_ABLATION_SECS:-1}

@@ -14,6 +14,13 @@ use sgm_physics::problem::{Problem, TrainSet};
 use sgm_physics::PinnModel;
 use sgm_train::{Probe, Sampler};
 
+/// Draw one batch through the no-allocation `fill_batch` entry point.
+fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut out = Vec::new();
+    s.fill_batch(batch, &mut out, rng);
+    out
+}
+
 fn setup(n: usize, seed: u64) -> (Mlp, Problem, TrainSet) {
     let problem = Problem::new(Pde::Poisson(PoissonConfig {
         forcing: |p: &[f64]| 10.0 * (3.0 * p[0]).sin() * (3.0 * p[1]).cos(),
@@ -57,10 +64,7 @@ fn probe_budget_matches_r() {
     let (net, prob, data) = setup(500, 1);
     let mut s = SgmSampler::new(&data.interior, cfg());
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut rng = Rng64::new(2);
     s.refresh(0, &probe, &mut rng);
     let expected: usize = s
@@ -79,14 +83,11 @@ fn sampling_is_deterministic() {
     let mk = || {
         let mut s = SgmSampler::new(&data.interior, cfg());
         let model = PinnModel::new(&prob, &data);
-        let probe = Probe {
-            net: &net,
-            model: &model,
-        };
+        let probe = Probe::new(&net, &model);
         let mut rng = Rng64::new(7);
         s.refresh(0, &probe, &mut rng);
         (0..5)
-            .flat_map(|_| s.next_batch(32, &mut rng))
+            .flat_map(|_| next_batch(&mut s, 32, &mut rng))
             .collect::<Vec<_>>()
     };
     assert_eq!(mk(), mk());
@@ -138,10 +139,7 @@ fn score_fusion_scale_invariant() {
 fn mis_scores_full_dataset_sgm_scores_fraction() {
     let (net, prob, data) = setup(400, 5);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut rng = Rng64::new(6);
     let mut mis = MisSampler::new(400, MisConfig::default());
     mis.refresh(0, &probe, &mut rng);
@@ -161,10 +159,7 @@ fn mis_scores_full_dataset_sgm_scores_fraction() {
 fn batches_in_range_across_lifecycle() {
     let (net, prob, data) = setup(250, 8);
     let model = PinnModel::new(&prob, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut rng = Rng64::new(9);
     let mut sgm = SgmSampler::new(&data.interior, cfg());
     let mut mis = MisSampler::new(
@@ -177,10 +172,10 @@ fn batches_in_range_across_lifecycle() {
     for iter in 0..120 {
         sgm.refresh(iter, &probe, &mut rng);
         mis.refresh(iter, &probe, &mut rng);
-        for i in sgm.next_batch(17, &mut rng) {
+        for i in next_batch(&mut sgm, 17, &mut rng) {
             assert!(i < 250);
         }
-        for i in mis.next_batch(17, &mut rng) {
+        for i in next_batch(&mut mis, 17, &mut rng) {
             assert!(i < 250);
         }
     }

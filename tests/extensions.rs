@@ -116,10 +116,7 @@ fn overhead_ordering_rar_sgm() {
         &mut Rng64::new(6),
     );
     let model = PinnModel::new(&problem, &data);
-    let probe = Probe {
-        net: &net,
-        model: &model,
-    };
+    let probe = Probe::new(&net, &model);
     let mut sgm = SgmSampler::new(
         &data.interior,
         SgmConfig {

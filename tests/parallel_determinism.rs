@@ -13,7 +13,9 @@
 //! bounded FMA contraction, pinned by `crates/testkit/tests/
 //! simd_oracles.rs` — but must be bit-identical *within* a tier.
 
-use sgm_core::{SgmConfig, SgmSampler};
+use sgm_core::{
+    DmisConfig, DmisSampler, RadConfig, RadSampler, RarDConfig, RarDSampler, SgmConfig, SgmSampler,
+};
 use sgm_graph::knn::{build_knn_graph, KnnConfig, KnnStrategy};
 use sgm_graph::points::PointCloud;
 use sgm_graph::resistance::{approx_edge_resistances, ApproxErOptions};
@@ -29,6 +31,13 @@ use sgm_physics::pde::{Pde, PoissonConfig};
 use sgm_physics::problem::{Problem, TrainSet};
 use sgm_physics::PinnModel;
 use sgm_train::{Probe, RunState, Sampler, TrainOptions, Trainer};
+
+/// Draw one batch through the no-allocation `fill_batch` entry point.
+fn next_batch(s: &mut dyn Sampler, batch: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut out = Vec::new();
+    s.fill_batch(batch, &mut out, rng);
+    out
+}
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -181,15 +190,12 @@ fn sgm_sampler_epoch_bit_identical_across_thread_counts() {
                     },
                 );
                 let model = PinnModel::new(&problem, &data);
-                let probe = Probe {
-                    net: &net,
-                    model: &model,
-                };
+                let probe = Probe::new(&net, &model);
                 let mut rng = Rng64::new(905);
                 let mut flat: Vec<f64> = Vec::new();
                 for iter in 0..3 {
                     s.refresh(iter, &probe, &mut rng);
-                    for i in s.next_batch(200, &mut rng) {
+                    for i in next_batch(&mut s, 200, &mut rng) {
                         flat.push(i as f64);
                     }
                 }
@@ -311,4 +317,160 @@ fn training_resume_bit_identical_across_thread_counts() {
         })
     });
     assert_all_bits_equal(&runs, "resumed training");
+}
+
+/// The point-set-adaptive rivals — RAD, RAR-D and DMIS — train the
+/// quickstart Poisson cavity *through their adapt stage* (point-set
+/// mutations fire at iterations 10 and 20) bit-identically for every
+/// thread count, and a run killed at iteration 23 — after both
+/// mutations — resumes from its JSON run state bit-for-bit against
+/// fresh net + sampler instances. This is the contract that makes
+/// moving/growing the collocation cloud checkpoint-safe: the state
+/// must carry the mutated coordinates (format v2) and every sampler's
+/// internal state must be a pure function of what it persists.
+///
+/// Pinned to the detected SIMD tier for the same reason as the SGM
+/// resume test above.
+#[test]
+fn adaptive_rivals_resume_bit_identical_across_thread_counts() {
+    let problem = Problem::new(Pde::Poisson(PoissonConfig {
+        forcing: |p: &[f64]| if p[0] < 0.5 { 50.0 } else { 0.1 },
+    }));
+    let mut rng = Rng64::new(909);
+    let interior = Cavity::default().sample_interior(300, FillStrategy::Halton, &mut rng);
+    let data = TrainSet {
+        interior,
+        boundary: PointCloud::from_flat(2, vec![0.0, 0.0]),
+        boundary_targets: Matrix::zeros(1, 1),
+    };
+    let n = data.interior.len();
+    let net_cfg = MlpConfig {
+        input_dim: 2,
+        output_dim: 1,
+        hidden_width: 10,
+        hidden_layers: 2,
+        activation: Activation::Tanh,
+        fourier: None,
+    };
+    let mk_net = || Mlp::new(&net_cfg, &mut Rng64::new(910));
+    let opts = TrainOptions {
+        iterations: 40,
+        batch_interior: 48,
+        batch_boundary: 1,
+        adam: AdamConfig::default(),
+        seed: 911,
+        record_every: 10,
+        max_seconds: None,
+        synthetic_dt: Some(1.0 / 1024.0),
+    };
+    type MkSampler = Box<dyn Fn() -> Box<dyn Sampler>>;
+    let rivals: Vec<(&str, MkSampler)> = vec![
+        (
+            "rad",
+            Box::new(move || {
+                Box::new(RadSampler::new(
+                    n,
+                    RadConfig {
+                        tau: 10,
+                        pool_size: 512,
+                        ..RadConfig::default()
+                    },
+                ))
+            }),
+        ),
+        (
+            "rar_d",
+            Box::new(move || {
+                Box::new(RarDSampler::new(
+                    n,
+                    RarDConfig {
+                        tau: 10,
+                        candidates: 128,
+                        add_per_adapt: 16,
+                        ..RarDConfig::default()
+                    },
+                ))
+            }),
+        ),
+        (
+            "dmis",
+            Box::new(move || {
+                Box::new(DmisSampler::new(
+                    n,
+                    DmisConfig {
+                        tau: 10,
+                        grid: 8,
+                        ..DmisConfig::default()
+                    },
+                ))
+            }),
+        ),
+    ];
+    for (name, mk_sampler) in &rivals {
+        let runs = simd::with_tier(simd::detected_tier(), || {
+            run_per_thread_count(|| {
+                let model = PinnModel::new(&problem, &data);
+                // Uninterrupted reference run.
+                let mut net_full = mk_net();
+                let full = {
+                    let mut sampler = mk_sampler();
+                    let mut tr = Trainer {
+                        net: &mut net_full,
+                        model: &model,
+                    };
+                    tr.run(sampler.as_mut(), None, &opts)
+                };
+                // Kill at iteration 23 — after both point-set mutations.
+                let state = {
+                    let mut net = mk_net();
+                    let mut sampler = mk_sampler();
+                    let mut tr = Trainer {
+                        net: &mut net,
+                        model: &model,
+                    };
+                    tr.run_until(sampler.as_mut(), None, &opts, 23)
+                };
+                assert_eq!(state.version, 2, "{name}: adaptive state carries points");
+                let pts = state.points.as_ref().expect("points checkpoint present");
+                assert_eq!(pts.dim, 2, "{name}: checkpointed dim");
+                assert!(
+                    pts.epoch >= 2,
+                    "{name}: two adapts should have bumped the mutation epoch, got {}",
+                    pts.epoch
+                );
+                let state = RunState::from_json(&state.to_json().expect("serialise"))
+                    .expect("parse run state");
+                let mut net_res = mk_net();
+                let resumed = {
+                    let mut sampler = mk_sampler();
+                    let mut tr = Trainer {
+                        net: &mut net_res,
+                        model: &model,
+                    };
+                    tr.resume(sampler.as_mut(), None, &opts, &state)
+                        .expect("resume")
+                };
+                assert_eq!(full.history.len(), resumed.history.len(), "{name}");
+                for (a, b) in full.history.iter().zip(&resumed.history) {
+                    assert_eq!(a.iteration, b.iteration, "{name}");
+                    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "{name}");
+                    assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits(), "{name}");
+                }
+                let pf = net_full.params();
+                let pr = net_res.params();
+                for (a, b) in pf.iter().zip(&pr) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{name}: resumed weights diverged");
+                }
+                let mut flat: Vec<f64> = Vec::new();
+                for r in &full.history {
+                    flat.push(r.iteration as f64);
+                    flat.push(r.seconds);
+                    flat.push(r.train_loss);
+                }
+                flat.extend_from_slice(&pf);
+                flat
+            })
+        });
+        assert_all_bits_equal(&runs, &format!("{name} adaptive resume"));
+    }
 }
