@@ -520,6 +520,62 @@ fn bench_obs_overhead(r: &mut Runner) {
     });
 }
 
+/// Cost of the serving layer itself. The stable-named case runs one
+/// quickstart-sized job end-to-end: by default straight through
+/// `run_local` (spec build + training engine, no server), and under
+/// `SGM_SERVE_JOB=1` through a live `sgm-serve` instance over a real
+/// socket (submit → long-poll wait → checkpoint download). The server
+/// is started once outside the timed closure and its slice size covers
+/// the whole run, so the diff isolates HTTP + scheduler + job-table
+/// overhead. Diffing the two `--json` dumps with `bench_diff --strict`
+/// is the "engine-in-server costs within noise of engine-direct"
+/// acceptance gate.
+fn bench_serve_overhead(r: &mut Runner) {
+    use sgm_serve::{client, run_local, JobSpec, ServeConfig, Server};
+
+    // Sized so the fixed per-job serving cost (three loopback round
+    // trips + scheduler hand-off, ~0.7 ms) is well under the 10 %
+    // strict-gate threshold against the training work itself.
+    let spec = JobSpec {
+        tenant: "bench".into(),
+        iterations: 1500,
+        interior: 128,
+        boundary: 32,
+        batch_interior: 16,
+        batch_boundary: 8,
+        hidden_width: 8,
+        hidden_layers: 2,
+        record_every: 100,
+        ..JobSpec::default()
+    };
+    let in_server = std::env::var("SGM_SERVE_JOB").is_ok_and(|v| v == "1");
+    let server = in_server.then(|| {
+        Server::start(ServeConfig {
+            workers: 1,
+            slice_iterations: spec.iterations, // one slice: no preemption rebuilds
+            ..ServeConfig::default()
+        })
+        .expect("bind bench server")
+    });
+    let addr = server.as_ref().map(Server::addr);
+    r.bench("serve_overhead", "job_1500it_e2e", || {
+        if let Some(addr) = addr {
+            let id = client::submit(addr, &spec).expect("submit");
+            let status =
+                client::wait_settled(addr, id, std::time::Duration::from_secs(120)).expect("wait");
+            assert_eq!(status.req_str("state").unwrap(), "completed");
+            client::checkpoint(addr, id).expect("checkpoint").len()
+        } else {
+            let (_, state) = sgm_par::with_parallelism(Parallelism::Serial, || run_local(&spec))
+                .expect("local run");
+            state.to_json().expect("serialise").len()
+        }
+    });
+    if let Some(server) = server {
+        assert!(server.shutdown_and_join(), "bench server leaked threads");
+    }
+}
+
 /// Per-sampler engine cost over a short run — what each draw/adapt
 /// strategy adds on top of the shared loss/grad/step work — plus a
 /// stable-named acceptance pair for `bench_diff --strict`: the
@@ -846,6 +902,7 @@ fn main() {
     bench_refresh_overhead(&mut r);
     bench_trainer_overhead(&mut r);
     bench_obs_overhead(&mut r);
+    bench_serve_overhead(&mut r);
     bench_sampler_overhead(&mut r);
     bench_probe_refresh_threads(&mut r);
     bench_thread_scaling(&mut r);

@@ -160,6 +160,57 @@ impl Value {
             .ok_or_else(|| JsonError::access(format!("field `{key}` is not a string")))
     }
 
+    pub fn req_bool(&self, key: &str) -> Result<bool, JsonError> {
+        self.req(key)?
+            .as_bool()
+            .ok_or_else(|| JsonError::access(format!("field `{key}` is not a boolean")))
+    }
+
+    // -- optional-field helpers (for request/response schemas) -----------
+    //
+    // Missing keys and explicit `null` both decode to `None`; a present
+    // value of the wrong type is an error, not `None`, so schema typos
+    // fail loudly instead of silently picking defaults.
+
+    pub fn opt_f64(&self, key: &str) -> Result<Option<f64>, JsonError> {
+        match self.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| JsonError::access(format!("field `{key}` is not a number"))),
+        }
+    }
+
+    pub fn opt_usize(&self, key: &str) -> Result<Option<usize>, JsonError> {
+        match self.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v.as_u64().map(|x| Some(x as usize)).ok_or_else(|| {
+                JsonError::access(format!("field `{key}` is not a non-negative integer"))
+            }),
+        }
+    }
+
+    pub fn opt_str(&self, key: &str) -> Result<Option<&str>, JsonError> {
+        match self.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| JsonError::access(format!("field `{key}` is not a string"))),
+        }
+    }
+
+    pub fn opt_bool(&self, key: &str) -> Result<Option<bool>, JsonError> {
+        match self.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => v
+                .as_bool()
+                .map(Some)
+                .ok_or_else(|| JsonError::access(format!("field `{key}` is not a boolean"))),
+        }
+    }
+
     pub fn req_f64_arr(&self, key: &str) -> Result<Vec<f64>, JsonError> {
         let arr = self
             .req(key)?
@@ -769,5 +820,34 @@ mod tests {
         )]);
         let e = v.req_f64_arr("xs").unwrap_err();
         assert!(e.to_string().contains("xs[1]"), "{e}");
+    }
+
+    #[test]
+    fn optional_field_helpers_distinguish_missing_from_mistyped() {
+        let v = obj([
+            ("n", Value::Num(3.0)),
+            ("s", Value::Str("hi".into())),
+            ("b", Value::Bool(true)),
+            ("z", Value::Null),
+        ]);
+        assert_eq!(v.opt_f64("n").unwrap(), Some(3.0));
+        assert_eq!(v.opt_usize("n").unwrap(), Some(3));
+        assert_eq!(v.opt_str("s").unwrap(), Some("hi"));
+        assert_eq!(v.opt_bool("b").unwrap(), Some(true));
+        assert!(v.req_bool("b").unwrap());
+        // Missing and null both read as None...
+        assert_eq!(v.opt_f64("missing").unwrap(), None);
+        assert_eq!(v.opt_str("z").unwrap(), None);
+        // ...but a present value of the wrong type is an error.
+        assert!(v.opt_f64("s").is_err());
+        assert!(v.opt_usize("s").is_err());
+        assert!(v.opt_str("n").is_err());
+        assert!(v.opt_bool("n").is_err());
+        assert!(v.req_bool("n").is_err());
+        assert!(v.req_bool("missing").is_err());
+        // Fractional and negative numbers are not usize.
+        let w = obj([("x", Value::Num(1.5)), ("y", Value::Num(-2.0))]);
+        assert!(w.opt_usize("x").is_err());
+        assert!(w.opt_usize("y").is_err());
     }
 }

@@ -1,6 +1,6 @@
 //! `sgm-obs` — zero-overhead observability for the SGM-PINN stack.
 //!
-//! Three pieces, all std-only and allocation-free on the hot path:
+//! Four pieces, all std-only and allocation-free on the hot path:
 //!
 //! * [`metrics`] — a lock-free registry of counters, gauges and
 //!   log-linear-bucket histograms. Metrics are `const`-constructible
@@ -16,6 +16,10 @@
 //! * [`runlog`] — per-run JSONL telemetry (meta + metrics + records +
 //!   spans), written strictly after training, honoring `SGM_RUN_LOG`
 //!   and `SGM_CHROME_TRACE`.
+//! * [`scope`] — instantiable, label-scoped metric sets for services
+//!   multiplexing many concurrent runs in one process (the job
+//!   server's per-run namespacing), exported alongside the static
+//!   registry with standard Prometheus labels.
 //!
 //! Observability never feeds back into computation: enabling any of
 //! it leaves numerics bit-identical (the determinism contracts of the
@@ -26,8 +30,10 @@
 
 pub mod metrics;
 pub mod runlog;
+pub mod scope;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram};
 pub use runlog::{RunLog, RunRecord};
+pub use scope::{MetricScope, ScopedCounter, ScopedGauge, ScopedHistogram};
 pub use trace::{span, span_with_parent, Span, SpanContext, TraceLevel};

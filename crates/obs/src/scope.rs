@@ -1,0 +1,439 @@
+//! Per-run metric namespacing: instantiable, label-scoped metric sets.
+//!
+//! The [`metrics`](crate::metrics) registry is built from `static`s with
+//! `&'static str` names — perfect for process-wide instrumentation, but
+//! a job server multiplexing many concurrent runs needs a metric set
+//! *per run*, created and dropped at run granularity, exported under
+//! the run's identity. A [`MetricScope`] is exactly that: an owned
+//! registry whose metrics carry owned names and whose exposition
+//! attaches a fixed label set (e.g. `{run="42",tenant="a"}`) to every
+//! sample, so scraping N concurrent runs yields N disjoint label
+//! spaces under shared metric names — standard Prometheus namespacing.
+//!
+//! Scoped metrics are handles over `Arc`ed atomics: cloning is cheap,
+//! recording is a relaxed atomic op, and the scope can render a
+//! consistent-enough snapshot while recorders are live (same contract
+//! as the static registry). Histograms reuse the registry's log-linear
+//! bucket layout ([`bucket_index`] / [`bucket_lower`]), so scoped and
+//! static histograms quantize identically.
+
+use crate::metrics::{bucket_index, bucket_lower, BUCKETS};
+use sgm_json::{obj, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A counter handle scoped to one [`MetricScope`].
+#[derive(Debug, Clone)]
+pub struct ScopedCounter(Arc<AtomicU64>);
+
+impl ScopedCounter {
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle scoped to one [`MetricScope`] (last-write-wins `f64`).
+#[derive(Debug, Clone)]
+pub struct ScopedGauge(Arc<AtomicU64>);
+
+impl ScopedGauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistState {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A histogram handle scoped to one [`MetricScope`] (log-linear `u64`
+/// buckets; the workspace convention is nanoseconds).
+#[derive(Debug, Clone)]
+pub struct ScopedHistogram(Arc<HistState>);
+
+impl ScopedHistogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let s = &self.0;
+        s.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.min.fetch_min(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+}
+
+enum Entry {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistState>),
+}
+
+/// An instantiable metric registry with a fixed label set — one per
+/// run/tenant/job, created and dropped at run granularity. See the
+/// module docs.
+pub struct MetricScope {
+    labels: Vec<(String, String)>,
+    entries: Mutex<Vec<(String, Entry)>>,
+}
+
+impl std::fmt::Debug for MetricScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricScope")
+            .field("labels", &self.labels)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricScope {
+    /// A scope whose exposition attaches `labels` to every sample.
+    pub fn new(labels: impl IntoIterator<Item = (String, String)>) -> Self {
+        MetricScope {
+            labels: labels.into_iter().collect(),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The scope's label set.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    /// Gets or creates the counter `name` in this scope.
+    ///
+    /// # Panics
+    /// Panics if `name` already names a metric of a different kind.
+    pub fn counter(&self, name: &str) -> ScopedCounter {
+        let mut entries = self.entries.lock().expect("scope poisoned");
+        if let Some((_, e)) = entries.iter().find(|(n, _)| n == name) {
+            match e {
+                Entry::Counter(a) => return ScopedCounter(Arc::clone(a)),
+                _ => panic!("metric {name:?} already exists with a different kind"),
+            }
+        }
+        let a = Arc::new(AtomicU64::new(0));
+        entries.push((name.to_string(), Entry::Counter(Arc::clone(&a))));
+        ScopedCounter(a)
+    }
+
+    /// Gets or creates the gauge `name` in this scope.
+    ///
+    /// # Panics
+    /// Panics if `name` already names a metric of a different kind.
+    pub fn gauge(&self, name: &str) -> ScopedGauge {
+        let mut entries = self.entries.lock().expect("scope poisoned");
+        if let Some((_, e)) = entries.iter().find(|(n, _)| n == name) {
+            match e {
+                Entry::Gauge(a) => return ScopedGauge(Arc::clone(a)),
+                _ => panic!("metric {name:?} already exists with a different kind"),
+            }
+        }
+        let a = Arc::new(AtomicU64::new(0));
+        entries.push((name.to_string(), Entry::Gauge(Arc::clone(&a))));
+        ScopedGauge(a)
+    }
+
+    /// Gets or creates the histogram `name` in this scope.
+    ///
+    /// # Panics
+    /// Panics if `name` already names a metric of a different kind.
+    pub fn histogram(&self, name: &str) -> ScopedHistogram {
+        let mut entries = self.entries.lock().expect("scope poisoned");
+        if let Some((_, e)) = entries.iter().find(|(n, _)| n == name) {
+            match e {
+                Entry::Histogram(a) => return ScopedHistogram(Arc::clone(a)),
+                _ => panic!("metric {name:?} already exists with a different kind"),
+            }
+        }
+        let a = Arc::new(HistState {
+            counts: Box::new([const { AtomicU64::new(0) }; BUCKETS]),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        });
+        entries.push((name.to_string(), Entry::Histogram(Arc::clone(&a))));
+        ScopedHistogram(a)
+    }
+
+    fn label_suffix(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Prometheus text exposition of this scope's metrics, each sample
+    /// carrying the scope's labels. Metrics are rendered sorted by name
+    /// (deterministic, like the static registry).
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write;
+        let ls = self.label_suffix();
+        let entries = self.entries.lock().expect("scope poisoned");
+        let mut sorted: Vec<&(String, Entry)> = entries.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        for (name, e) in sorted {
+            match e {
+                Entry::Counter(a) => {
+                    let _ = writeln!(out, "{name}{ls} {}", a.load(Ordering::Relaxed));
+                }
+                Entry::Gauge(a) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}{ls} {}",
+                        f64::from_bits(a.load(Ordering::Relaxed))
+                    );
+                }
+                Entry::Histogram(h) => {
+                    let mut cum = 0u64;
+                    let mut total = 0u64;
+                    for (i, c) in h.counts.iter().enumerate() {
+                        let c = c.load(Ordering::Relaxed);
+                        total += c;
+                        if c == 0 {
+                            continue;
+                        }
+                        cum += c;
+                        let le = bucket_lower(i + 1).saturating_sub(1);
+                        let lelabel = histogram_labels(&self.labels, le);
+                        let _ = writeln!(out, "{name}_bucket{lelabel} {cum}");
+                    }
+                    let inf = histogram_labels_inf(&self.labels);
+                    let _ = writeln!(out, "{name}_bucket{inf} {total}");
+                    let _ = writeln!(out, "{name}_sum{ls} {}", h.sum.load(Ordering::Relaxed));
+                    let _ = writeln!(out, "{name}_count{ls} {total}");
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition: `{"labels": {...}, "metrics": [...]}` with the
+    /// same per-metric objects the static registry's JSONL emits.
+    pub fn json_value(&self) -> Value {
+        let labels = Value::Obj(
+            self.labels
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                .collect(),
+        );
+        let entries = self.entries.lock().expect("scope poisoned");
+        let mut sorted: Vec<&(String, Entry)> = entries.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        let metrics = sorted
+            .iter()
+            .map(|(name, e)| match e {
+                Entry::Counter(a) => obj([
+                    ("kind", Value::Str("counter".into())),
+                    ("name", Value::Str(name.clone())),
+                    ("value", Value::Num(a.load(Ordering::Relaxed) as f64)),
+                ]),
+                Entry::Gauge(a) => obj([
+                    ("kind", Value::Str("gauge".into())),
+                    ("name", Value::Str(name.clone())),
+                    (
+                        "value",
+                        Value::Num(f64::from_bits(a.load(Ordering::Relaxed))),
+                    ),
+                ]),
+                Entry::Histogram(h) => {
+                    let count: u64 = h.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+                    let sum = h.sum.load(Ordering::Relaxed);
+                    obj([
+                        ("kind", Value::Str("histogram".into())),
+                        ("name", Value::Str(name.clone())),
+                        ("count", Value::Num(count as f64)),
+                        ("sum", Value::Num(sum as f64)),
+                        (
+                            "mean",
+                            Value::Num(if count == 0 {
+                                0.0
+                            } else {
+                                sum as f64 / count as f64
+                            }),
+                        ),
+                    ])
+                }
+            })
+            .collect();
+        obj([("labels", labels), ("metrics", Value::Arr(metrics))])
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn histogram_labels(labels: &[(String, String)], le: u64) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    body.push(format!("le=\"{le}\""));
+    format!("{{{}}}", body.join(","))
+}
+
+fn histogram_labels_inf(labels: &[(String, String)]) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    body.push("le=\"+Inf\"".to_string());
+    format!("{{{}}}", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope() -> MetricScope {
+        MetricScope::new([
+            ("run".to_string(), "7".to_string()),
+            ("tenant".to_string(), "alice".to_string()),
+        ])
+    }
+
+    #[test]
+    fn scoped_counter_gauge_histogram_basics() {
+        let s = scope();
+        let c = s.counter("jobs_total");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.value(), 3);
+        // Same name → same underlying atomic.
+        assert_eq!(s.counter("jobs_total").value(), 3);
+        let g = s.gauge("loss");
+        g.set(0.25);
+        assert_eq!(g.value(), 0.25);
+        let h = s.histogram("slice_ns");
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 400);
+        assert_eq!(h.mean(), 200.0);
+    }
+
+    #[test]
+    fn prometheus_text_carries_labels() {
+        let s = scope();
+        s.counter("jobs_total").add(5);
+        s.gauge("loss").set(1.5);
+        s.histogram("slice_ns").record(7);
+        let text = s.prometheus_text();
+        assert!(
+            text.contains("jobs_total{run=\"7\",tenant=\"alice\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("loss{run=\"7\",tenant=\"alice\"} 1.5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("slice_ns_bucket{run=\"7\",tenant=\"alice\",le=\"+Inf\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("slice_ns_count{run=\"7\",tenant=\"alice\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn two_scopes_are_disjoint() {
+        let a = MetricScope::new([("run".to_string(), "1".to_string())]);
+        let b = MetricScope::new([("run".to_string(), "2".to_string())]);
+        a.counter("x").add(10);
+        b.counter("x").add(20);
+        assert_eq!(a.counter("x").value(), 10);
+        assert_eq!(b.counter("x").value(), 20);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let s = MetricScope::new([("t".to_string(), "a\"b\\c".to_string())]);
+        s.counter("n").inc();
+        let text = s.prometheus_text();
+        assert!(text.contains("n{t=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn json_value_renders_all_kinds() {
+        let s = scope();
+        s.counter("c").add(1);
+        s.gauge("g").set(2.0);
+        s.histogram("h").record(3);
+        let v = s.json_value();
+        assert_eq!(v.get("labels").unwrap().req_str("run").unwrap(), "7");
+        let metrics = v.get("metrics").unwrap().as_arr().unwrap();
+        assert_eq!(metrics.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let s = scope();
+        s.counter("m");
+        s.gauge("m");
+    }
+}

@@ -1,0 +1,318 @@
+//! Load-test + acceptance harness for the job server.
+//!
+//! Starts an in-process server, then drives `--jobs` quickstart-sized
+//! jobs from `--tenants` concurrent client threads through the real
+//! socket layer, and asserts the server's contracts:
+//!
+//! * **completion** — every submitted job reaches `completed`;
+//! * **no silent drops** — every connection gets an HTTP response
+//!   (429s are fine; a closed socket with no response is a failure);
+//! * **backpressure** — when the offered load exceeds twice the queue
+//!   depth, at least one submission must have been refused with 429
+//!   (and later retried to success);
+//! * **fairness** — max/min per-tenant throughput ≤ `--fairness-max`
+//!   (default 3), the scheduler's round-robin gate.
+//!
+//! Telemetry: one JSONL run log (`--out`) with a record per completed
+//! job and the process metric registry (including the
+//! `sgm_serve_*` counters), consumable by `validate_telemetry`.
+//!
+//! ```sh
+//! cargo run --release -p sgm-serve --bin load_test -- \
+//!     --jobs 1000 --tenants 8 --out target/load_test.jsonl
+//! ```
+
+use sgm_json::Value;
+use sgm_obs::{RunLog, RunRecord};
+use sgm_serve::scheduler::{JOBS_COMPLETED, JOBS_REJECTED};
+use sgm_serve::{client, JobSpec, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Args {
+    jobs: usize,
+    tenants: usize,
+    workers: usize,
+    queue_depth: usize,
+    max_jobs: usize,
+    iterations: usize,
+    slice_iterations: usize,
+    fairness_max: f64,
+    out: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            jobs: 1000,
+            tenants: 8,
+            workers: 4,
+            queue_depth: 32,
+            max_jobs: 64,
+            iterations: 12,
+            slice_iterations: 6,
+            fairness_max: 3.0,
+            out: None,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--jobs" => args.jobs = take().parse().expect("--jobs"),
+            "--tenants" => args.tenants = take().parse().expect("--tenants"),
+            "--workers" => args.workers = take().parse().expect("--workers"),
+            "--queue-depth" => args.queue_depth = take().parse().expect("--queue-depth"),
+            "--max-jobs" => args.max_jobs = take().parse().expect("--max-jobs"),
+            "--iterations" => args.iterations = take().parse().expect("--iterations"),
+            "--fairness-max" => args.fairness_max = take().parse().expect("--fairness-max"),
+            "--out" => args.out = Some(take()),
+            other => panic!("unknown flag {other} (see --jobs/--tenants/--workers/--queue-depth/--max-jobs/--iterations/--fairness-max/--out)"),
+        }
+    }
+    assert!(
+        args.jobs >= args.tenants && args.tenants >= 1,
+        "need jobs >= tenants >= 1"
+    );
+    args
+}
+
+fn job_spec(tenant: &str, seq: usize, iterations: usize) -> JobSpec {
+    // Quickstart-shaped but small; sampler varies so the server runs a
+    // heterogeneous mix, seeds vary so jobs are distinct runs.
+    let samplers = ["uniform", "mis", "uniform", "rad"];
+    JobSpec {
+        tenant: tenant.into(),
+        sampler: samplers[seq % samplers.len()].into(),
+        iterations,
+        interior: 64,
+        boundary: 16,
+        batch_interior: 8,
+        batch_boundary: 4,
+        hidden_width: 4,
+        hidden_layers: 1,
+        record_every: iterations.div_ceil(2),
+        train_seed: seq as u64 + 1,
+        data_seed: 7 + (seq % 3) as u64,
+        ..JobSpec::default()
+    }
+}
+
+#[derive(Debug, Default)]
+struct TenantOutcome {
+    completed: Vec<(u64, f64, f64)>, // (job id, settle seconds from t0, last loss)
+    retries_429: u64,
+    failures: Vec<String>,
+    finished_at: f64,
+}
+
+fn drive_tenant(
+    addr: SocketAddr,
+    tenant: String,
+    jobs: usize,
+    iterations: usize,
+    t0: Instant,
+    dropped: &AtomicU64,
+) -> TenantOutcome {
+    let mut out = TenantOutcome::default();
+    let mut ids = Vec::with_capacity(jobs);
+    for seq in 0..jobs {
+        let spec = job_spec(&tenant, seq, iterations);
+        loop {
+            match client::submit(addr, &spec) {
+                Ok(id) => {
+                    ids.push(id);
+                    break;
+                }
+                Err((429, _)) => {
+                    out.retries_429 += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err((0, msg)) => {
+                    dropped.fetch_add(1, Ordering::Relaxed);
+                    out.failures
+                        .push(format!("{tenant}#{seq}: transport: {msg}"));
+                    break;
+                }
+                Err((status, msg)) => {
+                    out.failures
+                        .push(format!("{tenant}#{seq}: HTTP {status}: {msg}"));
+                    break;
+                }
+            }
+        }
+    }
+    for id in ids {
+        match client::wait_settled(addr, id, Duration::from_secs(600)) {
+            Ok(status) => {
+                let state = status.req_str("state").unwrap_or("?").to_string();
+                if state == "completed" {
+                    let loss = status.req_f64("last_train_loss").unwrap_or(f64::NAN);
+                    out.completed.push((id, t0.elapsed().as_secs_f64(), loss));
+                } else {
+                    let why = status
+                        .get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    out.failures
+                        .push(format!("{tenant} job {id}: state {state} {why}"));
+                }
+            }
+            Err(e) => out.failures.push(format!("{tenant} job {id}: {e}")),
+        }
+    }
+    out.finished_at = t0.elapsed().as_secs_f64();
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let server = Server::start(ServeConfig {
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        max_jobs: args.max_jobs,
+        slice_iterations: args.slice_iterations,
+        ..ServeConfig::from_env()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    println!(
+        "load_test: {} jobs, {} tenants, {} workers, queue depth {} on http://{addr}",
+        args.jobs, args.tenants, args.workers, args.queue_depth
+    );
+
+    let completed_before = JOBS_COMPLETED.value();
+    let rejected_before = JOBS_REJECTED.value();
+    let per_tenant = args.jobs / args.tenants;
+    let remainder = args.jobs % args.tenants;
+    let t0 = Instant::now();
+    let dropped = AtomicU64::new(0);
+    let outcomes: Vec<(String, TenantOutcome)> = std::thread::scope(|scope| {
+        let dropped = &dropped;
+        let handles: Vec<_> = (0..args.tenants)
+            .map(|t| {
+                let tenant = format!("tenant-{t}");
+                let jobs = per_tenant + usize::from(t < remainder);
+                let name = tenant.clone();
+                let h = scope
+                    .spawn(move || drive_tenant(addr, tenant, jobs, args.iterations, t0, dropped));
+                (name, h)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("tenant thread")))
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    // ---- Assertions ----
+    let mut failures: Vec<String> = Vec::new();
+    let total_completed: usize = outcomes.iter().map(|(_, o)| o.completed.len()).sum();
+    let total_retries: u64 = outcomes.iter().map(|(_, o)| o.retries_429).sum();
+    for (_, o) in &outcomes {
+        failures.extend(o.failures.iter().cloned());
+    }
+    let dropped = dropped.load(Ordering::Relaxed);
+
+    if total_completed != args.jobs {
+        failures.push(format!(
+            "completion: {total_completed}/{} jobs completed",
+            args.jobs
+        ));
+    }
+    if dropped != 0 {
+        failures.push(format!("{dropped} connections dropped without a response"));
+    }
+    let rejected = JOBS_REJECTED.value() - rejected_before;
+    if args.jobs >= 2 * args.queue_depth && rejected == 0 {
+        failures.push(format!(
+            "backpressure never engaged: {} jobs against queue depth {} produced zero 429s",
+            args.jobs, args.queue_depth
+        ));
+    }
+
+    // Fairness: per-tenant throughput over the tenant's own makespan.
+    let throughputs: Vec<(String, f64)> = outcomes
+        .iter()
+        .map(|(name, o)| {
+            (
+                name.clone(),
+                o.completed.len() as f64 / o.finished_at.max(1e-9),
+            )
+        })
+        .collect();
+    let min = throughputs
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::INFINITY, f64::min);
+    let max = throughputs.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+    let ratio = if min > 0.0 { max / min } else { f64::INFINITY };
+    if args.tenants > 1 && ratio > args.fairness_max {
+        failures.push(format!(
+            "fairness: max/min tenant throughput {ratio:.2} > {} ({throughputs:?})",
+            args.fairness_max
+        ));
+    }
+
+    println!(
+        "load_test: {total_completed}/{} completed in {elapsed:.2}s \
+         ({:.1} jobs/s), {total_retries} retried 429s, {rejected} rejections, \
+         fairness ratio {ratio:.2}",
+        args.jobs,
+        total_completed as f64 / elapsed.max(1e-9),
+    );
+    let delta_completed = JOBS_COMPLETED.value() - completed_before;
+    println!("load_test: server counted {delta_completed} completions");
+
+    // ---- Telemetry ----
+    if let Some(path) = &args.out {
+        let mut log = RunLog::new("load_test");
+        log.meta("jobs", Value::Num(args.jobs as f64))
+            .meta("tenants", Value::Num(args.tenants as f64))
+            .meta("workers", Value::Num(args.workers as f64))
+            .meta("queue_depth", Value::Num(args.queue_depth as f64))
+            .meta("fairness_ratio", Value::Num(ratio))
+            .meta("retries_429", Value::Num(total_retries as f64))
+            .meta("elapsed_seconds", Value::Num(elapsed));
+        let mut records: Vec<(u64, f64, f64)> = outcomes
+            .iter()
+            .flat_map(|(_, o)| o.completed.iter().copied())
+            .collect();
+        records.sort_by_key(|(id, _, _)| *id);
+        for (i, (_, seconds, loss)) in records.iter().enumerate() {
+            log.push_record(RunRecord {
+                iteration: i,
+                seconds: *seconds,
+                train_loss: *loss,
+                val_errors: Vec::new(),
+            });
+        }
+        log.write_jsonl(path, &[]).expect("write run log");
+        println!("load_test: wrote {path}");
+    }
+
+    assert!(server.shutdown_and_join(), "connection threads leaked");
+
+    if !failures.is_empty() {
+        eprintln!("load_test FAILED:");
+        for f in failures.iter().take(20) {
+            eprintln!("  - {f}");
+        }
+        if failures.len() > 20 {
+            eprintln!("  ... and {} more", failures.len() - 20);
+        }
+        std::process::exit(1);
+    }
+    println!("load_test PASSED");
+}

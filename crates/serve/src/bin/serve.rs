@@ -1,0 +1,35 @@
+//! Standalone job server.
+//!
+//! ```sh
+//! SGM_SERVE_ADDR=127.0.0.1:8900 cargo run --release -p sgm-serve --bin serve
+//! ```
+//!
+//! Configuration comes from the environment (`SGM_SERVE_ADDR`,
+//! `SGM_SERVE_MAX_JOBS`, `SGM_SERVE_QUEUE_DEPTH`; see
+//! `ServeConfig::from_env`). The process serves until it receives a
+//! `POST /shutdown`, then drains: in-flight runs checkpoint to
+//! `paused`, the pool exits, and remaining HTTP clients can still
+//! download checkpoints until their connections close.
+
+use sgm_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+fn main() {
+    let mut cfg = ServeConfig::from_env();
+    if cfg.addr == "127.0.0.1:0" {
+        // A standalone server on an ephemeral port is unusable; pick a
+        // stable default unless SGM_SERVE_ADDR says otherwise.
+        cfg.addr = "127.0.0.1:8900".into();
+    }
+    let server = Server::start(cfg).expect("bind");
+    println!("sgm-serve listening on http://{}", server.addr());
+    println!("POST /shutdown to drain");
+    // Serve until a client initiates the drain, then give late readers a
+    // moment and exit.
+    while !server.scheduler().is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    println!("draining...");
+    server.shutdown_and_join();
+    println!("bye");
+}

@@ -1,0 +1,209 @@
+//! A tiny blocking HTTP client for the job API.
+//!
+//! Exists so the acceptance suite (load test, fault tests, resume
+//! tests, benches) exercises the server through the *real* socket
+//! layer rather than in-process calls. One request per connection,
+//! mirroring the server's `Connection: close` contract.
+
+use crate::spec::JobSpec;
+use sgm_json::{obj, Value};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed client-side response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    /// Returns a message when the body is not UTF-8 JSON.
+    pub fn json(&self) -> Result<Value, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())?;
+        Value::parse(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Reads a response: status line, headers, `Content-Length` body.
+fn read_response(stream: TcpStream) -> Result<ClientResponse, String> {
+    let mut reader = BufReader::new(stream);
+    use std::io::BufRead;
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| e.to_string())?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    let mut length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            let v = v.trim().to_string();
+            if k.eq_ignore_ascii_case("Content-Length") {
+                length = v.parse().map_err(|_| format!("bad length {v:?}"))?;
+            }
+            headers.push((k.to_string(), v));
+        }
+    }
+    let mut body = vec![0u8; length];
+    use std::io::Read;
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Sends one request and reads the response.
+///
+/// # Errors
+/// Returns a message on connect/read/parse failure.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> Result<ClientResponse, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(150)))
+        .map_err(|e| e.to_string())?;
+    let body = body.unwrap_or(&[]);
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: sgm\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .map_err(|e| e.to_string())?;
+    stream.write_all(body).map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())?;
+    read_response(stream)
+}
+
+/// Sends raw bytes verbatim and reads whatever response comes back
+/// (`None` when the server closed without responding) — the fuzz
+/// suite's entry point for malformed requests.
+///
+/// # Errors
+/// Returns a message on connect/write failure.
+pub fn request_raw(addr: SocketAddr, bytes: &[u8]) -> Result<Option<ClientResponse>, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(150)))
+        .map_err(|e| e.to_string())?;
+    // Ignore write errors: the server may legitimately answer (and
+    // stop reading) before the full payload is delivered.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    match read_response(stream) {
+        Ok(r) => Ok(Some(r)),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Submits a job spec; returns the job id.
+///
+/// # Errors
+/// Returns `Err((status, message))` for any non-202 response, with
+/// status 0 for transport errors.
+pub fn submit(addr: SocketAddr, spec: &JobSpec) -> Result<u64, (u16, String)> {
+    let body = spec.to_json().to_string_compact();
+    let resp = request(addr, "POST", "/jobs", Some(body.as_bytes())).map_err(|e| (0, e))?;
+    submitted_id(&resp)
+}
+
+/// Submits a warm resume (`spec` + checkpoint JSON text).
+///
+/// # Errors
+/// Returns `Err((status, message))` for any non-202 response, with
+/// status 0 for transport errors.
+pub fn submit_resume(
+    addr: SocketAddr,
+    spec: &JobSpec,
+    state_json: &str,
+) -> Result<u64, (u16, String)> {
+    let state = Value::parse(state_json).map_err(|e| (0, e.to_string()))?;
+    let body = obj([("spec", spec.to_json()), ("state", state)]).to_string_compact();
+    let resp = request(addr, "POST", "/jobs/resume", Some(body.as_bytes())).map_err(|e| (0, e))?;
+    submitted_id(&resp)
+}
+
+fn submitted_id(resp: &ClientResponse) -> Result<u64, (u16, String)> {
+    if resp.status != 202 {
+        let msg = resp
+            .json()
+            .ok()
+            .and_then(|v| v.req_str("error").ok().map(str::to_string))
+            .unwrap_or_default();
+        return Err((resp.status, msg));
+    }
+    let v = resp.json().map_err(|e| (resp.status, e))?;
+    v.req_usize("id")
+        .map(|id| id as u64)
+        .map_err(|e| (resp.status, e.to_string()))
+}
+
+/// Long-polls `GET /jobs/<id>/wait` until the job settles; returns the
+/// final status JSON.
+///
+/// # Errors
+/// Returns a message on transport errors or deadline expiry.
+pub fn wait_settled(addr: SocketAddr, id: u64, deadline: Duration) -> Result<Value, String> {
+    let t0 = std::time::Instant::now();
+    loop {
+        let resp = request(
+            addr,
+            "GET",
+            &format!("/jobs/{id}/wait?timeout_ms=5000"),
+            None,
+        )?;
+        if resp.status != 200 {
+            return Err(format!("wait returned {}", resp.status));
+        }
+        let v = resp.json()?;
+        let state = v.req_str("state").map_err(|e| e.to_string())?;
+        if !matches!(state, "queued" | "running") {
+            return Ok(v);
+        }
+        if t0.elapsed() > deadline {
+            return Err(format!("job {id} still {state} after {deadline:?}"));
+        }
+    }
+}
+
+/// Downloads the job's checkpoint as raw JSON text.
+///
+/// # Errors
+/// Returns `Err((status, message))` for any non-200 response, with
+/// status 0 for transport errors.
+pub fn checkpoint(addr: SocketAddr, id: u64) -> Result<String, (u16, String)> {
+    let resp = request(addr, "GET", &format!("/jobs/{id}/checkpoint"), None).map_err(|e| (0, e))?;
+    if resp.status != 200 {
+        return Err((
+            resp.status,
+            String::from_utf8_lossy(&resp.body).into_owned(),
+        ));
+    }
+    String::from_utf8(resp.body).map_err(|_| (200, "checkpoint is not UTF-8".into()))
+}

@@ -1,0 +1,421 @@
+//! A minimal, defensive HTTP/1.1 layer.
+//!
+//! The server speaks just enough HTTP for its job API: one request per
+//! connection, explicit `Content-Length` bodies, `Connection: close`
+//! semantics. What it lacks in features it makes up for in paranoia —
+//! every limit is explicit (header bytes, header count, body bytes),
+//! every malformed input maps to a 4xx status instead of a panic, and
+//! the parser is generic over [`BufRead`] so the protocol property
+//! sweep can fuzz it without sockets.
+//!
+//! | condition                         | status |
+//! |-----------------------------------|--------|
+//! | malformed request line / headers  | 400    |
+//! | invalid / conflicting length      | 400    |
+//! | unsupported transfer encoding     | 400    |
+//! | header section over the limit     | 431    |
+//! | declared body over the limit      | 413    |
+//! | read timeout (slow-loris)         | 408    |
+//! | truncated mid-request             | 400    |
+//!
+//! A clean EOF *before any request byte* is a client disconnect, not an
+//! error the server owes a response to ([`HttpError::Closed`]).
+
+use std::io::{BufRead, ErrorKind, Write};
+
+/// Parser limits. Defaults are generous for the job API (checkpoint
+/// uploads are a few hundred kB) while bounding hostile inputs.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Max bytes across the request line + all header lines.
+    pub max_header_bytes: usize,
+    /// Max number of header lines.
+    pub max_headers: usize,
+    /// Max declared body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_header_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (verbatim, e.g. `GET`).
+    pub method: String,
+    /// Request target (path + optional query, verbatim).
+    pub path: String,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path without its query string.
+    pub fn path_only(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// Value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let q = self.path.split_once('?')?.1;
+        q.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before any request byte — client went away; the
+    /// server owes no response.
+    Closed,
+    /// Malformed request (line, header, length, truncation) → 400.
+    BadRequest(String),
+    /// Header section exceeded [`Limits::max_header_bytes`] or
+    /// [`Limits::max_headers`] → 431.
+    HeaderTooLarge,
+    /// Declared body exceeded [`Limits::max_body_bytes`] → 413.
+    BodyTooLarge,
+    /// The socket read timed out mid-request (slow-loris) → 408.
+    Timeout,
+    /// The connection broke mid-request; no response possible.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The 4xx status owed for this error, or `None` when the
+    /// connection is gone and no response can be delivered.
+    pub fn status(&self) -> Option<(u16, String)> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::BadRequest(msg) => Some((400, msg.clone())),
+            HttpError::HeaderTooLarge => Some((431, "header section too large".into())),
+            HttpError::BodyTooLarge => Some((413, "body too large".into())),
+            HttpError::Timeout => Some((408, "request timed out".into())),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::HeaderTooLarge => write!(f, "header section too large"),
+            HttpError::BodyTooLarge => write!(f, "body too large"),
+            HttpError::Timeout => write!(f, "request timed out"),
+            HttpError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+fn map_io(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e),
+    }
+}
+
+/// Reads one `\n`-terminated line (CR stripped), charging its bytes
+/// against `*budget`. Returns `None` on clean EOF at a line start.
+fn read_line(
+    r: &mut impl BufRead,
+    budget: &mut usize,
+    first_byte_seen: &mut bool,
+) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = r.read(&mut byte).map_err(map_io)?;
+        if n == 0 {
+            if line.is_empty() && !*first_byte_seen {
+                return Ok(None);
+            }
+            return Err(HttpError::BadRequest("truncated request".into()));
+        }
+        *first_byte_seen = true;
+        if *budget == 0 {
+            return Err(HttpError::HeaderTooLarge);
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpError::BadRequest("non-UTF-8 header bytes".into()));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Parses one request from `r`. See the module table for the error →
+/// status mapping.
+pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Request, HttpError> {
+    let mut budget = limits.max_header_bytes;
+    let mut seen = false;
+    let request_line = match read_line(r, &mut budget, &mut seen)? {
+        Some(l) => l,
+        None => return Err(HttpError::Closed),
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty()
+        || !method.bytes().all(|b| b.is_ascii_uppercase())
+        || path.is_empty()
+        || !path.starts_with('/')
+        || parts.next().is_some()
+    {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line {request_line:?}"
+        )));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget, &mut seen)?
+            .ok_or_else(|| HttpError::BadRequest("truncated headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::HeaderTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header name {name:?}"
+            )));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(te) = req.header("Transfer-Encoding") {
+        return Err(HttpError::BadRequest(format!(
+            "transfer-encoding {te:?} not supported"
+        )));
+    }
+    let mut content_length = 0u64;
+    let mut cl_seen: Option<u64> = None;
+    for (k, v) in &req.headers {
+        if k.eq_ignore_ascii_case("Content-Length") {
+            let n: u64 = v
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("invalid content-length {v:?}")))?;
+            if let Some(prev) = cl_seen {
+                if prev != n {
+                    return Err(HttpError::BadRequest("conflicting content-length".into()));
+                }
+            }
+            cl_seen = Some(n);
+            content_length = n;
+        }
+    }
+    if content_length > limits.max_body_bytes as u64 {
+        return Err(HttpError::BodyTooLarge);
+    }
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length as usize];
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == ErrorKind::UnexpectedEof {
+                HttpError::BadRequest("truncated body".into())
+            } else {
+                map_io(e)
+            }
+        })?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response (`Connection: close`, explicit length).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes a JSON response.
+pub fn respond_json(
+    w: &mut impl Write,
+    status: u16,
+    body: &sgm_json::Value,
+) -> std::io::Result<()> {
+    write_response(
+        w,
+        status,
+        "application/json",
+        body.to_string_compact().as_bytes(),
+    )
+}
+
+/// Writes the standard `{"error": msg}` JSON body for a status.
+pub fn respond_error(w: &mut impl Write, status: u16, msg: &str) -> std::io::Result<()> {
+    let body = sgm_json::obj([("error", sgm_json::Value::Str(msg.into()))]);
+    respond_json(w, status, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let req =
+            parse(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_bare_lf_lines() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path_only(), "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn query_params_split_off_path() {
+        let req = parse(b"GET /jobs/3/wait?timeout_ms=50 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path_only(), "/jobs/3/wait");
+        assert_eq!(req.query_param("timeout_ms"), Some("50"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error_status() {
+        let err = parse(b"").unwrap_err();
+        assert!(matches!(err, HttpError::Closed));
+        assert!(err.status().is_none());
+    }
+
+    #[test]
+    fn truncation_maps_to_400() {
+        for bytes in [
+            &b"GET"[..],
+            &b"GET /x HTTP/1.1\r\nHost"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"[..],
+        ] {
+            let err = parse(bytes).unwrap_err();
+            let (status, _) = err.status().expect("owes a response");
+            assert_eq!(status, 400, "{bytes:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_lengths_map_to_400() {
+        for cl in ["-1", "abc", "1e3", "2,2", "", "18446744073709551616"] {
+            let bytes = format!("POST /x HTTP/1.1\r\nContent-Length: {cl}\r\n\r\n");
+            let err = parse(bytes.as_bytes()).unwrap_err();
+            assert_eq!(err.status().unwrap().0, 400, "content-length {cl:?}");
+        }
+        // Conflicting duplicates are rejected; agreeing duplicates pass.
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nab")
+            .unwrap_err();
+        assert_eq!(err.status().unwrap().0, 400);
+        let ok = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab");
+        assert_eq!(ok.unwrap().body, b"ab");
+    }
+
+    #[test]
+    fn oversized_headers_map_to_431() {
+        let big = format!(
+            "GET /x HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(32 * 1024)
+        );
+        assert_eq!(parse(big.as_bytes()).unwrap_err().status().unwrap().0, 431);
+        let many: String = (0..100).fold("GET /x HTTP/1.1\r\n".to_string(), |mut s, i| {
+            s.push_str(&format!("X-{i}: v\r\n"));
+            s
+        }) + "\r\n";
+        assert_eq!(parse(many.as_bytes()).unwrap_err().status().unwrap().0, 431);
+    }
+
+    #[test]
+    fn oversized_body_maps_to_413() {
+        let bytes = b"POST /x HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert_eq!(parse(bytes).unwrap_err().status().unwrap().0, 413);
+    }
+
+    #[test]
+    fn response_writer_emits_complete_message() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

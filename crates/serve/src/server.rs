@@ -1,0 +1,448 @@
+//! The HTTP front end: a thread-per-connection listener routing the job
+//! API onto a [`Scheduler`].
+//!
+//! One request per connection (`Connection: close`), a read timeout per
+//! socket (slow-loris defense → 408), and every connection thread is
+//! tracked by a count-to-zero latch, so shutdown can prove no thread
+//! leaked — the protocol property suite asserts the open-connection
+//! gauge returns to baseline after every hostile input.
+//!
+//! # Endpoints
+//!
+//! | method & path              | effect                                      |
+//! |----------------------------|---------------------------------------------|
+//! | `POST /jobs`               | submit a [`JobSpec`]; 202 `{"id": n}`       |
+//! | `POST /jobs/resume`        | submit `{"spec":…, "state":…}` warm resume  |
+//! | `GET /jobs/<id>`           | status + per-run metrics snapshot           |
+//! | `GET /jobs/<id>/wait`      | long-poll until settled (`?timeout_ms=N`)   |
+//! | `POST /jobs/<id>/cancel`   | cancel (settles at the slice boundary)      |
+//! | `GET /jobs/<id>/checkpoint`| latest [`RunState`] JSON; 409 if none yet   |
+//! | `GET /metrics`             | Prometheus text: process + per-run scopes   |
+//! | `GET /healthz`             | liveness                                    |
+//! | `POST /shutdown`           | drain: stop admissions, checkpoint runs     |
+
+use crate::http::{self, HttpError, Limits, Request};
+use crate::scheduler::{JobState, Scheduler, ServeConfig, SubmitError};
+use crate::spec::JobSpec;
+use sgm_json::{obj, Value};
+use sgm_obs::{Counter, Gauge};
+use sgm_train::RunState;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Requests fully parsed and routed.
+pub static REQUESTS_TOTAL: Counter = Counter::new("sgm_serve_requests_total");
+/// Requests answered with a 4xx/5xx status.
+pub static HTTP_ERRORS_TOTAL: Counter = Counter::new("sgm_serve_http_errors_total");
+/// Connections currently being served (returns to 0 when idle — the
+/// protocol suite's no-thread-leak witness).
+pub static CONNECTIONS_OPEN: Gauge = Gauge::new("sgm_serve_connections_open");
+
+/// Counts live connection threads; `wait_zero` is the no-leak latch.
+#[derive(Debug, Default)]
+struct ConnTracker {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl ConnTracker {
+    fn enter(&self) {
+        let mut c = self.count.lock().expect("tracker poisoned");
+        *c += 1;
+        CONNECTIONS_OPEN.set(*c as f64);
+    }
+
+    fn exit(&self) {
+        let mut c = self.count.lock().expect("tracker poisoned");
+        *c -= 1;
+        CONNECTIONS_OPEN.set(*c as f64);
+        if *c == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self, timeout: Duration) -> bool {
+        let (c, res) = self
+            .zero
+            .wait_timeout_while(self.count.lock().expect("tracker poisoned"), timeout, |c| {
+                *c > 0
+            })
+            .expect("tracker poisoned");
+        drop(c);
+        !res.timed_out()
+    }
+}
+
+/// A running job server: listener + connection threads + worker pool.
+#[derive(Debug)]
+pub struct Server {
+    sched: Arc<Scheduler>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    tracker: Arc<ConnTracker>,
+    listener: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts the worker pool and listener.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers_n = cfg.workers.max(1);
+        let read_timeout = Duration::from_millis(cfg.read_timeout_ms.max(1));
+        let limits = Limits {
+            max_body_bytes: cfg.max_body_bytes,
+            ..Limits::default()
+        };
+        let sched = Arc::new(Scheduler::new(cfg));
+        let workers: Vec<_> = (0..workers_n)
+            .map(|_| {
+                let s = Arc::clone(&sched);
+                std::thread::spawn(move || s.worker_loop())
+            })
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let tracker = Arc::new(ConnTracker::default());
+        let listener_thread = {
+            let sched = Arc::clone(&sched);
+            let stop = Arc::clone(&stop);
+            let tracker = Arc::clone(&tracker);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    tracker.enter();
+                    let sched = Arc::clone(&sched);
+                    let tracker = Arc::clone(&tracker);
+                    let limits = limits.clone();
+                    std::thread::spawn(move || {
+                        handle_connection(stream, &sched, &limits, read_timeout);
+                        tracker.exit();
+                    });
+                }
+            })
+        };
+        Ok(Server {
+            sched,
+            addr,
+            stop,
+            tracker,
+            listener: Some(listener_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler (for in-process inspection in tests/benches).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Graceful shutdown: drain the scheduler (in-flight runs
+    /// checkpoint to `Paused`), join the worker pool, stop accepting,
+    /// and wait for every connection thread to finish. Returns `true`
+    /// when all connection threads exited within the grace period.
+    pub fn shutdown_and_join(mut self) -> bool {
+        self.sched.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(l) = self.listener.take() {
+            let _ = l.join();
+        }
+        self.tracker.wait_zero(Duration::from_secs(10))
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    sched: &Scheduler,
+    limits: &Limits,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut out = stream;
+    let responded = match http::read_request(&mut reader, limits) {
+        Ok(req) => {
+            REQUESTS_TOTAL.inc();
+            let (status, headers, body) = route(sched, &req);
+            if status >= 400 {
+                HTTP_ERRORS_TOTAL.inc();
+            }
+            write_with_headers(&mut out, status, &headers, &body).is_ok()
+        }
+        Err(err) => {
+            if matches!(err, HttpError::Io(_)) {
+                HTTP_ERRORS_TOTAL.inc();
+            }
+            match err.status() {
+                Some((status, msg)) => {
+                    HTTP_ERRORS_TOTAL.inc();
+                    http::respond_error(&mut out, status, &msg).is_ok()
+                }
+                // Closed / broken connections get no response by
+                // design — the client is gone.
+                None => false,
+            }
+        }
+    };
+    if responded {
+        // Lingering close: drain unread request bytes (bounded) before
+        // dropping the socket, so an early error response is not
+        // clobbered by a TCP RST while the client is still sending.
+        lingering_drain(&mut reader);
+    }
+}
+
+fn lingering_drain(reader: &mut impl std::io::Read) {
+    let mut buf = [0u8; 4096];
+    let mut total = 0usize;
+    while total < 256 * 1024 {
+        match reader.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => total += n,
+        }
+    }
+}
+
+type Response = (u16, Vec<(String, String)>, Vec<u8>);
+
+fn json_response(status: u16, v: &Value) -> Response {
+    (
+        status,
+        vec![("Content-Type".into(), "application/json".into())],
+        v.to_string_compact().into_bytes(),
+    )
+}
+
+fn error_response(status: u16, msg: &str) -> Response {
+    json_response(status, &obj([("error", Value::Str(msg.into()))]))
+}
+
+fn write_with_headers(
+    w: &mut impl Write,
+    status: u16,
+    headers: &[(String, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {}\r\n", http::status_reason(status))?;
+    for (k, v) in headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(
+        w,
+        "Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+fn parse_body(req: &Request) -> Result<Value, String> {
+    let text = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    Value::parse(text).map_err(|e| format!("invalid JSON body: {e}"))
+}
+
+fn route(sched: &Scheduler, req: &Request) -> Response {
+    let path = req.path_only().to_string();
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["healthz"]) => json_response(200, &obj([("ok", Value::Bool(true))])),
+        ("GET", ["metrics"]) => {
+            let mut text = sgm_obs::metrics::prometheus_text();
+            let ids = all_job_ids(sched);
+            for id in ids {
+                if let Some(t) = sched.with_job(id, |j| j.scope.prometheus_text()) {
+                    text.push_str(&t);
+                }
+            }
+            (
+                200,
+                vec![("Content-Type".into(), "text/plain; version=0.0.4".into())],
+                text.into_bytes(),
+            )
+        }
+        ("POST", ["shutdown"]) => {
+            sched.begin_shutdown();
+            json_response(200, &obj([("draining", Value::Bool(true))]))
+        }
+        ("POST", ["jobs"]) => {
+            let spec = match parse_body(req).and_then(|v| JobSpec::from_json(&v)) {
+                Ok(s) => s,
+                Err(e) => return error_response(400, &e),
+            };
+            submit_response(sched, spec, None)
+        }
+        ("POST", ["jobs", "resume"]) => {
+            let body = match parse_body(req) {
+                Ok(v) => v,
+                Err(e) => return error_response(400, &e),
+            };
+            let Some(spec_v) = body.get("spec") else {
+                return error_response(400, "missing field \"spec\"");
+            };
+            let Some(state_v) = body.get("state") else {
+                return error_response(400, "missing field \"state\"");
+            };
+            let spec = match JobSpec::from_json(spec_v) {
+                Ok(s) => s,
+                Err(e) => return error_response(400, &e),
+            };
+            let state = match RunState::from_json(&state_v.to_string_compact()) {
+                Ok(s) => s,
+                Err(e) => return error_response(400, &format!("invalid checkpoint: {e:?}")),
+            };
+            submit_response(sched, spec, Some(state))
+        }
+        ("GET", ["jobs", id]) => match parse_id(id) {
+            Some(id) => match status_value(sched, id) {
+                Some(v) => json_response(200, &v),
+                None => error_response(404, "no such job"),
+            },
+            None => error_response(400, "invalid job id"),
+        },
+        ("GET", ["jobs", id, "wait"]) => match parse_id(id) {
+            Some(id) => {
+                let timeout_ms: u64 = req
+                    .query_param("timeout_ms")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(10_000)
+                    .min(120_000);
+                match sched.wait(id, Duration::from_millis(timeout_ms)) {
+                    Some(_) => match status_value(sched, id) {
+                        Some(v) => json_response(200, &v),
+                        None => error_response(404, "no such job"),
+                    },
+                    None => error_response(404, "no such job"),
+                }
+            }
+            None => error_response(400, "invalid job id"),
+        },
+        ("POST", ["jobs", id, "cancel"]) => match parse_id(id) {
+            Some(id) if sched.cancel(id) => {
+                json_response(200, &obj([("cancelled", Value::Bool(true))]))
+            }
+            Some(_) => error_response(404, "no such job"),
+            None => error_response(400, "invalid job id"),
+        },
+        ("GET", ["jobs", id, "checkpoint"]) => match parse_id(id) {
+            Some(id) => {
+                let found = sched.with_job(id, |j| j.run.as_ref().map(|r| r.to_json()));
+                match found {
+                    None => error_response(404, "no such job"),
+                    Some(None) => error_response(409, "no checkpoint yet"),
+                    Some(Some(Ok(text))) => (
+                        200,
+                        vec![("Content-Type".into(), "application/json".into())],
+                        text.into_bytes(),
+                    ),
+                    Some(Some(Err(e))) => error_response(500, &format!("{e:?}")),
+                }
+            }
+            None => error_response(400, "invalid job id"),
+        },
+        (method, _) if !matches!(method, "GET" | "POST") => {
+            error_response(405, "method not allowed")
+        }
+        _ => error_response(404, "no such endpoint"),
+    }
+}
+
+fn submit_response(sched: &Scheduler, spec: JobSpec, resume: Option<RunState>) -> Response {
+    match sched.submit(spec, resume) {
+        Ok(id) => json_response(202, &obj([("id", Value::Num(id as f64))])),
+        Err(SubmitError::Invalid(msg)) => error_response(400, &msg),
+        Err(SubmitError::Draining) => error_response(503, "server is draining"),
+        Err(SubmitError::Busy(msg)) => {
+            let body = obj([("error", Value::Str(msg))]);
+            (
+                429,
+                vec![
+                    ("Content-Type".into(), "application/json".into()),
+                    ("Retry-After".into(), "1".into()),
+                ],
+                body.to_string_compact().into_bytes(),
+            )
+        }
+    }
+}
+
+fn parse_id(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+fn all_job_ids(sched: &Scheduler) -> Vec<u64> {
+    // Ids are dense from 1; probe until the first gap past the live
+    // range. Cheap relative to a scrape and avoids a jobs() iterator
+    // that would clone the map.
+    let mut ids = Vec::new();
+    let mut id = 1u64;
+    while sched.with_job(id, |_| ()).is_some() {
+        ids.push(id);
+        id += 1;
+    }
+    ids
+}
+
+/// Status payload for one job (used by `GET /jobs/<id>` and `wait`).
+fn status_value(sched: &Scheduler, id: u64) -> Option<Value> {
+    sched.with_job(id, |job| {
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("id", Value::Num(job.id as f64)),
+            ("tenant", Value::Str(job.tenant.clone())),
+            ("state", Value::Str(job.state.name().into())),
+            ("iteration", Value::Num(job.iteration as f64)),
+            ("iterations_total", Value::Num(job.spec.iterations as f64)),
+            ("wall_seconds", Value::Num(job.wall_seconds)),
+            (
+                "train_seconds",
+                Value::Num(job.run.as_ref().map_or(0.0, |r| r.train_seconds)),
+            ),
+            ("has_checkpoint", Value::Bool(job.run.is_some())),
+        ];
+        match &job.state {
+            JobState::Failed(msg) | JobState::Evicted(msg) => {
+                fields.push(("error", Value::Str(msg.clone())));
+            }
+            _ => {}
+        }
+        if let Some(loss) = job.last_loss {
+            fields.push(("last_train_loss", Value::Num(loss)));
+        }
+        let stages = sgm_train::Stage::ALL
+            .iter()
+            .map(|s| {
+                (
+                    s.name().to_string(),
+                    obj([
+                        ("ns", Value::Num(job.stage_ns[s.index()] as f64)),
+                        ("count", Value::Num(job.stage_counts[s.index()] as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        fields.push(("stages", Value::Obj(stages)));
+        fields.push(("metrics", job.scope.json_value()));
+        obj(fields)
+    })
+}

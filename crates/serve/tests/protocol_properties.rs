@@ -1,0 +1,250 @@
+//! Protocol property suite: seeded fuzz of the HTTP parser and the job
+//! JSON schema, in memory and through real sockets.
+//!
+//! The server's contract under hostile input is threefold: respond 4xx
+//! (never panic), never close a started request without a response, and
+//! never leak a connection thread. The socket sweep drives mutated
+//! requests at a live server and then proves all three — including the
+//! open-connection gauge returning to its baseline.
+
+use sgm_json::Value;
+use sgm_linalg::rng::Rng64;
+use sgm_serve::server::CONNECTIONS_OPEN;
+use sgm_serve::{client, JobSpec, ServeConfig, Server};
+use sgm_testkit::sweep::Sweep;
+use std::io::BufReader;
+use std::time::{Duration, Instant};
+
+const VALID_SUBMIT: &[u8] =
+    b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 15\r\n\r\n{\"tenant\": \"a\"}";
+
+/// One fuzzed request: a mutation recipe applied to a valid submit.
+#[derive(Debug, Clone)]
+struct FuzzCase {
+    bytes: Vec<u8>,
+}
+
+fn gen_case(rng: &mut Rng64) -> FuzzCase {
+    let mut bytes = VALID_SUBMIT.to_vec();
+    match rng.below(8) {
+        // Truncate anywhere (headers or body).
+        0 => bytes.truncate(rng.below(bytes.len())),
+        // Flip a byte.
+        1 => {
+            let i = rng.below(bytes.len());
+            bytes[i] = (rng.below(256)) as u8;
+        }
+        // Invalid content-length values.
+        2 => {
+            let cl = ["-1", "abc", "1e9", "999999999999999999999999", "2,2", ""];
+            let v = cl[rng.below(cl.len())];
+            bytes = format!("POST /jobs HTTP/1.1\r\nContent-Length: {v}\r\n\r\n{{}}").into_bytes();
+        }
+        // Oversized single header.
+        3 => {
+            let n = 1 + rng.below(64 * 1024);
+            bytes =
+                format!("GET /healthz HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(n)).into_bytes();
+        }
+        // Too many headers.
+        4 => {
+            let mut s = String::from("GET /healthz HTTP/1.1\r\n");
+            for i in 0..(1 + rng.below(200)) {
+                s.push_str(&format!("X-{i}: v\r\n"));
+            }
+            s.push_str("\r\n");
+            bytes = s.into_bytes();
+        }
+        // Declared length longer than the sent body (truncated upload).
+        5 => {
+            let declared = 16 + rng.below(64);
+            bytes =
+                format!("POST /jobs HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n{{\"tenant\"")
+                    .into_bytes();
+        }
+        // Pure binary garbage.
+        6 => {
+            bytes = (0..1 + rng.below(128))
+                .map(|_| rng.below(256) as u8)
+                .collect();
+        }
+        // Malformed request lines.
+        7 => {
+            let lines = [
+                "GARBAGE\r\n\r\n",
+                "GET\r\n\r\n",
+                "GET /x HTTP/9.9\r\n\r\n",
+                "get /x HTTP/1.1\r\n\r\n",
+                "GET x HTTP/1.1\r\n\r\n",
+                "GET /x HTTP/1.1 extra\r\n\r\n",
+                "POST /jobs HTTP/1.1\r\nNoColonHere\r\n\r\n",
+                "POST /jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            ];
+            bytes = lines[rng.below(lines.len())].as_bytes().to_vec();
+        }
+        _ => unreachable!(),
+    }
+    FuzzCase { bytes }
+}
+
+fn shrink_case(c: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    if c.bytes.len() > 1 {
+        out.push(FuzzCase {
+            bytes: c.bytes[..c.bytes.len() / 2].to_vec(),
+        });
+        out.push(FuzzCase {
+            bytes: c.bytes[..c.bytes.len() - 1].to_vec(),
+        });
+    }
+    out
+}
+
+#[test]
+fn parser_never_panics_and_maps_errors_to_4xx() {
+    Sweep::new(0x005e_2101, 400).run(gen_case, shrink_case, |case| {
+        let mut reader = BufReader::new(&case.bytes[..]);
+        // A panic inside read_request is converted to Err by the sweep
+        // harness and fails the property.
+        match sgm_serve::http::read_request(&mut reader, &Default::default()) {
+            Ok(_) => Ok(()),
+            Err(e) => match e.status() {
+                None => Ok(()), // closed/broken: no response owed
+                Some((status, _)) if (400..500).contains(&status) => Ok(()),
+                Some((status, msg)) => {
+                    Err(format!("non-4xx status {status} ({msg}) for parse error"))
+                }
+            },
+        }
+    });
+}
+
+/// Random JSON values aimed at the job schema: valid specs, wrong
+/// types, missing fields, deep junk. `from_json` must return `Err`,
+/// never panic.
+#[test]
+fn job_schema_never_panics_on_arbitrary_json() {
+    fn gen_value(rng: &mut Rng64, depth: usize) -> Value {
+        match if depth == 0 {
+            rng.below(4)
+        } else {
+            rng.below(6)
+        } {
+            0 => Value::Null,
+            1 => Value::Bool(rng.below(2) == 0),
+            2 => Value::Num(match rng.below(4) {
+                0 => 0.0,
+                1 => -1.5,
+                2 => 1e308,
+                _ => rng.below(1000) as f64,
+            }),
+            3 => Value::Str(["", "a", "uniform", "poisson-sine", "\u{1f600}"][rng.below(5)].into()),
+            4 => Value::Arr(
+                (0..rng.below(3))
+                    .map(|_| gen_value(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => {
+                let keys = [
+                    "tenant",
+                    "sampler",
+                    "iterations",
+                    "interior",
+                    "batch_interior",
+                    "lr",
+                    "synthetic_dt",
+                    "preset",
+                    "activation",
+                    "junk",
+                ];
+                Value::Obj(
+                    (0..rng.below(6))
+                        .map(|_| {
+                            (
+                                keys[rng.below(keys.len())].to_string(),
+                                gen_value(rng, depth - 1),
+                            )
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+    Sweep::new(0x005e_2102, 500).run(
+        |rng| gen_value(rng, 3),
+        |_| Vec::new(),
+        |v| {
+            // Ok or Err both fine; only a panic (captured by the
+            // harness) fails the property.
+            let _ = JobSpec::from_json(v);
+            Ok(())
+        },
+    );
+}
+
+fn wait_gauge_zero(deadline: Duration) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if CONNECTIONS_OPEN.value() == 0.0 {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// The socket-level property: every non-empty fuzzed request gets an
+/// HTTP response (4xx for the malformed ones), the server stays live
+/// throughout, and no connection thread outlives its request.
+#[test]
+fn fuzzed_sockets_get_responses_and_leak_no_threads() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        read_timeout_ms: 500,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    Sweep::new(0x005e_2103, 120).run(gen_case, shrink_case, |case| {
+        let resp = client::request_raw(addr, &case.bytes).map_err(|e| format!("transport: {e}"))?;
+        match resp {
+            None if case.bytes.is_empty() => Ok(()),
+            None => Err("request dropped without a response".into()),
+            Some(r) if r.status < 500 => Ok(()),
+            Some(r) => Err(format!("server answered {}", r.status)),
+        }
+    });
+
+    // Liveness after the storm: a well-formed request still works and
+    // the job pipeline still runs.
+    let resp = client::request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(resp.status, 200);
+    let id = client::submit(
+        addr,
+        &JobSpec {
+            tenant: "after-fuzz".into(),
+            iterations: 6,
+            interior: 32,
+            boundary: 8,
+            batch_interior: 4,
+            batch_boundary: 2,
+            hidden_width: 4,
+            hidden_layers: 1,
+            record_every: 3,
+            ..JobSpec::default()
+        },
+    )
+    .expect("submit after fuzz");
+    let status = client::wait_settled(addr, id, Duration::from_secs(60)).expect("wait");
+    assert_eq!(status.req_str("state").unwrap(), "completed");
+
+    // No leaked connection threads: the open-connection gauge drains to
+    // zero once the last response is written.
+    assert!(
+        wait_gauge_zero(Duration::from_secs(10)),
+        "connection gauge stuck at {}",
+        CONNECTIONS_OPEN.value()
+    );
+    assert!(server.shutdown_and_join(), "threads leaked past shutdown");
+}

@@ -1,0 +1,199 @@
+//! Server fault injection: hostile clients and dying workers.
+//!
+//! Companion to `crates/core/tests/testkit_fault.rs` (which scripts
+//! faults into the background rebuild worker): here the faults hit the
+//! *server* — a client that vanishes mid-run, a slow-loris reader, and
+//! a worker thread that panics inside a training slice. In every case
+//! the server must apply its policy (evict/fail the affected job,
+//! answer 408, count the death) and stay fully live for other tenants.
+//!
+//! Thread-leak checks use each server's own connection tracker (via
+//! `shutdown_and_join`), not the global gauge, so tests can run in
+//! parallel.
+
+use sgm_serve::scheduler::WORKER_PANICS;
+use sgm_serve::{client, JobSpec, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn quick_spec(tenant: &str, iterations: usize) -> JobSpec {
+    JobSpec {
+        tenant: tenant.into(),
+        iterations,
+        interior: 64,
+        boundary: 16,
+        batch_interior: 8,
+        batch_boundary: 4,
+        hidden_width: 4,
+        hidden_layers: 1,
+        record_every: 5,
+        ..JobSpec::default()
+    }
+}
+
+#[test]
+fn client_disconnect_mid_run_does_not_kill_the_job() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        slice_iterations: 5,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let id = client::submit(addr, &quick_spec("ghost", 40)).expect("submit");
+
+    // A long-poll watcher that sends its request and vanishes without
+    // reading the response.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(
+            s,
+            "GET /jobs/{id}/wait?timeout_ms=30000 HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n"
+        )
+        .expect("write");
+        s.flush().ok();
+        // Dropped here: the server-side wait thread must notice the
+        // broken pipe (at response time) and exit, not wedge.
+    }
+
+    // The job is unaffected by its watcher dying.
+    let status = client::wait_settled(addr, id, Duration::from_secs(120)).expect("wait");
+    assert_eq!(status.req_str("state").unwrap(), "completed");
+    assert_eq!(status.req_usize("iteration").unwrap(), 40);
+    assert!(
+        server.shutdown_and_join(),
+        "disconnected watcher leaked its connection thread"
+    );
+}
+
+#[test]
+fn slow_loris_reader_gets_408_and_frees_its_thread() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        read_timeout_ms: 300,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Drip half a request line and stall past the read timeout.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(b"GET /healthz HT").expect("write");
+    s.flush().ok();
+    std::thread::sleep(Duration::from_millis(600));
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read 408");
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 408 "), "got: {text:?}");
+
+    // The server took no damage: normal requests still work.
+    let resp = client::request(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(resp.status, 200);
+    assert!(server.shutdown_and_join(), "slow-loris leaked its thread");
+}
+
+#[test]
+fn worker_panic_fails_only_the_faulted_job_and_is_counted() {
+    let before = WORKER_PANICS.value();
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        slice_iterations: 5,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut bad = quick_spec("faulty", 30);
+    bad.panic_at_iteration = Some(7); // mid second slice
+    let bad_id = client::submit(addr, &bad).expect("submit bad");
+    let good_ids: Vec<u64> = (0..3)
+        .map(|i| client::submit(addr, &quick_spec(&format!("ok-{i}"), 25)).expect("submit good"))
+        .collect();
+
+    let status = client::wait_settled(addr, bad_id, Duration::from_secs(120)).expect("wait bad");
+    assert_eq!(status.req_str("state").unwrap(), "failed");
+    let msg = status.req_str("error").unwrap();
+    assert!(msg.contains("panicked"), "error was {msg:?}");
+    assert!(
+        WORKER_PANICS.value() > before,
+        "worker death was not counted"
+    );
+
+    // The pool survived its member's panic: every other tenant's job
+    // still completes on the same two threads.
+    for id in good_ids {
+        let status = client::wait_settled(addr, id, Duration::from_secs(120)).expect("wait good");
+        assert_eq!(status.req_str("state").unwrap(), "completed", "job {id}");
+    }
+    // And the server still accepts new work after the death.
+    let late = client::submit(addr, &quick_spec("late", 10)).expect("submit late");
+    let status = client::wait_settled(addr, late, Duration::from_secs(120)).expect("wait late");
+    assert_eq!(status.req_str("state").unwrap(), "completed");
+
+    assert!(server.shutdown_and_join(), "threads leaked");
+}
+
+#[test]
+fn cancel_of_a_running_job_settles_at_a_slice_boundary() {
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        slice_iterations: 5,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    // Long enough (~5k slices) that the cancel below always lands
+    // mid-flight, far from both endpoints.
+    let id = client::submit(addr, &quick_spec("walkaway", 25_000)).expect("submit");
+    let t0 = std::time::Instant::now();
+    loop {
+        let status = client::request(addr, "GET", &format!("/jobs/{id}"), None)
+            .expect("status")
+            .json()
+            .expect("status json");
+        if status.req_usize("iteration").unwrap() >= 5 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(120),
+            "job never reached iteration 5"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let resp = client::request(addr, "POST", &format!("/jobs/{id}/cancel"), None).expect("cancel");
+    assert_eq!(resp.status, 200);
+    let status = client::wait_settled(addr, id, Duration::from_secs(120)).expect("wait");
+    assert_eq!(status.req_str("state").unwrap(), "cancelled");
+    let at = status.req_usize("iteration").unwrap();
+    assert!(
+        at > 0 && at < 25_000,
+        "cancelled at {at}, wanted mid-flight"
+    );
+    assert!(at.is_multiple_of(5), "settled off a slice boundary: {at}");
+    // The preemption left a resumable checkpoint behind.
+    assert!(status.req_bool("has_checkpoint").unwrap());
+    client::checkpoint(addr, id).expect("checkpoint after cancel");
+    assert!(server.shutdown_and_join());
+}
+
+#[test]
+fn missing_checkpoints_are_409_not_500() {
+    // A fault-adjacent edge: a job that dies before its first slice
+    // boundary has no checkpoint — downloading one must be a clean
+    // conflict, not an internal error.
+    let server = Server::start(ServeConfig::default()).expect("bind");
+    let addr = server.addr();
+    let mut spec = quick_spec("doomed", 30);
+    spec.panic_at_iteration = Some(0); // first refresh of the first slice
+    let id = client::submit(addr, &spec).expect("submit");
+    let status = client::wait_settled(addr, id, Duration::from_secs(120)).expect("wait");
+    assert_eq!(status.req_str("state").unwrap(), "failed");
+    assert!(!status.req_bool("has_checkpoint").unwrap());
+    let err = client::checkpoint(addr, id).expect_err("no checkpoint to download");
+    assert_eq!(err.0, 409, "{err:?}");
+    let err = client::checkpoint(addr, 999_999).expect_err("unknown job");
+    assert_eq!(err.0, 404, "{err:?}");
+    assert!(server.shutdown_and_join());
+}

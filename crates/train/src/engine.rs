@@ -87,6 +87,16 @@ impl Default for TrainOptions {
     }
 }
 
+/// Outcome of one preemptible segment (see [`Trainer::run_segment`]).
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Cumulative result so far (history includes restored records).
+    pub result: TrainResult,
+    /// Full run state at the `stop_after` boundary; `None` only when
+    /// the `max_seconds` budget expired before the boundary.
+    pub state: Option<RunState>,
+}
+
 /// Runs training with the given sampler.
 pub struct Trainer<'a> {
     /// The network being trained.
@@ -157,6 +167,56 @@ impl Trainer<'_> {
             .expect("fresh run cannot fail to restore")
             .1
             .expect("stopped before reaching stop_after (budget exhausted?)")
+    }
+
+    /// Runs one preemptible segment of a (possibly ongoing) run: from
+    /// `start` (or iteration 0 when `None`) up to and including
+    /// iteration `stop_after - 1`, then captures the full run state.
+    /// Chaining segments — each restoring the previous segment's state
+    /// into fresh net/sampler instances — reproduces an uninterrupted
+    /// [`Trainer::run`] bit-identically, which is what the job server
+    /// builds its run-N-iterations-then-yield scheduling on.
+    ///
+    /// The returned [`Segment::state`] is `Some` at the `stop_after`
+    /// boundary — including when `stop_after == opts.iterations`, so
+    /// the final segment still yields a downloadable checkpoint — and
+    /// `None` only when the `opts.max_seconds` budget expired before
+    /// the boundary was reached.
+    ///
+    /// # Errors
+    /// Returns a message when `stop_after` is outside
+    /// `1..=opts.iterations`, when `start` does not lie before
+    /// `stop_after`, or when the state does not match the network
+    /// architecture or the sampler.
+    ///
+    /// # Panics
+    /// Panics on bad batch sizes (as every entry point does).
+    pub fn run_segment(
+        &mut self,
+        sampler: &mut dyn Sampler,
+        validator: Option<&dyn Validator>,
+        opts: &TrainOptions,
+        hooks: &mut [&mut dyn Hook],
+        start: Option<&RunState>,
+        stop_after: usize,
+    ) -> Result<Segment, String> {
+        if stop_after == 0 || stop_after > opts.iterations {
+            return Err(format!(
+                "stop_after {stop_after} outside 1..={}",
+                opts.iterations
+            ));
+        }
+        if let Some(st) = start {
+            if st.iteration >= stop_after {
+                return Err(format!(
+                    "state is already at iteration {}, past stop_after {stop_after}",
+                    st.iteration
+                ));
+            }
+        }
+        let (result, state) =
+            self.run_core(sampler, validator, opts, hooks, start, Some(stop_after))?;
+        Ok(Segment { result, state })
     }
 
     /// Resumes a run captured by [`Trainer::run_until`] (or a
@@ -990,6 +1050,81 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "case {case}");
             }
         }
+    }
+
+    #[test]
+    fn chained_segments_match_uninterrupted_run() {
+        // Slice the run into uneven segments through fresh net/sampler
+        // instances each time (the server's scheduling pattern) and
+        // compare against one uninterrupted run, bit for bit.
+        let o = opts(60);
+        let (mut net_a, model) = setup(47);
+        let mut sampler_a = UniformSampler::new(model.num_interior());
+        let full = Trainer {
+            net: &mut net_a,
+            model: &model,
+        }
+        .run(&mut sampler_a, None, &o);
+
+        let mut state: Option<RunState> = None;
+        let mut last = None;
+        for stop in [7usize, 8, 31, 60] {
+            let (mut net, _) = setup(47);
+            let mut sampler = UniformSampler::new(model.num_interior());
+            let seg = Trainer {
+                net: &mut net,
+                model: &model,
+            }
+            .run_segment(&mut sampler, None, &o, &mut [], state.as_ref(), stop)
+            .unwrap();
+            let st = seg.state.expect("segment boundary state");
+            assert_eq!(st.iteration, stop);
+            // Round-trip through JSON, as the server's checkpoint
+            // download / warm-resume path does.
+            state = Some(RunState::from_json(&st.to_json().unwrap()).unwrap());
+            last = Some((seg.result, net));
+        }
+        let (result, net) = last.unwrap();
+        assert_eq!(full.history.len(), result.history.len());
+        for (a, b) in full.history.iter().zip(&result.history) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.train_loss.to_bits(), b.train_loss.to_bits());
+        }
+        for (a, b) in net_a.params().iter().zip(&net.params()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The final segment (stop_after == iterations) still yields a
+        // checkpoint at the end of the run.
+        assert_eq!(state.unwrap().iteration, 60);
+    }
+
+    #[test]
+    fn run_segment_rejects_bad_boundaries() {
+        let o = opts(20);
+        let (mut net, model) = setup(48);
+        let mut sampler = UniformSampler::new(model.num_interior());
+        let mut t = Trainer {
+            net: &mut net,
+            model: &model,
+        };
+        assert!(t
+            .run_segment(&mut sampler, None, &o, &mut [], None, 0)
+            .is_err());
+        assert!(t
+            .run_segment(&mut sampler, None, &o, &mut [], None, 21)
+            .is_err());
+        let seg = t
+            .run_segment(&mut sampler, None, &o, &mut [], None, 10)
+            .unwrap();
+        let st = seg.state.unwrap();
+        // A boundary at or before the state's iteration is an error,
+        // not a panic — the server feeds client-controlled values here.
+        let mut s2 = UniformSampler::new(model.num_interior());
+        let err = t
+            .run_segment(&mut s2, None, &o, &mut [], Some(&st), 10)
+            .unwrap_err();
+        assert!(err.contains("past stop_after"), "{err}");
     }
 
     #[test]

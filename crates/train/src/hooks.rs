@@ -36,6 +36,17 @@ impl Stage {
     /// Number of stages.
     pub const COUNT: usize = 7;
 
+    /// All stages in execution order (`ALL[s.index()] == s`).
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Refresh,
+        Stage::Adapt,
+        Stage::Draw,
+        Stage::Gather,
+        Stage::LossGrad,
+        Stage::Step,
+        Stage::Record,
+    ];
+
     /// Dense index (execution order).
     pub fn index(self) -> usize {
         match self {

@@ -42,7 +42,7 @@ pub mod result;
 pub mod runstate;
 pub mod sampler;
 
-pub use engine::{TrainOptions, Trainer};
+pub use engine::{Segment, TrainOptions, Trainer};
 pub use hooks::{Hook, Stage, StageTimes};
 pub use model::{LossModel, ModelWorkspace, Validator};
 pub use obs::ObsHook;

@@ -1,0 +1,59 @@
+//! Quickstart for the job server: start a server in-process, submit a
+//! few jobs from two tenants over real sockets, watch them finish, and
+//! download a checkpoint.
+//!
+//! ```sh
+//! cargo run --release -p sgm-serve --example serve_quickstart
+//! ```
+
+use sgm_serve::{client, JobSpec, ServeConfig, Server};
+use std::time::Duration;
+
+fn main() {
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        slice_iterations: 10,
+        ..ServeConfig::from_env()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    println!("serving on http://{addr}");
+
+    let mut ids = Vec::new();
+    for (tenant, sampler) in [("alice", "mis"), ("alice", "uniform"), ("bob", "rad")] {
+        let spec = JobSpec {
+            tenant: tenant.into(),
+            sampler: sampler.into(),
+            iterations: 60,
+            interior: 128,
+            boundary: 32,
+            batch_interior: 16,
+            batch_boundary: 8,
+            validation_grid: 8,
+            record_every: 20,
+            ..JobSpec::default()
+        };
+        let id = client::submit(addr, &spec).expect("submit");
+        println!("submitted {tenant}/{sampler} as job {id}");
+        ids.push(id);
+    }
+
+    for id in ids {
+        let status = client::wait_settled(addr, id, Duration::from_secs(120)).expect("wait");
+        println!(
+            "job {id}: {} at iteration {} (loss {:.3e})",
+            status.req_str("state").unwrap(),
+            status.req_usize("iteration").unwrap(),
+            status.req_f64("last_train_loss").unwrap_or(f64::NAN),
+        );
+        assert_eq!(status.req_str("state").unwrap(), "completed");
+        let ckpt = client::checkpoint(addr, id).expect("checkpoint");
+        println!(
+            "job {id}: checkpoint is {} bytes of RunState JSON",
+            ckpt.len()
+        );
+    }
+
+    assert!(server.shutdown_and_join(), "connection threads drained");
+    println!("server drained cleanly");
+}

@@ -1,7 +1,7 @@
 #!/bin/bash
 # Regenerates every experiment artifact sequentially (single-core safe).
 #
-# Usage: ./run_experiments.sh [--quick|--samplers-quick]
+# Usage: ./run_experiments.sh [--quick|--samplers-quick|--serve-quick]
 #   --quick           smoke mode: tiny wall budgets + bench dry-run, just
 #                     proves the whole pipeline still executes end to end.
 #   --samplers-quick  only the sampler bake-off tier: the cross-sampler ×
@@ -10,7 +10,29 @@
 #                     sampler_overhead bench group diffed with
 #                     bench_diff --strict (idle adapt stage must cost
 #                     within noise of a draw-only engine run).
+#   --serve-quick     smoke the job server: 25 quickstart-sized jobs from
+#                     4 tenants through real sockets (fairness +
+#                     backpressure asserted in-binary), telemetry
+#                     schema-checked by validate_telemetry.
 cd /root/repo
+if [ "$1" = "--serve-quick" ]; then
+    set -x
+    cargo build --release -p sgm-serve -p sgm-testkit 2>&1 | tail -3
+    mkdir -p target
+    SERVE_LOG="$PWD/target/serve_quick.jsonl"
+    # The load test exits non-zero on any dropped connection, unfair
+    # tenant split, or missing backpressure. At smoke scale (~6 jobs
+    # per tenant in ~50 ms) the throughput ratio is dominated by timing
+    # noise, so the fairness bound is loosened here; the real ≤3x gate
+    # runs on the 200-job CI tier and the 1000-job acceptance test.
+    cargo run --release -p sgm-serve --bin load_test -- \
+        --jobs 25 --tenants 4 --workers 2 --queue-depth 8 --max-jobs 16 \
+        --fairness-max 25 --out "$SERVE_LOG" || exit 1
+    cargo run --release -p sgm-testkit --bin validate_telemetry -- "$SERVE_LOG" \
+        --require-metric sgm_serve_jobs_completed_total --min-records 25 || exit 1
+    echo "SERVE_QUICK_COMPLETE"
+    exit 0
+fi
 if [ "$1" = "--samplers-quick" ]; then
     set -x
     cargo build --release -p sgm-bench 2>&1 | tail -3
