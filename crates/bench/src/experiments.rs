@@ -483,6 +483,10 @@ fn capture_telemetry(suite: &str, scale: &Scale, run: &MethodRun) {
     log.meta("label", Value::Str(run.label.clone()));
     log.meta("budget_seconds", Value::Num(scale.budget_seconds));
     log.meta("iterations", Value::Num(run.iterations_done as f64));
+    log.meta(
+        "simd_tier",
+        Value::Str(sgm_linalg::simd::detected_tier().name().to_string()),
+    );
     for r in &run.result.history {
         log.push_record(RunRecord {
             iteration: r.iteration,

@@ -539,22 +539,31 @@ pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
 }
 
 /// Blocked kernel over one horizontal band of `c`, dispatched on the
-/// SIMD tier: the AVX2 variant vectorises the innermost j loop 4-wide
-/// (FMA, ascending-k update order preserved), the scalar variant is the
-/// original register-tiled kernel. Both keep per-element accumulation
-/// order independent of the band split, so parallelism stays
-/// bit-invariant within either tier.
+/// SIMD tier: the AVX-512 and AVX2 variants vectorise the innermost j
+/// loop 8- resp. 4-wide (FMA, ascending-k update order preserved), the
+/// scalar variant is the original register-tiled kernel. All keep
+/// per-element accumulation order independent of the band split, so
+/// parallelism stays bit-invariant within any tier.
 fn gemm_band(alpha: f64, a: &Matrix, b: &Matrix, row0: usize, cband: &mut [f64]) {
     #[cfg(target_arch = "x86_64")]
-    if crate::simd::current_tier() == crate::simd::SimdTier::Avx2 {
-        // SAFETY: the AVX2 tier is only selected when AVX2+FMA are
-        // available; shapes are validated by the `gemm` entry point.
-        unsafe {
-            crate::simd::gemm_band_avx2(
-                alpha, &a.data, a.cols, &b.data, b.cols, GEMM_KC, row0, cband,
-            )
-        };
-        return;
+    // SAFETY: a vector tier is only selected when its CPU features are
+    // available; shapes are validated by the `gemm` entry point.
+    match crate::simd::current_tier() {
+        crate::simd::SimdTier::Avx512 => {
+            return unsafe {
+                crate::simd::gemm_band_avx512(
+                    alpha, &a.data, a.cols, &b.data, b.cols, GEMM_KC, row0, cband,
+                )
+            };
+        }
+        crate::simd::SimdTier::Avx2 => {
+            return unsafe {
+                crate::simd::gemm_band_avx2(
+                    alpha, &a.data, a.cols, &b.data, b.cols, GEMM_KC, row0, cband,
+                )
+            };
+        }
+        crate::simd::SimdTier::Scalar => {}
     }
     gemm_band_scalar(alpha, a, b, row0, cband)
 }

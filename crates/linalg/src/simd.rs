@@ -1,32 +1,39 @@
 //! Runtime-dispatched SIMD kernels for the workspace's hot loops.
 //!
-//! Every kernel exists in two implementations — a portable unrolled
-//! scalar fallback and an AVX2+FMA `f64×4` version built on
-//! `core::arch::x86_64` intrinsics — selected at runtime by a *dispatch
-//! tier* ([`SimdTier`]). The tier is resolved once from the `SGM_SIMD`
-//! environment variable (`auto` / `avx2` / `scalar`, mirroring
-//! `SGM_NUM_THREADS`) plus `is_x86_feature_detected!`, and can be forced
-//! programmatically with [`with_tier`] for tests and benches.
+//! Every kernel exists in up to three implementations — a portable
+//! unrolled scalar fallback, an AVX2+FMA `f64×4` version, and an
+//! AVX-512 `f64×8` version built on `core::arch::x86_64` intrinsics —
+//! selected at runtime by a *dispatch tier* ([`SimdTier`]). The tier is
+//! resolved once from the `SGM_SIMD` environment variable (`auto` /
+//! `avx512` / `avx2` / `scalar`, mirroring `SGM_NUM_THREADS`) plus
+//! `is_x86_feature_detected!`, and can be forced programmatically with
+//! [`with_tier`] for tests and benches.
 //!
 //! ## Determinism tiers
 //!
 //! Results are **bit-identical within a tier**: for a fixed tier every
 //! kernel is a pure function of its inputs — lane grouping and reduction
 //! trees depend only on input lengths, never on thread count or timing.
-//! *Across* tiers, results may differ by FMA rounding (the AVX2 kernels
-//! contract `a*b + c` into one rounding where the scalar tier performs
-//! two). For reductions of `n` terms the divergence is bounded by
-//! `O(n·ε)` relative to the term-magnitude sum — the testkit oracle
-//! sweeps (`crates/testkit/tests/simd_oracles.rs`) pin it below `1e-12`.
+//! *Across* tiers, results may differ by FMA rounding (the AVX2 and
+//! AVX-512 kernels contract `a*b + c` into one rounding where the
+//! scalar tier performs two) and, for reductions, by the lane-fold
+//! association (4- vs 8-lane partial sums). For reductions of `n` terms
+//! the divergence is bounded by `O(n·ε)` relative to the term-magnitude
+//! sum — the testkit oracle sweeps
+//! (`crates/testkit/tests/simd_oracles.rs`) pin it below `1e-12`.
 //!
-//! Reduction kernels ([`dot`], [`dist2`]) accumulate in four
-//! index-strided partial sums (lane `j` holds elements `i ≡ j mod 4`)
-//! folded as `(s0+s2) + (s1+s3)` with a sequential scalar tail, in both
-//! tiers, so the only cross-tier difference is the FMA contraction
-//! itself. Elementwise kernels ([`axpy`], [`scale`], [`add_assign`],
-//! [`hadamard`], [`adam_update`], the activation combines) are
-//! position-independent, so chunked parallel callers get bit-identical
-//! results for every thread count automatically.
+//! Reduction kernels ([`dot`], [`dist2`]) accumulate in index-strided
+//! partial sums (one per vector lane) folded pairwise with a sequential
+//! scalar tail. Elementwise kernels ([`axpy`], [`scale`],
+//! [`add_assign`], [`hadamard`], [`adam_update`], the activation
+//! combines) are **position-independent within a tier**: the FMA tiers'
+//! remainder tails replay the exact per-element lane computation with
+//! scalar FMAs (`f64::mul_add`), so an element's result never depends
+//! on where it sits relative to a vector-width boundary. Chunked
+//! parallel callers and the batched multi-model kernels
+//! ([`bgemm_accum`], [`adam_update_multi`]) rely on this to get
+//! bit-identical results for every thread count and batch regrouping
+//! automatically.
 
 #[cfg(target_arch = "x86_64")]
 use std::arch::x86_64::*;
@@ -41,13 +48,28 @@ pub enum SimdTier {
     Scalar,
     /// AVX2 + FMA `f64×4` kernels (x86-64 only).
     Avx2,
+    /// AVX-512F `f64×8` kernels (x86-64 only).
+    Avx512,
 }
 
 impl SimdTier {
-    fn code(self) -> u8 {
+    /// Stable numeric id for telemetry gauges and the forced-tier
+    /// atomic: Scalar = 1, Avx2 = 2, Avx512 = 3.
+    pub fn code(self) -> u8 {
         match self {
             SimdTier::Scalar => 1,
             SimdTier::Avx2 => 2,
+            SimdTier::Avx512 => 3,
+        }
+    }
+
+    /// Lower-case tier name as accepted by `SGM_SIMD` (`scalar`,
+    /// `avx2`, `avx512`) — used verbatim in run telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
         }
     }
 }
@@ -68,17 +90,45 @@ pub fn avx2_available() -> bool {
     }
 }
 
+/// True when the host supports the AVX-512 tier. AVX-512F is the gate
+/// for the `f64×8` kernels; AVX2+FMA is required too because the wide
+/// kernels' remainder tails reuse the AVX2 scalar-FMA helpers (every
+/// AVX-512F part ships both).
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| std::arch::is_x86_feature_detected!("avx512f") && avx2_available())
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// The tier resolved from the environment (read once, at first use):
 /// `SGM_SIMD=scalar` forces the fallback, `SGM_SIMD=avx2` demands the
-/// AVX2 tier (panicking if the host lacks it), `auto`/unset/invalid
-/// picks AVX2 when available and scalar otherwise.
+/// AVX2 tier (panicking if the host lacks it), `SGM_SIMD=avx512`
+/// *requests* the AVX-512 tier but silently degrades to AVX2 then
+/// scalar when the host lacks it (so one config can roll across a
+/// heterogeneous fleet), `auto`/unset/invalid picks the widest
+/// available tier.
 pub fn detected_tier() -> SimdTier {
     static DETECTED: OnceLock<SimdTier> = OnceLock::new();
     *DETECTED.get_or_init(|| {
         /// Resolved dispatch tier as a gauge (Scalar = 1, Avx2 = 2,
-        /// matching `SimdTier::code`), so run telemetry records which
-        /// kernels a run actually executed.
+        /// Avx512 = 3, matching `SimdTier::code`), so run telemetry
+        /// records which kernels a run actually executed.
         static SIMD_TIER: sgm_obs::Gauge = sgm_obs::Gauge::new("sgm_simd_tier");
+        let widest = || {
+            if avx512_available() {
+                SimdTier::Avx512
+            } else if avx2_available() {
+                SimdTier::Avx2
+            } else {
+                SimdTier::Scalar
+            }
+        };
         let tier = match std::env::var("SGM_SIMD").as_deref().map(str::trim) {
             Ok("scalar") => SimdTier::Scalar,
             Ok("avx2") => {
@@ -88,15 +138,12 @@ pub fn detected_tier() -> SimdTier {
                 );
                 SimdTier::Avx2
             }
+            // avx512 is a *request*, not a demand: hosts without it run
+            // the widest tier they do have instead of aborting.
+            Ok("avx512") => widest(),
             // `auto`, unset and unrecognised values all auto-detect,
             // mirroring SGM_NUM_THREADS's lenient parsing.
-            _ => {
-                if avx2_available() {
-                    SimdTier::Avx2
-                } else {
-                    SimdTier::Scalar
-                }
-            }
+            _ => widest(),
         };
         SIMD_TIER.set(tier.code() as f64);
         tier
@@ -115,14 +162,18 @@ pub fn current_tier() -> SimdTier {
     match FORCED.load(Ordering::Relaxed) {
         1 => SimdTier::Scalar,
         2 => SimdTier::Avx2,
+        3 => SimdTier::Avx512,
         _ => detected_tier(),
     }
 }
 
-/// Every tier the host can execute (scalar always; AVX2 when available).
-/// Tests iterate this to cover both dispatch paths wherever possible.
+/// Every tier the host can execute (scalar always; AVX2/AVX-512 when
+/// available). Tests iterate this to cover every dispatch path the host
+/// can actually run.
 pub fn available_tiers() -> &'static [SimdTier] {
-    if avx2_available() {
+    if avx512_available() {
+        &[SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512]
+    } else if avx2_available() {
         &[SimdTier::Scalar, SimdTier::Avx2]
     } else {
         &[SimdTier::Scalar]
@@ -140,11 +191,16 @@ pub fn available_tiers() -> &'static [SimdTier] {
 /// with this function.
 ///
 /// # Panics
-/// Panics if `tier` is [`SimdTier::Avx2`] on a host without AVX2+FMA.
+/// Panics if `tier` is [`SimdTier::Avx2`] on a host without AVX2+FMA,
+/// or [`SimdTier::Avx512`] on a host without AVX-512F.
 pub fn with_tier<R>(tier: SimdTier, f: impl FnOnce() -> R) -> R {
     assert!(
         tier != SimdTier::Avx2 || avx2_available(),
         "cannot force the AVX2 tier: host lacks AVX2+FMA"
+    );
+    assert!(
+        tier != SimdTier::Avx512 || avx512_available(),
+        "cannot force the AVX-512 tier: host lacks AVX-512F"
     );
     let _guard = FORCE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     struct Restore(u8);
@@ -157,17 +213,10 @@ pub fn with_tier<R>(tier: SimdTier, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-#[inline]
-fn use_avx2() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        current_tier() == SimdTier::Avx2
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
-}
+// Per-kernel dispatch is an explicit `match current_tier()` on x86-64;
+// on other architectures only the scalar tier exists (the availability
+// probes return false and `with_tier` rejects the vector tiers), so the
+// scalar body is the whole kernel.
 
 // ---------------------------------------------------------------------------
 // Reductions
@@ -181,10 +230,12 @@ fn use_avx2() -> bool {
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: the AVX2 tier is only selected when AVX2+FMA are
-        // available (checked in detected_tier / with_tier).
-        return unsafe { dot_avx2(a, b) };
+    // SAFETY: vector tiers are only selected when the corresponding
+    // CPU features are available (checked in detected_tier / with_tier).
+    match current_tier() {
+        SimdTier::Avx512 => return unsafe { dot_avx512(a, b) },
+        SimdTier::Avx2 => return unsafe { dot_avx2(a, b) },
+        SimdTier::Scalar => {}
     }
     dot_scalar(a, b)
 }
@@ -248,9 +299,11 @@ unsafe fn hsum(v: __m256d) -> f64 {
 pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dist2 length mismatch");
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        return unsafe { dist2_avx2(a, b) };
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => return unsafe { dist2_avx512(a, b) },
+        SimdTier::Avx2 => return unsafe { dist2_avx2(a, b) },
+        SimdTier::Scalar => {}
     }
     dist2_scalar(a, b)
 }
@@ -320,10 +373,11 @@ pub fn dist2_batch(points: &[f64], dim: usize, q: &[f64], out: &mut [f64]) {
     assert_eq!(q.len(), dim, "dist2_batch query dim");
     assert_eq!(points.len(), out.len() * dim, "dist2_batch cloud shape");
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { dist2_batch_avx2(points, dim, q, out) };
-        return;
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => return unsafe { dist2_batch_avx512(points, dim, q, out) },
+        SimdTier::Avx2 => return unsafe { dist2_batch_avx2(points, dim, q, out) },
+        SimdTier::Scalar => {}
     }
     for (j, o) in out.iter_mut().enumerate() {
         *o = dist2_point_scalar(&points[j * dim..(j + 1) * dim], q);
@@ -453,11 +507,15 @@ pub fn spmv(row_ptr: &[usize], col_idx: &[u32], values: &[f64], x: &[f64], y: &m
     assert_eq!(y.len() + 1, row_ptr.len(), "spmv row count");
     debug_assert_eq!(col_idx.len(), values.len());
     #[cfg(target_arch = "x86_64")]
-    // The gather treats indices as i32, so huge column spaces fall back.
-    if use_avx2() && x.len() <= i32::MAX as usize {
-        // SAFETY: AVX2 tier implies AVX2+FMA support; indices fit i32.
-        unsafe { spmv_avx2(row_ptr, col_idx, values, x, y) };
-        return;
+    // The gathers treat indices as i32, so huge column spaces fall back.
+    if x.len() <= i32::MAX as usize {
+        // SAFETY: each vector tier implies its CPU features are
+        // available; indices fit i32.
+        match current_tier() {
+            SimdTier::Avx512 => return unsafe { spmv_avx512(row_ptr, col_idx, values, x, y) },
+            SimdTier::Avx2 => return unsafe { spmv_avx2(row_ptr, col_idx, values, x, y) },
+            SimdTier::Scalar => {}
+        }
     }
     for (r, yr) in y.iter_mut().enumerate() {
         let mut s = 0.0;
@@ -505,10 +563,11 @@ unsafe fn spmv_avx2(row_ptr: &[usize], col_idx: &[u32], values: &[f64], x: &[f64
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { axpy_avx2(alpha, x, y) };
-        return;
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => return unsafe { axpy_avx512(alpha, x, y) },
+        SimdTier::Avx2 => return unsafe { axpy_avx2(alpha, x, y) },
+        SimdTier::Scalar => {}
     }
     for (yv, xv) in y.iter_mut().zip(x) {
         *yv += alpha * xv;
@@ -528,8 +587,10 @@ unsafe fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
         _mm256_storeu_pd(py.add(i), yv);
         i += 4;
     }
+    // Scalar-FMA tail: same single-rounding `fma(alpha, x, y)` as the
+    // lanes, so results are independent of position within the slice.
     while i < n {
-        y[i] += alpha * x[i];
+        y[i] = alpha.mul_add(x[i], y[i]);
         i += 1;
     }
 }
@@ -539,10 +600,11 @@ unsafe fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
 #[inline]
 pub fn scale(x: &mut [f64], s: f64) {
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { scale_avx2(x, s) };
-        return;
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => return unsafe { scale_avx512(x, s) },
+        SimdTier::Avx2 => return unsafe { scale_avx2(x, s) },
+        SimdTier::Scalar => {}
     }
     for v in x {
         *v *= s;
@@ -574,10 +636,11 @@ unsafe fn scale_avx2(x: &mut [f64], s: f64) {
 pub fn add_assign(y: &mut [f64], x: &[f64]) {
     assert_eq!(x.len(), y.len(), "add_assign length mismatch");
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { add_assign_avx2(y, x) };
-        return;
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => return unsafe { add_assign_avx512(y, x) },
+        SimdTier::Avx2 => return unsafe { add_assign_avx2(y, x) },
+        SimdTier::Scalar => {}
     }
     for (yv, xv) in y.iter_mut().zip(x) {
         *yv += xv;
@@ -615,10 +678,14 @@ pub fn transpose(src: &[f64], rows: usize, cols: usize, dst: &mut [f64]) {
     assert!(src.len() >= rows * cols, "transpose src length");
     assert!(dst.len() >= rows * cols, "transpose dst length");
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { transpose_avx2(src, rows, cols, dst) };
-        return;
+    // Pure data movement, bit-identical everywhere: the AVX-512 tier
+    // reuses the 4×4 shuffle kernel (wider blocks buy nothing here).
+    // SAFETY: both vector tiers imply AVX2 support.
+    match current_tier() {
+        SimdTier::Avx512 | SimdTier::Avx2 => {
+            return unsafe { transpose_avx2(src, rows, cols, dst) }
+        }
+        SimdTier::Scalar => {}
     }
     for r in 0..rows {
         for c in 0..cols {
@@ -685,10 +752,11 @@ pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
     assert_eq!(a.len(), b.len(), "hadamard length mismatch");
     assert_eq!(a.len(), out.len(), "hadamard output length");
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { hadamard_avx2(a, b, out) };
-        return;
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => return unsafe { hadamard_avx512(a, b, out) },
+        SimdTier::Avx2 => return unsafe { hadamard_avx2(a, b, out) },
+        SimdTier::Scalar => {}
     }
     for ((o, av), bv) in out.iter_mut().zip(a).zip(b) {
         *o = av * bv;
@@ -743,10 +811,15 @@ pub fn adam_update(
         "adam_update length mismatch"
     );
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { adam_update_avx2(p, g, m, v, b1, b2, bc1, bc2, lr, eps) };
-        return;
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => {
+            return unsafe { adam_update_avx512(p, g, m, v, b1, b2, bc1, bc2, lr, eps) }
+        }
+        SimdTier::Avx2 => {
+            return unsafe { adam_update_avx2(p, g, m, v, b1, b2, bc1, bc2, lr, eps) }
+        }
+        SimdTier::Scalar => {}
     }
     for i in 0..n {
         m[i] = b1 * m[i] + (1.0 - b1) * g[i];
@@ -796,9 +869,11 @@ unsafe fn adam_update_avx2(
         _mm256_storeu_pd(pp.add(i), _mm256_sub_pd(_mm256_loadu_pd(pp.add(i)), step));
         i += 4;
     }
+    // Scalar-FMA tail replaying the exact lane computation, so an
+    // element's update is independent of its position in the slice.
     while i < n {
-        m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-        v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+        m[i] = b1.mul_add(m[i], (1.0 - b1) * g[i]);
+        v[i] = b2.mul_add(v[i], ((1.0 - b2) * g[i]) * g[i]);
         let mh = m[i] / bc1;
         let vh = v[i] / bc2;
         p[i] -= lr * mh / (vh.sqrt() + eps);
@@ -831,10 +906,11 @@ pub fn act_fwd_jh(
         "act_fwd_jh length mismatch"
     );
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { act_fwd_jh_avx2(s1, s2, zj, zh, j_out, h_out) };
-        return;
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => return unsafe { act_fwd_jh_avx512(s1, s2, zj, zh, j_out, h_out) },
+        SimdTier::Avx2 => return unsafe { act_fwd_jh_avx2(s1, s2, zj, zh, j_out, h_out) },
+        SimdTier::Scalar => {}
     }
     for i in 0..n {
         j_out[i] = s1[i] * zj[i];
@@ -866,9 +942,10 @@ unsafe fn act_fwd_jh_avx2(
         _mm256_storeu_pd(pho.add(i), h);
         i += 4;
     }
+    // Scalar-FMA tail replaying the lane computation exactly.
     while i < n {
         j_out[i] = s1[i] * zj[i];
-        h_out[i] = s2[i] * zj[i] * zj[i] + s1[i] * zh[i];
+        h_out[i] = (s2[i] * zj[i]).mul_add(zj[i], s1[i] * zh[i]);
         i += 1;
     }
 }
@@ -911,10 +988,15 @@ pub fn act_bwd_accum(
         "act_bwd_accum length mismatch"
     );
     #[cfg(target_arch = "x86_64")]
-    if use_avx2() {
-        // SAFETY: AVX2 tier implies AVX2+FMA support.
-        unsafe { act_bwd_accum_avx2(s1, s2, s3, zj, zh, gj, gh, gz, gzj, gzh) };
-        return;
+    // SAFETY: each vector tier implies its CPU features are available.
+    match current_tier() {
+        SimdTier::Avx512 => {
+            return unsafe { act_bwd_accum_avx512(s1, s2, s3, zj, zh, gj, gh, gz, gzj, gzh) }
+        }
+        SimdTier::Avx2 => {
+            return unsafe { act_bwd_accum_avx2(s1, s2, s3, zj, zh, gj, gh, gz, gzj, gzh) }
+        }
+        SimdTier::Scalar => {}
     }
     for i in 0..n {
         gz[i] += gj[i] * s2[i] * zj[i] + gh[i] * (s3[i] * zj[i] * zj[i] + s2[i] * zh[i]);
@@ -965,9 +1047,12 @@ unsafe fn act_bwd_accum_avx2(
         _mm256_storeu_pd(gzh.as_mut_ptr().add(i), _mm256_mul_pd(ghv, s1v));
         i += 4;
     }
+    // Scalar-FMA tail replaying the lane computation exactly.
     while i < n {
-        gz[i] += gj[i] * s2[i] * zj[i] + gh[i] * (s3[i] * zj[i] * zj[i] + s2[i] * zh[i]);
-        gzj[i] = gj[i] * s1[i] + gh[i] * 2.0 * s2[i] * zj[i];
+        let t1 = (gj[i] * s2[i]) * zj[i];
+        let t2 = (s3[i] * zj[i]).mul_add(zj[i], s2[i] * zh[i]);
+        gz[i] += gh[i].mul_add(t2, t1);
+        gzj[i] = ((gh[i] * 2.0) * s2[i]).mul_add(zj[i], gj[i] * s1[i]);
         gzh[i] = gh[i] * s1[i];
         i += 1;
     }
@@ -1194,15 +1279,23 @@ unsafe fn gemm_rowpair_avx2(
             _mm256_storeu_pd(pc1.add(j), c1);
             j += 4;
         }
+        // Scalar-FMA column tail: the same ascending-k fma chain the
+        // vector lanes apply, so an element's value is independent of
+        // its column position relative to the vector width (batched
+        // multi-model layouts regroup columns and rely on this).
         while j < n {
             let b0j = *b0.add(j);
             let b1j = *b1.add(j);
             let b2j = *b2.add(j);
             let b3j = *b3.add(j);
-            let cv = &mut crow0[j];
-            *cv = *cv + f00 * b0j + f01 * b1j + f02 * b2j + f03 * b3j;
-            let cv = &mut crow1[j];
-            *cv = *cv + f10 * b0j + f11 * b1j + f12 * b2j + f13 * b3j;
+            crow0[j] = f03.mul_add(
+                b3j,
+                f02.mul_add(b2j, f01.mul_add(b1j, f00.mul_add(b0j, crow0[j]))),
+            );
+            crow1[j] = f13.mul_add(
+                b3j,
+                f12.mul_add(b2j, f11.mul_add(b1j, f10.mul_add(b0j, crow1[j]))),
+            );
             j += 1;
         }
         k += 4;
@@ -1224,8 +1317,8 @@ unsafe fn gemm_rowpair_avx2(
         }
         while j < n {
             let bkj = *bk.add(j);
-            crow0[j] += f0 * bkj;
-            crow1[j] += f1 * bkj;
+            crow0[j] = f0.mul_add(bkj, crow0[j]);
+            crow1[j] = f1.mul_add(bkj, crow1[j]);
             j += 1;
         }
         k += 1;
@@ -1303,9 +1396,15 @@ unsafe fn gemm_row_avx2(
             _mm256_storeu_pd(pc.add(j), cv);
             j += 4;
         }
+        // Scalar-FMA column tail (same ascending-k chain as the lanes).
         while j < n {
-            let cv = &mut crow[j];
-            *cv = *cv + f0 * *b0.add(j) + f1 * *b1.add(j) + f2 * *b2.add(j) + f3 * *b3.add(j);
+            crow[j] = f3.mul_add(
+                *b3.add(j),
+                f2.mul_add(
+                    *b2.add(j),
+                    f1.mul_add(*b1.add(j), f0.mul_add(*b0.add(j), crow[j])),
+                ),
+            );
             j += 1;
         }
         k += 4;
@@ -1321,10 +1420,1574 @@ unsafe fn gemm_row_avx2(
             j += 4;
         }
         while j < n {
-            crow[j] += f * *bk.add(j);
+            crow[j] = f.mul_add(*bk.add(j), crow[j]);
             j += 1;
         }
         k += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 `f64×8` twins
+// ---------------------------------------------------------------------------
+
+/// Folds an 8-lane accumulator by halving: the two 256-bit halves are
+/// added lane-wise, then folded with [`hsum`]'s `(l0+l2) + (l1+l3)`
+/// association. A different fold than the 4-lane tiers — covered by the
+/// cross-tier `1e-12` reduction bound, not bit-identity.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2")]
+unsafe fn hsum8(v: __m512d) -> f64 {
+    let lo = _mm512_castpd512_pd256(v);
+    let hi = _mm512_extractf64x4_pd::<1>(v);
+    hsum(_mm256_add_pd(lo, hi))
+}
+
+/// Remainder mask for the low `rem` lanes of a `f64×8` vector.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn mask8(rem: usize) -> u8 {
+    debug_assert!(rem < 8);
+    (1u8 << rem) - 1
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn dot_avx512(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm512_setzero_pd();
+    let mut i = 0;
+    while i + 8 <= n {
+        acc = _mm512_fmadd_pd(_mm512_loadu_pd(pa.add(i)), _mm512_loadu_pd(pb.add(i)), acc);
+        i += 8;
+    }
+    let mut s = hsum8(acc);
+    while i < n {
+        s += a[i] * b[i];
+        i += 1;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn dist2_avx512(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm512_setzero_pd();
+    let mut i = 0;
+    while i + 8 <= n {
+        let d = _mm512_sub_pd(_mm512_loadu_pd(pa.add(i)), _mm512_loadu_pd(pb.add(i)));
+        acc = _mm512_fmadd_pd(d, d, acc);
+        i += 8;
+    }
+    let mut s = hsum8(acc);
+    while i < n {
+        let d = a[i] - b[i];
+        s += d * d;
+        i += 1;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn dist2_batch_avx512(points: &[f64], dim: usize, q: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let p = points.as_ptr();
+    let mut j = 0;
+    // Eight points per step; each point's coordinate chain is the same
+    // ascending-order `fma(d, d, acc)` the scalar-FMA tail performs, so
+    // results are independent of batch position.
+    while j + 8 <= n {
+        let base = j * dim;
+        let mut acc = _mm512_setzero_pd();
+        for (k, &qk) in q.iter().enumerate() {
+            let pk = _mm512_set_pd(
+                *p.add(base + 7 * dim + k),
+                *p.add(base + 6 * dim + k),
+                *p.add(base + 5 * dim + k),
+                *p.add(base + 4 * dim + k),
+                *p.add(base + 3 * dim + k),
+                *p.add(base + 2 * dim + k),
+                *p.add(base + dim + k),
+                *p.add(base + k),
+            );
+            let d = _mm512_sub_pd(pk, _mm512_set1_pd(qk));
+            acc = _mm512_fmadd_pd(d, d, acc);
+        }
+        _mm512_storeu_pd(out.as_mut_ptr().add(j), acc);
+        j += 8;
+    }
+    while j < n {
+        out[j] = dist2_point_fma(&points[j * dim..(j + 1) * dim], q);
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn spmv_avx512(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let px = x.as_ptr();
+    let pc = col_idx.as_ptr();
+    let pv = values.as_ptr();
+    for (r, yr) in y.iter_mut().enumerate() {
+        let (lo, hi) = (row_ptr[r], row_ptr[r + 1]);
+        let mut acc = _mm512_setzero_pd();
+        let mut p = lo;
+        while p + 8 <= hi {
+            let idx = _mm256_loadu_si256(pc.add(p) as *const __m256i);
+            let xv = _mm512_i32gather_pd::<8>(idx, px);
+            acc = _mm512_fmadd_pd(_mm512_loadu_pd(pv.add(p)), xv, acc);
+            p += 8;
+        }
+        let mut s = hsum8(acc);
+        while p < hi {
+            s += values[p] * x[col_idx[p] as usize];
+            p += 1;
+        }
+        *yr = s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx512(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    let av = _mm512_set1_pd(alpha);
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        let yv = _mm512_fmadd_pd(av, _mm512_loadu_pd(px.add(i)), _mm512_loadu_pd(py.add(i)));
+        _mm512_storeu_pd(py.add(i), yv);
+        i += 8;
+    }
+    // Masked remainder: per-lane `fma(alpha, x, y)`, identical to the
+    // full-width lanes and the AVX2 scalar-FMA tail.
+    if i < n {
+        let m = mask8(n - i);
+        let xv = _mm512_maskz_loadu_pd(m, px.add(i));
+        let yv = _mm512_maskz_loadu_pd(m, py.add(i));
+        _mm512_mask_storeu_pd(py.add(i), m, _mm512_fmadd_pd(av, xv, yv));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn scale_avx512(x: &mut [f64], s: f64) {
+    let n = x.len();
+    let sv = _mm512_set1_pd(s);
+    let px = x.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        _mm512_storeu_pd(px.add(i), _mm512_mul_pd(_mm512_loadu_pd(px.add(i)), sv));
+        i += 8;
+    }
+    if i < n {
+        let m = mask8(n - i);
+        let v = _mm512_mul_pd(_mm512_maskz_loadu_pd(m, px.add(i)), sv);
+        _mm512_mask_storeu_pd(px.add(i), m, v);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn add_assign_avx512(y: &mut [f64], x: &[f64]) {
+    let n = x.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        _mm512_storeu_pd(
+            py.add(i),
+            _mm512_add_pd(_mm512_loadu_pd(py.add(i)), _mm512_loadu_pd(px.add(i))),
+        );
+        i += 8;
+    }
+    if i < n {
+        let m = mask8(n - i);
+        let v = _mm512_add_pd(
+            _mm512_maskz_loadu_pd(m, py.add(i)),
+            _mm512_maskz_loadu_pd(m, px.add(i)),
+        );
+        _mm512_mask_storeu_pd(py.add(i), m, v);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn hadamard_avx512(a: &[f64], b: &[f64], out: &mut [f64]) {
+    let n = a.len();
+    let (pa, pb, po) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        _mm512_storeu_pd(
+            po.add(i),
+            _mm512_mul_pd(_mm512_loadu_pd(pa.add(i)), _mm512_loadu_pd(pb.add(i))),
+        );
+        i += 8;
+    }
+    if i < n {
+        let m = mask8(n - i);
+        let v = _mm512_mul_pd(
+            _mm512_maskz_loadu_pd(m, pa.add(i)),
+            _mm512_maskz_loadu_pd(m, pb.add(i)),
+        );
+        _mm512_mask_storeu_pd(po.add(i), m, v);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn adam_update_avx512(
+    p: &mut [f64],
+    g: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    b1: f64,
+    b2: f64,
+    bc1: f64,
+    bc2: f64,
+    lr: f64,
+    eps: f64,
+) {
+    let n = p.len();
+    let (b1v, b2v) = (_mm512_set1_pd(b1), _mm512_set1_pd(b2));
+    let (c1v, c2v) = (_mm512_set1_pd(1.0 - b1), _mm512_set1_pd(1.0 - b2));
+    let (bc1v, bc2v) = (_mm512_set1_pd(bc1), _mm512_set1_pd(bc2));
+    let (lrv, epsv) = (_mm512_set1_pd(lr), _mm512_set1_pd(eps));
+    let (pp, pg, pm, pv) = (p.as_mut_ptr(), g.as_ptr(), m.as_mut_ptr(), v.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let gv = _mm512_loadu_pd(pg.add(i));
+        let mv = _mm512_fmadd_pd(b1v, _mm512_loadu_pd(pm.add(i)), _mm512_mul_pd(c1v, gv));
+        let vv = _mm512_fmadd_pd(
+            b2v,
+            _mm512_loadu_pd(pv.add(i)),
+            _mm512_mul_pd(_mm512_mul_pd(c2v, gv), gv),
+        );
+        _mm512_storeu_pd(pm.add(i), mv);
+        _mm512_storeu_pd(pv.add(i), vv);
+        let mh = _mm512_div_pd(mv, bc1v);
+        let vh = _mm512_div_pd(vv, bc2v);
+        let denom = _mm512_add_pd(_mm512_sqrt_pd(vh), epsv);
+        let step = _mm512_div_pd(_mm512_mul_pd(lrv, mh), denom);
+        _mm512_storeu_pd(pp.add(i), _mm512_sub_pd(_mm512_loadu_pd(pp.add(i)), step));
+        i += 8;
+    }
+    // Scalar-FMA tail replaying the exact lane computation.
+    while i < n {
+        m[i] = b1.mul_add(m[i], (1.0 - b1) * g[i]);
+        v[i] = b2.mul_add(v[i], ((1.0 - b2) * g[i]) * g[i]);
+        let mh = m[i] / bc1;
+        let vh = v[i] / bc2;
+        p[i] -= lr * mh / (vh.sqrt() + eps);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn act_fwd_jh_avx512(
+    s1: &[f64],
+    s2: &[f64],
+    zj: &[f64],
+    zh: &[f64],
+    j_out: &mut [f64],
+    h_out: &mut [f64],
+) {
+    let n = s1.len();
+    let (p1, p2, pj, ph) = (s1.as_ptr(), s2.as_ptr(), zj.as_ptr(), zh.as_ptr());
+    let (pjo, pho) = (j_out.as_mut_ptr(), h_out.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let s1v = _mm512_loadu_pd(p1.add(i));
+        let s2v = _mm512_loadu_pd(p2.add(i));
+        let zjv = _mm512_loadu_pd(pj.add(i));
+        let zhv = _mm512_loadu_pd(ph.add(i));
+        _mm512_storeu_pd(pjo.add(i), _mm512_mul_pd(s1v, zjv));
+        let h = _mm512_fmadd_pd(_mm512_mul_pd(s2v, zjv), zjv, _mm512_mul_pd(s1v, zhv));
+        _mm512_storeu_pd(pho.add(i), h);
+        i += 8;
+    }
+    while i < n {
+        j_out[i] = s1[i] * zj[i];
+        h_out[i] = (s2[i] * zj[i]).mul_add(zj[i], s1[i] * zh[i]);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn act_bwd_accum_avx512(
+    s1: &[f64],
+    s2: &[f64],
+    s3: &[f64],
+    zj: &[f64],
+    zh: &[f64],
+    gj: &[f64],
+    gh: &[f64],
+    gz: &mut [f64],
+    gzj: &mut [f64],
+    gzh: &mut [f64],
+) {
+    let n = s1.len();
+    let two = _mm512_set1_pd(2.0);
+    let mut i = 0;
+    while i + 8 <= n {
+        let s1v = _mm512_loadu_pd(s1.as_ptr().add(i));
+        let s2v = _mm512_loadu_pd(s2.as_ptr().add(i));
+        let s3v = _mm512_loadu_pd(s3.as_ptr().add(i));
+        let zjv = _mm512_loadu_pd(zj.as_ptr().add(i));
+        let zhv = _mm512_loadu_pd(zh.as_ptr().add(i));
+        let gjv = _mm512_loadu_pd(gj.as_ptr().add(i));
+        let ghv = _mm512_loadu_pd(gh.as_ptr().add(i));
+        let t1 = _mm512_mul_pd(_mm512_mul_pd(gjv, s2v), zjv);
+        let t2 = _mm512_fmadd_pd(_mm512_mul_pd(s3v, zjv), zjv, _mm512_mul_pd(s2v, zhv));
+        let sum = _mm512_fmadd_pd(ghv, t2, t1);
+        let gzv = _mm512_add_pd(_mm512_loadu_pd(gz.as_ptr().add(i)), sum);
+        _mm512_storeu_pd(gz.as_mut_ptr().add(i), gzv);
+        let gzjv = _mm512_fmadd_pd(
+            _mm512_mul_pd(_mm512_mul_pd(ghv, two), s2v),
+            zjv,
+            _mm512_mul_pd(gjv, s1v),
+        );
+        _mm512_storeu_pd(gzj.as_mut_ptr().add(i), gzjv);
+        _mm512_storeu_pd(gzh.as_mut_ptr().add(i), _mm512_mul_pd(ghv, s1v));
+        i += 8;
+    }
+    while i < n {
+        let t1 = (gj[i] * s2[i]) * zj[i];
+        let t2 = (s3[i] * zj[i]).mul_add(zj[i], s2[i] * zh[i]);
+        gz[i] += gh[i].mul_add(t2, t1);
+        gzj[i] = ((gh[i] * 2.0) * s2[i]).mul_add(zj[i], gj[i] * s1[i]);
+        gzh[i] = gh[i] * s1[i];
+        i += 1;
+    }
+}
+
+/// AVX-512 body of `dense::gemm_band`: the same k-panel / row-pair
+/// structure as [`gemm_band_avx2`] widened to `f64×8`, with masked
+/// column tails whose per-lane fma chain is identical to the full
+/// vectors — every C element sees the ascending-k FMA sequence
+/// regardless of column position, so band splits stay bit-invariant
+/// within the tier.
+///
+/// # Safety
+/// Caller must ensure AVX-512F is available and the same shape
+/// preconditions as [`gemm_band_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn gemm_band_avx512(
+    alpha: f64,
+    a: &[f64],
+    kdim: usize,
+    b: &[f64],
+    n: usize,
+    kc: usize,
+    row0: usize,
+    cband: &mut [f64],
+) {
+    let rows = cband.len() / n;
+    let pb = b.as_ptr();
+    let mut k0 = 0;
+    while k0 < kdim {
+        let kend = (k0 + kc).min(kdim);
+        let mut ri = 0;
+        while ri + 2 <= rows {
+            let arow0 = &a[(row0 + ri) * kdim..(row0 + ri + 1) * kdim];
+            let arow1 = &a[(row0 + ri + 1) * kdim..(row0 + ri + 2) * kdim];
+            let (crow0, crow1) = cband[ri * n..(ri + 2) * n].split_at_mut(n);
+            gemm_rowpair_avx512(alpha, arow0, arow1, pb, n, k0, kend, crow0, crow1);
+            ri += 2;
+        }
+        while ri < rows {
+            let arow = &a[(row0 + ri) * kdim..(row0 + ri + 1) * kdim];
+            let crow = &mut cband[ri * n..(ri + 1) * n];
+            gemm_row_avx512(alpha, arow, pb, n, k0, kend, crow);
+            ri += 1;
+        }
+        k0 = kend;
+    }
+}
+
+/// Two-row `f64×8` micro-kernel of [`gemm_band_avx512`]: 2 rows × 16
+/// columns per step (4 accumulator chains against 2 shared B loads per
+/// k), k-quads applied in ascending order per element.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_rowpair_avx512(
+    alpha: f64,
+    arow0: &[f64],
+    arow1: &[f64],
+    pb: *const f64,
+    n: usize,
+    k0: usize,
+    kend: usize,
+    crow0: &mut [f64],
+    crow1: &mut [f64],
+) {
+    let pc0 = crow0.as_mut_ptr();
+    let pc1 = crow1.as_mut_ptr();
+    let mut k = k0;
+    while k + 4 <= kend {
+        let f0 = [
+            alpha * arow0[k],
+            alpha * arow0[k + 1],
+            alpha * arow0[k + 2],
+            alpha * arow0[k + 3],
+        ];
+        let f1 = [
+            alpha * arow1[k],
+            alpha * arow1[k + 1],
+            alpha * arow1[k + 2],
+            alpha * arow1[k + 3],
+        ];
+        let u = [
+            _mm512_set1_pd(f0[0]),
+            _mm512_set1_pd(f0[1]),
+            _mm512_set1_pd(f0[2]),
+            _mm512_set1_pd(f0[3]),
+        ];
+        let w = [
+            _mm512_set1_pd(f1[0]),
+            _mm512_set1_pd(f1[1]),
+            _mm512_set1_pd(f1[2]),
+            _mm512_set1_pd(f1[3]),
+        ];
+        let bp = [
+            pb.add(k * n),
+            pb.add((k + 1) * n),
+            pb.add((k + 2) * n),
+            pb.add((k + 3) * n),
+        ];
+        let mut j = 0;
+        // 2 rows × 16 columns per step: 4 independent accumulator
+        // chains, each applying k, k+1, k+2, k+3 in order per element.
+        while j + 16 <= n {
+            let mut c00 = _mm512_loadu_pd(pc0.add(j));
+            let mut c01 = _mm512_loadu_pd(pc0.add(j + 8));
+            let mut c10 = _mm512_loadu_pd(pc1.add(j));
+            let mut c11 = _mm512_loadu_pd(pc1.add(j + 8));
+            for q in 0..4 {
+                let bv = _mm512_loadu_pd(bp[q].add(j));
+                let bw = _mm512_loadu_pd(bp[q].add(j + 8));
+                c00 = _mm512_fmadd_pd(u[q], bv, c00);
+                c10 = _mm512_fmadd_pd(w[q], bv, c10);
+                c01 = _mm512_fmadd_pd(u[q], bw, c01);
+                c11 = _mm512_fmadd_pd(w[q], bw, c11);
+            }
+            _mm512_storeu_pd(pc0.add(j), c00);
+            _mm512_storeu_pd(pc0.add(j + 8), c01);
+            _mm512_storeu_pd(pc1.add(j), c10);
+            _mm512_storeu_pd(pc1.add(j + 8), c11);
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut c0 = _mm512_loadu_pd(pc0.add(j));
+            let mut c1 = _mm512_loadu_pd(pc1.add(j));
+            for q in 0..4 {
+                let bv = _mm512_loadu_pd(bp[q].add(j));
+                c0 = _mm512_fmadd_pd(u[q], bv, c0);
+                c1 = _mm512_fmadd_pd(w[q], bv, c1);
+            }
+            _mm512_storeu_pd(pc0.add(j), c0);
+            _mm512_storeu_pd(pc1.add(j), c1);
+            j += 8;
+        }
+        if j < n {
+            // Masked column tail: zero-filled B lanes feed `fma(f, 0,
+            // c)` into masked-out lanes that are never stored, and live
+            // lanes see the identical ascending-k chain.
+            let mk = mask8(n - j);
+            let mut c0 = _mm512_maskz_loadu_pd(mk, pc0.add(j));
+            let mut c1 = _mm512_maskz_loadu_pd(mk, pc1.add(j));
+            for q in 0..4 {
+                let bv = _mm512_maskz_loadu_pd(mk, bp[q].add(j));
+                c0 = _mm512_fmadd_pd(u[q], bv, c0);
+                c1 = _mm512_fmadd_pd(w[q], bv, c1);
+            }
+            _mm512_mask_storeu_pd(pc0.add(j), mk, c0);
+            _mm512_mask_storeu_pd(pc1.add(j), mk, c1);
+        }
+        k += 4;
+    }
+    while k < kend {
+        let g0 = alpha * arow0[k];
+        let g1 = alpha * arow1[k];
+        let fv0 = _mm512_set1_pd(g0);
+        let fv1 = _mm512_set1_pd(g1);
+        let bk = pb.add(k * n);
+        let mut j = 0;
+        while j + 8 <= n {
+            let bv = _mm512_loadu_pd(bk.add(j));
+            let c0 = _mm512_fmadd_pd(fv0, bv, _mm512_loadu_pd(pc0.add(j)));
+            let c1 = _mm512_fmadd_pd(fv1, bv, _mm512_loadu_pd(pc1.add(j)));
+            _mm512_storeu_pd(pc0.add(j), c0);
+            _mm512_storeu_pd(pc1.add(j), c1);
+            j += 8;
+        }
+        if j < n {
+            let mk = mask8(n - j);
+            let bv = _mm512_maskz_loadu_pd(mk, bk.add(j));
+            let c0 = _mm512_fmadd_pd(fv0, bv, _mm512_maskz_loadu_pd(mk, pc0.add(j)));
+            let c1 = _mm512_fmadd_pd(fv1, bv, _mm512_maskz_loadu_pd(mk, pc1.add(j)));
+            _mm512_mask_storeu_pd(pc0.add(j), mk, c0);
+            _mm512_mask_storeu_pd(pc1.add(j), mk, c1);
+        }
+        k += 1;
+    }
+}
+
+/// Single-row `f64×8` micro-kernel of [`gemm_band_avx512`] (odd tail
+/// row).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn gemm_row_avx512(
+    alpha: f64,
+    arow: &[f64],
+    pb: *const f64,
+    n: usize,
+    k0: usize,
+    kend: usize,
+    crow: &mut [f64],
+) {
+    let pc = crow.as_mut_ptr();
+    let mut k = k0;
+    while k + 4 <= kend {
+        let f = [
+            alpha * arow[k],
+            alpha * arow[k + 1],
+            alpha * arow[k + 2],
+            alpha * arow[k + 3],
+        ];
+        let u = [
+            _mm512_set1_pd(f[0]),
+            _mm512_set1_pd(f[1]),
+            _mm512_set1_pd(f[2]),
+            _mm512_set1_pd(f[3]),
+        ];
+        let bp = [
+            pb.add(k * n),
+            pb.add((k + 1) * n),
+            pb.add((k + 2) * n),
+            pb.add((k + 3) * n),
+        ];
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut c0 = _mm512_loadu_pd(pc.add(j));
+            let mut c1 = _mm512_loadu_pd(pc.add(j + 8));
+            for q in 0..4 {
+                c0 = _mm512_fmadd_pd(u[q], _mm512_loadu_pd(bp[q].add(j)), c0);
+                c1 = _mm512_fmadd_pd(u[q], _mm512_loadu_pd(bp[q].add(j + 8)), c1);
+            }
+            _mm512_storeu_pd(pc.add(j), c0);
+            _mm512_storeu_pd(pc.add(j + 8), c1);
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut cv = _mm512_loadu_pd(pc.add(j));
+            for q in 0..4 {
+                cv = _mm512_fmadd_pd(u[q], _mm512_loadu_pd(bp[q].add(j)), cv);
+            }
+            _mm512_storeu_pd(pc.add(j), cv);
+            j += 8;
+        }
+        if j < n {
+            let mk = mask8(n - j);
+            let mut cv = _mm512_maskz_loadu_pd(mk, pc.add(j));
+            for q in 0..4 {
+                cv = _mm512_fmadd_pd(u[q], _mm512_maskz_loadu_pd(mk, bp[q].add(j)), cv);
+            }
+            _mm512_mask_storeu_pd(pc.add(j), mk, cv);
+        }
+        k += 4;
+    }
+    while k < kend {
+        let g = alpha * arow[k];
+        let fv = _mm512_set1_pd(g);
+        let bk = pb.add(k * n);
+        let mut j = 0;
+        while j + 8 <= n {
+            let cv = _mm512_fmadd_pd(fv, _mm512_loadu_pd(bk.add(j)), _mm512_loadu_pd(pc.add(j)));
+            _mm512_storeu_pd(pc.add(j), cv);
+            j += 8;
+        }
+        if j < n {
+            let mk = mask8(n - j);
+            let cv = _mm512_fmadd_pd(
+                fv,
+                _mm512_maskz_loadu_pd(mk, bk.add(j)),
+                _mm512_maskz_loadu_pd(mk, pc.add(j)),
+            );
+            _mm512_mask_storeu_pd(pc.add(j), mk, cv);
+        }
+        k += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched multi-model kernels (B interleaved instances, SoA by lane)
+// ---------------------------------------------------------------------------
+
+/// Batched interleaved GEMM accumulate for `lanes` independent model
+/// instances stored SoA:
+///
+/// ```text
+/// C[r][j·L + l] += Σ_k A[r][k·L + l] · B[k][j·L + l]      (l = lane)
+/// ```
+///
+/// `a` is `m × (kd·L)`, `b` is `kd × (n·L)`, `c` is `m × (n·L)`, all
+/// row-major with the instance index `l` innermost. Accumulate-only
+/// (α = 1, β = 1): callers zero `c` first for a β = 0 product.
+///
+/// **Determinism:** every `(r, j, l)` element's sum is applied in
+/// ascending-k order — one `fma` per k in the vector tiers (matching
+/// the solo GEMM band kernels' per-element chain) and the scalar
+/// two-rounding `acc += a·b` in the scalar tier (matching the solo
+/// scalar GEMM) — so for identical per-instance inputs the batched
+/// result is bit-identical to `lanes` solo GEMM calls in the same tier.
+///
+/// # Panics
+/// Panics if `lanes` is not a positive multiple of 8 (callers pad
+/// instances up to the widest vector width) or a slice is too short.
+pub fn bgemm_accum(
+    lanes: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    assert!(
+        lanes > 0 && lanes.is_multiple_of(8),
+        "bgemm_accum lanes must be a positive multiple of 8"
+    );
+    assert!(a.len() >= m * kd * lanes, "bgemm_accum A shape");
+    assert!(b.len() >= kd * n * lanes, "bgemm_accum B shape");
+    assert!(c.len() >= m * n * lanes, "bgemm_accum C shape");
+    #[cfg(target_arch = "x86_64")]
+    if current_tier() != SimdTier::Scalar {
+        // Vector tiers: pack B into the per-thread scratch pack, then
+        // run the packed kernel — identical chains, so identical bits.
+        return BGEMM_PACK_TL.with(|cell| {
+            let mut bp = cell.borrow_mut();
+            bgemm_pack_b(lanes, b, kd, n, &mut bp);
+            bgemm_accum_packed(a, &bp, c, m);
+        });
+    }
+    bgemm_accum_scalar(lanes, a, b, c, m, kd, n);
+}
+
+fn bgemm_accum_scalar(
+    lanes: usize,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    let rl = n * lanes;
+    let al = kd * lanes;
+    for r in 0..m {
+        let arow = &a[r * al..(r + 1) * al];
+        let crow = &mut c[r * rl..(r + 1) * rl];
+        for j in 0..n {
+            for l in 0..lanes {
+                let mut acc = crow[j * lanes + l];
+                for (k, ak) in arow.chunks_exact(lanes).enumerate() {
+                    acc += ak[l] * b[k * rl + j * lanes + l];
+                }
+                crow[j * lanes + l] = acc;
+            }
+        }
+    }
+}
+
+/// [`bgemm_accum`] with the A operand supplied **transposed**: `at` is
+/// `kd × (m·L)` row-major lane-interleaved and
+///
+/// ```text
+/// C[r][j·L + l] += Σ_k At[k][r·L + l] · B[k][j·L + l]      (l = lane)
+/// ```
+///
+/// This is the shape of a weight-gradient product `gW += gzᵀ·x` where
+/// `gz` arrives batch-row-major: passing it here skips materialising
+/// the transpose. The multiply operands and the ascending-k per-element
+/// chains are exactly those of `transpose(at)` fed through
+/// [`bgemm_accum`], so results are bit-identical to that two-step form
+/// in every tier.
+///
+/// # Panics
+/// Panics if `lanes` is not a positive multiple of 8 or a slice is too
+/// short.
+pub fn bgemm_accum_t(
+    lanes: usize,
+    at: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    assert!(
+        lanes > 0 && lanes.is_multiple_of(8),
+        "bgemm_accum_t lanes must be a positive multiple of 8"
+    );
+    assert!(at.len() >= m * kd * lanes, "bgemm_accum_t A shape");
+    assert!(b.len() >= kd * n * lanes, "bgemm_accum_t B shape");
+    assert!(c.len() >= m * n * lanes, "bgemm_accum_t C shape");
+    #[cfg(target_arch = "x86_64")]
+    if current_tier() != SimdTier::Scalar {
+        return BGEMM_PACK_TL.with(|cell| {
+            let mut bp = cell.borrow_mut();
+            bgemm_pack_b(lanes, b, kd, n, &mut bp);
+            let (lanes, kd, n) = (bp.lanes, bp.kd, bp.n);
+            // SAFETY: tier checked above; shapes asserted; A strides
+            // address the transposed source.
+            match bp.tier {
+                SimdTier::Avx512 => unsafe {
+                    bgemm_packed_avx512(lanes, at, bp.packed(), c, m, kd, n, lanes, m * lanes)
+                },
+                SimdTier::Avx2 => unsafe {
+                    bgemm_packed_avx2(lanes, at, bp.packed(), c, m, kd, n, lanes, m * lanes)
+                },
+                SimdTier::Scalar => unreachable!(),
+            }
+        });
+    }
+    bgemm_accum_scalar_t(lanes, at, b, c, m, kd, n);
+}
+
+fn bgemm_accum_scalar_t(
+    lanes: usize,
+    at: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+) {
+    let rl = n * lanes;
+    let tl = m * lanes;
+    for r in 0..m {
+        let crow = &mut c[r * rl..(r + 1) * rl];
+        for j in 0..n {
+            for l in 0..lanes {
+                let mut acc = crow[j * lanes + l];
+                for k in 0..kd {
+                    acc += at[k * tl + r * lanes + l] * b[k * rl + j * lanes + l];
+                }
+                crow[j * lanes + l] = acc;
+            }
+        }
+    }
+}
+
+/// K-panel depth for the batched kernels: bounds the packed B panel
+/// (`kc × n` strips; the packed A tile is negligible next to it) to
+/// roughly half the L2 so the micro-kernel streams from cache while C
+/// round-trips as few times as possible.
+#[cfg(target_arch = "x86_64")]
+fn bgemm_kpanel(n: usize, kd: usize, strip_bytes: usize) -> usize {
+    let denom = n.max(1) * strip_bytes;
+    (512 * 1024 / denom).clamp(16, kd.max(16))
+}
+
+#[cfg(target_arch = "x86_64")]
+thread_local! {
+    /// A-tile packing scratch for the vector batched kernels — per
+    /// thread, grown on demand, so the steady state allocates nothing.
+    static BGEMM_SCRATCH: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Scratch [`PackedB`] backing the pack-on-the-fly
+    /// [`bgemm_accum`] convenience entry point.
+    static BGEMM_PACK_TL: std::cell::RefCell<PackedB> =
+        const { std::cell::RefCell::new(PackedB::new()) };
+}
+
+/// A pre-packed B operand for [`bgemm_accum_packed`]: the panel layout
+/// the batched micro-kernels consume, built once and reused across many
+/// products against the same B — e.g. one layer's weights against every
+/// row chunk of a batched forward pass, where packing per product would
+/// otherwise dominate.
+///
+/// The layout is tier-specific (64-byte-aligned k-panels of 4-column
+/// lane strips in the vector tiers, a plain copy in the scalar tier);
+/// the pack records the active tier and [`bgemm_accum_packed`] asserts
+/// it still matches, so a `PackedB` must not cross a
+/// [`with_tier`] boundary.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    data: Vec<f64>,
+    pad: usize,
+    lanes: usize,
+    kd: usize,
+    n: usize,
+    tier: SimdTier,
+}
+
+impl Default for PackedB {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PackedB {
+    /// An empty pack; fill it with [`bgemm_pack_b`] or
+    /// [`bgemm_pack_b_t`]. Allocates nothing until first use.
+    pub const fn new() -> Self {
+        PackedB {
+            data: Vec::new(),
+            pad: 0,
+            lanes: 0,
+            kd: 0,
+            n: 0,
+            tier: SimdTier::Scalar,
+        }
+    }
+
+    /// Grows the backing store to `len` elements plus alignment slack
+    /// and returns the 64-byte-aligned window (split cache-line loads
+    /// halve L1 bandwidth, so the micro-kernels rely on this).
+    fn ensure(&mut self, len: usize) -> &mut [f64] {
+        if self.data.len() < len + 8 {
+            self.data.resize(len + 8, 0.0);
+        }
+        self.pad = (self.data.as_ptr() as usize).wrapping_neg() % 64 / 8;
+        &mut self.data[self.pad..self.pad + len]
+    }
+
+    fn packed(&self) -> &[f64] {
+        &self.data[self.pad..self.pad + self.lanes * self.kd * self.n]
+    }
+
+    fn set_dims(&mut self, lanes: usize, kd: usize, n: usize, tier: SimdTier) {
+        self.lanes = lanes;
+        self.kd = kd;
+        self.n = n;
+        self.tier = tier;
+    }
+}
+
+/// Packs `b` (`kd × n·lanes` row-major, lane-interleaved — the layout
+/// [`bgemm_accum`] consumes directly) into `into` for
+/// [`bgemm_accum_packed`] under the current SIMD tier.
+///
+/// # Panics
+/// Panics if `lanes` is not a positive multiple of 8 or `b` is too
+/// short.
+pub fn bgemm_pack_b(lanes: usize, b: &[f64], kd: usize, n: usize, into: &mut PackedB) {
+    assert!(
+        lanes > 0 && lanes.is_multiple_of(8),
+        "bgemm_pack_b lanes must be a positive multiple of 8"
+    );
+    assert!(b.len() >= kd * n * lanes, "bgemm_pack_b B shape");
+    let rl = n * lanes;
+    #[cfg(target_arch = "x86_64")]
+    match current_tier() {
+        SimdTier::Avx512 => {
+            return pack_b_vec(
+                lanes,
+                kd,
+                n,
+                8,
+                |k, j| k * rl + j * lanes,
+                b,
+                into,
+                SimdTier::Avx512,
+            )
+        }
+        SimdTier::Avx2 => {
+            return pack_b_vec(
+                lanes,
+                kd,
+                n,
+                4,
+                |k, j| k * rl + j * lanes,
+                b,
+                into,
+                SimdTier::Avx2,
+            )
+        }
+        SimdTier::Scalar => {}
+    }
+    let dst = into.ensure(kd * rl);
+    dst.copy_from_slice(&b[..kd * rl]);
+    into.set_dims(lanes, kd, n, SimdTier::Scalar);
+}
+
+/// Packs the **transpose** of `w` (`n × kd·lanes` row-major,
+/// lane-interleaved — an MLP layer's weight block whose rows are
+/// outputs) so that `bgemm_accum_packed` computes `C += A · Wᵀ` without
+/// materialising the transpose first.
+///
+/// # Panics
+/// Panics if `lanes` is not a positive multiple of 8 or `w` is too
+/// short.
+pub fn bgemm_pack_b_t(lanes: usize, w: &[f64], kd: usize, n: usize, into: &mut PackedB) {
+    assert!(
+        lanes > 0 && lanes.is_multiple_of(8),
+        "bgemm_pack_b_t lanes must be a positive multiple of 8"
+    );
+    assert!(w.len() >= kd * n * lanes, "bgemm_pack_b_t W shape");
+    let kl = kd * lanes;
+    #[cfg(target_arch = "x86_64")]
+    match current_tier() {
+        SimdTier::Avx512 => {
+            return pack_b_vec(
+                lanes,
+                kd,
+                n,
+                8,
+                |k, j| j * kl + k * lanes,
+                w,
+                into,
+                SimdTier::Avx512,
+            )
+        }
+        SimdTier::Avx2 => {
+            return pack_b_vec(
+                lanes,
+                kd,
+                n,
+                4,
+                |k, j| j * kl + k * lanes,
+                w,
+                into,
+                SimdTier::Avx2,
+            )
+        }
+        SimdTier::Scalar => {}
+    }
+    let dst = into.ensure(kd * n * lanes);
+    for k in 0..kd {
+        for j in 0..n {
+            let s = j * kl + k * lanes;
+            dst[(k * n + j) * lanes..(k * n + j) * lanes + lanes].copy_from_slice(&w[s..s + lanes]);
+        }
+    }
+    into.set_dims(lanes, kd, n, SimdTier::Scalar);
+}
+
+/// Vector-tier pack body: column-block-major sections per (lane strip,
+/// k-panel), k ascending inside, matching what the micro-kernels read.
+/// `src` maps `(k, j)` to the index of lane 0 in the source slice.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn pack_b_vec(
+    lanes: usize,
+    kd: usize,
+    n: usize,
+    strip: usize,
+    src: impl Fn(usize, usize) -> usize,
+    b: &[f64],
+    into: &mut PackedB,
+    tier: SimdTier,
+) {
+    let kc = bgemm_kpanel(n, kd, strip * 8);
+    let nb = n / 4;
+    let dst = into.ensure(lanes * kd * n);
+    let mut w = 0;
+    for ls in (0..lanes).step_by(strip) {
+        let mut k0 = 0;
+        while k0 < kd {
+            let kn = (kd - k0).min(kc);
+            for jb in 0..nb {
+                for k in 0..kn {
+                    for q in 0..4 {
+                        let s = src(k0 + k, jb * 4 + q) + ls;
+                        dst[w..w + strip].copy_from_slice(&b[s..s + strip]);
+                        w += strip;
+                    }
+                }
+            }
+            for jt in nb * 4..n {
+                for k in 0..kn {
+                    let s = src(k0 + k, jt) + ls;
+                    dst[w..w + strip].copy_from_slice(&b[s..s + strip]);
+                    w += strip;
+                }
+            }
+            k0 += kn;
+        }
+    }
+    into.set_dims(lanes, kd, n, tier);
+}
+
+/// [`bgemm_accum`] against a pre-packed B operand: `C[r][j·L + l] +=
+/// Σ_k A[r][k·L + l] · B[k][j·L + l]` with the same ascending-k
+/// per-element chains (see [`bgemm_accum`] for the determinism
+/// contract — results are bit-identical to the pack-free entry point).
+///
+/// # Panics
+/// Panics if `bp` is empty, was packed under a different SIMD tier than
+/// the current one, or `a`/`c` are too short for its dimensions.
+pub fn bgemm_accum_packed(a: &[f64], bp: &PackedB, c: &mut [f64], m: usize) {
+    let (lanes, kd, n) = (bp.lanes, bp.kd, bp.n);
+    assert!(lanes > 0, "bgemm_accum_packed: empty PackedB");
+    assert!(a.len() >= m * kd * lanes, "bgemm_accum_packed A shape");
+    assert!(c.len() >= m * n * lanes, "bgemm_accum_packed C shape");
+    assert_eq!(
+        bp.tier,
+        current_tier(),
+        "bgemm_accum_packed: PackedB crossed a SIMD-tier boundary"
+    );
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: each vector tier implies its CPU features are available;
+    // the pack recorded matching tier and dimensions.
+    match bp.tier {
+        SimdTier::Avx512 => {
+            return unsafe {
+                bgemm_packed_avx512(lanes, a, bp.packed(), c, m, kd, n, kd * lanes, lanes)
+            }
+        }
+        SimdTier::Avx2 => {
+            return unsafe {
+                bgemm_packed_avx2(lanes, a, bp.packed(), c, m, kd, n, kd * lanes, lanes)
+            }
+        }
+        SimdTier::Scalar => {}
+    }
+    bgemm_accum_scalar(lanes, a, bp.packed(), c, m, kd, n);
+}
+
+/// AVX2 packed-B kernel: BLIS-style k-blocked panels with a 2-row ×
+/// 4-logical-column × 4-lane register tile (8 accumulator chains, 6
+/// contiguous aligned L1 loads per k step). See [`bgemm_packed_avx512`]
+/// for the scheme; determinism is identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+unsafe fn bgemm_packed_avx2(
+    lanes: usize,
+    a: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+    ars: usize,
+    aks: usize,
+) {
+    let kc = bgemm_kpanel(n, kd, 32);
+    BGEMM_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let atile = aligned_scratch(&mut buf, kc * 8);
+        // SAFETY: caller guarantees avx2/fma and shapes.
+        unsafe { bgemm_packed_kern_avx2(lanes, a, bp, c, m, kd, n, kc, atile, ars, aks) }
+    });
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+unsafe fn bgemm_packed_kern_avx2(
+    lanes: usize,
+    a: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+    kc: usize,
+    atile: &mut [f64],
+    ars: usize,
+    aks: usize,
+) {
+    let rl = n * lanes;
+    let pa = a.as_ptr();
+    let pb = bp.as_ptr();
+    let pc = c.as_mut_ptr();
+    let nb = n / 4;
+    for (ls_i, ls) in (0..lanes).step_by(4).enumerate() {
+        let mut k0 = 0;
+        while k0 < kd {
+            let kn = (kd - k0).min(kc);
+            let base = (ls_i * kd + k0) * (n * 4);
+            let pblk = pb.add(base);
+            let ptail = pb.add(base + nb * kn * 16);
+            let mut r = 0;
+            while r + 2 <= m {
+                for k in 0..kn {
+                    for i in 0..2 {
+                        let src = (r + i) * ars + (k0 + k) * aks + ls;
+                        atile[k * 8 + i * 4..k * 8 + i * 4 + 4].copy_from_slice(&a[src..src + 4]);
+                    }
+                }
+                let pap = atile.as_ptr();
+                let pc0 = pc.add(r * rl);
+                let pc1 = pc.add((r + 1) * rl);
+                for jb in 0..nb {
+                    let o = [
+                        jb * 4 * lanes + ls,
+                        (jb * 4 + 1) * lanes + ls,
+                        (jb * 4 + 2) * lanes + ls,
+                        (jb * 4 + 3) * lanes + ls,
+                    ];
+                    let pj = pblk.add(jb * kn * 16);
+                    let mut c0 = [
+                        _mm256_loadu_pd(pc0.add(o[0])),
+                        _mm256_loadu_pd(pc0.add(o[1])),
+                        _mm256_loadu_pd(pc0.add(o[2])),
+                        _mm256_loadu_pd(pc0.add(o[3])),
+                    ];
+                    let mut c1 = [
+                        _mm256_loadu_pd(pc1.add(o[0])),
+                        _mm256_loadu_pd(pc1.add(o[1])),
+                        _mm256_loadu_pd(pc1.add(o[2])),
+                        _mm256_loadu_pd(pc1.add(o[3])),
+                    ];
+                    for k in 0..kn {
+                        let av0 = _mm256_loadu_pd(pap.add(k * 8));
+                        let av1 = _mm256_loadu_pd(pap.add(k * 8 + 4));
+                        for q in 0..4 {
+                            let bv = _mm256_loadu_pd(pj.add(k * 16 + q * 4));
+                            c0[q] = _mm256_fmadd_pd(av0, bv, c0[q]);
+                            c1[q] = _mm256_fmadd_pd(av1, bv, c1[q]);
+                        }
+                    }
+                    for q in 0..4 {
+                        _mm256_storeu_pd(pc0.add(o[q]), c0[q]);
+                        _mm256_storeu_pd(pc1.add(o[q]), c1[q]);
+                    }
+                }
+                for jt in nb * 4..n {
+                    let o = jt * lanes + ls;
+                    let pj = ptail.add((jt - nb * 4) * kn * 4);
+                    let mut c0 = _mm256_loadu_pd(pc0.add(o));
+                    let mut c1 = _mm256_loadu_pd(pc1.add(o));
+                    for k in 0..kn {
+                        let bv = _mm256_loadu_pd(pj.add(k * 4));
+                        c0 = _mm256_fmadd_pd(_mm256_loadu_pd(pap.add(k * 8)), bv, c0);
+                        c1 = _mm256_fmadd_pd(_mm256_loadu_pd(pap.add(k * 8 + 4)), bv, c1);
+                    }
+                    _mm256_storeu_pd(pc0.add(o), c0);
+                    _mm256_storeu_pd(pc1.add(o), c1);
+                }
+                r += 2;
+            }
+            while r < m {
+                let pa0 = pa.add(r * ars + ls);
+                let pc0 = pc.add(r * rl);
+                for jb in 0..nb {
+                    let o = [
+                        jb * 4 * lanes + ls,
+                        (jb * 4 + 1) * lanes + ls,
+                        (jb * 4 + 2) * lanes + ls,
+                        (jb * 4 + 3) * lanes + ls,
+                    ];
+                    let pj = pblk.add(jb * kn * 16);
+                    let mut cv = [
+                        _mm256_loadu_pd(pc0.add(o[0])),
+                        _mm256_loadu_pd(pc0.add(o[1])),
+                        _mm256_loadu_pd(pc0.add(o[2])),
+                        _mm256_loadu_pd(pc0.add(o[3])),
+                    ];
+                    for k in 0..kn {
+                        let av = _mm256_loadu_pd(pa0.add((k0 + k) * aks));
+                        for q in 0..4 {
+                            cv[q] =
+                                _mm256_fmadd_pd(av, _mm256_loadu_pd(pj.add(k * 16 + q * 4)), cv[q]);
+                        }
+                    }
+                    for q in 0..4 {
+                        _mm256_storeu_pd(pc0.add(o[q]), cv[q]);
+                    }
+                }
+                for jt in nb * 4..n {
+                    let o = jt * lanes + ls;
+                    let pj = ptail.add((jt - nb * 4) * kn * 4);
+                    let mut cv = _mm256_loadu_pd(pc0.add(o));
+                    for k in 0..kn {
+                        cv = _mm256_fmadd_pd(
+                            _mm256_loadu_pd(pa0.add((k0 + k) * aks)),
+                            _mm256_loadu_pd(pj.add(k * 4)),
+                            cv,
+                        );
+                    }
+                    _mm256_storeu_pd(pc0.add(o), cv);
+                }
+                r += 1;
+            }
+            k0 += kn;
+        }
+    }
+}
+
+/// AVX-512 packed-B kernel: BLIS-style k-blocked panels consumed from
+/// [`PackedB`]'s contiguous 64-byte-aligned sections. The current 4-row
+/// A tile is packed into per-thread scratch, and the 4-row ×
+/// 4-logical-column × 8-lane register tile (16 independent accumulator
+/// chains, 21 of 32 zmm registers live, 8 contiguous aligned L1 loads
+/// per k step) runs FMA-bound instead of fighting the interleaved
+/// layout's power-of-two row strides, which alias to the same cache
+/// sets and would turn every inner-loop load into an L2 miss.
+///
+/// Packing only copies values, and every `(r, j, l)` chain still
+/// applies k in ascending order — the k-panel split round-trips
+/// finished partial sums through `c`, which is exact in f64 — so
+/// results are bit-identical to an unblocked sweep and to `lanes` solo
+/// GEMM calls in the same tier.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+unsafe fn bgemm_packed_avx512(
+    lanes: usize,
+    a: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+    ars: usize,
+    aks: usize,
+) {
+    let kc = bgemm_kpanel(n, kd, 64);
+    BGEMM_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let atile = aligned_scratch(&mut buf, kc * 32);
+        // SAFETY: caller guarantees avx512f/fma and shapes.
+        unsafe { bgemm_packed_kern_avx512(lanes, a, bp, c, m, kd, n, kc, atile, ars, aks) }
+    });
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+unsafe fn bgemm_packed_kern_avx512(
+    lanes: usize,
+    a: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    m: usize,
+    kd: usize,
+    n: usize,
+    kc: usize,
+    atile: &mut [f64],
+    ars: usize,
+    aks: usize,
+) {
+    let rl = n * lanes;
+    let pa = a.as_ptr();
+    let pb = bp.as_ptr();
+    let pc = c.as_mut_ptr();
+    let nb = n / 4;
+    for (ls_i, ls) in (0..lanes).step_by(8).enumerate() {
+        let mut k0 = 0;
+        while k0 < kd {
+            let kn = (kd - k0).min(kc);
+            let base = (ls_i * kd + k0) * (n * 8);
+            let pblk = pb.add(base);
+            let ptail = pb.add(base + nb * kn * 32);
+            let mut r = 0;
+            while r + 4 <= m {
+                // Pack the 4-row A tile: k ascending, 4 row strips per k.
+                for k in 0..kn {
+                    for i in 0..4 {
+                        let src = (r + i) * ars + (k0 + k) * aks + ls;
+                        atile[k * 32 + i * 8..k * 32 + i * 8 + 8].copy_from_slice(&a[src..src + 8]);
+                    }
+                }
+                let pap = atile.as_ptr();
+                let pcr = [
+                    pc.add(r * rl),
+                    pc.add((r + 1) * rl),
+                    pc.add((r + 2) * rl),
+                    pc.add((r + 3) * rl),
+                ];
+                for jb in 0..nb {
+                    let o = [
+                        jb * 4 * lanes + ls,
+                        (jb * 4 + 1) * lanes + ls,
+                        (jb * 4 + 2) * lanes + ls,
+                        (jb * 4 + 3) * lanes + ls,
+                    ];
+                    let pj = pblk.add(jb * kn * 32);
+                    let mut acc = [[_mm512_setzero_pd(); 4]; 4];
+                    for i in 0..4 {
+                        for q in 0..4 {
+                            acc[i][q] = _mm512_loadu_pd(pcr[i].add(o[q]));
+                        }
+                    }
+                    for k in 0..kn {
+                        let av = [
+                            _mm512_loadu_pd(pap.add(k * 32)),
+                            _mm512_loadu_pd(pap.add(k * 32 + 8)),
+                            _mm512_loadu_pd(pap.add(k * 32 + 16)),
+                            _mm512_loadu_pd(pap.add(k * 32 + 24)),
+                        ];
+                        for q in 0..4 {
+                            let bv = _mm512_loadu_pd(pj.add(k * 32 + q * 8));
+                            for i in 0..4 {
+                                acc[i][q] = _mm512_fmadd_pd(av[i], bv, acc[i][q]);
+                            }
+                        }
+                    }
+                    for i in 0..4 {
+                        for q in 0..4 {
+                            _mm512_storeu_pd(pcr[i].add(o[q]), acc[i][q]);
+                        }
+                    }
+                }
+                // Column tail (n % 4) for these 4 rows.
+                for jt in nb * 4..n {
+                    let o = jt * lanes + ls;
+                    let pj = ptail.add((jt - nb * 4) * kn * 8);
+                    let mut acc = [
+                        _mm512_loadu_pd(pcr[0].add(o)),
+                        _mm512_loadu_pd(pcr[1].add(o)),
+                        _mm512_loadu_pd(pcr[2].add(o)),
+                        _mm512_loadu_pd(pcr[3].add(o)),
+                    ];
+                    for k in 0..kn {
+                        let bv = _mm512_loadu_pd(pj.add(k * 8));
+                        for i in 0..4 {
+                            acc[i] = _mm512_fmadd_pd(
+                                _mm512_loadu_pd(pap.add(k * 32 + i * 8)),
+                                bv,
+                                acc[i],
+                            );
+                        }
+                    }
+                    for i in 0..4 {
+                        _mm512_storeu_pd(pcr[i].add(o), acc[i]);
+                    }
+                }
+                r += 4;
+            }
+            // Row tail (m % 4): single rows straight from A.
+            while r < m {
+                let pa0 = pa.add(r * ars + ls);
+                let pc0 = pc.add(r * rl);
+                for jb in 0..nb {
+                    let o = [
+                        jb * 4 * lanes + ls,
+                        (jb * 4 + 1) * lanes + ls,
+                        (jb * 4 + 2) * lanes + ls,
+                        (jb * 4 + 3) * lanes + ls,
+                    ];
+                    let pj = pblk.add(jb * kn * 32);
+                    let mut cv = [
+                        _mm512_loadu_pd(pc0.add(o[0])),
+                        _mm512_loadu_pd(pc0.add(o[1])),
+                        _mm512_loadu_pd(pc0.add(o[2])),
+                        _mm512_loadu_pd(pc0.add(o[3])),
+                    ];
+                    for k in 0..kn {
+                        let av = _mm512_loadu_pd(pa0.add((k0 + k) * aks));
+                        for q in 0..4 {
+                            cv[q] =
+                                _mm512_fmadd_pd(av, _mm512_loadu_pd(pj.add(k * 32 + q * 8)), cv[q]);
+                        }
+                    }
+                    for q in 0..4 {
+                        _mm512_storeu_pd(pc0.add(o[q]), cv[q]);
+                    }
+                }
+                for jt in nb * 4..n {
+                    let o = jt * lanes + ls;
+                    let pj = ptail.add((jt - nb * 4) * kn * 8);
+                    let mut cv = _mm512_loadu_pd(pc0.add(o));
+                    for k in 0..kn {
+                        cv = _mm512_fmadd_pd(
+                            _mm512_loadu_pd(pa0.add((k0 + k) * aks)),
+                            _mm512_loadu_pd(pj.add(k * 8)),
+                            cv,
+                        );
+                    }
+                    _mm512_storeu_pd(pc0.add(o), cv);
+                }
+                r += 1;
+            }
+            k0 += kn;
+        }
+    }
+}
+
+/// Carves a 64-byte-aligned `len`-element window out of the per-thread
+/// scratch: every packed-panel load in the micro-kernels then stays
+/// inside one cache line (split loads halve L1 bandwidth).
+#[cfg(target_arch = "x86_64")]
+fn aligned_scratch(buf: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    if buf.len() < len + 8 {
+        buf.resize(len + 8, 0.0);
+    }
+    let off = (buf.as_ptr() as usize).wrapping_neg() % 64 / 8;
+    &mut buf[off..off + len]
+}
+/// Fused Adam update over `lanes` interleaved model instances with
+/// **per-lane** bias corrections and learning rates (co-executed
+/// instances may sit at different step counts `t`): element `i` belongs
+/// to lane `i % lanes` and uses `bc1[i % lanes]`, `bc2[i % lanes]`,
+/// `lr[i % lanes]`. β1/β2/ε are shared (instance compatibility requires
+/// equal Adam betas).
+///
+/// Per-element arithmetic matches [`adam_update`] in the same tier
+/// exactly, so a batched step is bit-identical to `lanes` solo steps.
+///
+/// # Panics
+/// Panics if `lanes` is not a positive multiple of 8, the per-lane
+/// slices are not `lanes` long, or the flat slices differ in length.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_update_multi(
+    lanes: usize,
+    p: &mut [f64],
+    g: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    b1: f64,
+    b2: f64,
+    bc1: &[f64],
+    bc2: &[f64],
+    lr: &[f64],
+    eps: f64,
+) {
+    let n = p.len();
+    assert!(
+        lanes > 0 && lanes.is_multiple_of(8),
+        "adam_update_multi lanes must be a positive multiple of 8"
+    );
+    assert!(
+        g.len() == n && m.len() == n && v.len() == n,
+        "adam_update_multi length mismatch"
+    );
+    assert!(
+        n.is_multiple_of(lanes),
+        "adam_update_multi slices must be lane-aligned"
+    );
+    assert!(
+        bc1.len() == lanes && bc2.len() == lanes && lr.len() == lanes,
+        "adam_update_multi per-lane constants"
+    );
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: each vector tier implies its CPU features are available;
+    // lanes % 8 == 0 keeps constant strips inside one lane run.
+    match current_tier() {
+        SimdTier::Avx512 => {
+            return unsafe {
+                adam_update_multi_avx512(lanes, p, g, m, v, b1, b2, bc1, bc2, lr, eps)
+            }
+        }
+        SimdTier::Avx2 => {
+            return unsafe { adam_update_multi_avx2(lanes, p, g, m, v, b1, b2, bc1, bc2, lr, eps) }
+        }
+        SimdTier::Scalar => {}
+    }
+    for i in 0..n {
+        let l = i % lanes;
+        m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+        v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+        let mh = m[i] / bc1[l];
+        let vh = v[i] / bc2[l];
+        p[i] -= lr[l] * mh / (vh.sqrt() + eps);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn adam_update_multi_avx2(
+    lanes: usize,
+    p: &mut [f64],
+    g: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    b1: f64,
+    b2: f64,
+    bc1: &[f64],
+    bc2: &[f64],
+    lr: &[f64],
+    eps: f64,
+) {
+    let n = p.len();
+    let (b1v, b2v) = (_mm256_set1_pd(b1), _mm256_set1_pd(b2));
+    let (c1v, c2v) = (_mm256_set1_pd(1.0 - b1), _mm256_set1_pd(1.0 - b2));
+    let epsv = _mm256_set1_pd(eps);
+    let (pp, pg, pm, pv) = (p.as_mut_ptr(), g.as_ptr(), m.as_mut_ptr(), v.as_mut_ptr());
+    let mut i = 0;
+    // lanes % 8 == 0 means every 4-wide strip starting at a multiple of
+    // 4 stays inside one lane run, so the per-lane constants are
+    // contiguous loads at offset i % lanes.
+    while i + 4 <= n {
+        let l = i % lanes;
+        let bc1v = _mm256_loadu_pd(bc1.as_ptr().add(l));
+        let bc2v = _mm256_loadu_pd(bc2.as_ptr().add(l));
+        let lrv = _mm256_loadu_pd(lr.as_ptr().add(l));
+        let gv = _mm256_loadu_pd(pg.add(i));
+        let mv = _mm256_fmadd_pd(b1v, _mm256_loadu_pd(pm.add(i)), _mm256_mul_pd(c1v, gv));
+        let vv = _mm256_fmadd_pd(
+            b2v,
+            _mm256_loadu_pd(pv.add(i)),
+            _mm256_mul_pd(_mm256_mul_pd(c2v, gv), gv),
+        );
+        _mm256_storeu_pd(pm.add(i), mv);
+        _mm256_storeu_pd(pv.add(i), vv);
+        let mh = _mm256_div_pd(mv, bc1v);
+        let vh = _mm256_div_pd(vv, bc2v);
+        let denom = _mm256_add_pd(_mm256_sqrt_pd(vh), epsv);
+        let step = _mm256_div_pd(_mm256_mul_pd(lrv, mh), denom);
+        _mm256_storeu_pd(pp.add(i), _mm256_sub_pd(_mm256_loadu_pd(pp.add(i)), step));
+        i += 4;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+unsafe fn adam_update_multi_avx512(
+    lanes: usize,
+    p: &mut [f64],
+    g: &[f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    b1: f64,
+    b2: f64,
+    bc1: &[f64],
+    bc2: &[f64],
+    lr: &[f64],
+    eps: f64,
+) {
+    let n = p.len();
+    let (b1v, b2v) = (_mm512_set1_pd(b1), _mm512_set1_pd(b2));
+    let (c1v, c2v) = (_mm512_set1_pd(1.0 - b1), _mm512_set1_pd(1.0 - b2));
+    let epsv = _mm512_set1_pd(eps);
+    let (pp, pg, pm, pv) = (p.as_mut_ptr(), g.as_ptr(), m.as_mut_ptr(), v.as_mut_ptr());
+    let mut i = 0;
+    while i + 8 <= n {
+        let l = i % lanes;
+        let bc1v = _mm512_loadu_pd(bc1.as_ptr().add(l));
+        let bc2v = _mm512_loadu_pd(bc2.as_ptr().add(l));
+        let lrv = _mm512_loadu_pd(lr.as_ptr().add(l));
+        let gv = _mm512_loadu_pd(pg.add(i));
+        let mv = _mm512_fmadd_pd(b1v, _mm512_loadu_pd(pm.add(i)), _mm512_mul_pd(c1v, gv));
+        let vv = _mm512_fmadd_pd(
+            b2v,
+            _mm512_loadu_pd(pv.add(i)),
+            _mm512_mul_pd(_mm512_mul_pd(c2v, gv), gv),
+        );
+        _mm512_storeu_pd(pm.add(i), mv);
+        _mm512_storeu_pd(pv.add(i), vv);
+        let mh = _mm512_div_pd(mv, bc1v);
+        let vh = _mm512_div_pd(vv, bc2v);
+        let denom = _mm512_add_pd(_mm512_sqrt_pd(vh), epsv);
+        let step = _mm512_div_pd(_mm512_mul_pd(lrv, mh), denom);
+        _mm512_storeu_pd(pp.add(i), _mm512_sub_pd(_mm512_loadu_pd(pp.add(i)), step));
+        i += 8;
     }
 }
 
@@ -1598,6 +3261,116 @@ mod tests {
                 });
             }
         }
+    }
+
+    #[test]
+    fn bgemm_accum_matches_per_lane_solo_products() {
+        // Batched C += A·B over interleaved lanes must be bit-identical
+        // (per tier) to running each lane's product through the scalar
+        // per-element accumulation it documents.
+        let lanes = 8;
+        for &(m, kd, n) in &[(1usize, 1usize, 1usize), (2, 3, 5), (5, 7, 4), (4, 8, 3)] {
+            let a = seq(m * kd * lanes, |i| (i as f64 * 0.37).sin());
+            let b = seq(kd * n * lanes, |i| (i as f64 * 0.13).cos());
+            let c0 = seq(m * n * lanes, |i| i as f64 * 0.01 - 0.2);
+            for &t in available_tiers() {
+                with_tier(t, || {
+                    let mut c = c0.clone();
+                    bgemm_accum(lanes, &a, &b, &mut c, m, kd, n);
+                    for r in 0..m {
+                        for j in 0..n {
+                            for l in 0..lanes {
+                                let mut want = c0[(r * n + j) * lanes + l];
+                                for k in 0..kd {
+                                    let av = a[(r * kd + k) * lanes + l];
+                                    let bv = b[(k * n + j) * lanes + l];
+                                    want = if t == SimdTier::Scalar {
+                                        want + av * bv
+                                    } else {
+                                        av.mul_add(bv, want)
+                                    };
+                                }
+                                let got = c[(r * n + j) * lanes + l];
+                                assert_eq!(
+                                    got.to_bits(),
+                                    want.to_bits(),
+                                    "bgemm {t:?} m={m} kd={kd} n={n} r={r} j={j} l={l}"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn adam_update_multi_matches_solo_per_lane() {
+        // A batched step with per-lane constants must be bit-identical
+        // to `lanes` solo adam_update calls on the deinterleaved slices.
+        let lanes = 8;
+        let np = 13; // params per lane (odd, exercises solo tails)
+        let n = np * lanes;
+        let g = seq(n, |i| (i as f64 * 0.21).sin());
+        let p0 = seq(n, |i| i as f64 * 0.01);
+        let m0 = seq(n, |i| (i as f64 * 0.1).cos() * 0.2);
+        let v0 = seq(n, |i| 0.1 + i as f64 * 1e-3);
+        let bc1: Vec<f64> = (0..lanes).map(|l| 0.1 + l as f64 * 0.02).collect();
+        let bc2: Vec<f64> = (0..lanes).map(|l| 0.001 + l as f64 * 1e-4).collect();
+        let lr: Vec<f64> = (0..lanes).map(|l| 1e-3 * (1.0 + l as f64 * 0.1)).collect();
+        for &t in available_tiers() {
+            with_tier(t, || {
+                let (mut p, mut m, mut v) = (p0.clone(), m0.clone(), v0.clone());
+                adam_update_multi(
+                    lanes, &mut p, &g, &mut m, &mut v, 0.9, 0.999, &bc1, &bc2, &lr, 1e-8,
+                );
+                for l in 0..lanes {
+                    let pick =
+                        |s: &[f64]| -> Vec<f64> { (0..np).map(|i| s[i * lanes + l]).collect() };
+                    let (mut sp, smg, mut sm, mut sv) = (pick(&p0), pick(&g), pick(&m0), pick(&v0));
+                    adam_update(
+                        &mut sp, &smg, &mut sm, &mut sv, 0.9, 0.999, bc1[l], bc2[l], lr[l], 1e-8,
+                    );
+                    for i in 0..np {
+                        assert_eq!(
+                            p[i * lanes + l].to_bits(),
+                            sp[i].to_bits(),
+                            "adam_multi {t:?} lane {l} param {i}"
+                        );
+                        assert_eq!(m[i * lanes + l].to_bits(), sm[i].to_bits());
+                        assert_eq!(v[i * lanes + l].to_bits(), sv[i].to_bits());
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn avx512_request_degrades_without_panicking() {
+        // `SGM_SIMD=avx512` must never abort: with_tier still rejects an
+        // unavailable tier, but the env path (detected_tier) degrades.
+        // We can't re-parse the env here (OnceLock), so assert the
+        // invariants the degrade path relies on instead.
+        if !avx512_available() {
+            assert!(!available_tiers().contains(&SimdTier::Avx512));
+            let err = std::panic::catch_unwind(|| with_tier(SimdTier::Avx512, || ()));
+            assert!(err.is_err(), "forcing an unavailable tier must panic");
+        } else {
+            assert!(available_tiers().contains(&SimdTier::Avx512));
+            with_tier(SimdTier::Avx512, || {
+                assert_eq!(current_tier(), SimdTier::Avx512);
+            });
+        }
+    }
+
+    #[test]
+    fn tier_codes_and_names_are_stable() {
+        assert_eq!(SimdTier::Scalar.code(), 1);
+        assert_eq!(SimdTier::Avx2.code(), 2);
+        assert_eq!(SimdTier::Avx512.code(), 3);
+        assert_eq!(SimdTier::Scalar.name(), "scalar");
+        assert_eq!(SimdTier::Avx2.name(), "avx2");
+        assert_eq!(SimdTier::Avx512.name(), "avx512");
     }
 
     #[test]

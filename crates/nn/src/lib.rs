@@ -55,11 +55,13 @@
 //! ```
 
 pub mod activation;
+pub mod batched;
 pub mod checkpoint;
 pub mod mlp;
 pub mod optimizer;
 
 pub use activation::Activation;
+pub use batched::{BatchedAdam, BatchedGradients, BatchedMlp, BatchedWorkspace};
 pub use checkpoint::Checkpoint;
 pub use mlp::{BatchDerivatives, ForwardCache, Gradients, Mlp, MlpConfig};
 pub use optimizer::{Adam, AdamConfig, LrSchedule};

@@ -16,7 +16,9 @@ use sgm_linalg::simd;
 /// of the batch size only (never the thread count), so per-chunk gradient
 /// accumulation merges identically for every [`sgm_par::Parallelism`]
 /// setting — including `Serial`, which walks the same chunks in order.
-const MLP_PAR_MIN_ROWS: usize = 16;
+/// 64 rows keeps the batched GEMM micro-kernels (4-row register tiles)
+/// fed; shorter chunks waste most of their time on loop prologues.
+const MLP_PAR_MIN_ROWS: usize = 64;
 
 /// Auto-mode work cutoff (≈ batch × params × derivative-paths) below
 /// which chunking to the pool costs more than it saves.
@@ -40,7 +42,7 @@ fn scatter_band(dst: &mut Matrix, r0: usize, band: &Matrix) {
 }
 
 /// Chunk row ranges for a batch: boundaries depend only on `batch`.
-fn batch_chunks(batch: usize) -> Vec<(usize, usize)> {
+pub(crate) fn batch_chunks(batch: usize) -> Vec<(usize, usize)> {
     if batch == 0 {
         return vec![(0, 0)];
     }
@@ -84,10 +86,10 @@ pub struct MlpConfig {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-struct DenseLayer {
+pub(crate) struct DenseLayer {
     /// `out × in` weights.
-    w: Matrix,
-    b: Vec<f64>,
+    pub(crate) w: Matrix,
+    pub(crate) b: Vec<f64>,
 }
 
 /// Values and input derivatives of a batch forward pass.
@@ -189,8 +191,8 @@ impl ForwardCache {
 /// Parameter gradients, shaped like the network.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Gradients {
-    w: Vec<Matrix>,
-    b: Vec<Vec<f64>>,
+    pub(crate) w: Vec<Matrix>,
+    pub(crate) b: Vec<Vec<f64>>,
 }
 
 impl Gradients {
@@ -294,7 +296,7 @@ pub struct Mlp {
     /// Frozen Fourier frequency matrix (`num_features × input_dim`),
     /// pre-scaled by 2π.
     freq: Option<Matrix>,
-    layers: Vec<DenseLayer>,
+    pub(crate) layers: Vec<DenseLayer>,
 }
 
 impl Mlp {

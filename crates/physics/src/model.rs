@@ -12,7 +12,7 @@ use crate::problem::{Problem, TrainSet};
 use sgm_graph::points::PointCloud;
 use sgm_linalg::dense::Matrix;
 use sgm_nn::mlp::{BatchDerivatives, Gradients, Mlp, MlpWorkspace};
-use sgm_train::{LossModel, ModelWorkspace};
+use sgm_train::{BatchedLossModel, LossModel, ModelWorkspace};
 use std::any::Any;
 
 /// A [`Problem`] + [`TrainSet`] pair viewed as a training objective.
@@ -69,6 +69,12 @@ impl PinnWorkspace {
     fn of(ws: &mut dyn ModelWorkspace) -> &mut PinnWorkspace {
         ws.as_any_mut()
             .downcast_mut()
+            .expect("workspace was not created by PinnModel")
+    }
+
+    fn of_ref(ws: &dyn ModelWorkspace) -> &PinnWorkspace {
+        ws.as_any()
+            .downcast_ref()
             .expect("workspace was not created by PinnModel")
     }
 }
@@ -241,6 +247,85 @@ impl LossModel for PinnModel<'_> {
 
     fn losses_at(&self, net: &Mlp, coords: &Matrix) -> Vec<f64> {
         self.problem.sample_losses_at(net, coords)
+    }
+}
+
+/// The staged halves of [`LossModel::loss_and_grad`], exposed so the
+/// lockstep runner (`sgm_train::multi`) can route the network forward
+/// and backward passes through the batched kernels. The adjoint
+/// arithmetic here is byte-for-byte the middle of `loss_and_grad`,
+/// reading from the passed derivatives instead of the internal network
+/// workspace — for bit-identical derivative inputs it produces
+/// bit-identical adjoints, which is what the lockstep determinism
+/// contract rests on.
+impl BatchedLossModel for PinnModel<'_> {
+    fn diff_dims(&self) -> Vec<usize> {
+        self.problem.pde.diff_dims()
+    }
+
+    fn interior_input<'a>(&self, ws: &'a dyn ModelWorkspace) -> &'a Matrix {
+        &PinnWorkspace::of_ref(ws).xi
+    }
+
+    fn boundary_input<'a>(&self, ws: &'a dyn ModelWorkspace) -> Option<&'a Matrix> {
+        let ws = PinnWorkspace::of_ref(ws);
+        (ws.bb > 0).then_some(&ws.xb)
+    }
+
+    fn interior_adjoints(
+        &self,
+        ws: &mut dyn ModelWorkspace,
+        derivs: &BatchDerivatives,
+        adj: &mut BatchDerivatives,
+    ) -> f64 {
+        let ws = PinnWorkspace::of(ws);
+        let PinnWorkspace {
+            xi, resid, factors, ..
+        } = &mut *ws;
+        self.problem.pde.residuals_into(xi, derivs, resid);
+        let bi = xi.rows();
+        let nr = self.problem.pde.num_residuals();
+        let inv_b = 1.0 / bi as f64;
+        let mut total = 0.0;
+        for i in 0..bi {
+            for k in 0..nr {
+                let w = self.problem.residual_weights[k];
+                let rv = resid.get(i, k);
+                total += w * rv * rv * inv_b;
+                factors.set(i, k, 2.0 * w * rv * inv_b);
+            }
+        }
+        adj.zero();
+        self.problem
+            .pde
+            .accumulate_adjoints(xi, derivs, factors, adj);
+        total
+    }
+
+    fn boundary_adjoints(
+        &self,
+        ws: &mut dyn ModelWorkspace,
+        values: &Matrix,
+        adj: &mut BatchDerivatives,
+    ) -> f64 {
+        let ws = PinnWorkspace::of(ws);
+        let o = values.cols();
+        let inv_b = 1.0 / ws.bidx.len() as f64;
+        adj.zero();
+        let mut total = 0.0;
+        for (row, &i) in ws.bidx.iter().enumerate() {
+            for k in 0..o {
+                let t = self.data.boundary_targets.get(i, k);
+                if t.is_nan() {
+                    continue;
+                }
+                let r = values.get(row, k) - t;
+                total += self.problem.bc_weight * r * r * inv_b;
+                adj.values
+                    .set(row, k, 2.0 * self.problem.bc_weight * r * inv_b);
+            }
+        }
+        total
     }
 }
 
@@ -460,6 +545,105 @@ mod tests {
             assert_eq!(l1.to_bits(), l2.to_bits());
             for (a, b) in g1.flat().iter().zip(&g2.flat()) {
                 assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// A 3-job PINN parameter sweep through the batched lockstep runner
+    /// reproduces each solo `Trainer` run bit for bit — losses,
+    /// validation errors, clocks and final parameters. This is the full
+    /// batched path: fourier-less tanh nets, second derivatives along
+    /// both inputs, and a Dirichlet boundary term.
+    #[test]
+    fn pinn_lockstep_sweep_matches_solo_bitwise() {
+        use sgm_train::{ParamSweep, SweepJob};
+        const DT: f64 = 1.0 / 1024.0;
+        let setups: Vec<_> = (0..3).map(|i| poisson_setup(40 + i)).collect();
+        let optses: Vec<TrainOptions> = (0..3)
+            .map(|i| TrainOptions {
+                iterations: 30,
+                batch_interior: 24,
+                batch_boundary: 12,
+                adam: AdamConfig {
+                    lr: [5e-3, 1e-3, 2e-3][i],
+                    schedule: if i == 2 {
+                        LrSchedule::Exponential {
+                            gamma: 0.9,
+                            decay_steps: 5,
+                        }
+                    } else {
+                        LrSchedule::Constant
+                    },
+                    ..AdamConfig::default()
+                },
+                seed: 7 + i as u64,
+                record_every: 10,
+                max_seconds: None,
+                synthetic_dt: Some(DT),
+            })
+            .collect();
+
+        // Solo reference runs.
+        let mut solo = Vec::new();
+        for (i, (net, problem, data, val)) in setups.iter().enumerate() {
+            let mut n = net.clone();
+            let model = PinnModel::new(problem, data);
+            let mut sampler = UniformSampler::new(data.num_interior());
+            let r = Trainer {
+                net: &mut n,
+                model: &model,
+            }
+            .run(&mut sampler, Some(val), &optses[i]);
+            solo.push((n, r));
+        }
+
+        // The same three runs as one lockstep batch.
+        let mut nets: Vec<Mlp> = setups.iter().map(|s| s.0.clone()).collect();
+        let models: Vec<PinnModel<'_>> = setups
+            .iter()
+            .map(|(_, problem, data, _)| PinnModel::new(problem, data))
+            .collect();
+        let mut samplers: Vec<UniformSampler> = setups
+            .iter()
+            .map(|(_, _, data, _)| UniformSampler::new(data.num_interior()))
+            .collect();
+        let mut jobs: Vec<SweepJob<'_>> = nets
+            .iter_mut()
+            .zip(&models)
+            .zip(&mut samplers)
+            .zip(&optses)
+            .zip(&setups)
+            .map(|((((net, model), sampler), opts), setup)| SweepJob {
+                net,
+                model,
+                sampler,
+                validator: Some(&setup.3),
+                opts,
+            })
+            .collect();
+        let results = ParamSweep::run(&mut jobs).unwrap();
+        drop(jobs);
+
+        for i in 0..3 {
+            let (sn, sr) = &solo[i];
+            let br = &results[i];
+            assert_eq!(sr.history.len(), br.history.len(), "job {i}: history");
+            for (a, b) in sr.history.iter().zip(&br.history) {
+                assert_eq!(a.iteration, b.iteration, "job {i}");
+                assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "job {i}");
+                assert_eq!(
+                    a.train_loss.to_bits(),
+                    b.train_loss.to_bits(),
+                    "job {i} iter {}",
+                    a.iteration
+                );
+                assert_eq!(a.val_errors.len(), b.val_errors.len(), "job {i}");
+                for (x, y) in a.val_errors.iter().zip(&b.val_errors) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "job {i} iter {}", a.iteration);
+                }
+            }
+            for (a, b) in sn.params().iter().zip(&nets[i].params()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "job {i}: params");
             }
         }
     }

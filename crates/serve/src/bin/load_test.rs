@@ -284,7 +284,11 @@ fn main() {
             .meta("queue_depth", Value::Num(args.queue_depth as f64))
             .meta("fairness_ratio", Value::Num(ratio))
             .meta("retries_429", Value::Num(total_retries as f64))
-            .meta("elapsed_seconds", Value::Num(elapsed));
+            .meta("elapsed_seconds", Value::Num(elapsed))
+            .meta(
+                "simd_tier",
+                Value::Str(sgm_linalg::simd::detected_tier().name().to_string()),
+            );
         let mut records: Vec<(u64, f64, f64)> = outcomes
             .iter()
             .flat_map(|(_, o)| o.completed.iter().copied())

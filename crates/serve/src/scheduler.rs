@@ -24,7 +24,7 @@ use crate::spec::JobSpec;
 use sgm_obs::{Counter, Gauge, Histogram, MetricScope};
 use sgm_par::Parallelism;
 use sgm_physics::PinnModel;
-use sgm_train::{RunState, Segment, Stage, StageTimes, Trainer, Validator};
+use sgm_train::{run_lockstep, MultiJob, RunState, Segment, Stage, StageTimes, Trainer, Validator};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -50,9 +50,10 @@ pub static JOBS_IN_FLIGHT: Gauge = Gauge::new("sgm_serve_jobs_in_flight");
 /// Wall time per executed slice, nanoseconds.
 pub static SLICE_NS: Histogram = Histogram::new("sgm_serve_slice_ns");
 
-/// Server configuration. `addr`, `max_jobs` and `queue_depth` honor the
-/// `SGM_SERVE_ADDR`, `SGM_SERVE_MAX_JOBS` and `SGM_SERVE_QUEUE_DEPTH`
-/// environment variables via [`ServeConfig::from_env`].
+/// Server configuration. `addr`, `max_jobs`, `queue_depth` and
+/// `co_slice` honor the `SGM_SERVE_ADDR`, `SGM_SERVE_MAX_JOBS`,
+/// `SGM_SERVE_QUEUE_DEPTH` and `SGM_SERVE_CO_SLICE` environment
+/// variables via [`ServeConfig::from_env`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks a free port).
@@ -78,6 +79,15 @@ pub struct ServeConfig {
     /// (`sgm-par`'s setting is thread-local, so workers must re-enter
     /// it).
     pub parallelism: Parallelism,
+    /// Lockstep co-execution width: a worker picking a job may batch up
+    /// to this many co-compatible queued jobs
+    /// ([`JobSpec::co_compatible`]) into one slice executed through the
+    /// batched multi-model kernels (`sgm_train::run_lockstep`). `1`
+    /// (the default) disables grouping. Per-job checkpoints stay
+    /// bit-identical to solo execution; only measured wall clocks
+    /// differ (each member is charged the full group slice) and
+    /// per-stage timing is not attributed for co-executed slices.
+    pub co_slice: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,13 +103,15 @@ impl Default for ServeConfig {
             read_timeout_ms: 2_000,
             max_body_bytes: 16 * 1024 * 1024,
             parallelism: Parallelism::Serial,
+            co_slice: 1,
         }
     }
 }
 
 impl ServeConfig {
-    /// Defaults overridden by `SGM_SERVE_ADDR`, `SGM_SERVE_MAX_JOBS`
-    /// and `SGM_SERVE_QUEUE_DEPTH` (invalid values are ignored).
+    /// Defaults overridden by `SGM_SERVE_ADDR`, `SGM_SERVE_MAX_JOBS`,
+    /// `SGM_SERVE_QUEUE_DEPTH` and `SGM_SERVE_CO_SLICE` (invalid
+    /// values are ignored).
     pub fn from_env() -> Self {
         let mut cfg = ServeConfig::default();
         if let Ok(v) = std::env::var("SGM_SERVE_ADDR") {
@@ -112,6 +124,9 @@ impl ServeConfig {
         }
         if let Some(n) = env_usize("SGM_SERVE_QUEUE_DEPTH") {
             cfg.queue_depth = n.max(1);
+        }
+        if let Some(n) = env_usize("SGM_SERVE_CO_SLICE") {
+            cfg.co_slice = n.max(1);
         }
         cfg
     }
@@ -276,6 +291,42 @@ impl Inner {
             }
         }
         None
+    }
+
+    /// Pops up to `width - 1` additional queued jobs that can share a
+    /// lockstep slice with `lead` (scanning tenant queues in rotation
+    /// order), returning the whole group with `lead` first. Returns
+    /// just `[lead]` when `lead` itself is not co-eligible — e.g. an
+    /// adaptive sampler, fault injection, or a resumed checkpoint
+    /// carrying point-set state.
+    fn pick_co_group(&mut self, lead: u64, width: usize) -> Vec<u64> {
+        let mut group = vec![lead];
+        if width <= 1 || !co_eligible(&self.jobs[&lead]) {
+            return group;
+        }
+        let lead_spec = self.jobs[&lead].spec.clone();
+        let tenants = self.tenants.clone();
+        'scan: for t in &tenants {
+            let Some(q) = self.queues.get_mut(t) else {
+                continue;
+            };
+            let mut i = 0;
+            while i < q.len() {
+                if group.len() >= width {
+                    break 'scan;
+                }
+                let id = q[i];
+                let job = &self.jobs[&id];
+                if co_eligible(job) && lead_spec.co_compatible(&job.spec) {
+                    q.remove(i);
+                    self.queued -= 1;
+                    group.push(id);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        group
     }
 
     fn enqueue(&mut self, id: u64) {
@@ -477,12 +528,18 @@ impl Scheduler {
     /// Worker-pool thread body: picks jobs fairly, executes one slice,
     /// settles or requeues. Returns when shutdown has begun and no work
     /// remains. Worker panics inside a slice are caught and charged to
-    /// the job, never to the pool thread.
+    /// the job (or the whole co-executed group), never to the pool
+    /// thread.
+    ///
+    /// With [`ServeConfig::co_slice`] > 1 the worker batches up to that
+    /// many co-compatible queued jobs into one lockstep slice executed
+    /// through `sgm_train::run_lockstep` — same per-job checkpoints,
+    /// one pass through the batched kernels.
     pub fn worker_loop(&self) {
         loop {
-            let (id, spec, start, stop_after) = {
+            let (group, specs, starts, stop_afters) = {
                 let mut inner = self.inner.lock().expect("scheduler poisoned");
-                let id = loop {
+                let lead = loop {
                     if let Some(id) = inner.pick() {
                         break id;
                     }
@@ -491,93 +548,151 @@ impl Scheduler {
                     }
                     inner = self.work_ready.wait(inner).expect("scheduler poisoned");
                 };
-                let job = inner.jobs.get_mut(&id).expect("picked job exists");
-                job.state = JobState::Running;
-                let stop_after =
-                    (job.iteration + self.cfg.slice_iterations).min(job.spec.iterations);
-                let tuple = (id, job.spec.clone(), job.run.clone(), stop_after);
+                let group = inner.pick_co_group(lead, self.cfg.co_slice.max(1));
+                // Lockstep requires every member to run the same number
+                // of iterations, so the group slice is the shortest
+                // remaining stretch (capped by the preemption quantum).
+                let steps = group
+                    .iter()
+                    .map(|id| inner.jobs[id].spec.iterations - inner.jobs[id].iteration)
+                    .min()
+                    .unwrap_or(0)
+                    .min(self.cfg.slice_iterations);
+                let mut specs = Vec::with_capacity(group.len());
+                let mut starts = Vec::with_capacity(group.len());
+                let mut stop_afters = Vec::with_capacity(group.len());
+                for &id in &group {
+                    let job = inner.jobs.get_mut(&id).expect("picked job exists");
+                    job.state = JobState::Running;
+                    specs.push(job.spec.clone());
+                    starts.push(job.run.clone());
+                    stop_afters.push(job.iteration + steps);
+                }
                 inner.publish_gauges();
-                tuple
+                (group, specs, starts, stop_afters)
             };
 
             let t0 = Instant::now();
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_slice(&spec, start.as_ref(), stop_after, self.cfg.parallelism)
-            }));
+            // Per-job outcome: (segment, per-stage timings). Co-executed
+            // slices carry no stage attribution; group-level failures
+            // (panic or error) are charged to every member.
+            type SliceOutcome = Result<(Segment, Option<StageTimes>), (String, bool)>;
+            let outcomes: Vec<SliceOutcome> = if group.len() == 1 {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_slice(
+                        &specs[0],
+                        starts[0].as_ref(),
+                        stop_afters[0],
+                        self.cfg.parallelism,
+                    )
+                }));
+                vec![match caught {
+                    Err(payload) => Err((panic_message(&payload), true)),
+                    Ok(Err(msg)) => Err((msg, false)),
+                    Ok(Ok((segment, stages))) => Ok((segment, Some(stages))),
+                }]
+            } else {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_co_slice(&specs, &starts, &stop_afters, self.cfg.parallelism)
+                }));
+                match caught {
+                    Err(payload) => {
+                        let msg = panic_message(&payload);
+                        group.iter().map(|_| Err((msg.clone(), true))).collect()
+                    }
+                    Ok(Err(msg)) => group.iter().map(|_| Err((msg.clone(), false))).collect(),
+                    Ok(Ok(segments)) => segments.into_iter().map(|s| Ok((s, None))).collect(),
+                }
+            };
             let elapsed = t0.elapsed();
             SLICE_NS.record(elapsed.as_nanos().min(u64::MAX as u128) as u64);
 
             let mut inner = self.inner.lock().expect("scheduler poisoned");
             let draining = inner.shutdown;
-            let job = inner.jobs.get_mut(&id).expect("running job exists");
-            job.wall_seconds += elapsed.as_secs_f64();
-            job.scope.counter("sgm_run_slices_total").inc();
-            job.scope
-                .histogram("sgm_run_slice_ns")
-                .record_duration(elapsed);
-            job.scope
-                .gauge("sgm_run_wall_seconds")
-                .set(job.wall_seconds);
-            let mut requeue = false;
-            match outcome {
-                Err(payload) => {
-                    let msg = panic_message(&payload);
-                    job.state = JobState::Failed(format!("worker panicked: {msg}"));
-                    job.scope.counter("sgm_run_worker_panics_total").inc();
-                    WORKER_PANICS.inc();
-                    JOBS_FAILED.inc();
+            let mut requeued = false;
+            for (&id, outcome) in group.iter().zip(outcomes) {
+                let job = inner.jobs.get_mut(&id).expect("running job exists");
+                // Every member is charged the full (shared) slice.
+                job.wall_seconds += elapsed.as_secs_f64();
+                job.scope.counter("sgm_run_slices_total").inc();
+                job.scope
+                    .histogram("sgm_run_slice_ns")
+                    .record_duration(elapsed);
+                job.scope
+                    .gauge("sgm_run_wall_seconds")
+                    .set(job.wall_seconds);
+                let mut requeue = false;
+                match outcome {
+                    Err((msg, panicked)) => {
+                        if panicked {
+                            job.state = JobState::Failed(format!("worker panicked: {msg}"));
+                            job.scope.counter("sgm_run_worker_panics_total").inc();
+                            WORKER_PANICS.inc();
+                        } else {
+                            job.state = JobState::Failed(msg);
+                        }
+                        JOBS_FAILED.inc();
+                    }
+                    Ok((segment, stages)) => {
+                        if let Some(stages) = &stages {
+                            for s in Stage::ALL {
+                                job.stage_ns[s.index()] += stages.total_duration(s).as_nanos();
+                                job.stage_counts[s.index()] += stages.count(s);
+                            }
+                        }
+                        if let Some(state) = segment.state {
+                            job.iteration = state.iteration;
+                            job.run = Some(state);
+                        }
+                        if let Some(r) = segment.result.history.last() {
+                            job.last_loss = Some(r.train_loss);
+                            job.scope.gauge("sgm_run_train_loss").set(r.train_loss);
+                        }
+                        job.scope
+                            .gauge("sgm_run_iteration")
+                            .set(job.iteration as f64);
+                        let budget = job.wall_budget(&self.cfg);
+                        if job.cancel {
+                            job.state = JobState::Cancelled;
+                            JOBS_CANCELLED.inc();
+                        } else if job.iteration >= job.spec.iterations {
+                            job.state = JobState::Completed;
+                            JOBS_COMPLETED.inc();
+                        } else if budget.is_some_and(|b| job.wall_seconds > b) {
+                            job.state = JobState::Evicted(format!(
+                                "wall budget {}s exceeded ({:.3}s used at iteration {})",
+                                budget.unwrap_or(0.0),
+                                job.wall_seconds,
+                                job.iteration
+                            ));
+                            JOBS_EVICTED.inc();
+                        } else if draining {
+                            job.state = JobState::Paused;
+                        } else {
+                            job.state = JobState::Queued;
+                            requeue = true;
+                        }
+                    }
                 }
-                Ok(Err(msg)) => {
-                    job.state = JobState::Failed(msg);
-                    JOBS_FAILED.inc();
-                }
-                Ok(Ok((segment, stages))) => {
-                    for s in Stage::ALL {
-                        job.stage_ns[s.index()] += stages.total_duration(s).as_nanos();
-                        job.stage_counts[s.index()] += stages.count(s);
-                    }
-                    if let Some(state) = segment.state {
-                        job.iteration = state.iteration;
-                        job.run = Some(state);
-                    }
-                    if let Some(r) = segment.result.history.last() {
-                        job.last_loss = Some(r.train_loss);
-                        job.scope.gauge("sgm_run_train_loss").set(r.train_loss);
-                    }
-                    job.scope
-                        .gauge("sgm_run_iteration")
-                        .set(job.iteration as f64);
-                    let budget = job.wall_budget(&self.cfg);
-                    if job.cancel {
-                        job.state = JobState::Cancelled;
-                        JOBS_CANCELLED.inc();
-                    } else if job.iteration >= job.spec.iterations {
-                        job.state = JobState::Completed;
-                        JOBS_COMPLETED.inc();
-                    } else if budget.is_some_and(|b| job.wall_seconds > b) {
-                        job.state = JobState::Evicted(format!(
-                            "wall budget {}s exceeded ({:.3}s used at iteration {})",
-                            budget.unwrap_or(0.0),
-                            job.wall_seconds,
-                            job.iteration
-                        ));
-                        JOBS_EVICTED.inc();
-                    } else if draining {
-                        job.state = JobState::Paused;
-                    } else {
-                        job.state = JobState::Queued;
-                        requeue = true;
-                    }
+                if requeue {
+                    inner.enqueue(id);
+                    requeued = true;
                 }
             }
-            if requeue {
-                inner.enqueue(id);
+            if requeued {
                 self.work_ready.notify_one();
             }
             inner.publish_gauges();
             self.job_done.notify_all();
         }
     }
+}
+
+/// Whether a job may enter a lockstep co-execution group at all: the
+/// spec must be self-compatible (draw-only sampler, no fault injection)
+/// and any resume checkpoint must carry no point-set state.
+fn co_eligible(job: &Job) -> bool {
+    job.spec.co_compatible(&job.spec) && job.run.as_ref().is_none_or(|r| r.points.is_none())
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -618,6 +733,59 @@ fn run_slice(
             stop_after,
         )?;
         Ok((segment, stages))
+    })
+}
+
+/// Builds every job in a co-execution group, restores its checkpoint
+/// and runs the whole group through the batched lockstep runner in one
+/// pass. Each returned [`Segment`] is bit-identical to the one the solo
+/// [`run_slice`] path would have produced for that job (under synthetic
+/// clocks; measured clocks share the group's iteration timer).
+fn run_co_slice(
+    specs: &[JobSpec],
+    starts: &[Option<RunState>],
+    stop_afters: &[usize],
+    parallelism: Parallelism,
+) -> Result<Vec<Segment>, String> {
+    sgm_par::with_parallelism(parallelism, || {
+        let mut nets = Vec::with_capacity(specs.len());
+        let mut samplers = Vec::with_capacity(specs.len());
+        let mut problems = Vec::with_capacity(specs.len());
+        let mut validations = Vec::with_capacity(specs.len());
+        let mut optses = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let built = spec.build()?;
+            nets.push(built.net);
+            samplers.push(built.sampler);
+            problems.push((built.problem, built.data));
+            validations.push(built.validation);
+            optses.push(built.opts);
+        }
+        let models: Vec<PinnModel<'_>> = problems
+            .iter()
+            .map(|(problem, data)| PinnModel::new(problem, data))
+            .collect();
+        let mut jobs: Vec<MultiJob<'_>> = nets
+            .iter_mut()
+            .zip(&models)
+            .zip(samplers.iter_mut())
+            .zip(&validations)
+            .zip(&optses)
+            .zip(starts)
+            .zip(stop_afters)
+            .map(
+                |((((((net, model), sampler), validation), opts), start), &stop_after)| MultiJob {
+                    net,
+                    model,
+                    sampler: sampler.as_mut(),
+                    validator: validation.as_ref().map(|v| v as &dyn Validator),
+                    opts,
+                    start: start.as_ref(),
+                    stop_after,
+                },
+            )
+            .collect();
+        run_lockstep(&mut jobs)
     })
 }
 
@@ -786,6 +954,82 @@ mod tests {
                 .with_job(id, |j| (j.run.is_some(), j.iteration))
                 .unwrap();
             assert!(run && iter > 0, "evicted job keeps its checkpoint");
+        });
+    }
+
+    #[test]
+    fn co_group_pops_compatible_jobs_across_tenants() {
+        let sched = Scheduler::new(ServeConfig {
+            co_slice: 4,
+            ..ServeConfig::default()
+        });
+        let a = sched.submit(quick_spec("a", 20), None).unwrap();
+        let b = sched.submit(quick_spec("b", 30), None).unwrap(); // compatible, other tenant
+        let mut wide = quick_spec("a", 20);
+        wide.hidden_width = 6;
+        let c = sched.submit(wide, None).unwrap(); // different arch
+        let mut adaptive = quick_spec("b", 20);
+        adaptive.sampler = "rad".into();
+        let d = sched.submit(adaptive, None).unwrap(); // point-adaptive
+        let mut mis = quick_spec("c", 40);
+        mis.sampler = "mis".into();
+        let e = sched.submit(mis, None).unwrap(); // compatible, draw-only
+
+        let mut inner = sched.inner.lock().unwrap();
+        let lead = inner.pick().unwrap();
+        assert_eq!(lead, a);
+        let group = inner.pick_co_group(lead, 4);
+        assert_eq!(group, vec![a, b, e]);
+        // The incompatible jobs are still queued, in order.
+        assert_eq!(inner.queued, 2);
+        assert_eq!(inner.pick(), Some(d));
+        assert_eq!(inner.pick(), Some(c));
+    }
+
+    /// A mixed fleet under co-execution: three groupable jobs (two
+    /// samplers, three tenants, different seeds/lr/iterations) plus two
+    /// ungroupable ones. Every job must complete with a final
+    /// checkpoint bit-identical to its solo local run — co-execution is
+    /// a throughput optimisation, never a semantic one.
+    #[test]
+    fn co_executed_jobs_match_local_runs_bitwise() {
+        let mut specs = [
+            quick_spec("a", 25),
+            quick_spec("b", 40),
+            quick_spec("c", 25),
+            quick_spec("a", 20),
+            quick_spec("b", 20),
+        ];
+        specs[1].lr = 1e-3;
+        specs[1].train_seed = 9;
+        specs[2].sampler = "mis".into();
+        specs[2].net_seed = 17;
+        specs[3].hidden_width = 6; // never groups with the others
+        specs[4].sampler = "rad".into(); // adaptive: always solo
+        let local: Vec<RunState> = specs
+            .iter()
+            .map(|s| crate::spec::run_local(s).unwrap().1)
+            .collect();
+        let cfg = ServeConfig {
+            co_slice: 4,
+            slice_iterations: 7,
+            ..ServeConfig::default()
+        };
+        with_workers(cfg, 1, |sched| {
+            let ids: Vec<u64> = specs
+                .iter()
+                .map(|s| sched.submit(s.clone(), None).unwrap())
+                .collect();
+            for (i, &id) in ids.iter().enumerate() {
+                let st = sched.wait(id, Duration::from_secs(120)).unwrap();
+                assert_eq!(st, JobState::Completed, "job {i}");
+                let run = sched.with_job(id, |j| j.run.clone()).unwrap().unwrap();
+                assert_eq!(
+                    run.to_json().unwrap(),
+                    local[i].to_json().unwrap(),
+                    "job {i}: server checkpoint diverged from local run"
+                );
+            }
         });
     }
 

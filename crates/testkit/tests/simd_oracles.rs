@@ -385,6 +385,174 @@ fn transpose_matches_naive_oracle_bitwise_per_tier() {
 }
 
 #[test]
+fn bgemm_accum_matches_per_lane_oracle() {
+    // The batched multi-instance GEMM: lane l of every (row, col) cell
+    // is an independent ascending-k accumulation chain. The naive
+    // triple loop below shares no code with the kernel; the scalar tier
+    // must match it bit-for-bit, vector tiers within the FMA bound.
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (2, 3, 1),
+        (3, 7, 5),
+        (5, 4, 9),
+        (13, 9, 3),
+    ];
+    let mut case_i = 0;
+    Sweep::new(0xB6E, 24).run(
+        |rng| {
+            let (m, kd, n) = shapes[case_i % shapes.len()];
+            let lanes = [8usize, 16][case_i % 2];
+            case_i += 1;
+            (
+                lanes,
+                m,
+                kd,
+                n,
+                adv_vec(rng, m * kd * lanes),
+                adv_vec(rng, kd * n * lanes),
+                adv_vec(rng, m * n * lanes),
+            )
+        },
+        |_| Vec::new(),
+        |&(lanes, m, kd, n, ref a, ref b, ref c0)| {
+            let mut want = c0.clone();
+            for r in 0..m {
+                for j in 0..n {
+                    for l in 0..lanes {
+                        let mut acc = c0[(r * n + j) * lanes + l];
+                        for k in 0..kd {
+                            acc += a[(r * kd + k) * lanes + l] * b[(k * n + j) * lanes + l];
+                        }
+                        want[(r * n + j) * lanes + l] = acc;
+                    }
+                }
+            }
+            for &t in simd::available_tiers() {
+                let mut c = c0.clone();
+                simd::with_tier(t, || simd::bgemm_accum(lanes, a, b, &mut c, m, kd, n));
+                for i in 0..c.len() {
+                    if t == SimdTier::Scalar {
+                        if c[i].to_bits() != want[i].to_bits() {
+                            return Err(format!("scalar bgemm[{i}]: {} vs {}", c[i], want[i]));
+                        }
+                    } else {
+                        let (r, j, l) = (i / (n * lanes), (i / lanes) % n, i % lanes);
+                        let mag: f64 = (0..kd)
+                            .map(|k| {
+                                (a[(r * kd + k) * lanes + l] * b[(k * n + j) * lanes + l]).abs()
+                            })
+                            .sum::<f64>()
+                            + c0[i].abs();
+                        close(c[i], want[i], mag).map_err(|e| format!("{t:?} bgemm[{i}]: {e}"))?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn adam_update_multi_matches_per_lane_oracle() {
+    // The multi-instance Adam step: element i uses lane i % lanes'
+    // bias corrections and learning rate. Odd multiples of the lane
+    // width exercise every remainder path.
+    let mut case_i = 0;
+    Sweep::new(0xADB, 32).run(
+        |rng| {
+            let lanes = [8usize, 16][case_i % 2];
+            let n = lanes * [1usize, 3, 7][case_i % 3];
+            case_i += 1;
+            let consts: Vec<f64> = (0..3 * lanes)
+                .map(|i| match i % 3 {
+                    0 => 1.0 - 0.9f64.powi(1 + (i as i32 % 5)), // bc-like
+                    1 => rng.uniform() + 0.01,
+                    _ => rng.uniform() * 1e-2,
+                })
+                .collect();
+            (
+                lanes,
+                adv_vec(rng, n),
+                (0..n).map(|_| rng.gaussian()).collect::<Vec<f64>>(),
+                (0..n).map(|_| rng.gaussian() * 0.1).collect::<Vec<f64>>(),
+                (0..n)
+                    .map(|_| rng.gaussian().abs() * 0.01)
+                    .collect::<Vec<f64>>(),
+                consts,
+            )
+        },
+        |_| Vec::new(),
+        |&(lanes, ref g, ref p0, ref m0, ref v0, ref consts)| {
+            let n = g.len();
+            let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+            let bc1: Vec<f64> = (0..lanes).map(|l| consts[3 * l]).collect();
+            let bc2: Vec<f64> = (0..lanes).map(|l| consts[3 * l + 1]).collect();
+            let lr: Vec<f64> = (0..lanes).map(|l| consts[3 * l + 2]).collect();
+            // Independent oracle: the solo per-element formula with the
+            // element's lane constants.
+            let mut pw = p0.clone();
+            let mut mw = m0.clone();
+            let mut vw = v0.clone();
+            for i in 0..n {
+                let l = i % lanes;
+                mw[i] = b1 * mw[i] + (1.0 - b1) * g[i];
+                vw[i] = b2 * vw[i] + (1.0 - b2) * g[i] * g[i];
+                let mh = mw[i] / bc1[l];
+                let vh = vw[i] / bc2[l];
+                pw[i] -= lr[l] * mh / (vh.sqrt() + eps);
+            }
+            for &t in simd::available_tiers() {
+                let (mut p, mut m, mut v) = (p0.clone(), m0.clone(), v0.clone());
+                simd::with_tier(t, || {
+                    simd::adam_update_multi(
+                        lanes, &mut p, g, &mut m, &mut v, b1, b2, &bc1, &bc2, &lr, eps,
+                    )
+                });
+                for i in 0..n {
+                    close(m[i], mw[i], mw[i].abs().max(g[i].abs()))
+                        .map_err(|e| format!("{t:?} m[{i}]: {e}"))?;
+                    close(v[i], vw[i], vw[i].abs().max(g[i] * g[i]))
+                        .map_err(|e| format!("{t:?} v[{i}]: {e}"))?;
+                    close(p[i], pw[i], pw[i].abs().max(1.0))
+                        .map_err(|e| format!("{t:?} p[{i}]: {e}"))?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Forced-tier smoke: exercise one kernel under every *named* tier.
+/// Tiers the host cannot run are skipped with a visible message rather
+/// than failed — the portable-fallback contract says `SGM_SIMD=avx512`
+/// on a lesser host silently degrades, so the suite must stay green
+/// everywhere while making the skipped coverage auditable in the log.
+#[test]
+fn forced_tier_smoke_runs_or_skips_visibly() {
+    let available = simd::available_tiers();
+    for tier in [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512] {
+        if !available.contains(&tier) {
+            eprintln!(
+                "forced_tier_smoke: skipping tier `{}` — not supported on this host \
+                 (available: {:?})",
+                tier.name(),
+                available.iter().map(|t| t.name()).collect::<Vec<_>>()
+            );
+            continue;
+        }
+        let x: Vec<f64> = (0..37).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..37).map(|i| (i as f64).cos()).collect();
+        let dot = simd::with_tier(tier, || simd::dot(&x, &y));
+        let want: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!(
+            (dot - want).abs() <= 1e-12 * want.abs().max(1.0),
+            "tier {}: {dot} vs {want}",
+            tier.name()
+        );
+    }
+}
+
+#[test]
 fn activation_combine_kernels_match_formula_oracle() {
     let mut size_i = 0;
     Sweep::new(0xAC7, 40).run(

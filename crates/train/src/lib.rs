@@ -36,6 +36,7 @@
 pub mod engine;
 pub mod hooks;
 pub mod model;
+pub mod multi;
 pub mod obs;
 pub mod pointset;
 pub mod result;
@@ -44,7 +45,8 @@ pub mod sampler;
 
 pub use engine::{Segment, TrainOptions, Trainer};
 pub use hooks::{Hook, Stage, StageTimes};
-pub use model::{LossModel, ModelWorkspace, Validator};
+pub use model::{BatchedLossModel, LossModel, ModelWorkspace, Validator};
+pub use multi::{run_lockstep, MultiJob, ParamSweep, SweepJob};
 pub use obs::ObsHook;
 pub use pointset::{PointChanges, PointSet};
 pub use result::{Record, TrainResult};

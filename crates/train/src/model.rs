@@ -8,7 +8,7 @@
 
 use sgm_graph::points::PointCloud;
 use sgm_linalg::dense::Matrix;
-use sgm_nn::mlp::{Gradients, Mlp};
+use sgm_nn::mlp::{BatchDerivatives, Gradients, Mlp};
 use std::any::Any;
 
 /// Opaque per-run scratch owned by the engine but understood only by the
@@ -135,6 +135,53 @@ pub trait LossModel: Sync {
     fn outputs_at(&self, net: &Mlp, coords: &Matrix) -> Matrix {
         net.forward(coords)
     }
+}
+
+/// A [`LossModel`] whose loss/gradient computation factors through the
+/// network's derivative interface, enabling batched multi-model
+/// execution (see `crate::multi`).
+///
+/// [`LossModel::loss_and_grad`] stages as
+/// `forward → adjoint seeding → backward`; this trait exposes the
+/// adjoint-seeding middle so a lockstep runner can route the forward and
+/// backward halves through [`sgm_nn::BatchedMlp`] while each model still
+/// computes its own adjoints from its own (deinterleaved) derivatives.
+/// The contract: for identical derivative inputs, the adjoints written
+/// by [`BatchedLossModel::interior_adjoints`] /
+/// [`BatchedLossModel::boundary_adjoints`] must be bit-identical to the
+/// ones [`LossModel::loss_and_grad`] seeds internally — that is what
+/// keeps lockstep runs bit-identical to solo runs.
+pub trait BatchedLossModel: LossModel {
+    /// Input dimensions the interior forward pass differentiates along
+    /// (the PDE's `diff_dims`; empty for value-only objectives).
+    fn diff_dims(&self) -> Vec<usize>;
+
+    /// The gathered interior batch rows inside `ws`.
+    fn interior_input<'a>(&self, ws: &'a dyn ModelWorkspace) -> &'a Matrix;
+
+    /// The gathered boundary batch rows inside `ws`, `None` when the
+    /// objective has no boundary term.
+    fn boundary_input<'a>(&self, ws: &'a dyn ModelWorkspace) -> Option<&'a Matrix>;
+
+    /// Computes the interior loss and writes the interior adjoints for
+    /// the given forward `derivs` (values + requested jac/hess) into
+    /// `adj`. Returns the interior loss term.
+    fn interior_adjoints(
+        &self,
+        ws: &mut dyn ModelWorkspace,
+        derivs: &BatchDerivatives,
+        adj: &mut BatchDerivatives,
+    ) -> f64;
+
+    /// Computes the boundary loss and writes the value adjoints for the
+    /// given boundary outputs into `adj` (which carries no derivative
+    /// buffers). Returns the boundary loss term.
+    fn boundary_adjoints(
+        &self,
+        ws: &mut dyn ModelWorkspace,
+        values: &Matrix,
+        adj: &mut BatchDerivatives,
+    ) -> f64;
 }
 
 /// Off-clock validation evaluated at recording points.

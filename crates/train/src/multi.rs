@@ -1,0 +1,1030 @@
+//! Lockstep multi-model training through batched kernels.
+//!
+//! [`run_lockstep`] advances a group of same-architecture training jobs
+//! one shared iteration at a time: every job draws its own batch with
+//! its own RNG and sampler, but the network forward/backward and the
+//! Adam update run once for the whole group through
+//! [`BatchedMlp`]/[`BatchedAdam`] — one register-tiled pass instead of
+//! `B` sequential ones. [`ParamSweep`] builds on it to train a whole
+//! parameter family (the paper's §4.2 annular-ring sweep) to completion.
+//!
+//! # Bit-identity contract
+//!
+//! Per job, every trained parameter, Adam moment, RNG draw, recorded
+//! loss and captured [`RunState`] is **bit-identical** to running that
+//! job alone through [`Trainer::run_segment`](crate::Trainer) on the
+//! same SIMD tier — the batched kernels evaluate the same per-element
+//! chains, and the per-job stage order (refresh → draw → gather →
+//! loss/grad → step → record) is preserved exactly. The only divergence
+//! is *measured* wall-clock accounting: a lockstep iteration charges the
+//! full group-iteration duration to every job. Under
+//! [`TrainOptions::synthetic_dt`] (what every determinism test uses) the
+//! clocks are bit-identical too.
+//!
+//! # Constraints
+//!
+//! All jobs in one group must share: network architecture,
+//! `batch_interior`, effective boundary batch, `diff_dims`, Adam
+//! `beta1`/`beta2`/`eps`, and remaining step count. Learning rates,
+//! schedules, seeds, samplers, datasets and record cadences may differ
+//! per job. Point-adapting samplers are not supported (probes run, point
+//! mutation does not).
+
+use crate::engine::{Segment, TrainOptions};
+use crate::model::{BatchedLossModel, LossModel, ModelWorkspace, Validator};
+use crate::result::{Record, TrainResult};
+use crate::runstate::RunState;
+use crate::sampler::{Probe, Sampler};
+use sgm_linalg::dense::Matrix;
+use sgm_linalg::rng::Rng64;
+use sgm_nn::batched::{BatchedAdam, BatchedMlp, BatchedWorkspace};
+use sgm_nn::checkpoint::Checkpoint;
+use sgm_nn::mlp::{BatchDerivatives, Mlp};
+use std::time::Instant;
+
+/// One member of a lockstep group: a training job with an optional
+/// resume state and a stop boundary, exactly like a
+/// [`Trainer::run_segment`](crate::Trainer) call.
+pub struct MultiJob<'a> {
+    /// The network being trained (overwritten on restore, updated in
+    /// place every iteration).
+    pub net: &'a mut Mlp,
+    /// The training objective.
+    pub model: &'a dyn BatchedLossModel,
+    /// Batch sampler (must not adapt points).
+    pub sampler: &'a mut dyn Sampler,
+    /// Off-clock validation, recorded with each history entry.
+    pub validator: Option<&'a dyn Validator>,
+    /// Loop options (iteration count, batches, Adam, seed, cadence).
+    pub opts: &'a TrainOptions,
+    /// Resume state from a previous segment, `None` for a fresh start.
+    pub start: Option<&'a RunState>,
+    /// Train up to and including iteration `stop_after - 1`, then
+    /// capture state at the boundary.
+    pub stop_after: usize,
+}
+
+impl std::fmt::Debug for MultiJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiJob")
+            .field("stop_after", &self.stop_after)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-job mutable loop state (mirrors the locals of the solo
+/// `run_core`).
+struct JobState {
+    start_iter: usize,
+    train_clock: f64,
+    record_clock: f64,
+    history: Vec<Record>,
+    rng: Rng64,
+    idx: Vec<usize>,
+    bidx: Vec<usize>,
+    derivs_i: BatchDerivatives,
+    adj_i: BatchDerivatives,
+    derivs_b: BatchDerivatives,
+    adj_b: BatchDerivatives,
+    expired: bool,
+}
+
+/// Advances every job in lockstep to its `stop_after` boundary (all
+/// jobs must have the same number of remaining steps) and returns one
+/// [`Segment`] per job, in order.
+///
+/// Each returned [`Segment::state`] is `Some` at the reached boundary.
+/// If any job's `max_seconds` budget expires, the whole group stops at
+/// that iteration boundary: the expired jobs report `state: None`
+/// (their run is over, matching solo semantics) and the rest report the
+/// early boundary in `state` — inspect `state.iteration` and regroup to
+/// continue, as [`ParamSweep::run`] does.
+///
+/// # Errors
+/// Returns a message when the group constraints are violated (mixed
+/// architectures, batch shapes, `diff_dims`, Adam betas, unequal step
+/// counts, an adaptive sampler, or a state mismatch).
+///
+/// # Panics
+/// Panics on zero/oversized interior batches (as the solo engine does).
+pub fn run_lockstep(jobs: &mut [MultiJob<'_>]) -> Result<Vec<Segment>, String> {
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let cfg = jobs[0].net.config().clone();
+    let bi = jobs[0].opts.batch_interior;
+    let diff_dims = jobs[0].model.diff_dims();
+    let bb = effective_bb(&jobs[0]);
+    let adam0 = &jobs[0].opts.adam;
+    for (j, job) in jobs.iter().enumerate() {
+        assert!(
+            job.opts.batch_interior > 0,
+            "batch_interior must be positive"
+        );
+        assert!(
+            job.opts.batch_interior <= job.model.num_interior(),
+            "batch larger than dataset"
+        );
+        if job.net.config() != &cfg {
+            return Err(format!("job {j}: network architecture differs from job 0"));
+        }
+        if job.opts.batch_interior != bi {
+            return Err(format!("job {j}: batch_interior differs from job 0"));
+        }
+        if effective_bb(job) != bb {
+            return Err(format!(
+                "job {j}: effective boundary batch differs from job 0"
+            ));
+        }
+        if job.model.diff_dims() != diff_dims {
+            return Err(format!("job {j}: diff_dims differ from job 0"));
+        }
+        let a = &job.opts.adam;
+        if a.beta1 != adam0.beta1 || a.beta2 != adam0.beta2 || a.eps != adam0.eps {
+            return Err(format!("job {j}: Adam beta1/beta2/eps differ from job 0"));
+        }
+        if job.sampler.adapts_points() {
+            return Err(format!(
+                "job {j}: sampler {:?} adapts points, which lockstep execution \
+                 does not support",
+                job.sampler.name()
+            ));
+        }
+        if job.stop_after == 0 || job.stop_after > job.opts.iterations {
+            return Err(format!(
+                "job {j}: stop_after {} outside 1..={}",
+                job.stop_after, job.opts.iterations
+            ));
+        }
+    }
+
+    // Restore per-job state exactly as the solo engine does.
+    let mut states: Vec<JobState> = Vec::with_capacity(jobs.len());
+    let out_dim = cfg.output_dim;
+    let nd = diff_dims.len();
+    for (j, job) in jobs.iter_mut().enumerate() {
+        let mut st = JobState {
+            start_iter: 0,
+            train_clock: 0.0,
+            record_clock: 0.0,
+            history: Vec::new(),
+            rng: Rng64::new(job.opts.seed),
+            idx: Vec::with_capacity(bi),
+            bidx: Vec::with_capacity(bb),
+            derivs_i: BatchDerivatives::zeros(bi, out_dim, nd),
+            adj_i: BatchDerivatives::zeros(bi, out_dim, nd),
+            derivs_b: BatchDerivatives::zeros(bb, out_dim, 0),
+            adj_b: BatchDerivatives::zeros(bb, out_dim, 0),
+            expired: false,
+        };
+        if let Some(s) = job.start {
+            if s.sampler_name != job.sampler.name() {
+                return Err(format!(
+                    "job {j}: state saved with sampler {:?}, resuming with {:?}",
+                    s.sampler_name,
+                    job.sampler.name()
+                ));
+            }
+            if s.points.is_some() {
+                return Err(format!(
+                    "job {j}: state carries a mutated point set, which lockstep \
+                     execution does not support"
+                ));
+            }
+            let restored = s
+                .net
+                .restore()
+                .map_err(|e| format!("job {j}: net restore: {e}"))?;
+            if restored.num_params() != job.net.num_params() {
+                return Err(format!(
+                    "job {j}: state has {} parameters, network has {}",
+                    restored.num_params(),
+                    job.net.num_params()
+                ));
+            }
+            *job.net = restored;
+            st.rng = Rng64::from_state(s.rng_state, s.rng_gauss_spare);
+            job.sampler.load_state(&s.sampler_state)?;
+            st.history = s.history.clone();
+            st.train_clock = s.train_seconds;
+            st.record_clock = s.record_seconds;
+            st.start_iter = s.iteration;
+        }
+        if job.stop_after <= st.start_iter {
+            return Err(format!(
+                "job {j}: state is already at iteration {}, past stop_after {}",
+                st.start_iter, job.stop_after
+            ));
+        }
+        states.push(st);
+    }
+    let steps = jobs[0].stop_after - states[0].start_iter;
+    for (j, (job, st)) in jobs.iter().zip(&states).enumerate() {
+        if job.stop_after - st.start_iter != steps {
+            return Err(format!(
+                "job {j}: {} remaining steps, job 0 has {steps} — lockstep \
+                 requires equal remaining step counts",
+                job.stop_after - st.start_iter
+            ));
+        }
+    }
+
+    // Pack the group: interleaved network, optimiser, workspaces.
+    let mut packed = {
+        let refs: Vec<&Mlp> = jobs.iter().map(|job| &*job.net).collect();
+        BatchedMlp::pack(&refs)
+    };
+    let cfgs: Vec<_> = jobs.iter().map(|job| job.opts.adam.clone()).collect();
+    let mut badam = BatchedAdam::pack(&packed, &cfgs);
+    for (j, job) in jobs.iter().enumerate() {
+        if let Some(s) = job.start {
+            if s.adam_m.len() != job.net.num_params() {
+                return Err(format!(
+                    "job {j}: state has {} Adam moments, network has {} parameters",
+                    s.adam_m.len(),
+                    job.net.num_params()
+                ));
+            }
+            badam.restore_lane(j, s.adam_t, &s.adam_m, &s.adam_v);
+        }
+    }
+    let mut bws: BatchedWorkspace = packed.make_workspace(bi, nd);
+    let mut bws_b: Option<BatchedWorkspace> = (bb > 0).then(|| packed.make_workspace(bb, 0));
+    let mut bgrads = packed.zero_gradients();
+    let mut wss: Vec<Box<dyn ModelWorkspace>> = jobs
+        .iter()
+        .map(|job| job.model.make_workspace(job.net, bi, bb))
+        .collect();
+
+    // Completed lockstep steps (the early-stop boundary when a budget
+    // expires mid-group).
+    let mut done = 0usize;
+    for step in 0..steps {
+        if jobs.iter().zip(&mut states).any(|(job, st)| {
+            st.expired = job
+                .opts
+                .max_seconds
+                .is_some_and(|budget| st.train_clock >= budget);
+            st.expired
+        }) {
+            break;
+        }
+        let t0 = Instant::now();
+        // Refresh + draw + gather, per job in order (each on its own
+        // RNG, exactly the solo stage sequence).
+        for ((job, st), ws) in jobs.iter_mut().zip(&mut states).zip(&mut wss) {
+            let iter = st.start_iter + step;
+            {
+                let probe = Probe::with_points(job.net, job.model as &dyn LossModel, None);
+                job.sampler.refresh(iter, &probe, &mut st.rng);
+            }
+            job.sampler.fill_batch(bi, &mut st.idx, &mut st.rng);
+            st.bidx.clear();
+            let nb = job.model.num_boundary();
+            for _ in 0..bb {
+                st.bidx.push(st.rng.below(nb));
+            }
+            job.model.gather(&st.idx, &st.bidx, &mut **ws);
+        }
+        // Interior loss/grad for the whole group in one batched pass.
+        {
+            let xs: Vec<&Matrix> = jobs
+                .iter()
+                .zip(&wss)
+                .map(|(job, ws)| job.model.interior_input(&**ws))
+                .collect();
+            packed.forward_with_derivs_batched(&xs, &diff_dims, &mut bws);
+        }
+        for (j, ((job, st), ws)) in jobs.iter().zip(&mut states).zip(&mut wss).enumerate() {
+            bws.extract_derivs(j, &mut st.derivs_i);
+            job.model
+                .interior_adjoints(&mut **ws, &st.derivs_i, &mut st.adj_i);
+            bws.set_adjoints(j, &st.adj_i);
+        }
+        bgrads.zero();
+        packed.backward_batched(&mut bws, &mut bgrads);
+        // Boundary term, sharing the same gradient accumulator.
+        if let Some(bwsb) = bws_b.as_mut() {
+            {
+                let xs: Vec<&Matrix> = jobs
+                    .iter()
+                    .zip(&wss)
+                    .map(|(job, ws)| {
+                        job.model
+                            .boundary_input(&**ws)
+                            .expect("bb > 0 implies boundary input")
+                    })
+                    .collect();
+                packed.forward_with_derivs_batched(&xs, &[], bwsb);
+            }
+            for (j, ((job, st), ws)) in jobs.iter().zip(&mut states).zip(&mut wss).enumerate() {
+                bwsb.extract_derivs(j, &mut st.derivs_b);
+                job.model
+                    .boundary_adjoints(&mut **ws, &st.derivs_b.values, &mut st.adj_b);
+                bwsb.set_adjoints(j, &st.adj_b);
+            }
+            packed.backward_batched(bwsb, &mut bgrads);
+        }
+        badam.step(&mut packed, &bgrads);
+        // Write every lane back so probes/records see the stepped nets.
+        for (j, job) in jobs.iter_mut().enumerate() {
+            packed.extract_to(j, job.net);
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        for (job, st) in jobs.iter_mut().zip(&mut states) {
+            st.train_clock += job.opts.synthetic_dt.unwrap_or(dt);
+            let iter = st.start_iter + step;
+            if iter % job.opts.record_every == 0 || iter + 1 == job.opts.iterations {
+                let r0 = Instant::now();
+                let train_loss = job.model.batch_loss(job.net, &st.idx, &st.bidx);
+                let val_errors = match job.validator {
+                    Some(v) => v.val_errors(job.net),
+                    None => Vec::new(),
+                };
+                let record = Record {
+                    iteration: iter,
+                    seconds: st.train_clock,
+                    train_loss,
+                    val_errors,
+                };
+                if job.opts.synthetic_dt.is_none() {
+                    st.record_clock += r0.elapsed().as_secs_f64();
+                }
+                st.history.push(record);
+            }
+        }
+        done = step + 1;
+    }
+
+    // Capture per-job boundary states (None for budget-expired jobs,
+    // matching the solo engine).
+    let mut out = Vec::with_capacity(jobs.len());
+    for (j, (job, st)) in jobs.iter_mut().zip(&states).enumerate() {
+        let state = if st.expired {
+            None
+        } else {
+            let (rng_state, rng_gauss_spare) = st.rng.state();
+            let (adam_t, adam_m, adam_v) = badam.lane_state(j);
+            Some(RunState {
+                version: 1,
+                iteration: st.start_iter + done,
+                train_seconds: st.train_clock,
+                record_seconds: st.record_clock,
+                net: Checkpoint::capture(job.net),
+                adam_t,
+                adam_m,
+                adam_v,
+                rng_state,
+                rng_gauss_spare,
+                history: st.history.clone(),
+                sampler_name: job.sampler.name().to_string(),
+                sampler_state: job.sampler.save_state(),
+                points: None,
+            })
+        };
+        out.push(Segment {
+            result: TrainResult {
+                history: st.history.clone(),
+                train_seconds: st.train_clock,
+                record_seconds: st.record_clock,
+                total_seconds: st.train_clock + st.record_clock,
+                sampler: job.sampler.name().to_string(),
+            },
+            state,
+        });
+    }
+    Ok(out)
+}
+
+/// Effective boundary batch for a job (the solo engine's clamp).
+fn effective_bb(job: &MultiJob<'_>) -> usize {
+    let nb = job.model.num_boundary();
+    if nb > 0 {
+        job.opts.batch_boundary.min(nb)
+    } else {
+        0
+    }
+}
+
+/// One member of a [`ParamSweep`]: a full training job run to
+/// completion.
+pub struct SweepJob<'a> {
+    /// The network being trained.
+    pub net: &'a mut Mlp,
+    /// The training objective (one parameter instance of the family).
+    pub model: &'a dyn BatchedLossModel,
+    /// Batch sampler (must not adapt points).
+    pub sampler: &'a mut dyn Sampler,
+    /// Off-clock validation.
+    pub validator: Option<&'a dyn Validator>,
+    /// Loop options.
+    pub opts: &'a TrainOptions,
+}
+
+impl std::fmt::Debug for SweepJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepJob").finish_non_exhaustive()
+    }
+}
+
+/// Trains a same-architecture parameter family as one batched group
+/// instead of sequential solo runs — the batched path for the paper's
+/// §4.2 annular-ring parameter sweep.
+#[derive(Debug)]
+pub struct ParamSweep;
+
+impl ParamSweep {
+    /// Runs every job to completion (its own `iterations` /
+    /// `max_seconds`), stepping the whole family through the batched
+    /// kernels in lockstep segments. Jobs with differing iteration
+    /// counts or expiring budgets are regrouped at segment boundaries;
+    /// each job's outcome is bit-identical to a solo
+    /// [`Trainer::run`](crate::Trainer) under `synthetic_dt`.
+    ///
+    /// # Errors
+    /// Propagates [`run_lockstep`] constraint violations.
+    pub fn run(jobs: &mut [SweepJob<'_>]) -> Result<Vec<TrainResult>, String> {
+        let n = jobs.len();
+        let mut states: Vec<Option<RunState>> = (0..n).map(|_| None).collect();
+        let mut results: Vec<Option<TrainResult>> = (0..n).map(|_| None).collect();
+        let mut active: Vec<usize> = (0..n).collect();
+        while !active.is_empty() {
+            // Largest segment every active job can run: to the nearest
+            // completion boundary.
+            let steps = active
+                .iter()
+                .map(|&j| {
+                    let cur = states[j].as_ref().map_or(0, |s| s.iteration);
+                    jobs[j].opts.iterations - cur
+                })
+                .min()
+                .expect("active set is non-empty");
+            let order: Vec<usize> = active.clone();
+            let mut mjobs: Vec<MultiJob<'_>> = Vec::with_capacity(order.len());
+            for (j, job) in jobs.iter_mut().enumerate() {
+                if !order.contains(&j) {
+                    continue;
+                }
+                let cur = states[j].as_ref().map_or(0, |s| s.iteration);
+                mjobs.push(MultiJob {
+                    net: &mut *job.net,
+                    model: job.model,
+                    sampler: &mut *job.sampler,
+                    validator: job.validator,
+                    opts: job.opts,
+                    start: states[j].as_ref(),
+                    stop_after: cur + steps,
+                });
+            }
+            let segs = run_lockstep(&mut mjobs)?;
+            active.clear();
+            for (&j, seg) in order.iter().zip(segs) {
+                results[j] = Some(seg.result);
+                match seg.state {
+                    // Budget expired: the job is done, final result kept.
+                    None => {}
+                    Some(st) => {
+                        if st.iteration < jobs[j].opts.iterations {
+                            active.push(j);
+                        }
+                        states[j] = Some(st);
+                    }
+                }
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every job ran"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Trainer;
+    use crate::sampler::UniformSampler;
+    use sgm_nn::activation::Activation;
+    use sgm_nn::mlp::{Gradients, MlpConfig, MlpWorkspace};
+    use sgm_nn::optimizer::{AdamConfig, LrSchedule};
+    use std::any::Any;
+
+    /// Engine-level test objective with the same staged structure as a
+    /// PINN model: interior loss `mean((u-y)²) + 0.1·mean((u')²)`
+    /// (derivative-carrying, diff_dims = [0]) plus a boundary value
+    /// term `mean(u(x_b)²)`.
+    struct DerivReg {
+        x: Matrix,
+        y: Vec<f64>,
+        bx: Matrix,
+    }
+
+    struct DerivRegWs {
+        xi: Matrix,
+        yi: Vec<f64>,
+        nni: MlpWorkspace,
+        adj_i: BatchDerivatives,
+        bb: usize,
+        xb: Matrix,
+        nnb: MlpWorkspace,
+        adj_b: BatchDerivatives,
+    }
+
+    impl ModelWorkspace for DerivRegWs {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    impl DerivReg {
+        fn new(seed: u64, n: usize, nb: usize) -> Self {
+            let mut rng = Rng64::new(seed);
+            let x = Matrix::gaussian(n, 1, &mut rng);
+            let y = (0..n).map(|i| (2.0 * x.get(i, 0)).sin()).collect();
+            let bx = Matrix::gaussian(nb, 1, &mut rng);
+            DerivReg { x, y, bx }
+        }
+
+        /// Adjoint seeding shared by the solo and batched paths — both
+        /// call exactly this arithmetic on bit-identical derivatives.
+        fn seed_interior(
+            &self,
+            yi: &[f64],
+            d: &BatchDerivatives,
+            adj: &mut BatchDerivatives,
+        ) -> f64 {
+            let b = d.values.rows();
+            let inv = 1.0 / b as f64;
+            let mut loss = 0.0;
+            adj.zero();
+            for (r, &target) in yi.iter().enumerate().take(b) {
+                let e = d.values.get(r, 0) - target;
+                loss += e * e * inv;
+                adj.values.set(r, 0, 2.0 * e * inv);
+                let du = d.jac[0].get(r, 0);
+                loss += 0.1 * du * du * inv;
+                adj.jac[0].set(r, 0, 0.2 * du * inv);
+            }
+            loss
+        }
+
+        fn seed_boundary(&self, vals: &Matrix, adj: &mut BatchDerivatives) -> f64 {
+            let b = vals.rows();
+            let inv = 1.0 / b as f64;
+            let mut loss = 0.0;
+            adj.zero();
+            for r in 0..b {
+                let v = vals.get(r, 0);
+                loss += v * v * inv;
+                adj.values.set(r, 0, 2.0 * v * inv);
+            }
+            loss
+        }
+    }
+
+    impl LossModel for DerivReg {
+        fn num_interior(&self) -> usize {
+            self.x.rows()
+        }
+        fn num_boundary(&self) -> usize {
+            self.bx.rows()
+        }
+        fn make_workspace(
+            &self,
+            net: &Mlp,
+            batch_interior: usize,
+            batch_boundary: usize,
+        ) -> Box<dyn ModelWorkspace> {
+            Box::new(DerivRegWs {
+                xi: Matrix::zeros(batch_interior, 1),
+                yi: vec![0.0; batch_interior],
+                nni: net.make_workspace(batch_interior, 1),
+                adj_i: BatchDerivatives::zeros(batch_interior, 1, 1),
+                bb: batch_boundary,
+                xb: Matrix::zeros(batch_boundary, 1),
+                nnb: net.make_workspace(batch_boundary, 0),
+                adj_b: BatchDerivatives::zeros(batch_boundary, 1, 0),
+            })
+        }
+        fn gather(
+            &self,
+            interior_idx: &[usize],
+            boundary_idx: &[usize],
+            ws: &mut dyn ModelWorkspace,
+        ) {
+            let ws: &mut DerivRegWs = ws.as_any_mut().downcast_mut().unwrap();
+            for (r, &i) in interior_idx.iter().enumerate() {
+                ws.xi.set(r, 0, self.x.get(i, 0));
+                ws.yi[r] = self.y[i];
+            }
+            if ws.bb > 0 {
+                for (r, &i) in boundary_idx.iter().enumerate() {
+                    ws.xb.set(r, 0, self.bx.get(i, 0));
+                }
+            }
+        }
+        fn loss_and_grad(
+            &self,
+            net: &Mlp,
+            ws: &mut dyn ModelWorkspace,
+            grads: &mut Gradients,
+        ) -> f64 {
+            let ws: &mut DerivRegWs = ws.as_any_mut().downcast_mut().unwrap();
+            net.forward_with_derivs_ws(&ws.xi, &[0], &mut ws.nni);
+            let mut total = {
+                let DerivRegWs { nni, yi, adj_i, .. } = &mut *ws;
+                self.seed_interior(yi, nni.derivs(), adj_i)
+            };
+            net.backward_ws(&mut ws.nni, &ws.adj_i, grads);
+            if ws.bb > 0 {
+                net.forward_with_derivs_ws(&ws.xb, &[], &mut ws.nnb);
+                total += {
+                    let DerivRegWs { nnb, adj_b, .. } = &mut *ws;
+                    self.seed_boundary(&nnb.derivs().values, adj_b)
+                };
+                net.backward_ws(&mut ws.nnb, &ws.adj_b, grads);
+            }
+            total
+        }
+        fn batch_loss(&self, net: &Mlp, interior_idx: &[usize], boundary_idx: &[usize]) -> f64 {
+            // Reuse the gradient path's arithmetic on throwaway buffers
+            // so record losses agree between solo and lockstep runs.
+            let mut ws = self.make_workspace(net, interior_idx.len(), boundary_idx.len());
+            self.gather(interior_idx, boundary_idx, &mut *ws);
+            let ws: &mut DerivRegWs = ws.as_any_mut().downcast_mut().unwrap();
+            net.forward_with_derivs_ws(&ws.xi, &[0], &mut ws.nni);
+            let mut total = self.seed_interior(&ws.yi, ws.nni.derivs(), &mut ws.adj_i);
+            if ws.bb > 0 {
+                net.forward_with_derivs_ws(&ws.xb, &[], &mut ws.nnb);
+                let DerivRegWs { nnb, adj_b, .. } = &mut *ws;
+                total += self.seed_boundary(&nnb.derivs().values, adj_b);
+            }
+            total
+        }
+        fn sample_losses(&self, net: &Mlp, idx: &[usize]) -> Vec<f64> {
+            idx.iter()
+                .map(|&i| {
+                    let o = net.forward(&self.inputs(&[i]));
+                    let e = o.get(0, 0) - self.y[i];
+                    e * e
+                })
+                .collect()
+        }
+        fn outputs(&self, net: &Mlp, idx: &[usize]) -> Matrix {
+            net.forward(&self.inputs(idx))
+        }
+        fn inputs(&self, idx: &[usize]) -> Matrix {
+            let mut m = Matrix::zeros(idx.len(), 1);
+            for (r, &i) in idx.iter().enumerate() {
+                m.set(r, 0, self.x.get(i, 0));
+            }
+            m
+        }
+    }
+
+    impl BatchedLossModel for DerivReg {
+        fn diff_dims(&self) -> Vec<usize> {
+            vec![0]
+        }
+        fn interior_input<'a>(&self, ws: &'a dyn ModelWorkspace) -> &'a Matrix {
+            &ws.as_any().downcast_ref::<DerivRegWs>().unwrap().xi
+        }
+        fn boundary_input<'a>(&self, ws: &'a dyn ModelWorkspace) -> Option<&'a Matrix> {
+            let ws = ws.as_any().downcast_ref::<DerivRegWs>().unwrap();
+            (ws.bb > 0).then_some(&ws.xb)
+        }
+        fn interior_adjoints(
+            &self,
+            ws: &mut dyn ModelWorkspace,
+            derivs: &BatchDerivatives,
+            adj: &mut BatchDerivatives,
+        ) -> f64 {
+            let ws: &mut DerivRegWs = ws.as_any_mut().downcast_mut().unwrap();
+            self.seed_interior(&ws.yi, derivs, adj)
+        }
+        fn boundary_adjoints(
+            &self,
+            _ws: &mut dyn ModelWorkspace,
+            values: &Matrix,
+            adj: &mut BatchDerivatives,
+        ) -> f64 {
+            self.seed_boundary(values, adj)
+        }
+    }
+
+    const DT: f64 = 1.0 / 1024.0;
+
+    fn mk_net(seed: u64) -> Mlp {
+        Mlp::new(
+            &MlpConfig {
+                input_dim: 1,
+                output_dim: 1,
+                hidden_width: 12,
+                hidden_layers: 2,
+                activation: Activation::Tanh,
+                fourier: None,
+            },
+            &mut Rng64::new(seed),
+        )
+    }
+
+    fn mk_opts(iterations: usize, lr: f64, seed: u64) -> TrainOptions {
+        TrainOptions {
+            iterations,
+            batch_interior: 16,
+            batch_boundary: 8,
+            adam: AdamConfig {
+                lr,
+                schedule: LrSchedule::Constant,
+                ..AdamConfig::default()
+            },
+            seed,
+            record_every: 10,
+            max_seconds: None,
+            synthetic_dt: Some(DT),
+        }
+    }
+
+    fn solo_run(model: &DerivReg, net_seed: u64, opts: &TrainOptions) -> (Mlp, TrainResult) {
+        let mut net = mk_net(net_seed);
+        let mut sampler = UniformSampler::new(model.num_interior());
+        let result = Trainer {
+            net: &mut net,
+            model,
+        }
+        .run(&mut sampler, None, opts);
+        (net, result)
+    }
+
+    fn assert_same_run(a: &TrainResult, b: &TrainResult, na: &Mlp, nb: &Mlp, tag: &str) {
+        assert_eq!(a.history.len(), b.history.len(), "{tag}: history length");
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.iteration, y.iteration, "{tag}");
+            assert_eq!(x.seconds.to_bits(), y.seconds.to_bits(), "{tag}");
+            assert_eq!(
+                x.train_loss.to_bits(),
+                y.train_loss.to_bits(),
+                "{tag} iter {}",
+                x.iteration
+            );
+        }
+        assert_eq!(
+            a.train_seconds.to_bits(),
+            b.train_seconds.to_bits(),
+            "{tag}"
+        );
+        for (x, y) in na.params().iter().zip(&nb.params()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{tag}: params");
+        }
+    }
+
+    /// A 3-job lockstep sweep (different datasets, seeds, learning
+    /// rates and schedules) reproduces each solo run bit for bit.
+    #[test]
+    fn sweep_matches_solo_runs_bitwise() {
+        let models: Vec<DerivReg> = (0..3).map(|i| DerivReg::new(60 + i, 64, 16)).collect();
+        let optses = [
+            mk_opts(50, 1e-2, 3),
+            mk_opts(50, 3e-3, 4),
+            TrainOptions {
+                adam: AdamConfig {
+                    lr: 5e-3,
+                    schedule: LrSchedule::Exponential {
+                        gamma: 0.9,
+                        decay_steps: 7,
+                    },
+                    ..AdamConfig::default()
+                },
+                ..mk_opts(50, 5e-3, 5)
+            },
+        ];
+        let solo: Vec<(Mlp, TrainResult)> = (0..3)
+            .map(|i| solo_run(&models[i], 80 + i as u64, &optses[i]))
+            .collect();
+
+        let mut nets: Vec<Mlp> = (0..3).map(|i| mk_net(80 + i as u64)).collect();
+        let mut samplers: Vec<UniformSampler> = models
+            .iter()
+            .map(|m| UniformSampler::new(m.num_interior()))
+            .collect();
+        let mut jobs: Vec<SweepJob<'_>> = nets
+            .iter_mut()
+            .zip(&models)
+            .zip(&mut samplers)
+            .zip(&optses)
+            .map(|(((net, model), sampler), opts)| SweepJob {
+                net,
+                model,
+                sampler,
+                validator: None,
+                opts,
+            })
+            .collect();
+        let results = ParamSweep::run(&mut jobs).unwrap();
+        drop(jobs);
+        for i in 0..3 {
+            assert_same_run(
+                &solo[i].1,
+                &results[i],
+                &solo[i].0,
+                &nets[i],
+                &format!("job {i}"),
+            );
+        }
+    }
+
+    /// Lockstep segments chain bit-identically: run to 23, capture,
+    /// resume the whole group to 50, and compare against solo runs.
+    #[test]
+    fn lockstep_segments_resume_bitwise() {
+        let models: Vec<DerivReg> = (0..2).map(|i| DerivReg::new(70 + i, 48, 12)).collect();
+        let optses = [mk_opts(50, 1e-2, 11), mk_opts(50, 2e-3, 12)];
+        let solo: Vec<(Mlp, TrainResult)> = (0..2)
+            .map(|i| solo_run(&models[i], 90 + i as u64, &optses[i]))
+            .collect();
+
+        let mut nets: Vec<Mlp> = (0..2).map(|i| mk_net(90 + i as u64)).collect();
+        let mut states: Vec<Option<RunState>> = vec![None, None];
+        for stop in [23usize, 50] {
+            let mut samplers: Vec<UniformSampler> = models
+                .iter()
+                .map(|m| UniformSampler::new(m.num_interior()))
+                .collect();
+            let mut jobs: Vec<MultiJob<'_>> = nets
+                .iter_mut()
+                .zip(&models)
+                .zip(&mut samplers)
+                .zip(&optses)
+                .zip(&states)
+                .map(|((((net, model), sampler), opts), start)| MultiJob {
+                    net,
+                    model,
+                    sampler,
+                    validator: None,
+                    opts,
+                    start: start.as_ref(),
+                    stop_after: stop,
+                })
+                .collect();
+            let segs = run_lockstep(&mut jobs).unwrap();
+            drop(jobs);
+            for (i, seg) in segs.into_iter().enumerate() {
+                let st = seg.state.expect("boundary state");
+                assert_eq!(st.iteration, stop);
+                // Round-trip through JSON like the job server does.
+                states[i] = Some(RunState::from_json(&st.to_json().unwrap()).unwrap());
+                if stop == 50 {
+                    assert_same_run(
+                        &solo[i].1,
+                        &seg.result,
+                        &solo[i].0,
+                        &nets[i],
+                        &format!("job {i}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Jobs with different iteration counts regroup at completion
+    /// boundaries; each still matches its solo run.
+    #[test]
+    fn sweep_regroups_mixed_lengths() {
+        let models: Vec<DerivReg> = (0..3).map(|i| DerivReg::new(75 + i, 48, 12)).collect();
+        let optses = [
+            mk_opts(20, 1e-2, 21),
+            mk_opts(50, 1e-2, 22),
+            mk_opts(35, 1e-2, 23),
+        ];
+        let solo: Vec<(Mlp, TrainResult)> = (0..3)
+            .map(|i| solo_run(&models[i], 95 + i as u64, &optses[i]))
+            .collect();
+        let mut nets: Vec<Mlp> = (0..3).map(|i| mk_net(95 + i as u64)).collect();
+        let mut samplers: Vec<UniformSampler> = models
+            .iter()
+            .map(|m| UniformSampler::new(m.num_interior()))
+            .collect();
+        let mut jobs: Vec<SweepJob<'_>> = nets
+            .iter_mut()
+            .zip(&models)
+            .zip(&mut samplers)
+            .zip(&optses)
+            .map(|(((net, model), sampler), opts)| SweepJob {
+                net,
+                model,
+                sampler,
+                validator: None,
+                opts,
+            })
+            .collect();
+        let results = ParamSweep::run(&mut jobs).unwrap();
+        drop(jobs);
+        for i in 0..3 {
+            assert_same_run(
+                &solo[i].1,
+                &results[i],
+                &solo[i].0,
+                &nets[i],
+                &format!("job {i}"),
+            );
+        }
+    }
+
+    /// A budget-limited job expires at the same boundary as solo; the
+    /// surviving job continues to completion.
+    #[test]
+    fn sweep_budget_expiry_matches_solo() {
+        let models: Vec<DerivReg> = (0..2).map(|i| DerivReg::new(78 + i, 48, 12)).collect();
+        let optses = [
+            TrainOptions {
+                max_seconds: Some(10.5 * DT),
+                record_every: 1,
+                ..mk_opts(50, 1e-2, 31)
+            },
+            mk_opts(50, 1e-2, 32),
+        ];
+        let solo: Vec<(Mlp, TrainResult)> = (0..2)
+            .map(|i| solo_run(&models[i], 97 + i as u64, &optses[i]))
+            .collect();
+        assert_eq!(solo[0].1.history.last().unwrap().iteration, 10);
+        let mut nets: Vec<Mlp> = (0..2).map(|i| mk_net(97 + i as u64)).collect();
+        let mut samplers: Vec<UniformSampler> = models
+            .iter()
+            .map(|m| UniformSampler::new(m.num_interior()))
+            .collect();
+        let mut jobs: Vec<SweepJob<'_>> = nets
+            .iter_mut()
+            .zip(&models)
+            .zip(&mut samplers)
+            .zip(&optses)
+            .map(|(((net, model), sampler), opts)| SweepJob {
+                net,
+                model,
+                sampler,
+                validator: None,
+                opts,
+            })
+            .collect();
+        let results = ParamSweep::run(&mut jobs).unwrap();
+        drop(jobs);
+        for i in 0..2 {
+            assert_same_run(
+                &solo[i].1,
+                &results[i],
+                &solo[i].0,
+                &nets[i],
+                &format!("job {i}"),
+            );
+        }
+    }
+
+    /// Constraint violations surface as errors, not corrupt runs.
+    #[test]
+    fn lockstep_rejects_mismatched_groups() {
+        let model = DerivReg::new(85, 48, 12);
+        // Mixed Adam betas.
+        let o1 = mk_opts(10, 1e-2, 1);
+        let o2 = TrainOptions {
+            adam: AdamConfig {
+                beta1: 0.8,
+                ..o1.adam.clone()
+            },
+            ..o1.clone()
+        };
+        let (mut n1, mut n2) = (mk_net(1), mk_net(2));
+        let (mut s1, mut s2) = (
+            UniformSampler::new(model.num_interior()),
+            UniformSampler::new(model.num_interior()),
+        );
+        let mut jobs = vec![
+            MultiJob {
+                net: &mut n1,
+                model: &model,
+                sampler: &mut s1,
+                validator: None,
+                opts: &o1,
+                start: None,
+                stop_after: 10,
+            },
+            MultiJob {
+                net: &mut n2,
+                model: &model,
+                sampler: &mut s2,
+                validator: None,
+                opts: &o2,
+                start: None,
+                stop_after: 10,
+            },
+        ];
+        let err = run_lockstep(&mut jobs).unwrap_err();
+        assert!(err.contains("beta1/beta2/eps"), "{err}");
+        // Unequal remaining steps.
+        jobs[1].opts = &o1;
+        jobs[1].stop_after = 7;
+        let err = run_lockstep(&mut jobs).unwrap_err();
+        assert!(err.contains("equal remaining step"), "{err}");
+    }
+}

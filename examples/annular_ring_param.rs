@@ -9,6 +9,12 @@
 //! After training, the model is evaluated at three radii it was never
 //! specifically fitted to, demonstrating the amortised "solve a whole
 //! design family once" workflow that motivates parameterised PINNs.
+//!
+//! A second stage then trains one *specialist* network per validation
+//! radius — the same architecture at B fixed parameter values — as a
+//! single [`ParamSweep`] batch: all instances advance in lockstep
+//! through the interleaved `BatchedMlp` kernels instead of B
+//! sequential solo runs, each bit-identical to the run it replaces.
 
 use sgm_cfd::ring::{ring_validation_sets, PAPER_VALIDATION_RADII};
 use sgm_core::{SgmConfig, SgmSampler};
@@ -21,7 +27,7 @@ use sgm_physics::geometry::{AnnulusChannel, FillStrategy};
 use sgm_physics::pde::{NsConfig, Pde};
 use sgm_physics::problem::{Problem, TrainSet};
 use sgm_physics::{AveragedValidation, PinnModel};
-use sgm_train::{TrainOptions, Trainer};
+use sgm_train::{ParamSweep, SweepJob, TrainOptions, Trainer, UniformSampler};
 
 fn main() {
     let ring = AnnulusChannel::default();
@@ -125,4 +131,113 @@ fn main() {
         "rebuilds: {} completed, {} stale epochs served, last took {:.3}s",
         stats.rebuilds_completed, stats.rebuilds_stale_served, stats.last_rebuild_seconds
     );
+
+    // ---- Stage 2: per-radius specialists as one batched sweep ----
+    // One network per validation radius, trained through the ParamSweep
+    // lockstep runner: every Adam step runs all instances at once
+    // through the interleaved BatchedMlp kernels. Lockstep execution
+    // requires a non-adapting sampler (point sets must stay fixed), so
+    // the specialists draw uniform batches — the SGM-S run above keeps
+    // the adaptive-sampling story.
+    let radii = PAPER_VALIDATION_RADII;
+    println!(
+        "\ntraining {} per-radius specialists as one batched ParamSweep (10s)...",
+        radii.len()
+    );
+    let mut spec_rng = Rng64::new(91);
+    let spec_problems: Vec<Problem> = radii
+        .iter()
+        .map(|_| {
+            let mut p = Problem::new(Pde::NavierStokes(NsConfig {
+                nu: 0.1,
+                zero_eq: None,
+            }));
+            p.bc_weight = 10.0;
+            p
+        })
+        .collect();
+    let spec_data: Vec<TrainSet> = radii
+        .iter()
+        .map(|&r_i| {
+            // Pinning the parameter range collapses the family to one
+            // design: all samples carry this specialist's radius.
+            let fixed = AnnulusChannel {
+                param_range: (r_i, r_i),
+                ..AnnulusChannel::default()
+            };
+            let interior = fixed.sample_interior(2048, FillStrategy::Halton, &mut spec_rng);
+            let (boundary, boundary_targets) = fixed.sample_boundary(256, 3, &mut spec_rng);
+            TrainSet {
+                interior,
+                boundary,
+                boundary_targets,
+            }
+        })
+        .collect();
+    let spec_models: Vec<PinnModel> = spec_problems
+        .iter()
+        .zip(&spec_data)
+        .map(|(p, d)| PinnModel::new(p, d))
+        .collect();
+    let mut spec_nets: Vec<Mlp> = (0..radii.len())
+        .map(|i| {
+            Mlp::new(
+                &MlpConfig {
+                    input_dim: 3,
+                    output_dim: 3,
+                    hidden_width: 40,
+                    hidden_layers: 3,
+                    activation: Activation::SiLu,
+                    fourier: None,
+                },
+                &mut Rng64::new(51 + i as u64),
+            )
+        })
+        .collect();
+    let mut spec_samplers: Vec<UniformSampler> = spec_data
+        .iter()
+        .map(|d| UniformSampler::new(d.num_interior()))
+        .collect();
+    let spec_opts = TrainOptions {
+        iterations: usize::MAX / 2,
+        batch_interior: 128,
+        batch_boundary: 64,
+        adam: AdamConfig {
+            lr: 2e-3,
+            schedule: LrSchedule::Exponential {
+                gamma: 0.9,
+                decay_steps: 2000,
+            },
+            ..AdamConfig::default()
+        },
+        seed: 5,
+        record_every: 200,
+        max_seconds: Some(10.0),
+        synthetic_dt: None,
+    };
+    let spec_validators: Vec<AveragedValidation> = (0..radii.len())
+        .map(|i| AveragedValidation(std::slice::from_ref(&validation[i])))
+        .collect();
+    let mut jobs: Vec<SweepJob<'_>> = spec_nets
+        .iter_mut()
+        .zip(&spec_models)
+        .zip(&mut spec_samplers)
+        .zip(&spec_validators)
+        .map(|(((snet, model), spl), val)| SweepJob {
+            net: snet,
+            model,
+            sampler: spl,
+            validator: Some(val),
+            opts: &spec_opts,
+        })
+        .collect();
+    let spec_results = ParamSweep::run(&mut jobs).expect("sweep constraints hold");
+    drop(jobs);
+    for (i, &r_i) in radii.iter().enumerate() {
+        let last = spec_results[i].history.last().unwrap();
+        println!(
+            "  specialist r_i={r_i:<6} {} iterations, errors u={:.4} v={:.4} p={:.4}",
+            last.iteration, last.val_errors[0], last.val_errors[1], last.val_errors[2]
+        );
+    }
 }

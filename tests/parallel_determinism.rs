@@ -25,6 +25,7 @@ use sgm_linalg::simd;
 use sgm_nn::activation::Activation;
 use sgm_nn::mlp::{BatchDerivatives, Mlp, MlpConfig};
 use sgm_nn::optimizer::AdamConfig;
+use sgm_nn::BatchedMlp;
 use sgm_par::Parallelism;
 use sgm_physics::geometry::{Cavity, FillStrategy};
 use sgm_physics::pde::{Pde, PoissonConfig};
@@ -111,6 +112,113 @@ fn mlp_gradients_bit_identical_across_thread_counts() {
             })
         });
         assert_all_bits_equal(&runs, &format!("mlp [{tier:?}]"));
+    }
+}
+
+/// The batched multi-model forward/backward: B-instance derivatives and
+/// parameter gradients are bit-identical for every thread count within
+/// a tier, and every instance is bit-identical to the same network run
+/// solo — the grouping contract the probe-fusion, sweep and serve
+/// co-execution call sites rely on.
+#[test]
+fn batched_mlp_bit_identical_across_thread_counts_and_solo() {
+    let cfg = MlpConfig {
+        input_dim: 2,
+        output_dim: 2,
+        hidden_width: 24,
+        hidden_layers: 3,
+        activation: Activation::SiLu,
+        fourier: None,
+    };
+    let mut rng = Rng64::new(912);
+    let nets: Vec<Mlp> = (0..3).map(|_| Mlp::new(&cfg, &mut rng)).collect();
+    let xs: Vec<Matrix> = (0..3).map(|_| Matrix::gaussian(300, 2, &mut rng)).collect();
+    let batched_flat = |lane_derivs: &BatchDerivatives, grads_flat: &[f64], flat: &mut Vec<f64>| {
+        flat.extend_from_slice(lane_derivs.values.as_slice());
+        for k in 0..2 {
+            flat.extend_from_slice(lane_derivs.jac[k].as_slice());
+            flat.extend_from_slice(lane_derivs.hess[k].as_slice());
+        }
+        flat.extend_from_slice(grads_flat);
+    };
+    for &tier in simd::available_tiers() {
+        let runs = simd::with_tier(tier, || {
+            run_per_thread_count(|| {
+                let refs: Vec<&Mlp> = nets.iter().collect();
+                let packed = BatchedMlp::pack(&refs);
+                let mut ws = packed.make_workspace(300, 2);
+                let xrefs: Vec<&Matrix> = xs.iter().collect();
+                packed.forward_with_derivs_batched(&xrefs, &[0, 1], &mut ws);
+                let mut d = BatchDerivatives::zeros(300, 2, 2);
+                let mut lane_derivs = Vec::new();
+                for lane in 0..3 {
+                    ws.extract_derivs(lane, &mut d);
+                    let mut adj = BatchDerivatives::zeros_like(&d);
+                    for (dst, src) in adj
+                        .values
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(d.values.as_slice())
+                    {
+                        *dst = 2.0 * src;
+                    }
+                    for k in 0..2 {
+                        for (dst, src) in adj.jac[k]
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(d.jac[k].as_slice())
+                        {
+                            *dst = 2.0 * src;
+                        }
+                    }
+                    ws.set_adjoints(lane, &adj);
+                    lane_derivs.push(d.clone());
+                }
+                let mut bgrads = packed.zero_gradients();
+                packed.backward_batched(&mut ws, &mut bgrads);
+                let mut flat: Vec<f64> = Vec::new();
+                for lane in 0..3 {
+                    let mut g = nets[lane].zero_gradients();
+                    bgrads.extract_to(lane, &mut g);
+                    batched_flat(&lane_derivs[lane], &g.flat(), &mut flat);
+                }
+                flat
+            })
+        });
+        assert_all_bits_equal(&runs, &format!("batched mlp [{tier:?}]"));
+        // Per-instance solo reference, same tier: the batched run must
+        // reproduce each solo network bit for bit.
+        let solo: Vec<f64> = simd::with_tier(tier, || {
+            let mut flat = Vec::new();
+            for (net, x) in nets.iter().zip(&xs) {
+                let (d, cache) = net.forward_with_derivs(x, &[0, 1]);
+                let mut adj = BatchDerivatives::zeros_like(&d);
+                for (dst, src) in adj
+                    .values
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(d.values.as_slice())
+                {
+                    *dst = 2.0 * src;
+                }
+                for k in 0..2 {
+                    for (dst, src) in adj.jac[k]
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(d.jac[k].as_slice())
+                    {
+                        *dst = 2.0 * src;
+                    }
+                }
+                let g = net.backward(&cache, &adj);
+                batched_flat(&d, &g.flat(), &mut flat);
+            }
+            flat
+        });
+        assert_all_bits_equal(
+            &[runs[0].clone(), solo],
+            &format!("batched vs solo [{tier:?}]"),
+        );
     }
 }
 
